@@ -1,0 +1,33 @@
+"""Benchmark-harness helpers.
+
+Every benchmark regenerates one paper exhibit through the experiment
+registry, prints the series/rows the paper reports, and asserts the shape
+claims.  ``pytest benchmarks/ --benchmark-only`` times the full
+(non-quick) regeneration of each exhibit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import run_experiment
+from repro.analysis.experiments import ExperimentResult
+
+
+@pytest.fixture()
+def regenerate():
+    """Run one exhibit under pytest-benchmark and print its report."""
+
+    def _regenerate(benchmark, exhibit: str, **kwargs) -> ExperimentResult:
+        result = benchmark.pedantic(
+            lambda: run_experiment(exhibit, **kwargs), rounds=1, iterations=1
+        )
+        print()
+        print(result.render())
+        failures = {
+            k: v for k, v in result.notes.items() if isinstance(v, bool) and not v
+        }
+        assert not failures, f"{exhibit} shape claims failed: {failures}"
+        return result
+
+    return _regenerate

@@ -1,0 +1,9 @@
+"""Benchmark: min-vs-mean aggregation under noise.
+
+Run with ``pytest benchmarks/test_ablation_aggregator.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_ablation_aggregator(benchmark, regenerate):
+    result = regenerate(benchmark, "ablation_aggregator")
+    assert result.notes

@@ -1,0 +1,9 @@
+"""Benchmark: conflict-miss traffic inflation ablation.
+
+Run with ``pytest benchmarks/test_ablation_conflict_traffic.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_ablation_conflict_traffic(benchmark, regenerate):
+    result = regenerate(benchmark, "ablation_conflict_traffic")
+    assert result.notes

@@ -1,0 +1,9 @@
+"""Benchmark: line-fill occupancy ablation.
+
+Run with ``pytest benchmarks/test_ablation_fill_cost.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_ablation_fill_cost(benchmark, regenerate):
+    result = regenerate(benchmark, "ablation_fill_cost")
+    assert result.notes

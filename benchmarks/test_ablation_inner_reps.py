@@ -1,0 +1,9 @@
+"""Benchmark: inner-repetition ablation.
+
+Run with ``pytest benchmarks/test_ablation_inner_reps.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_ablation_inner_reps(benchmark, regenerate):
+    result = regenerate(benchmark, "ablation_inner_reps")
+    assert result.notes

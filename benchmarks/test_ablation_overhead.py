@@ -1,0 +1,9 @@
+"""Benchmark: overhead-subtraction ablation.
+
+Run with ``pytest benchmarks/test_ablation_overhead.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_ablation_overhead(benchmark, regenerate):
+    result = regenerate(benchmark, "ablation_overhead")
+    assert result.notes

@@ -1,0 +1,9 @@
+"""Benchmark: footprint vs trace-driven residence.
+
+Run with ``pytest benchmarks/test_ablation_residence.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_ablation_residence(benchmark, regenerate):
+    result = regenerate(benchmark, "ablation_residence")
+    assert result.notes

@@ -1,0 +1,9 @@
+"""Benchmark: software prefetch vs the demand-MLP latency floor.
+
+Run with ``pytest benchmarks/test_ablation_sw_prefetch.py --benchmark-only -s``
+to see the reproduced rows.
+"""
+
+def test_ablation_sw_prefetch(benchmark, regenerate):
+    result = regenerate(benchmark, "ablation_sw_prefetch")
+    assert result.notes["prefetch_recovers"]

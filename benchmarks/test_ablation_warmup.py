@@ -1,0 +1,9 @@
+"""Benchmark: cache-heating ablation.
+
+Run with ``pytest benchmarks/test_ablation_warmup.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_ablation_warmup(benchmark, regenerate):
+    result = regenerate(benchmark, "ablation_warmup")
+    assert result.notes

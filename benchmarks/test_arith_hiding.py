@@ -1,0 +1,9 @@
+"""Benchmark: arithmetic hidden by memory latency (section 3.5 use).
+
+Run with ``pytest benchmarks/test_arith_hiding.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_arith_hiding(benchmark, regenerate):
+    result = regenerate(benchmark, "arith_hiding")
+    assert result.notes

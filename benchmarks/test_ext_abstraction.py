@@ -1,0 +1,9 @@
+"""Benchmark: hotspot abstraction (future-work extension).
+
+Run with ``pytest benchmarks/test_ext_abstraction.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_ext_abstraction(benchmark, regenerate):
+    result = regenerate(benchmark, "ext_abstraction")
+    assert result.notes

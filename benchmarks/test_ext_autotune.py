@@ -1,0 +1,9 @@
+"""Benchmark: auto-tune + variance attribution (future-work extension).
+
+Run with ``pytest benchmarks/test_ext_autotune.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_ext_autotune(benchmark, regenerate):
+    result = regenerate(benchmark, "ext_autotune")
+    assert result.notes

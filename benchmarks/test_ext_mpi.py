@@ -1,0 +1,9 @@
+"""Benchmark: MPI-model weak scaling (future-work extension).
+
+Run with ``pytest benchmarks/test_ext_mpi.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_ext_mpi(benchmark, regenerate):
+    result = regenerate(benchmark, "ext_mpi")
+    assert result.notes

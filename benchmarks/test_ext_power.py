@@ -1,0 +1,9 @@
+"""Benchmark: energy vs frequency (power-utilization extension).
+
+Run with ``pytest benchmarks/test_ext_power.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_ext_power(benchmark, regenerate):
+    result = regenerate(benchmark, "ext_power")
+    assert result.notes

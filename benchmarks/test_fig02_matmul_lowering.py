@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig. 2: naive matmul's compiled inner loop.
+
+Run with ``pytest benchmarks/test_fig02_matmul_lowering.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_fig02_matmul_lowering(benchmark, regenerate):
+    result = regenerate(benchmark, "fig02")
+    # the mini front-end reproduces GCC's instruction mix
+    assert result.notes["has_load_mul_add_store"]

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig. 3: matmul cycles/iteration vs matrix size.
+
+Run with ``pytest benchmarks/test_fig03_matmul_sizes.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_fig03_matmul_sizes(benchmark, regenerate):
+    result = regenerate(benchmark, "fig03")
+    # cycles climb the hierarchy with size
+    assert result.notes["monotone_overall"]

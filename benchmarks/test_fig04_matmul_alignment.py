@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig. 4: matmul alignment sensitivity at 200x200.
+
+Run with ``pytest benchmarks/test_fig04_matmul_alignment.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_fig04_matmul_alignment(benchmark, regenerate):
+    result = regenerate(benchmark, "fig04")
+    # alignment is immaterial for the in-cache size
+    assert result.notes["below_3_percent"]

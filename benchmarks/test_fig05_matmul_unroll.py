@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 5: matmul unroll, compiled vs microbenchmark.
+
+Run with ``pytest benchmarks/test_fig05_matmul_unroll.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_fig05_matmul_unroll(benchmark, regenerate):
+    result = regenerate(benchmark, "fig05")
+    assert result.notes

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig. 8: unroll-3 output for the Fig. 6 description.
+
+Run with ``pytest benchmarks/test_fig08_golden_output.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_fig08_golden_output(benchmark, regenerate):
+    result = regenerate(benchmark, "fig08")
+    # the generated variant is the paper's verbatim
+    assert result.notes["matches_figure"]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 11: movaps loads/stores, unroll x hierarchy.
+
+Run with ``pytest benchmarks/test_fig11_movaps_unroll.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_fig11_movaps_unroll(benchmark, regenerate):
+    result = regenerate(benchmark, "fig11")
+    # unrolling is advantageous
+    assert result.notes["unroll_helps_L1"]
+    # L1 < L2 < L3 < RAM
+    assert result.notes["levels_ordered_at_8"]

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 12: movss loads/stores, unroll x hierarchy.
+
+Run with ``pytest benchmarks/test_fig12_movss_unroll.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_fig12_movss_unroll(benchmark, regenerate):
+    result = regenerate(benchmark, "fig12")
+    assert result.notes

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 13: DVFS sweep, core vs uncore domains.
+
+Run with ``pytest benchmarks/test_fig13_frequency.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_fig13_frequency(benchmark, regenerate):
+    result = regenerate(benchmark, "fig13")
+    # L1/L2 timings move with frequency
+    assert result.notes["core_levels_vary"]
+    # L3/RAM timings do not
+    assert result.notes["uncore_levels_flat"]

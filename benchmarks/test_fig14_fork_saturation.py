@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 14: forked multi-core bandwidth saturation.
+
+Run with ``pytest benchmarks/test_fig14_fork_saturation.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_fig14_fork_saturation(benchmark, regenerate):
+    result = regenerate(benchmark, "fig14")
+    assert result.notes

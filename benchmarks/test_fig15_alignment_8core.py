@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 15: 8-core alignment sweep.
+
+Run with ``pytest benchmarks/test_fig15_alignment_8core.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_fig15_alignment_8core(benchmark, regenerate):
+    result = regenerate(benchmark, "fig15")
+    assert result.notes

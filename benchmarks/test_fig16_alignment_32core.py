@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 16: 32-core alignment sweep (saturated).
+
+Run with ``pytest benchmarks/test_fig16_alignment_32core.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_fig16_alignment_32core(benchmark, regenerate):
+    result = regenerate(benchmark, "fig16")
+    assert result.notes

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig. 17: OpenMP vs sequential, 128k elements.
+
+Run with ``pytest benchmarks/test_fig17_openmp_128k.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_fig17_openmp_128k(benchmark, regenerate):
+    result = regenerate(benchmark, "fig17")
+    # OpenMP wins at every unroll factor
+    assert result.notes["omp_below_seq"]

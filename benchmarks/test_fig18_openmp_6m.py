@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig. 18: OpenMP vs sequential, 6M elements.
+
+Run with ``pytest benchmarks/test_fig18_openmp_6m.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_fig18_openmp_6m(benchmark, regenerate):
+    result = regenerate(benchmark, "fig18")
+    # OpenMP still wins, by less
+    assert result.notes["omp_below_seq"]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Sections 3/5.1: 510 and >2000 variants.
+
+Run with ``pytest benchmarks/test_generation_scale.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_generation_scale(benchmark, regenerate):
+    result = regenerate(benchmark, "generation_scale")
+    # each family yields exactly 510
+    assert result.notes["per_family_510"]
+    # one four-family file yields >2000
+    assert result.notes["over_2000"]

@@ -1,0 +1,9 @@
+"""Benchmark: dot-product accumulator splitting (chain-breaking study).
+
+Run with ``pytest benchmarks/test_reduction_study.py --benchmark-only -s``
+to see the reproduced rows.
+"""
+
+def test_reduction_study(benchmark, regenerate):
+    result = regenerate(benchmark, "reduction_study")
+    assert result.notes["splitting_helps"]

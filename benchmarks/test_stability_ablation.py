@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Section 4.7: stabilization controls.
+
+Run with ``pytest benchmarks/test_stability_ablation.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_stability_ablation(benchmark, regenerate):
+    result = regenerate(benchmark, "stability")
+    # removing controls destroys repeatability
+    assert result.notes["controls_matter"]

@@ -1,0 +1,9 @@
+"""Benchmark: stencil modeling, compiled vs abstracted (section 3.5 use).
+
+Run with ``pytest benchmarks/test_stencil_study.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_stencil_study(benchmark, regenerate):
+    result = regenerate(benchmark, "stencil_study")
+    assert result.notes

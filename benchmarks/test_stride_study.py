@@ -1,0 +1,9 @@
+"""Benchmark: stride effects on a RAM-streaming load (section 3.5 use).
+
+Run with ``pytest benchmarks/test_stride_study.py --benchmark-only -s`` to
+see the reproduced rows.
+"""
+
+def test_stride_study(benchmark, regenerate):
+    result = regenerate(benchmark, "stride_study")
+    assert result.notes["line_jump_visible"]

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table 1: architecture/figure association.
+
+Run with ``pytest benchmarks/test_table1_presets.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_table1_presets(benchmark, regenerate):
+    result = regenerate(benchmark, "table1")
+    assert result.notes

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 2: OpenMP vs sequential seconds over unroll.
+
+Run with ``pytest benchmarks/test_table2_openmp_times.py --benchmark-only -s`` to see
+the reproduced rows.
+"""
+
+def test_table2_openmp_times(benchmark, regenerate):
+    result = regenerate(benchmark, "table2")
+    # the OpenMP column is essentially flat
+    assert result.notes["omp_flat"]
+    # OpenMP beats sequential throughout
+    assert result.notes["omp_always_faster"]

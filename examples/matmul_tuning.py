@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""The paper's motivation study (section 2): tuning a naive matmul.
+
+Walks the exact narrative of the paper:
+
+1. **Size study** (Fig. 3): sweep the matrix size, find where the kernel
+   falls out of the cache — "500 is one of the cutting points".
+2. **Alignment study** (Fig. 4): at the in-cache size 200, try per-matrix
+   alignments — the choice does not matter (< 3 %).
+3. **Unroll study** (Fig. 5): sweep compiler-hint unroll factors on the
+   real (compiled) code AND on the MicroCreator-abstracted microbenchmark;
+   the microbenchmark's predicted gain matches the real one.
+
+Run:  python examples/matmul_tuning.py
+"""
+
+from repro.creator import MicroCreator
+from repro.kernels.matmul import (
+    matmul_kernel,
+    matmul_microbench_spec,
+    measure_matmul,
+    microbench_bindings,
+)
+from repro.launcher import LauncherOptions, MicroLauncher
+from repro.machine import nehalem_2s_x5650
+
+
+def size_study(launcher) -> None:
+    print("== 1. size study (Fig. 3) ==")
+    print(f"{'n':>8s} {'cycles/iter':>12s}")
+    for n in (50, 100, 200, 400, 500, 600, 1000, 4000, 8000, 20000):
+        m = measure_matmul(launcher, n)
+        print(f"{n:8d} {m.cycles_per_element:12.2f}")
+    print("-> performance steps up right after n = 500: the column stream's")
+    print("   line footprint (64 n bytes) no longer fits L1.  Tile there.\n")
+
+
+def alignment_study(launcher) -> None:
+    print("== 2. alignment study at 200 x 200 (Fig. 4) ==")
+    values = []
+    for alignments in ((0, 0, 0), (64, 0, 512), (16, 1024, 64), (512, 512, 512)):
+        m = measure_matmul(launcher, 200, alignments=alignments)
+        values.append(m.cycles_per_element)
+        print(f"alignments={alignments!s:18s} cycles/iter={m.cycles_per_element:.3f}")
+    spread = (max(values) - min(values)) / min(values)
+    print(f"-> spread {spread * 100:.2f} % — below 3 %, alignment does not matter")
+    print("   for the in-cache size (it would for streaming kernels).\n")
+
+
+def unroll_study(launcher, machine) -> None:
+    print("== 3. unroll study (Fig. 5): compiled code vs microbenchmark ==")
+    creator = MicroCreator()
+    micro = {
+        k.unroll: k for k in creator.generate(matmul_microbench_spec(200))
+    }
+    options = LauncherOptions(trip_count=200)
+    print(f"{'unroll':>6s} {'compiled':>10s} {'microbench':>11s}")
+    compiled_values, micro_values = {}, {}
+    for unroll in range(1, 9):
+        compiled = measure_matmul(launcher, 200, unroll=unroll)
+        predicted = launcher.run_with_bindings(
+            micro[unroll], microbench_bindings(200, machine), options
+        )
+        compiled_values[unroll] = compiled.cycles_per_element
+        micro_values[unroll] = predicted.cycles_per_element
+        print(
+            f"{unroll:6d} {compiled.cycles_per_element:10.3f} "
+            f"{predicted.cycles_per_element:11.3f}"
+        )
+    gain_c = 1 - compiled_values[8] / compiled_values[1]
+    gain_m = 1 - micro_values[8] / micro_values[1]
+    print(f"-> compiled gain {gain_c * 100:.1f} %, microbenchmark predicted "
+          f"{gain_m * 100:.1f} % — the prediction matches the real behaviour,")
+    print("   so the programmer can trust the microbenchmark sweep to pick")
+    print("   the unroll factor (the paper saw 9 % vs 8.2 %).")
+
+
+def main() -> None:
+    machine = nehalem_2s_x5650()
+    launcher = MicroLauncher(machine)
+    print(f"machine: {machine.name}\n")
+    from repro.kernels.matmul import FIG1_SOURCE
+
+    print("the kernel under study, as the paper's Fig. 1 C source:")
+    print(FIG1_SOURCE.strip(), "\n")
+    print("and its gcc-style lowering (the front-end parses that C text;")
+    print("compare the paper's Fig. 2):")
+    print(matmul_kernel(200, 1).asm_text())
+    size_study(launcher)
+    alignment_study(launcher)
+    unroll_study(launcher, machine)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Parallel execution studies (paper section 5.2).
+
+Three experiments:
+
+1. **Fork saturation** (Fig. 14): the same RAM-streaming kernel forked
+   onto 1..12 pinned cores of the dual-socket Nehalem — per-iteration
+   latency is flat until six cores (three streams saturate one socket's
+   channels), then climbs linearly.
+2. **Multi-core alignment** (Figs. 15/16): a 4-array movss traversal on
+   the quad-socket machine, alignment-swept at 8 and at 32 active cores —
+   saturation widens the alignment band dramatically.
+3. **OpenMP vs sequential** (Figs. 17/18, Table 2): unroll sweeps of a
+   movss load kernel on the Sandy Bridge box; the sequential version
+   rewards unrolling, the 4-thread OpenMP version is bandwidth-bound and
+   flat.
+
+Run:  python examples/parallel_scaling.py
+"""
+
+from repro.creator import MicroCreator
+from repro.kernels import loadstore_family, multi_array_traversal
+from repro.launcher import LauncherOptions, MicroLauncher
+from repro.machine import (
+    MemLevel,
+    nehalem_2s_x5650,
+    nehalem_4s_x7550,
+    sandy_bridge_e31240,
+)
+
+
+def fork_study() -> None:
+    machine = nehalem_2s_x5650()
+    launcher = MicroLauncher(machine)
+    creator = MicroCreator()
+    kernel = next(
+        k for k in creator.generate(loadstore_family("movaps"))
+        if k.unroll == 8 and set(k.mix) == {"L"}
+    )
+    options = LauncherOptions(
+        array_bytes=machine.footprint_for(MemLevel.RAM),
+        trip_count=1 << 14,
+        experiments=3,
+        repetitions=8,
+    )
+    print(f"== Fig. 14: fork saturation on {machine.name} ==")
+    print(f"{'cores':>5s} {'cycles/iter':>12s}")
+    for n in range(1, machine.total_cores + 1):
+        result = launcher.run_forked(kernel, options.with_(n_cores=n))
+        bar = "#" * int(result.mean_cycles_per_iteration / 3)
+        print(f"{n:5d} {result.mean_cycles_per_iteration:12.2f}  {bar}")
+    print("-> knee at 6 cores: 2 sockets x (30 GB/s socket / 10 GB/s stream)\n")
+
+
+def alignment_study() -> None:
+    machine = nehalem_4s_x7550()
+    launcher = MicroLauncher(machine)
+    creator = MicroCreator()
+    kernel = creator.generate(multi_array_traversal(4, "movss", unroll=(6, 6)))[0]
+    options = LauncherOptions(
+        array_bytes=machine.footprint_for(MemLevel.RAM),
+        trip_count=1 << 14,
+        alignment_min=0,
+        alignment_max=1024,
+        alignment_step=128,
+        max_alignment_configs=2500,
+        experiments=3,
+        repetitions=8,
+    )
+    print(f"== Figs. 15/16: alignment sweeps on {machine.name} ==")
+    for label, active in (("8 cores (2/socket)", 2), ("32 cores (8/socket)", 8)):
+        sweep = launcher.run_alignment_sweep(
+            kernel, options, active_cores_on_socket=active
+        )
+        values = [m.cycles_per_iteration for m in sweep]
+        print(
+            f"{label}: {len(values)} configs, "
+            f"{min(values):.1f} -> {max(values):.1f} cycles/iter "
+            f"(spread {(max(values) - min(values)) / min(values) * 100:.0f} %)"
+        )
+    print("-> under saturation, conflict misses also waste bandwidth, so the")
+    print("   32-core band is both higher and wider.\n")
+
+
+def openmp_study() -> None:
+    machine = sandy_bridge_e31240()
+    launcher = MicroLauncher(machine)
+    creator = MicroCreator()
+    kernels = sorted(
+        (k for k in creator.generate(loadstore_family("movss"))
+         if set(k.mix) == {"L"}),
+        key=lambda k: k.unroll,
+    )
+    print(f"== Figs. 17/18 + Table 2: OpenMP vs sequential on {machine.name} ==")
+    for label, n_elements in (("128k elements", 128 * 1024), ("6M elements", 6_000_000)):
+        options = LauncherOptions(
+            array_bytes=n_elements * 4,
+            trip_count=n_elements,
+            omp_threads=machine.cores_per_socket,
+            experiments=10,
+            repetitions=2,
+        )
+        print(f"-- {label} --")
+        print(f"{'unroll':>6s} {'seq c/elem':>11s} {'omp c/elem':>11s} {'speedup':>8s}")
+        for kernel in kernels:
+            seq = launcher.run(kernel, options)
+            omp = launcher.run_openmp(kernel, options)
+            speedup = seq.cycles_per_element / omp.measurement.cycles_per_element
+            print(
+                f"{kernel.unroll:6d} {seq.cycles_per_element:11.3f} "
+                f"{omp.measurement.cycles_per_element:11.3f} {speedup:8.2f}"
+            )
+    print("-> sequential improves with unrolling then flattens; OpenMP is")
+    print("   flat (bandwidth roofline) and the cache-resident size enjoys")
+    print("   the better parallel speedup, exactly as the paper reports.")
+
+
+def main() -> None:
+    fork_study()
+    alignment_study()
+    openmp_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so `pip install -e . --no-use-pep517` works offline.
+
+The environment has no `wheel` package, which PEP-517 editable installs
+require; the legacy `setup.py develop` path does not.  All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""MicroTools reproduction: automated program generation and performance
+measurement on a simulated x86 machine model.
+
+Reproduces *MicroTools: Automating Program Generation and Performance
+Measurement* (Beyler et al., ICPP 2012):
+
+- :mod:`repro.creator` -- **MicroCreator**, the pass-based microbenchmark
+  generator driven by XML kernel descriptions (:mod:`repro.spec`),
+- :mod:`repro.launcher` -- **MicroLauncher**, the stable measurement
+  harness (alignment control, pinning, warm-up, inner/outer repetition
+  loops, CSV output, fork and OpenMP parallel modes),
+- :mod:`repro.machine` -- the simulated hardware substrate standing in
+  for the paper's Nehalem / Sandy Bridge testbeds (see DESIGN.md for the
+  substitution argument),
+- :mod:`repro.isa` -- the shared x86-64 instruction model,
+- :mod:`repro.compiler` -- a mini C loop-nest front-end (the Fig. 1 ->
+  Fig. 2 path),
+- :mod:`repro.kernels` -- the paper's workloads,
+- :mod:`repro.analysis` -- series/statistics plus one experiment per
+  paper exhibit.
+
+Quickstart::
+
+    from repro.creator import MicroCreator
+    from repro.launcher import MicroLauncher, LauncherOptions
+    from repro.spec import load_kernel
+    from repro.machine import nehalem_2s_x5650
+
+    kernels = MicroCreator().generate(load_kernel("movaps"))
+    launcher = MicroLauncher(nehalem_2s_x5650())
+    for kernel in kernels:
+        m = launcher.run(kernel, LauncherOptions(array_bytes=64 * 1024))
+        print(kernel.name, m.cycles_per_iteration)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

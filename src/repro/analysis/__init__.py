@@ -1,0 +1,42 @@
+"""Result analysis: series, tables, shape statistics, and the experiment
+registry that regenerates every figure and table of the paper.
+
+- :mod:`repro.analysis.series` -- labelled data series and ASCII tables,
+- :mod:`repro.analysis.stats` -- shape statistics (knees, monotonicity,
+  crossovers, stability bands),
+- :mod:`repro.analysis.experiments` -- one callable per paper exhibit
+  (``fig03`` ... ``fig18``, ``table1``, ``table2``, generation-scale and
+  stability claims), each returning an :class:`ExperimentResult` that the
+  benchmark harness prints and asserts against.
+"""
+
+from repro.analysis.series import Series, Table
+from repro.analysis.stats import (
+    find_knee,
+    is_monotone_decreasing,
+    is_monotone_increasing,
+    relative_change,
+    relative_spread,
+)
+from repro.analysis.autotune import TuneResult, tune, variance_attribution
+from repro.analysis.experiments import (
+    ExperimentResult,
+    available_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "Series",
+    "Table",
+    "find_knee",
+    "is_monotone_decreasing",
+    "is_monotone_increasing",
+    "relative_change",
+    "relative_spread",
+    "TuneResult",
+    "tune",
+    "variance_attribution",
+    "ExperimentResult",
+    "available_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,100 @@
+"""The experiment registry: every paper exhibit as a callable.
+
+Each experiment function returns an :class:`ExperimentResult` with the
+series/rows the paper's figure or table reports, plus scalar ``notes``
+(knees, spreads, gains) that the benchmark harness asserts against the
+paper's shape claims.  ``quick=True`` shrinks sweeps for the test suite;
+the benchmarks run the full versions.
+
+Registry keys match DESIGN.md's experiment index: ``fig02``...``fig18``,
+``table1``, ``table2``, ``generation_scale``, ``stability``, and the
+design-choice ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.series import Series, Table, render_series
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """Output of one reproduced exhibit."""
+
+    exhibit: str
+    title: str
+    paper_expectation: str
+    series: list[Series] = field(default_factory=list)
+    tables: list[Table] = field(default_factory=list)
+    notes: dict[str, object] = field(default_factory=dict)
+    x_label: str = "x"
+
+    def render(self) -> str:
+        """Human-readable reproduction report (what the bench prints)."""
+        parts = [f"== {self.exhibit}: {self.title} ==",
+                 f"paper: {self.paper_expectation}"]
+        if self.series:
+            parts.append(render_series(self.series, x_label=self.x_label))
+        for table in self.tables:
+            parts.append(table.render())
+        if self.notes:
+            parts.append(
+                "notes: " + ", ".join(f"{k}={_fmt(v)}" for k, v in self.notes.items())
+            )
+        return "\n".join(parts)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+_REGISTRY: dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(name: str):
+    """Decorator adding an experiment function under ``name``."""
+
+    def deco(fn: Callable[..., ExperimentResult]):
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate experiment {name!r}")
+        _REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+def available_experiments() -> list[str]:
+    _load_all()
+    return sorted(_REGISTRY)
+
+
+def run_experiment(name: str, **kwargs) -> ExperimentResult:
+    """Run a registered experiment by exhibit id (e.g. ``"fig11"``)."""
+    _load_all()
+    try:
+        fn = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return fn(**kwargs)
+
+
+def _load_all() -> None:
+    # Import side-effectfully so @register runs; idempotent.
+    from repro.analysis.experiments import (  # noqa: F401
+        ablations,
+        extensions,
+        meta,
+        motivation,
+        parallel,
+        sequential,
+        uses,
+    )
+
+
+__all__ = ["ExperimentResult", "register", "available_experiments", "run_experiment"]

@@ -1,0 +1,173 @@
+"""The motivation study: Figs. 2-5 (paper section 2)."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import ExperimentResult, register
+from repro.analysis.series import Series, Table
+from repro.analysis.stats import relative_change, relative_spread
+from repro.creator import MicroCreator
+from repro.isa.writer import format_instruction
+from repro.kernels.matmul import (
+    matmul_kernel,
+    matmul_microbench_spec,
+    measure_matmul,
+    microbench_bindings,
+)
+from repro.launcher import LauncherOptions, MicroLauncher
+from repro.machine import nehalem_2s_x5650
+
+
+@register("fig02")
+def fig02(**_: object) -> ExperimentResult:
+    """Fig. 2: the naive matmul's compiled inner loop.
+
+    The mini front-end must lower Fig. 1 to the same instruction mix GCC
+    produced: a double load, a multiply with a memory operand, a scalar
+    add, a store of the accumulator, pointer/counter updates, and a
+    ``jg``-style backward branch.
+    """
+    kernel = matmul_kernel(200, 1)
+    _, body = kernel.program.kernel_loop()
+    table = Table(header=("#", "instruction", "class"), title="lowered inner loop")
+    for i, instr in enumerate(body):
+        cls = "load" if instr.is_load else "store" if instr.is_store else (
+            "branch" if instr.is_branch else "alu"
+        )
+        table.add(i, format_instruction(instr), cls)
+    opcodes = [i.opcode for i in body]
+    return ExperimentResult(
+        exhibit="fig02",
+        title="naive matmul inner assembly",
+        paper_expectation=(
+            "movsd load, mulsd with memory operand, addsd accumulate, movsd "
+            "store, pointer/counter updates, backward conditional jump"
+        ),
+        tables=[table],
+        notes={
+            "has_load_mul_add_store": all(
+                op in opcodes for op in ("movsd", "mulsd", "addsd")
+            ),
+            "n_instructions": len(body),
+            "n_loads": sum(1 for i in body if i.is_load),
+            "n_stores": sum(1 for i in body if i.is_store),
+        },
+    )
+
+
+#: Fig. 3's size grid; the paper sweeps through the 500 cutting point.
+_FIG3_SIZES = (50, 100, 200, 300, 400, 500, 600, 800, 1000, 2000, 4000, 8000, 20000)
+_FIG3_SIZES_QUICK = (100, 200, 500, 600, 1000, 8000)
+
+
+@register("fig03")
+def fig03(*, quick: bool = False, **_: object) -> ExperimentResult:
+    """Fig. 3: matmul cycles/iteration vs. matrix size.
+
+    Expect a staircase climbing the memory hierarchy, with a step right
+    after n = 500 (the column stream's line footprint crosses L1).
+    """
+    launcher = MicroLauncher(nehalem_2s_x5650())
+    sizes = _FIG3_SIZES_QUICK if quick else _FIG3_SIZES
+    ys = [measure_matmul(launcher, n).cycles_per_element for n in sizes]
+    series = Series("matmul", tuple(float(n) for n in sizes), tuple(ys))
+    step_at_500 = series.at(600) / series.at(500)
+    return ExperimentResult(
+        exhibit="fig03",
+        title="matmul cycles/iteration vs matrix size",
+        paper_expectation="cycles step up with size; 500 is a cutting point",
+        series=[series],
+        x_label="n",
+        notes={
+            "step_after_500": step_at_500,
+            "monotone_overall": ys == sorted(ys),
+            "largest_over_smallest": ys[-1] / ys[0],
+        },
+    )
+
+
+@register("fig04")
+def fig04(*, quick: bool = False, **_: object) -> ExperimentResult:
+    """Fig. 4: matmul cycles/iteration vs. per-matrix alignments at 200^2.
+
+    "On the considered hardware, with a 200*200 size, the chosen alignment
+    does not impact the matrix multiply.  The variation is less than 3 %
+    for any alignment configuration."
+    """
+    launcher = MicroLauncher(nehalem_2s_x5650())
+    offsets = (0, 64, 512) if quick else (0, 16, 64, 128, 512, 1024)
+    values = []
+    configs = []
+    for a0 in offsets:
+        for a1 in offsets:
+            for a2 in offsets:
+                m = measure_matmul(launcher, 200, alignments=(a0, a1, a2))
+                values.append(m.cycles_per_element)
+                configs.append((a0, a1, a2))
+    series = Series(
+        "matmul 200x200", tuple(range(len(values))), tuple(values)
+    )
+    return ExperimentResult(
+        exhibit="fig04",
+        title="matmul alignment sensitivity at 200x200",
+        paper_expectation="variation below 3 % for any alignment configuration",
+        series=[series],
+        x_label="config",
+        notes={
+            "n_configs": len(values),
+            "spread": relative_spread(values),
+            "below_3_percent": relative_spread(values) < 0.03,
+        },
+    )
+
+
+@register("fig05")
+def fig05(*, quick: bool = False, **_: object) -> ExperimentResult:
+    """Fig. 5: matmul unroll sweep — compiled code vs. the MicroCreator
+    microbenchmark equivalent.
+
+    The paper's real code gains 9 % at unroll 8 and the microbenchmark
+    predicts 8.2 % — the claim being that the *prediction matches the
+    real behaviour*.  Our two paths run on the same machine model, so the
+    match should be near-exact; the absolute gain is the simulator's.
+    """
+    machine = nehalem_2s_x5650()
+    launcher = MicroLauncher(machine)
+    creator = MicroCreator()
+    n = 200
+    factors = (1, 2, 4, 8) if quick else tuple(range(1, 9))
+    micro_variants = {
+        k.unroll: k
+        for k in creator.generate(matmul_microbench_spec(n, unroll=(1, 8)))
+    }
+    compiled_y = []
+    micro_y = []
+    for u in factors:
+        compiled_y.append(
+            measure_matmul(launcher, n, unroll=u).cycles_per_element
+        )
+        micro = launcher.run_with_bindings(
+            micro_variants[u],
+            microbench_bindings(n, machine),
+            LauncherOptions(trip_count=n),
+        )
+        micro_y.append(micro.cycles_per_element)
+    xs = tuple(float(u) for u in factors)
+    compiled = Series("compiled C", xs, tuple(compiled_y))
+    micro = Series("microbenchmark", xs, tuple(micro_y))
+    gain_compiled = relative_change(compiled_y[0], compiled_y[-1])
+    gain_micro = relative_change(micro_y[0], micro_y[-1])
+    return ExperimentResult(
+        exhibit="fig05",
+        title="matmul unroll factors: compiled vs microbenchmark",
+        paper_expectation=(
+            "unrolling improves both; the microbenchmark's predicted gain "
+            "(8.2 %) matches the real code's (9 %)"
+        ),
+        series=[compiled, micro],
+        x_label="unroll",
+        notes={
+            "gain_compiled": gain_compiled,
+            "gain_micro": gain_micro,
+            "prediction_gap": abs(gain_compiled - gain_micro),
+        },
+    )

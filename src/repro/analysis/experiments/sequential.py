@@ -1,0 +1,153 @@
+"""Sequential-execution experiments: Figs. 11-13 (paper section 5.1)."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import ExperimentResult, register
+from repro.analysis.series import Series
+from repro.analysis.stats import is_monotone_decreasing
+from repro.creator import MicroCreator
+from repro.kernels import loadstore_family
+from repro.launcher import LauncherOptions, MicroLauncher
+from repro.machine import MemLevel, nehalem_2s_x5650
+
+_LEVELS = (MemLevel.L1, MemLevel.L2, MemLevel.L3, MemLevel.RAM)
+
+
+def _unroll_hierarchy(opcode: str, *, quick: bool) -> ExperimentResult:
+    """Shared implementation of Figs. 11/12.
+
+    Generates the full 510-variant (Load|Store)+ family from the single
+    input file, measures every variant at each hierarchy level, and plots
+    per-unroll-group minima — exactly the aggregation the paper describes
+    ("For each unroll group, the minimum value was taken though the
+    variance was minimal").
+    """
+    machine = nehalem_2s_x5650()
+    launcher = MicroLauncher(machine)
+    creator = MicroCreator()
+    variants = creator.generate(loadstore_family(opcode))
+    if quick:
+        # Pure-load and pure-store mixes only: enough for the plotted
+        # minima (see below) at a fraction of the measurements.
+        variants = [v for v in variants if len(set(v.mix)) == 1]
+    series = []
+    for level in _LEVELS:
+        options = LauncherOptions(
+            array_bytes=machine.footprint_for(level),
+            trip_count=1 << 14,
+            experiments=4,
+            repetitions=8,
+        )
+        best: dict[int, float] = {}
+        for variant in variants:
+            m = launcher.run(variant, options)
+            value = m.cycles_per_memory_instruction
+            # The figure's Y axis is cycles *per load and store*: the
+            # plotted per-unroll minima come from the pure-direction
+            # groups.  Mixed variants are measured (they are part of the
+            # 510) but use both memory ports at once, so they would show
+            # a different quantity on the same axis.
+            if len(set(variant.mix)) != 1:
+                continue
+            u = variant.unroll
+            if u not in best or value < best[u]:
+                best[u] = value
+        xs = tuple(sorted(best))
+        series.append(Series(level.label, tuple(float(x) for x in xs),
+                             tuple(best[x] for x in xs)))
+    by_label = {s.label: s for s in series}
+    ordered_at_8 = all(
+        by_label[a].at(8) <= by_label[b].at(8) + 1e-9
+        for a, b in zip(("L1", "L2", "L3"), ("L2", "L3", "RAM"))
+    )
+    return ExperimentResult(
+        exhibit="",
+        title=f"cycles per load/store using {opcode} vs unroll and hierarchy",
+        paper_expectation=(
+            "unrolling helps; plot lines ordered L1 < L2 < L3 < RAM; "
+            "vectorized moves feel the hierarchy more than scalar ones"
+        ),
+        series=series,
+        x_label="unroll",
+        notes={
+            "n_variants": len(creator.generate(loadstore_family(opcode))),
+            "unroll_helps_L1": is_monotone_decreasing(by_label["L1"].y, tolerance=1e-9),
+            "levels_ordered_at_8": ordered_at_8,
+            "ram_over_l1_at_8": by_label["RAM"].at(8) / by_label["L1"].at(8),
+        },
+    )
+
+
+@register("fig11")
+def fig11(*, quick: bool = False, **_: object) -> ExperimentResult:
+    """Fig. 11: ``movaps`` loads/stores over unroll x hierarchy."""
+    result = _unroll_hierarchy("movaps", quick=quick)
+    result.exhibit = "fig11"
+    return result
+
+
+@register("fig12")
+def fig12(*, quick: bool = False, **_: object) -> ExperimentResult:
+    """Fig. 12: ``movss`` loads/stores over unroll x hierarchy.
+
+    The scalar instruction moves a quarter of the data, so the hierarchy
+    separation is much smaller and the RAM line sits only slightly above
+    — four ``movss`` equal one ``movaps`` of work, and the vectorized
+    version wins per byte (the paper's closing observation in 5.1).
+    """
+    result = _unroll_hierarchy("movss", quick=quick)
+    result.exhibit = "fig12"
+    return result
+
+
+@register("fig13")
+def fig13(*, quick: bool = False, **_: object) -> ExperimentResult:
+    """Fig. 13: DVFS sweep of an 8-load ``movaps`` kernel, TSC units.
+
+    "The timing varies with the frequency for L1 and L2 accesses;
+    however, L3 and RAM remain constant, proving on-core frequency
+    modifications do not affect the off-core frequency."
+    """
+    machine = nehalem_2s_x5650()
+    launcher = MicroLauncher(machine)
+    creator = MicroCreator()
+    kernel = next(
+        k for k in creator.generate(loadstore_family("movaps"))
+        if k.unroll == 8 and set(k.mix) == {"L"}
+    )
+    freqs = machine.freq_steps[::2] + (machine.freq_steps[-1],) if quick else machine.freq_steps
+    freqs = tuple(dict.fromkeys(freqs))  # dedupe, keep order
+    series = []
+    for level in _LEVELS:
+        ys = []
+        for f in freqs:
+            options = LauncherOptions(
+                array_bytes=machine.footprint_for(level),
+                trip_count=1 << 14,
+                frequency_ghz=f,
+                experiments=4,
+                repetitions=8,
+            )
+            ys.append(launcher.run(kernel, options).cycles_per_memory_instruction)
+        series.append(Series(level.label, freqs, tuple(ys)))
+    by_label = {s.label: s for s in series}
+
+    def swing(label: str) -> float:
+        s = by_label[label]
+        return (max(s.y) - min(s.y)) / min(s.y)
+
+    return ExperimentResult(
+        exhibit="fig13",
+        title="cycles per movaps load vs core frequency (rdtsc units)",
+        paper_expectation="L1/L2 timings vary with frequency; L3/RAM constant",
+        series=series,
+        x_label="GHz",
+        notes={
+            "l1_swing": swing("L1"),
+            "l2_swing": swing("L2"),
+            "l3_swing": swing("L3"),
+            "ram_swing": swing("RAM"),
+            "core_levels_vary": swing("L1") > 0.2 and swing("L2") > 0.2,
+            "uncore_levels_flat": swing("L3") < 0.10 and swing("RAM") < 0.10,
+        },
+    )

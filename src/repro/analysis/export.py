@@ -1,0 +1,76 @@
+"""Exhibit data export.
+
+Writes an :class:`~repro.analysis.experiments.ExperimentResult`'s series
+and tables as plot-ready CSV files (one per series family / table), so
+users can regenerate the paper's figures in their plotting tool of
+choice::
+
+    microlauncher --exhibit fig11 --save-data out/fig11/
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.series import Series, Table
+
+
+def export_series(series: list[Series], path: Path, *, x_label: str = "x") -> Path:
+    """Write a series family as one wide CSV (x column + one per series)."""
+    xs = sorted({x for s in series for x in s.x})
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([x_label] + [s.label for s in series])
+        for x in xs:
+            row: list[object] = [x]
+            for s in series:
+                try:
+                    row.append(s.at(x))
+                except KeyError:
+                    row.append("")
+            writer.writerow(row)
+    return path
+
+
+def export_table(table: Table, path: Path) -> Path:
+    """Write one table as CSV."""
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(table.header)
+        for row in table.rows:
+            writer.writerow(row)
+    return path
+
+
+def export_result(result: ExperimentResult, directory: str | Path) -> list[Path]:
+    """Write everything an exhibit produced into ``directory``.
+
+    Returns the written paths: ``<exhibit>_series.csv`` when the exhibit
+    has plot lines, ``<exhibit>_table<N>.csv`` per table, and
+    ``<exhibit>_notes.csv`` with the scalar findings.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    if result.series:
+        written.append(
+            export_series(
+                result.series,
+                directory / f"{result.exhibit}_series.csv",
+                x_label=result.x_label,
+            )
+        )
+    for i, table in enumerate(result.tables):
+        written.append(
+            export_table(table, directory / f"{result.exhibit}_table{i}.csv")
+        )
+    notes_path = directory / f"{result.exhibit}_notes.csv"
+    with notes_path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["note", "value"])
+        for key, value in result.notes.items():
+            writer.writerow([key, value])
+    written.append(notes_path)
+    return written

@@ -1,0 +1,93 @@
+"""Full reproduction report generation.
+
+``build_report`` runs every registered experiment and renders one
+markdown document — the artifact behind EXPERIMENTS.md and the
+``microlauncher --report`` CLI mode.  Ablations and extensions are
+grouped separately from the paper exhibits so the report reads like the
+paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.experiments import (
+    ExperimentResult,
+    available_experiments,
+    run_experiment,
+)
+
+#: Render order: paper exhibits, then reproduction ablations, extensions.
+_SECTIONS = (
+    ("Paper exhibits", lambda n: n.startswith(("fig", "table")) or n == "generation_scale" or n == "stability"),
+    ("Design-choice ablations", lambda n: n.startswith("ablation_")),
+    ("Extensions (paper future work)", lambda n: n.startswith("ext_")),
+)
+
+
+def build_report(
+    *,
+    quick: bool = False,
+    exhibits: list[str] | None = None,
+) -> str:
+    """Run experiments and render a markdown report.
+
+    Parameters
+    ----------
+    quick:
+        Use the reduced sweeps (for smoke runs).
+    exhibits:
+        Explicit exhibit list; defaults to everything registered.
+    """
+    names = exhibits if exhibits is not None else available_experiments()
+    results: dict[str, ExperimentResult] = {}
+    for name in names:
+        results[name] = run_experiment(name, quick=quick)
+
+    lines = [
+        "# MicroTools reproduction report",
+        "",
+        f"{len(results)} exhibits regenerated"
+        + (" (quick sweeps)" if quick else " (full sweeps)")
+        + ".",
+        "",
+    ]
+    shape_failures: list[str] = []
+    for section, predicate in _SECTIONS:
+        selected = [n for n in names if predicate(n) and n in results]
+        if not selected:
+            continue
+        lines.append(f"## {section}")
+        lines.append("")
+        for name in selected:
+            result = results[name]
+            lines.append("```")
+            lines.append(result.render())
+            lines.append("```")
+            lines.append("")
+            failed = [
+                k for k, v in result.notes.items()
+                if isinstance(v, bool) and not v
+            ]
+            if failed:
+                shape_failures.append(f"{name}: {failed}")
+    lines.append("## Verdict")
+    lines.append("")
+    if shape_failures:
+        lines.append("Shape claims FAILED:")
+        for failure in shape_failures:
+            lines.append(f"- {failure}")
+    else:
+        lines.append(
+            f"All {len(results)} exhibits reproduce their shape claims."
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(path: str | Path, **kwargs) -> Path:
+    """Build the report and write it to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(build_report(**kwargs))
+    return path

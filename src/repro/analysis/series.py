@@ -1,0 +1,108 @@
+"""Labelled data series and ASCII table rendering.
+
+The paper's exhibits are either line plots (a family of series over an X
+axis) or tables; these two classes carry both forms from the experiment
+implementations to the benchmark harness, which prints them as the rows
+the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Series:
+    """One plot line: (x, y) pairs with a label."""
+
+    label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.x)} x values vs "
+                f"{len(self.y)} y values"
+            )
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    @property
+    def y_min(self) -> float:
+        return min(self.y)
+
+    @property
+    def y_max(self) -> float:
+        return max(self.y)
+
+    def at(self, x: float) -> float:
+        """Y value at an exact X (experiments use discrete X grids)."""
+        try:
+            return self.y[self.x.index(x)]
+        except ValueError:
+            raise KeyError(f"series {self.label!r} has no point at x={x}") from None
+
+    def ratio(self, first: float | None = None, last: float | None = None) -> float:
+        """y(first) / y(last) — e.g. the unroll-1 to unroll-8 gain."""
+        x0 = self.x[0] if first is None else first
+        x1 = self.x[-1] if last is None else last
+        return self.at(x0) / self.at(x1)
+
+
+@dataclass(slots=True)
+class Table:
+    """A printable table: header plus rows of cells."""
+
+    header: tuple[str, ...]
+    rows: list[tuple[object, ...]] = field(default_factory=list)
+    title: str = ""
+
+    def add(self, *cells: object) -> None:
+        if len(cells) != len(self.header):
+            raise ValueError(
+                f"row has {len(cells)} cells, header has {len(self.header)}"
+            )
+        self.rows.append(cells)
+
+    def column(self, name: str) -> list[object]:
+        idx = self.header.index(name)
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        """Fixed-width ASCII rendering."""
+        def fmt(cell: object) -> str:
+            if isinstance(cell, float):
+                return f"{cell:.3f}"
+            return str(cell)
+
+        cells = [tuple(fmt(c) for c in row) for row in self.rows]
+        widths = [
+            max(len(self.header[i]), *(len(r[i]) for r in cells)) if cells else len(self.header[i])
+            for i in range(len(self.header))
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def render_series(series: Sequence[Series], *, x_label: str = "x") -> str:
+    """Render a family of series as one table, X down the side."""
+    xs = sorted({x for s in series for x in s.x})
+    table = Table(header=(x_label, *(s.label for s in series)))
+    for x in xs:
+        row: list[object] = [x]
+        for s in series:
+            try:
+                row.append(s.at(x))
+            except KeyError:
+                row.append("")
+        table.add(*row)
+    return table.render()

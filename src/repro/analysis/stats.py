@@ -1,0 +1,71 @@
+"""Shape statistics for experiment assertions.
+
+The reproduction's acceptance criterion is *shape*, not absolute numbers
+(DESIGN.md): who wins, by roughly what factor, where knees and crossovers
+fall.  These helpers turn those statements into assertable quantities.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def relative_change(first: float, last: float) -> float:
+    """(first - last) / first — positive when ``last`` improved on
+    ``first`` for a lower-is-better metric."""
+    if first == 0:
+        raise ValueError("relative change undefined for a zero baseline")
+    return (first - last) / first
+
+
+def relative_spread(values: Sequence[float]) -> float:
+    """(max - min) / min — the paper's alignment/stability spreads."""
+    lo = min(values)
+    if lo == 0:
+        raise ValueError("relative spread undefined for a zero minimum")
+    return (max(values) - lo) / lo
+
+
+def is_monotone_decreasing(values: Sequence[float], *, tolerance: float = 0.0) -> bool:
+    """Non-increasing within ``tolerance`` (fractional, per step)."""
+    return all(
+        b <= a * (1.0 + tolerance) for a, b in zip(values, values[1:])
+    )
+
+
+def is_monotone_increasing(values: Sequence[float], *, tolerance: float = 0.0) -> bool:
+    return all(
+        b >= a * (1.0 - tolerance) for a, b in zip(values, values[1:])
+    )
+
+
+def find_knee(
+    x: Sequence[float], y: Sequence[float], *, threshold: float = 0.10
+) -> float | None:
+    """First X beyond which Y starts growing by more than ``threshold``
+    per step — the Fig. 14 "breaking point".
+
+    Returns the last X of the flat region (the knee itself), or ``None``
+    when the curve never takes off.
+    """
+    if len(x) != len(y) or len(x) < 2:
+        raise ValueError("need two same-length sequences with >= 2 points")
+    for i in range(1, len(y)):
+        if y[i - 1] > 0 and (y[i] - y[i - 1]) / y[i - 1] > threshold:
+            return x[i - 1]
+    return None
+
+
+def crossover(
+    x: Sequence[float], y_a: Sequence[float], y_b: Sequence[float]
+) -> float | None:
+    """First X where series A stops being the smaller of the two."""
+    if not (len(x) == len(y_a) == len(y_b)):
+        raise ValueError("sequences must share a length")
+    was_a_smaller = None
+    for xi, a, b in zip(x, y_a, y_b):
+        a_smaller = a < b
+        if was_a_smaller is not None and a_smaller != was_a_smaller:
+            return xi
+        was_a_smaller = a_smaller
+    return None

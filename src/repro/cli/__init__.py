@@ -1,0 +1,8 @@
+"""Command-line front-ends: ``microcreator`` and ``microlauncher``.
+
+The two binaries the paper ships, as console scripts::
+
+    microcreator kernel.xml -o out/ --language asm
+    microlauncher out/kernel_v0000.s --machine nehalem-2s --array-bytes 65536
+    microlauncher --exhibit fig11        # regenerate a paper figure
+"""

@@ -1,0 +1,227 @@
+"""The ``microlauncher`` command-line tool.
+
+Measures a kernel on a simulated machine::
+
+    microlauncher kernel.s --machine nehalem-2s --array-bytes 65536
+    microlauncher kernel.s --fork 8
+    microlauncher kernel.s --openmp 4 --trip 6000000
+    microlauncher kernel.s --alignment-sweep --csv sweep.csv
+    microlauncher --exhibit fig14            # regenerate a paper exhibit
+    microlauncher --list-exhibits
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis import available_experiments, run_experiment
+from repro.launcher import LauncherOptions, MicroLauncher
+from repro.machine import PRESETS, preset
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="microlauncher",
+        description="Execute a microbenchmark kernel in a stable, simulated "
+        "environment and report cycles per iteration.",
+    )
+    parser.add_argument("kernel", nargs="?", help="assembly (.s) kernel file")
+    parser.add_argument(
+        "--machine",
+        choices=sorted(PRESETS),
+        default="nehalem-2s",
+        help="machine preset (default: nehalem-2s)",
+    )
+    parser.add_argument(
+        "--machine-file",
+        metavar="JSON",
+        default=None,
+        help="custom machine description (overrides --machine)",
+    )
+    parser.add_argument("--function", default=None, help="kernel function name")
+    parser.add_argument(
+        "--nbvectors", type=int, default=None, help="number of arrays the kernel needs"
+    )
+    parser.add_argument(
+        "--array-bytes", type=int, default=16 * 1024, help="bytes per array"
+    )
+    parser.add_argument("--trip", type=int, default=4096, help="trip count n")
+    parser.add_argument("--repetitions", type=int, default=32, help="inner-loop calls")
+    parser.add_argument("--experiments", type=int, default=8, help="outer-loop runs")
+    parser.add_argument("--core", type=int, default=0, help="core to pin to")
+    parser.add_argument("--no-pin", action="store_true", help="disable core pinning")
+    parser.add_argument(
+        "--no-warmup", action="store_true", help="skip the cache-heating call"
+    )
+    parser.add_argument(
+        "--no-overhead-subtraction",
+        action="store_true",
+        help="keep the call overhead in the measurement",
+    )
+    parser.add_argument(
+        "--frequency", type=float, default=None, help="core frequency in GHz (DVFS)"
+    )
+    parser.add_argument(
+        "--fork", type=int, default=None, metavar="N", help="fork N pinned processes"
+    )
+    parser.add_argument(
+        "--openmp", type=int, default=None, metavar="T", help="run with T OpenMP threads"
+    )
+    parser.add_argument(
+        "--alignment-sweep", action="store_true", help="sweep array alignments"
+    )
+    parser.add_argument(
+        "--energy",
+        action="store_true",
+        help="also report the energy model's per-iteration estimate",
+    )
+    parser.add_argument("--csv", default=None, help="append results to this CSV file")
+    parser.add_argument(
+        "--csv-full", action="store_true", help="one CSV row per experiment"
+    )
+    parser.add_argument(
+        "--exhibit",
+        default=None,
+        help="regenerate a paper exhibit (fig03..fig18, table1, table2, ...)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller sweeps for --exhibit"
+    )
+    parser.add_argument(
+        "--save-data",
+        metavar="DIR",
+        default=None,
+        help="with --exhibit: also write the series/tables as CSV files",
+    )
+    parser.add_argument(
+        "--list-exhibits", action="store_true", help="list available exhibits"
+    )
+    parser.add_argument(
+        "--report",
+        metavar="OUT.md",
+        default=None,
+        help="regenerate every exhibit and write a markdown report",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_exhibits:
+        for name in available_experiments():
+            print(name)
+        return 0
+
+    if args.report is not None:
+        from repro.analysis.report import write_report
+
+        path = write_report(args.report, quick=args.quick)
+        print(f"wrote reproduction report to {path}")
+        return 0
+
+    if args.exhibit is not None:
+        try:
+            result = run_experiment(args.exhibit, quick=args.quick)
+        except KeyError as exc:
+            print(f"microlauncher: {exc}", file=sys.stderr)
+            return 2
+        print(result.render())
+        if args.save_data is not None:
+            from repro.analysis.export import export_result
+
+            written = export_result(result, args.save_data)
+            for path in written:
+                print(f"wrote {path}")
+        return 0
+
+    if args.kernel is None:
+        print("microlauncher: provide a kernel file or --exhibit", file=sys.stderr)
+        return 2
+    path = Path(args.kernel)
+    if not path.exists():
+        print(f"microlauncher: no such kernel {path}", file=sys.stderr)
+        return 2
+
+    if args.machine_file is not None:
+        from repro.machine.serialize import MachineFileError, load_machine
+
+        try:
+            machine = load_machine(args.machine_file)
+        except MachineFileError as exc:
+            print(f"microlauncher: {exc}", file=sys.stderr)
+            return 2
+    else:
+        machine = preset(args.machine)
+    launcher = MicroLauncher(machine)
+    options = LauncherOptions(
+        function_name=args.function,
+        nbvectors=args.nbvectors,
+        array_bytes=args.array_bytes,
+        trip_count=args.trip,
+        repetitions=args.repetitions,
+        experiments=args.experiments,
+        core=args.core,
+        pin=not args.no_pin,
+        warmup=not args.no_warmup,
+        subtract_overhead=not args.no_overhead_subtraction,
+        frequency_ghz=args.frequency,
+        n_cores=args.fork or 1,
+        omp_threads=args.openmp or 1,
+        csv_path=args.csv,
+        csv_full=args.csv_full,
+    )
+
+    if args.alignment_sweep:
+        series = launcher.run_alignment_sweep(path, options)
+        best, worst = series.best(), series.worst()
+        print(f"{len(series)} alignment configurations")
+        print(f"best : {best.cycles_per_iteration:.3f} cycles/iter "
+              f"alignments={best.alignments}")
+        print(f"worst: {worst.cycles_per_iteration:.3f} cycles/iter "
+              f"alignments={worst.alignments}")
+        return 0
+
+    if args.fork:
+        result = launcher.run_forked(path, options)
+        print(f"forked {result.n_cores} processes on cores {result.pinned_cores}")
+        print(f"mean cycles/iteration: {result.mean_cycles_per_iteration:.3f}")
+        print(f"max  cycles/iteration: {result.max_cycles_per_iteration:.3f}")
+        return 0
+
+    if args.openmp:
+        result = launcher.run_openmp(path, options)
+        m = result.measurement
+        print(f"openmp threads: {result.threads}")
+        print(f"cycles/iteration: {m.cycles_per_iteration:.3f} "
+              f"[{m.min_cycles_per_iteration:.3f}, {m.max_cycles_per_iteration:.3f}]")
+        return 0
+
+    m = launcher.run(path, options)
+    print(f"kernel: {m.kernel_name} on {machine.name}")
+    print(f"cycles/iteration: {m.cycles_per_iteration:.3f} "
+          f"[{m.min_cycles_per_iteration:.3f}, {m.max_cycles_per_iteration:.3f}]")
+    print(f"cycles/memory-instruction: {m.cycles_per_memory_instruction:.3f}")
+    print(f"bottleneck: {m.bottleneck}")
+    if args.energy:
+        from repro.launcher.arrays import ArrayAllocator
+        from repro.launcher.kernel_input import as_sim_kernel
+        from repro.machine.power import estimate_iteration_energy
+
+        sim = as_sim_kernel(path, trip_count=options.trip_count)
+        bindings = ArrayAllocator(sim, options).bindings()
+        energy = estimate_iteration_energy(
+            sim.analysis, bindings, machine, freq_ghz=options.frequency_ghz
+        )
+        print(
+            f"energy/iteration: {energy.total_nj:.2f} nJ "
+            f"(dynamic {energy.dynamic_nj:.2f}, memory {energy.memory_nj:.2f}, "
+            f"static {energy.static_nj:.2f}); avg power {energy.average_power_w:.2f} W"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+"""Miniature C loop-nest front-end.
+
+The paper's motivation study (section 2) compares GCC-compiled C (the
+naive matrix multiply of Fig. 1, whose ``-O3`` inner loop is Fig. 2)
+against MicroCreator-generated kernels.  We cannot run GCC output, so this
+package closes the loop inside the simulation: a small loop-nest AST
+(:mod:`repro.compiler.ast`) and a naive lowering pass
+(:mod:`repro.compiler.lower`) that translate C-like inner loops into the
+same ISA the machine model executes — including a compiler-hint unroll
+knob, so "rewrite with compiler-assisted unrolling" is expressible.
+
+The front-end is deliberately naive (no tiling, no vectorization beyond
+what the source states): its job is to reproduce what ``gcc -O3`` emits
+for these simple loops, not to be a good compiler.
+"""
+
+from repro.compiler.ast import (
+    Add,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    Accumulate,
+    Const,
+    Expr,
+    InnerLoop,
+    LoweringError,
+    Mul,
+    ScalarVar,
+    Stmt,
+)
+from repro.compiler.lower import CompiledKernel, lower_loop
+from repro.compiler.cparse import CParseError, ParsedKernel, compile_c, parse_c
+from repro.compiler.fparse import (
+    FortranParseError,
+    ParsedFortranKernel,
+    compile_fortran,
+    parse_fortran,
+)
+
+__all__ = [
+    "Add",
+    "ArrayDecl",
+    "ArrayRef",
+    "Assign",
+    "Accumulate",
+    "Const",
+    "Expr",
+    "InnerLoop",
+    "LoweringError",
+    "Mul",
+    "ScalarVar",
+    "Stmt",
+    "CompiledKernel",
+    "lower_loop",
+    "CParseError",
+    "ParsedKernel",
+    "compile_c",
+    "parse_c",
+    "FortranParseError",
+    "ParsedFortranKernel",
+    "compile_fortran",
+    "parse_fortran",
+]

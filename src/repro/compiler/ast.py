@@ -1,0 +1,164 @@
+"""Loop-nest AST for the mini C front-end.
+
+Just enough C to express the paper's kernels: an innermost counted loop
+whose body reads/writes arrays at affine addresses (base + loop-index *
+stride) and accumulates into scalars.  The naive matmul inner loop of
+Fig. 1 is::
+
+    for (k = 0; k < n; k++)
+        res += second[k] * third[j];          // third walks by n doubles
+
+which in this AST is::
+
+    second = ArrayDecl("second", element_size=8)
+    third = ArrayDecl("third", element_size=8)
+    loop = InnerLoop(
+        trip_var="k",
+        body=[
+            Accumulate(
+                ScalarVar("res"),
+                Mul(ArrayRef(second, stride_elements=1),
+                    ArrayRef(third, stride_elements="n")),
+            )
+        ],
+    )
+
+Strides are in *elements* of the declared array; the symbolic stride
+``"n"`` is resolved at lowering time (the column walk of the matmul).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+class LoweringError(ValueError):
+    """The mini front-end cannot express or lower this construct."""
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayDecl:
+    """An array parameter of the kernel (a pointer argument)."""
+
+    name: str
+    element_size: int = 8  # double by default, matching Fig. 1
+
+    def __post_init__(self) -> None:
+        if self.element_size not in (4, 8):
+            raise LoweringError(
+                f"array {self.name!r}: only float (4) and double (8) elements "
+                f"are supported, got {self.element_size}"
+            )
+
+
+class Expr:
+    """Base class for expressions (marker)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Expr):
+    value: float
+
+
+@dataclass(frozen=True, slots=True)
+class ScalarVar(Expr):
+    """A scalar kept in a register across the loop (e.g. the accumulator)."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayRef(Expr):
+    """``array[k * stride + offset]`` with ``k`` the innermost index.
+
+    ``stride_elements`` may be the literal string ``"n"`` for a stride
+    equal to the (runtime) problem size — the matmul column walk.
+    """
+
+    array: ArrayDecl
+    stride_elements: Union[int, str] = 1
+    offset_elements: int = 0
+
+    def resolved_stride(self, n: int) -> int:
+        if isinstance(self.stride_elements, str):
+            if self.stride_elements != "n":
+                raise LoweringError(
+                    f"unknown symbolic stride {self.stride_elements!r}"
+                )
+            return n
+        return self.stride_elements
+
+
+@dataclass(frozen=True, slots=True)
+class Mul(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Add(Expr):
+    left: Expr
+    right: Expr
+
+
+class Stmt:
+    """Base class for statements (marker)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Assign(Stmt):
+    """``target = expr`` where target is an array element or scalar."""
+
+    target: Union[ArrayRef, ScalarVar]
+    expr: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Accumulate(Stmt):
+    """``target += expr`` — the matmul reduction."""
+
+    target: Union[ArrayRef, ScalarVar]
+    expr: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class InnerLoop:
+    """An innermost counted loop ``for (k = 0; k < trip; k++) body``.
+
+    ``store_target_each_iteration`` mirrors what ``gcc -O3`` does to
+    Fig. 1: because ``res`` is accessed through a pointer, the compiler
+    cannot keep it in a register and stores it back every iteration
+    (Fig. 2's ``movsd %xmm1, (%r10,%r9)``).  Setting it to ``False``
+    models the scalarized variant a human (or a better compiler) writes.
+    """
+
+    trip_var: str
+    body: tuple[Stmt, ...] = ()
+    store_target_each_iteration: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise LoweringError("empty loop body")
+
+    def arrays(self) -> list[ArrayDecl]:
+        """Distinct arrays referenced, in first-appearance order."""
+        seen: dict[str, ArrayDecl] = {}
+
+        def visit_expr(e: Expr) -> None:
+            if isinstance(e, ArrayRef):
+                seen.setdefault(e.array.name, e.array)
+            elif isinstance(e, (Mul, Add)):
+                visit_expr(e.left)
+                visit_expr(e.right)
+
+        for stmt in self.body:
+            if isinstance(stmt, (Assign, Accumulate)):
+                if isinstance(stmt.target, ArrayRef):
+                    seen.setdefault(stmt.target.array.name, stmt.target.array)
+                visit_expr(stmt.expr)
+        return list(seen.values())

@@ -1,0 +1,303 @@
+"""A restricted Fortran parser for kernel source (paper section 4.1).
+
+The launcher "accepts any assembly, source code (C **or Fortran**)" —
+this module handles the Fortran side, covering the fixed-stride DO-loop
+kernels the paper's studies use::
+
+    subroutine saxpy(n, y, x)
+      integer n, i
+      real y(n), x(n)
+      do i = 1, n
+        y(i) = y(i) + x(i) * 2.0
+      end do
+    end subroutine
+
+Parsed into the same :class:`~repro.compiler.ast.InnerLoop` AST as the C
+front-end, so both languages share one lowering.  Supported subset:
+
+- ``subroutine name(args)`` ... ``end subroutine`` (case-insensitive),
+- declarations ``integer ...``, ``real arr(n)``, ``real*8`` /
+  ``double precision`` arrays (8-byte elements),
+- one ``do var = 1, n`` ... ``end do`` loop (unit step),
+- assignments ``lhs = expr`` over ``+`` and ``*`` with array references
+  ``arr(index)``, scalars, and literals,
+- indices ``i``, ``i+c``, ``i-c``, ``i*c``, ``i*n``, ``n*i``, ``c``
+  (1-based, converted to 0-based offsets),
+- ``! ...`` comments and ``!$omp parallel do`` directives.
+
+Accumulations are recognized structurally: ``s = s + expr`` with a
+scalar or stationary target becomes :class:`Accumulate`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.compiler.ast import (
+    Accumulate,
+    Add,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    Const,
+    Expr,
+    InnerLoop,
+    Mul,
+    ScalarVar,
+    Stmt,
+)
+from repro.compiler.lower import CompiledKernel, lower_loop
+
+
+class FortranParseError(ValueError):
+    """The source is outside the supported Fortran subset."""
+
+
+@dataclass(slots=True)
+class ParsedFortranKernel:
+    """A parsed Fortran kernel."""
+
+    name: str
+    loop: InnerLoop
+    arrays: dict[str, ArrayDecl]
+    trip_symbol: str
+    loop_var: str
+    openmp: bool = False
+    metadata: dict[str, object] = field(default_factory=dict)
+
+
+_TYPE_SIZES = {
+    "real": 4,
+    "real*4": 4,
+    "real*8": 8,
+    "doubleprecision": 8,
+}
+
+
+def _strip_comment(line: str) -> str:
+    # A '!' starts a comment unless it begins an OpenMP sentinel, which
+    # the caller inspects before stripping.
+    index = line.find("!")
+    return line if index < 0 else line[:index]
+
+
+def parse_fortran(source: str) -> ParsedFortranKernel:
+    """Parse one Fortran subroutine into its loop AST."""
+    lines = [ln.strip() for ln in source.lower().splitlines()]
+    lines = [ln for ln in lines if ln]
+
+    name = ""
+    params: list[str] = []
+    arrays: dict[str, ArrayDecl] = {}
+    integers: set[str] = set()
+    trip_symbol = "n"
+    openmp = False
+    loop_var = ""
+    body_lines: list[str] = []
+    state = "header"
+
+    for raw in lines:
+        if raw.startswith("!$omp"):
+            if "parallel do" in raw:
+                openmp = True
+                continue
+            raise FortranParseError(f"unsupported directive {raw!r}")
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+
+        if state == "header":
+            match = re.fullmatch(r"subroutine\s+(\w+)\s*\(([^)]*)\)", line)
+            if not match:
+                raise FortranParseError(f"expected 'subroutine name(...)', got {line!r}")
+            name = match.group(1)
+            params = [p.strip() for p in match.group(2).split(",") if p.strip()]
+            state = "decls"
+            continue
+
+        if state == "decls":
+            decl = re.fullmatch(r"(real\*?\d*|double\s+precision|integer)\s+(.*)", line)
+            if decl:
+                ftype = decl.group(1).replace(" ", "")
+                entities = [e.strip() for e in re.split(r",(?![^()]*\))", decl.group(2))]
+                for entity in entities:
+                    array = re.fullmatch(r"(\w+)\s*\(\s*(\w+)\s*\)", entity)
+                    if ftype == "integer":
+                        integers.add(entity)
+                    elif array:
+                        size = _TYPE_SIZES.get(ftype)
+                        if size is None:
+                            raise FortranParseError(f"unsupported type {ftype!r}")
+                        arrays[array.group(1)] = ArrayDecl(array.group(1), size)
+                    else:
+                        # scalar real: a register-resident temporary
+                        pass
+                continue
+            state = "loop"
+            # fall through to loop handling
+
+        if state == "loop":
+            do = re.fullmatch(r"do\s+(\w+)\s*=\s*1\s*,\s*(\w+)", line)
+            if not do:
+                raise FortranParseError(f"expected 'do var = 1, n', got {line!r}")
+            loop_var = do.group(1)
+            trip_symbol = do.group(2)
+            if trip_symbol not in params and trip_symbol not in integers:
+                raise FortranParseError(
+                    f"loop bound {trip_symbol!r} is not a parameter"
+                )
+            state = "body"
+            continue
+
+        if state == "body":
+            if line in ("end do", "enddo"):
+                state = "epilogue"
+                continue
+            body_lines.append(line)
+            continue
+
+        if state == "epilogue":
+            if line in ("end subroutine", "end", f"end subroutine {name}"):
+                state = "done"
+                continue
+            raise FortranParseError(f"unexpected line after loop: {line!r}")
+
+    if state != "done":
+        raise FortranParseError(f"incomplete subroutine (stopped in {state!r})")
+    if not body_lines:
+        raise FortranParseError("empty loop body")
+
+    statements = tuple(
+        _parse_statement(line, arrays, loop_var, trip_symbol) for line in body_lines
+    )
+    loop = InnerLoop(
+        trip_var=loop_var, body=statements, store_target_each_iteration=True
+    )
+    return ParsedFortranKernel(
+        name=name,
+        loop=loop,
+        arrays=arrays,
+        trip_symbol=trip_symbol,
+        loop_var=loop_var,
+        openmp=openmp,
+    )
+
+
+def _parse_statement(line: str, arrays, loop_var, trip_symbol) -> Stmt:
+    if "=" not in line:
+        raise FortranParseError(f"expected an assignment, got {line!r}")
+    lhs_text, rhs_text = line.split("=", 1)
+    target = _parse_operand(lhs_text.strip(), arrays, loop_var, trip_symbol)
+    if isinstance(target, (Const,)):
+        raise FortranParseError(f"cannot assign to {lhs_text.strip()!r}")
+    expr = _parse_expr(rhs_text.strip(), arrays, loop_var, trip_symbol)
+    # Recognize `s = s + ...` as an accumulation when the target is a
+    # scalar (register accumulator).  Addition parses left-associative,
+    # so for `s = s + a + b` the target sits at the bottom of the left
+    # spine; peel it off and rebuild the remainder.
+    if isinstance(target, ScalarVar):
+        spine: list[Expr] = []
+        node: Expr = expr
+        while isinstance(node, Add):
+            spine.append(node.right)
+            node = node.left
+        if node == target and spine:
+            rest = spine[-1]
+            for term in reversed(spine[:-1]):
+                rest = Add(rest, term)
+            return Accumulate(target, rest)
+    return Assign(target, expr)
+
+
+def _split_top(text: str, op: str) -> list[str]:
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == op and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return [p.strip() for p in parts]
+
+
+def _parse_expr(text: str, arrays, loop_var, trip_symbol) -> Expr:
+    terms = _split_top(text, "+")
+    expr: Expr | None = None
+    for term in terms:
+        factors = _split_top(term, "*")
+        term_expr: Expr | None = None
+        for factor in factors:
+            operand = _parse_operand(factor, arrays, loop_var, trip_symbol)
+            term_expr = operand if term_expr is None else Mul(term_expr, operand)
+        if term_expr is None:
+            raise FortranParseError(f"empty term in {text!r}")
+        expr = term_expr if expr is None else Add(expr, term_expr)
+    if expr is None:
+        raise FortranParseError(f"empty expression {text!r}")
+    return expr
+
+
+def _parse_operand(text: str, arrays, loop_var, trip_symbol) -> Expr:
+    text = text.strip()
+    if text.startswith("(") and text.endswith(")"):
+        return _parse_expr(text[1:-1], arrays, loop_var, trip_symbol)
+    if re.fullmatch(r"\d+\.?\d*(?:[ed]0?)?", text):
+        return Const(float(text.rstrip("ed0") or text))
+    ref = re.fullmatch(r"(\w+)\s*\(([^)]*)\)", text)
+    if ref:
+        array_name = ref.group(1)
+        if array_name not in arrays:
+            raise FortranParseError(f"{array_name!r} is not a declared array")
+        stride, offset = _parse_index(ref.group(2).strip(), loop_var, trip_symbol)
+        return ArrayRef(
+            arrays[array_name], stride_elements=stride, offset_elements=offset
+        )
+    if re.fullmatch(r"\w+", text):
+        return ScalarVar(text)
+    raise FortranParseError(f"cannot parse operand {text!r}")
+
+
+def _parse_index(text: str, loop_var, trip_symbol) -> tuple[Union[int, str], int]:
+    """Affine Fortran index -> (stride, 0-based offset)."""
+    text = text.replace(" ", "")
+    if text == loop_var:
+        return 1, -1  # 1-based
+    match = re.fullmatch(rf"{loop_var}([+-])(\d+)", text)
+    if match:
+        delta = int(match.group(2)) * (1 if match.group(1) == "+" else -1)
+        return 1, delta - 1
+    match = re.fullmatch(rf"{loop_var}\*(\w+)", text) or re.fullmatch(
+        rf"(\w+)\*{loop_var}", text
+    )
+    if match:
+        factor = match.group(1)
+        if factor == trip_symbol:
+            return "n", 0  # offset -stride elided: dominant-term model
+        if factor.isdigit():
+            return int(factor), 0
+        raise FortranParseError(f"unsupported index factor {factor!r}")
+    if text.isdigit():
+        return 0, int(text) - 1
+    raise FortranParseError(f"unsupported index {text!r}")
+
+
+def compile_fortran(
+    source: str, *, n: int, unroll: int = 1, name: str | None = None
+) -> CompiledKernel:
+    """Parse and lower a Fortran kernel at problem size ``n``."""
+    parsed = parse_fortran(source)
+    kernel = lower_loop(
+        parsed.loop, n=n, unroll=unroll, name=name or f"{parsed.name}_n{n}_u{unroll}"
+    )
+    kernel.metadata["openmp"] = parsed.openmp
+    kernel.program.metadata["openmp"] = parsed.openmp
+    return kernel

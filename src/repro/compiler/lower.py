@@ -1,0 +1,309 @@
+"""Naive lowering from the loop-nest AST to the simulated ISA.
+
+Reproduces the shape of ``gcc -O3 -fno-unroll-loops`` on simple scalar
+loops: one load per array read (with memory-operand fusion into the
+arithmetic where x86 allows it), scalar SSE arithmetic (``mulsd`` /
+``addsd``), a store per iteration for pointer-carried accumulators, one
+pointer induction per array stream, and a counted loop closed by
+``sub``/``jge``.  A compiler-hint unroll factor replicates the body with
+bumped offsets and rotated temporaries — the "compiler assisted hints to
+correctly unroll the code" of section 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.ast import (
+    Accumulate,
+    Add,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    Const,
+    Expr,
+    InnerLoop,
+    LoweringError,
+    Mul,
+    ScalarVar,
+)
+from repro.isa.instructions import AsmProgram, Comment, Instruction, LabelDef
+from repro.isa.operands import (
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    RegisterOperand,
+)
+from repro.isa.registers import PhysReg
+
+_POINTER_POOL = ("%rsi", "%rdx", "%rcx", "%r8", "%r9", "%r10", "%r11")
+_COUNTER = "%rdi"
+_LOOP_LABEL = ".L3"
+
+#: Temporary XMM registers rotate through the low half; persistent
+#: accumulators live in the high half so unrolling never clobbers them.
+_TEMP_XMM = tuple(f"%xmm{i}" for i in range(8))
+_PERSIST_XMM = tuple(f"%xmm{i}" for i in range(8, 16))
+
+
+@dataclass(slots=True)
+class _Stream:
+    """One pointer walk: a distinct (array, stride) combination."""
+
+    register: str
+    array: ArrayDecl
+    stride_bytes: int  # per source iteration
+
+
+@dataclass(slots=True)
+class CompiledKernel:
+    """The mini front-end's output: launchable like any generated kernel."""
+
+    name: str
+    program: AsmProgram
+    loop: InnerLoop
+    n: int
+    unroll: int
+    streams: dict[str, _Stream] = field(default_factory=dict)
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def asm_text(self, *, full_file: bool = False) -> str:
+        from repro.isa.writer import write_program
+
+        return write_program(self.program, full_file=full_file)
+
+    def stream_for_array(self, array_name: str) -> list[str]:
+        """Pointer registers walking ``array_name`` (one per stride)."""
+        return [r for r, s in self.streams.items() if s.array.name == array_name]
+
+
+class _Lowering:
+    def __init__(self, loop: InnerLoop, n: int, unroll: int) -> None:
+        if unroll < 1:
+            raise LoweringError(f"unroll factor must be >= 1, got {unroll}")
+        self.loop = loop
+        self.n = n
+        self.unroll = unroll
+        self.streams: dict[tuple[str, int], _Stream] = {}
+        self.persistent: dict[str, str] = {}  # scalar/accumulator name -> xmm
+        self._pointer_pool = list(_POINTER_POOL)
+        self._persist_pool = list(_PERSIST_XMM)
+        self._temp_index = 0
+        self.body: list[Instruction] = []
+
+    # -- resource allocation ---------------------------------------------
+
+    def _stream_for(self, ref: ArrayRef) -> _Stream:
+        stride = ref.resolved_stride(self.n) * ref.array.element_size
+        key = (ref.array.name, stride)
+        if key not in self.streams:
+            if not self._pointer_pool:
+                raise LoweringError("out of pointer registers")
+            self.streams[key] = _Stream(
+                register=self._pointer_pool.pop(0),
+                array=ref.array,
+                stride_bytes=stride,
+            )
+        return self.streams[key]
+
+    def _persistent_reg(self, name: str) -> str:
+        if name not in self.persistent:
+            if not self._persist_pool:
+                raise LoweringError("out of accumulator registers")
+            self.persistent[name] = self._persist_pool.pop(0)
+        return self.persistent[name]
+
+    def _fresh_temp(self, copy: int) -> str:
+        reg = _TEMP_XMM[(self._temp_index + copy) % len(_TEMP_XMM)]
+        self._temp_index += 1
+        return reg
+
+    # -- emission helpers ----------------------------------------------------
+
+    @staticmethod
+    def _mov_for(element_size: int) -> str:
+        return "movss" if element_size == 4 else "movsd"
+
+    @staticmethod
+    def _arith_for(kind: str, element_size: int) -> str:
+        suffix = "ss" if element_size == 4 else "sd"
+        return ("mul" if kind == "mul" else "add") + suffix
+
+    def _mem(self, ref: ArrayRef, copy: int) -> MemoryOperand:
+        stream = self._stream_for(ref)
+        offset = (
+            ref.offset_elements * ref.array.element_size + copy * stream.stride_bytes
+        )
+        return MemoryOperand(base=PhysReg(stream.register), offset=offset)
+
+    def _emit(self, opcode: str, *operands) -> None:
+        self.body.append(Instruction(opcode, tuple(operands)))
+
+    # -- expression lowering ----------------------------------------------
+
+    def _lower_expr(self, expr: Expr, copy: int) -> str:
+        """Lower ``expr`` into a register; returns the register name."""
+        if isinstance(expr, ArrayRef):
+            temp = self._fresh_temp(copy)
+            self._emit(
+                self._mov_for(expr.array.element_size),
+                self._mem(expr, copy),
+                RegisterOperand(PhysReg(temp)),
+            )
+            return temp
+        if isinstance(expr, ScalarVar):
+            return self._persistent_reg(expr.name)
+        if isinstance(expr, Const):
+            # Constants live in a persistent register, materialized outside
+            # the loop (zeroed here, as GCC's xorps does).
+            return self._persistent_reg(f"$const_{expr.value}")
+        if isinstance(expr, (Mul, Add)):
+            kind = "mul" if isinstance(expr, Mul) else "add"
+            dest = self._lower_expr(expr.left, copy)
+            esize = self._element_size_of(expr)
+            # x86 folds a memory operand into the arithmetic op (Fig. 2's
+            # ``mulsd (%r8), %xmm0``).
+            if isinstance(expr.right, ArrayRef):
+                self._emit(
+                    self._arith_for(kind, esize),
+                    self._mem(expr.right, copy),
+                    RegisterOperand(PhysReg(dest)),
+                )
+            else:
+                src = self._lower_expr(expr.right, copy)
+                self._emit(
+                    self._arith_for(kind, esize),
+                    RegisterOperand(PhysReg(src)),
+                    RegisterOperand(PhysReg(dest)),
+                )
+            return dest
+        raise LoweringError(f"cannot lower expression {expr!r}")
+
+    def _element_size_of(self, expr: Expr) -> int:
+        """Element width driving the ss/sd opcode choice.
+
+        Array references carry their declared width; constants and bare
+        scalars adapt to whatever they combine with (a ``2.0f`` literal
+        multiplying a float array stays single precision).
+        """
+        if isinstance(expr, ArrayRef):
+            return expr.array.element_size
+        if isinstance(expr, (Mul, Add)):
+            width = max(
+                self._width_or_zero(expr.left), self._width_or_zero(expr.right)
+            )
+            return width or 8
+        return 8
+
+    def _width_or_zero(self, expr: Expr) -> int:
+        if isinstance(expr, ArrayRef):
+            return expr.array.element_size
+        if isinstance(expr, (Mul, Add)):
+            return max(self._width_or_zero(expr.left), self._width_or_zero(expr.right))
+        return 0
+
+    # -- statement lowering ----------------------------------------------
+
+    def _lower_stmt(self, stmt, copy: int) -> None:
+        if isinstance(stmt, Accumulate):
+            value = self._lower_expr(stmt.expr, copy)
+            if isinstance(stmt.target, ScalarVar):
+                acc = self._persistent_reg(stmt.target.name)
+                esize = self._element_size_of(stmt.expr)
+            elif isinstance(stmt.target, ArrayRef):
+                if stmt.target.resolved_stride(self.n) != 0:
+                    raise LoweringError(
+                        "accumulating into a moving array reference is not a "
+                        "loop-carried reduction; use Assign"
+                    )
+                acc = self._persistent_reg(f"@{stmt.target.array.name}")
+                esize = stmt.target.array.element_size
+            else:
+                raise LoweringError(f"bad accumulate target {stmt.target!r}")
+            self._emit(
+                self._arith_for("add", esize),
+                RegisterOperand(PhysReg(value)),
+                RegisterOperand(PhysReg(acc)),
+            )
+            if isinstance(stmt.target, ArrayRef) and self.loop.store_target_each_iteration:
+                # GCC cannot prove the pointer-carried accumulator dead, so
+                # it stores it back every iteration (Fig. 2).
+                self._emit(
+                    self._mov_for(esize),
+                    RegisterOperand(PhysReg(acc)),
+                    self._mem(stmt.target, 0),
+                )
+            return
+        if isinstance(stmt, Assign):
+            value = self._lower_expr(stmt.expr, copy)
+            if isinstance(stmt.target, ArrayRef):
+                self._emit(
+                    self._mov_for(stmt.target.array.element_size),
+                    RegisterOperand(PhysReg(value)),
+                    self._mem(stmt.target, copy),
+                )
+            elif isinstance(stmt.target, ScalarVar):
+                acc = self._persistent_reg(stmt.target.name)
+                self._emit(
+                    "movsd",
+                    RegisterOperand(PhysReg(value)),
+                    RegisterOperand(PhysReg(acc)),
+                )
+            else:
+                raise LoweringError(f"bad assign target {stmt.target!r}")
+            return
+        raise LoweringError(f"cannot lower statement {stmt!r}")
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self, name: str) -> CompiledKernel:
+        for copy in range(self.unroll):
+            for stmt in self.loop.body:
+                self._lower_stmt(stmt, copy)
+        # Induction updates: one per moving stream, counter last.
+        updates: list[Instruction] = []
+        for stream in self.streams.values():
+            step = stream.stride_bytes * self.unroll
+            if step:
+                updates.append(
+                    Instruction(
+                        "add" if step > 0 else "sub",
+                        (
+                            ImmediateOperand(abs(step)),
+                            RegisterOperand(PhysReg(stream.register)),
+                        ),
+                    )
+                )
+        updates.append(
+            Instruction(
+                "sub",
+                (ImmediateOperand(self.unroll), RegisterOperand(PhysReg(_COUNTER))),
+            )
+        )
+        branch = Instruction("jge", (LabelOperand(_LOOP_LABEL),))
+
+        items = [LabelDef(_LOOP_LABEL), Comment("loop body")]
+        items.extend(self.body)
+        items.append(Comment("induction variables"))
+        items.extend(updates)
+        items.append(branch)
+        program = AsmProgram(name=name, items=items)
+        streams_by_reg = {s.register: s for s in self.streams.values()}
+        program.metadata.update(unroll=self.unroll, n=self.n, compiler="mini-c")
+        return CompiledKernel(
+            name=name,
+            program=program,
+            loop=self.loop,
+            n=self.n,
+            unroll=self.unroll,
+            streams=streams_by_reg,
+            metadata=dict(program.metadata),
+        )
+
+
+def lower_loop(
+    loop: InnerLoop, *, n: int, unroll: int = 1, name: str = "compiled_kernel"
+) -> CompiledKernel:
+    """Lower an innermost loop at problem size ``n`` with a compiler-hint
+    unroll factor."""
+    return _Lowering(loop, n, unroll).run(name)

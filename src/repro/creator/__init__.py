@@ -1,0 +1,54 @@
+"""MicroCreator: the pass-based microbenchmark generator (paper section 3).
+
+From one :class:`~repro.spec.KernelSpec` the generator produces every
+requested kernel variant — instruction choices, strides, immediates,
+operand swaps before/after unrolling, unroll factors, rotated register
+ranges — as ready-to-launch assembly (and optionally C).
+
+The public entry point is :class:`MicroCreator`::
+
+    from repro.creator import MicroCreator
+    from repro.spec import load_kernel
+
+    creator = MicroCreator()
+    kernels = creator.generate(load_kernel("movaps", swap_after_unroll=True))
+    print(len(kernels))        # 510 variants, as in section 5.1
+    print(kernels[0].asm_text())
+
+The pass pipeline is user-extensible through the GCC-style plugin system
+(:mod:`repro.creator.plugins`): a plugin module exposes ``pluginInit(pm)``
+and may add, remove or replace passes and redefine pass gates without
+touching the tool (section 3.3).
+"""
+
+from repro.creator.ir import KernelIR, TemplateInstr
+from repro.creator.pass_manager import (
+    CreatorContext,
+    CreatorOptions,
+    Pass,
+    PassManager,
+    default_pass_pipeline,
+)
+from repro.creator.variant import GeneratedKernel
+from repro.creator.generator import MicroCreator
+from repro.creator.plugins import PluginError, load_plugin, load_plugin_file
+from repro.creator.cgen import c_source_for
+from repro.creator.abstractor import AbstractionError, abstract_program
+
+__all__ = [
+    "KernelIR",
+    "TemplateInstr",
+    "CreatorContext",
+    "CreatorOptions",
+    "Pass",
+    "PassManager",
+    "default_pass_pipeline",
+    "GeneratedKernel",
+    "MicroCreator",
+    "PluginError",
+    "load_plugin",
+    "load_plugin_file",
+    "c_source_for",
+    "AbstractionError",
+    "abstract_program",
+]

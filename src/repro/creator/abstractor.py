@@ -1,0 +1,253 @@
+"""Application-driven kernel abstraction (paper future work).
+
+"On one side, applications drive MicroCreator's generated code to test
+variations around the application's hotspots" (section 7).  This module
+implements that direction: given a concrete hotspot loop (any
+:class:`~repro.isa.AsmProgram`, e.g. compiler output parsed by
+:mod:`repro.isa.parser`), derive the MicroCreator kernel *description*
+that generates variations around it — logical registers instead of
+physical ones, XMM register ranges instead of fixed registers, a
+detected (and re-openable) unroll factor, and the loop's inductions and
+branch.
+
+The abstraction is heuristic and documented as such:
+
+- instructions are grouped into unroll copies by detecting the repeated
+  (opcode, base-register, direction) pattern; offsets must step uniformly,
+- induction updates (``add/sub $imm, reg``) become :class:`InductionSpec`
+  nodes, de-scaled by the detected unroll factor,
+- the flag-setting update feeding the final branch becomes the
+  ``last_induction`` (linked to the first pointer when the byte ratio is
+  integral),
+- XMM destinations collapse into a ``%xmm0..8`` range.
+
+Round-trip property: abstracting a MicroCreator-generated kernel and
+regenerating at the same unroll factor reproduces the original body
+(tested in ``tests/creator/test_abstractor.py``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.isa.instructions import AsmProgram, Instruction
+from repro.isa.operands import ImmediateOperand, RegisterOperand
+from repro.isa.registers import PhysReg
+from repro.isa.semantics import OpcodeKind
+from repro.spec.schema import (
+    BranchInfoSpec,
+    InductionSpec,
+    InstructionSpec,
+    KernelSpec,
+    MemoryRef,
+    RegisterRange,
+    RegisterRef,
+    UnrollSpec,
+)
+
+
+class AbstractionError(ValueError):
+    """The hotspot loop does not fit the abstractor's supported shape."""
+
+
+@dataclass(frozen=True, slots=True)
+class _Pattern:
+    """One memory instruction's shape within a single unroll copy."""
+
+    opcode: str
+    base: str
+    is_store: bool
+
+
+def _canonical(reg) -> str:
+    if isinstance(reg, PhysReg):
+        return reg.canonical64.name
+    return str(reg)
+
+
+def abstract_program(
+    program: AsmProgram,
+    *,
+    unroll: tuple[int, int] = (1, 8),
+    swap_after_unroll: bool = False,
+    name: str | None = None,
+) -> KernelSpec:
+    """Derive a kernel description from a concrete hotspot loop.
+
+    Parameters
+    ----------
+    program:
+        The hotspot (must contain a kernel loop).
+    unroll:
+        The unroll range the *generated* family should sweep — the point
+        of abstraction is to re-open this dimension.
+    swap_after_unroll:
+        Request the load/store swap family around the hotspot.
+    """
+    label, body = program.kernel_loop()
+    branch = body[-1]
+    if not branch.is_branch:
+        raise AbstractionError("loop does not end in a branch")
+
+    mem_instrs: list[Instruction] = []
+    updates: dict[str, int] = {}
+    update_order: list[str] = []
+    for instr in body[:-1]:
+        if instr.memory_operands and instr.info.kind is OpcodeKind.MOVE:
+            mem_instrs.append(instr)
+        elif (
+            instr.info.kind is OpcodeKind.INT_ALU
+            and len(instr.operands) == 2
+            and isinstance(instr.operands[0], ImmediateOperand)
+            and isinstance(instr.operands[1], RegisterOperand)
+            and instr.opcode.rstrip("lq") in ("add", "sub")
+        ):
+            reg = _canonical(instr.operands[1].reg)
+            sign = 1 if instr.opcode.startswith("add") else -1
+            updates[reg] = updates.get(reg, 0) + sign * instr.operands[0].value
+            if reg not in update_order:
+                update_order.append(reg)
+        elif instr.info.kind is OpcodeKind.NOP:
+            continue
+        else:
+            raise AbstractionError(
+                f"unsupported instruction in hotspot: '{instr.opcode}' "
+                "(only memory moves and immediate induction updates are "
+                "abstractable)"
+            )
+    if not mem_instrs:
+        raise AbstractionError("hotspot touches no memory; nothing to abstract")
+
+    # --- detect the unroll factor -----------------------------------------
+    patterns = [
+        _Pattern(i.opcode, _canonical(i.memory_operands[0].base), i.is_store)
+        for i in mem_instrs
+    ]
+    counts = Counter(patterns)
+    detected = min(counts.values())
+    # The body must be `detected` identical copies of the base pattern.
+    if any(c % detected for c in counts.values()) or len(mem_instrs) % detected:
+        detected = 1
+
+    per_copy = len(mem_instrs) // detected
+
+    # --- validate offset progression and collect per-copy offsets ----------
+    copy_offsets: dict[str, int] = {}
+    for base in {p.base for p in patterns}:
+        offsets = sorted(
+            m.offset for i in mem_instrs for m in i.memory_operands
+            if _canonical(m.base) == base
+        )
+        if len(offsets) > 1:
+            deltas = {b - a for a, b in zip(offsets, offsets[1:])}
+            if len(deltas) != 1:
+                raise AbstractionError(
+                    f"non-uniform offsets on {base}: {offsets}"
+                )
+            copy_offsets[base] = deltas.pop()
+        else:
+            step = updates.get(base, 0)
+            copy_offsets[base] = abs(step) // detected if step else 0
+
+    # --- logical renaming ----------------------------------------------------
+    base_to_logical: dict[str, str] = {}
+    flag_reg = _flag_register(body)
+    counter_logical = "r0"
+    next_id = 1
+    for base in sorted({p.base for p in patterns}):
+        base_to_logical[base] = f"r{next_id}"
+        next_id += 1
+
+    instructions: list[InstructionSpec] = []
+    seen: set[_Pattern] = set()
+    for instr, pattern in zip(mem_instrs, patterns):
+        if pattern in seen:
+            continue
+        seen.add(pattern)
+        if len(seen) > per_copy:
+            break
+        mem = instr.memory_operands[0]
+        first_offset = min(
+            m.offset for i, p in zip(mem_instrs, patterns) if p == pattern
+            for m in i.memory_operands
+        )
+        memref = MemoryRef(RegisterRef(base_to_logical[pattern.base]), offset=first_offset)
+        data = RegisterRange("%xmm", 0, 8)
+        operands = (data, memref) if pattern.is_store else (memref, data)
+        instructions.append(
+            InstructionSpec(
+                operations=(pattern.opcode,),
+                operands=operands,
+                swap_after_unroll=swap_after_unroll,
+            )
+        )
+
+    # --- inductions -----------------------------------------------------------
+    inductions: list[InductionSpec] = []
+    pointer_bases = [b for b in update_order if b in base_to_logical]
+    first_pointer = pointer_bases[0] if pointer_bases else None
+    for reg in update_order:
+        step = updates[reg]
+        if step == 0:
+            continue
+        per_copy_step = step // detected if step % detected == 0 else step
+        if reg in base_to_logical:
+            inductions.append(
+                InductionSpec(
+                    register=RegisterRef(base_to_logical[reg]),
+                    increment=per_copy_step,
+                    offset=copy_offsets.get(reg) or abs(per_copy_step),
+                )
+            )
+        elif reg == flag_reg and first_pointer is not None:
+            pointer_step = abs(updates[first_pointer]) // detected
+            elements = abs(step) // detected
+            if elements and pointer_step % elements == 0:
+                inductions.append(
+                    InductionSpec(
+                        register=RegisterRef(counter_logical),
+                        increment=-1 if step < 0 else 1,
+                        linked=RegisterRef(base_to_logical[first_pointer]),
+                        last_induction=True,
+                        element_size=pointer_step // elements,
+                    )
+                )
+            else:
+                inductions.append(
+                    InductionSpec(
+                        register=RegisterRef(counter_logical),
+                        increment=per_copy_step,
+                        last_induction=True,
+                    )
+                )
+        elif reg in ("%rax",):
+            inductions.append(
+                InductionSpec(
+                    register=RegisterRef("%eax"),
+                    increment=step,
+                    not_affected_unroll=True,
+                )
+            )
+
+    branch_spec = BranchInfoSpec(label=label.lstrip("."), test=branch.opcode)
+    return KernelSpec(
+        name=name or f"{program.name}_abstracted",
+        instructions=tuple(instructions),
+        unrolling=UnrollSpec(*unroll),
+        inductions=tuple(inductions),
+        branch=branch_spec,
+    )
+
+
+def _flag_register(body: list[Instruction]) -> str | None:
+    """The register whose update sets the flags the closing branch tests."""
+    flag = None
+    for instr in body:
+        if (
+            instr.info.kind is OpcodeKind.INT_ALU
+            and len(instr.operands) == 2
+            and isinstance(instr.operands[1], RegisterOperand)
+        ):
+            flag = _canonical(instr.operands[1].reg)
+    return flag

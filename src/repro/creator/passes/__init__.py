@@ -1,0 +1,106 @@
+"""MicroCreator's nineteen default passes, in the order of section 3.2.
+
+The pipeline (paper order: instruction selection, strides, immediates,
+operand swap, unrolling, operand swap after unrolling, register
+allocation, induction insertion, code generation — plus the supporting
+stages those imply):
+
+ 1.  ``instruction_repetition``   expand ``<repeat>``
+ 2.  ``move_semantics``           byte-count semantics -> opcode choices
+ 3.  ``instruction_selection``    cartesian over opcode choices
+ 4.  ``random_selection``         keep a random sample (gated off by default)
+ 5.  ``stride_selection``         cartesian over induction stride choices
+ 6.  ``immediate_selection``      cartesian over immediate value choices
+ 7.  ``unroll_factor_selection``  one variant per unroll factor
+ 8.  ``operand_swap_before``      load<->store swap before unrolling
+ 9.  ``unrolling``                replicate the body, bump memory offsets
+ 10. ``operand_swap_after``       per-copy load<->store swap (2^u variants)
+ 11. ``register_rotation``        register ranges -> concrete %xmmN
+ 12. ``register_allocation``      logical -> physical registers; lower body
+ 13. ``iteration_counter``        Fig. 9 unroll-independent counters
+ 14. ``induction_insertion``      scaled induction updates (Fig. 8 add/sub)
+ 15. ``branch_insertion``         the closing conditional jump
+ 16. ``scheduling``               interleave updates (gated off by default)
+ 17. ``peephole``                 drop no-op updates
+ 18. ``validation``               structural checks before emission
+ 19. ``code_generation``          assemble the AsmProgram, dedup variants
+"""
+
+from repro.creator.passes.selection import (
+    ImmediateSelectionPass,
+    InstructionRepetitionPass,
+    InstructionSelectionPass,
+    MoveSemanticsPass,
+    RandomSelectionPass,
+    StrideSelectionPass,
+)
+from repro.creator.passes.unrolling import (
+    OperandSwapAfterUnrollPass,
+    OperandSwapBeforeUnrollPass,
+    RegisterRotationPass,
+    UnrollFactorSelectionPass,
+    UnrollingPass,
+)
+from repro.creator.passes.lowering import (
+    BranchInsertionPass,
+    InductionInsertionPass,
+    IterationCounterPass,
+    RegisterAllocationPass,
+)
+from repro.creator.passes.finalize import (
+    CodeGenerationPass,
+    PeepholePass,
+    SchedulingPass,
+    ValidationPass,
+)
+from repro.creator.passes.errors import CreatorError
+
+
+def all_default_passes() -> list:
+    """Fresh instances of the default pipeline, in execution order."""
+    return [
+        InstructionRepetitionPass(),
+        MoveSemanticsPass(),
+        InstructionSelectionPass(),
+        RandomSelectionPass(),
+        StrideSelectionPass(),
+        ImmediateSelectionPass(),
+        UnrollFactorSelectionPass(),
+        OperandSwapBeforeUnrollPass(),
+        UnrollingPass(),
+        OperandSwapAfterUnrollPass(),
+        RegisterRotationPass(),
+        RegisterAllocationPass(),
+        IterationCounterPass(),
+        InductionInsertionPass(),
+        BranchInsertionPass(),
+        SchedulingPass(),
+        PeepholePass(),
+        ValidationPass(),
+        CodeGenerationPass(),
+    ]
+
+
+__all__ = [
+    "CreatorError",
+    "InstructionRepetitionPass",
+    "MoveSemanticsPass",
+    "InstructionSelectionPass",
+    "RandomSelectionPass",
+    "StrideSelectionPass",
+    "ImmediateSelectionPass",
+    "UnrollFactorSelectionPass",
+    "OperandSwapBeforeUnrollPass",
+    "UnrollingPass",
+    "OperandSwapAfterUnrollPass",
+    "RegisterRotationPass",
+    "RegisterAllocationPass",
+    "IterationCounterPass",
+    "InductionInsertionPass",
+    "BranchInsertionPass",
+    "SchedulingPass",
+    "PeepholePass",
+    "ValidationPass",
+    "CodeGenerationPass",
+    "all_default_passes",
+]

@@ -1,0 +1,20 @@
+"""Error type shared by MicroCreator passes."""
+
+from __future__ import annotations
+
+
+class CreatorError(RuntimeError):
+    """A pass could not process a kernel variant.
+
+    Carries the pass name and the variant's metadata so failures in a
+    multi-thousand-variant run point back to the offending choice
+    combination.
+    """
+
+    def __init__(self, pass_name: str, message: str, metadata: dict | None = None) -> None:
+        detail = f"[{pass_name}] {message}"
+        if metadata:
+            detail += f" (variant metadata: {metadata})"
+        super().__init__(detail)
+        self.pass_name = pass_name
+        self.metadata = metadata or {}

@@ -1,0 +1,276 @@
+"""Lowering passes: register allocation, iteration counters, induction
+insertion, branch insertion (pipeline stages 12-15).
+
+After stage 12 the variant's loop body is a list of concrete
+:class:`~repro.isa.Instruction` objects; stages 13-15 append the loop
+machinery that turns the body into the Fig. 8 shape::
+
+    .L6:
+    <body>
+    add $1, %eax        # iteration counter (Fig. 9), when requested
+    add $48, %rsi       # pointer induction, scaled by the unroll factor
+    sub $12, %rdi       # linked element counter — last, so its flags
+    jge .L6             # are the ones the branch tests
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.creator.ir import KernelIR, TemplateInstr
+from repro.creator.pass_manager import CreatorContext, Pass
+from repro.creator.passes.errors import CreatorError
+from repro.isa.instructions import Instruction
+from repro.isa.operands import (
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    Operand,
+    RegisterOperand,
+)
+from repro.isa.registers import GPR64_POOL, parse_register
+from repro.spec.schema import ImmediateSpec, InductionSpec, MemoryRef, RegisterRange, RegisterRef
+
+#: Physical registers holding pointer arguments under the SysV ABI for the
+#: MicroLauncher kernel signature ``int f(int n, void *a0, void *a1, ...)``:
+#: ``n`` arrives in ``%edi`` and the arrays in these, in order.  Mapping
+#: pointer inductions onto them makes the function prologue empty.
+_POINTER_ARG_REGS = ("%rsi", "%rdx", "%rcx", "%r8", "%r9")
+_COUNTER_REG = "%rdi"
+
+
+class RegisterAllocationPass(Pass):
+    """Bind logical registers to physical ones and lower the body (stage 12).
+
+    Allocation policy (deliberately ABI-shaped, see module constants): the
+    loop counter gets ``%rdi``, pointer inductions get the SysV pointer
+    argument registers in declaration order, all remaining logical names
+    draw from the general pool.
+    """
+
+    name = "register_allocation"
+
+    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
+        return [self._allocate(ir) for ir in variants]
+
+    def _allocate(self, ir: KernelIR) -> KernelIR:
+        regmap: dict[str, str] = {}
+        used: set[str] = set()
+
+        counter = ir.counter_induction()
+        if counter is not None and not counter.register.is_physical:
+            regmap[counter.register.name] = _COUNTER_REG
+            used.add(_COUNTER_REG)
+
+        pointer_regs = iter(_POINTER_ARG_REGS)
+        for ind in ir.pointer_inductions():
+            if ind.register.is_physical or ind.register.name in regmap:
+                continue
+            try:
+                phys = next(r for r in pointer_regs if r not in used)
+            except StopIteration:
+                raise CreatorError(
+                    self.name,
+                    f"more pointer inductions than argument registers "
+                    f"({len(_POINTER_ARG_REGS)} available)",
+                    ir.metadata,
+                )
+            regmap[ind.register.name] = phys
+            used.add(phys)
+
+        # Remaining logical names referenced anywhere in the body.
+        pool = iter(r for r in GPR64_POOL if r not in used)
+        for t in ir.instrs:
+            for op in t.operands:
+                for name in _logical_names(op):
+                    if name not in regmap:
+                        try:
+                            regmap[name] = next(pool)
+                        except StopIteration:
+                            raise CreatorError(
+                                self.name, "out of physical registers", ir.metadata
+                            )
+        body = tuple(self._lower(t, regmap, ir) for t in ir.instrs)
+        return ir.evolve(body=body, regmap=regmap, instrs=())
+
+    def _lower(self, t: TemplateInstr, regmap: dict[str, str], ir: KernelIR) -> Instruction:
+        if t.opcode is None:
+            raise CreatorError(self.name, f"unselected instruction {t.choices}", ir.metadata)
+        operands: list[Operand] = []
+        for op in t.operands:
+            operands.append(self._lower_operand(op, regmap, ir))
+        return Instruction(t.opcode, tuple(operands))
+
+    def _lower_operand(
+        self, op: object, regmap: dict[str, str], ir: KernelIR
+    ) -> Operand:
+        if isinstance(op, RegisterRef):
+            return RegisterOperand(parse_register(self._resolve(op, regmap)))
+        if isinstance(op, MemoryRef):
+            index = None
+            if op.index is not None:
+                index = parse_register(self._resolve(op.index, regmap))
+            return MemoryOperand(
+                base=parse_register(self._resolve(op.base, regmap)),
+                offset=op.offset,
+                index=index,
+                scale=op.scale,
+            )
+        if isinstance(op, int):
+            return ImmediateOperand(op)
+        if isinstance(op, ImmediateSpec):
+            if len(op.values) != 1:
+                raise CreatorError(
+                    self.name, f"unselected immediate {op.values}", ir.metadata
+                )
+            return ImmediateOperand(op.values[0])
+        if isinstance(op, RegisterRange):
+            raise CreatorError(
+                self.name, f"unrotated register range {op.prefix}", ir.metadata
+            )
+        raise CreatorError(self.name, f"cannot lower operand {op!r}", ir.metadata)
+
+    @staticmethod
+    def _resolve(ref: RegisterRef, regmap: dict[str, str]) -> str:
+        if ref.is_physical:
+            return ref.name
+        try:
+            return regmap[ref.name]
+        except KeyError:
+            raise CreatorError(
+                RegisterAllocationPass.name, f"unallocated logical register {ref.name!r}"
+            ) from None
+
+
+def _logical_names(op: object) -> list[str]:
+    names = []
+    if isinstance(op, RegisterRef) and not op.is_physical:
+        names.append(op.name)
+    elif isinstance(op, MemoryRef):
+        if not op.base.is_physical:
+            names.append(op.base.name)
+        if op.index is not None and not op.index.is_physical:
+            names.append(op.index.name)
+    return names
+
+
+def _resolved_name(ind: InductionSpec, regmap: dict[str, str]) -> str:
+    if ind.register.is_physical:
+        return ind.register.name
+    try:
+        return regmap[ind.register.name]
+    except KeyError:
+        raise CreatorError(
+            "induction_insertion",
+            f"induction register {ind.register.name!r} was never allocated",
+        ) from None
+
+
+def _update_instruction(reg_name: str, step: int, comment: str | None = None) -> Instruction:
+    opcode = "add" if step > 0 else "sub"
+    return Instruction(
+        opcode,
+        (ImmediateOperand(abs(step)), RegisterOperand(parse_register(reg_name))),
+        comment=comment,
+    )
+
+
+class IterationCounterPass(Pass):
+    """Materialize ``<not_affected_unroll/>`` counters (stage 13, Fig. 9).
+
+    These step by their raw increment regardless of unrolling, so at loop
+    exit the register (conventionally ``%eax``, the ABI return register)
+    holds the number of *loop iterations* executed — the value
+    MicroLauncher divides time by (section 4.4).  Placed before the other
+    updates so the flag-setting counter update stays adjacent to the
+    branch.
+    """
+
+    name = "iteration_counter"
+
+    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
+        out: list[KernelIR] = []
+        for ir in variants:
+            updates = tuple(
+                _update_instruction(_resolved_name(ind, ir.regmap), ind.increment)
+                for ind in ir.inductions
+                if ind.not_affected_unroll
+            )
+            if updates:
+                ir = ir.evolve(body=ir.body + updates).noting(
+                    iteration_counter=True, _induction_start=len(ir.body)
+                )
+            out.append(ir)
+        return out
+
+
+class InductionInsertionPass(Pass):
+    """Append the unroll-scaled induction updates (stage 14).
+
+    - A pointer induction steps ``increment * unroll`` bytes.
+    - A linked counter steps ``increment * unroll * elements_per_copy``
+      where ``elements_per_copy = |linked.increment| / element_size`` —
+      Fig. 8's ``sub $12, %rdi`` for unroll 3, increment -1, a 16-byte
+      linked step and 4-byte elements.
+    - The ``<last_induction/>`` update is emitted last so the loop branch
+      tests its flags.
+    """
+
+    name = "induction_insertion"
+
+    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
+        out: list[KernelIR] = []
+        for ir in variants:
+            if ir.unroll is None:
+                raise CreatorError(self.name, "unroll factor not selected", ir.metadata)
+            regular: list[Instruction] = []
+            last: list[Instruction] = []
+            for ind in ir.inductions:
+                if ind.not_affected_unroll:
+                    continue  # handled by iteration_counter
+                step = self._scaled_step(ind, ir)
+                update = _update_instruction(_resolved_name(ind, ir.regmap), step)
+                (last if ind.last_induction else regular).append(update)
+            updates = tuple(regular + last)
+            md: dict[str, object] = {}
+            if "_induction_start" not in ir.metadata and updates:
+                md["_induction_start"] = len(ir.body)
+            out.append(ir.evolve(body=ir.body + updates).noting(**md))
+        return out
+
+    def _scaled_step(self, ind: InductionSpec, ir: KernelIR) -> int:
+        assert ir.unroll is not None
+        if ind.linked is None:
+            return ind.increment * ir.unroll
+        linked = next(
+            (i for i in ir.inductions if i.register.name == ind.linked.name), None
+        )
+        if linked is None:
+            raise CreatorError(
+                self.name, f"linked induction {ind.linked.name!r} not found", ir.metadata
+            )
+        elements_per_copy = abs(linked.increment) // ind.element_size
+        if elements_per_copy == 0:
+            raise CreatorError(
+                self.name,
+                f"linked step {linked.increment} smaller than element size "
+                f"{ind.element_size}",
+                ir.metadata,
+            )
+        return ind.increment * ir.unroll * elements_per_copy
+
+
+class BranchInsertionPass(Pass):
+    """Append the closing conditional jump (stage 15)."""
+
+    name = "branch_insertion"
+
+    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
+        out: list[KernelIR] = []
+        for ir in variants:
+            if ir.branch is None:
+                out.append(ir)
+                continue
+            jump = Instruction(ir.branch.test, (LabelOperand(ir.branch.asm_label),))
+            out.append(ir.evolve(body=ir.body + (jump,)))
+        return out

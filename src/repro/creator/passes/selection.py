@@ -1,0 +1,228 @@
+"""Selection passes: repetition, move semantics, instruction / random /
+stride / immediate selection (pipeline stages 1-6)."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.creator.ir import KernelIR, TemplateInstr
+from repro.creator.pass_manager import CreatorContext, Pass
+from repro.creator.passes.errors import CreatorError
+from repro.spec.schema import ImmediateSpec, MemoryRef
+
+
+class InstructionRepetitionPass(Pass):
+    """Expand ``<repeat>`` counts into that many template copies (stage 1).
+
+    Copies are stamped with distinct lanes so register-range rotation gives
+    each its own register, mirroring the dependence-breaking intent of the
+    XMM min/max ranges.
+    """
+
+    name = "instruction_repetition"
+
+    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
+        out: list[KernelIR] = []
+        for ir in variants:
+            instrs: list[TemplateInstr] = []
+            for t in ir.instrs:
+                for lane in range(t.repeat):
+                    instrs.append(replace(t, repeat=1, lane=t.lane + lane))
+            out.append(ir.evolve(instrs=tuple(instrs)))
+        return out
+
+
+class MoveSemanticsPass(Pass):
+    """Expand move *semantics* into concrete encodings (stage 2).
+
+    A 16-byte move becomes up to three variants: the aligned vector
+    instruction, the unaligned vector instruction, and a group of four
+    scalar moves covering the same payload (offsets +0/+4/+8/+12, distinct
+    lanes).  4- and 8-byte moves have a single scalar encoding.
+    """
+
+    name = "move_semantics"
+
+    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
+        out: list[KernelIR] = []
+        for ir in variants:
+            out.extend(self._expand(ir))
+        return out
+
+    def _expand(self, ir: KernelIR) -> list[KernelIR]:
+        slots = [i for i, t in enumerate(ir.instrs) if t.move_semantics is not None]
+        if not slots:
+            return [ir]
+        per_slot: list[list[tuple[str, list[TemplateInstr]]]] = []
+        for i in slots:
+            per_slot.append(self._encodings(ir.instrs[i], i))
+        results: list[KernelIR] = []
+        for combo in itertools.product(*per_slot):
+            instrs: list[TemplateInstr] = []
+            notes: dict[str, object] = {}
+            replacement = dict(zip(slots, combo))
+            for i, t in enumerate(ir.instrs):
+                if i in replacement:
+                    kind, expansion = replacement[i]
+                    notes[f"semantics:{i}"] = kind
+                    instrs.extend(expansion)
+                else:
+                    instrs.append(t)
+            results.append(ir.evolve(instrs=tuple(instrs)).noting(**notes))
+        return results
+
+    @staticmethod
+    def _encodings(t: TemplateInstr, slot: int) -> list[tuple[str, list[TemplateInstr]]]:
+        ms = t.move_semantics
+        assert ms is not None
+        encodings: list[tuple[str, list[TemplateInstr]]] = []
+        if ms.bytes_per_element == 16:
+            encodings.append(("vector_aligned", [t.with_opcode("movaps")]))
+            if ms.allow_unaligned:
+                encodings.append(("vector_unaligned", [t.with_opcode("movups")]))
+            if ms.allow_scalar:
+                scalar: list[TemplateInstr] = []
+                for j in range(4):
+                    copy = t.with_opcode("movss")
+                    operands = tuple(
+                        replace(op, offset=op.offset + 4 * j)
+                        if isinstance(op, MemoryRef)
+                        else op
+                        for op in copy.operands
+                    )
+                    scalar.append(replace(copy, operands=operands, lane=t.lane + j))
+                encodings.append(("scalar", scalar))
+        else:
+            opcode = "movss" if ms.bytes_per_element == 4 else "movsd"
+            encodings.append(("scalar", [t.with_opcode(opcode)]))
+        return encodings
+
+
+class InstructionSelectionPass(Pass):
+    """Cartesian expansion over per-instruction opcode choices (stage 3).
+
+    "Instruction selection is a generic instruction scheduling pass which
+    generates as many microbenchmark programs the user requires."
+    """
+
+    name = "instruction_selection"
+
+    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
+        out: list[KernelIR] = []
+        for ir in variants:
+            pending = [i for i, t in enumerate(ir.instrs) if t.opcode is None]
+            for i in pending:
+                if not ir.instrs[i].choices:
+                    raise CreatorError(
+                        self.name, f"instruction {i} has no opcode and no choices", ir.metadata
+                    )
+            if not pending:
+                out.append(self._note_opcodes(ir))
+                continue
+            for combo in itertools.product(*(ir.instrs[i].choices for i in pending)):
+                instrs = list(ir.instrs)
+                for i, opcode in zip(pending, combo):
+                    instrs[i] = instrs[i].with_opcode(opcode)
+                out.append(self._note_opcodes(ir.evolve(instrs=tuple(instrs))))
+        return out
+
+    @staticmethod
+    def _note_opcodes(ir: KernelIR) -> KernelIR:
+        return ir.noting(opcodes=tuple(t.opcode for t in ir.instrs))
+
+
+class RandomSelectionPass(Pass):
+    """Keep a deterministic random sample of variants (stage 4).
+
+    Gated on ``options.random_selection``; the paper's instruction-selection
+    stage "handles instruction repetition and random instruction
+    selection" — this is the random half, split out so its gate can be
+    toggled independently.
+    """
+
+    name = "random_selection"
+
+    def gate(self, ctx: CreatorContext) -> bool:
+        return ctx.options.random_selection is not None
+
+    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
+        k = ctx.options.random_selection
+        assert k is not None
+        if k >= len(variants):
+            return list(variants)
+        rng = np.random.default_rng(ctx.options.seed)
+        keep = sorted(rng.choice(len(variants), size=k, replace=False).tolist())
+        return [variants[i].noting(random_pick=True) for i in keep]
+
+
+class StrideSelectionPass(Pass):
+    """Cartesian expansion over induction stride choices (stage 5).
+
+    Each chosen multiplier scales the target induction's per-iteration
+    increment and per-copy offset, so a stride-2 variant of a 16-byte
+    pointer walks 32 bytes per copy — a strided memory access pattern.
+    """
+
+    name = "stride_selection"
+
+    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
+        strides = ctx.spec.strides
+        if not strides:
+            return list(variants)
+        out: list[KernelIR] = []
+        for ir in variants:
+            for combo in itertools.product(*(s.values for s in strides)):
+                inductions = list(ir.inductions)
+                notes: dict[str, object] = {}
+                for s, mult in zip(strides, combo):
+                    notes[f"stride:{s.register.name}"] = mult
+                    for j, ind in enumerate(inductions):
+                        if ind.register.name == s.register.name:
+                            inductions[j] = replace(
+                                ind,
+                                increment=ind.increment * mult,
+                                offset=ind.offset * mult if ind.offset is not None else None,
+                            )
+                out.append(ir.evolve(inductions=tuple(inductions)).noting(**notes))
+        return out
+
+
+class ImmediateSelectionPass(Pass):
+    """Choose values for immediate operands (stage 6).
+
+    Multi-valued immediates expand cartesianly; single-valued ones are
+    concretized in place.
+    """
+
+    name = "immediate_selection"
+
+    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
+        out: list[KernelIR] = []
+        for ir in variants:
+            out.extend(self._expand(ir))
+        return out
+
+    def _expand(self, ir: KernelIR) -> list[KernelIR]:
+        pending: list[tuple[int, int]] = []  # (instr index, operand index)
+        for i, t in enumerate(ir.instrs):
+            for j, op in enumerate(t.operands):
+                if isinstance(op, ImmediateSpec):
+                    pending.append((i, j))
+        if not pending:
+            return [ir]
+        choice_sets = [ir.instrs[i].operands[j].values for i, j in pending]  # type: ignore[union-attr]
+        results: list[KernelIR] = []
+        for combo in itertools.product(*choice_sets):
+            instrs = list(ir.instrs)
+            notes: dict[str, object] = {}
+            for (i, j), value in zip(pending, combo):
+                operands = list(instrs[i].operands)
+                operands[j] = value
+                instrs[i] = instrs[i].with_operands(tuple(operands))
+                notes[f"imm:{i}.{j}"] = value
+            results.append(ir.evolve(instrs=tuple(instrs)).noting(**notes))
+        return results

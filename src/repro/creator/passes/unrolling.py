@@ -1,0 +1,162 @@
+"""Unrolling-related passes: factor selection, the two operand-swap
+phases, body replication, register-range rotation (pipeline stages 7-11).
+
+The two swap phases together give the variability discussed in section
+3.2: swapping *before* unrolling yields all-load or all-store kernels,
+while swapping *after* unrolling yields every per-copy mix — for unroll
+factor *u* that is 2^u programs, and summing over u = 1..8 gives exactly
+the 510 variants of section 5.1.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from typing import Sequence
+
+from repro.creator.ir import KernelIR, TemplateInstr
+from repro.creator.pass_manager import CreatorContext, Pass
+from repro.creator.passes.errors import CreatorError
+from repro.spec.schema import MemoryRef, RegisterRange, RegisterRef
+
+
+class UnrollFactorSelectionPass(Pass):
+    """One variant per factor in the ``<unrolling>`` range (stage 7)."""
+
+    name = "unroll_factor_selection"
+
+    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
+        out: list[KernelIR] = []
+        for ir in variants:
+            for u in ir.unroll_range.factors():
+                out.append(ir.evolve(unroll=u).noting(unroll=u))
+        return out
+
+
+class OperandSwapBeforeUnrollPass(Pass):
+    """Swap variants for ``<swap_before_unroll/>`` instructions (stage 8).
+
+    Each flagged instruction doubles the variant count: original operand
+    order and swapped order (a load template becomes a store and vice
+    versa).  Because this runs before unrolling, each variant's unrolled
+    copies all share the same direction.
+    """
+
+    name = "operand_swap_before"
+
+    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
+        out: list[KernelIR] = []
+        for ir in variants:
+            slots = [i for i, t in enumerate(ir.instrs) if t.swap_before_unroll]
+            if not slots:
+                out.append(ir)
+                continue
+            for combo in itertools.product((False, True), repeat=len(slots)):
+                instrs = list(ir.instrs)
+                for i, do_swap in zip(slots, combo):
+                    if do_swap:
+                        instrs[i] = instrs[i].swapped()
+                pattern = "".join(
+                    "S" if instrs[i].describes_store() else "L" for i in slots
+                )
+                out.append(
+                    ir.evolve(instrs=tuple(instrs)).noting(swap_before=pattern)
+                )
+        return out
+
+
+class UnrollingPass(Pass):
+    """Replicate the body ``unroll`` times, bumping memory offsets (stage 9).
+
+    Copy *k* of an instruction whose memory operand is based on a pointer
+    induction with ``<offset>o</offset>`` reads/writes at ``base + k*o``
+    — Fig. 6's offset 16 produces the 0/16/32 sequence of Fig. 8.
+    """
+
+    name = "unrolling"
+
+    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
+        out: list[KernelIR] = []
+        for ir in variants:
+            if ir.unroll is None:
+                raise CreatorError(self.name, "unroll factor not selected", ir.metadata)
+            offsets = {
+                ind.register.name: ind.offset
+                for ind in ir.pointer_inductions()
+                if ind.offset is not None
+            }
+            body: list[TemplateInstr] = []
+            for k in range(ir.unroll):
+                for t in ir.instrs:
+                    body.append(self._copy_for_iteration(t, k, offsets))
+            out.append(ir.evolve(instrs=tuple(body)))
+        return out
+
+    @staticmethod
+    def _copy_for_iteration(
+        t: TemplateInstr, k: int, offsets: dict[str, int]
+    ) -> TemplateInstr:
+        operands = []
+        for op in t.operands:
+            if isinstance(op, MemoryRef) and op.base.name in offsets:
+                operands.append(replace(op, offset=op.offset + k * offsets[op.base.name]))
+            else:
+                operands.append(op)
+        return replace(t, operands=tuple(operands), unroll_index=k)
+
+
+class OperandSwapAfterUnrollPass(Pass):
+    """Per-unrolled-copy swap variants (stage 10).
+
+    Every ``<swap_after_unroll/>`` copy independently keeps or swaps its
+    operands, producing all load/store interleavings — the pass that makes
+    one input file yield "two loads, two stores, a load followed by a
+    store, and a store followed by a load" for a twice-unrolled kernel
+    (section 3.2).
+    """
+
+    name = "operand_swap_after"
+
+    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
+        out: list[KernelIR] = []
+        for ir in variants:
+            slots = [i for i, t in enumerate(ir.instrs) if t.swap_after_unroll]
+            if not slots:
+                out.append(ir)
+                continue
+            for combo in itertools.product((False, True), repeat=len(slots)):
+                instrs = list(ir.instrs)
+                for i, do_swap in zip(slots, combo):
+                    if do_swap:
+                        instrs[i] = instrs[i].swapped()
+                mix = "".join(
+                    "S" if instrs[i].describes_store() else "L" for i in slots
+                )
+                out.append(ir.evolve(instrs=tuple(instrs)).noting(mix=mix))
+        return out
+
+
+class RegisterRotationPass(Pass):
+    """Resolve register ranges to concrete registers (stage 11).
+
+    Copy *k* (offset by its lane) takes ``{prefix}{min + (k mod span)}``,
+    so consecutive unrolled copies use distinct XMM registers and carry no
+    false dependences — the stated purpose of the min/max range in
+    section 3.1.
+    """
+
+    name = "register_rotation"
+
+    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
+        out: list[KernelIR] = []
+        for ir in variants:
+            instrs = []
+            for t in ir.instrs:
+                k = t.unroll_index + t.lane
+                operands = tuple(
+                    RegisterRef(op.name_for(k)) if isinstance(op, RegisterRange) else op
+                    for op in t.operands
+                )
+                instrs.append(t.with_operands(operands))
+            out.append(ir.evolve(instrs=tuple(instrs)))
+        return out

@@ -1,0 +1,70 @@
+"""The GCC-style plugin system (paper section 3.3).
+
+A plugin is any module (or ``.py`` file) that defines::
+
+    def pluginInit(pm):        # the paper's required entry point
+        pm.replace_pass("peephole", MyPeephole())
+        pm.set_gate("scheduling", lambda ctx: True)
+        pm.insert_pass_after("unrolling", MyExtraPass())
+
+The :class:`~repro.creator.pass_manager.PassManager` passed in is the
+"fully exposed API": plugins may add, remove, or modify a pass and
+redefine any pass gate without touching the tool itself.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+from types import ModuleType
+
+from repro.creator.pass_manager import PassManager
+
+#: The entry-point name the paper mandates.
+PLUGIN_INIT = "pluginInit"
+
+
+class PluginError(RuntimeError):
+    """A plugin failed to load or misbehaved during initialization."""
+
+
+def load_plugin(module: object, pass_manager: PassManager) -> None:
+    """Initialize a plugin module against ``pass_manager``.
+
+    ``module`` may be anything with a callable ``pluginInit`` attribute.
+    """
+    init = getattr(module, PLUGIN_INIT, None)
+    if not callable(init):
+        name = getattr(module, "__name__", repr(module))
+        raise PluginError(f"plugin {name} does not define a callable {PLUGIN_INIT}()")
+    try:
+        init(pass_manager)
+    except Exception as exc:  # surface plugin bugs with context
+        name = getattr(module, "__name__", repr(module))
+        raise PluginError(f"{PLUGIN_INIT}() of plugin {name} failed: {exc}") from exc
+
+
+def load_plugin_file(path: str | Path, pass_manager: PassManager) -> ModuleType:
+    """Import a plugin from a ``.py`` file and initialize it.
+
+    This is the dynamic-library analogue of the paper's plugin loading:
+    users hand MicroCreator a path, no recompilation (here: no packaging)
+    required.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise PluginError(f"plugin file not found: {path}")
+    module_name = f"microcreator_plugin_{path.stem}"
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    if spec is None or spec.loader is None:
+        raise PluginError(f"cannot import plugin from {path}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[module_name] = module
+    try:
+        spec.loader.exec_module(module)
+    except Exception as exc:
+        sys.modules.pop(module_name, None)
+        raise PluginError(f"plugin {path} failed to import: {exc}") from exc
+    load_plugin(module, pass_manager)
+    return module

@@ -1,0 +1,74 @@
+"""x86-64 instruction-set model.
+
+This subpackage is the ISA substrate shared by MicroCreator (which *emits*
+instruction streams) and the machine model (which *executes* them).  It
+provides:
+
+- :mod:`repro.isa.registers` -- physical and logical register descriptions,
+- :mod:`repro.isa.operands` -- register / memory / immediate / label operands,
+- :mod:`repro.isa.instructions` -- the :class:`Instruction` IR node and the
+  :class:`AsmProgram` container,
+- :mod:`repro.isa.semantics` -- the per-opcode semantics table (bytes moved,
+  load/store classification, latency class, execution-port usage),
+- :mod:`repro.isa.writer` -- AT&T-syntax assembly emission,
+- :mod:`repro.isa.parser` -- AT&T-syntax assembly parsing (round-trips the
+  writer's output, and accepts GCC-style output such as the paper's Fig. 2).
+"""
+
+from repro.isa.registers import (
+    RegClass,
+    PhysReg,
+    LogicalReg,
+    GPR64_POOL,
+    XMM_POOL,
+    parse_register,
+    widen_to_64,
+)
+from repro.isa.operands import (
+    Operand,
+    RegisterOperand,
+    MemoryOperand,
+    ImmediateOperand,
+    LabelOperand,
+)
+from repro.isa.instructions import Instruction, LabelDef, Directive, Comment, AsmProgram
+from repro.isa.semantics import (
+    OpcodeInfo,
+    OpcodeKind,
+    opcode_info,
+    known_opcodes,
+    MOVE_FAMILY,
+)
+from repro.isa.writer import format_operand, format_instruction, write_program
+from repro.isa.parser import parse_asm, parse_instruction, AsmParseError
+
+__all__ = [
+    "RegClass",
+    "PhysReg",
+    "LogicalReg",
+    "GPR64_POOL",
+    "XMM_POOL",
+    "parse_register",
+    "widen_to_64",
+    "Operand",
+    "RegisterOperand",
+    "MemoryOperand",
+    "ImmediateOperand",
+    "LabelOperand",
+    "Instruction",
+    "LabelDef",
+    "Directive",
+    "Comment",
+    "AsmProgram",
+    "OpcodeInfo",
+    "OpcodeKind",
+    "opcode_info",
+    "known_opcodes",
+    "MOVE_FAMILY",
+    "format_operand",
+    "format_instruction",
+    "write_program",
+    "parse_asm",
+    "parse_instruction",
+    "AsmParseError",
+]

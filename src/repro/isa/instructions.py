@@ -1,0 +1,239 @@
+"""Instruction IR nodes and the assembly-program container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Union
+
+from repro.isa.operands import (
+    AnyReg,
+    LabelOperand,
+    MemoryOperand,
+    Operand,
+    RegisterOperand,
+)
+from repro.isa.semantics import OpcodeInfo, OpcodeKind, opcode_info
+
+#: Opcodes whose last operand is read but not written (flag setters).
+_READ_ONLY_DEST = frozenset({"cmp", "cmpq", "cmpl", "test", "testq", "testl"})
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One machine instruction with operands in AT&T order (src..., dst)."""
+
+    opcode: str
+    operands: tuple[Operand, ...] = ()
+    comment: str | None = None
+
+    def __post_init__(self) -> None:
+        # Validate the opcode eagerly so malformed templates fail at
+        # construction, not deep inside a pass.
+        opcode_info(self.opcode)
+
+    # -- classification ---------------------------------------------------
+
+    @property
+    def info(self) -> OpcodeInfo:
+        return opcode_info(self.opcode)
+
+    @property
+    def memory_operands(self) -> tuple[MemoryOperand, ...]:
+        return tuple(op for op in self.operands if isinstance(op, MemoryOperand))
+
+    @property
+    def is_load(self) -> bool:
+        """True if the instruction reads memory.
+
+        In AT&T syntax a memory operand in any non-destination slot is a
+        read; flag-setting opcodes (``cmp``) read even their last operand.
+        """
+        if not self.operands or self.info.kind is OpcodeKind.PREFETCH:
+            return False
+        srcs = self.operands if self.opcode in _READ_ONLY_DEST else self.operands[:-1]
+        if any(isinstance(op, MemoryOperand) for op in srcs):
+            return True
+        # Read-modify-write memory destination (e.g. ``add $1, (%rsi)``).
+        if (
+            isinstance(self.operands[-1], MemoryOperand)
+            and self.info.kind is not OpcodeKind.MOVE
+            and self.opcode not in _READ_ONLY_DEST
+        ):
+            return True
+        return False
+
+    @property
+    def is_store(self) -> bool:
+        """True if the instruction writes memory (memory destination)."""
+        if (
+            not self.operands
+            or self.opcode in _READ_ONLY_DEST
+            or self.info.kind is OpcodeKind.PREFETCH
+        ):
+            return False
+        return isinstance(self.operands[-1], MemoryOperand)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.info.is_branch
+
+    @property
+    def branch_target(self) -> str | None:
+        for op in self.operands:
+            if isinstance(op, LabelOperand):
+                return op.name
+        return None
+
+    @property
+    def bytes_moved(self) -> int:
+        """Payload bytes transferred if this is a memory move, else 0."""
+        if self.info.is_move and (self.is_load or self.is_store):
+            return self.info.bytes_moved
+        return 0
+
+    # -- dataflow ----------------------------------------------------------
+
+    def registers_read(self) -> tuple[AnyReg, ...]:
+        """Registers whose values this instruction consumes.
+
+        Address registers inside memory operands are always reads.  The
+        destination register is a read for everything except pure moves
+        (``mov`` overwrites; ``add`` accumulates).
+        """
+        if not self.operands:
+            return ()
+        if self._is_zeroing_idiom():
+            return ()  # xor r, r depends on nothing
+        reads: list[AnyReg] = []
+        for op in self.operands[:-1]:
+            reads.extend(op.registers())
+        last = self.operands[-1]
+        if isinstance(last, MemoryOperand):
+            reads.extend(last.registers())
+        elif isinstance(last, RegisterOperand):
+            dest_is_read = (
+                self.info.kind is not OpcodeKind.MOVE or self.opcode in _READ_ONLY_DEST
+            )
+            if dest_is_read and not self._is_zeroing_idiom():
+                reads.append(last.reg)
+        return tuple(reads)
+
+    def registers_written(self) -> tuple[AnyReg, ...]:
+        """Registers this instruction defines."""
+        if not self.operands or self.opcode in _READ_ONLY_DEST or self.is_branch:
+            return ()
+        last = self.operands[-1]
+        if isinstance(last, RegisterOperand):
+            return (last.reg,)
+        return ()
+
+    def _is_zeroing_idiom(self) -> bool:
+        """``xorps %xmm0, %xmm0`` breaks the dependence on its source."""
+        if self.opcode not in ("xor", "xorps", "xorpd", "pxor") or len(self.operands) != 2:
+            return False
+        a, b = self.operands
+        return (
+            isinstance(a, RegisterOperand)
+            and isinstance(b, RegisterOperand)
+            and a.reg == b.reg
+        )
+
+    # -- rewriting ----------------------------------------------------------
+
+    def substitute(self, mapping: dict[str, AnyReg]) -> "Instruction":
+        """Rewrite logical registers through ``mapping``."""
+        return replace(self, operands=tuple(op.substitute(mapping) for op in self.operands))
+
+    def with_operands(self, operands: Iterable[Operand]) -> "Instruction":
+        return replace(self, operands=tuple(operands))
+
+    def with_opcode(self, opcode: str) -> "Instruction":
+        return replace(self, opcode=opcode)
+
+    def with_comment(self, comment: str | None) -> "Instruction":
+        return replace(self, comment=comment)
+
+
+@dataclass(frozen=True, slots=True)
+class LabelDef:
+    """A label definition line, e.g. ``.L6:``."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Directive:
+    """An assembler directive line kept verbatim, e.g. ``.text``."""
+
+    text: str
+
+
+@dataclass(frozen=True, slots=True)
+class Comment:
+    """A standalone comment line."""
+
+    text: str
+
+
+AsmItem = Union[Instruction, LabelDef, Directive, Comment]
+
+
+@dataclass(slots=True)
+class AsmProgram:
+    """A generated assembly kernel: items plus descriptive metadata.
+
+    ``metadata`` records how the variant was produced (unroll factor,
+    instruction mix, stride, ...) so analysis can group results the way
+    the paper's figures do.
+    """
+
+    name: str
+    items: list[AsmItem] = field(default_factory=list)
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def instructions(self) -> Iterator[Instruction]:
+        for item in self.items:
+            if isinstance(item, Instruction):
+                yield item
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.instructions())
+
+    def kernel_loop(self) -> tuple[str, list[Instruction]]:
+        """Extract the innermost loop: its label and body instructions.
+
+        The loop is identified as the last backward branch whose target
+        label is defined earlier in the stream — the structure every
+        MicroCreator kernel has.
+
+        Returns
+        -------
+        (label, body)
+            ``body`` includes the closing branch.
+
+        Raises
+        ------
+        ValueError
+            If the program contains no backward branch.
+        """
+        label_pos: dict[str, int] = {}
+        for i, item in enumerate(self.items):
+            if isinstance(item, LabelDef):
+                label_pos[item.name] = i
+        for i in range(len(self.items) - 1, -1, -1):
+            item = self.items[i]
+            if (
+                isinstance(item, Instruction)
+                and item.is_branch
+                and item.branch_target in label_pos
+                and label_pos[item.branch_target] < i
+            ):
+                start = label_pos[item.branch_target]
+                body = [
+                    it for it in self.items[start + 1 : i + 1] if isinstance(it, Instruction)
+                ]
+                return item.branch_target, body
+        raise ValueError(f"program {self.name!r} has no kernel loop")
+
+    def copy(self) -> "AsmProgram":
+        return AsmProgram(self.name, list(self.items), dict(self.metadata))

@@ -1,0 +1,96 @@
+"""Instruction operands in AT&T order (sources first, destination last)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Union
+
+from repro.isa.registers import LogicalReg, PhysReg
+
+AnyReg = Union[PhysReg, LogicalReg]
+
+
+class Operand:
+    """Base class for instruction operands (marker; operands are frozen)."""
+
+    __slots__ = ()
+
+    def registers(self) -> tuple[AnyReg, ...]:
+        """All registers referenced by this operand."""
+        return ()
+
+    def substitute(self, mapping: dict[str, AnyReg]) -> "Operand":
+        """Return a copy with logical register names rewritten via ``mapping``.
+
+        Unmapped logical registers are left in place so that substitution
+        passes can run incrementally.
+        """
+        return self
+
+
+def _subst_reg(reg: AnyReg, mapping: dict[str, AnyReg]) -> AnyReg:
+    if isinstance(reg, LogicalReg) and reg.name in mapping:
+        return mapping[reg.name]
+    return reg
+
+
+@dataclass(frozen=True, slots=True)
+class RegisterOperand(Operand):
+    """A direct register operand, e.g. ``%xmm1`` or logical ``r1``."""
+
+    reg: AnyReg
+
+    def registers(self) -> tuple[AnyReg, ...]:
+        return (self.reg,)
+
+    def substitute(self, mapping: dict[str, AnyReg]) -> "RegisterOperand":
+        return RegisterOperand(_subst_reg(self.reg, mapping))
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryOperand(Operand):
+    """A memory reference ``offset(base, index, scale)``.
+
+    Only the forms MicroCreator emits are supported: a base register with a
+    constant byte offset, optionally an index register with a power-of-two
+    scale.
+    """
+
+    base: AnyReg
+    offset: int = 0
+    index: AnyReg | None = None
+    scale: int = 1
+
+    def __post_init__(self) -> None:
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"memory scale must be 1/2/4/8, got {self.scale}")
+
+    def registers(self) -> tuple[AnyReg, ...]:
+        if self.index is not None:
+            return (self.base, self.index)
+        return (self.base,)
+
+    def substitute(self, mapping: dict[str, AnyReg]) -> "MemoryOperand":
+        return replace(
+            self,
+            base=_subst_reg(self.base, mapping),
+            index=_subst_reg(self.index, mapping) if self.index is not None else None,
+        )
+
+    def with_offset(self, offset: int) -> "MemoryOperand":
+        """Copy of this operand with a different constant offset."""
+        return replace(self, offset=offset)
+
+
+@dataclass(frozen=True, slots=True)
+class ImmediateOperand(Operand):
+    """An immediate constant, rendered ``$value``."""
+
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class LabelOperand(Operand):
+    """A branch target label, e.g. ``.L6``."""
+
+    name: str

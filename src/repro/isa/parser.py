@@ -1,0 +1,157 @@
+"""AT&T-syntax assembly parsing.
+
+Round-trips :mod:`repro.isa.writer` output and accepts compiler-style text
+such as the paper's Fig. 2 (``movsd (%rdx,%rax,8), %xmm0`` ...).  The
+parser is intentionally strict about what it understands — unknown opcodes
+raise, since the machine model could not execute them anyway — but lenient
+about layout (whitespace, blank lines, ``#`` comments, directives).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.instructions import (
+    AsmItem,
+    AsmProgram,
+    Comment,
+    Directive,
+    Instruction,
+    LabelDef,
+)
+from repro.isa.operands import (
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    Operand,
+)
+from repro.isa.operands import RegisterOperand
+from repro.isa.registers import parse_register
+from repro.isa.semantics import known_opcodes, opcode_info
+
+
+class AsmParseError(ValueError):
+    """Raised on malformed assembly, with line information."""
+
+    def __init__(self, message: str, line_no: int, line: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+        self.line = line
+
+
+_MEM_RE = re.compile(
+    r"^(?P<offset>-?\d+)?\(\s*(?P<base>%[a-z0-9]+)"
+    r"(?:\s*,\s*(?P<index>%[a-z0-9]+)\s*(?:,\s*(?P<scale>[1248]))?)?\s*\)$"
+)
+_LABEL_RE = re.compile(r"^(?P<name>[.A-Za-z_][\w.$]*):$")
+
+
+def _parse_operand(text: str, *, branch: bool, line_no: int, line: str) -> Operand:
+    text = text.strip()
+    if not text:
+        raise AsmParseError("empty operand", line_no, line)
+    if text.startswith("$"):
+        try:
+            return ImmediateOperand(int(text[1:], 0))
+        except ValueError:
+            raise AsmParseError(f"bad immediate {text!r}", line_no, line) from None
+    if text.startswith("%"):
+        try:
+            return RegisterOperand(parse_register(text))
+        except ValueError as exc:
+            raise AsmParseError(str(exc), line_no, line) from None
+    m = _MEM_RE.match(text)
+    if m:
+        try:
+            base = parse_register(m.group("base"))
+            index = parse_register(m.group("index")) if m.group("index") else None
+        except ValueError as exc:
+            raise AsmParseError(str(exc), line_no, line) from None
+        return MemoryOperand(
+            base=base,
+            offset=int(m.group("offset") or 0),
+            index=index,
+            scale=int(m.group("scale") or 1),
+        )
+    if branch:
+        return LabelOperand(text)
+    raise AsmParseError(f"cannot parse operand {text!r}", line_no, line)
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand list on commas not inside parentheses."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return [p for p in (part.strip() for part in parts) if p]
+
+
+def parse_instruction(text: str, *, line_no: int = 0) -> Instruction:
+    """Parse a single instruction line (no label / directive handling)."""
+    line = text
+    code = text.split("#", 1)[0].strip()
+    comment = text.split("#", 1)[1].strip() if "#" in text else None
+    if not code:
+        raise AsmParseError("no instruction on line", line_no, line)
+    fields = code.split(None, 1)
+    opcode = fields[0]
+    if opcode not in known_opcodes():
+        raise AsmParseError(f"unmodelled opcode {opcode!r}", line_no, line)
+    is_branch = opcode_info(opcode).is_branch
+    operand_texts = _split_operands(fields[1]) if len(fields) > 1 else []
+    operands = tuple(
+        _parse_operand(t, branch=is_branch, line_no=line_no, line=line) for t in operand_texts
+    )
+    return Instruction(opcode, operands, comment=comment)
+
+
+def parse_asm(text: str, *, name: str = "kernel") -> AsmProgram:
+    """Parse assembly text into an :class:`AsmProgram`.
+
+    ``.globl``/``.type``/function-name scaffolding emitted by
+    :func:`repro.isa.writer.write_program` is recognised: the first
+    ``.globl`` symbol becomes the program name and its defining label is
+    not kept as a loop label.
+    """
+    items: list[AsmItem] = []
+    program_name = name
+    globl_symbol: str | None = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#"):
+            items.append(Comment(stripped[1:]))
+            continue
+        if stripped.startswith("."):
+            m = _LABEL_RE.match(stripped)
+            if m:
+                items.append(LabelDef(m.group("name")))
+            else:
+                if stripped.startswith(".globl"):
+                    globl_symbol = stripped.split()[-1]
+                    program_name = globl_symbol
+                items.append(Directive("\t" + stripped))
+            continue
+        m = _LABEL_RE.match(stripped)
+        if m:
+            if m.group("name") == globl_symbol:
+                continue  # function entry label, not part of the kernel body
+            items.append(LabelDef(m.group("name")))
+            continue
+        items.append(parse_instruction(stripped, line_no=line_no))
+    # Drop the scaffolding directives: they carry no semantics for the model.
+    items = [it for it in items if not isinstance(it, Directive)]
+    return AsmProgram(program_name, items)

@@ -1,0 +1,171 @@
+"""Register descriptions: physical x86-64 registers and logical placeholders.
+
+MicroCreator kernel descriptions name registers *logically* (``r0``, ``r1``,
+...); the register-allocation pass later binds each logical name to a
+physical register (``%rsi``, ``%rdi``, ...) exactly as the paper describes
+("The hardware detection system associates *r1* to a physical register such
+as *%rsi* or *%rdi*", section 3.1).
+
+XMM register *ranges* (``<phyName>%xmm</phyName><min>0</min><max>8</max>``)
+are represented by :class:`RegRange` in :mod:`repro.spec`; after unrolling,
+each unroll iteration receives a distinct register from the range to break
+dependences, producing plain :class:`PhysReg` operands here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RegClass(enum.Enum):
+    """Architectural register class."""
+
+    GPR64 = "gpr64"
+    GPR32 = "gpr32"
+    XMM = "xmm"
+
+    @property
+    def width_bytes(self) -> int:
+        """Width of a register of this class in bytes."""
+        return {RegClass.GPR64: 8, RegClass.GPR32: 4, RegClass.XMM: 16}[self]
+
+
+#: 64-bit general-purpose register names, in the order the register
+#: allocator hands them out.  ``%rsi``/``%rdi`` lead because the paper's
+#: examples (Fig. 8) use them for the array pointer and the loop counter.
+GPR64_NAMES = (
+    "%rsi",
+    "%rdi",
+    "%rdx",
+    "%rcx",
+    "%r8",
+    "%r9",
+    "%r10",
+    "%r11",
+    "%rax",
+    "%rbx",
+    "%r12",
+    "%r13",
+    "%r14",
+    "%r15",
+    "%rbp",
+    "%rsp",
+)
+
+GPR32_NAMES = (
+    "%esi",
+    "%edi",
+    "%edx",
+    "%ecx",
+    "%r8d",
+    "%r9d",
+    "%r10d",
+    "%r11d",
+    "%eax",
+    "%ebx",
+    "%r12d",
+    "%r13d",
+    "%r14d",
+    "%r15d",
+    "%ebp",
+    "%esp",
+)
+
+XMM_NAMES = tuple(f"%xmm{i}" for i in range(16))
+
+#: Mapping from each 32-bit GPR name to its 64-bit parent.
+_GPR32_TO_64 = dict(zip(GPR32_NAMES, GPR64_NAMES))
+_GPR64_TO_32 = dict(zip(GPR64_NAMES, GPR32_NAMES))
+
+
+@dataclass(frozen=True, slots=True)
+class PhysReg:
+    """A concrete architectural register, e.g. ``%rsi`` or ``%xmm3``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name.startswith("%"):
+            raise ValueError(f"physical register name must start with '%': {self.name!r}")
+
+    @property
+    def regclass(self) -> RegClass:
+        if self.name in GPR64_NAMES:
+            return RegClass.GPR64
+        if self.name in GPR32_NAMES:
+            return RegClass.GPR32
+        if self.name in XMM_NAMES:
+            return RegClass.XMM
+        raise ValueError(f"unknown physical register {self.name!r}")
+
+    @property
+    def canonical64(self) -> "PhysReg":
+        """The 64-bit architectural register backing this name.
+
+        ``%eax`` and ``%rax`` alias the same architectural register; the
+        machine model tracks state per canonical name.  XMM registers are
+        their own canonical form.
+        """
+        if self.name in _GPR32_TO_64:
+            return PhysReg(_GPR32_TO_64[self.name])
+        return self
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class LogicalReg:
+    """A logical register placeholder from a kernel description (``r0``...).
+
+    Logical registers carry no class by themselves; the allocation pass
+    infers GPR vs. XMM from how the register is used (address computation
+    vs. data movement).
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name.startswith("%"):
+            raise ValueError(
+                f"logical register must not start with '%' (got {self.name!r}); "
+                "use PhysReg for physical names"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+#: Allocation pools.  ``%rsp``/``%rbp`` are excluded: the launcher's
+#: generated functions must keep a valid stack frame.  ``%rax`` is excluded
+#: because the kernel ABI (section 4.4) reserves ``%eax`` for the returned
+#: iteration count.
+GPR64_POOL = tuple(r for r in GPR64_NAMES if r not in ("%rsp", "%rbp", "%rax"))
+XMM_POOL = XMM_NAMES
+
+ALL_REG_NAMES = frozenset(GPR64_NAMES) | frozenset(GPR32_NAMES) | frozenset(XMM_NAMES)
+
+
+def parse_register(text: str) -> PhysReg | LogicalReg:
+    """Parse a register token into a physical or logical register.
+
+    ``%``-prefixed names must be known architectural registers; anything
+    else is treated as a logical name.
+
+    >>> parse_register("%rsi")
+    PhysReg(name='%rsi')
+    >>> parse_register("r1")
+    LogicalReg(name='r1')
+    """
+    text = text.strip()
+    if text.startswith("%"):
+        if text not in ALL_REG_NAMES:
+            raise ValueError(f"unknown physical register {text!r}")
+        return PhysReg(text)
+    return LogicalReg(text)
+
+
+def widen_to_64(reg: PhysReg) -> PhysReg:
+    """Return the 64-bit name aliasing ``reg`` (identity for XMM/GPR64)."""
+    return reg.canonical64

@@ -1,0 +1,205 @@
+"""Per-opcode semantics: classification, payload size, latency, port usage.
+
+The table models the subset of x86-64 (SSE2 era, matching the paper's GCC
+4.4.3 / Nehalem setting) that MicroCreator emits and the machine model
+executes.  Latencies are register-form result latencies in core cycles,
+calibrated to Nehalem; memory costs are added by the machine model from the
+cache hierarchy, so a load's total latency is ``info.latency`` (address
+generation + L1 pipeline) only when it hits in L1.
+
+Execution resources are abstract port *classes*; the machine config says how
+many slots per cycle each class offers (e.g. Nehalem: one load port, one
+store port, three ALU ports).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class OpcodeKind(enum.Enum):
+    MOVE = "move"          # data movement (the mov* family)
+    FP_ADD = "fp_add"      # SSE floating add/sub
+    FP_MUL = "fp_mul"      # SSE floating multiply
+    FP_MISC = "fp_misc"    # xorps & friends (zeroing idioms)
+    INT_ALU = "int_alu"    # scalar integer ALU (add/sub/cmp/lea/...)
+    BRANCH = "branch"      # conditional and unconditional jumps
+    PREFETCH = "prefetch"  # software prefetch hints (prefetcht0/...)
+    NOP = "nop"
+
+
+@dataclass(frozen=True, slots=True)
+class OpcodeInfo:
+    """Static description of one opcode.
+
+    Attributes
+    ----------
+    name:
+        AT&T mnemonic.
+    kind:
+        Broad class used by scheduling and the port model.
+    bytes_moved:
+        Payload bytes per executed instruction for the MOVE family
+        (``movss`` = 4, ``movsd`` = 8, ``movaps``/``movapd`` = 16);
+        0 for non-moves.
+    vector:
+        True for packed SSE operations.
+    requires_alignment:
+        True for opcodes that architecturally require 16-byte-aligned
+        memory operands (``movaps``/``movapd``); the machine model charges
+        a penalty (instead of faulting) for misaligned use, mirroring the
+        unaligned-variant comparison studies.
+    latency:
+        Register-form result latency in core cycles.
+    ports:
+        Execution-port classes consumed by the register form.  Memory
+        forms additionally consume ``"load"``/``"store"`` as classified
+        per-instruction.
+    """
+
+    name: str
+    kind: OpcodeKind
+    bytes_moved: int = 0
+    vector: bool = False
+    requires_alignment: bool = False
+    latency: int = 1
+    ports: tuple[str, ...] = field(default=("alu",))
+
+    @property
+    def is_move(self) -> bool:
+        return self.kind is OpcodeKind.MOVE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.kind is OpcodeKind.BRANCH
+
+
+def _mov(name: str, nbytes: int, *, vector: bool, aligned: bool = False) -> OpcodeInfo:
+    return OpcodeInfo(
+        name=name,
+        kind=OpcodeKind.MOVE,
+        bytes_moved=nbytes,
+        vector=vector,
+        requires_alignment=aligned,
+        latency=1,
+        ports=(),  # register-to-register moves use any ALU port; memory
+                   # forms are classified per-instruction as load/store.
+    )
+
+
+def _fp(name: str, kind: OpcodeKind, latency: int, port: str, *, vector: bool) -> OpcodeInfo:
+    return OpcodeInfo(name=name, kind=kind, latency=latency, ports=(port,), vector=vector)
+
+
+def _alu(name: str, latency: int = 1) -> OpcodeInfo:
+    return OpcodeInfo(name=name, kind=OpcodeKind.INT_ALU, latency=latency, ports=("alu",))
+
+
+def _br(name: str) -> OpcodeInfo:
+    return OpcodeInfo(name=name, kind=OpcodeKind.BRANCH, latency=1, ports=("branch",))
+
+
+_TABLE: dict[str, OpcodeInfo] = {}
+
+
+def _register(info: OpcodeInfo) -> None:
+    _TABLE[info.name] = info
+
+
+# --- data movement -------------------------------------------------------
+_register(_mov("movss", 4, vector=False))
+_register(_mov("movsd", 8, vector=False))
+_register(_mov("movaps", 16, vector=True, aligned=True))
+_register(_mov("movapd", 16, vector=True, aligned=True))
+_register(_mov("movups", 16, vector=True))
+_register(_mov("movupd", 16, vector=True))
+_register(_mov("movdqa", 16, vector=True, aligned=True))
+_register(_mov("movdqu", 16, vector=True))
+_register(_mov("mov", 8, vector=False))
+_register(_mov("movq", 8, vector=False))
+_register(_mov("movl", 4, vector=False))
+_register(_mov("movd", 4, vector=False))
+
+# --- SSE floating point --------------------------------------------------
+for _n in ("addss", "addsd"):
+    _register(_fp(_n, OpcodeKind.FP_ADD, 3, "fp_add", vector=False))
+for _n in ("addps", "addpd", "subps", "subpd"):
+    _register(_fp(_n, OpcodeKind.FP_ADD, 3, "fp_add", vector=True))
+for _n in ("subss", "subsd"):
+    _register(_fp(_n, OpcodeKind.FP_ADD, 3, "fp_add", vector=False))
+for _n in ("mulss", "mulsd"):
+    _register(_fp(_n, OpcodeKind.FP_MUL, 5, "fp_mul", vector=False))
+for _n in ("mulps", "mulpd"):
+    _register(_fp(_n, OpcodeKind.FP_MUL, 5, "fp_mul", vector=True))
+for _n in ("xorps", "xorpd", "pxor"):
+    _register(OpcodeInfo(_n, OpcodeKind.FP_MISC, latency=1, ports=("fp_add",), vector=True))
+
+# --- scalar integer ------------------------------------------------------
+for _n in ("add", "addq", "addl", "sub", "subq", "subl", "and", "or", "xor"):
+    _register(_alu(_n))
+for _n in ("inc", "incq", "incl", "dec", "decq", "decl", "neg"):
+    _register(_alu(_n))
+for _n in ("cmp", "cmpq", "cmpl", "test", "testq", "testl"):
+    _register(_alu(_n))
+_register(_alu("imul", latency=3))
+_register(_alu("lea"))
+_register(_alu("leaq"))
+
+# --- control flow --------------------------------------------------------
+for _n in ("jmp", "jge", "jg", "jl", "jle", "je", "jne", "jz", "jnz", "ja", "jae", "jb", "jbe", "js", "jns"):
+    _register(_br(_n))
+
+# --- software prefetch hints ---------------------------------------------
+for _n in ("prefetcht0", "prefetcht1", "prefetcht2", "prefetchnta"):
+    _register(OpcodeInfo(_n, OpcodeKind.PREFETCH, latency=0, ports=("load",)))
+
+_register(OpcodeInfo("nop", OpcodeKind.NOP, latency=0, ports=()))
+_register(OpcodeInfo("ret", OpcodeKind.BRANCH, latency=1, ports=("branch",)))
+
+
+#: The move family indexed by (payload bytes, wants_vector, wants_aligned):
+#: used by the move-semantics expansion pass, which lets a kernel
+#: description say "move N bytes" and have MicroCreator try the aligned,
+#: unaligned, vector and scalar encodings (section 3.1).
+MOVE_FAMILY: dict[tuple[int, bool, bool], str] = {
+    (4, False, False): "movss",
+    (4, False, True): "movss",
+    (8, False, False): "movsd",
+    (8, False, True): "movsd",
+    (16, True, True): "movaps",
+    (16, True, False): "movups",
+}
+
+#: Scalar/vector alternatives offering the same total payload: the
+#: expansion pass uses this to compare e.g. four ``movss`` against one
+#: ``movaps`` (the Fig. 11 vs. Fig. 12 comparison).
+MOVE_ALTERNATIVES: dict[str, tuple[str, ...]] = {
+    "movaps": ("movaps", "movups", "movss"),
+    "movapd": ("movapd", "movupd", "movsd"),
+    "movss": ("movss",),
+    "movsd": ("movsd",),
+}
+
+
+def opcode_info(name: str) -> OpcodeInfo:
+    """Look up the semantics of ``name``.
+
+    Raises
+    ------
+    KeyError
+        If the opcode is not modelled.  The error message lists close
+        candidates to make template typos easy to spot.
+    """
+    try:
+        return _TABLE[name]
+    except KeyError:
+        close = [k for k in _TABLE if k.startswith(name[:3])]
+        raise KeyError(
+            f"unmodelled opcode {name!r}" + (f"; did you mean one of {sorted(close)}?" if close else "")
+        ) from None
+
+
+def known_opcodes() -> frozenset[str]:
+    """All modelled mnemonics."""
+    return frozenset(_TABLE)

@@ -1,0 +1,101 @@
+"""AT&T-syntax assembly emission.
+
+The writer produces text in the style of the paper's Fig. 8::
+
+    .L6:
+    #Unrolling iterations
+    movaps %xmm0, 0(%rsi)
+    movaps 16(%rsi), %xmm1
+    #Induction variables
+    add $48, %rsi
+    sub $12, %rdi
+    jge .L6
+
+plus, when asked for a complete file, the surrounding function scaffolding
+for the MicroLauncher kernel ABI ``int name(int n, void *a0, ...)``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    AsmProgram,
+    Comment,
+    Directive,
+    Instruction,
+    LabelDef,
+)
+from repro.isa.operands import (
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    Operand,
+    RegisterOperand,
+)
+
+
+def format_operand(op: Operand) -> str:
+    """Render a single operand in AT&T syntax."""
+    if isinstance(op, RegisterOperand):
+        return str(op.reg)
+    if isinstance(op, ImmediateOperand):
+        return f"${op.value}"
+    if isinstance(op, LabelOperand):
+        return op.name
+    if isinstance(op, MemoryOperand):
+        base = str(op.base)
+        if op.index is not None:
+            inner = f"({base},{op.index},{op.scale})"
+        else:
+            inner = f"({base})"
+        return f"{op.offset}{inner}" if op.offset else inner
+    raise TypeError(f"unknown operand type {type(op).__name__}")
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render one instruction line (without indentation or newline)."""
+    text = instr.opcode
+    if instr.operands:
+        text += " " + ", ".join(format_operand(op) for op in instr.operands)
+    if instr.comment:
+        text += f"  # {instr.comment}"
+    return text
+
+
+def write_program(program: AsmProgram, *, full_file: bool = False, indent: str = "") -> str:
+    """Render a program to assembly text.
+
+    Parameters
+    ----------
+    program:
+        The kernel to render.
+    full_file:
+        When true, wrap the items in ``.text``/``.globl`` scaffolding and a
+        ``ret`` epilogue so the output is a self-contained ``.s`` file whose
+        entry point follows the MicroLauncher kernel ABI.
+    indent:
+        Prefix applied to instruction lines (labels stay in column 0).
+    """
+    lines: list[str] = []
+    if full_file:
+        lines.append("\t.text")
+        lines.append(f"\t.globl {program.name}")
+        lines.append(f"\t.type {program.name}, @function")
+        lines.append(f"{program.name}:")
+    for item in program.items:
+        if isinstance(item, LabelDef):
+            lines.append(f"{item.name}:")
+        elif isinstance(item, Directive):
+            lines.append(item.text)
+        elif isinstance(item, Comment):
+            lines.append(f"#{item.text}")
+        elif isinstance(item, Instruction):
+            lines.append(indent + format_instruction(item))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown asm item {type(item).__name__}")
+    if full_file:
+        if not any(
+            isinstance(it, Instruction) and it.opcode == "ret" for it in program.items
+        ):
+            lines.append(indent + "ret")
+        lines.append(f"\t.size {program.name}, .-{program.name}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,61 @@
+"""Kernel library: the workloads behind the paper's experiments.
+
+- :mod:`repro.kernels.memkernels` -- the (Load|Store)+ families, strided
+  and multi-array traversals, move-semantics templates (sections 3.1, 5.1,
+  5.2.2),
+- :mod:`repro.kernels.matmul` -- the naive matrix multiply of the
+  motivation study (section 2): Fig. 1's source, its compiled kernel, the
+  MicroCreator-abstracted equivalent, and the per-stream residence
+  analysis,
+- ``specs/`` -- the same kernels as MicroCreator XML input files
+  (:func:`spec_path` locates them).
+"""
+
+from pathlib import Path
+
+from repro.kernels.memkernels import (
+    all_mov_families,
+    loadstore_family,
+    move_semantics_kernel,
+    multi_array_traversal,
+    strided_kernel,
+)
+from repro.kernels.matmul import (
+    matmul_bindings,
+    matmul_kernel,
+    matmul_microbench_spec,
+    matmul_source,
+    measure_matmul,
+)
+
+_SPEC_DIR = Path(__file__).parent / "specs"
+
+
+def spec_path(name: str) -> Path:
+    """Path to a bundled kernel-description XML file.
+
+    >>> spec_path("loadstore_movaps").name
+    'loadstore_movaps.xml'
+    """
+    if not name.endswith(".xml"):
+        name += ".xml"
+    path = _SPEC_DIR / name
+    if not path.exists():
+        available = sorted(p.stem for p in _SPEC_DIR.glob("*.xml"))
+        raise FileNotFoundError(f"no bundled spec {name!r}; have {available}")
+    return path
+
+
+__all__ = [
+    "all_mov_families",
+    "loadstore_family",
+    "move_semantics_kernel",
+    "multi_array_traversal",
+    "strided_kernel",
+    "matmul_bindings",
+    "matmul_kernel",
+    "matmul_microbench_spec",
+    "matmul_source",
+    "measure_matmul",
+    "spec_path",
+]

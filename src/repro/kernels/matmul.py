@@ -1,0 +1,214 @@
+"""The naive matrix multiply of the motivation study (paper section 2).
+
+Fig. 1's C source::
+
+    for (i ...) for (j ...) { *res = 0;
+        for (k = 0; k < n; k++)
+            *res += second[k] * third[j];     /* third walks a column */
+    }
+
+whose ``gcc -O3`` inner loop is Fig. 2.  This module provides
+
+- :func:`matmul_source` -- the inner k-loop as the mini front-end's AST,
+- :func:`matmul_kernel` -- the lowered (optionally unrolled) kernel,
+- :func:`matmul_bindings` -- per-stream residence from reuse distances,
+- :func:`matmul_microbench_spec` -- the MicroCreator abstraction of the
+  same assembly (the Fig. 5 comparison partner),
+- :func:`measure_matmul` -- one measured configuration.
+
+Residence analysis (the Fig. 3 "cutting points")
+------------------------------------------------
+The three streams have very different reuse footprints:
+
+- ``res`` (the C[i][j] accumulator) is stationary within the inner loop:
+  register + one L1 line.
+- ``second`` (a row of B, stride one) is reused for every ``j``; its reuse
+  footprint is ``8 n`` bytes.
+- ``third`` (a column of C, stride ``8 n``) touches one cache *line* per
+  element; successive ``j`` sweeps reuse those lines, so the footprint is
+  ``64 n`` bytes.  This stream crosses L1 capacity at ``n = L1/64 = 512``
+  — the performance step the paper observes "500 is one of the cutting
+  points" — then L2 at ``n = 4096``, then L3.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.compiler.ast import (
+    Accumulate,
+    ArrayDecl,
+    ArrayRef,
+    InnerLoop,
+    Mul,
+)
+from repro.compiler.lower import CompiledKernel, lower_loop
+from repro.launcher.measurement import Measurement
+from repro.launcher.options import LauncherOptions
+from repro.machine.config import MachineConfig
+from repro.machine.kernel_model import ArrayBinding
+from repro.spec.builders import KernelBuilder
+from repro.spec.schema import KernelSpec, MemoryRef, RegisterRange, RegisterRef
+from repro.spec.schema import InstructionSpec
+
+#: The paper's Fig. 1 inner loop as actual C text — parseable by
+#: :func:`repro.compiler.compile_c` and accepted directly by the launcher.
+FIG1_SOURCE = """
+void multiplySingle(int n, double *res, double *second, double *third)
+{
+    int k;
+    for (k = 0; k < n; k++) {
+        *res += second[k] * third[k * n];
+    }
+}
+"""
+
+#: Array declarations shared by source and analysis (doubles, as Fig. 1).
+_RES = ArrayDecl("res", element_size=8)
+_SECOND = ArrayDecl("second", element_size=8)
+_THIRD = ArrayDecl("third", element_size=8)
+
+
+def matmul_source() -> InnerLoop:
+    """The inner k-loop of Fig. 1 as the mini front-end's AST."""
+    return InnerLoop(
+        trip_var="k",
+        body=(
+            Accumulate(
+                ArrayRef(_RES, stride_elements=0),
+                Mul(
+                    ArrayRef(_SECOND, stride_elements=1),
+                    ArrayRef(_THIRD, stride_elements="n"),
+                ),
+            ),
+        ),
+        store_target_each_iteration=True,
+    )
+
+
+def matmul_kernel(n: int, unroll: int = 1) -> CompiledKernel:
+    """Lower the matmul inner loop at size ``n`` with a compiler-hint
+    unroll factor (the Fig. 5 sweep)."""
+    if n < 1:
+        raise ValueError(f"matrix size must be positive, got {n}")
+    return lower_loop(
+        matmul_source(), n=n, unroll=unroll, name=f"matmul_n{n}_u{unroll}"
+    )
+
+
+def _stream_footprints(n: int) -> dict[str, int]:
+    """Reuse footprint per array (see module docstring)."""
+    return {
+        "res": 64,  # stationary: one line
+        "second": 8 * n,  # row of B, reused across j
+        "third": 64 * n,  # column of C: one line per element, reused across j
+    }
+
+
+def matmul_bindings(
+    kernel: CompiledKernel,
+    machine: MachineConfig,
+    alignments: Sequence[int] = (0, 0, 0),
+) -> dict[str, ArrayBinding]:
+    """Array bindings for a lowered matmul kernel.
+
+    ``alignments`` applies to (res, second, third) in that order —
+    Fig. 4's per-matrix alignment knobs.
+    """
+    footprints = _stream_footprints(kernel.n)
+    align_map = dict(zip(("res", "second", "third"), alignments))
+    bindings: dict[str, ArrayBinding] = {}
+    for register, stream in kernel.streams.items():
+        name = stream.array.name
+        bindings[register] = ArrayBinding(
+            register=register,
+            size_bytes=footprints[name],
+            alignment=align_map.get(name, 0),
+        )
+    return bindings
+
+
+def matmul_microbench_spec(
+    n: int, *, unroll: tuple[int, int] = (1, 8)
+) -> KernelSpec:
+    """The MicroCreator abstraction of the Fig. 2 assembly.
+
+    "By abstracting the assembly operations in the MicroCreator format and
+    testing various unrolling factors, the MicroTools study the kernel's
+    performance variation" (section 2).  The kernel mirrors the compiled
+    body — load, multiply-from-memory, accumulate, store — with logical
+    registers r1 (row of B), r2 (column of C) and r3 (the accumulator's
+    home).
+    """
+    temps = RegisterRange("%xmm", 0, 8)
+    acc = RegisterRef("%xmm8")
+    return (
+        KernelBuilder(f"matmul_micro_n{n}")
+        .instruction(
+            InstructionSpec(
+                operations=("movsd",),
+                operands=(MemoryRef(RegisterRef("r1")), temps),
+            )
+        )
+        .instruction(
+            InstructionSpec(
+                operations=("mulsd",),
+                operands=(MemoryRef(RegisterRef("r2")), temps),
+            )
+        )
+        .instruction(
+            InstructionSpec(operations=("addsd",), operands=(temps, acc))
+        )
+        .instruction(
+            InstructionSpec(
+                operations=("movsd",),
+                operands=(acc, MemoryRef(RegisterRef("r3"))),
+            )
+        )
+        .unroll(*unroll)
+        .pointer_induction("r1", step=8)
+        .pointer_induction("r2", step=8 * n)
+        .counter_induction("r0", linked_to="r1", element_size=8)
+        .branch("L3", "jge")
+        .build()
+    )
+
+
+def microbench_bindings(
+    n: int, machine: MachineConfig, alignments: Sequence[int] = (0, 0, 0)
+) -> dict[str, ArrayBinding]:
+    """Bindings for the generated microbenchmark's register allocation.
+
+    MicroCreator's allocator maps r1 -> %rsi, r2 -> %rdx (pointer
+    inductions in order) and r3 -> %rcx (plain logical); the streams are
+    (second, third, res) respectively.
+    """
+    footprints = _stream_footprints(n)
+    align_map = dict(zip(("res", "second", "third"), alignments))
+    return {
+        "%rsi": ArrayBinding(
+            "%rsi", footprints["second"], alignment=align_map["second"]
+        ),
+        "%rdx": ArrayBinding("%rdx", footprints["third"], alignment=align_map["third"]),
+        "%rcx": ArrayBinding("%rcx", footprints["res"], alignment=align_map["res"]),
+    }
+
+
+def measure_matmul(
+    launcher,
+    n: int,
+    *,
+    unroll: int = 1,
+    alignments: Sequence[int] = (0, 0, 0),
+    options: LauncherOptions | None = None,
+) -> Measurement:
+    """Measure one matmul configuration on ``launcher``'s machine.
+
+    Returns the launcher measurement; ``cycles_per_element`` is the
+    paper's "cycles per iteration" for the source loop (one element of
+    the k-loop per iteration).
+    """
+    options = options or LauncherOptions(trip_count=n)
+    kernel = matmul_kernel(n, unroll)
+    bindings = matmul_bindings(kernel, launcher.config, alignments)
+    return launcher.run_with_bindings(kernel, bindings, options)

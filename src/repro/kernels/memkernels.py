@@ -1,0 +1,124 @@
+"""Memory-kernel descriptions: the paper's core workloads."""
+
+from __future__ import annotations
+
+from repro.spec.builders import KernelBuilder, load_kernel
+from repro.spec.schema import KernelSpec
+from repro.isa.semantics import opcode_info
+
+#: The four instruction families of section 5.1's 510-variant study.
+MOV_FAMILY_OPCODES = ("movss", "movsd", "movaps", "movapd")
+
+
+def loadstore_family(
+    opcode: str = "movaps", *, unroll: tuple[int, int] = (1, 8)
+) -> KernelSpec:
+    """The (Load|Store)+ family of sections 3.1/5.1.
+
+    One memory move per copy with ``<swap_after_unroll/>``: unroll factors
+    ``unroll[0]..unroll[1]`` with every per-copy load/store combination.
+    Over 1..8 that is sum(2^u) = 510 variants — the figure quoted in
+    section 5.1 for a single input file.
+    """
+    return load_kernel(
+        opcode,
+        unroll=unroll,
+        swap_after_unroll=True,
+        name=f"{opcode}_loadstore",
+    )
+
+
+def all_mov_families(*, unroll: tuple[int, int] = (1, 8)) -> KernelSpec:
+    """All four mov families from one input file.
+
+    Uses instruction *selection* (multiple ``<operation>`` choices) on top
+    of the swap-after-unroll family: 4 x 510 = 2040 variants — the "more
+    than two thousand benchmark programs from a single input file" of
+    section 3.
+    """
+    nbytes = opcode_info(MOV_FAMILY_OPCODES[0]).bytes_moved
+    return (
+        KernelBuilder("mov_families")
+        .load(*MOV_FAMILY_OPCODES, base="r1", swap_after_unroll=True)
+        .unroll(*unroll)
+        .pointer_induction("r1", step=nbytes)
+        .counter_induction("r0", linked_to="r1")
+        .iteration_counter("%eax")
+        .branch("L6", "jge")
+        .build()
+    )
+
+
+def multi_array_traversal(
+    n_arrays: int = 4,
+    opcode: str = "movss",
+    *,
+    unroll: tuple[int, int] = (5, 5),
+) -> KernelSpec:
+    """Single-strided traversal of several arrays (Figs. 15/16).
+
+    "The benchmark program is a single strided traversal of a number of
+    arrays ... four arrays accessed with a stride one and movss
+    instructions" (section 5.2.2).  Each array gets its own pointer
+    induction and a disjoint XMM register slice so the loads carry no
+    false dependences.
+    """
+    if not 1 <= n_arrays <= 5:
+        raise ValueError(
+            f"multi-array traversal supports 1..5 arrays (ABI pointer "
+            f"registers), got {n_arrays}"
+        )
+    nbytes = opcode_info(opcode).bytes_moved
+    regs_per_array = max(1, 8 // n_arrays)
+    builder = KernelBuilder(f"{opcode}_x{n_arrays}_traversal")
+    for i in range(n_arrays):
+        lo = i * regs_per_array
+        builder.load(opcode, base=f"r{i + 1}", xmm_range=(lo, lo + regs_per_array))
+    builder.unroll(*unroll)
+    for i in range(n_arrays):
+        builder.pointer_induction(f"r{i + 1}", step=nbytes)
+    builder.counter_induction("r0", linked_to="r1")
+    builder.iteration_counter("%eax")
+    builder.branch("L6", "jge")
+    return builder.build()
+
+
+def strided_kernel(
+    opcode: str = "movaps",
+    strides: tuple[int, ...] = (1, 2, 4, 8),
+    *,
+    unroll: tuple[int, int] = (1, 8),
+) -> KernelSpec:
+    """Load kernel with stride selection — "detect the effect of strides
+    on various microbenchmark program templates" (section 3.5)."""
+    nbytes = opcode_info(opcode).bytes_moved
+    return (
+        KernelBuilder(f"{opcode}_strided")
+        .load(opcode, base="r1")
+        .unroll(*unroll)
+        .pointer_induction("r1", step=nbytes, stride_choices=strides)
+        .counter_induction("r0", linked_to="r1")
+        .iteration_counter("%eax")
+        .branch("L6", "jge")
+        .build()
+    )
+
+
+def move_semantics_kernel(
+    nbytes: int = 16, *, unroll: tuple[int, int] = (1, 8)
+) -> KernelSpec:
+    """A kernel described by move *semantics* only (section 3.1).
+
+    MicroCreator expands it into aligned-vector, unaligned-vector and
+    scalar encodings of the same payload.
+    """
+    return (
+        KernelBuilder(f"move{nbytes}_semantics")
+        .move_bytes(nbytes, base="r1")
+        .unroll(*unroll)
+        .pointer_induction("r1", step=nbytes)
+        .counter_induction("r0", linked_to="r1")
+        .iteration_counter("%eax")
+        .branch("L6", "jge")
+        .build()
+    )

@@ -1,0 +1,75 @@
+"""Reduction kernels: the accumulator-splitting study.
+
+A dot product with a single accumulator is bound by the loop-carried
+``addss`` chain (3 cycles per element on Nehalem) no matter how far it is
+unrolled; splitting the reduction over K accumulators divides the chain
+until the FP ports become the limit — the canonical microbenchmark
+investigation MicroTools-style tooling exists to automate.
+
+The kernel description expresses the rotation naturally: the accumulator
+operand is a *register range* of width K, so unroll copy k accumulates
+into ``%xmm(8 + k mod K)`` — one XML attribute sweeps the whole study.
+"""
+
+from __future__ import annotations
+
+from repro.isa.semantics import opcode_info
+from repro.spec.builders import KernelBuilder
+from repro.spec.schema import (
+    InstructionSpec,
+    KernelSpec,
+    MemoryRef,
+    RegisterRange,
+    RegisterRef,
+)
+
+
+def dot_product_spec(
+    n_accumulators: int = 1,
+    *,
+    opcode: str = "movss",
+    unroll: tuple[int, int] = (8, 8),
+) -> KernelSpec:
+    """Dot product ``acc += a[k] * b[k]`` with K rotated accumulators.
+
+    Per unroll copy: load from ``a``, multiply from ``b`` (memory
+    operand), accumulate into the copy's accumulator register.  With
+    ``n_accumulators = 1`` every copy feeds the same register — the
+    serial chain; with K the chain splits K ways.
+    """
+    if not 1 <= n_accumulators <= 8:
+        raise ValueError(
+            f"accumulator count must be 1..8, got {n_accumulators}"
+        )
+    nbytes = opcode_info(opcode).bytes_moved
+    suffix = opcode[-2:]  # ss / sd
+    temps = RegisterRange("%xmm", 0, 8)
+    accumulators = RegisterRange("%xmm", 8, 8 + n_accumulators)
+    return (
+        KernelBuilder(f"dot_{opcode}_k{n_accumulators}")
+        .instruction(
+            InstructionSpec(
+                operations=(opcode,),
+                operands=(MemoryRef(RegisterRef("r1")), temps),
+            )
+        )
+        .instruction(
+            InstructionSpec(
+                operations=(f"mul{suffix}",),
+                operands=(MemoryRef(RegisterRef("r2")), temps),
+            )
+        )
+        .instruction(
+            InstructionSpec(
+                operations=(f"add{suffix}",),
+                operands=(temps, accumulators),
+            )
+        )
+        .unroll(*unroll)
+        .pointer_induction("r1", step=nbytes)
+        .pointer_induction("r2", step=nbytes)
+        .counter_induction("r0", linked_to="r1", element_size=nbytes)
+        .iteration_counter("%eax")
+        .branch("L7", "jge")
+        .build()
+    )

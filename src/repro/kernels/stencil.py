@@ -1,0 +1,80 @@
+"""Stencil kernels (paper section 3.5).
+
+"Though not in the scope of this paper, users are modeling unrolled codes
+and stencil codes with the MicroCreator tool."  This module provides the
+stencil workload both ways the tools accept it:
+
+- through the mini C front-end (:func:`stencil_kernel`) — the
+  three-point update ``b[k] = a[k-1] + a[k] + a[k+1]`` lowered like a
+  compiler would, and
+- as a MicroCreator description (:func:`stencil_spec`) — the same memory
+  behaviour abstracted for variation sweeps (unrolling, operand widths).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ast import Add, ArrayDecl, ArrayRef, Assign, InnerLoop
+from repro.compiler.lower import CompiledKernel, lower_loop
+from repro.isa.semantics import opcode_info
+from repro.spec.builders import KernelBuilder
+from repro.spec.schema import KernelSpec
+
+
+def stencil_source(element_size: int = 4) -> InnerLoop:
+    """``b[k] = a[k-1] + a[k] + a[k+1]`` as the mini front-end's AST."""
+    a = ArrayDecl("a", element_size)
+    b = ArrayDecl("b", element_size)
+    return InnerLoop(
+        trip_var="k",
+        body=(
+            Assign(
+                ArrayRef(b),
+                Add(
+                    Add(
+                        ArrayRef(a, offset_elements=-1),
+                        ArrayRef(a, offset_elements=0),
+                    ),
+                    ArrayRef(a, offset_elements=1),
+                ),
+            ),
+        ),
+        store_target_each_iteration=False,
+    )
+
+
+def stencil_kernel(n: int, unroll: int = 1, *, element_size: int = 4) -> CompiledKernel:
+    """The compiled three-point stencil at problem size ``n``."""
+    return lower_loop(
+        stencil_source(element_size),
+        n=n,
+        unroll=unroll,
+        name=f"stencil3_n{n}_u{unroll}",
+    )
+
+
+def stencil_spec(
+    opcode: str = "movss", *, unroll: tuple[int, int] = (1, 8)
+) -> KernelSpec:
+    """The stencil's memory pattern as a MicroCreator description.
+
+    Three loads from the input array at consecutive offsets plus one
+    store to the output per element — the traffic shape of the compiled
+    stencil, with the unroll dimension opened for sweeping.
+    """
+    nbytes = opcode_info(opcode).bytes_moved
+    builder = KernelBuilder(f"stencil3_{opcode}")
+    for tap in range(3):
+        builder.load(
+            opcode,
+            base="r1",
+            offset=tap * nbytes,
+            xmm_range=(2 * tap, 2 * tap + 2),
+        )
+    builder.store(opcode, base="r2", xmm_range=(6, 8))
+    builder.unroll(*unroll)
+    builder.pointer_induction("r1", step=nbytes)
+    builder.pointer_induction("r2", step=nbytes)
+    builder.counter_induction("r0", linked_to="r1", element_size=nbytes)
+    builder.iteration_counter("%eax")
+    builder.branch()
+    return builder.build()

@@ -1,0 +1,95 @@
+"""CSV output.
+
+"The output of the launcher is a generic CSV file providing the execution
+time of the benchmark program which is by default the number of cycles
+per iteration.  As an option, the tool may output the full kernel
+function's execution." (section 4.3)
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from repro.launcher.measurement import Measurement
+
+#: Default (summary) columns: one row per measured configuration.
+SUMMARY_COLUMNS = (
+    "kernel",
+    "label",
+    "trip_count",
+    "repetitions",
+    "loop_iterations",
+    "cycles_per_iteration",
+    "cycles_per_memory_instruction",
+    "min_cycles_per_iteration",
+    "max_cycles_per_iteration",
+    "spread",
+    "core",
+    "n_cores",
+    "alignments",
+    "bottleneck",
+)
+
+#: Full columns add one row per outer-loop experiment.
+FULL_COLUMNS = SUMMARY_COLUMNS + ("experiment", "experiment_tsc")
+
+
+def _summary_row(m: Measurement) -> dict[str, object]:
+    return {
+        "kernel": m.kernel_name,
+        "label": m.label,
+        "trip_count": m.trip_count,
+        "repetitions": m.repetitions,
+        "loop_iterations": m.loop_iterations,
+        "cycles_per_iteration": f"{m.cycles_per_iteration:.4f}",
+        "cycles_per_memory_instruction": f"{m.cycles_per_memory_instruction:.4f}",
+        "min_cycles_per_iteration": f"{m.min_cycles_per_iteration:.4f}",
+        "max_cycles_per_iteration": f"{m.max_cycles_per_iteration:.4f}",
+        "spread": f"{m.spread:.6f}",
+        "core": "" if m.core is None else m.core,
+        "n_cores": m.n_cores,
+        "alignments": ":".join(str(a) for a in m.alignments),
+        "bottleneck": m.bottleneck,
+    }
+
+
+def write_csv(
+    path: str | Path,
+    measurements: Iterable[Measurement],
+    *,
+    full: bool = False,
+    append: bool = False,
+) -> Path:
+    """Write measurements to ``path``; returns the path.
+
+    ``full`` emits one row per outer-loop experiment (the optional
+    full-execution output); otherwise one summary row per measurement.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    exists = path.exists() and path.stat().st_size > 0
+    mode = "a" if append else "w"
+    columns = FULL_COLUMNS if full else SUMMARY_COLUMNS
+    with path.open(mode, newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns)
+        if not (append and exists):
+            writer.writeheader()
+        for m in measurements:
+            base = _summary_row(m)
+            if full:
+                for i, tsc in enumerate(m.experiment_tsc):
+                    row = dict(base)
+                    row["experiment"] = i
+                    row["experiment_tsc"] = f"{tsc:.1f}"
+                    writer.writerow(row)
+            else:
+                writer.writerow(base)
+    return path
+
+
+def read_csv(path: str | Path) -> list[dict[str, str]]:
+    """Read a launcher CSV back into dict rows (tests, analysis)."""
+    with Path(path).open(newline="") as fh:
+        return list(csv.DictReader(fh))

@@ -1,0 +1,96 @@
+"""Evaluation libraries (paper section 4.2).
+
+"The user may switch the evaluation library to a custom library if the
+default *rdtsc* register is not required."  The launcher's default
+measurement is the simulated TSC; this module adds the alternative: a
+performance-counter library that reports per-call event counts alongside
+the timing — retired instructions, loads/stores, line fills per level,
+and the model's port-occupancy estimates.
+
+Counters are derived from the same kernel analysis the cycle model uses,
+scaled by the executed iteration count, so they are exact (hardware
+counters count, they do not sample) and they give tests and users an
+independent cross-check of the timing model's inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.machine.config import MachineConfig, MemLevel
+from repro.machine.kernel_model import ArrayBinding, KernelAnalysis
+
+#: Registry of evaluation libraries by option name.
+EVAL_LIBRARIES = ("rdtsc", "events")
+
+
+class EvalLibrary(Protocol):  # pragma: no cover - typing aid
+    def counters(
+        self,
+        analysis: KernelAnalysis,
+        bindings: dict[str, ArrayBinding],
+        machine: MachineConfig,
+        loop_iterations: int,
+    ) -> dict[str, float]:
+        ...
+
+
+class RdtscLibrary:
+    """The default: timing only, no event counters."""
+
+    name = "rdtsc"
+
+    def counters(self, analysis, bindings, machine, loop_iterations):
+        return {}
+
+
+class EventCounterLibrary:
+    """Per-call event counts, derived from the kernel analysis."""
+
+    name = "events"
+
+    def counters(
+        self,
+        analysis: KernelAnalysis,
+        bindings: dict[str, ArrayBinding],
+        machine: MachineConfig,
+        loop_iterations: int,
+    ) -> dict[str, float]:
+        counts: dict[str, float] = {
+            "instructions": analysis.n_instructions * loop_iterations,
+            "uops": analysis.n_uops * loop_iterations,
+            "loads": analysis.n_loads * loop_iterations,
+            "stores": analysis.n_stores * loop_iterations,
+            "branches": analysis.port_demand.get("branch", 0.0) * loop_iterations,
+        }
+        fills = {MemLevel.L2: 0.0, MemLevel.L3: 0.0, MemLevel.RAM: 0.0}
+        for stream in analysis.streams.values():
+            if not stream.accesses:
+                continue
+            binding = bindings.get(stream.base)
+            level = binding.resolve_residence(machine) if binding else MemLevel.L1
+            if level == MemLevel.L1:
+                continue
+            alignment = binding.alignment if binding else 0
+            fills[level] += stream.touched_lines(alignment) * loop_iterations
+        counts["l2_lines_in"] = fills[MemLevel.L2]
+        counts["l3_lines_in"] = fills[MemLevel.L3]
+        counts["dram_lines_in"] = fills[MemLevel.RAM]
+        counts["bytes_accessed"] = (
+            sum(s.bytes_accessed for s in analysis.streams.values())
+            * loop_iterations
+        )
+        for port, demand in analysis.port_demand.items():
+            counts[f"port_{port}_uops"] = demand * loop_iterations
+        return counts
+
+
+def eval_library(name: str) -> RdtscLibrary | EventCounterLibrary:
+    """Look up an evaluation library by option name."""
+    if name == "rdtsc":
+        return RdtscLibrary()
+    if name == "events":
+        return EventCounterLibrary()
+    raise ValueError(
+        f"unknown evaluation library {name!r}; have {EVAL_LIBRARIES}"
+    )

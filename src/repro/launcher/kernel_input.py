@@ -1,0 +1,167 @@
+"""Kernel input normalization.
+
+"As input, the launcher accepts any assembly, source code (C or Fortran),
+object file, or even a dynamic library" (section 4.1).  In this
+reproduction the accepted forms are everything that can reach the machine
+model:
+
+- a :class:`~repro.creator.GeneratedKernel` (MicroCreator output),
+- an :class:`~repro.isa.AsmProgram`,
+- AT&T assembly text or a path to a ``.s`` file,
+- a :class:`~repro.compiler.CompiledKernel` (the mini C front-end's
+  output — the "C source" input path),
+
+each normalized into a :class:`SimKernel`: the loop body analysis plus
+the stream->array mapping the launcher's allocator needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.isa.instructions import AsmProgram
+from repro.isa.parser import parse_asm
+from repro.machine.kernel_model import KernelAnalysis, analyze_kernel
+
+#: Stream base registers in kernel-ABI argument order: array ``k`` of the
+#: signature ``int f(int n, void *a0, void *a1, ...)`` arrives in these.
+ABI_POINTER_ORDER = ("%rsi", "%rdx", "%rcx", "%r8", "%r9")
+
+
+class KernelInputError(TypeError):
+    """The launcher cannot interpret this object as a kernel."""
+
+
+@dataclass(slots=True)
+class SimKernel:
+    """A kernel ready for simulated execution."""
+
+    name: str
+    program: AsmProgram
+    analysis: KernelAnalysis
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def stream_registers(self) -> list[str]:
+        """Memory-stream base registers in ABI argument order.
+
+        Registers outside the ABI pointer set (rare: index-register
+        walks) follow, sorted, so every stream gets an array.
+        """
+        present = [r for r in ABI_POINTER_ORDER if r in self.analysis.streams]
+        extras = sorted(r for r in self.analysis.streams if r not in ABI_POINTER_ORDER)
+        return present + extras
+
+    @property
+    def n_arrays(self) -> int:
+        return len(self.stream_registers)
+
+    @property
+    def elements_per_iteration(self) -> int:
+        return self.analysis.elements_per_iteration
+
+    def loop_iterations_for(self, trip_count: int) -> int:
+        """Loop iterations executed for ``n = trip_count`` elements.
+
+        This is the value the Fig.-9 ``%eax`` counter reports back to the
+        launcher: the body consumes ``elements_per_iteration`` per trip,
+        and the do/while structure always executes at least once.
+        """
+        return max(1, -(-trip_count // self.elements_per_iteration))
+
+
+def as_sim_kernel(
+    kernel: object, *, name: str | None = None, trip_count: int | None = None
+) -> SimKernel:
+    """Normalize any accepted input form into a :class:`SimKernel`.
+
+    ``trip_count`` is required when the input is C source (a ``.c`` path
+    or text containing a function definition): the C front-end lowers at
+    a concrete problem size — the same ``n`` the kernel ABI receives.
+    """
+    metadata: dict[str, object] = {}
+
+    if isinstance(kernel, SimKernel):
+        return kernel
+
+    # GeneratedKernel / CompiledKernel (duck-typed to avoid import cycles).
+    program = getattr(kernel, "program", None)
+    if isinstance(program, AsmProgram):
+        metadata = dict(getattr(kernel, "metadata", {}) or {})
+        return _from_program(program, name or program.name, metadata)
+
+    if isinstance(kernel, AsmProgram):
+        return _from_program(kernel, name or kernel.name, metadata)
+
+    if isinstance(kernel, Path):
+        return as_sim_kernel(str(kernel), name=name or kernel.stem, trip_count=trip_count)
+
+    if isinstance(kernel, str):
+        if "\n" not in kernel and kernel.endswith(".s"):
+            path = Path(kernel)
+            return _from_program(parse_asm(path.read_text()), name or path.stem, metadata)
+        if "\n" not in kernel and kernel.endswith(".c"):
+            return _from_c_source(Path(kernel).read_text(), name, trip_count)
+        if "\n" not in kernel and kernel.endswith((".f", ".f90")):
+            return _from_fortran_source(Path(kernel).read_text(), name, trip_count)
+        if _looks_like_c(kernel):
+            return _from_c_source(kernel, name, trip_count)
+        if kernel.lstrip().lower().startswith(("subroutine ", "!$omp")):
+            return _from_fortran_source(kernel, name, trip_count)
+        return _from_program(parse_asm(kernel), name or "kernel", metadata)
+
+    raise KernelInputError(
+        f"cannot interpret {type(kernel).__name__} as a kernel; pass a "
+        "GeneratedKernel, AsmProgram, CompiledKernel, assembly or C text, "
+        "or a path to a .s/.c file"
+    )
+
+
+def _looks_like_c(text: str) -> bool:
+    stripped = text.lstrip()
+    return stripped.startswith(("void ", "int ", "#pragma", "/*", "//")) and "{" in text
+
+
+def _from_c_source(source: str, name: str | None, trip_count: int | None) -> SimKernel:
+    if trip_count is None:
+        raise KernelInputError(
+            "C source needs a problem size to lower at; pass trip_count "
+            "(the launcher forwards options.trip_count automatically)"
+        )
+    from repro.compiler.cparse import CParseError, compile_c
+
+    try:
+        compiled = compile_c(source, n=trip_count, name=name)
+    except CParseError as exc:
+        raise KernelInputError(f"cannot compile C kernel: {exc}") from exc
+    return as_sim_kernel(compiled)
+
+
+def _from_fortran_source(
+    source: str, name: str | None, trip_count: int | None
+) -> SimKernel:
+    if trip_count is None:
+        raise KernelInputError(
+            "Fortran source needs a problem size to lower at; pass trip_count"
+        )
+    from repro.compiler.fparse import FortranParseError, compile_fortran
+
+    try:
+        compiled = compile_fortran(source, n=trip_count, name=name)
+    except FortranParseError as exc:
+        raise KernelInputError(f"cannot compile Fortran kernel: {exc}") from exc
+    return as_sim_kernel(compiled)
+
+
+def _from_program(program: AsmProgram, name: str, metadata: dict[str, object]) -> SimKernel:
+    try:
+        _, body = program.kernel_loop()
+    except ValueError as exc:
+        raise KernelInputError(str(exc)) from exc
+    return SimKernel(
+        name=name,
+        program=program,
+        analysis=analyze_kernel(body),
+        metadata=metadata,
+    )

@@ -1,0 +1,232 @@
+"""The Fig.-10 measurement algorithm and its result records.
+
+MicroLauncher's timing pseudo-algorithm (section 4.5):
+
+1. measure the empty-call overhead,
+2. call the benchmark function once to heat the instruction and data
+   caches,
+3. run the outer experiment loop; each experiment times ``repetitions``
+   back-to-back kernel calls with the TSC,
+4. subtract the overhead and divide by repetitions x iterations for
+   cycles per iteration.
+
+Here the "kernel call" is simulated: its ideal duration comes from the
+machine model, the TSC is the simulated reference counter, and the noise
+process perturbs every timed region according to the environment controls
+in effect — so warm-up, pinning, interrupt masking, inner-loop length and
+overhead subtraction all have measurable consequences.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.launcher.options import LauncherOptions
+from repro.machine.noise import NoiseEnvironment, NoiseModel
+
+#: Simulated cost of one kernel-function invocation (call, prologue,
+#: argument setup) — what the overhead-subtraction step removes.
+CALL_OVERHEAD_NS = 100.0
+
+
+@dataclass(frozen=True, slots=True)
+class Measurement:
+    """One measured kernel configuration (the launcher's CSV row).
+
+    ``experiment_tsc`` holds the outer-loop experiments' TSC counts after
+    overhead subtraction; all derived metrics aggregate over it with the
+    options' aggregator (the paper takes minima, "though the variance was
+    minimal").
+    """
+
+    kernel_name: str
+    label: str
+    trip_count: int
+    repetitions: int
+    loop_iterations: int
+    elements_per_iteration: int
+    n_memory_instructions: int
+    experiment_tsc: tuple[float, ...]
+    freq_ghz: float
+    tsc_ghz: float
+    aggregator: str = "min"
+    alignments: tuple[int, ...] = ()
+    core: int | None = None
+    n_cores: int = 1
+    bottleneck: str = ""
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def _aggregate(self, values: Sequence[float]) -> float:
+        if self.aggregator == "min":
+            return min(values)
+        if self.aggregator == "median":
+            return statistics.median(values)
+        return statistics.fmean(values)
+
+    @property
+    def tsc_per_call(self) -> float:
+        """Aggregated TSC cycles per kernel invocation."""
+        return self._aggregate(self.experiment_tsc) / self.repetitions
+
+    @property
+    def cycles_per_iteration(self) -> float:
+        """The paper's headline metric: TSC cycles per loop iteration.
+
+        "MicroLauncher retrieves the iteration count and, with the
+        benchmark program's elapsed time, calculates the number of cycles
+        per iteration" (section 4.4)."""
+        return self.tsc_per_call / self.loop_iterations
+
+    @property
+    def cycles_per_element(self) -> float:
+        return self.cycles_per_iteration / self.elements_per_iteration
+
+    @property
+    def cycles_per_memory_instruction(self) -> float:
+        """Average cycles per load/store — Figs. 11/12's Y axis."""
+        if self.n_memory_instructions == 0:
+            return self.cycles_per_iteration
+        return self.cycles_per_iteration / self.n_memory_instructions
+
+    @property
+    def min_cycles_per_iteration(self) -> float:
+        return min(self.experiment_tsc) / self.repetitions / self.loop_iterations
+
+    @property
+    def max_cycles_per_iteration(self) -> float:
+        return max(self.experiment_tsc) / self.repetitions / self.loop_iterations
+
+    @property
+    def spread(self) -> float:
+        """Run-to-run instability, (max - min) / min — the stability
+        figure of merit of section 4.7."""
+        lo = self.min_cycles_per_iteration
+        hi = self.max_cycles_per_iteration
+        return (hi - lo) / lo if lo else 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock seconds for the whole measured run."""
+        return sum(self.experiment_tsc) / self.tsc_ghz * 1e-9
+
+    @property
+    def counters(self) -> dict[str, float]:
+        """Per-call performance-counter estimates (empty unless the run
+        used the "events" evaluation library, section 4.2)."""
+        counters = self.metadata.get("counters")
+        return dict(counters) if isinstance(counters, dict) else {}
+
+
+@dataclass(slots=True)
+class MeasurementSeries:
+    """An ordered collection of measurements from one sweep."""
+
+    measurements: list[Measurement] = field(default_factory=list)
+
+    def append(self, m: Measurement) -> None:
+        self.measurements.append(m)
+
+    def __iter__(self) -> Iterator[Measurement]:
+        return iter(self.measurements)
+
+    def __len__(self) -> int:
+        return len(self.measurements)
+
+    def __getitem__(self, index: int) -> Measurement:
+        return self.measurements[index]
+
+    def best(self) -> Measurement:
+        """The fastest configuration by cycles per iteration."""
+        if not self.measurements:
+            raise ValueError("empty series")
+        return min(self.measurements, key=lambda m: m.cycles_per_iteration)
+
+    def worst(self) -> Measurement:
+        if not self.measurements:
+            raise ValueError("empty series")
+        return max(self.measurements, key=lambda m: m.cycles_per_iteration)
+
+    def group_min(self, key: str) -> dict[object, Measurement]:
+        """Per-group minima, the aggregation behind Figs. 11/12 ("For each
+        unroll group, the minimum value was taken")."""
+        groups: dict[object, Measurement] = {}
+        for m in self.measurements:
+            k = m.metadata.get(key)
+            if k not in groups or m.cycles_per_iteration < groups[k].cycles_per_iteration:
+                groups[k] = m
+        return groups
+
+
+def run_measurement(
+    *,
+    ideal_call_ns: float,
+    kernel_name: str,
+    options: LauncherOptions,
+    loop_iterations: int,
+    elements_per_iteration: int,
+    n_memory_instructions: int,
+    freq_ghz: float,
+    tsc_ghz: float,
+    noise: NoiseModel,
+    alignments: tuple[int, ...] = (),
+    core: int | None = None,
+    n_cores: int = 1,
+    bottleneck: str = "",
+    metadata: dict[str, object] | None = None,
+    per_experiment_ideal_ns: Sequence[float] | None = None,
+) -> Measurement:
+    """Replay the Fig.-10 algorithm against the simulated clock.
+
+    ``ideal_call_ns`` is the machine model's duration for one kernel call
+    (loop iterations x per-iteration time); ``per_experiment_ideal_ns``
+    optionally varies it per outer-loop experiment (unsynchronized
+    parallel runs do).
+    """
+    env = NoiseEnvironment(
+        pinned=options.pin,
+        interrupts_disabled=options.disable_interrupts,
+        warmed_up=options.warmup,
+        inner_repetitions=options.repetitions,
+    )
+
+    # Step 1 - overhead measurement (an empty-call timing, itself noisy).
+    overhead_estimate_ns = 0.0
+    if options.subtract_overhead:
+        raw = options.repetitions * CALL_OVERHEAD_NS
+        overhead_estimate_ns = noise.perturb(raw, env, experiment=-1)
+
+    # Steps 2-3 - warm-up happens implicitly: when options.warmup is set
+    # the noise model never applies the cold-start factor; when it is not,
+    # the first experiment pays it.
+    experiment_tsc: list[float] = []
+    for e in range(options.experiments):
+        ideal = (
+            per_experiment_ideal_ns[e]
+            if per_experiment_ideal_ns is not None
+            else ideal_call_ns
+        )
+        duration_ns = options.repetitions * (ideal + CALL_OVERHEAD_NS)
+        duration_ns = noise.perturb(duration_ns, env, experiment=e, first_run=(e == 0))
+        duration_ns -= overhead_estimate_ns
+        experiment_tsc.append(max(duration_ns, 0.0) * tsc_ghz)
+
+    return Measurement(
+        kernel_name=kernel_name,
+        label=options.label,
+        trip_count=options.trip_count,
+        repetitions=options.repetitions,
+        loop_iterations=loop_iterations,
+        elements_per_iteration=elements_per_iteration,
+        n_memory_instructions=n_memory_instructions,
+        experiment_tsc=tuple(experiment_tsc),
+        freq_ghz=freq_ghz,
+        tsc_ghz=tsc_ghz,
+        aggregator=options.aggregator,
+        alignments=alignments,
+        core=core,
+        n_cores=n_cores,
+        bottleneck=bottleneck,
+        metadata=dict(metadata or {}),
+    )

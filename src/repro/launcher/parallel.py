@@ -1,0 +1,203 @@
+"""Parallel execution models: process forking and OpenMP.
+
+Forking (section 4.6): MicroLauncher "forks its execution into multiple
+launchers, pins each to a separate core; after synchronization, it records
+the time taken to execute the benchmark."  Every forked process runs the
+*same* sequential kernel on its own arrays; what couples them is the
+shared memory system — per-socket DRAM bandwidth divides among the
+processes pinned there, which is the entire story of Fig. 14.
+
+OpenMP (section 5.2.3): one kernel's trip count divides among threads;
+every kernel invocation is a parallel region paying a fork/join overhead,
+and the threads share socket bandwidth.  Amdahl on the region overhead
+plus the bandwidth roofline reproduce Table 2's flat OpenMP column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import statistics
+
+from repro.launcher.arrays import ArrayAllocator
+from repro.launcher.kernel_input import as_sim_kernel
+from repro.launcher.measurement import Measurement, run_measurement
+from repro.launcher.options import LauncherOptions
+from repro.machine.noise import NoiseModel
+from repro.machine.pipeline import estimate_iteration_time
+
+
+@dataclass(slots=True)
+class ForkResult:
+    """Outcome of a forked multi-core run."""
+
+    per_core: list[Measurement] = field(default_factory=list)
+    pinned_cores: list[int] = field(default_factory=list)
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.per_core)
+
+    @property
+    def mean_cycles_per_iteration(self) -> float:
+        return statistics.fmean(m.cycles_per_iteration for m in self.per_core)
+
+    @property
+    def max_cycles_per_iteration(self) -> float:
+        """The slowest process — the completion time that matters for the
+        synchronized co-run."""
+        return max(m.cycles_per_iteration for m in self.per_core)
+
+    @property
+    def spread(self) -> float:
+        values = [m.cycles_per_iteration for m in self.per_core]
+        lo = min(values)
+        return (max(values) - lo) / lo if lo else 0.0
+
+
+@dataclass(slots=True)
+class OpenMPResult:
+    """Outcome of an OpenMP-model run."""
+
+    measurement: Measurement
+    threads: int
+    region_overhead_ns: float
+    total_seconds: float
+
+    @property
+    def cycles_per_iteration(self) -> float:
+        """Cycles per *global* loop iteration, the Fig. 17/18 Y axis.
+
+        The measurement's loop iterations are per-thread; dividing the
+        per-call time by the global iteration count lets the sequential
+        and OpenMP series share an axis.
+        """
+        return self.measurement.cycles_per_iteration
+
+    @property
+    def min_cycles_per_iteration(self) -> float:
+        return self.measurement.min_cycles_per_iteration
+
+    @property
+    def max_cycles_per_iteration(self) -> float:
+        return self.measurement.max_cycles_per_iteration
+
+
+def run_forked(launcher, kernel: object, options: LauncherOptions) -> ForkResult:
+    """Run ``options.n_cores`` pinned copies of the kernel concurrently."""
+    sim = as_sim_kernel(kernel, trip_count=options.trip_count)
+    machine = launcher.machine
+    if options.pin_policy == "compact":
+        pinned = machine.pin_compact(options.n_cores)
+    else:
+        pinned = machine.pin_scatter(options.n_cores)
+    allocator = ArrayAllocator(sim, options)
+    freq = options.frequency_ghz or launcher.config.freq_ghz
+    loop_iters = sim.loop_iterations_for(options.trip_count)
+    result = ForkResult(pinned_cores=pinned)
+    for core_id in pinned:
+        peers = machine.peers_on_socket(core_id, pinned)
+        bindings = allocator.bindings()
+        timing = estimate_iteration_time(
+            sim.analysis, bindings, launcher.config, active_cores_on_socket=peers
+        )
+        per_experiment = None
+        if not options.sync_start:
+            # Unsynchronized processes overlap only partially: each
+            # experiment sees a random number of concurrent peers, so the
+            # measured contention is both lower and unstable — the reason
+            # the launcher synchronizes before timing.
+            rng = NoiseModel(seed=options.noise_seed + core_id).rng_for(0)
+            per_experiment = []
+            for _ in range(options.experiments):
+                active = int(rng.integers(1, peers + 1))
+                t = estimate_iteration_time(
+                    sim.analysis,
+                    bindings,
+                    launcher.config,
+                    active_cores_on_socket=active,
+                )
+                per_experiment.append(t.time_ns(freq) * loop_iters)
+        measurement = run_measurement(
+            ideal_call_ns=timing.time_ns(freq) * loop_iters,
+            kernel_name=sim.name,
+            options=options,
+            loop_iterations=loop_iters,
+            elements_per_iteration=sim.elements_per_iteration,
+            n_memory_instructions=sim.analysis.n_loads + sim.analysis.n_stores,
+            freq_ghz=freq,
+            tsc_ghz=launcher.config.freq_ghz,
+            noise=launcher._noise_for(options, core_id),
+            core=core_id,
+            n_cores=options.n_cores,
+            bottleneck=timing.bottleneck,
+            metadata=dict(sim.metadata, socket=machine.socket_of(core_id), peers=peers),
+            per_experiment_ideal_ns=per_experiment,
+        )
+        result.per_core.append(measurement)
+    launcher._maybe_csv(options, result.per_core)
+    return result
+
+
+def run_openmp(launcher, kernel: object, options: LauncherOptions) -> OpenMPResult:
+    """Run the kernel under the OpenMP execution model.
+
+    The trip count splits evenly over ``options.omp_threads`` threads
+    (static schedule); each kernel invocation is one parallel region and
+    pays ``omp_region_overhead_ns`` for fork/join.  Threads are pinned one
+    per core ("MicroLauncher lets the OpenMP runtime pin the threads on
+    each separate core") and share socket bandwidth accordingly.
+    """
+    sim = as_sim_kernel(kernel, trip_count=options.trip_count)
+    machine = launcher.machine
+    threads = max(1, options.omp_threads)
+    if threads > len(machine.cores):
+        raise ValueError(
+            f"{threads} threads exceed {launcher.config.name}'s "
+            f"{len(machine.cores)} cores"
+        )
+    pinned = machine.pin_compact(threads)
+    freq = options.frequency_ghz or launcher.config.freq_ghz
+
+    # Per-thread share of the global iteration space.
+    global_iters = sim.loop_iterations_for(options.trip_count)
+    per_thread_iters = max(1, -(-global_iters // threads))
+
+    # The region runs at the pace of the slowest thread; with an even
+    # split that is any thread on the most-contended socket.
+    worst_ns = 0.0
+    bottleneck = ""
+    bindings = ArrayAllocator(sim, options).bindings()
+    for core_id in pinned:
+        peers = machine.peers_on_socket(core_id, pinned)
+        timing = estimate_iteration_time(
+            sim.analysis, bindings, launcher.config, active_cores_on_socket=peers
+        )
+        thread_ns = timing.time_ns(freq) * per_thread_iters
+        if thread_ns > worst_ns:
+            worst_ns = thread_ns
+            bottleneck = timing.bottleneck
+    region_ns = options.omp_region_overhead_ns if threads > 1 else 0.0
+    call_ns = worst_ns + region_ns
+
+    measurement = run_measurement(
+        ideal_call_ns=call_ns,
+        kernel_name=sim.name,
+        options=options,
+        loop_iterations=global_iters,
+        elements_per_iteration=sim.elements_per_iteration,
+        n_memory_instructions=sim.analysis.n_loads + sim.analysis.n_stores,
+        freq_ghz=freq,
+        tsc_ghz=launcher.config.freq_ghz,
+        noise=launcher._noise_for(options, threads),
+        n_cores=threads,
+        bottleneck=bottleneck,
+        metadata=dict(sim.metadata, omp_threads=threads),
+    )
+    total_seconds = measurement.total_seconds
+    launcher._maybe_csv(options, [measurement])
+    return OpenMPResult(
+        measurement=measurement,
+        threads=threads,
+        region_overhead_ns=region_ns,
+        total_seconds=total_seconds,
+    )

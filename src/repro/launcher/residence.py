@@ -1,0 +1,102 @@
+"""Residence derivation: footprint rule vs. trace-driven simulation.
+
+The analytic pipeline needs to know which hierarchy level serves each
+array stream.  Two policies:
+
+- ``"footprint"`` (default): the paper's construction — an array is
+  resident at the smallest level that holds it ("twice the size of the
+  underlying memory hierarchy" for the next level, section 5.1).  Exact
+  for single-stream kernels, and free.
+- ``"trace"``: replay a steady-state sweep of **all** streams together
+  through the set-associative cache simulator and read off where each
+  stream's lines actually live.  This captures what the footprint rule
+  cannot: several arrays *jointly* overflowing a level that each would
+  fit alone, and pathological set-aliased layouts.
+
+The trace is line-granular (one probe per touched line, wrapping at the
+array size), so cost is proportional to the combined working set in
+lines, independent of the element count.
+"""
+
+from __future__ import annotations
+
+from repro.launcher.kernel_input import SimKernel
+from repro.machine.cache import CacheHierarchy
+from repro.machine.config import MachineConfig, MemLevel
+from repro.machine.kernel_model import ArrayBinding
+
+#: Cap on probes per replay round, keeping huge arrays affordable.
+MAX_PROBES_PER_ROUND = 1 << 16
+
+#: Arrays are laid out in distinct virtual regions this far apart; only
+#: the low bits (set index, conflict window) of the alignment matter.
+REGION_STRIDE = 1 << 28
+
+
+def derive_residences(
+    sim: SimKernel,
+    bindings: dict[str, ArrayBinding],
+    machine: MachineConfig,
+    *,
+    mode: str = "footprint",
+) -> dict[str, ArrayBinding]:
+    """Return bindings with the residence field resolved per ``mode``."""
+    if mode == "footprint":
+        return bindings
+    if mode != "trace":
+        raise ValueError(f"unknown residence mode {mode!r}")
+
+    hierarchy = CacheHierarchy(machine)
+    traces: dict[str, list[int]] = {}
+    for region, (register, binding) in enumerate(sorted(bindings.items())):
+        stream = sim.analysis.streams.get(register)
+        if stream is None or not stream.accesses:
+            continue
+        traces[register] = _line_trace(stream, binding, machine, region)
+
+    if not traces:
+        return bindings
+
+    # Interleave the streams round-robin, as the loop touches them, and
+    # replay twice: the first round warms, the second measures.
+    interleaved = _interleave(list(traces.values()))
+    for address in interleaved:
+        hierarchy.access(address)
+
+    resolved = dict(bindings)
+    for register, trace in traces.items():
+        histogram: dict[MemLevel, int] = {}
+        for address in trace:
+            level = hierarchy.access(address).level
+            histogram[level] = histogram.get(level, 0) + 1
+        dominant = max(histogram, key=lambda lvl: histogram[lvl])
+        resolved[register] = ArrayBinding(
+            register=register,
+            size_bytes=bindings[register].size_bytes,
+            alignment=bindings[register].alignment,
+            residence=dominant,
+        )
+    return resolved
+
+
+def _line_trace(
+    stream, binding: ArrayBinding, machine: MachineConfig, region: int
+) -> list[int]:
+    """One steady-state sweep of the stream, one probe per touched line."""
+    line = machine.cache(MemLevel.L1).line_bytes
+    base = region * REGION_STRIDE + binding.alignment
+    size = max(binding.size_bytes, line)
+    step = abs(stream.step_bytes) or line
+    # Lines touched per iteration step; sample one probe per line.
+    probe_stride = max(line, step) if step > line else line
+    n_probes = min(max(size // probe_stride, 1), MAX_PROBES_PER_ROUND)
+    return [base + (i * probe_stride) % size for i in range(n_probes)]
+
+
+def _interleave(traces: list[list[int]]) -> list[int]:
+    out: list[int] = []
+    longest = max(len(t) for t in traces)
+    for i in range(longest):
+        for t in traces:
+            out.append(t[i % len(t)])
+    return out

@@ -1,0 +1,92 @@
+"""Simulated x86 machine substrate.
+
+The paper measures real Nehalem and Sandy Bridge machines; this package is
+the documented substitution (see DESIGN.md): an analytic, steady-state
+model of a superscalar core attached to a multi-level memory hierarchy,
+with explicit core/uncore frequency domains, per-socket shared DRAM
+bandwidth, a deterministic OS-noise process, and a reference-frequency
+timestamp counter.
+
+Layers:
+
+- :mod:`repro.machine.config` -- machine descriptions and the three paper
+  presets (dual-socket Nehalem X5650, quad-socket Nehalem X7550, Sandy
+  Bridge E3-1240),
+- :mod:`repro.machine.kernel_model` -- static analysis of a kernel loop
+  body (streams, port pressure, dependence recurrences),
+- :mod:`repro.machine.pipeline` -- the cycle model producing per-iteration
+  timings split into core-domain cycles and uncore-domain nanoseconds,
+- :mod:`repro.machine.cache` -- a trace-driven set-associative cache
+  simulator used for validation and conflict studies,
+- :mod:`repro.machine.topology` -- sockets, cores, pinning, bandwidth
+  sharing,
+- :mod:`repro.machine.tsc` -- the frequency-invariant timestamp counter,
+- :mod:`repro.machine.noise` -- environmental noise that MicroLauncher's
+  stabilization machinery suppresses.
+"""
+
+from repro.machine.config import (
+    CacheLevelConfig,
+    DramConfig,
+    MachineConfig,
+    MemLevel,
+    nehalem_2s_x5650,
+    nehalem_4s_x7550,
+    sandy_bridge_e31240,
+    preset,
+    PRESETS,
+)
+from repro.machine.kernel_model import ArrayBinding, KernelAnalysis, MemStream, analyze_kernel
+from repro.machine.pipeline import TimingBreakdown, estimate_iteration_time
+from repro.machine.cache import Cache, CacheHierarchy, AccessResult
+from repro.machine.topology import Machine, Core
+from repro.machine.tsc import TimestampCounter
+from repro.machine.noise import NoiseModel, NoiseEnvironment
+from repro.machine.serialize import (
+    MachineFileError,
+    load_machine,
+    machine_from_dict,
+    machine_to_dict,
+    save_machine,
+)
+from repro.machine.power import (
+    EnergyBreakdown,
+    PowerModel,
+    energy_frequency_sweep,
+    estimate_iteration_energy,
+)
+
+__all__ = [
+    "CacheLevelConfig",
+    "DramConfig",
+    "MachineConfig",
+    "MemLevel",
+    "nehalem_2s_x5650",
+    "nehalem_4s_x7550",
+    "sandy_bridge_e31240",
+    "preset",
+    "PRESETS",
+    "ArrayBinding",
+    "KernelAnalysis",
+    "MemStream",
+    "analyze_kernel",
+    "TimingBreakdown",
+    "estimate_iteration_time",
+    "Cache",
+    "CacheHierarchy",
+    "AccessResult",
+    "Machine",
+    "Core",
+    "TimestampCounter",
+    "NoiseModel",
+    "NoiseEnvironment",
+    "EnergyBreakdown",
+    "PowerModel",
+    "energy_frequency_sweep",
+    "estimate_iteration_energy",
+    "MachineFileError",
+    "load_machine",
+    "machine_from_dict",
+    "machine_to_dict",
+    "save_machine",
+]

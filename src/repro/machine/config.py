@@ -1,0 +1,304 @@
+"""Machine descriptions and the three paper presets (Table 1).
+
+Calibration notes
+-----------------
+Cache latencies and port widths follow the published microarchitecture
+numbers (Nehalem: one load port, one store port, three ALU ports, 4-wide
+issue; Sandy Bridge: two load ports).  Sustained per-core bandwidths are
+calibrated to the usual streaming measurements for these parts:
+
+===========  =========  ==========  =============
+level        domain     Nehalem     Sandy Bridge
+===========  =========  ==========  =============
+L1           core       16 B/cycle  32 B/cycle
+L2           core       10 B/cycle  16 B/cycle
+L3           uncore     ~18 B/ns    ~22 B/ns
+DRAM (core)  uncore     ~10 B/ns    ~12 B/ns
+DRAM (skt)   uncore     ~30 B/ns    ~21 B/ns
+===========  =========  ==========  =============
+
+The per-core DRAM number is the memory-level-parallelism limit
+(``fill_buffers * line / latency``); the per-socket number is the channel
+limit that forked multi-core runs saturate (Fig. 14's six-core knee on the
+dual-socket Nehalem: 2 sockets x (30 / 10) = 6 streaming cores).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class MemLevel(enum.IntEnum):
+    """Memory-hierarchy levels, ordered nearest first."""
+
+    L1 = 1
+    L2 = 2
+    L3 = 3
+    RAM = 4
+
+    @property
+    def label(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class CacheLevelConfig:
+    """One cache level.
+
+    ``bandwidth`` is the per-core sustained streaming bandwidth from this
+    level; its unit depends on the level's clock domain: bytes per *core
+    cycle* for core-domain levels (L1/L2), bytes per *nanosecond* for
+    uncore levels (L3).  ``latency`` is load-use latency in the same
+    domain's unit (cycles or ns).
+    """
+
+    level: MemLevel
+    size_bytes: int
+    assoc: int
+    latency: float
+    bandwidth: float
+    line_bytes: int = 64
+    core_domain: bool = True
+    shared: bool = False  # shared per socket (L3) -> bandwidth divides
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.assoc <= 0:
+            raise ValueError(f"invalid cache geometry for {self.level}")
+        if self.size_bytes % (self.assoc * self.line_bytes) != 0:
+            raise ValueError(
+                f"{self.level}: size {self.size_bytes} not divisible into "
+                f"{self.assoc}-way sets of {self.line_bytes}B lines"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.assoc * self.line_bytes)
+
+
+@dataclass(frozen=True, slots=True)
+class DramConfig:
+    """DRAM behind one socket: uncore domain (ns units).
+
+    ``core_bandwidth`` is the single-core concurrency-limited bandwidth in
+    bytes/ns; ``socket_bandwidth`` the channel limit all cores of the
+    socket share.
+    """
+
+    latency_ns: float
+    core_bandwidth: float
+    socket_bandwidth: float
+    channels: int = 3
+
+
+@dataclass(frozen=True, slots=True)
+class MachineConfig:
+    """A complete machine description.
+
+    Attributes mirror the mechanisms the paper's experiments exercise.
+
+    ``ports``: slots per cycle per execution-resource class.
+    ``branch_cost``: non-amortizable cycles per taken loop branch (the
+    carried update->test->branch serialization); the term that makes
+    unrolling pay (Figs. 5, 11, 12, 17, 18).
+    ``split_penalty``: core cycles per cache-line-crossing access.
+    ``conflict_penalty``: core cycles per loop iteration per pair of
+    streams whose addresses collide modulo ``conflict_window`` (set/bank
+    pressure — the alignment sensitivity of Figs. 15/16).
+    ``aliasing_penalty``: core cycles per iteration per load/store pair
+    colliding modulo 4096 (4K false dependence).
+    ``mlp``: maximum outstanding line fills (fill buffers).
+    ``prefetch_max_stride``: largest stride (bytes/iteration) the hardware
+    prefetcher covers; beyond it, line fills expose raw latency.
+    """
+
+    name: str
+    freq_ghz: float
+    uncore_freq_ghz: float
+    n_sockets: int
+    cores_per_socket: int
+    caches: tuple[CacheLevelConfig, ...]
+    dram: DramConfig
+    ports: dict[str, float] = field(
+        default_factory=lambda: {
+            "load": 1.0,
+            "store": 1.0,
+            "alu": 3.0,
+            "fp_add": 1.0,
+            "fp_mul": 1.0,
+            "branch": 1.0,
+        }
+    )
+    issue_width: int = 4
+    branch_cost: float = 1.5
+    split_penalty: float = 4.0
+    movaps_misaligned_penalty: float = 20.0
+    conflict_penalty: float = 2.0
+    conflict_window: int = 4096
+    conflict_traffic_factor: float = 0.05
+    aliasing_penalty: float = 5.0
+    mlp: int = 10
+    #: Outstanding misses a *demand* stream sustains without prefetch
+    #: (the OOO window's few in-flight loads vs. the prefetcher's full
+    #: fill-buffer complement) — what software prefetching recovers.
+    demand_mlp: int = 4
+    prefetch_max_stride: int = 512
+    #: Load-port occupancy (cycles) charged per line filled from each
+    #: level: fills compete with demand loads for the L1 fill path, so
+    #: even a fully-prefetched stream leaves a per-line residue that grows
+    #: with distance — the small but visible RAM separation of Fig. 12.
+    fill_cost: dict[MemLevel, float] = field(
+        default_factory=lambda: {MemLevel.L2: 1.0, MemLevel.L3: 1.5, MemLevel.RAM: 2.5}
+    )
+    #: Frequency steps available to the DVFS experiment (Fig. 13), GHz.
+    freq_steps: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        levels = [c.level for c in self.caches]
+        if levels != sorted(levels) or len(set(levels)) != len(levels):
+            raise ValueError("cache levels must be unique and ordered L1..L3")
+        if self.freq_ghz <= 0 or self.uncore_freq_ghz <= 0:
+            raise ValueError("frequencies must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_sockets * self.cores_per_socket
+
+    def cache(self, level: MemLevel) -> CacheLevelConfig:
+        for c in self.caches:
+            if c.level == level:
+                return c
+        raise KeyError(f"{self.name} has no {level.label}")
+
+    @property
+    def mem_levels(self) -> tuple[MemLevel, ...]:
+        """All levels, nearest first, ending with RAM."""
+        return tuple(c.level for c in self.caches) + (MemLevel.RAM,)
+
+    def residence_for(self, footprint_bytes: int) -> MemLevel:
+        """Smallest level whose capacity holds ``footprint_bytes``.
+
+        The paper's figures name their series by this rule: an array
+        "twice the size of the hardware's first cache level" is the L2
+        series, and so on (section 5.1).
+        """
+        for c in self.caches:
+            if footprint_bytes <= c.size_bytes:
+                return c.level
+        return MemLevel.RAM
+
+    def footprint_for(self, level: MemLevel) -> int:
+        """A footprint guaranteed resident at exactly ``level``.
+
+        Half the level's capacity, or twice the last cache for RAM —
+        the construction section 5.1 describes.
+        """
+        if level == MemLevel.RAM:
+            return 2 * self.caches[-1].size_bytes
+        return self.cache(level).size_bytes // 2
+
+    def with_frequency(self, freq_ghz: float) -> "MachineConfig":
+        """Copy at a different core frequency (uncore unchanged) — the
+        DVFS control of Fig. 13."""
+        return replace(self, freq_ghz=freq_ghz)
+
+    def scaled(self, **changes: object) -> "MachineConfig":
+        """Copy with arbitrary field overrides (for ablations)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+def nehalem_2s_x5650() -> MachineConfig:
+    """Dual-socket Intel Xeon X5650 (Westmere-EP), 2 x 6 cores, 2.67 GHz.
+
+    The machine behind Figs. 2-5 and 11-14 (Table 1).
+    """
+    return MachineConfig(
+        name="dual-socket-nehalem-x5650",
+        freq_ghz=2.67,
+        uncore_freq_ghz=2.0,
+        n_sockets=2,
+        cores_per_socket=6,
+        caches=(
+            CacheLevelConfig(MemLevel.L1, 32 * 1024, 8, latency=4, bandwidth=16.0),
+            CacheLevelConfig(MemLevel.L2, 256 * 1024, 8, latency=10, bandwidth=10.0),
+            CacheLevelConfig(
+                MemLevel.L3, 12 * 1024 * 1024, 16, latency=17.0, bandwidth=18.0,
+                core_domain=False, shared=True,
+            ),
+        ),
+        dram=DramConfig(latency_ns=65.0, core_bandwidth=10.0, socket_bandwidth=30.0, channels=3),
+        freq_steps=(1.60, 1.86, 2.13, 2.40, 2.67),
+    )
+
+
+def nehalem_4s_x7550() -> MachineConfig:
+    """Quad-socket Intel Xeon X7550 (Nehalem-EX), 4 x 8 cores, 2.0 GHz.
+
+    The 32-core machine of Figs. 15 and 16 (Table 1).
+    """
+    return MachineConfig(
+        name="quad-socket-nehalem-x7550",
+        freq_ghz=2.0,
+        uncore_freq_ghz=1.87,
+        n_sockets=4,
+        cores_per_socket=8,
+        caches=(
+            CacheLevelConfig(MemLevel.L1, 32 * 1024, 8, latency=4, bandwidth=16.0),
+            CacheLevelConfig(MemLevel.L2, 256 * 1024, 8, latency=10, bandwidth=10.0),
+            CacheLevelConfig(
+                MemLevel.L3, 18 * 1024 * 1024, 16, latency=21.0, bandwidth=15.0,
+                core_domain=False, shared=True,
+            ),
+        ),
+        dram=DramConfig(latency_ns=95.0, core_bandwidth=8.0, socket_bandwidth=25.0, channels=4),
+        freq_steps=(1.20, 1.47, 1.73, 2.00),
+    )
+
+
+def sandy_bridge_e31240() -> MachineConfig:
+    """Intel Xeon E3-1240 (Sandy Bridge), 1 x 4 cores, 3.30 GHz.
+
+    The OpenMP machine of Figs. 17/18 and Table 2 (Table 1); two load
+    ports and wider L1 bandwidth, per the microarchitecture.
+    """
+    return MachineConfig(
+        name="sandy-bridge-e31240",
+        freq_ghz=3.30,
+        uncore_freq_ghz=3.30,
+        n_sockets=1,
+        cores_per_socket=4,
+        caches=(
+            CacheLevelConfig(MemLevel.L1, 32 * 1024, 8, latency=4, bandwidth=32.0),
+            CacheLevelConfig(MemLevel.L2, 256 * 1024, 8, latency=12, bandwidth=16.0),
+            CacheLevelConfig(
+                MemLevel.L3, 8 * 1024 * 1024, 16, latency=8.0, bandwidth=22.0,
+                core_domain=False, shared=True,
+            ),
+        ),
+        dram=DramConfig(latency_ns=60.0, core_bandwidth=12.0, socket_bandwidth=21.0, channels=2),
+        ports={
+            "load": 2.0,
+            "store": 1.0,
+            "alu": 3.0,
+            "fp_add": 1.0,
+            "fp_mul": 1.0,
+            "branch": 1.0,
+        },
+        freq_steps=(1.60, 2.20, 2.80, 3.30),
+    )
+
+
+#: Preset registry, keyed the way Table 1 names the machines.
+PRESETS = {
+    "nehalem-2s": nehalem_2s_x5650,
+    "nehalem-4s": nehalem_4s_x7550,
+    "sandy-bridge": sandy_bridge_e31240,
+}
+
+
+def preset(name: str) -> MachineConfig:
+    """Look up a machine preset by registry name."""
+    try:
+        return PRESETS[name]()
+    except KeyError:
+        raise KeyError(f"unknown machine preset {name!r}; have {sorted(PRESETS)}") from None

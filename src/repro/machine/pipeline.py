@@ -1,0 +1,320 @@
+"""The steady-state cycle model.
+
+Composes the kernel analysis with a machine description into a
+per-loop-iteration timing, split by clock domain:
+
+- **core-domain cycles** — execution-port pressure, front-end width,
+  loop-carried recurrences, L1/L2 bandwidth, the taken-branch cost, and
+  alignment penalties.  These scale with core frequency (DVFS), which is
+  what makes Fig. 13's L1/L2 series move in TSC units.
+- **uncore-domain nanoseconds** — L3 and DRAM traffic at their bandwidth
+  (shared across the active cores of a socket) or, when the stride defeats
+  the prefetcher, at concurrency-limited latency.  Fixed wall-clock time,
+  hence Fig. 13's flat L3/RAM series.
+
+Composition is roofline-style: the slower of the core pipeline and the
+memory system wins, and the taken-branch serialization plus alignment
+penalties ride on top::
+
+    time_ns = max(pipe/f, core_mem/f, uncore_ns) + (branch + penalties)/f
+
+The ``max`` (not a sum) is what makes a bandwidth-bound OpenMP run immune
+to unrolling (Table 2) while the same kernel, sequential and core-bound,
+speeds up.
+
+Alignment conflicts act twice: a fixed per-pair core penalty (set/bank
+pressure) and a traffic inflation on beyond-L1 streams (conflict misses
+refetch lines) — the latter is why the 32-core alignment sweep of Fig. 16
+spreads much wider than the 8-core sweep of Fig. 15 over the *same*
+configurations.  Both apply only to pairs of *moving* streams that both
+live beyond L1: in-cache kernels such as the 200x200 matmul are alignment-
+insensitive (< 3 %, Fig. 4), exactly as the paper observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.semantics import opcode_info
+from repro.machine.config import MachineConfig, MemLevel
+from repro.machine.kernel_model import ArrayBinding, KernelAnalysis, MemStream
+
+#: A socket's shared L3 sustains roughly this multiple of one core's
+#: streaming bandwidth before the ring saturates.
+L3_SHARING_FACTOR = 3.0
+
+
+@dataclass(frozen=True, slots=True)
+class TimingBreakdown:
+    """Per-loop-iteration timing, decomposed by mechanism.
+
+    ``bounds`` records every candidate bottleneck (port pressure,
+    front-end, recurrence, per-level memory time, penalties...) so benches
+    and tests can assert *why* a configuration is slow, not just how slow
+    it is.
+    """
+
+    pipe_cycles: float
+    core_mem_cycles: float
+    uncore_ns: float
+    branch_cycles: float
+    penalty_cycles: float
+    bounds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def core_cycles(self) -> float:
+        """Total core-domain cycles (pipeline/memory roofline + penalties)."""
+        return (
+            max(self.pipe_cycles + self.branch_cycles, self.core_mem_cycles)
+            + self.penalty_cycles
+        )
+
+    def time_ns(self, freq_ghz: float) -> float:
+        """Wall-clock nanoseconds per loop iteration at ``freq_ghz``.
+
+        The taken-branch serialization extends the core pipeline bound
+        (it is what unrolling amortizes) but hides under a memory-bound
+        roofline — out-of-order execution overlaps loop overhead with
+        outstanding misses, which is why bandwidth-bound runs are immune
+        to unrolling (Table 2).  Alignment penalties are stalls the
+        machine cannot overlap, so they stay additive.
+        """
+        base = max(
+            (self.pipe_cycles + self.branch_cycles) / freq_ghz,
+            self.core_mem_cycles / freq_ghz,
+            self.uncore_ns,
+        )
+        return base + self.penalty_cycles / freq_ghz
+
+    def tsc_cycles(self, freq_ghz: float, tsc_ghz: float) -> float:
+        """Reference-frequency (rdtsc) cycles per loop iteration.
+
+        ``tsc_ghz`` is the counter's invariant rate — the machine's
+        nominal frequency — regardless of the current core frequency.
+        """
+        return self.time_ns(freq_ghz) * tsc_ghz
+
+    @property
+    def bottleneck(self) -> str:
+        """Name of the largest contributing bound.
+
+        A diagnostic label, not a unit-exact comparison: ``bounds``
+        entries carry their clock domain's unit (core cycles for
+        port/front-end/recurrence/L2, nanoseconds for L3/DRAM), so near
+        the core/uncore crossover the label can name either side.  Tests
+        and benches that need the exact winner compare
+        :meth:`time_ns`'s components directly.
+        """
+        if not self.bounds:
+            return "unknown"
+        return max(self.bounds, key=lambda k: self.bounds[k])
+
+
+def _residence(
+    stream: MemStream, bindings: dict[str, ArrayBinding], machine: MachineConfig
+) -> tuple[MemLevel, int]:
+    """(residence level, alignment) for one stream."""
+    binding = bindings.get(stream.base)
+    if binding is None:
+        return MemLevel.L1, 0
+    return binding.resolve_residence(machine), binding.alignment
+
+
+def _conflicts(
+    analysis: KernelAnalysis,
+    bindings: dict[str, ArrayBinding],
+    machine: MachineConfig,
+) -> tuple[int, float, float]:
+    """Alignment collisions between moving, beyond-L1 stream pairs.
+
+    Returns (conflicting pairs, conflict penalty cycles, aliasing penalty
+    cycles).  Pairs where either stream is stationary or L1-resident are
+    exempt: associativity absorbs the pressure when the data is cached,
+    which is why the in-cache matmul of Fig. 4 shows < 3 % alignment
+    sensitivity while the streaming traversals of Figs. 15/16 show ~1.5x.
+    """
+    line = machine.cache(MemLevel.L1).line_bytes
+    eligible: list[tuple[MemStream, int]] = []
+    for stream in analysis.streams.values():
+        if not stream.accesses or stream.step_bytes == 0:
+            continue
+        level, alignment = _residence(stream, bindings, machine)
+        if level == MemLevel.L1:
+            continue
+        eligible.append((stream, alignment))
+
+    pairs = 0
+    aliasing = 0.0
+    for i in range(len(eligible)):
+        for j in range(i + 1, len(eligible)):
+            (a, align_a), (b, align_b) = eligible[i], eligible[j]
+            distance = (a.first_phase(align_a) - b.first_phase(align_b)) % (
+                machine.conflict_window
+            )
+            distance = min(distance, machine.conflict_window - distance)
+            if distance < line:
+                pairs += 1
+                crossed = (a.has_loads and b.has_stores) or (
+                    a.has_stores and b.has_loads
+                )
+                if crossed:
+                    aliasing += machine.aliasing_penalty
+    return pairs, pairs * machine.conflict_penalty, aliasing
+
+
+def _split_penalty(
+    analysis: KernelAnalysis,
+    bindings: dict[str, ArrayBinding],
+    machine: MachineConfig,
+) -> float:
+    """Cache-line-split penalties, amortized over the stride window."""
+    line = machine.cache(MemLevel.L1).line_bytes
+    total = 0.0
+    for stream in analysis.streams.values():
+        alignment = bindings[stream.base].alignment if stream.base in bindings else 0
+        for opcode, count in stream.amortized_splits(alignment, line).items():
+            per_access = (
+                machine.movaps_misaligned_penalty
+                if opcode_info(opcode).requires_alignment
+                else machine.split_penalty
+            )
+            total += count * per_access
+    return total
+
+
+def estimate_iteration_time(
+    analysis: KernelAnalysis,
+    bindings: dict[str, ArrayBinding],
+    machine: MachineConfig,
+    *,
+    active_cores_on_socket: int = 1,
+) -> TimingBreakdown:
+    """Estimate the steady-state time of one loop iteration.
+
+    Parameters
+    ----------
+    analysis:
+        Output of :func:`~repro.machine.kernel_model.analyze_kernel`.
+    bindings:
+        Base-register -> array binding; streams without a binding are
+        treated as L1-resident (stack temporaries).
+    machine:
+        The machine description (frequency itself is applied later, in
+        :meth:`TimingBreakdown.time_ns`).
+    active_cores_on_socket:
+        How many cores of this socket run memory-hungry work
+        concurrently; shared-level bandwidth divides among them
+        (Fig. 14's saturation knee).
+    """
+    bounds: dict[str, float] = {}
+    active = max(1, active_cores_on_socket)
+
+    # --- core pipeline bounds (cycles) -----------------------------------
+    for port, demand in analysis.port_demand.items():
+        slots = machine.ports.get(port, 1.0)
+        bounds[f"port:{port}"] = demand / slots
+    bounds["frontend"] = analysis.n_uops / machine.issue_width
+    bounds["recurrence"] = analysis.recurrence_cycles
+
+    # --- alignment interactions (needed before traffic accounting) -------
+    conflict_pairs, conflict_cycles, aliasing_cycles = _conflicts(
+        analysis, bindings, machine
+    )
+    traffic_factor = 1.0 + machine.conflict_traffic_factor * conflict_pairs
+
+    # --- memory system ----------------------------------------------------
+    line_bytes = machine.cache(MemLevel.L1).line_bytes
+    core_mem_cycles = 0.0
+    uncore_ns = 0.0
+    fill_by_port: dict[str, float] = {}
+    for stream in analysis.streams.values():
+        if not stream.accesses:
+            continue
+        level, alignment = _residence(stream, bindings, machine)
+        if level == MemLevel.L1:
+            # L1 throughput is already captured by the port model: one
+            # load port moving one access per cycle *is* the L1 load
+            # bandwidth (and the store port the store bandwidth).  A
+            # separate combined-bandwidth charge would double-count and
+            # falsely cap kernels that use both ports at once.
+            bounds[f"mem:{stream.base}:L1"] = 0.0
+            continue
+        lines = stream.touched_lines(alignment) * traffic_factor
+        if lines == 0:
+            continue
+        # Fills occupy the port that misses: demand loads block the load
+        # port, store misses (RFO allocations) block the store path.
+        fill_port = "store" if (stream.has_stores and not stream.has_loads) else "load"
+        fill_by_port[fill_port] = fill_by_port.get(fill_port, 0.0) + lines * (
+            machine.fill_cost.get(level, 0.0)
+        )
+        prefetched = (
+            0 < abs(stream.step_bytes) <= machine.prefetch_max_stride
+        ) or stream.sw_prefetched
+        if level == MemLevel.RAM:
+            dram = machine.dram
+            bw = min(dram.core_bandwidth, dram.socket_bandwidth / active)
+            transfer_ns = lines * line_bytes / bw
+            if not prefetched:
+                transfer_ns = max(
+                    transfer_ns, lines * dram.latency_ns / machine.demand_mlp
+                )
+            bounds[f"mem:{stream.base}:RAM"] = transfer_ns
+            uncore_ns += transfer_ns
+        else:
+            cfg = machine.cache(level)
+            if cfg.core_domain:
+                cycles = lines * line_bytes / cfg.bandwidth
+                if not prefetched:
+                    cycles = max(cycles, lines * cfg.latency / machine.demand_mlp)
+                bounds[f"mem:{stream.base}:{level.label}"] = cycles
+                core_mem_cycles += cycles
+            else:
+                bw = cfg.bandwidth
+                if cfg.shared:
+                    bw = min(cfg.bandwidth, cfg.bandwidth * L3_SHARING_FACTOR / active)
+                transfer_ns = lines * line_bytes / bw
+                if not prefetched:
+                    transfer_ns = max(
+                        transfer_ns, lines * cfg.latency / machine.demand_mlp
+                    )
+                bounds[f"mem:{stream.base}:{level.label}"] = transfer_ns
+                uncore_ns += transfer_ns
+
+    # --- penalties ----------------------------------------------------------
+    penalty = _split_penalty(analysis, bindings, machine)
+    if penalty:
+        bounds["penalty:split"] = penalty
+    if conflict_cycles:
+        bounds["penalty:conflict"] = conflict_cycles
+        penalty += conflict_cycles
+    if aliasing_cycles:
+        bounds["penalty:aliasing"] = aliasing_cycles
+        penalty += aliasing_cycles
+
+    # Line fills occupy memory ports alongside demand accesses.
+    if fill_by_port:
+        for port, cycles in fill_by_port.items():
+            slots = machine.ports.get(port, 1.0)
+            bounds[f"port:{port}"] = bounds.get(f"port:{port}", 0.0) + cycles / slots
+        bounds["fill"] = sum(fill_by_port.values())
+
+    pipe_cycles = max(
+        (
+            v
+            for k, v in bounds.items()
+            if k.startswith(("port:", "frontend", "recurrence"))
+        ),
+        default=0.0,
+    )
+    bounds["core_mem_cycles"] = core_mem_cycles
+    bounds["branch_cost"] = machine.branch_cost
+
+    return TimingBreakdown(
+        pipe_cycles=pipe_cycles,
+        core_mem_cycles=core_mem_cycles,
+        uncore_ns=uncore_ns,
+        branch_cycles=machine.branch_cost,
+        penalty_cycles=penalty,
+        bounds=bounds,
+    )

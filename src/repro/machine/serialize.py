@@ -1,0 +1,117 @@
+"""Machine-description serialization.
+
+"The tools are entirely independent of the underlying architecture"
+(section 7) — which for the reproduction means users must be able to
+describe *their* machine, not just pick a Table-1 preset.  This module
+round-trips :class:`~repro.machine.config.MachineConfig` through plain
+dictionaries / JSON files::
+
+    microlauncher kernel.s --machine-file mybox.json
+
+A machine file only needs the fields that differ from the defaults; cache
+levels and DRAM are required (there is no meaningful default hierarchy).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.machine.config import (
+    CacheLevelConfig,
+    DramConfig,
+    MachineConfig,
+    MemLevel,
+)
+
+
+class MachineFileError(ValueError):
+    """A machine description file is malformed."""
+
+
+def machine_to_dict(config: MachineConfig) -> dict:
+    """Serialize a machine description to plain data (JSON-safe)."""
+    data = dataclasses.asdict(config)
+    data["caches"] = [
+        {**dataclasses.asdict(c), "level": c.level.label} for c in config.caches
+    ]
+    data["fill_cost"] = {
+        level.label: cost for level, cost in config.fill_cost.items()
+    }
+    data["freq_steps"] = list(config.freq_steps)
+    return data
+
+
+def machine_from_dict(data: dict) -> MachineConfig:
+    """Deserialize a machine description.
+
+    Raises
+    ------
+    MachineFileError
+        On missing required sections or unknown fields, with the field
+        named — a machine file typo should not silently become a default.
+    """
+    data = dict(data)
+    for required in ("name", "freq_ghz", "caches", "dram"):
+        if required not in data:
+            raise MachineFileError(f"machine description is missing {required!r}")
+
+    try:
+        caches = tuple(
+            CacheLevelConfig(
+                **{**c, "level": MemLevel[c["level"]]}
+            )
+            for c in data.pop("caches")
+        )
+    except KeyError as exc:
+        raise MachineFileError(f"bad cache level name: {exc}") from exc
+    except (TypeError, ValueError) as exc:
+        raise MachineFileError(f"bad cache field: {exc}") from exc
+
+    try:
+        dram = DramConfig(**data.pop("dram"))
+    except TypeError as exc:
+        raise MachineFileError(f"bad dram field: {exc}") from exc
+
+    if "fill_cost" in data:
+        try:
+            data["fill_cost"] = {
+                MemLevel[name]: cost for name, cost in data.pop("fill_cost").items()
+            }
+        except KeyError as exc:
+            raise MachineFileError(f"bad fill_cost level: {exc}") from exc
+    if "freq_steps" in data:
+        data["freq_steps"] = tuple(data["freq_steps"])
+    data.setdefault("uncore_freq_ghz", data["freq_ghz"])
+    data.setdefault("n_sockets", 1)
+    data.setdefault("cores_per_socket", 1)
+
+    known = {f.name for f in dataclasses.fields(MachineConfig)}
+    unknown = set(data) - known
+    if unknown:
+        raise MachineFileError(f"unknown machine fields: {sorted(unknown)}")
+    try:
+        return MachineConfig(caches=caches, dram=dram, **data)
+    except (TypeError, ValueError) as exc:
+        raise MachineFileError(str(exc)) from exc
+
+
+def save_machine(config: MachineConfig, path: str | Path) -> Path:
+    """Write a machine description as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(machine_to_dict(config), indent=2) + "\n")
+    return path
+
+
+def load_machine(path: str | Path) -> MachineConfig:
+    """Read a machine description from a JSON file."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise MachineFileError(f"no machine file at {path}") from None
+    except json.JSONDecodeError as exc:
+        raise MachineFileError(f"{path} is not valid JSON: {exc}") from exc
+    return machine_from_dict(data)

@@ -1,0 +1,85 @@
+"""Machine topology: sockets, cores, pinning, bandwidth sharing.
+
+MicroLauncher pins work to cores ("For sequential execution, the program
+is pinned on a given default core or chosen by the user.  For parallel
+execution, the system handles thread core pinning", section 4).  This
+module resolves core ids to sockets and answers the question the memory
+model needs: how many bandwidth-hungry peers share my socket?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.config import MachineConfig
+
+
+@dataclass(frozen=True, slots=True)
+class Core:
+    """One logical core: global id plus socket placement."""
+
+    core_id: int
+    socket: int
+    local_id: int
+
+
+class Machine:
+    """A machine instance: config plus core topology and pinning helpers."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.cores = tuple(
+            Core(core_id=s * config.cores_per_socket + l, socket=s, local_id=l)
+            for s in range(config.n_sockets)
+            for l in range(config.cores_per_socket)
+        )
+
+    def core(self, core_id: int) -> Core:
+        if not 0 <= core_id < len(self.cores):
+            raise ValueError(
+                f"core {core_id} out of range for {self.config.name} "
+                f"({len(self.cores)} cores)"
+            )
+        return self.cores[core_id]
+
+    def socket_of(self, core_id: int) -> int:
+        return self.core(core_id).socket
+
+    # -- pinning policies ---------------------------------------------------
+
+    def pin_compact(self, n: int) -> list[int]:
+        """Fill sockets one at a time (cores 0,1,2,... in order)."""
+        self._check_count(n)
+        return list(range(n))
+
+    def pin_scatter(self, n: int) -> list[int]:
+        """Round-robin across sockets — the default for forked multi-core
+        runs, spreading memory demand over every socket's channels."""
+        self._check_count(n)
+        order: list[int] = []
+        for local in range(self.config.cores_per_socket):
+            for socket in range(self.config.n_sockets):
+                order.append(socket * self.config.cores_per_socket + local)
+        return order[:n]
+
+    def _check_count(self, n: int) -> None:
+        if not 1 <= n <= len(self.cores):
+            raise ValueError(
+                f"{self.config.name} has {len(self.cores)} cores; asked for {n}"
+            )
+
+    # -- bandwidth sharing ----------------------------------------------------
+
+    def active_per_socket(self, pinned_cores: list[int]) -> dict[int, int]:
+        """How many of ``pinned_cores`` land on each socket."""
+        counts: dict[int, int] = {}
+        for core_id in pinned_cores:
+            socket = self.socket_of(core_id)
+            counts[socket] = counts.get(socket, 0) + 1
+        return counts
+
+    def peers_on_socket(self, core_id: int, pinned_cores: list[int]) -> int:
+        """Number of pinned cores (including this one) sharing the socket
+        of ``core_id`` — the divisor for shared L3/DRAM bandwidth."""
+        socket = self.socket_of(core_id)
+        return sum(1 for c in pinned_cores if self.socket_of(c) == socket)

@@ -1,0 +1,49 @@
+"""The MicroCreator kernel-description language.
+
+A kernel description is the XML input of section 3.1 of the paper: a list
+of instruction templates (with logical registers, register ranges, memory
+operands, operand-swap directives and move semantics), an unrolling range,
+induction variables, and branch information.  This subpackage provides the
+in-memory schema (:mod:`repro.spec.schema`), the XML reader/writer
+(:mod:`repro.spec.xmlio`), and a fluent builder API
+(:mod:`repro.spec.builders`).
+"""
+
+from repro.spec.schema import (
+    BranchInfoSpec,
+    ImmediateSpec,
+    InductionSpec,
+    InstructionSpec,
+    KernelSpec,
+    MemoryRef,
+    MoveSemanticsSpec,
+    RegisterRange,
+    RegisterRef,
+    SpecValidationError,
+    StrideSpec,
+    UnrollSpec,
+)
+from repro.spec.xmlio import SpecParseError, parse_kernel_spec, parse_spec_file, write_kernel_spec
+from repro.spec.builders import KernelBuilder, load_kernel, store_kernel
+
+__all__ = [
+    "BranchInfoSpec",
+    "ImmediateSpec",
+    "InductionSpec",
+    "InstructionSpec",
+    "KernelSpec",
+    "MemoryRef",
+    "MoveSemanticsSpec",
+    "RegisterRange",
+    "RegisterRef",
+    "SpecValidationError",
+    "StrideSpec",
+    "UnrollSpec",
+    "SpecParseError",
+    "parse_kernel_spec",
+    "parse_spec_file",
+    "write_kernel_spec",
+    "KernelBuilder",
+    "load_kernel",
+    "store_kernel",
+]

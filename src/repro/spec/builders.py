@@ -1,0 +1,281 @@
+"""Fluent builder API for kernel descriptions.
+
+Writing XML by hand is faithful to the paper, but library users (and our
+own kernel library) want a programmatic path::
+
+    spec = (
+        KernelBuilder("loadstore")
+        .load("movaps", base="r1", xmm_range=(0, 8), swap_after_unroll=True)
+        .unroll(1, 8)
+        .pointer_induction("r1", step=16)
+        .counter_induction("r0", linked_to="r1")
+        .branch("L6", "jge")
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from repro.isa.semantics import opcode_info
+from repro.spec.schema import (
+    BranchInfoSpec,
+    InductionSpec,
+    InstructionSpec,
+    KernelSpec,
+    MemoryRef,
+    MoveSemanticsSpec,
+    OperandSpec,
+    RegisterRange,
+    RegisterRef,
+    SpecValidationError,
+    StrideSpec,
+    UnrollSpec,
+)
+
+
+class KernelBuilder:
+    """Accumulates kernel-description nodes and validates on :meth:`build`."""
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._instructions: list[InstructionSpec] = []
+        self._inductions: list[InductionSpec] = []
+        self._strides: list[StrideSpec] = []
+        self._unrolling = UnrollSpec()
+        self._branch: BranchInfoSpec | None = None
+        self._max_benchmarks: int | None = None
+
+    # -- instructions -------------------------------------------------------
+
+    def instruction(self, spec: InstructionSpec) -> "KernelBuilder":
+        """Append a fully-formed instruction spec."""
+        self._instructions.append(spec)
+        return self
+
+    def load(
+        self,
+        *operations: str,
+        base: str,
+        offset: int = 0,
+        xmm_range: tuple[int, int] | None = (0, 8),
+        dest: str | None = None,
+        swap_before_unroll: bool = False,
+        swap_after_unroll: bool = False,
+        repeat: int = 1,
+    ) -> "KernelBuilder":
+        """A memory->register move: ``op offset(base), %xmmN``.
+
+        ``xmm_range`` rotates destination registers across unroll copies;
+        pass ``dest`` for a fixed register instead.
+        """
+        target: OperandSpec
+        if dest is not None:
+            target = RegisterRef(dest)
+        elif xmm_range is not None:
+            target = RegisterRange("%xmm", *xmm_range)
+        else:
+            raise SpecValidationError("load needs dest or xmm_range")
+        self._instructions.append(
+            InstructionSpec(
+                operations=tuple(operations),
+                operands=(MemoryRef(RegisterRef(base), offset=offset), target),
+                swap_before_unroll=swap_before_unroll,
+                swap_after_unroll=swap_after_unroll,
+                repeat=repeat,
+            )
+        )
+        return self
+
+    def store(
+        self,
+        *operations: str,
+        base: str,
+        offset: int = 0,
+        xmm_range: tuple[int, int] | None = (0, 8),
+        src: str | None = None,
+        swap_before_unroll: bool = False,
+        swap_after_unroll: bool = False,
+        repeat: int = 1,
+    ) -> "KernelBuilder":
+        """A register->memory move: ``op %xmmN, offset(base)``."""
+        source: OperandSpec
+        if src is not None:
+            source = RegisterRef(src)
+        elif xmm_range is not None:
+            source = RegisterRange("%xmm", *xmm_range)
+        else:
+            raise SpecValidationError("store needs src or xmm_range")
+        self._instructions.append(
+            InstructionSpec(
+                operations=tuple(operations),
+                operands=(source, MemoryRef(RegisterRef(base), offset=offset)),
+                swap_before_unroll=swap_before_unroll,
+                swap_after_unroll=swap_after_unroll,
+                repeat=repeat,
+            )
+        )
+        return self
+
+    def move_bytes(
+        self,
+        nbytes: int,
+        *,
+        base: str,
+        offset: int = 0,
+        xmm_range: tuple[int, int] = (0, 8),
+        allow_unaligned: bool = True,
+        allow_scalar: bool = True,
+        swap_after_unroll: bool = False,
+    ) -> "KernelBuilder":
+        """A load described by move *semantics* (payload size, not opcode)."""
+        self._instructions.append(
+            InstructionSpec(
+                operands=(MemoryRef(RegisterRef(base), offset=offset), RegisterRange("%xmm", *xmm_range)),
+                move_semantics=MoveSemanticsSpec(
+                    bytes_per_element=nbytes,
+                    allow_unaligned=allow_unaligned,
+                    allow_scalar=allow_scalar,
+                ),
+                swap_after_unroll=swap_after_unroll,
+            )
+        )
+        return self
+
+    def arithmetic(
+        self, *operations: str, src: str, dest: str, repeat: int = 1
+    ) -> "KernelBuilder":
+        """A register-register arithmetic instruction, e.g. ``addsd``."""
+        self._instructions.append(
+            InstructionSpec(
+                operations=tuple(operations),
+                operands=(RegisterRef(src), RegisterRef(dest)),
+                repeat=repeat,
+            )
+        )
+        return self
+
+    # -- loop structure ------------------------------------------------------
+
+    def unroll(self, lo: int, hi: int | None = None) -> "KernelBuilder":
+        self._unrolling = UnrollSpec(min=lo, max=hi if hi is not None else lo)
+        return self
+
+    def pointer_induction(
+        self, register: str, *, step: int, offset: int | None = None,
+        stride_choices: tuple[int, ...] = (),
+    ) -> "KernelBuilder":
+        """A pointer walked by ``step`` bytes per kernel iteration.
+
+        ``offset`` defaults to ``step``: each unrolled copy advances its
+        memory operand by one step, matching Fig. 6's increment=offset=16.
+        """
+        self._inductions.append(
+            InductionSpec(
+                register=RegisterRef(register),
+                increment=step,
+                offset=offset if offset is not None else step,
+            )
+        )
+        if stride_choices:
+            self._strides.append(StrideSpec(RegisterRef(register), tuple(stride_choices)))
+        return self
+
+    def counter_induction(
+        self, register: str, *, linked_to: str | None = None, step: int = -1,
+        element_size: int = 4,
+    ) -> "KernelBuilder":
+        """The loop trip counter, decremented and tested by the branch."""
+        self._inductions.append(
+            InductionSpec(
+                register=RegisterRef(register),
+                increment=step,
+                linked=RegisterRef(linked_to) if linked_to else None,
+                last_induction=True,
+                element_size=element_size,
+            )
+        )
+        return self
+
+    def iteration_counter(self, register: str = "%eax", *, step: int = 1) -> "KernelBuilder":
+        """The Fig. 9 unroll-independent counter returned to MicroLauncher."""
+        self._inductions.append(
+            InductionSpec(
+                register=RegisterRef(register),
+                increment=step,
+                not_affected_unroll=True,
+            )
+        )
+        return self
+
+    def branch(self, label: str = "L6", test: str = "jge") -> "KernelBuilder":
+        self._branch = BranchInfoSpec(label=label, test=test)
+        return self
+
+    def limit(self, max_benchmarks: int) -> "KernelBuilder":
+        self._max_benchmarks = max_benchmarks
+        return self
+
+    def build(self) -> KernelSpec:
+        return KernelSpec(
+            name=self._name,
+            instructions=tuple(self._instructions),
+            unrolling=self._unrolling,
+            inductions=tuple(self._inductions),
+            branch=self._branch,
+            strides=tuple(self._strides),
+            max_benchmarks=self._max_benchmarks,
+        )
+
+
+def _payload(operation: str) -> int:
+    nbytes = opcode_info(operation).bytes_moved
+    if nbytes == 0:
+        raise SpecValidationError(f"{operation!r} is not a move")
+    return nbytes
+
+
+def load_kernel(
+    operation: str = "movaps",
+    *,
+    unroll: tuple[int, int] = (1, 8),
+    swap_after_unroll: bool = False,
+    name: str | None = None,
+) -> KernelSpec:
+    """The canonical single-array load kernel of sections 3.1/5.1.
+
+    One ``operation`` load per kernel iteration, pointer stepping by the
+    payload size, a linked element counter, unrolled over ``unroll``.  With
+    ``swap_after_unroll=True`` this is exactly the (Load|Store)+ family:
+    unroll 1..8 with every load/store combination = 510 variants.
+    """
+    nbytes = _payload(operation)
+    return (
+        KernelBuilder(name or f"{operation}_load")
+        .load(operation, base="r1", swap_after_unroll=swap_after_unroll)
+        .unroll(*unroll)
+        .pointer_induction("r1", step=nbytes)
+        .counter_induction("r0", linked_to="r1")
+        .iteration_counter("%eax")
+        .branch("L6", "jge")
+        .build()
+    )
+
+
+def store_kernel(
+    operation: str = "movaps",
+    *,
+    unroll: tuple[int, int] = (1, 8),
+    name: str | None = None,
+) -> KernelSpec:
+    """Single-array store kernel (the mirror of :func:`load_kernel`)."""
+    nbytes = _payload(operation)
+    return (
+        KernelBuilder(name or f"{operation}_store")
+        .store(operation, base="r1")
+        .unroll(*unroll)
+        .pointer_induction("r1", step=nbytes)
+        .counter_induction("r0", linked_to="r1")
+        .iteration_counter("%eax")
+        .branch("L6", "jge")
+        .build()
+    )

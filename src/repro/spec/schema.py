@@ -1,0 +1,280 @@
+"""In-memory schema for kernel descriptions.
+
+Every class mirrors one XML node family from the paper's Fig. 6 / Fig. 9.
+Instances are immutable; MicroCreator passes never mutate a spec — they
+produce concrete kernel IR from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.isa.semantics import known_opcodes
+
+
+class SpecValidationError(ValueError):
+    """Raised when a kernel description is structurally invalid."""
+
+
+@dataclass(frozen=True, slots=True)
+class RegisterRef:
+    """``<register><name>r1</name></register>`` — a logical register, or
+    ``<register><phyName>%eax</phyName></register>`` — a fixed physical one."""
+
+    name: str
+
+    @property
+    def is_physical(self) -> bool:
+        return self.name.startswith("%")
+
+
+@dataclass(frozen=True, slots=True)
+class RegisterRange:
+    """``<register><phyName>%xmm</phyName><min>0</min><max>8</max></register>``.
+
+    After unrolling, iteration *k* uses ``{prefix}{min + k mod (max - min)}``
+    so consecutive unrolled copies touch distinct registers, breaking the
+    output dependence between them (section 3.1: "generate a different XMM
+    register per unrolling iteration. Doing so reduces register
+    dependency").  ``max`` is exclusive, matching the paper's 0..8 for the
+    eight registers ``%xmm0``-``%xmm7``.
+    """
+
+    prefix: str
+    min: int = 0
+    max: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.prefix.startswith("%"):
+            raise SpecValidationError(f"register range prefix must be physical: {self.prefix!r}")
+        if self.max <= self.min:
+            raise SpecValidationError(f"register range requires max > min, got [{self.min},{self.max})")
+
+    def name_for(self, k: int) -> str:
+        """Physical register name used by unroll iteration ``k``."""
+        span = self.max - self.min
+        return f"{self.prefix}{self.min + (k % span)}"
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryRef:
+    """``<memory><register>...</register><offset>0</offset></memory>``."""
+
+    base: RegisterRef
+    offset: int = 0
+    index: RegisterRef | None = None
+    scale: int = 1
+
+
+@dataclass(frozen=True, slots=True)
+class ImmediateSpec:
+    """An immediate operand with one or several candidate values.
+
+    Multiple values make the immediate-selection pass emit one variant per
+    value.
+    """
+
+    values: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise SpecValidationError("immediate spec needs at least one value")
+
+
+@dataclass(frozen=True, slots=True)
+class MoveSemanticsSpec:
+    """Move *semantics* instead of a concrete opcode (section 3.1).
+
+    The user states how many bytes to move and which encodings are fair
+    game; the move-semantics pass expands to every admissible concrete
+    opcode (aligned vs. unaligned, vector vs. an equivalent-payload group
+    of scalar moves).
+    """
+
+    bytes_per_element: int
+    allow_unaligned: bool = True
+    allow_scalar: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_element not in (4, 8, 16):
+            raise SpecValidationError(
+                f"move semantics supports 4/8/16-byte payloads, got {self.bytes_per_element}"
+            )
+
+
+OperandSpec = Union[RegisterRef, RegisterRange, MemoryRef, ImmediateSpec]
+
+
+@dataclass(frozen=True, slots=True)
+class InstructionSpec:
+    """One ``<instruction>`` node.
+
+    ``operations`` holds one mnemonic, or several to make the
+    instruction-selection pass emit one variant per choice.  Exactly one of
+    ``operations`` / ``move_semantics`` must be provided.  Operands are in
+    AT&T order.  ``swap_before_unroll`` / ``swap_after_unroll`` request the
+    two operand-swap passes of section 3.2.  ``repeat`` duplicates the
+    instruction before any other processing.
+    """
+
+    operations: tuple[str, ...] = ()
+    operands: tuple[OperandSpec, ...] = ()
+    move_semantics: MoveSemanticsSpec | None = None
+    swap_before_unroll: bool = False
+    swap_after_unroll: bool = False
+    repeat: int = 1
+
+    def __post_init__(self) -> None:
+        if bool(self.operations) == (self.move_semantics is not None):
+            raise SpecValidationError(
+                "instruction needs exactly one of <operation> or <move_semantics>"
+            )
+        unknown = [op for op in self.operations if op not in known_opcodes()]
+        if unknown:
+            raise SpecValidationError(f"unmodelled operations in spec: {unknown}")
+        if self.repeat < 1:
+            raise SpecValidationError(f"repeat must be >= 1, got {self.repeat}")
+        if self.swap_before_unroll and self.swap_after_unroll:
+            raise SpecValidationError("choose one operand-swap phase, not both")
+
+
+@dataclass(frozen=True, slots=True)
+class UnrollSpec:
+    """``<unrolling><min>1</min><max>8</max></unrolling>`` (inclusive)."""
+
+    min: int = 1
+    max: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min < 1 or self.max < self.min:
+            raise SpecValidationError(f"bad unroll range [{self.min},{self.max}]")
+
+    def factors(self) -> range:
+        return range(self.min, self.max + 1)
+
+
+@dataclass(frozen=True, slots=True)
+class InductionSpec:
+    """One ``<induction>`` node.
+
+    Semantics (matching Fig. 6 -> Fig. 8):
+
+    - ``increment`` is the per-kernel-iteration step.  The induction
+      insertion pass scales it by the unroll factor, so ``increment=16``
+      with unroll 3 emits ``add $48, %rsi``.
+    - ``offset`` is the byte step applied to this register's memory
+      operands between unrolled copies (16 in Fig. 6, giving the
+      ``0(%rsi)/16(%rsi)/32(%rsi)`` sequence of Fig. 8).
+    - ``linked`` ties a loop counter to a pointer induction: the counter
+      counts *elements*, so its per-loop step is
+      ``increment * unroll * (linked.increment / element_size)``.
+      Fig. 8's ``sub $12, %rdi`` = -1 * 3 * (16/4) with 4-byte elements.
+    - ``last_induction`` marks the counter tested by the loop branch.
+    - ``not_affected_unroll`` (Fig. 9) keeps the step at ``increment``
+      regardless of unrolling — the iteration-count protocol that lets
+      MicroLauncher compute cycles per iteration (section 4.4).
+    """
+
+    register: RegisterRef
+    increment: int
+    offset: int | None = None
+    linked: RegisterRef | None = None
+    last_induction: bool = False
+    not_affected_unroll: bool = False
+    element_size: int = 4
+
+    def __post_init__(self) -> None:
+        if self.increment == 0:
+            raise SpecValidationError(f"induction {self.register.name} has zero increment")
+        if self.element_size <= 0:
+            raise SpecValidationError("element_size must be positive")
+        if self.not_affected_unroll and self.linked is not None:
+            raise SpecValidationError("not_affected_unroll inductions cannot be linked")
+
+
+@dataclass(frozen=True, slots=True)
+class BranchInfoSpec:
+    """``<branch_information><label>L6</label><test>jge</test></branch_information>``."""
+
+    label: str
+    test: str = "jge"
+
+    def __post_init__(self) -> None:
+        if self.test not in known_opcodes():
+            raise SpecValidationError(f"unknown branch test {self.test!r}")
+        from repro.isa.semantics import opcode_info
+
+        if not opcode_info(self.test).is_branch:
+            raise SpecValidationError(f"{self.test!r} is not a branch")
+
+    @property
+    def asm_label(self) -> str:
+        """Label as emitted in assembly (local labels get the ``.`` prefix)."""
+        return self.label if self.label.startswith(".") else f".{self.label}"
+
+
+@dataclass(frozen=True, slots=True)
+class StrideSpec:
+    """Candidate stride multipliers for one induction register.
+
+    The stride-selection pass multiplies the induction's ``increment`` and
+    ``offset`` by each chosen value, producing one variant per candidate —
+    the "selects the strides for each induction variable" step of
+    section 3.2.
+    """
+
+    register: RegisterRef
+    values: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise SpecValidationError("stride spec needs at least one value")
+        if any(v == 0 for v in self.values):
+            raise SpecValidationError("stride 0 is not meaningful")
+
+
+@dataclass(frozen=True, slots=True)
+class KernelSpec:
+    """A complete kernel description (one XML file)."""
+
+    name: str
+    instructions: tuple[InstructionSpec, ...]
+    unrolling: UnrollSpec = UnrollSpec()
+    inductions: tuple[InductionSpec, ...] = ()
+    branch: BranchInfoSpec | None = None
+    strides: tuple[StrideSpec, ...] = ()
+    max_benchmarks: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise SpecValidationError("kernel has no instructions")
+        if self.max_benchmarks is not None and self.max_benchmarks < 1:
+            raise SpecValidationError("max_benchmarks must be >= 1")
+        last = [i for i in self.inductions if i.last_induction]
+        if len(last) > 1:
+            raise SpecValidationError("multiple <last_induction/> markers")
+        if self.branch is not None and self.inductions and not last and not any(
+            i.not_affected_unroll for i in self.inductions
+        ):
+            raise SpecValidationError(
+                "a branch needs an induction marked <last_induction/> to test"
+            )
+        induction_regs = {i.register.name for i in self.inductions}
+        for s in self.strides:
+            if s.register.name not in induction_regs:
+                raise SpecValidationError(
+                    f"stride targets unknown induction register {s.register.name!r}"
+                )
+        for ind in self.inductions:
+            if ind.linked is not None and ind.linked.name not in induction_regs:
+                raise SpecValidationError(
+                    f"induction {ind.register.name!r} linked to unknown register "
+                    f"{ind.linked.name!r}"
+                )
+
+    def last_induction(self) -> InductionSpec | None:
+        for i in self.inductions:
+            if i.last_induction:
+                return i
+        return None

@@ -1,0 +1,334 @@
+"""XML reader/writer for kernel descriptions (the paper's input format).
+
+The accepted grammar follows Fig. 6 / Fig. 9 of the paper::
+
+    <kernel name="loadstore">
+      <instruction>
+        <operation>movaps</operation>
+        <memory>
+          <register><name>r1</name></register>
+          <offset>0</offset>
+        </memory>
+        <register><phyName>%xmm</phyName><min>0</min><max>8</max></register>
+        <swap_after_unroll/>
+      </instruction>
+      <unrolling><min>1</min><max>8</max></unrolling>
+      <induction>
+        <register><name>r1</name></register>
+        <increment>16</increment>
+        <offset>16</offset>
+      </induction>
+      <induction>
+        <register><name>r0</name></register>
+        <increment>-1</increment>
+        <linked><register><name>r1</name></register></linked>
+        <last_induction/>
+      </induction>
+      <branch_information><label>L6</label><test>jge</test></branch_information>
+    </kernel>
+
+Extensions beyond the figure, all described in the paper's prose: multiple
+``<operation>`` children (instruction selection), ``<move_semantics>``
+(section 3.1 "move semantics, such as the number of bytes to be moved"),
+``<immediate>`` with several ``<value>`` children (immediate selection),
+``<stride>`` (stride selection), ``<repeat>``, ``<max_benchmarks>``, and
+``<not_affected_unroll/>`` (Fig. 9).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+from repro.spec.schema import (
+    BranchInfoSpec,
+    ImmediateSpec,
+    InductionSpec,
+    InstructionSpec,
+    KernelSpec,
+    MemoryRef,
+    MoveSemanticsSpec,
+    OperandSpec,
+    RegisterRange,
+    RegisterRef,
+    SpecValidationError,
+    StrideSpec,
+    UnrollSpec,
+)
+
+
+class SpecParseError(ValueError):
+    """Raised on malformed kernel-description XML."""
+
+
+def _text(elem: ET.Element, child: str, *, required: bool = True, default: str = "") -> str:
+    node = elem.find(child)
+    if node is None or node.text is None:
+        if required:
+            raise SpecParseError(f"<{elem.tag}> is missing <{child}>")
+        return default
+    return node.text.strip()
+
+
+def _int(elem: ET.Element, child: str, *, required: bool = True, default: int = 0) -> int:
+    text = _text(elem, child, required=required, default=str(default))
+    try:
+        return int(text)
+    except ValueError:
+        raise SpecParseError(f"<{child}> in <{elem.tag}> is not an integer: {text!r}") from None
+
+
+def _parse_register_node(elem: ET.Element) -> RegisterRef | RegisterRange:
+    name = elem.find("name")
+    phy = elem.find("phyName")
+    if name is not None and name.text:
+        return RegisterRef(name.text.strip())
+    if phy is not None and phy.text:
+        phy_name = phy.text.strip()
+        if elem.find("min") is not None or elem.find("max") is not None:
+            return RegisterRange(
+                prefix=phy_name,
+                min=_int(elem, "min", required=False, default=0),
+                max=_int(elem, "max", required=False, default=8),
+            )
+        return RegisterRef(phy_name)
+    raise SpecParseError("<register> needs <name> or <phyName>")
+
+
+def _parse_memory_node(elem: ET.Element) -> MemoryRef:
+    reg_node = elem.find("register")
+    if reg_node is None:
+        raise SpecParseError("<memory> needs a <register> base")
+    base = _parse_register_node(reg_node)
+    if isinstance(base, RegisterRange):
+        raise SpecParseError("memory base cannot be a register range")
+    index: RegisterRef | None = None
+    index_node = elem.find("index")
+    if index_node is not None:
+        idx_reg = index_node.find("register")
+        parsed = _parse_register_node(idx_reg if idx_reg is not None else index_node)
+        if isinstance(parsed, RegisterRange):
+            raise SpecParseError("memory index cannot be a register range")
+        index = parsed
+    return MemoryRef(
+        base=base,
+        offset=_int(elem, "offset", required=False, default=0),
+        index=index,
+        scale=_int(elem, "scale", required=False, default=1),
+    )
+
+
+def _parse_instruction_node(elem: ET.Element) -> InstructionSpec:
+    operations = tuple(
+        op.text.strip() for op in elem.findall("operation") if op.text and op.text.strip()
+    )
+    move_semantics = None
+    ms_node = elem.find("move_semantics")
+    if ms_node is not None:
+        move_semantics = MoveSemanticsSpec(
+            bytes_per_element=_int(ms_node, "bytes"),
+            allow_unaligned=ms_node.find("allow_unaligned") is not None,
+            allow_scalar=ms_node.find("allow_scalar") is not None,
+        )
+    operands: list[OperandSpec] = []
+    for child in elem:
+        if child.tag == "register":
+            operands.append(_parse_register_node(child))
+        elif child.tag == "memory":
+            operands.append(_parse_memory_node(child))
+        elif child.tag == "immediate":
+            values = tuple(int(v.text.strip()) for v in child.findall("value") if v.text)
+            if not values and child.text and child.text.strip():
+                values = (int(child.text.strip()),)
+            operands.append(ImmediateSpec(values))
+    try:
+        return InstructionSpec(
+            operations=operations,
+            operands=tuple(operands),
+            move_semantics=move_semantics,
+            swap_before_unroll=elem.find("swap_before_unroll") is not None,
+            swap_after_unroll=elem.find("swap_after_unroll") is not None,
+            repeat=_int(elem, "repeat", required=False, default=1),
+        )
+    except SpecValidationError as exc:
+        raise SpecParseError(f"invalid <instruction>: {exc}") from exc
+
+
+def _parse_induction_node(elem: ET.Element) -> InductionSpec:
+    reg_node = elem.find("register")
+    if reg_node is None:
+        raise SpecParseError("<induction> needs a <register>")
+    register = _parse_register_node(reg_node)
+    if isinstance(register, RegisterRange):
+        raise SpecParseError("induction register cannot be a range")
+    linked: RegisterRef | None = None
+    linked_node = elem.find("linked")
+    if linked_node is not None:
+        linked_reg = linked_node.find("register")
+        if linked_reg is None:
+            raise SpecParseError("<linked> needs a <register>")
+        parsed = _parse_register_node(linked_reg)
+        if isinstance(parsed, RegisterRange):
+            raise SpecParseError("linked register cannot be a range")
+        linked = parsed
+    offset_node = elem.find("offset")
+    try:
+        return InductionSpec(
+            register=register,
+            increment=_int(elem, "increment"),
+            offset=_int(elem, "offset") if offset_node is not None else None,
+            linked=linked,
+            last_induction=elem.find("last_induction") is not None,
+            not_affected_unroll=elem.find("not_affected_unroll") is not None,
+            element_size=_int(elem, "element_size", required=False, default=4),
+        )
+    except SpecValidationError as exc:
+        raise SpecParseError(f"invalid <induction>: {exc}") from exc
+
+
+def parse_kernel_spec(text: str) -> KernelSpec:
+    """Parse kernel-description XML text into a :class:`KernelSpec`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise SpecParseError(f"malformed XML: {exc}") from exc
+    if root.tag != "kernel":
+        raise SpecParseError(f"root element must be <kernel>, got <{root.tag}>")
+
+    instructions = tuple(_parse_instruction_node(e) for e in root.findall("instruction"))
+    inductions = tuple(_parse_induction_node(e) for e in root.findall("induction"))
+
+    unrolling = UnrollSpec()
+    unroll_node = root.find("unrolling")
+    if unroll_node is not None:
+        unrolling = UnrollSpec(
+            min=_int(unroll_node, "min", required=False, default=1),
+            max=_int(unroll_node, "max", required=False, default=1),
+        )
+
+    branch = None
+    branch_node = root.find("branch_information")
+    if branch_node is not None:
+        branch = BranchInfoSpec(
+            label=_text(branch_node, "label"),
+            test=_text(branch_node, "test", required=False, default="jge"),
+        )
+
+    strides = []
+    for s_node in root.findall("stride"):
+        reg_node = s_node.find("register")
+        if reg_node is None:
+            raise SpecParseError("<stride> needs a <register>")
+        register = _parse_register_node(reg_node)
+        if isinstance(register, RegisterRange):
+            raise SpecParseError("stride register cannot be a range")
+        values = tuple(int(v.text.strip()) for v in s_node.findall("value") if v.text)
+        strides.append(StrideSpec(register=register, values=values))
+
+    max_benchmarks = None
+    if root.find("max_benchmarks") is not None:
+        max_benchmarks = _int(root, "max_benchmarks")
+
+    try:
+        return KernelSpec(
+            name=root.get("name", "kernel"),
+            instructions=instructions,
+            unrolling=unrolling,
+            inductions=inductions,
+            branch=branch,
+            strides=tuple(strides),
+            max_benchmarks=max_benchmarks,
+        )
+    except SpecValidationError as exc:
+        raise SpecParseError(f"invalid <kernel>: {exc}") from exc
+
+
+def parse_spec_file(path: str | Path) -> KernelSpec:
+    """Parse a kernel description from a file."""
+    return parse_kernel_spec(Path(path).read_text())
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+
+def _register_xml(parent: ET.Element, reg: RegisterRef | RegisterRange, tag: str = "register") -> None:
+    node = ET.SubElement(parent, tag)
+    if isinstance(reg, RegisterRange):
+        ET.SubElement(node, "phyName").text = reg.prefix
+        ET.SubElement(node, "min").text = str(reg.min)
+        ET.SubElement(node, "max").text = str(reg.max)
+    elif reg.is_physical:
+        ET.SubElement(node, "phyName").text = reg.name
+    else:
+        ET.SubElement(node, "name").text = reg.name
+
+
+def write_kernel_spec(spec: KernelSpec) -> str:
+    """Serialize a :class:`KernelSpec` back to XML (round-trips the parser)."""
+    root = ET.Element("kernel", name=spec.name)
+    if spec.max_benchmarks is not None:
+        ET.SubElement(root, "max_benchmarks").text = str(spec.max_benchmarks)
+    for instr in spec.instructions:
+        node = ET.SubElement(root, "instruction")
+        for op in instr.operations:
+            ET.SubElement(node, "operation").text = op
+        if instr.move_semantics is not None:
+            ms = ET.SubElement(node, "move_semantics")
+            ET.SubElement(ms, "bytes").text = str(instr.move_semantics.bytes_per_element)
+            if instr.move_semantics.allow_unaligned:
+                ET.SubElement(ms, "allow_unaligned")
+            if instr.move_semantics.allow_scalar:
+                ET.SubElement(ms, "allow_scalar")
+        for operand in instr.operands:
+            if isinstance(operand, (RegisterRef, RegisterRange)):
+                _register_xml(node, operand)
+            elif isinstance(operand, MemoryRef):
+                mem = ET.SubElement(node, "memory")
+                _register_xml(mem, operand.base)
+                ET.SubElement(mem, "offset").text = str(operand.offset)
+                if operand.index is not None:
+                    idx = ET.SubElement(mem, "index")
+                    _register_xml(idx, operand.index)
+                    ET.SubElement(mem, "scale").text = str(operand.scale)
+            elif isinstance(operand, ImmediateSpec):
+                imm = ET.SubElement(node, "immediate")
+                for v in operand.values:
+                    ET.SubElement(imm, "value").text = str(v)
+        if instr.swap_before_unroll:
+            ET.SubElement(node, "swap_before_unroll")
+        if instr.swap_after_unroll:
+            ET.SubElement(node, "swap_after_unroll")
+        if instr.repeat != 1:
+            ET.SubElement(node, "repeat").text = str(instr.repeat)
+    if spec.unrolling != UnrollSpec():
+        un = ET.SubElement(root, "unrolling")
+        ET.SubElement(un, "min").text = str(spec.unrolling.min)
+        ET.SubElement(un, "max").text = str(spec.unrolling.max)
+    for ind in spec.inductions:
+        node = ET.SubElement(root, "induction")
+        _register_xml(node, ind.register)
+        ET.SubElement(node, "increment").text = str(ind.increment)
+        if ind.offset is not None:
+            ET.SubElement(node, "offset").text = str(ind.offset)
+        if ind.linked is not None:
+            linked = ET.SubElement(node, "linked")
+            _register_xml(linked, ind.linked)
+        if ind.last_induction:
+            ET.SubElement(node, "last_induction")
+        if ind.not_affected_unroll:
+            ET.SubElement(node, "not_affected_unroll")
+        if ind.element_size != 4:
+            ET.SubElement(node, "element_size").text = str(ind.element_size)
+    for stride in spec.strides:
+        node = ET.SubElement(root, "stride")
+        _register_xml(node, stride.register)
+        for v in stride.values:
+            ET.SubElement(node, "value").text = str(v)
+    if spec.branch is not None:
+        node = ET.SubElement(root, "branch_information")
+        ET.SubElement(node, "label").text = spec.branch.label
+        ET.SubElement(node, "test").text = spec.branch.test
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode") + "\n"

@@ -1,0 +1,106 @@
+"""Auto-tune / variance-attribution tests (extension)."""
+
+import pytest
+
+from repro.analysis.autotune import TuneResult, tune, variance_attribution
+from repro.kernels import loadstore_family
+from repro.launcher import LauncherOptions
+from repro.machine import MemLevel
+from repro.spec import load_kernel
+
+
+class TestVarianceAttribution:
+    def test_single_knob_explains_everything(self):
+        values = [1.0, 1.0, 3.0, 3.0]
+        keys = [{"unroll": 1}, {"unroll": 1}, {"unroll": 2}, {"unroll": 2}]
+        imp = variance_attribution(values, keys)
+        assert imp["unroll"] == pytest.approx(1.0)
+
+    def test_irrelevant_knob_scores_zero(self):
+        values = [1.0, 3.0, 1.0, 3.0]
+        keys = [
+            {"unroll": 1, "color": "a"},
+            {"unroll": 2, "color": "a"},
+            {"unroll": 1, "color": "b"},
+            {"unroll": 2, "color": "b"},
+        ]
+        imp = variance_attribution(values, keys)
+        assert imp["unroll"] == pytest.approx(1.0)
+        assert imp["color"] == pytest.approx(0.0)
+
+    def test_constant_values_no_attribution(self):
+        assert variance_attribution([2.0, 2.0], [{"a": 1}, {"a": 2}]) == {}
+
+    def test_single_valued_keys_skipped(self):
+        imp = variance_attribution([1.0, 2.0], [{"k": 1}, {"k": 1}])
+        assert "k" not in imp
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            variance_attribution([1.0], [])
+
+    def test_result_metadata_keys_excluded(self):
+        values = [1.0, 2.0]
+        keys = [{"n_loads": 1}, {"n_loads": 2}]
+        assert variance_attribution(values, keys) == {}
+
+
+class TestTune:
+    @pytest.fixture()
+    def l1_options(self, nehalem):
+        return LauncherOptions(
+            array_bytes=nehalem.footprint_for(MemLevel.L1),
+            trip_count=1 << 14,
+            experiments=3,
+            repetitions=4,
+        )
+
+    def test_tune_from_spec(self, launcher, l1_options):
+        result = tune(load_kernel("movaps"), launcher, l1_options)
+        assert isinstance(result, TuneResult)
+        assert len(result.ranked) == 8
+
+    def test_best_is_max_unroll_in_l1(self, launcher, l1_options):
+        result = tune(
+            load_kernel("movaps"),
+            launcher,
+            l1_options,
+            objective="cycles_per_memory_instruction",
+        )
+        assert result.best.unroll == 8
+
+    def test_ranked_is_sorted(self, launcher, l1_options):
+        result = tune(load_kernel("movaps"), launcher, l1_options)
+        values = [v for _, v in result.ranked]
+        assert values == sorted(values)
+
+    def test_unroll_dominates_l1_variance(self, launcher, l1_options):
+        from repro.creator import MicroCreator
+
+        kernels = [
+            k
+            for k in MicroCreator().generate(loadstore_family("movaps"))
+            if len(set(k.mix)) == 1
+        ]
+        result = tune(
+            kernels, launcher, l1_options, objective="cycles_per_memory_instruction"
+        )
+        assert result.dominant_knob() == "unroll"
+        assert result.importance["unroll"] > 0.8
+
+    def test_headroom_positive(self, launcher, l1_options):
+        result = tune(load_kernel("movaps"), launcher, l1_options)
+        assert result.tuning_headroom > 1.5
+
+    def test_report_renders(self, launcher, l1_options):
+        result = tune(load_kernel("movaps"), launcher, l1_options)
+        text = result.report()
+        assert "best :" in text and "variance attribution" in text
+
+    def test_bad_objective_rejected(self, launcher, l1_options):
+        with pytest.raises(AttributeError):
+            tune(load_kernel("movaps"), launcher, l1_options, objective="nonsense")
+
+    def test_empty_variants_rejected(self, launcher, l1_options):
+        with pytest.raises(ValueError, match="no variants"):
+            tune([], launcher, l1_options)

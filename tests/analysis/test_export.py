@@ -1,0 +1,74 @@
+"""Exhibit data-export tests."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import export_result, export_series, export_table
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.series import Series, Table
+
+
+@pytest.fixture()
+def sample_result():
+    table = Table(header=("k", "v"))
+    table.add("a", 1.5)
+    return ExperimentResult(
+        exhibit="demo",
+        title="demo exhibit",
+        paper_expectation="demo",
+        series=[
+            Series("L1", (1.0, 2.0), (3.0, 2.0)),
+            Series("RAM", (2.0, 4.0), (9.0, 8.0)),
+        ],
+        tables=[table],
+        notes={"knee": 6, "ok": True},
+        x_label="unroll",
+    )
+
+
+def read(path):
+    with path.open(newline="") as fh:
+        return list(csv.reader(fh))
+
+
+class TestExportSeries:
+    def test_wide_format_merges_x(self, tmp_path, sample_result):
+        path = export_series(
+            sample_result.series, tmp_path / "s.csv", x_label="unroll"
+        )
+        rows = read(path)
+        assert rows[0] == ["unroll", "L1", "RAM"]
+        assert rows[1] == ["1.0", "3.0", ""]
+        assert rows[2] == ["2.0", "2.0", "9.0"]
+
+
+class TestExportTable:
+    def test_header_and_rows(self, tmp_path, sample_result):
+        path = export_table(sample_result.tables[0], tmp_path / "t.csv")
+        rows = read(path)
+        assert rows == [["k", "v"], ["a", "1.5"]]
+
+
+class TestExportResult:
+    def test_all_files_written(self, tmp_path, sample_result):
+        written = export_result(sample_result, tmp_path / "out")
+        names = sorted(p.name for p in written)
+        assert names == [
+            "demo_notes.csv",
+            "demo_series.csv",
+            "demo_table0.csv",
+        ]
+
+    def test_notes_content(self, tmp_path, sample_result):
+        export_result(sample_result, tmp_path)
+        rows = read(tmp_path / "demo_notes.csv")
+        assert ["knee", "6"] in rows
+
+    def test_cli_save_data(self, tmp_path, capsys):
+        from repro.cli.launcher_cli import main
+
+        out = tmp_path / "data"
+        assert main(["--exhibit", "table1", "--save-data", str(out)]) == 0
+        assert (out / "table1_table0.csv").exists()
+        assert (out / "table1_notes.csv").exists()

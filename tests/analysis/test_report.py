@@ -1,0 +1,46 @@
+"""Report-generation tests."""
+
+from repro.analysis.report import build_report, write_report
+
+
+class TestBuildReport:
+    def test_selected_exhibits_render(self):
+        text = build_report(quick=True, exhibits=["table1", "generation_scale"])
+        assert "# MicroTools reproduction report" in text
+        assert "table1" in text
+        assert "generation_scale" in text
+        assert "All 2 exhibits reproduce their shape claims." in text
+
+    def test_sections_grouped(self):
+        text = build_report(
+            quick=True,
+            exhibits=["table1", "ablation_warmup", "ext_abstraction"],
+        )
+        paper = text.index("## Paper exhibits")
+        ablation = text.index("## Design-choice ablations")
+        extension = text.index("## Extensions (paper future work)")
+        assert paper < ablation < extension
+
+    def test_write_report(self, tmp_path):
+        path = write_report(
+            tmp_path / "nested" / "report.md", quick=True, exhibits=["table1"]
+        )
+        assert path.exists()
+        assert "Verdict" in path.read_text()
+
+
+class TestCliReport:
+    def test_report_flag(self, tmp_path, capsys, monkeypatch):
+        from repro.cli.launcher_cli import main
+
+        out = tmp_path / "r.md"
+        # Restrict to one quick exhibit for test speed by monkeypatching
+        # the registry listing the report uses.
+        import repro.analysis.report as report_module
+
+        monkeypatch.setattr(
+            report_module, "available_experiments", lambda: ["table1"]
+        )
+        assert main(["--report", str(out), "--quick"]) == 0
+        assert out.exists()
+        assert "wrote reproduction report" in capsys.readouterr().out

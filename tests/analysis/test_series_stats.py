@@ -1,0 +1,106 @@
+"""Series, table, and shape-statistics tests."""
+
+import pytest
+
+from repro.analysis.series import Series, Table, render_series
+from repro.analysis.stats import (
+    crossover,
+    find_knee,
+    is_monotone_decreasing,
+    is_monotone_increasing,
+    relative_change,
+    relative_spread,
+)
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="x values"):
+            Series("s", (1, 2), (1,))
+
+    def test_at(self):
+        s = Series("s", (1, 2, 4), (10.0, 20.0, 40.0))
+        assert s.at(2) == 20.0
+
+    def test_at_missing_x(self):
+        s = Series("s", (1, 2), (1.0, 2.0))
+        with pytest.raises(KeyError):
+            s.at(3)
+
+    def test_ratio_defaults_to_endpoints(self):
+        s = Series("s", (1, 8), (4.0, 2.0))
+        assert s.ratio() == 2.0
+
+    def test_extremes(self):
+        s = Series("s", (1, 2, 3), (5.0, 1.0, 3.0))
+        assert s.y_min == 1.0 and s.y_max == 5.0
+
+
+class TestTable:
+    def test_add_and_column(self):
+        t = Table(header=("a", "b"))
+        t.add(1, 2.5)
+        t.add(3, 4.5)
+        assert t.column("b") == [2.5, 4.5]
+
+    def test_row_width_checked(self):
+        t = Table(header=("a", "b"))
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_render_contains_cells(self):
+        t = Table(header=("name", "value"), title="demo")
+        t.add("x", 1.5)
+        text = t.render()
+        assert "demo" in text and "name" in text and "1.500" in text
+
+    def test_render_series_merges_x_grids(self):
+        a = Series("a", (1, 2), (1.0, 2.0))
+        b = Series("b", (2, 3), (4.0, 6.0))
+        text = render_series([a, b], x_label="u")
+        assert "u" in text
+        lines = text.splitlines()
+        assert len(lines) == 2 + 3  # header + rule + 3 x values
+
+
+class TestStats:
+    def test_relative_change(self):
+        assert relative_change(10, 8) == pytest.approx(0.2)
+
+    def test_relative_change_zero_baseline(self):
+        with pytest.raises(ValueError):
+            relative_change(0, 1)
+
+    def test_relative_spread(self):
+        assert relative_spread([10, 12, 11]) == pytest.approx(0.2)
+
+    def test_monotone_decreasing(self):
+        assert is_monotone_decreasing([3, 2, 2, 1])
+        assert not is_monotone_decreasing([3, 2, 2.5])
+        assert is_monotone_decreasing([3, 2, 2.05], tolerance=0.05)
+
+    def test_monotone_increasing(self):
+        assert is_monotone_increasing([1, 1, 2])
+        assert not is_monotone_increasing([1, 0.5])
+
+    def test_find_knee_fig14_shape(self):
+        x = [1, 2, 4, 6, 8, 10, 12]
+        y = [35, 35, 35.2, 35.5, 47, 58, 70]
+        assert find_knee(x, y) == 6
+
+    def test_find_knee_flat_curve(self):
+        assert find_knee([1, 2, 3], [5, 5, 5]) is None
+
+    def test_find_knee_validates_input(self):
+        with pytest.raises(ValueError):
+            find_knee([1], [1])
+
+    def test_crossover(self):
+        x = [1, 2, 3, 4]
+        a = [1, 2, 3, 4]
+        b = [4, 3, 2, 1]
+        assert crossover(x, a, b) == 3
+
+    def test_no_crossover(self):
+        x = [1, 2, 3]
+        assert crossover(x, [1, 1, 1], [2, 2, 2]) is None

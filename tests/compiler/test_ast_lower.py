@@ -1,0 +1,150 @@
+"""Mini C front-end tests: AST validation and lowering fidelity."""
+
+import pytest
+
+from repro.compiler.ast import (
+    Accumulate,
+    Add,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    InnerLoop,
+    LoweringError,
+    Mul,
+    ScalarVar,
+)
+from repro.compiler.lower import lower_loop
+from repro.isa.writer import format_instruction
+from repro.kernels.matmul import matmul_kernel, matmul_source
+
+
+class TestAst:
+    def test_array_element_sizes(self):
+        ArrayDecl("a", 4)
+        ArrayDecl("b", 8)
+        with pytest.raises(LoweringError):
+            ArrayDecl("c", 2)
+
+    def test_empty_loop_rejected(self):
+        with pytest.raises(LoweringError, match="empty"):
+            InnerLoop(trip_var="k", body=())
+
+    def test_symbolic_stride_resolves(self):
+        ref = ArrayRef(ArrayDecl("a"), stride_elements="n")
+        assert ref.resolved_stride(200) == 200
+
+    def test_unknown_symbolic_stride(self):
+        ref = ArrayRef(ArrayDecl("a"), stride_elements="m")
+        with pytest.raises(LoweringError, match="unknown symbolic"):
+            ref.resolved_stride(10)
+
+    def test_arrays_discovered_in_order(self):
+        loop = matmul_source()
+        assert [a.name for a in loop.arrays()] == ["res", "second", "third"]
+
+
+class TestMatmulLowering:
+    def test_fig2_instruction_mix(self):
+        """The lowered inner loop carries Fig. 2's mix: load, multiply
+        with memory operand, accumulate, store, updates, branch."""
+        kernel = matmul_kernel(200, 1)
+        _, body = kernel.program.kernel_loop()
+        opcodes = [i.opcode for i in body]
+        assert opcodes == ["movsd", "mulsd", "addsd", "movsd", "add", "add", "sub", "jge"]
+
+    def test_memory_operand_folding(self):
+        kernel = matmul_kernel(200, 1)
+        texts = [format_instruction(i) for i in kernel.program.instructions()]
+        assert any(t.startswith("mulsd (") for t in texts)
+
+    def test_column_stride_scales_with_n(self):
+        k200 = matmul_kernel(200, 1)
+        k500 = matmul_kernel(500, 1)
+        def stride_of(kernel, array):
+            regs = kernel.stream_for_array(array)
+            return kernel.streams[regs[0]].stride_bytes
+        assert stride_of(k200, "third") == 1600
+        assert stride_of(k500, "third") == 4000
+        assert stride_of(k200, "second") == 8
+
+    def test_accumulator_store_each_iteration(self):
+        kernel = matmul_kernel(100, 1)
+        stores = [i for i in kernel.program.instructions() if i.is_store]
+        assert len(stores) == 1
+
+    def test_scalarized_variant_skips_store(self):
+        loop = InnerLoop(
+            trip_var="k",
+            body=matmul_source().body,
+            store_target_each_iteration=False,
+        )
+        kernel = lower_loop(loop, n=100, name="scalarized")
+        assert not any(i.is_store for i in kernel.program.instructions())
+
+    def test_unroll_replicates_and_rotates_temps(self):
+        kernel = matmul_kernel(200, 4)
+        _, body = kernel.program.kernel_loop()
+        loads = [i for i in body if i.opcode == "movsd" and i.is_load]
+        assert len(loads) == 4
+        temps = {str(i.operands[1].reg) for i in loads}
+        assert len(temps) == 4
+
+    def test_unroll_scales_inductions(self):
+        kernel = matmul_kernel(200, 4)
+        updates = [
+            i for i in kernel.program.instructions()
+            if i.opcode in ("add", "sub") and not i.is_branch
+        ]
+        values = {str(i.operands[1].reg): i.operands[0].value for i in updates}
+        assert values["%rsi"] == 32      # 8 bytes * 4
+        assert values["%rdx"] == 6400    # 1600 * 4
+        assert values["%rdi"] == 4
+
+    def test_counter_counts_source_iterations(self):
+        kernel = matmul_kernel(200, 4)
+        _, body = kernel.program.kernel_loop()
+        from repro.machine.kernel_model import analyze_kernel
+
+        assert analyze_kernel(body).elements_per_iteration == 4
+
+    def test_bad_unroll_rejected(self):
+        with pytest.raises(LoweringError):
+            matmul_kernel(200, 0)
+
+
+class TestGeneralLowering:
+    def test_assign_to_moving_array(self):
+        a = ArrayDecl("a", 4)
+        b = ArrayDecl("b", 4)
+        loop = InnerLoop(
+            trip_var="k",
+            body=(Assign(ArrayRef(a), ArrayRef(b)),),
+        )
+        kernel = lower_loop(loop, n=64, name="copy")
+        ops = [i.opcode for i in kernel.program.instructions()]
+        assert ops.count("movss") == 2  # load + store
+
+    def test_float_arrays_use_ss_forms(self):
+        a = ArrayDecl("a", 4)
+        loop = InnerLoop(
+            trip_var="k",
+            body=(Accumulate(ScalarVar("acc"), Mul(ArrayRef(a), ArrayRef(a))),),
+        )
+        kernel = lower_loop(loop, n=64, name="ssq")
+        ops = {i.opcode for i in kernel.program.instructions()}
+        assert "mulss" in ops and "addss" in ops
+
+    def test_accumulate_into_moving_ref_rejected(self):
+        a = ArrayDecl("a", 8)
+        loop = InnerLoop(
+            trip_var="k",
+            body=(Accumulate(ArrayRef(a, stride_elements=1), ArrayRef(a)),),
+        )
+        with pytest.raises(LoweringError, match="loop-carried reduction"):
+            lower_loop(loop, n=64)
+
+    def test_launchable_by_microlauncher(self, launcher, fast_options):
+        """CompiledKernel satisfies the launcher's duck-typed input."""
+        kernel = matmul_kernel(100, 2)
+        m = launcher.run(kernel, fast_options)
+        assert m.cycles_per_iteration > 0

@@ -1,0 +1,195 @@
+"""C-parser tests (the section-4.1 C source input path)."""
+
+import pytest
+
+from repro.compiler import CParseError, compile_c, parse_c
+from repro.compiler.ast import Accumulate, ArrayRef, Assign, Mul
+
+#: The paper's Fig. 1 inner loop, as C source.
+FIG1 = """
+void multiplySingle(int n, double *res, double *second, double *third)
+{
+    int k;
+    for (k = 0; k < n; k++) {
+        *res += second[k] * third[k * n];
+    }
+}
+"""
+
+SAXPY = """
+/* classic saxpy, single precision */
+void saxpy(int n, float *y, float *x)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        y[i] = y[i] + x[i] * 2.0;   // alpha folded as a constant
+    }
+}
+"""
+
+
+class TestParsing:
+    def test_fig1_shape(self):
+        parsed = parse_c(FIG1)
+        assert parsed.name == "multiplySingle"
+        assert parsed.trip_symbol == "n"
+        assert parsed.loop_var == "k"
+        assert list(parsed.arrays) == ["res", "second", "third"]
+        assert not parsed.openmp
+
+    def test_fig1_statement(self):
+        stmt = parse_c(FIG1).loop.body[0]
+        assert isinstance(stmt, Accumulate)
+        assert isinstance(stmt.target, ArrayRef)
+        assert stmt.target.stride_elements == 0  # *res is stationary
+        assert isinstance(stmt.expr, Mul)
+        assert stmt.expr.right.stride_elements == "n"  # the column walk
+
+    def test_element_sizes_from_types(self):
+        parsed = parse_c(SAXPY)
+        assert parsed.arrays["y"].element_size == 4
+        parsed2 = parse_c(FIG1)
+        assert parsed2.arrays["res"].element_size == 8
+
+    def test_comments_stripped(self):
+        parsed = parse_c(SAXPY)
+        assert isinstance(parsed.loop.body[0], Assign)
+
+    def test_openmp_pragma_detected(self):
+        source = SAXPY.replace("for (i", "#pragma omp parallel for\n    for (i")
+        assert parse_c(source).openmp
+
+    def test_plusplus_prefix_increment(self):
+        source = FIG1.replace("k++", "++k")
+        assert parse_c(source).loop_var == "k"
+
+    def test_plus_equals_increment(self):
+        source = FIG1.replace("k++", "k += 1")
+        parse_c(source)
+
+    @pytest.mark.parametrize(
+        "index,stride,offset",
+        [
+            ("k", 1, 0), ("k + 2", 1, 2), ("k - 1", 1, -1),
+            ("k * 4", 4, 0), ("k * n", "n", 0), ("n * k", "n", 0), ("3", 0, 3),
+        ],
+    )
+    def test_index_forms(self, index, stride, offset):
+        source = f"""
+void f(int n, float *a, float *b)
+{{
+    int k;
+    for (k = 0; k < n; k++) {{ a[k] = b[{index}]; }}
+}}
+"""
+        ref = parse_c(source).loop.body[0].expr
+        assert ref.stride_elements == stride
+        assert ref.offset_elements == offset
+
+
+class TestRejections:
+    def _expect_error(self, source, match):
+        with pytest.raises(CParseError, match=match):
+            parse_c(source)
+
+    def test_nonzero_start(self):
+        self._expect_error(
+            FIG1.replace("k = 0", "k = 1"), "must start at 0"
+        )
+
+    def test_wrong_bound(self):
+        self._expect_error(
+            FIG1.replace("k < n", "k < m"), "loop bound"
+        )
+
+    def test_step_two(self):
+        self._expect_error(
+            FIG1.replace("k++", "k += 2"), "increment by one"
+        )
+
+    def test_unknown_pointer_deref(self):
+        self._expect_error(
+            FIG1.replace("*res +=", "*bogus +="), "not an array parameter"
+        )
+
+    def test_unsupported_pragma(self):
+        self._expect_error(
+            "#pragma once\n" + FIG1, "only '#pragma omp parallel for'"
+        )
+
+    def test_division_rejected(self):
+        self._expect_error(
+            SAXPY.replace("x[i] * 2.0", "x[i] / 2.0"),
+            "expected ';'",
+        )
+
+    def test_struct_param_rejected(self):
+        self._expect_error(
+            FIG1.replace("double *res", "struct s *res"),
+            "unsupported parameter type",
+        )
+
+    def test_garbage_character(self):
+        self._expect_error(FIG1.replace("*res", "@res"), "unexpected character")
+
+    def test_truncated_source(self):
+        self._expect_error(FIG1[: FIG1.index("+=")], "unexpected end")
+
+    def test_trailing_tokens(self):
+        self._expect_error(FIG1 + "\nint global;", "trailing tokens")
+
+
+class TestCompile:
+    def test_fig1_matches_handbuilt_matmul(self):
+        """The parsed Fig. 1 lowers to the same assembly as the
+        programmatically-built matmul of repro.kernels.matmul."""
+        from repro.kernels.matmul import matmul_kernel
+
+        parsed = compile_c(FIG1, n=200, name="matmul_n200_u1")
+        hand = matmul_kernel(200, 1)
+        assert parsed.asm_text() == hand.asm_text()
+
+    def test_unroll_hint(self):
+        kernel = compile_c(FIG1, n=200, unroll=4)
+        from repro.machine.kernel_model import analyze_kernel
+
+        _, body = kernel.program.kernel_loop()
+        assert analyze_kernel(body).elements_per_iteration == 4
+
+    def test_openmp_metadata(self):
+        source = SAXPY.replace("for (i", "#pragma omp parallel for\n    for (i")
+        kernel = compile_c(source, n=1024)
+        assert kernel.metadata["openmp"] is True
+
+    def test_float_arithmetic_stays_single_precision(self):
+        kernel = compile_c(SAXPY, n=1024)
+        opcodes = {i.opcode for i in kernel.program.instructions()}
+        assert "mulss" in opcodes and "addss" in opcodes
+        assert "mulsd" not in opcodes
+
+
+class TestLauncherIntegration:
+    def test_c_text_through_launcher(self, launcher, fast_options):
+        m = launcher.run(FIG1, fast_options)
+        assert m.cycles_per_iteration > 0
+        assert m.kernel_name.startswith("multiplySingle")
+
+    def test_c_file_through_launcher(self, launcher, fast_options, tmp_path):
+        path = tmp_path / "kernel.c"
+        path.write_text(FIG1)
+        m = launcher.run(path, fast_options)
+        assert m.cycles_per_iteration > 0
+
+    def test_c_file_through_cli(self, tmp_path, capsys):
+        from repro.cli.launcher_cli import main
+
+        path = tmp_path / "kernel.c"
+        path.write_text(FIG1)
+        assert main([str(path), "--trip", "200"]) == 0
+        assert "cycles/iteration" in capsys.readouterr().out
+
+    def test_parse_error_surfaces_as_input_error(self, launcher, fast_options):
+        from repro.launcher import KernelInputError
+
+        with pytest.raises(KernelInputError, match="cannot compile C"):
+            launcher.run("void broken(int n) { }", fast_options)

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.creator import MicroCreator
+from repro.launcher import LauncherOptions, MicroLauncher
+from repro.machine import nehalem_2s_x5650, nehalem_4s_x7550, sandy_bridge_e31240
+from repro.spec import load_kernel
+
+
+@pytest.fixture(scope="session")
+def nehalem():
+    return nehalem_2s_x5650()
+
+
+@pytest.fixture(scope="session")
+def nehalem4s():
+    return nehalem_4s_x7550()
+
+
+@pytest.fixture(scope="session")
+def sandy_bridge():
+    return sandy_bridge_e31240()
+
+
+@pytest.fixture()
+def creator():
+    return MicroCreator()
+
+
+@pytest.fixture()
+def launcher(nehalem):
+    return MicroLauncher(nehalem)
+
+
+@pytest.fixture(scope="session")
+def movaps_variants():
+    """The 8 simple movaps load variants (unroll 1..8), generated once."""
+    return MicroCreator().generate(load_kernel("movaps"))
+
+
+@pytest.fixture(scope="session")
+def movaps_u8(movaps_variants):
+    return next(k for k in movaps_variants if k.unroll == 8)
+
+
+@pytest.fixture()
+def fast_options():
+    """Small but valid measurement options for quick launcher tests."""
+    return LauncherOptions(
+        array_bytes=16 * 1024, trip_count=1024, experiments=3, repetitions=4
+    )

@@ -1,0 +1,130 @@
+"""Hotspot-abstraction tests (extension)."""
+
+import pytest
+
+from repro.creator import MicroCreator, abstract_program
+from repro.creator.abstractor import AbstractionError
+from repro.isa.parser import parse_asm
+from repro.spec import load_kernel
+
+
+def variant(spec, unroll, mix=None):
+    for k in MicroCreator().generate(spec):
+        if k.unroll == unroll and (mix is None or k.mix == mix):
+            return k
+    raise LookupError
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("unroll", [1, 2, 4, 8])
+    def test_abstract_regenerate_is_identity(self, unroll):
+        """abstract(generate(spec, u)) regenerated at u reproduces the
+        original body verbatim."""
+        original = variant(load_kernel("movaps"), unroll)
+        spec = abstract_program(original.program)
+        regenerated = variant(spec, unroll)
+        assert regenerated.asm_text() == original.asm_text()
+
+    def test_roundtrip_for_movsd(self):
+        from repro.spec.builders import KernelBuilder
+
+        spec = (
+            KernelBuilder("k")
+            .load("movsd", base="r1")
+            .unroll(3, 3)
+            .pointer_induction("r1", step=8)
+            .counter_induction("r0", linked_to="r1", element_size=8)
+            .iteration_counter("%eax")
+            .branch()
+            .build()
+        )
+        original = variant(spec, 3)
+        abstracted = abstract_program(original.program, unroll=(3, 3))
+        regenerated = variant(abstracted, 3)
+        assert regenerated.asm_text() == original.asm_text()
+
+    def test_swap_family_reopens_mix_dimension(self):
+        original = variant(load_kernel("movaps"), 2)
+        spec = abstract_program(
+            original.program, unroll=(2, 2), swap_after_unroll=True
+        )
+        mixes = {k.mix for k in MicroCreator().generate(spec)}
+        assert mixes == {"LL", "LS", "SL", "SS"}
+
+
+class TestDetection:
+    def test_unroll_factor_detected(self):
+        original = variant(load_kernel("movaps"), 4)
+        spec = abstract_program(original.program, unroll=(1, 8))
+        # Pointer step must be de-scaled back to the per-copy 16 bytes.
+        pointer = next(i for i in spec.inductions if i.offset is not None)
+        assert pointer.increment == 16
+
+    def test_counter_link_recovered(self):
+        original = variant(load_kernel("movaps"), 4)
+        spec = abstract_program(original.program)
+        counter = spec.last_induction()
+        assert counter is not None
+        assert counter.linked is not None
+        assert counter.element_size == 4
+
+    def test_iteration_counter_recovered(self):
+        original = variant(load_kernel("movaps"), 2)
+        spec = abstract_program(original.program)
+        assert any(i.not_affected_unroll for i in spec.inductions)
+
+    def test_xmm_registers_become_range(self):
+        from repro.spec.schema import RegisterRange
+
+        original = variant(load_kernel("movaps"), 2)
+        spec = abstract_program(original.program)
+        operands = spec.instructions[0].operands
+        assert any(isinstance(op, RegisterRange) for op in operands)
+
+
+class TestRejections:
+    def test_no_memory_instructions(self):
+        text = ".L1:\nadd $1, %rsi\nsub $1, %rdi\njge .L1\n"
+        with pytest.raises(AbstractionError, match="no memory"):
+            abstract_program(parse_asm(text))
+
+    def test_unsupported_instruction(self):
+        text = """
+.L1:
+movsd (%rsi), %xmm0
+mulsd %xmm1, %xmm0
+add $8, %rsi
+sub $1, %rdi
+jge .L1
+"""
+        with pytest.raises(AbstractionError, match="unsupported"):
+            abstract_program(parse_asm(text))
+
+    def test_no_loop(self):
+        with pytest.raises(ValueError):
+            abstract_program(parse_asm("movaps (%rsi), %xmm0\n"))
+
+    def test_non_uniform_offsets(self):
+        text = """
+.L1:
+movaps (%rsi), %xmm0
+movaps 16(%rsi), %xmm1
+movaps 48(%rsi), %xmm2
+add $64, %rsi
+sub $16, %rdi
+jge .L1
+"""
+        with pytest.raises(AbstractionError, match="non-uniform"):
+            abstract_program(parse_asm(text))
+
+
+class TestMultiArray:
+    def test_two_arrays_abstract_cleanly(self):
+        from repro.kernels import multi_array_traversal
+
+        original = variant(multi_array_traversal(2, "movss", unroll=(1, 3)), 3)
+        spec = abstract_program(original.program, unroll=(3, 3))
+        regenerated = variant(spec, 3)
+        from repro.launcher.kernel_input import as_sim_kernel
+
+        assert as_sim_kernel(regenerated).n_arrays == 2

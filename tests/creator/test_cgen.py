@@ -1,0 +1,73 @@
+"""C-source emission tests."""
+
+from repro.creator import MicroCreator
+from repro.spec.builders import KernelBuilder, load_kernel
+
+
+def generate_one(spec):
+    return MicroCreator().generate(spec)[0]
+
+
+class TestCShape:
+    def test_signature_follows_launcher_abi(self):
+        k = generate_one(load_kernel("movaps", unroll=(1, 1)))
+        c = k.c_text()
+        assert f"int {k.name}(int n, void *a0)" in c
+
+    def test_do_while_with_counter_condition(self):
+        c = generate_one(load_kernel("movaps", unroll=(2, 2))).c_text()
+        assert "do {" in c
+        assert "} while (r_rdi >= 0);" in c
+
+    def test_returns_iteration_count(self):
+        c = generate_one(load_kernel("movaps", unroll=(1, 1))).c_text()
+        assert "return (int)r_eax;" in c
+        assert "r_eax += 1;" in c
+
+    def test_loads_become_memcpy_in(self):
+        c = generate_one(load_kernel("movaps", unroll=(1, 1))).c_text()
+        assert "memcpy(xmm0, r_rsi, 16);" in c
+
+    def test_stores_become_memcpy_out(self):
+        from repro.spec.builders import store_kernel
+
+        c = generate_one(store_kernel("movaps", unroll=(1, 1))).c_text()
+        assert "memcpy(r_rsi, xmm0, 16);" in c
+
+    def test_offsets_rendered(self):
+        c = generate_one(load_kernel("movaps", unroll=(3, 3))).c_text()
+        assert "r_rsi + 16" in c and "r_rsi + 32" in c
+
+    def test_induction_updates(self):
+        c = generate_one(load_kernel("movaps", unroll=(3, 3))).c_text()
+        assert "r_rsi += 48;" in c
+        assert "r_rdi -= 12;" in c
+
+    def test_original_assembly_kept_as_comments(self):
+        c = generate_one(load_kernel("movaps", unroll=(1, 1))).c_text()
+        assert "/* movaps (%rsi), %xmm0 */" in c
+
+    def test_multiple_arrays_in_signature(self):
+        builder = KernelBuilder("multi")
+        builder.load("movss", base="r1", xmm_range=(0, 4))
+        builder.load("movss", base="r2", xmm_range=(4, 8))
+        builder.unroll(1, 1)
+        builder.pointer_induction("r1", step=4)
+        builder.pointer_induction("r2", step=4)
+        builder.counter_induction("r0", linked_to="r1")
+        builder.iteration_counter("%eax")
+        builder.branch()
+        k = generate_one(builder.build())
+        assert "void *a0, void *a1" in k.c_text()
+
+    def test_fp_arithmetic_lane_zero(self):
+        from repro.kernels.matmul import matmul_microbench_spec
+
+        variants = MicroCreator().generate(matmul_microbench_spec(100, unroll=(1, 1)))
+        c = variants[0].c_text()
+        assert "xmm8[0] = xmm8[0] + xmm0[0];" in c
+
+    def test_c_is_superficially_balanced(self):
+        """Sanity: braces balance, so the file is plausibly compilable."""
+        c = generate_one(load_kernel("movaps", unroll=(4, 4))).c_text()
+        assert c.count("{") == c.count("}")

@@ -1,0 +1,99 @@
+"""Property-based tests on MicroCreator's variant algebra.
+
+The pipeline's expansion factors compose multiplicatively and
+predictably; these properties pin the algebra down over the whole input
+space rather than at hand-picked points.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.creator import MicroCreator
+from repro.spec.builders import KernelBuilder
+from repro.spec.schema import ImmediateSpec, InstructionSpec, RegisterRef
+
+
+def family(ops, unroll_lo, unroll_hi, swap_after, strides):
+    builder = KernelBuilder("prop")
+    builder.load(*ops, base="r1", swap_after_unroll=swap_after)
+    builder.unroll(unroll_lo, unroll_hi)
+    builder.pointer_induction("r1", step=16, stride_choices=strides)
+    builder.counter_induction("r0", linked_to="r1")
+    builder.iteration_counter("%eax")
+    builder.branch()
+    return builder.build()
+
+
+ops_strategy = st.lists(
+    st.sampled_from(["movss", "movsd", "movaps", "movapd"]),
+    min_size=1,
+    max_size=4,
+    unique=True,
+).map(tuple)
+
+unroll_strategy = st.tuples(st.integers(1, 3), st.integers(0, 4)).map(
+    lambda t: (t[0], t[0] + t[1])
+)
+
+strides_strategy = st.lists(
+    st.integers(1, 8), min_size=0, max_size=3, unique=True
+).map(tuple)
+
+
+@given(ops=ops_strategy, unroll=unroll_strategy, strides=strides_strategy)
+@settings(max_examples=40, deadline=None)
+def test_variant_count_formula(ops, unroll, strides):
+    """count = |ops| * |strides or 1| * sum over unroll range of
+    (2^u if swap_after else 1)."""
+    lo, hi = unroll
+    spec = family(ops, lo, hi, swap_after=True, strides=strides)
+    kernels = MicroCreator().generate(spec)
+    expected = len(ops) * max(1, len(strides)) * sum(2**u for u in range(lo, hi + 1))
+    assert len(kernels) == expected
+
+
+@given(ops=ops_strategy, unroll=unroll_strategy)
+@settings(max_examples=30, deadline=None)
+def test_no_swap_is_linear_in_unroll(ops, unroll):
+    lo, hi = unroll
+    spec = family(ops, lo, hi, swap_after=False, strides=())
+    kernels = MicroCreator().generate(spec)
+    assert len(kernels) == len(ops) * (hi - lo + 1)
+
+
+@given(unroll=unroll_strategy)
+@settings(max_examples=20, deadline=None)
+def test_every_variant_has_consistent_metadata(unroll):
+    lo, hi = unroll
+    spec = family(("movaps",), lo, hi, swap_after=True, strides=())
+    for k in MicroCreator().generate(spec):
+        assert lo <= k.unroll <= hi
+        assert len(k.mix) == k.unroll
+        assert k.n_loads + k.n_stores == k.unroll
+        # Fig. 8 invariant: pointer step = 16 bytes * unroll.
+        add = next(
+            i
+            for i in k.program.instructions()
+            if i.opcode == "add" and str(i.operands[1].reg) == "%rsi"
+        )
+        assert add.operands[0].value == 16 * k.unroll
+
+
+@given(values=st.lists(st.integers(1, 100), min_size=1, max_size=5, unique=True))
+@settings(max_examples=25, deadline=None)
+def test_immediate_expansion_count(values):
+    spec = (
+        KernelBuilder("imm")
+        .instruction(
+            InstructionSpec(
+                operations=("add",),
+                operands=(ImmediateSpec(tuple(values)), RegisterRef("r1")),
+            )
+        )
+        .pointer_induction("r1", step=8)
+        .counter_induction("r0", linked_to="r1")
+        .branch()
+        .build()
+    )
+    kernels = MicroCreator().generate(spec)
+    assert len(kernels) == len(values)

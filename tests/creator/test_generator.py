@@ -1,0 +1,107 @@
+"""MicroCreator front-end tests, including the paper's generation counts."""
+
+import pytest
+
+from repro.creator import CreatorOptions, MicroCreator
+from repro.kernels import all_mov_families, loadstore_family, spec_path
+from repro.spec import load_kernel, write_kernel_spec
+
+
+class TestGenerationCounts:
+    def test_simple_unroll_family_is_eight(self, creator):
+        assert len(creator.generate(load_kernel("movaps"))) == 8
+
+    def test_loadstore_family_is_510(self, creator):
+        """Section 5.1: 'MicroCreator generated 510 benchmark program
+        variations' from a single input file (sum of 2^u for u=1..8)."""
+        assert len(creator.generate(loadstore_family("movaps"))) == 510
+
+    def test_four_families_exceed_2000(self, creator):
+        """Section 3: 'more than two thousand benchmark programs from a
+        single input file'."""
+        kernels = creator.generate(all_mov_families())
+        assert len(kernels) == 4 * 510
+        assert len(kernels) > 2000
+
+    @pytest.mark.parametrize("hi,expected", [(1, 2), (2, 6), (4, 30), (8, 510)])
+    def test_count_formula(self, creator, hi, expected):
+        kernels = creator.generate(
+            loadstore_family("movss", unroll=(1, hi))
+        )
+        assert len(kernels) == expected
+
+
+class TestVariantNaming:
+    def test_names_unique(self, creator):
+        kernels = creator.generate(loadstore_family("movaps"))
+        names = [k.name for k in kernels]
+        assert len(set(names)) == len(names)
+
+    def test_names_derive_from_spec(self, creator):
+        kernels = creator.generate(load_kernel("movaps"))
+        assert all(k.name.startswith("movaps_load_v") for k in kernels)
+
+
+class TestGenerateFromXml:
+    def test_xml_text_matches_programmatic(self, creator):
+        spec = load_kernel("movaps")
+        via_api = creator.generate(spec)
+        via_xml = MicroCreator().generate_from_xml(write_kernel_spec(spec))
+        assert [k.asm_text() for k in via_api] == [k.asm_text() for k in via_xml]
+
+    def test_bundled_spec_files(self):
+        creator = MicroCreator()
+        kernels = creator.generate_from_file(spec_path("loadstore_movaps"))
+        assert len(kernels) == 510
+
+
+class TestWriteAll:
+    def test_writes_asm_files(self, creator, tmp_path):
+        kernels = creator.generate(load_kernel("movaps"))
+        paths = creator.write_all(kernels, tmp_path)
+        assert len(paths) == 8
+        text = paths[0].read_text()
+        assert ".globl" in text and "jge .L6" in text
+
+    def test_writes_c_files(self, creator, tmp_path):
+        kernels = creator.generate(load_kernel("movaps", unroll=(2, 2)))
+        paths = creator.write_all(kernels, tmp_path, language="c")
+        assert paths[0].suffix == ".c"
+        assert "int movaps_load_v0000(int n, void *a0)" in paths[0].read_text()
+
+    def test_bad_language_rejected(self, creator, tmp_path):
+        kernels = creator.generate(load_kernel("movaps", unroll=(1, 1)))
+        with pytest.raises(ValueError, match="language"):
+            kernels[0].write(tmp_path, language="fortran")
+
+
+class TestVariantAccessors:
+    def test_mix_matches_program(self, creator):
+        kernels = creator.generate(loadstore_family("movaps", unroll=(3, 3)))
+        for k in kernels:
+            assert len(k.mix) == 3
+            assert k.mix.count("L") == k.n_loads
+            assert k.mix.count("S") == k.n_stores
+
+    def test_opcodes_accessor(self, creator):
+        k = creator.generate(load_kernel("movsd", unroll=(1, 1)))[0]
+        assert k.opcodes == ("movsd",)
+
+    def test_metadata_records_unroll(self, creator):
+        for k in creator.generate(load_kernel("movaps")):
+            assert k.metadata["unroll"] == k.unroll
+
+
+class TestDeterminism:
+    def test_generation_is_reproducible(self):
+        a = MicroCreator().generate(loadstore_family("movaps", unroll=(1, 4)))
+        b = MicroCreator().generate(loadstore_family("movaps", unroll=(1, 4)))
+        assert [k.asm_text() for k in a] == [k.asm_text() for k in b]
+
+    def test_random_selection_reproducible(self):
+        opts = CreatorOptions(random_selection=20, seed=7)
+        spec = loadstore_family("movaps")
+        a = MicroCreator(opts).generate(spec)
+        b = MicroCreator(opts).generate(spec)
+        assert [k.asm_text() for k in a] == [k.asm_text() for k in b]
+        assert len(a) == 510  # random selection runs before swap expansion

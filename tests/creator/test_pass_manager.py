@@ -1,0 +1,145 @@
+"""Pass-manager and plugin-API tests."""
+
+import pytest
+
+from repro.creator.pass_manager import (
+    CreatorContext,
+    CreatorOptions,
+    Pass,
+    PassManager,
+    default_pass_pipeline,
+)
+from repro.spec.builders import load_kernel
+
+
+class NoopPass(Pass):
+    name = "noop"
+
+    def run(self, variants, ctx):
+        return list(variants)
+
+
+class TaggingPass(Pass):
+    name = "tagging"
+
+    def run(self, variants, ctx):
+        return [v.noting(tagged=True) for v in variants]
+
+
+class TestDefaultPipeline:
+    def test_nineteen_passes(self):
+        """The paper: 'The MicroCreator compiler currently contains
+        nineteen passes.'"""
+        assert len(default_pass_pipeline().pass_names) == 19
+
+    def test_paper_ordering(self):
+        names = default_pass_pipeline().pass_names
+        # Section 3.2's ordering constraints.
+        assert names.index("instruction_selection") < names.index("stride_selection")
+        assert names.index("stride_selection") < names.index("operand_swap_before")
+        assert names.index("operand_swap_before") < names.index("unrolling")
+        assert names.index("unrolling") < names.index("operand_swap_after")
+        assert names.index("operand_swap_after") < names.index("register_allocation")
+        assert names.index("register_allocation") < names.index("induction_insertion")
+        assert names.index("induction_insertion") < names.index("code_generation")
+        assert names[-1] == "code_generation"
+
+    def test_unique_names(self):
+        names = default_pass_pipeline().pass_names
+        assert len(names) == len(set(names))
+
+
+class TestManipulation:
+    def test_append(self):
+        pm = PassManager([NoopPass()])
+        pm.append_pass(TaggingPass())
+        assert pm.pass_names == ["noop", "tagging"]
+
+    def test_insert_before_and_after(self):
+        pm = PassManager([NoopPass()])
+        pm.insert_pass_before("noop", TaggingPass())
+        assert pm.pass_names == ["tagging", "noop"]
+        pm2 = PassManager([NoopPass()])
+        pm2.insert_pass_after("noop", TaggingPass())
+        assert pm2.pass_names == ["noop", "tagging"]
+
+    def test_remove(self):
+        pm = PassManager([NoopPass(), TaggingPass()])
+        removed = pm.remove_pass("noop")
+        assert removed.name == "noop"
+        assert pm.pass_names == ["tagging"]
+
+    def test_replace(self):
+        pm = PassManager([NoopPass()])
+        class Better(NoopPass):
+            name = "noop"
+        pm.replace_pass("noop", Better())
+        assert isinstance(pm.get_pass("noop"), Better)
+
+    def test_duplicate_name_rejected(self):
+        pm = PassManager([NoopPass()])
+        with pytest.raises(ValueError, match="duplicate"):
+            pm.append_pass(NoopPass())
+
+    def test_unknown_pass_lookup(self):
+        pm = PassManager([NoopPass()])
+        with pytest.raises(KeyError, match="no pass named"):
+            pm.get_pass("missing")
+
+    def test_removing_unknown_pass(self):
+        with pytest.raises(KeyError):
+            PassManager().remove_pass("ghost")
+
+
+class TestGates:
+    def test_gate_override_disables_pass(self):
+        pm = PassManager([TaggingPass()])
+        pm.set_gate("tagging", lambda ctx: False)
+        ctx = CreatorContext(spec=load_kernel("movaps", unroll=(1, 1)))
+        variants = pm.run(ctx)
+        assert "tagged" not in variants[0].metadata
+
+    def test_gate_override_enables_pass(self):
+        class OffByDefault(TaggingPass):
+            def gate(self, ctx):
+                return False
+
+        pm = PassManager([OffByDefault()])
+        ctx = CreatorContext(spec=load_kernel("movaps", unroll=(1, 1)))
+        assert "tagged" not in pm.run(ctx)[0].metadata
+        pm.set_gate("tagging", lambda ctx: True)
+        assert pm.run(ctx)[0].metadata.get("tagged") is True
+
+    def test_gate_on_unknown_pass_rejected(self):
+        pm = PassManager([NoopPass()])
+        with pytest.raises(KeyError):
+            pm.set_gate("missing", lambda ctx: True)
+
+
+class TestLimits:
+    def test_benchmark_limit_enforced_during_run(self):
+        spec = load_kernel("movaps", swap_after_unroll=True)
+        ctx = CreatorContext(spec=spec, options=CreatorOptions(max_benchmarks=50))
+        variants = default_pass_pipeline().run(ctx)
+        assert len(variants) <= 50
+
+    def test_spec_limit_used(self):
+        spec = load_kernel("movaps", swap_after_unroll=True)
+        limited = spec.__class__(
+            name=spec.name,
+            instructions=spec.instructions,
+            unrolling=spec.unrolling,
+            inductions=spec.inductions,
+            branch=spec.branch,
+            max_benchmarks=25,
+        )
+        ctx = CreatorContext(spec=limited)
+        assert len(default_pass_pipeline().run(ctx)) <= 25
+
+    def test_limited_run_spans_unroll_factors(self):
+        """Even subsampling keeps variants across the whole sweep."""
+        spec = load_kernel("movaps", swap_after_unroll=True)
+        ctx = CreatorContext(spec=spec, options=CreatorOptions(max_benchmarks=40))
+        variants = default_pass_pipeline().run(ctx)
+        unrolls = {v.metadata["unroll"] for v in variants}
+        assert len(unrolls) >= 4

@@ -1,0 +1,157 @@
+"""Finalization-pass tests (stages 16-19)."""
+
+import pytest
+
+from repro.creator import CreatorOptions, MicroCreator
+from repro.creator.ir import KernelIR
+from repro.creator.pass_manager import CreatorContext
+from repro.creator.passes.errors import CreatorError
+from repro.creator.passes.finalize import (
+    CodeGenerationPass,
+    PeepholePass,
+    SchedulingPass,
+    ValidationPass,
+)
+from repro.isa.instructions import Comment, Instruction, LabelDef
+from repro.isa.operands import ImmediateOperand, LabelOperand, RegisterOperand
+from repro.isa.registers import PhysReg
+from repro.spec.builders import load_kernel
+
+
+def ins(opcode, *operands):
+    return Instruction(opcode, tuple(operands))
+
+
+def concrete_ir(body, spec=None, unroll=1):
+    spec = spec or load_kernel("movaps", unroll=(unroll, unroll))
+    return KernelIR.from_spec(spec).evolve(
+        instrs=(), body=tuple(body), unroll=unroll
+    )
+
+
+class TestScheduling:
+    def test_gated_off_by_default(self):
+        spec = load_kernel("movaps")
+        assert not SchedulingPass().gate(CreatorContext(spec=spec))
+
+    def test_gated_on_by_option(self):
+        spec = load_kernel("movaps")
+        ctx = CreatorContext(spec=spec, options=CreatorOptions(schedule=True))
+        assert SchedulingPass().gate(ctx)
+
+    def test_keeps_counter_and_branch_last(self):
+        creator = MicroCreator(CreatorOptions(schedule=True))
+        kernels = creator.generate(load_kernel("movaps", unroll=(6, 6)))
+        body = list(kernels[0].program.instructions())
+        assert body[-1].is_branch
+        assert str(body[-2].operands[1].reg) == "%rdi"
+
+    def test_scheduled_metadata(self):
+        creator = MicroCreator(CreatorOptions(schedule=True))
+        kernels = creator.generate(load_kernel("movaps", unroll=(6, 6)))
+        assert kernels[0].metadata.get("scheduled") is True
+
+    def test_same_instruction_multiset(self):
+        """Scheduling reorders; it never adds or drops instructions."""
+        plain = MicroCreator().generate(load_kernel("movaps", unroll=(6, 6)))[0]
+        sched = MicroCreator(CreatorOptions(schedule=True)).generate(
+            load_kernel("movaps", unroll=(6, 6))
+        )[0]
+        fmt = lambda k: sorted(str(i.opcode) for i in k.program.instructions())
+        assert fmt(plain) == fmt(sched)
+
+
+class TestPeephole:
+    def test_drops_zero_add(self):
+        spec = load_kernel("movaps", unroll=(1, 1))
+        ir = concrete_ir(
+            [
+                ins("add", ImmediateOperand(0), RegisterOperand(PhysReg("%rsi"))),
+                ins("sub", ImmediateOperand(4), RegisterOperand(PhysReg("%rdi"))),
+            ],
+            spec,
+        )
+        out = PeepholePass().run([ir], CreatorContext(spec=spec))
+        assert len(out[0].body) == 1
+
+    def test_drops_nop(self):
+        spec = load_kernel("movaps", unroll=(1, 1))
+        ir = concrete_ir([ins("nop"), ins("jge", LabelOperand(".L6"))], spec)
+        out = PeepholePass().run([ir], CreatorContext(spec=spec))
+        assert [i.opcode for i in out[0].body] == ["jge"]
+
+    def test_keeps_nonzero_updates(self):
+        spec = load_kernel("movaps", unroll=(1, 1))
+        ir = concrete_ir(
+            [ins("add", ImmediateOperand(16), RegisterOperand(PhysReg("%rsi")))],
+            spec,
+        )
+        out = PeepholePass().run([ir], CreatorContext(spec=spec))
+        assert len(out[0].body) == 1
+
+
+class TestValidation:
+    def test_accepts_generated_kernels(self):
+        # Full pipeline implicitly runs validation; reaching codegen means
+        # it accepted every one of the 510 variants.
+        kernels = MicroCreator().generate(
+            load_kernel("movaps", swap_after_unroll=True)
+        )
+        assert len(kernels) == 510
+
+    def test_rejects_unlowered_templates(self):
+        spec = load_kernel("movaps", unroll=(1, 1))
+        ir = KernelIR.from_spec(spec).evolve(unroll=1)
+        with pytest.raises(CreatorError, match="never lowered"):
+            ValidationPass().run([ir], CreatorContext(spec=spec))
+
+    def test_rejects_empty_body(self):
+        spec = load_kernel("movaps", unroll=(1, 1))
+        ir = concrete_ir([], spec)
+        with pytest.raises(CreatorError, match="empty kernel body"):
+            ValidationPass().run([ir], CreatorContext(spec=spec))
+
+    def test_rejects_branch_not_last(self):
+        spec = load_kernel("movaps", unroll=(1, 1))
+        ir = concrete_ir(
+            [
+                ins("jge", LabelOperand(".L6")),
+                ins("add", ImmediateOperand(1), RegisterOperand(PhysReg("%rsi"))),
+            ],
+            spec,
+        )
+        with pytest.raises(CreatorError, match="branch requested but not last"):
+            ValidationPass().run([ir], CreatorContext(spec=spec))
+
+
+class TestCodeGeneration:
+    def test_emits_fig8_layout(self):
+        kernels = MicroCreator().generate(load_kernel("movaps", unroll=(3, 3)))
+        items = kernels[0].program.items
+        assert isinstance(items[0], LabelDef)
+        comments = [it.text for it in items if isinstance(it, Comment)]
+        assert comments == ["Unrolling iterations", "Induction variables"]
+
+    def test_metadata_counts(self):
+        kernels = MicroCreator().generate(load_kernel("movaps", unroll=(4, 4)))
+        k = kernels[0]
+        assert k.n_loads == 4 and k.n_stores == 0
+
+    def test_deduplicates_identical_variants(self):
+        spec = load_kernel("movaps", unroll=(2, 2))
+        ir = KernelIR.from_spec(spec)
+        ctx = CreatorContext(spec=spec)
+        body = (
+            ins("add", ImmediateOperand(16), RegisterOperand(PhysReg("%rsi"))),
+            ins("sub", ImmediateOperand(4), RegisterOperand(PhysReg("%rdi"))),
+            ins("jge", LabelOperand(".L6")),
+        )
+        twin_a = ir.evolve(instrs=(), body=body, unroll=2)
+        twin_b = ir.evolve(instrs=(), body=body, unroll=2)
+        out = CodeGenerationPass().run([twin_a, twin_b], ctx)
+        assert len(out) == 1
+
+    def test_function_name_override(self):
+        creator = MicroCreator(CreatorOptions(function_name="myFunction"))
+        kernels = creator.generate(load_kernel("movaps", unroll=(1, 1)))
+        assert kernels[0].name == "myFunction"

@@ -1,0 +1,161 @@
+"""Lowering-pass tests (stages 12-15)."""
+
+import pytest
+
+from repro.creator.ir import KernelIR
+from repro.creator.pass_manager import CreatorContext
+from repro.creator.passes.errors import CreatorError
+from repro.creator.passes.lowering import (
+    BranchInsertionPass,
+    InductionInsertionPass,
+    IterationCounterPass,
+    RegisterAllocationPass,
+)
+from repro.creator.passes.selection import InstructionSelectionPass
+from repro.creator.passes.unrolling import (
+    RegisterRotationPass,
+    UnrollFactorSelectionPass,
+    UnrollingPass,
+)
+from repro.isa.operands import ImmediateOperand, MemoryOperand, RegisterOperand
+from repro.spec.builders import KernelBuilder, load_kernel
+
+
+def lowered(spec, *, through=("alloc",)):
+    """Run stages up to and including the requested lowering stages."""
+    ctx = CreatorContext(spec=spec)
+    variants = InstructionSelectionPass().run([KernelIR.from_spec(spec)], ctx)
+    variants = UnrollFactorSelectionPass().run(variants, ctx)
+    variants = UnrollingPass().run(variants, ctx)
+    variants = RegisterRotationPass().run(variants, ctx)
+    variants = RegisterAllocationPass().run(variants, ctx)
+    if "counter" in through or "inductions" in through or "branch" in through:
+        variants = IterationCounterPass().run(variants, ctx)
+    if "inductions" in through or "branch" in through:
+        variants = InductionInsertionPass().run(variants, ctx)
+    if "branch" in through:
+        variants = BranchInsertionPass().run(variants, ctx)
+    return variants, ctx
+
+
+class TestRegisterAllocation:
+    def test_counter_gets_rdi(self):
+        variants, _ = lowered(load_kernel("movaps", unroll=(1, 1)))
+        assert variants[0].regmap["r0"] == "%rdi"
+
+    def test_first_pointer_gets_rsi(self):
+        variants, _ = lowered(load_kernel("movaps", unroll=(1, 1)))
+        assert variants[0].regmap["r1"] == "%rsi"
+
+    def test_multiple_pointers_follow_abi_order(self):
+        builder = KernelBuilder("multi")
+        for i in range(3):
+            builder.load("movss", base=f"r{i + 1}", xmm_range=(2 * i, 2 * i + 2))
+        for i in range(3):
+            builder.pointer_induction(f"r{i + 1}", step=4)
+        builder.counter_induction("r0", linked_to="r1").branch()
+        variants, _ = lowered(builder.build())
+        regmap = variants[0].regmap
+        assert regmap["r1"] == "%rsi"
+        assert regmap["r2"] == "%rdx"
+        assert regmap["r3"] == "%rcx"
+
+    def test_body_is_concrete_instructions(self):
+        variants, _ = lowered(load_kernel("movaps", unroll=(3, 3)))
+        body = variants[0].body
+        assert len(body) == 3
+        assert all(isinstance(i.operands[0], MemoryOperand) for i in body)
+        assert str(body[0].operands[0].base) == "%rsi"
+
+    def test_template_instrs_cleared(self):
+        variants, _ = lowered(load_kernel("movaps", unroll=(1, 1)))
+        assert variants[0].instrs == ()
+
+    def test_too_many_pointer_streams_rejected(self):
+        builder = KernelBuilder("toomany")
+        for i in range(6):
+            builder.load("movss", base=f"r{i + 1}", xmm_range=(0, 8))
+        for i in range(6):
+            builder.pointer_induction(f"r{i + 1}", step=4)
+        builder.counter_induction("r0", linked_to="r1").branch()
+        with pytest.raises(CreatorError, match="more pointer inductions"):
+            lowered(builder.build())
+
+
+class TestIterationCounter:
+    def test_eax_update_appended(self):
+        variants, _ = lowered(load_kernel("movaps", unroll=(3, 3)), through=("counter",))
+        body = variants[0].body
+        assert body[-1].opcode == "add"
+        assert str(body[-1].operands[1].reg) == "%eax"
+        assert body[-1].operands[0].value == 1
+
+    def test_step_independent_of_unroll(self):
+        """The Fig. 9 property: %eax steps by 1 at every unroll factor."""
+        for factor in (1, 4, 8):
+            variants, _ = lowered(
+                load_kernel("movaps", unroll=(factor, factor)), through=("counter",)
+            )
+            eax = variants[0].body[-1]
+            assert eax.operands[0].value == 1
+
+
+class TestInductionInsertion:
+    def test_pointer_scaled_by_unroll(self):
+        variants, _ = lowered(
+            load_kernel("movaps", unroll=(3, 3)), through=("inductions",)
+        )
+        body = variants[0].body
+        add = next(i for i in body if i.opcode == "add" and str(i.operands[1].reg) == "%rsi")
+        assert add.operands[0].value == 48  # 16 * 3
+
+    def test_linked_counter_counts_elements(self):
+        """Fig. 8: sub $12, %rdi for unroll 3 of a 16-byte move with
+        4-byte elements."""
+        variants, _ = lowered(
+            load_kernel("movaps", unroll=(3, 3)), through=("inductions",)
+        )
+        body = variants[0].body
+        sub = next(i for i in body if i.opcode == "sub")
+        assert str(sub.operands[1].reg) == "%rdi"
+        assert sub.operands[0].value == 12
+
+    def test_counter_update_is_last(self):
+        variants, _ = lowered(
+            load_kernel("movaps", unroll=(2, 2)), through=("inductions",)
+        )
+        assert str(variants[0].body[-1].operands[1].reg) == "%rdi"
+
+    def test_movsd_element_size(self):
+        spec = (
+            KernelBuilder("k")
+            .load("movsd", base="r1")
+            .unroll(4, 4)
+            .pointer_induction("r1", step=8)
+            .counter_induction("r0", linked_to="r1", element_size=8)
+            .branch()
+            .build()
+        )
+        variants, _ = lowered(spec, through=("inductions",))
+        sub = next(i for i in variants[0].body if i.opcode == "sub")
+        assert sub.operands[0].value == 4  # 1 element per copy * unroll 4
+
+
+class TestBranchInsertion:
+    def test_branch_appended_with_label(self):
+        variants, _ = lowered(load_kernel("movaps", unroll=(2, 2)), through=("branch",))
+        last = variants[0].body[-1]
+        assert last.opcode == "jge"
+        assert last.branch_target == ".L6"
+
+    def test_no_branch_spec_is_identity(self):
+        spec = (
+            KernelBuilder("k")
+            .load("movaps", base="r1")
+            .pointer_induction("r1", step=16)
+            .counter_induction("r0", linked_to="r1")
+            .build()
+        )
+        variants, ctx = lowered(spec, through=("inductions",))
+        out = BranchInsertionPass().run(variants, ctx)
+        assert not out[0].body[-1].is_branch

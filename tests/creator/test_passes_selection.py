@@ -1,0 +1,229 @@
+"""Selection-pass tests (stages 1-6)."""
+
+import pytest
+
+from repro.creator.ir import KernelIR, TemplateInstr
+from repro.creator.pass_manager import CreatorContext, CreatorOptions
+from repro.creator.passes.selection import (
+    ImmediateSelectionPass,
+    InstructionRepetitionPass,
+    InstructionSelectionPass,
+    MoveSemanticsPass,
+    RandomSelectionPass,
+    StrideSelectionPass,
+)
+from repro.spec.builders import KernelBuilder, load_kernel
+from repro.spec.schema import (
+    ImmediateSpec,
+    InstructionSpec,
+    MemoryRef,
+    MoveSemanticsSpec,
+    RegisterRange,
+    RegisterRef,
+)
+
+
+def ctx_for(spec) -> CreatorContext:
+    return CreatorContext(spec=spec)
+
+
+def ir_for(spec) -> KernelIR:
+    return KernelIR.from_spec(spec)
+
+
+class TestRepetition:
+    def test_repeat_expands(self):
+        spec = load_kernel("movaps")
+        instr = InstructionSpec(
+            operations=("movaps",),
+            operands=(MemoryRef(RegisterRef("r1")), RegisterRange("%xmm", 0, 8)),
+            repeat=3,
+        )
+        ir = ir_for(spec).evolve(instrs=(TemplateInstr.from_spec(instr),))
+        out = InstructionRepetitionPass().run([ir], ctx_for(spec))
+        assert len(out) == 1
+        assert len(out[0].instrs) == 3
+
+    def test_copies_get_distinct_lanes(self):
+        spec = load_kernel("movaps")
+        instr = InstructionSpec(
+            operations=("movaps",),
+            operands=(MemoryRef(RegisterRef("r1")), RegisterRange("%xmm", 0, 8)),
+            repeat=4,
+        )
+        ir = ir_for(spec).evolve(instrs=(TemplateInstr.from_spec(instr),))
+        out = InstructionRepetitionPass().run([ir], ctx_for(spec))
+        assert [t.lane for t in out[0].instrs] == [0, 1, 2, 3]
+
+    def test_no_repeat_is_identity(self):
+        spec = load_kernel("movaps")
+        ir = ir_for(spec)
+        out = InstructionRepetitionPass().run([ir], ctx_for(spec))
+        assert out[0].instrs == ir.instrs
+
+
+class TestMoveSemantics:
+    def _spec(self, nbytes=16, unaligned=True, scalar=True):
+        return (
+            KernelBuilder("k")
+            .move_bytes(nbytes, base="r1", allow_unaligned=unaligned, allow_scalar=scalar)
+            .pointer_induction("r1", step=nbytes)
+            .counter_induction("r0", linked_to="r1")
+            .branch()
+            .build()
+        )
+
+    def test_16_bytes_full_expansion(self):
+        spec = self._spec()
+        out = MoveSemanticsPass().run([ir_for(spec)], ctx_for(spec))
+        kinds = {v.metadata["semantics:0"] for v in out}
+        assert kinds == {"vector_aligned", "vector_unaligned", "scalar"}
+
+    def test_scalar_expansion_is_four_movss(self):
+        spec = self._spec()
+        out = MoveSemanticsPass().run([ir_for(spec)], ctx_for(spec))
+        scalar = next(v for v in out if v.metadata["semantics:0"] == "scalar")
+        assert len(scalar.instrs) == 4
+        assert all(t.opcode == "movss" for t in scalar.instrs)
+        offsets = [t.operands[0].offset for t in scalar.instrs]
+        assert offsets == [0, 4, 8, 12]
+
+    def test_scalar_lanes_distinct(self):
+        spec = self._spec()
+        out = MoveSemanticsPass().run([ir_for(spec)], ctx_for(spec))
+        scalar = next(v for v in out if v.metadata["semantics:0"] == "scalar")
+        assert len({t.lane for t in scalar.instrs}) == 4
+
+    def test_vector_only(self):
+        spec = self._spec(unaligned=False, scalar=False)
+        out = MoveSemanticsPass().run([ir_for(spec)], ctx_for(spec))
+        assert len(out) == 1
+        assert out[0].instrs[0].opcode == "movaps"
+
+    def test_8_bytes_is_movsd(self):
+        spec = self._spec(nbytes=8)
+        out = MoveSemanticsPass().run([ir_for(spec)], ctx_for(spec))
+        assert out[0].instrs[0].opcode == "movsd"
+
+    def test_no_semantics_is_identity(self):
+        spec = load_kernel("movaps")
+        ir = ir_for(spec)
+        assert MoveSemanticsPass().run([ir], ctx_for(spec)) == [ir]
+
+
+class TestInstructionSelection:
+    def test_single_choice_concretizes(self):
+        spec = load_kernel("movaps")
+        out = InstructionSelectionPass().run([ir_for(spec)], ctx_for(spec))
+        assert len(out) == 1
+        assert out[0].instrs[0].opcode == "movaps"
+
+    def test_multiple_choices_expand(self):
+        spec = (
+            KernelBuilder("k")
+            .load("movss", "movsd", "movaps", base="r1")
+            .pointer_induction("r1", step=16)
+            .counter_induction("r0", linked_to="r1")
+            .branch()
+            .build()
+        )
+        out = InstructionSelectionPass().run([ir_for(spec)], ctx_for(spec))
+        assert sorted(v.instrs[0].opcode for v in out) == [
+            "movaps",
+            "movsd",
+            "movss",
+        ]
+
+    def test_opcodes_recorded_in_metadata(self):
+        spec = load_kernel("movaps")
+        out = InstructionSelectionPass().run([ir_for(spec)], ctx_for(spec))
+        assert out[0].metadata["opcodes"] == ("movaps",)
+
+
+class TestRandomSelection:
+    def test_gated_off_by_default(self):
+        spec = load_kernel("movaps")
+        assert not RandomSelectionPass().gate(ctx_for(spec))
+
+    def test_keeps_requested_count(self):
+        spec = load_kernel("movaps")
+        ctx = CreatorContext(spec=spec, options=CreatorOptions(random_selection=3))
+        variants = [ir_for(spec).noting(i=i) for i in range(10)]
+        out = RandomSelectionPass().run(variants, ctx)
+        assert len(out) == 3
+
+    def test_deterministic_under_seed(self):
+        spec = load_kernel("movaps")
+        variants = [ir_for(spec).noting(i=i) for i in range(10)]
+        ctx = CreatorContext(spec=spec, options=CreatorOptions(random_selection=3, seed=42))
+        a = [v.metadata["i"] for v in RandomSelectionPass().run(variants, ctx)]
+        b = [v.metadata["i"] for v in RandomSelectionPass().run(variants, ctx)]
+        assert a == b
+
+    def test_oversized_request_keeps_all(self):
+        spec = load_kernel("movaps")
+        ctx = CreatorContext(spec=spec, options=CreatorOptions(random_selection=99))
+        variants = [ir_for(spec)]
+        assert len(RandomSelectionPass().run(variants, ctx)) == 1
+
+
+class TestStrideSelection:
+    def test_strides_scale_inductions(self):
+        spec = (
+            KernelBuilder("k")
+            .load("movaps", base="r1")
+            .pointer_induction("r1", step=16, stride_choices=(1, 2, 4))
+            .counter_induction("r0", linked_to="r1")
+            .branch()
+            .build()
+        )
+        out = StrideSelectionPass().run([ir_for(spec)], ctx_for(spec))
+        increments = sorted(v.inductions[0].increment for v in out)
+        assert increments == [16, 32, 64]
+        offsets = sorted(v.inductions[0].offset for v in out)
+        assert offsets == [16, 32, 64]
+
+    def test_stride_metadata(self):
+        spec = (
+            KernelBuilder("k")
+            .load("movaps", base="r1")
+            .pointer_induction("r1", step=16, stride_choices=(2,))
+            .counter_induction("r0", linked_to="r1")
+            .branch()
+            .build()
+        )
+        out = StrideSelectionPass().run([ir_for(spec)], ctx_for(spec))
+        assert out[0].metadata["stride:r1"] == 2
+
+    def test_no_strides_is_identity(self):
+        spec = load_kernel("movaps")
+        ir = ir_for(spec)
+        assert StrideSelectionPass().run([ir], ctx_for(spec)) == [ir]
+
+
+class TestImmediateSelection:
+    def _spec(self, values):
+        return (
+            KernelBuilder("k")
+            .instruction(
+                InstructionSpec(
+                    operations=("add",),
+                    operands=(ImmediateSpec(values), RegisterRef("r1")),
+                )
+            )
+            .pointer_induction("r1", step=8)
+            .counter_induction("r0", linked_to="r1")
+            .branch()
+            .build()
+        )
+
+    def test_multi_valued_expands(self):
+        spec = self._spec((1, 2, 4))
+        out = ImmediateSelectionPass().run([ir_for(spec)], ctx_for(spec))
+        assert sorted(v.instrs[0].operands[0] for v in out) == [1, 2, 4]
+
+    def test_single_value_concretizes_in_place(self):
+        spec = self._spec((7,))
+        out = ImmediateSelectionPass().run([ir_for(spec)], ctx_for(spec))
+        assert len(out) == 1
+        assert out[0].instrs[0].operands[0] == 7

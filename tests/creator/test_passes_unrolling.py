@@ -1,0 +1,146 @@
+"""Unrolling-pass tests (stages 7-11)."""
+
+import pytest
+
+from repro.creator.ir import KernelIR
+from repro.creator.pass_manager import CreatorContext
+from repro.creator.passes.errors import CreatorError
+from repro.creator.passes.selection import InstructionSelectionPass
+from repro.creator.passes.unrolling import (
+    OperandSwapAfterUnrollPass,
+    OperandSwapBeforeUnrollPass,
+    RegisterRotationPass,
+    UnrollFactorSelectionPass,
+    UnrollingPass,
+)
+from repro.spec.builders import load_kernel
+from repro.spec.schema import MemoryRef, RegisterRef
+
+
+def prepared(spec):
+    """Run the minimal pre-unrolling stages."""
+    ctx = CreatorContext(spec=spec)
+    variants = InstructionSelectionPass().run([KernelIR.from_spec(spec)], ctx)
+    return variants, ctx
+
+
+class TestUnrollFactorSelection:
+    def test_one_variant_per_factor(self):
+        spec = load_kernel("movaps", unroll=(1, 8))
+        variants, ctx = prepared(spec)
+        out = UnrollFactorSelectionPass().run(variants, ctx)
+        assert sorted(v.unroll for v in out) == list(range(1, 9))
+        assert all(v.metadata["unroll"] == v.unroll for v in out)
+
+    def test_fixed_factor(self):
+        spec = load_kernel("movaps", unroll=(3, 3))
+        variants, ctx = prepared(spec)
+        out = UnrollFactorSelectionPass().run(variants, ctx)
+        assert [v.unroll for v in out] == [3]
+
+
+class TestSwapBefore:
+    def test_flagged_instruction_doubles_variants(self):
+        spec = load_kernel("movaps")
+        spec = spec.__class__(
+            name=spec.name,
+            instructions=(
+                spec.instructions[0].__class__(
+                    operations=("movaps",),
+                    operands=spec.instructions[0].operands,
+                    swap_before_unroll=True,
+                ),
+            ),
+            unrolling=spec.unrolling,
+            inductions=spec.inductions,
+            branch=spec.branch,
+        )
+        variants, ctx = prepared(spec)
+        out = OperandSwapBeforeUnrollPass().run(variants, ctx)
+        assert len(out) == 2
+        assert sorted(v.metadata["swap_before"] for v in out) == ["L", "S"]
+
+    def test_unflagged_is_identity(self):
+        spec = load_kernel("movaps")
+        variants, ctx = prepared(spec)
+        assert OperandSwapBeforeUnrollPass().run(variants, ctx) == variants
+
+
+class TestUnrolling:
+    def _unrolled(self, factor):
+        spec = load_kernel("movaps", unroll=(factor, factor))
+        variants, ctx = prepared(spec)
+        variants = UnrollFactorSelectionPass().run(variants, ctx)
+        return UnrollingPass().run(variants, ctx)[0]
+
+    def test_body_replicated(self):
+        assert len(self._unrolled(3).instrs) == 3
+
+    def test_offsets_bumped_by_induction_offset(self):
+        ir = self._unrolled(3)
+        offsets = [t.operands[0].offset for t in ir.instrs]
+        assert offsets == [0, 16, 32]
+
+    def test_unroll_indices_stamped(self):
+        ir = self._unrolled(4)
+        assert [t.unroll_index for t in ir.instrs] == [0, 1, 2, 3]
+
+    def test_requires_selected_factor(self):
+        spec = load_kernel("movaps")
+        variants, ctx = prepared(spec)
+        with pytest.raises(CreatorError, match="unroll factor not selected"):
+            UnrollingPass().run(variants, ctx)
+
+
+class TestSwapAfter:
+    def _mixes(self, factor):
+        spec = load_kernel("movaps", unroll=(factor, factor), swap_after_unroll=True)
+        variants, ctx = prepared(spec)
+        variants = UnrollFactorSelectionPass().run(variants, ctx)
+        variants = UnrollingPass().run(variants, ctx)
+        return OperandSwapAfterUnrollPass().run(variants, ctx)
+
+    def test_two_to_the_u_variants(self):
+        assert len(self._mixes(1)) == 2
+        assert len(self._mixes(3)) == 8
+        assert len(self._mixes(5)) == 32
+
+    def test_all_mixes_distinct(self):
+        out = self._mixes(3)
+        mixes = [v.metadata["mix"] for v in out]
+        assert len(set(mixes)) == 8
+        assert "LLL" in mixes and "SSS" in mixes and "SLS" in mixes
+
+    def test_paper_section32_example(self):
+        """Twice-unrolled: two loads, two stores, load-store, store-load."""
+        mixes = {v.metadata["mix"] for v in self._mixes(2)}
+        assert mixes == {"LL", "SS", "LS", "SL"}
+
+
+class TestRegisterRotation:
+    def test_ranges_rotate_per_copy(self):
+        spec = load_kernel("movaps", unroll=(3, 3))
+        variants, ctx = prepared(spec)
+        variants = UnrollFactorSelectionPass().run(variants, ctx)
+        variants = UnrollingPass().run(variants, ctx)
+        out = RegisterRotationPass().run(variants, ctx)[0]
+        regs = [t.operands[1].name for t in out.instrs]
+        assert regs == ["%xmm0", "%xmm1", "%xmm2"]
+
+    def test_rotation_wraps_over_range(self):
+        spec = load_kernel("movaps", unroll=(10, 10))
+        variants, ctx = prepared(spec)
+        variants = UnrollFactorSelectionPass().run(variants, ctx)
+        variants = UnrollingPass().run(variants, ctx)
+        out = RegisterRotationPass().run(variants, ctx)[0]
+        regs = [t.operands[1].name for t in out.instrs]
+        assert regs[8] == "%xmm0"  # 8-register range wraps
+
+    def test_non_ranges_untouched(self):
+        spec = load_kernel("movaps", unroll=(2, 2))
+        variants, ctx = prepared(spec)
+        variants = UnrollFactorSelectionPass().run(variants, ctx)
+        variants = UnrollingPass().run(variants, ctx)
+        out = RegisterRotationPass().run(variants, ctx)[0]
+        assert all(isinstance(t.operands[0], MemoryRef) for t in out.instrs)
+        assert all(t.operands[0].base == RegisterRef("r1") for t in out.instrs)

@@ -1,0 +1,118 @@
+"""Plugin-system tests (paper section 3.3)."""
+
+import types
+
+import pytest
+
+from repro.creator import MicroCreator, PluginError
+from repro.creator.pass_manager import Pass, default_pass_pipeline
+from repro.creator.plugins import load_plugin, load_plugin_file
+from repro.spec.builders import load_kernel
+
+
+def module_with(init) -> types.ModuleType:
+    mod = types.ModuleType("test_plugin")
+    mod.pluginInit = init
+    return mod
+
+
+class TestLoadPlugin:
+    def test_plugin_init_receives_pass_manager(self):
+        seen = {}
+        pm = default_pass_pipeline()
+        load_plugin(module_with(lambda p: seen.setdefault("pm", p)), pm)
+        assert seen["pm"] is pm
+
+    def test_missing_init_rejected(self):
+        with pytest.raises(PluginError, match="pluginInit"):
+            load_plugin(types.ModuleType("empty"), default_pass_pipeline())
+
+    def test_failing_init_wrapped(self):
+        def boom(pm):
+            raise RuntimeError("nope")
+
+        with pytest.raises(PluginError, match="failed"):
+            load_plugin(module_with(boom), default_pass_pipeline())
+
+
+class TestPluginEffects:
+    def test_plugin_can_add_a_pass(self):
+        class CountingPass(Pass):
+            name = "counting"
+            seen = 0
+
+            def run(self, variants, ctx):
+                CountingPass.seen = len(variants)
+                return list(variants)
+
+        def init(pm):
+            pm.insert_pass_before("code_generation", CountingPass())
+
+        creator = MicroCreator(plugins=[module_with(init)])
+        creator.generate(load_kernel("movaps"))
+        assert CountingPass.seen == 8
+
+    def test_plugin_can_disable_a_pass_via_gate(self):
+        """Re-gating unrolling off yields one variant per unroll factor
+        whose body was never replicated."""
+
+        def init(pm):
+            pm.set_gate("operand_swap_after", lambda ctx: False)
+
+        creator = MicroCreator(plugins=[module_with(init)])
+        kernels = creator.generate(load_kernel("movaps", swap_after_unroll=True))
+        # Without the swap pass the 510-variant family collapses to 8.
+        assert len(kernels) == 8
+
+    def test_plugin_can_replace_a_pass(self):
+        from repro.creator.passes.finalize import PeepholePass
+
+        class RecordingPeephole(PeepholePass):
+            ran = False
+
+            def run(self, variants, ctx):
+                RecordingPeephole.ran = True
+                return super().run(variants, ctx)
+
+        def init(pm):
+            pm.replace_pass("peephole", RecordingPeephole())
+
+        creator = MicroCreator(plugins=[module_with(init)])
+        creator.generate(load_kernel("movaps", unroll=(1, 1)))
+        assert RecordingPeephole.ran
+
+
+class TestPluginFiles:
+    PLUGIN_SOURCE = '''
+"""A file-based MicroCreator plugin."""
+
+from repro.creator.pass_manager import Pass
+
+
+class StampPass(Pass):
+    name = "stamp"
+
+    def run(self, variants, ctx):
+        return [v.noting(stamped=True) for v in variants]
+
+
+def pluginInit(pm):
+    pm.insert_pass_before("code_generation", StampPass())
+'''
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "stamp_plugin.py"
+        path.write_text(self.PLUGIN_SOURCE)
+        creator = MicroCreator(plugins=[path])
+        kernels = creator.generate(load_kernel("movaps", unroll=(1, 1)))
+        assert kernels[0].metadata.get("stamped") is True
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PluginError, match="not found"):
+            load_plugin_file(tmp_path / "ghost.py", default_pass_pipeline())
+
+    def test_broken_file(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("this is not python ][")
+        with pytest.raises(PluginError, match="failed to import"):
+            load_plugin_file(path, default_pass_pipeline())

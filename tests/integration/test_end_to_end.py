@@ -1,0 +1,127 @@
+"""End-to-end integration: XML file -> MicroCreator -> .s files ->
+MicroLauncher -> CSV, across machines and execution modes."""
+
+import pytest
+
+from repro.creator import MicroCreator
+from repro.launcher import LauncherOptions, MicroLauncher
+from repro.launcher.csvout import read_csv
+from repro.machine import MemLevel, nehalem_2s_x5650, preset
+from repro.spec import load_kernel, write_kernel_spec
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """A realistic tool workflow: write the XML, generate, write .s files."""
+    root = tmp_path_factory.mktemp("workflow")
+    xml_path = root / "kernel.xml"
+    xml_path.write_text(write_kernel_spec(load_kernel("movaps")))
+    creator = MicroCreator()
+    kernels = creator.generate_from_file(xml_path)
+    out_dir = root / "generated"
+    paths = creator.write_all(kernels, out_dir)
+    return root, kernels, paths
+
+
+class TestFullWorkflow:
+    def test_generated_files_are_launchable(self, workspace):
+        root, kernels, paths = workspace
+        launcher = MicroLauncher(nehalem_2s_x5650())
+        options = LauncherOptions(
+            array_bytes=64 * 1024, trip_count=2048, experiments=3, repetitions=4
+        )
+        m = launcher.run(paths[0], options)
+        assert m.cycles_per_iteration > 0
+
+    def test_file_and_object_paths_agree(self, workspace):
+        """Launching the written .s file gives the same result as
+        launching the in-memory kernel object."""
+        root, kernels, paths = workspace
+        launcher = MicroLauncher(nehalem_2s_x5650())
+        options = LauncherOptions(
+            array_bytes=64 * 1024, trip_count=2048, experiments=3, repetitions=4
+        )
+        from_file = launcher.run(paths[3], options)
+        from_object = launcher.run(kernels[3], options)
+        assert from_file.cycles_per_iteration == pytest.approx(
+            from_object.cycles_per_iteration
+        )
+
+    def test_sweep_to_csv(self, workspace, tmp_path):
+        root, kernels, paths = workspace
+        launcher = MicroLauncher(nehalem_2s_x5650())
+        csv_path = tmp_path / "results.csv"
+        options = LauncherOptions(
+            array_bytes=64 * 1024,
+            trip_count=2048,
+            experiments=3,
+            repetitions=4,
+            csv_path=str(csv_path),
+        )
+        for kernel in kernels:
+            launcher.run(kernel, options)
+        rows = read_csv(csv_path)
+        assert len(rows) == len(kernels)
+        cycles = [float(r["cycles_per_iteration"]) for r in rows]
+        assert all(c > 0 for c in cycles)
+
+
+class TestCrossMachine:
+    @pytest.mark.parametrize("name", ["nehalem-2s", "nehalem-4s", "sandy-bridge"])
+    def test_same_kernel_runs_everywhere(self, name, movaps_u8):
+        """Section 5: 'The MicroTools were deployed on each architecture
+        without any additional work required.'"""
+        machine = preset(name)
+        launcher = MicroLauncher(machine)
+        options = LauncherOptions(
+            array_bytes=machine.footprint_for(MemLevel.L1),
+            trip_count=2048,
+            experiments=3,
+            repetitions=4,
+        )
+        m = launcher.run(movaps_u8, options)
+        assert m.cycles_per_iteration > 0
+
+    def test_sandy_bridge_faster_per_load(self, movaps_u8):
+        """Two load ports: the same L1 load kernel runs at fewer cycles
+        per load on Sandy Bridge than on Nehalem."""
+        results = {}
+        for name in ("nehalem-2s", "sandy-bridge"):
+            machine = preset(name)
+            launcher = MicroLauncher(machine)
+            options = LauncherOptions(
+                array_bytes=machine.footprint_for(MemLevel.L1),
+                trip_count=2048,
+                experiments=3,
+                repetitions=4,
+            )
+            results[name] = launcher.run(
+                movaps_u8, options
+            ).cycles_per_memory_instruction
+        assert results["sandy-bridge"] < results["nehalem-2s"]
+
+
+class TestSection2Workflow:
+    """The motivation narrative as one scripted session."""
+
+    def test_tune_matmul(self):
+        from repro.kernels.matmul import measure_matmul
+
+        launcher = MicroLauncher(nehalem_2s_x5650())
+        # 1. Size study: find a cache-resident size.
+        small = measure_matmul(launcher, 200).cycles_per_element
+        large = measure_matmul(launcher, 2000).cycles_per_element
+        assert small < large
+        # 2. Alignment study at the chosen size: no effect.
+        alignments = [(0, 0, 0), (512, 64, 0)]
+        values = [
+            measure_matmul(launcher, 200, alignments=a).cycles_per_element
+            for a in alignments
+        ]
+        assert abs(values[1] - values[0]) / values[0] < 0.03
+        # 3. Unroll study: pick the best factor.
+        sweep = {
+            u: measure_matmul(launcher, 200, unroll=u).cycles_per_element
+            for u in (1, 2, 4, 8)
+        }
+        assert min(sweep, key=sweep.get) == 8

@@ -1,0 +1,156 @@
+"""Instruction IR tests: classification, dataflow, loop extraction."""
+
+import pytest
+
+from repro.isa.instructions import AsmProgram, Comment, Instruction, LabelDef
+from repro.isa.operands import (
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    RegisterOperand,
+)
+from repro.isa.parser import parse_instruction
+from repro.isa.registers import PhysReg
+
+
+def ins(text: str) -> Instruction:
+    return parse_instruction(text)
+
+
+class TestClassification:
+    def test_load(self):
+        i = ins("movaps 16(%rsi), %xmm1")
+        assert i.is_load and not i.is_store
+
+    def test_store(self):
+        i = ins("movaps %xmm0, (%rsi)")
+        assert i.is_store and not i.is_load
+
+    def test_register_move_is_neither(self):
+        i = ins("movsd %xmm0, %xmm1")
+        assert not i.is_load and not i.is_store
+
+    def test_arith_with_memory_source_is_load(self):
+        i = ins("mulsd (%r8), %xmm0")
+        assert i.is_load and not i.is_store
+
+    def test_cmp_with_memory_is_load_not_store(self):
+        i = ins("cmp (%rsi), %rax")
+        assert not i.is_store
+
+    def test_branch(self):
+        i = ins("jge .L6")
+        assert i.is_branch
+        assert i.branch_target == ".L6"
+
+    def test_non_branch_has_no_target(self):
+        assert ins("add $1, %rax").branch_target is None
+
+    def test_unknown_opcode_rejected_at_construction(self):
+        with pytest.raises(KeyError, match="unmodelled opcode"):
+            Instruction("frobnicate")
+
+
+class TestBytesMoved:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("movss (%rsi), %xmm0", 4),
+            ("movsd (%rsi), %xmm0", 8),
+            ("movaps (%rsi), %xmm0", 16),
+            ("movapd %xmm0, (%rsi)", 16),
+            ("movups (%rsi), %xmm0", 16),
+        ],
+    )
+    def test_payload_sizes(self, text, expected):
+        assert ins(text).bytes_moved == expected
+
+    def test_register_move_moves_no_memory(self):
+        assert ins("movaps %xmm0, %xmm1").bytes_moved == 0
+
+    def test_arithmetic_moves_nothing(self):
+        assert ins("addsd %xmm0, %xmm1").bytes_moved == 0
+
+
+class TestDataflow:
+    def test_load_writes_dest_without_reading_it(self):
+        i = ins("movaps 16(%rsi), %xmm1")
+        assert PhysReg("%xmm1") in i.registers_written()
+        assert PhysReg("%xmm1") not in i.registers_read()
+        assert PhysReg("%rsi") in i.registers_read()
+
+    def test_accumulate_reads_and_writes_dest(self):
+        i = ins("addsd %xmm0, %xmm1")
+        assert PhysReg("%xmm1") in i.registers_read()
+        assert PhysReg("%xmm1") in i.registers_written()
+
+    def test_induction_update_reads_and_writes(self):
+        i = ins("add $48, %rsi")
+        assert PhysReg("%rsi") in i.registers_read()
+        assert PhysReg("%rsi") in i.registers_written()
+
+    def test_store_reads_source_and_address(self):
+        i = ins("movaps %xmm0, 32(%rsi)")
+        reads = i.registers_read()
+        assert PhysReg("%xmm0") in reads
+        assert PhysReg("%rsi") in reads
+        assert i.registers_written() == ()
+
+    def test_cmp_writes_nothing(self):
+        assert ins("cmpl %eax, %edi").registers_written() == ()
+
+    def test_zeroing_idiom_breaks_dependence(self):
+        i = ins("xorps %xmm0, %xmm0")
+        assert PhysReg("%xmm0") not in i.registers_read()
+
+
+class TestRewriting:
+    def test_with_opcode(self):
+        i = ins("movaps (%rsi), %xmm0").with_opcode("movups")
+        assert i.opcode == "movups"
+
+    def test_with_comment(self):
+        assert ins("nop").with_comment("hello").comment == "hello"
+
+
+class TestAsmProgram:
+    def _program(self) -> AsmProgram:
+        return AsmProgram(
+            "k",
+            [
+                LabelDef(".L6"),
+                Comment("body"),
+                ins("movaps (%rsi), %xmm0"),
+                ins("add $16, %rsi"),
+                ins("sub $4, %rdi"),
+                ins("jge .L6"),
+            ],
+        )
+
+    def test_len_counts_instructions_only(self):
+        assert len(self._program()) == 4
+
+    def test_kernel_loop_extraction(self):
+        label, body = self._program().kernel_loop()
+        assert label == ".L6"
+        assert [i.opcode for i in body] == ["movaps", "add", "sub", "jge"]
+
+    def test_kernel_loop_requires_backward_branch(self):
+        program = AsmProgram("k", [ins("movaps (%rsi), %xmm0")])
+        with pytest.raises(ValueError, match="no kernel loop"):
+            program.kernel_loop()
+
+    def test_forward_branch_is_not_a_loop(self):
+        program = AsmProgram(
+            "k", [ins("jmp .L9"), LabelDef(".L9"), ins("nop")]
+        )
+        with pytest.raises(ValueError):
+            program.kernel_loop()
+
+    def test_copy_is_independent(self):
+        p = self._program()
+        q = p.copy()
+        q.items.pop()
+        q.metadata["x"] = 1
+        assert len(list(p.items)) == 6
+        assert "x" not in p.metadata

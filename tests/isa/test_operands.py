@@ -1,0 +1,71 @@
+"""Operand model tests."""
+
+import pytest
+
+from repro.isa.operands import (
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    RegisterOperand,
+)
+from repro.isa.registers import LogicalReg, PhysReg
+
+
+class TestRegisterOperand:
+    def test_registers(self):
+        op = RegisterOperand(PhysReg("%xmm0"))
+        assert op.registers() == (PhysReg("%xmm0"),)
+
+    def test_substitute_logical(self):
+        op = RegisterOperand(LogicalReg("r1"))
+        out = op.substitute({"r1": PhysReg("%rsi")})
+        assert out.reg == PhysReg("%rsi")
+
+    def test_substitute_leaves_unmapped(self):
+        op = RegisterOperand(LogicalReg("r9"))
+        assert op.substitute({"r1": PhysReg("%rsi")}).reg == LogicalReg("r9")
+
+    def test_substitute_leaves_physical(self):
+        op = RegisterOperand(PhysReg("%rdx"))
+        assert op.substitute({"r1": PhysReg("%rsi")}).reg == PhysReg("%rdx")
+
+
+class TestMemoryOperand:
+    def test_base_only_registers(self):
+        op = MemoryOperand(base=PhysReg("%rsi"), offset=16)
+        assert op.registers() == (PhysReg("%rsi"),)
+
+    def test_base_and_index_registers(self):
+        op = MemoryOperand(base=PhysReg("%rdx"), index=PhysReg("%rax"), scale=8)
+        assert op.registers() == (PhysReg("%rdx"), PhysReg("%rax"))
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            MemoryOperand(base=PhysReg("%rsi"), scale=3)
+
+    def test_with_offset(self):
+        op = MemoryOperand(base=PhysReg("%rsi"), offset=0)
+        assert op.with_offset(32).offset == 32
+        assert op.offset == 0  # original untouched
+
+    def test_substitute_base_and_index(self):
+        op = MemoryOperand(base=LogicalReg("r1"), index=LogicalReg("r2"), scale=4)
+        out = op.substitute({"r1": PhysReg("%rsi"), "r2": PhysReg("%rcx")})
+        assert out.base == PhysReg("%rsi")
+        assert out.index == PhysReg("%rcx")
+        assert out.scale == 4
+
+
+class TestOtherOperands:
+    def test_immediate_holds_value(self):
+        assert ImmediateOperand(48).value == 48
+
+    def test_immediate_is_registerless(self):
+        assert ImmediateOperand(1).registers() == ()
+
+    def test_label(self):
+        assert LabelOperand(".L6").name == ".L6"
+
+    def test_operands_are_hashable(self):
+        # Frozen operands can key dicts (pass bookkeeping relies on it).
+        {ImmediateOperand(1), LabelOperand(".L6"), RegisterOperand(PhysReg("%rsi"))}

@@ -1,0 +1,91 @@
+"""Register model tests."""
+
+import pytest
+
+from repro.isa.registers import (
+    GPR64_POOL,
+    LogicalReg,
+    PhysReg,
+    RegClass,
+    XMM_POOL,
+    parse_register,
+    widen_to_64,
+)
+
+
+class TestPhysReg:
+    def test_gpr64_class(self):
+        assert PhysReg("%rsi").regclass is RegClass.GPR64
+
+    def test_gpr32_class(self):
+        assert PhysReg("%eax").regclass is RegClass.GPR32
+
+    def test_xmm_class(self):
+        assert PhysReg("%xmm7").regclass is RegClass.XMM
+
+    def test_unknown_register_rejected_on_classification(self):
+        with pytest.raises(ValueError, match="unknown physical register"):
+            PhysReg("%zmm0").regclass
+
+    def test_name_must_start_with_percent(self):
+        with pytest.raises(ValueError):
+            PhysReg("rsi")
+
+    def test_eax_canonicalizes_to_rax(self):
+        assert PhysReg("%eax").canonical64 == PhysReg("%rax")
+
+    def test_r8d_canonicalizes_to_r8(self):
+        assert PhysReg("%r8d").canonical64 == PhysReg("%r8")
+
+    def test_gpr64_is_its_own_canonical(self):
+        assert PhysReg("%rdi").canonical64 == PhysReg("%rdi")
+
+    def test_xmm_is_its_own_canonical(self):
+        assert PhysReg("%xmm3").canonical64 == PhysReg("%xmm3")
+
+    def test_width_bytes(self):
+        assert RegClass.GPR64.width_bytes == 8
+        assert RegClass.GPR32.width_bytes == 4
+        assert RegClass.XMM.width_bytes == 16
+
+
+class TestLogicalReg:
+    def test_plain_name(self):
+        assert LogicalReg("r1").name == "r1"
+
+    def test_rejects_percent_prefix(self):
+        with pytest.raises(ValueError):
+            LogicalReg("%rsi")
+
+
+class TestParseRegister:
+    def test_physical(self):
+        assert parse_register("%rsi") == PhysReg("%rsi")
+
+    def test_logical(self):
+        assert parse_register("r0") == LogicalReg("r0")
+
+    def test_strips_whitespace(self):
+        assert parse_register("  %xmm0 ") == PhysReg("%xmm0")
+
+    def test_unknown_physical_rejected(self):
+        with pytest.raises(ValueError):
+            parse_register("%bogus")
+
+
+class TestPools:
+    def test_pool_excludes_stack_and_return_registers(self):
+        assert "%rsp" not in GPR64_POOL
+        assert "%rbp" not in GPR64_POOL
+        assert "%rax" not in GPR64_POOL
+
+    def test_pool_leads_with_paper_registers(self):
+        # Fig. 8 uses %rsi for the pointer and %rdi for the counter.
+        assert GPR64_POOL[0] == "%rsi"
+        assert GPR64_POOL[1] == "%rdi"
+
+    def test_sixteen_xmm_registers(self):
+        assert len(XMM_POOL) == 16
+
+    def test_widen_helper(self):
+        assert widen_to_64(PhysReg("%edi")) == PhysReg("%rdi")

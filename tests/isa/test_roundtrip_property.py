@@ -1,0 +1,93 @@
+"""Property-based tests: writer/parser round-trips over generated
+instruction streams."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.instructions import AsmProgram, Instruction, LabelDef
+from repro.isa.operands import (
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    RegisterOperand,
+)
+from repro.isa.parser import parse_asm
+from repro.isa.registers import GPR64_POOL, XMM_POOL, PhysReg
+from repro.isa.writer import format_instruction, write_program
+
+gpr = st.sampled_from(GPR64_POOL).map(PhysReg)
+xmm = st.sampled_from(XMM_POOL).map(PhysReg)
+
+mem = st.builds(
+    MemoryOperand,
+    base=gpr,
+    offset=st.integers(min_value=-512, max_value=4096),
+    index=st.none() | gpr,
+    scale=st.sampled_from([1, 2, 4, 8]),
+)
+
+move_instr = st.builds(
+    lambda opcode, memop, reg, is_load: Instruction(
+        opcode, (memop, reg) if is_load else (reg, memop)
+    ),
+    opcode=st.sampled_from(["movss", "movsd", "movaps", "movapd", "movups"]),
+    memop=mem,
+    reg=xmm.map(RegisterOperand),
+    is_load=st.booleans(),
+)
+
+alu_instr = st.builds(
+    lambda opcode, imm, reg: Instruction(opcode, (ImmediateOperand(imm), reg)),
+    opcode=st.sampled_from(["add", "sub", "addq", "subq"]),
+    imm=st.integers(min_value=1, max_value=1 << 20),
+    reg=gpr.map(RegisterOperand),
+)
+
+fp_instr = st.builds(
+    lambda opcode, a, b: Instruction(opcode, (a, b)),
+    opcode=st.sampled_from(["addsd", "mulsd", "addps", "mulps", "xorps"]),
+    a=xmm.map(RegisterOperand),
+    b=xmm.map(RegisterOperand),
+)
+
+any_instr = st.one_of(move_instr, alu_instr, fp_instr)
+
+
+@given(st.lists(any_instr, min_size=1, max_size=30))
+@settings(max_examples=150)
+def test_instruction_stream_roundtrips(instrs):
+    """write(parse(write(p))) == write(p) for arbitrary modelled streams."""
+    program = AsmProgram("k", list(instrs))
+    text = write_program(program)
+    reparsed = parse_asm(text)
+    assert [format_instruction(i) for i in reparsed.instructions()] == [
+        format_instruction(i) for i in instrs
+    ]
+
+
+@given(st.lists(any_instr, min_size=1, max_size=20))
+@settings(max_examples=75)
+def test_full_file_roundtrip_preserves_loop(instrs):
+    """The full-file scaffolding never corrupts the kernel loop."""
+    branch = Instruction("jge", (LabelOperand(".L6"),))
+    program = AsmProgram("kernel_fn", [LabelDef(".L6"), *instrs, branch])
+    text = write_program(program, full_file=True)
+    reparsed = parse_asm(text)
+    label, body = reparsed.kernel_loop()
+    assert label == ".L6"
+    assert len(body) == len(instrs) + 1
+
+
+@given(any_instr)
+@settings(max_examples=150)
+def test_classification_is_exclusive_for_moves(instr):
+    """A move instruction is never both load and store."""
+    if instr.info.is_move:
+        assert not (instr.is_load and instr.is_store)
+
+
+@given(any_instr)
+@settings(max_examples=150)
+def test_written_registers_never_include_immediates(instr):
+    for reg in instr.registers_written() + instr.registers_read():
+        assert str(reg).startswith("%")

@@ -1,0 +1,88 @@
+"""Opcode semantics table tests."""
+
+import pytest
+
+from repro.isa.semantics import (
+    MOVE_ALTERNATIVES,
+    MOVE_FAMILY,
+    OpcodeKind,
+    known_opcodes,
+    opcode_info,
+)
+
+
+class TestMoveFamily:
+    @pytest.mark.parametrize(
+        "name,nbytes,vector",
+        [
+            ("movss", 4, False),
+            ("movsd", 8, False),
+            ("movaps", 16, True),
+            ("movapd", 16, True),
+            ("movups", 16, True),
+            ("movupd", 16, True),
+        ],
+    )
+    def test_payloads(self, name, nbytes, vector):
+        info = opcode_info(name)
+        assert info.bytes_moved == nbytes
+        assert info.vector is vector
+        assert info.is_move
+
+    def test_aligned_variants_require_alignment(self):
+        assert opcode_info("movaps").requires_alignment
+        assert opcode_info("movapd").requires_alignment
+
+    def test_unaligned_variants_do_not(self):
+        assert not opcode_info("movups").requires_alignment
+        assert not opcode_info("movss").requires_alignment
+
+    def test_family_lookup_covers_vector_choice(self):
+        assert MOVE_FAMILY[(16, True, True)] == "movaps"
+        assert MOVE_FAMILY[(16, True, False)] == "movups"
+        assert MOVE_FAMILY[(4, False, False)] == "movss"
+
+    def test_alternatives_include_scalar_fallback(self):
+        assert "movss" in MOVE_ALTERNATIVES["movaps"]
+
+
+class TestArithmetic:
+    def test_fp_add_latency(self):
+        assert opcode_info("addsd").latency == 3
+        assert opcode_info("addsd").kind is OpcodeKind.FP_ADD
+
+    def test_fp_mul_latency(self):
+        assert opcode_info("mulsd").latency == 5
+        assert opcode_info("mulsd").kind is OpcodeKind.FP_MUL
+
+    def test_integer_alu_single_cycle(self):
+        for name in ("add", "sub", "cmp", "lea"):
+            assert opcode_info(name).latency == 1
+            assert opcode_info(name).kind is OpcodeKind.INT_ALU
+
+    def test_fp_ports(self):
+        assert opcode_info("addps").ports == ("fp_add",)
+        assert opcode_info("mulps").ports == ("fp_mul",)
+
+
+class TestBranches:
+    @pytest.mark.parametrize("name", ["jge", "jg", "jle", "jne", "jmp"])
+    def test_branch_kind(self, name):
+        info = opcode_info(name)
+        assert info.is_branch
+        assert info.ports == ("branch",)
+
+
+class TestLookup:
+    def test_unknown_opcode_raises_with_suggestion(self):
+        with pytest.raises(KeyError, match="did you mean"):
+            opcode_info("movap")
+
+    def test_unknown_opcode_without_suggestion(self):
+        with pytest.raises(KeyError, match="unmodelled"):
+            opcode_info("zzz")
+
+    def test_known_opcodes_is_reasonably_populated(self):
+        names = known_opcodes()
+        assert len(names) > 40
+        assert "movaps" in names and "jge" in names and "nop" in names

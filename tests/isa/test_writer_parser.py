@@ -1,0 +1,131 @@
+"""Writer and parser tests, including the paper's Fig. 2 text."""
+
+import pytest
+
+from repro.isa.instructions import AsmProgram, Comment, LabelDef
+from repro.isa.operands import (
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    RegisterOperand,
+)
+from repro.isa.parser import AsmParseError, parse_asm, parse_instruction
+from repro.isa.registers import PhysReg
+from repro.isa.writer import format_instruction, format_operand, write_program
+
+FIG2 = """
+.L3:
+movsd (%rdx,%rax,8), %xmm0
+addq $1, %rax
+mulsd (%r8), %xmm0
+addq %r11, %r8
+cmpl %eax, %edi
+addsd %xmm0, %xmm1
+movsd %xmm1, (%r10,%r9)
+jg .L3
+"""
+
+
+class TestFormatOperand:
+    def test_register(self):
+        assert format_operand(RegisterOperand(PhysReg("%xmm0"))) == "%xmm0"
+
+    def test_immediate(self):
+        assert format_operand(ImmediateOperand(48)) == "$48"
+
+    def test_memory_base_only_zero_offset(self):
+        assert format_operand(MemoryOperand(base=PhysReg("%rsi"))) == "(%rsi)"
+
+    def test_memory_with_offset(self):
+        assert (
+            format_operand(MemoryOperand(base=PhysReg("%rsi"), offset=16))
+            == "16(%rsi)"
+        )
+
+    def test_memory_with_index_scale(self):
+        op = MemoryOperand(base=PhysReg("%rdx"), index=PhysReg("%rax"), scale=8)
+        assert format_operand(op) == "(%rdx,%rax,8)"
+
+    def test_negative_offset(self):
+        assert (
+            format_operand(MemoryOperand(base=PhysReg("%rsi"), offset=-8))
+            == "-8(%rsi)"
+        )
+
+    def test_label(self):
+        assert format_operand(LabelOperand(".L6")) == ".L6"
+
+
+class TestParser:
+    def test_fig2_parses_completely(self):
+        program = parse_asm(FIG2)
+        assert len(program) == 8
+        label, body = program.kernel_loop()
+        assert label == ".L3"
+        assert body[-1].opcode == "jg"
+
+    def test_fig2_classification(self):
+        program = parse_asm(FIG2)
+        loads = [i for i in program.instructions() if i.is_load]
+        stores = [i for i in program.instructions() if i.is_store]
+        assert len(loads) == 2  # movsd load + mulsd with memory operand
+        assert len(stores) == 1
+
+    def test_comments_preserved(self):
+        program = parse_asm("#Unrolling iterations\nnop\n")
+        assert any(isinstance(it, Comment) for it in program.items)
+
+    def test_inline_comment_attached(self):
+        instr = parse_instruction("add $1, %rax  # counter")
+        assert instr.comment == "counter"
+
+    def test_unknown_opcode_reports_line(self):
+        with pytest.raises(AsmParseError, match="line 2"):
+            parse_asm("nop\nbogus %rax\n")
+
+    def test_bad_operand_rejected(self):
+        with pytest.raises(AsmParseError, match="cannot parse operand"):
+            parse_instruction("add one, %rax")
+
+    def test_bad_immediate_rejected(self):
+        with pytest.raises(AsmParseError, match="bad immediate"):
+            parse_instruction("add $x, %rax")
+
+    def test_hex_immediate(self):
+        instr = parse_instruction("add $0x10, %rsi")
+        assert instr.operands[0].value == 16
+
+    def test_globl_sets_program_name(self):
+        text = "\t.globl my_kernel\nmy_kernel:\nnop\n"
+        assert parse_asm(text).name == "my_kernel"
+
+    def test_branch_target_operand(self):
+        instr = parse_instruction("jge .L6")
+        assert instr.branch_target == ".L6"
+
+
+class TestRoundTrip:
+    def test_write_then_parse_is_identity_on_instructions(self):
+        program = parse_asm(FIG2)
+        text = write_program(program)
+        reparsed = parse_asm(text)
+        original = [format_instruction(i) for i in program.instructions()]
+        again = [format_instruction(i) for i in reparsed.instructions()]
+        assert original == again
+
+    def test_full_file_roundtrip_keeps_name_and_loop(self):
+        program = parse_asm(FIG2, name="matmul_inner")
+        program.name = "matmul_inner"
+        text = write_program(program, full_file=True)
+        reparsed = parse_asm(text)
+        assert reparsed.name == "matmul_inner"
+        label, body = reparsed.kernel_loop()
+        assert label == ".L3"
+        # +1 for the epilogue ret added by full_file
+        assert len(reparsed) == len(program) + 1
+
+    def test_full_file_has_scaffolding(self):
+        program = AsmProgram("f", [LabelDef(".L1"), parse_instruction("jge .L1")])
+        text = write_program(program, full_file=True)
+        assert ".globl f" in text
+        assert text.strip().endswith(".size f, .-f")

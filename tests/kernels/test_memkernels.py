@@ -1,0 +1,124 @@
+"""Kernel-library tests."""
+
+import pytest
+
+from repro.creator import MicroCreator
+from repro.kernels import (
+    all_mov_families,
+    loadstore_family,
+    move_semantics_kernel,
+    multi_array_traversal,
+    spec_path,
+    strided_kernel,
+)
+from repro.spec import parse_spec_file
+
+
+class TestLoadstoreFamily:
+    def test_510_variants(self, creator):
+        assert len(creator.generate(loadstore_family("movaps"))) == 510
+
+    def test_every_mix_present_per_unroll(self, creator):
+        kernels = creator.generate(loadstore_family("movss", unroll=(4, 4)))
+        assert len({k.mix for k in kernels}) == 16
+
+
+class TestAllMovFamilies:
+    def test_2040_variants(self, creator):
+        assert len(creator.generate(all_mov_families())) == 2040
+
+    def test_all_four_opcodes_appear(self, creator):
+        kernels = creator.generate(all_mov_families(unroll=(1, 1)))
+        opcodes = {k.opcodes[0] for k in kernels}
+        assert opcodes == {"movss", "movsd", "movaps", "movapd"}
+
+
+class TestMultiArrayTraversal:
+    def test_four_streams(self, creator):
+        kernel = creator.generate(multi_array_traversal(4, "movss", unroll=(1, 1)))[0]
+        bases = {
+            str(op.base)
+            for i in kernel.program.instructions()
+            for op in i.memory_operands
+        }
+        assert bases == {"%rsi", "%rdx", "%rcx", "%r8"}
+
+    def test_unroll_multiplies_loads(self, creator):
+        kernel = creator.generate(multi_array_traversal(4, "movss", unroll=(6, 6)))[0]
+        assert kernel.n_loads == 24
+
+    def test_each_array_gets_disjoint_registers(self, creator):
+        kernel = creator.generate(multi_array_traversal(4, "movss", unroll=(1, 1)))[0]
+        regs = [
+            str(i.operands[1].reg)
+            for i in kernel.program.instructions()
+            if i.is_load
+        ]
+        assert len(set(regs)) == 4
+
+    def test_array_count_validated(self):
+        with pytest.raises(ValueError, match="1..5"):
+            multi_array_traversal(9)
+
+
+class TestStridedKernel:
+    def test_one_variant_per_stride_and_unroll(self, creator):
+        kernels = creator.generate(
+            strided_kernel("movaps", strides=(1, 2, 4), unroll=(1, 2))
+        )
+        assert len(kernels) == 6
+
+    def test_stride_scales_pointer_step(self, creator):
+        kernels = creator.generate(
+            strided_kernel("movaps", strides=(1, 4), unroll=(1, 1))
+        )
+        steps = set()
+        for k in kernels:
+            add = next(
+                i for i in k.program.instructions()
+                if i.opcode == "add" and str(i.operands[1].reg) == "%rsi"
+            )
+            steps.add(add.operands[0].value)
+        assert steps == {16, 64}
+
+
+class TestMoveSemanticsKernel:
+    def test_three_encodings(self, creator):
+        kernels = creator.generate(move_semantics_kernel(16, unroll=(1, 1)))
+        semantics = {k.metadata["semantics:0"] for k in kernels}
+        assert semantics == {"vector_aligned", "vector_unaligned", "scalar"}
+
+    def test_scalar_encoding_has_equal_payload(self, creator):
+        kernels = creator.generate(move_semantics_kernel(16, unroll=(1, 1)))
+        by_kind = {k.metadata["semantics:0"]: k for k in kernels}
+        vector_bytes = sum(
+            i.bytes_moved for i in by_kind["vector_aligned"].program.instructions()
+        )
+        scalar_bytes = sum(
+            i.bytes_moved for i in by_kind["scalar"].program.instructions()
+        )
+        assert vector_bytes == scalar_bytes == 16
+
+
+class TestBundledSpecs:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "loadstore_movaps",
+            "loadstore_movss",
+            "load_movaps",
+            "mov_families",
+            "multi_array_movss",
+            "strided_movaps",
+            "move_semantics_16b",
+            "matmul_micro_200",
+        ],
+    )
+    def test_bundled_specs_parse_and_generate(self, name):
+        spec = parse_spec_file(spec_path(name))
+        kernels = MicroCreator().generate(spec)
+        assert kernels
+
+    def test_unknown_spec_lists_available(self):
+        with pytest.raises(FileNotFoundError, match="loadstore_movaps"):
+            spec_path("nonexistent")

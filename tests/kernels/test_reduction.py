@@ -1,0 +1,82 @@
+"""Reduction-kernel tests (accumulator splitting)."""
+
+import pytest
+
+from repro.creator import MicroCreator
+from repro.kernels.reduction import dot_product_spec
+from repro.launcher import LauncherOptions
+from repro.machine import MemLevel
+from repro.machine.kernel_model import analyze_kernel
+
+
+def body_of(spec):
+    kernel = MicroCreator().generate(spec)[0]
+    _, body = kernel.program.kernel_loop()
+    return kernel, body
+
+
+class TestStructure:
+    def test_one_accumulator_chains_everything(self):
+        _, body = body_of(dot_product_spec(1, unroll=(8, 8)))
+        analysis = analyze_kernel(body)
+        # 8 addss into one register: 24-cycle carried chain.
+        assert analysis.recurrence_cycles == 24
+
+    def test_k_accumulators_divide_the_chain(self):
+        _, body = body_of(dot_product_spec(4, unroll=(8, 8)))
+        analysis = analyze_kernel(body)
+        assert analysis.recurrence_cycles == 6  # 2 adds per chain
+
+    def test_accumulators_rotate_round_robin(self):
+        kernel, body = body_of(dot_product_spec(2, unroll=(4, 4)))
+        accs = [
+            str(i.operands[1].reg)
+            for i in body
+            if i.opcode == "addss"
+        ]
+        assert accs == ["%xmm8", "%xmm9", "%xmm8", "%xmm9"]
+
+    def test_two_loads_per_element(self):
+        _, body = body_of(dot_product_spec(1, unroll=(2, 2)))
+        analysis = analyze_kernel(body)
+        assert analysis.n_loads == 4  # movss + mulss memory operand, x2
+
+    def test_double_precision_variant(self):
+        kernel, body = body_of(dot_product_spec(2, opcode="movsd", unroll=(1, 1)))
+        opcodes = [i.opcode for i in body]
+        assert "mulsd" in opcodes and "addsd" in opcodes
+
+    def test_accumulator_count_validated(self):
+        with pytest.raises(ValueError, match="1..8"):
+            dot_product_spec(9)
+
+
+class TestBehaviour:
+    @pytest.fixture()
+    def l1_options(self, nehalem):
+        return LauncherOptions(
+            array_bytes=nehalem.footprint_for(MemLevel.L1),
+            trip_count=1 << 14,
+            experiments=3,
+            repetitions=4,
+        )
+
+    def test_serial_reduction_is_chain_bound(self, launcher, l1_options):
+        kernel = MicroCreator().generate(dot_product_spec(1))[0]
+        m = launcher.run(kernel, l1_options)
+        assert m.bottleneck == "recurrence"
+        assert m.cycles_per_element > 3.0
+
+    def test_splitting_reaches_port_bound(self, launcher, l1_options):
+        kernel = MicroCreator().generate(dot_product_spec(4))[0]
+        m = launcher.run(kernel, l1_options)
+        assert m.bottleneck.startswith("port:")
+        # Two loads per element through one load port: 2-cycle floor.
+        assert m.cycles_per_element == pytest.approx(2.43, rel=0.05)
+
+    def test_monotone_in_accumulators(self, launcher, l1_options):
+        values = []
+        for k in (1, 2, 4, 8):
+            kernel = MicroCreator().generate(dot_product_spec(k))[0]
+            values.append(launcher.run(kernel, l1_options).cycles_per_element)
+        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))

@@ -1,0 +1,78 @@
+"""Stencil-kernel tests (section 3.5 use)."""
+
+import pytest
+
+from repro.creator import MicroCreator
+from repro.kernels.stencil import stencil_kernel, stencil_source, stencil_spec
+from repro.launcher import LauncherOptions
+from repro.machine.kernel_model import analyze_kernel
+
+
+class TestCompiledStencil:
+    def test_instruction_mix(self):
+        kernel = stencil_kernel(1024, 1)
+        _, body = kernel.program.kernel_loop()
+        opcodes = [i.opcode for i in body if not i.is_branch]
+        assert opcodes[:4] == ["movss", "addss", "addss", "movss"]
+
+    def test_three_taps_one_store(self):
+        kernel = stencil_kernel(1024, 1)
+        _, body = kernel.program.kernel_loop()
+        analysis = analyze_kernel(body)
+        assert analysis.n_loads == 3
+        assert analysis.n_stores == 1
+
+    def test_two_streams(self):
+        kernel = stencil_kernel(1024, 1)
+        _, body = kernel.program.kernel_loop()
+        analysis = analyze_kernel(body)
+        assert set(analysis.streams) == {"%rsi", "%rdx"}
+
+    def test_negative_tap_offset(self):
+        kernel = stencil_kernel(1024, 1)
+        offsets = [
+            m.offset
+            for i in kernel.program.instructions()
+            for m in i.memory_operands
+            if str(m.base) == "%rsi"
+        ]
+        assert -4 in offsets and 0 in offsets and 4 in offsets
+
+    def test_unroll_bumps_taps(self):
+        kernel = stencil_kernel(1024, 2)
+        _, body = kernel.program.kernel_loop()
+        analysis = analyze_kernel(body)
+        assert analysis.n_loads == 6
+        assert analysis.streams["%rsi"].step_bytes == 8
+
+    def test_double_precision_variant(self):
+        kernel = stencil_kernel(1024, 1, element_size=8)
+        opcodes = {i.opcode for i in kernel.program.instructions()}
+        assert "movsd" in opcodes and "addsd" in opcodes
+
+    def test_no_per_iteration_accumulator_store(self):
+        # store_target_each_iteration=False: exactly one store per element.
+        kernel = stencil_kernel(1024, 4)
+        stores = sum(1 for i in kernel.program.instructions() if i.is_store)
+        assert stores == 4
+
+
+class TestStencilSpec:
+    def test_variant_count(self, creator):
+        assert len(creator.generate(stencil_spec())) == 8
+
+    def test_traffic_matches_compiled(self, creator):
+        spec_kernel = creator.generate(stencil_spec(unroll=(1, 1)))[0]
+        _, body = spec_kernel.program.kernel_loop()
+        analysis = analyze_kernel(body)
+        assert analysis.n_loads == 3
+        assert analysis.n_stores == 1
+
+    def test_launchable(self, launcher, creator, fast_options):
+        kernel = creator.generate(stencil_spec(unroll=(2, 2)))[0]
+        m = launcher.run(kernel, fast_options)
+        assert m.cycles_per_iteration > 0
+
+    def test_source_arrays(self):
+        loop = stencil_source()
+        assert [a.name for a in loop.arrays()] == ["b", "a"]

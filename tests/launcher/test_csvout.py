@@ -1,0 +1,71 @@
+"""CSV output tests."""
+
+from repro.launcher.csvout import FULL_COLUMNS, SUMMARY_COLUMNS, read_csv, write_csv
+from repro.launcher.measurement import Measurement
+
+
+def sample_measurement(name="k", tsc=(1000.0, 1010.0, 990.0)) -> Measurement:
+    return Measurement(
+        kernel_name=name,
+        label="test",
+        trip_count=1024,
+        repetitions=8,
+        loop_iterations=128,
+        elements_per_iteration=8,
+        n_memory_instructions=8,
+        experiment_tsc=tsc,
+        freq_ghz=2.67,
+        tsc_ghz=2.67,
+        alignments=(0, 64),
+        core=3,
+        n_cores=1,
+        bottleneck="port:load",
+    )
+
+
+class TestSummary:
+    def test_header_and_row(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", [sample_measurement()])
+        rows = read_csv(path)
+        assert len(rows) == 1
+        assert set(rows[0]) == set(SUMMARY_COLUMNS)
+        assert rows[0]["kernel"] == "k"
+        assert rows[0]["alignments"] == "0:64"
+        assert rows[0]["bottleneck"] == "port:load"
+
+    def test_numeric_fields_parse_back(self, tmp_path):
+        m = sample_measurement()
+        path = write_csv(tmp_path / "out.csv", [m])
+        row = read_csv(path)[0]
+        assert float(row["cycles_per_iteration"]) == round(m.cycles_per_iteration, 4)
+
+    def test_append_mode_keeps_single_header(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(path, [sample_measurement("a")], append=True)
+        write_csv(path, [sample_measurement("b")], append=True)
+        rows = read_csv(path)
+        assert [r["kernel"] for r in rows] == ["a", "b"]
+
+    def test_overwrite_mode(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(path, [sample_measurement("a")])
+        write_csv(path, [sample_measurement("b")])
+        assert [r["kernel"] for r in read_csv(path)] == ["b"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_csv(tmp_path / "nested" / "dir" / "out.csv", [sample_measurement()])
+        assert path.exists()
+
+
+class TestFull:
+    def test_one_row_per_experiment(self, tmp_path):
+        path = write_csv(tmp_path / "full.csv", [sample_measurement()], full=True)
+        rows = read_csv(path)
+        assert len(rows) == 3
+        assert set(rows[0]) == set(FULL_COLUMNS)
+        assert [r["experiment"] for r in rows] == ["0", "1", "2"]
+
+    def test_experiment_tsc_recorded(self, tmp_path):
+        path = write_csv(tmp_path / "full.csv", [sample_measurement()], full=True)
+        rows = read_csv(path)
+        assert float(rows[0]["experiment_tsc"]) == 1000.0

@@ -1,0 +1,102 @@
+"""Evaluation-library tests (section 4.2's switchable eval library)."""
+
+import pytest
+
+from repro.launcher import LauncherOptions
+from repro.launcher.evallib import EventCounterLibrary, RdtscLibrary, eval_library
+from repro.launcher.kernel_input import as_sim_kernel
+from repro.machine import ArrayBinding, MemLevel
+
+
+class TestRegistry:
+    def test_default_library(self):
+        assert isinstance(eval_library("rdtsc"), RdtscLibrary)
+
+    def test_events_library(self):
+        assert isinstance(eval_library("events"), EventCounterLibrary)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown evaluation library"):
+            eval_library("papi")
+
+    def test_options_validate_library(self):
+        with pytest.raises(ValueError):
+            LauncherOptions(eval_library="papi")
+
+
+class TestEventCounts:
+    def test_counts_scale_with_iterations(self, movaps_u8, nehalem):
+        sim = as_sim_kernel(movaps_u8)
+        bindings = {"%rsi": ArrayBinding("%rsi", nehalem.footprint_for(MemLevel.L1))}
+        lib = EventCounterLibrary()
+        c100 = lib.counters(sim.analysis, bindings, nehalem, 100)
+        c200 = lib.counters(sim.analysis, bindings, nehalem, 200)
+        assert c200["loads"] == 2 * c100["loads"]
+        assert c100["loads"] == 8 * 100
+
+    def test_line_fills_by_residence(self, movaps_u8, nehalem):
+        sim = as_sim_kernel(movaps_u8)
+        lib = EventCounterLibrary()
+        for level, key in (
+            (MemLevel.L2, "l2_lines_in"),
+            (MemLevel.L3, "l3_lines_in"),
+            (MemLevel.RAM, "dram_lines_in"),
+        ):
+            bindings = {
+                "%rsi": ArrayBinding("%rsi", nehalem.footprint_for(level))
+            }
+            counters = lib.counters(sim.analysis, bindings, nehalem, 64)
+            assert counters[key] == pytest.approx(2 * 64)  # 128B/iter = 2 lines
+            others = {"l2_lines_in", "l3_lines_in", "dram_lines_in"} - {key}
+            assert all(counters[o] == 0 for o in others)
+
+    def test_l1_resident_run_fills_nothing(self, movaps_u8, nehalem):
+        sim = as_sim_kernel(movaps_u8)
+        bindings = {"%rsi": ArrayBinding("%rsi", 4096)}
+        counters = EventCounterLibrary().counters(sim.analysis, bindings, nehalem, 10)
+        assert counters["l2_lines_in"] == 0
+        assert counters["dram_lines_in"] == 0
+
+    def test_port_counters_present(self, movaps_u8, nehalem):
+        sim = as_sim_kernel(movaps_u8)
+        counters = EventCounterLibrary().counters(sim.analysis, {}, nehalem, 1)
+        assert counters["port_load_uops"] == 8
+        assert counters["port_branch_uops"] == 1
+
+    def test_rdtsc_library_reports_nothing(self, movaps_u8, nehalem):
+        sim = as_sim_kernel(movaps_u8)
+        assert RdtscLibrary().counters(sim.analysis, {}, nehalem, 10) == {}
+
+
+class TestLauncherIntegration:
+    def test_default_run_has_no_counters(self, launcher, movaps_u8, fast_options):
+        m = launcher.run(movaps_u8, fast_options)
+        assert m.counters == {}
+
+    def test_events_run_reports_counters(self, launcher, movaps_u8, fast_options):
+        m = launcher.run(movaps_u8, fast_options.with_(eval_library="events"))
+        counters = m.counters
+        assert counters["loads"] == 8 * m.loop_iterations
+        assert counters["instructions"] > counters["loads"]
+
+    def test_counters_cross_check_timing_inputs(
+        self, launcher, movaps_u8, nehalem
+    ):
+        """Counter-derived bandwidth must match what the timing model
+        charged: lines * 64 bytes from DRAM over the measured time."""
+        options = LauncherOptions(
+            array_bytes=nehalem.footprint_for(MemLevel.RAM),
+            trip_count=1 << 14,
+            experiments=3,
+            repetitions=4,
+            eval_library="events",
+        )
+        m = launcher.run(movaps_u8, options)
+        bytes_from_dram = m.counters["dram_lines_in"] * 64
+        seconds_per_call = (
+            m.tsc_per_call / m.tsc_ghz * 1e-9
+        )
+        bandwidth = bytes_from_dram / seconds_per_call / 1e9  # GB/s
+        assert bandwidth == pytest.approx(
+            nehalem.dram.core_bandwidth, rel=0.25
+        )

@@ -1,0 +1,94 @@
+"""Kernel-input normalization tests (section 4.1's accepted forms)."""
+
+import pytest
+
+from repro.isa.parser import parse_asm
+from repro.launcher.kernel_input import (
+    KernelInputError,
+    SimKernel,
+    as_sim_kernel,
+)
+from repro.kernels.matmul import matmul_kernel
+from repro.spec import load_kernel
+
+ASM = """
+.L6:
+movaps (%rsi), %xmm0
+movaps 16(%rsi), %xmm1
+add $1, %eax
+add $32, %rsi
+sub $8, %rdi
+jge .L6
+"""
+
+
+class TestAcceptedForms:
+    def test_generated_kernel(self, movaps_u8):
+        sim = as_sim_kernel(movaps_u8)
+        assert sim.name == movaps_u8.name
+        assert sim.metadata["unroll"] == 8
+
+    def test_asm_program(self):
+        sim = as_sim_kernel(parse_asm(ASM, name="k"))
+        assert sim.analysis.n_loads == 2
+
+    def test_asm_text(self):
+        sim = as_sim_kernel(ASM)
+        assert sim.analysis.n_loads == 2
+
+    def test_path_to_s_file(self, tmp_path):
+        path = tmp_path / "k.s"
+        path.write_text(ASM)
+        sim = as_sim_kernel(path)
+        assert sim.name == "k"
+
+    def test_string_path_to_s_file(self, tmp_path):
+        path = tmp_path / "kern.s"
+        path.write_text(ASM)
+        sim = as_sim_kernel(str(path))
+        assert sim.name == "kern"
+
+    def test_compiled_kernel(self):
+        sim = as_sim_kernel(matmul_kernel(100, 2))
+        assert sim.metadata["compiler"] == "mini-c"
+
+    def test_sim_kernel_passthrough(self):
+        sim = as_sim_kernel(ASM)
+        assert as_sim_kernel(sim) is sim
+
+    def test_unacceptable_input(self):
+        with pytest.raises(KernelInputError, match="cannot interpret"):
+            as_sim_kernel(42)
+
+    def test_loopless_program_rejected(self):
+        with pytest.raises(KernelInputError, match="no kernel loop"):
+            as_sim_kernel("movaps (%rsi), %xmm0\n")
+
+
+class TestStreamOrdering:
+    def test_abi_pointer_order(self, creator):
+        from repro.kernels import multi_array_traversal
+
+        kernel = creator.generate(multi_array_traversal(3, "movss", unroll=(1, 1)))[0]
+        sim = as_sim_kernel(kernel)
+        assert sim.stream_registers == ["%rsi", "%rdx", "%rcx"]
+
+    def test_single_stream(self):
+        assert as_sim_kernel(ASM).stream_registers == ["%rsi"]
+
+    def test_n_arrays(self):
+        assert as_sim_kernel(ASM).n_arrays == 1
+
+
+class TestIterationProtocol:
+    def test_elements_per_iteration_from_counter(self):
+        assert as_sim_kernel(ASM).elements_per_iteration == 8
+
+    def test_loop_iterations_ceil_division(self):
+        sim = as_sim_kernel(ASM)
+        assert sim.loop_iterations_for(8) == 1
+        assert sim.loop_iterations_for(9) == 2
+        assert sim.loop_iterations_for(4096) == 512
+
+    def test_at_least_one_iteration(self):
+        assert as_sim_kernel(ASM).loop_iterations_for(1) == 1

@@ -1,0 +1,102 @@
+"""MPI execution-model tests (extension)."""
+
+import pytest
+
+from repro.launcher import LauncherOptions, LinkModel
+from repro.machine import MemLevel
+
+
+@pytest.fixture()
+def ram_options(nehalem):
+    return LauncherOptions(
+        array_bytes=nehalem.footprint_for(MemLevel.RAM),
+        trip_count=1 << 14,
+        experiments=3,
+        repetitions=4,
+    )
+
+
+class TestLinkModel:
+    def test_intra_socket_cheaper(self):
+        link = LinkModel()
+        intra = link.message_ns(1 << 16, same_socket=True)
+        inter = link.message_ns(1 << 16, same_socket=False)
+        assert intra < inter
+
+    def test_zero_bytes_free(self):
+        assert LinkModel().message_ns(0, same_socket=True) == 0.0
+
+    def test_latency_floor(self):
+        link = LinkModel(intra_socket_latency_ns=500, intra_socket_bandwidth=10)
+        assert link.message_ns(1, same_socket=True) == pytest.approx(500.1)
+
+
+class TestRunMpi:
+    def test_rank_metadata(self, launcher, movaps_u8, ram_options):
+        result = launcher.run_mpi(movaps_u8, ram_options, ranks=4, message_bytes=4096)
+        assert result.n_ranks == 4
+        ranks = sorted(m.metadata["rank"] for m in result.per_rank)
+        assert ranks == [0, 1, 2, 3]
+
+    def test_communication_fraction_positive_with_messages(
+        self, launcher, movaps_u8, ram_options
+    ):
+        result = launcher.run_mpi(movaps_u8, ram_options, ranks=4, message_bytes=4096)
+        assert 0 < result.communication_fraction < 1
+
+    def test_zero_messages_is_pure_compute(self, launcher, movaps_u8, ram_options):
+        result = launcher.run_mpi(movaps_u8, ram_options, ranks=4, message_bytes=0)
+        assert result.communication_fraction == 0.0
+
+    def test_single_rank_has_no_neighbours(self, launcher, movaps_u8, ram_options):
+        result = launcher.run_mpi(
+            movaps_u8, ram_options, ranks=1, message_bytes=1 << 20
+        )
+        assert result.communication_ns_per_call == 0.0
+
+    def test_larger_messages_cost_more(self, launcher, movaps_u8, ram_options):
+        small = launcher.run_mpi(movaps_u8, ram_options, ranks=4, message_bytes=1024)
+        big = launcher.run_mpi(movaps_u8, ram_options, ranks=4, message_bytes=1 << 20)
+        assert (
+            big.mean_cycles_per_iteration > small.mean_cycles_per_iteration
+        )
+
+    def test_bandwidth_saturation_carries_over(self, launcher, movaps_u8, ram_options):
+        """The fork experiments' knee also appears under the MPI model."""
+        few = launcher.run_mpi(movaps_u8, ram_options, ranks=4, message_bytes=0)
+        many = launcher.run_mpi(movaps_u8, ram_options, ranks=12, message_bytes=0)
+        assert many.mean_cycles_per_iteration > 1.5 * few.mean_cycles_per_iteration
+
+    def test_compact_vs_scatter_communication(self, launcher, movaps_u8, nehalem):
+        """Compact ranks talk intra-socket (cheap); scattered ranks pay
+        the inter-socket link."""
+        options = LauncherOptions(
+            array_bytes=nehalem.footprint_for(MemLevel.L1),
+            trip_count=1 << 14,
+            experiments=3,
+            repetitions=4,
+        )
+        compact = launcher.run_mpi(
+            movaps_u8,
+            options.with_(pin_policy="compact"),
+            ranks=4,
+            message_bytes=1 << 16,
+        )
+        scatter = launcher.run_mpi(
+            movaps_u8, options, ranks=4, message_bytes=1 << 16
+        )
+        assert (
+            compact.communication_ns_per_call < scatter.communication_ns_per_call
+        )
+
+    def test_custom_link(self, launcher, movaps_u8, ram_options):
+        free_link = LinkModel(
+            intra_socket_latency_ns=0,
+            inter_socket_latency_ns=0,
+            intra_socket_bandwidth=1e9,
+            inter_socket_bandwidth=1e9,
+        )
+        result = launcher.run_mpi(
+            movaps_u8, ram_options, ranks=4, message_bytes=1 << 20, link=free_link
+        )
+        assert result.communication_fraction < 1e-3

@@ -1,0 +1,63 @@
+"""LauncherOptions validation and accessor tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.launcher.options import LauncherOptions
+from repro.machine.config import MemLevel
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        LauncherOptions()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("trip_count", 0),
+            ("repetitions", 0),
+            ("experiments", 0),
+            ("aggregator", "mode"),
+            ("pin_policy", "random"),
+            ("alignment_step", 0),
+            ("element_size", 0),
+        ],
+    )
+    def test_bad_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            LauncherOptions(**{field: value})
+
+    def test_more_than_thirty_options(self):
+        """Section 4.2: 'more than thirty options in the MicroLauncher
+        tool'."""
+        assert len(dataclasses.fields(LauncherOptions)) > 30
+
+
+class TestAccessors:
+    def test_with_copies(self):
+        base = LauncherOptions()
+        changed = base.with_(repetitions=99)
+        assert changed.repetitions == 99
+        assert base.repetitions == 32
+
+    def test_array_size_per_vector_override(self):
+        o = LauncherOptions(array_bytes=100, array_bytes_per_vector=(7, 8))
+        assert o.array_size(0) == 7
+        assert o.array_size(1) == 8
+        assert o.array_size(2) == 100
+
+    def test_residence_per_vector(self):
+        o = LauncherOptions(
+            residence=MemLevel.RAM,
+            residence_per_vector=(MemLevel.L1, None),
+        )
+        assert o.array_residence(0) is MemLevel.L1
+        assert o.array_residence(1) is MemLevel.RAM
+        assert o.array_residence(5) is MemLevel.RAM
+
+    def test_alignment_per_vector(self):
+        o = LauncherOptions(alignment=4, alignments=(0, 64))
+        assert o.array_alignment(0) == 0
+        assert o.array_alignment(1) == 64
+        assert o.array_alignment(2) == 4

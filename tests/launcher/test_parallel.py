@@ -1,0 +1,158 @@
+"""Fork and OpenMP execution-model tests."""
+
+import pytest
+
+from repro.launcher import LauncherOptions, MicroLauncher
+from repro.machine import MemLevel, nehalem_2s_x5650, sandy_bridge_e31240
+
+
+@pytest.fixture()
+def ram_options(nehalem):
+    return LauncherOptions(
+        array_bytes=nehalem.footprint_for(MemLevel.RAM),
+        trip_count=4096,
+        experiments=3,
+        repetitions=4,
+    )
+
+
+class TestForked:
+    def test_per_core_measurements(self, launcher, movaps_u8, ram_options):
+        result = launcher.run_forked(movaps_u8, ram_options.with_(n_cores=4))
+        assert result.n_cores == 4
+        assert len(result.pinned_cores) == 4
+        assert all(m.n_cores == 4 for m in result.per_core)
+
+    def test_scatter_spreads_sockets(self, launcher, movaps_u8, ram_options):
+        result = launcher.run_forked(movaps_u8, ram_options.with_(n_cores=4))
+        sockets = {m.metadata["socket"] for m in result.per_core}
+        assert sockets == {0, 1}
+
+    def test_compact_fills_one_socket_first(self, launcher, movaps_u8, ram_options):
+        result = launcher.run_forked(
+            movaps_u8, ram_options.with_(n_cores=4, pin_policy="compact")
+        )
+        assert {m.metadata["socket"] for m in result.per_core} == {0}
+
+    def test_saturation_knee_at_six_cores(self, launcher, movaps_u8, ram_options):
+        """Fig. 14: flat through 6 cores (3 streams/socket), then rising."""
+        means = {}
+        for n in (1, 4, 6, 8, 12):
+            result = launcher.run_forked(movaps_u8, ram_options.with_(n_cores=n))
+            means[n] = result.mean_cycles_per_iteration
+        assert means[6] == pytest.approx(means[1], rel=0.02)
+        assert means[8] > 1.2 * means[6]
+        assert means[12] > means[8]
+
+    def test_compact_saturates_earlier_than_scatter(
+        self, launcher, movaps_u8, ram_options
+    ):
+        scatter = launcher.run_forked(movaps_u8, ram_options.with_(n_cores=6))
+        compact = launcher.run_forked(
+            movaps_u8, ram_options.with_(n_cores=6, pin_policy="compact")
+        )
+        assert (
+            compact.mean_cycles_per_iteration > scatter.mean_cycles_per_iteration
+        )
+
+    def test_l1_kernel_scales_perfectly(self, launcher, movaps_u8, nehalem):
+        options = LauncherOptions(
+            array_bytes=nehalem.footprint_for(MemLevel.L1),
+            trip_count=4096,
+            experiments=3,
+            repetitions=4,
+        )
+        one = launcher.run_forked(movaps_u8, options.with_(n_cores=1))
+        many = launcher.run_forked(movaps_u8, options.with_(n_cores=12))
+        assert many.mean_cycles_per_iteration == pytest.approx(
+            one.mean_cycles_per_iteration, rel=0.02
+        )
+
+    def test_unsynchronized_start_is_unstable(self, launcher, movaps_u8, ram_options):
+        """Section 4.6: synchronization before timing is what makes the
+        co-run measurement meaningful."""
+        synced = launcher.run_forked(
+            movaps_u8, ram_options.with_(n_cores=12, experiments=6)
+        )
+        unsynced = launcher.run_forked(
+            movaps_u8,
+            ram_options.with_(n_cores=12, experiments=6, sync_start=False),
+        )
+        max_spread_synced = max(m.spread for m in synced.per_core)
+        max_spread_unsynced = max(m.spread for m in unsynced.per_core)
+        assert max_spread_unsynced > 3 * max_spread_synced
+
+    def test_too_many_cores_rejected(self, launcher, movaps_u8, ram_options):
+        with pytest.raises(ValueError):
+            launcher.run_forked(movaps_u8, ram_options.with_(n_cores=13))
+
+
+class TestOpenMP:
+    @pytest.fixture()
+    def sb_launcher(self, sandy_bridge):
+        return MicroLauncher(sandy_bridge)
+
+    def test_result_shape(self, sb_launcher, movaps_u8, sandy_bridge):
+        options = LauncherOptions(
+            array_bytes=sandy_bridge.footprint_for(MemLevel.RAM),
+            trip_count=1 << 16,
+            omp_threads=4,
+            experiments=3,
+            repetitions=2,
+        )
+        result = sb_launcher.run_openmp(movaps_u8, options)
+        assert result.threads == 4
+        assert result.region_overhead_ns > 0
+        assert result.total_seconds > 0
+
+    def test_single_thread_pays_no_region_overhead(self, sb_launcher, movaps_u8):
+        options = LauncherOptions(trip_count=4096, omp_threads=1, experiments=3)
+        result = sb_launcher.run_openmp(movaps_u8, options)
+        assert result.region_overhead_ns == 0
+
+    def test_openmp_beats_sequential_on_ram_kernel(
+        self, sb_launcher, movaps_u8, sandy_bridge
+    ):
+        options = LauncherOptions(
+            array_bytes=sandy_bridge.footprint_for(MemLevel.RAM),
+            trip_count=1 << 18,
+            omp_threads=4,
+            experiments=3,
+            repetitions=2,
+        )
+        seq = sb_launcher.run(movaps_u8, options)
+        omp = sb_launcher.run_openmp(movaps_u8, options)
+        assert omp.cycles_per_iteration < seq.cycles_per_iteration
+
+    def test_speedup_less_than_linear_when_bandwidth_bound(
+        self, sb_launcher, movaps_u8, sandy_bridge
+    ):
+        options = LauncherOptions(
+            array_bytes=sandy_bridge.footprint_for(MemLevel.RAM),
+            trip_count=1 << 18,
+            omp_threads=4,
+            experiments=3,
+            repetitions=2,
+        )
+        seq = sb_launcher.run(movaps_u8, options)
+        omp = sb_launcher.run_openmp(movaps_u8, options)
+        speedup = seq.cycles_per_iteration / omp.cycles_per_iteration
+        assert 1.2 < speedup < 3.0  # 21/12 GB/s channel limit, not 4x
+
+    def test_region_overhead_dominates_tiny_trip_counts(
+        self, sb_launcher, movaps_u8
+    ):
+        small = LauncherOptions(
+            array_bytes=1 << 20, trip_count=64, omp_threads=4, experiments=3
+        )
+        seq = sb_launcher.run(movaps_u8, small)
+        omp = sb_launcher.run_openmp(movaps_u8, small)
+        # With 64 elements the 1.5 us fork/join swamps the work: OpenMP
+        # must LOSE (the paper's "overhead of the parallel setup").
+        assert omp.cycles_per_iteration > seq.cycles_per_iteration
+
+    def test_thread_count_validated(self, sb_launcher, movaps_u8):
+        with pytest.raises(ValueError, match="exceed"):
+            sb_launcher.run_openmp(
+                movaps_u8, LauncherOptions(trip_count=4096, omp_threads=64)
+            )

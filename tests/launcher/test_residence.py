@@ -1,0 +1,115 @@
+"""Trace-driven residence derivation tests."""
+
+import pytest
+
+from repro.launcher import LauncherOptions
+from repro.launcher.kernel_input import as_sim_kernel
+from repro.launcher.residence import derive_residences
+from repro.machine import ArrayBinding, MemLevel
+from repro.creator import MicroCreator
+from repro.kernels import multi_array_traversal
+from repro.spec import load_kernel
+
+SINGLE = """
+.L6:
+movaps (%rsi), %xmm0
+add $16, %rsi
+sub $4, %rdi
+jge .L6
+"""
+
+
+@pytest.fixture(scope="module")
+def single_sim():
+    return as_sim_kernel(SINGLE)
+
+
+class TestAgreementWithFootprint:
+    @pytest.mark.parametrize("level", [MemLevel.L1, MemLevel.L2, MemLevel.L3])
+    def test_single_stream_agrees(self, single_sim, nehalem, level):
+        """For a lone streaming array the trace policy reproduces the
+        footprint rule — the DESIGN.md validation promise."""
+        bindings = {
+            "%rsi": ArrayBinding("%rsi", nehalem.footprint_for(level))
+        }
+        resolved = derive_residences(single_sim, bindings, nehalem, mode="trace")
+        assert resolved["%rsi"].resolve_residence(nehalem) is level
+
+    def test_footprint_mode_is_identity(self, single_sim, nehalem):
+        bindings = {"%rsi": ArrayBinding("%rsi", 4096)}
+        assert (
+            derive_residences(single_sim, bindings, nehalem, mode="footprint")
+            is bindings
+        )
+
+    def test_unknown_mode_rejected(self, single_sim, nehalem):
+        with pytest.raises(ValueError, match="unknown residence mode"):
+            derive_residences(
+                single_sim, {"%rsi": ArrayBinding("%rsi", 4096)}, nehalem, mode="oracle"
+            )
+
+
+class TestJointOverflow:
+    def test_two_arrays_jointly_overflow_l1(self, nehalem, creator):
+        """Two arrays, each 3/4 of L1: the footprint rule says L1 for
+        both; the trace policy sees the combined 1.5x-L1 working set and
+        demotes them — the effect the mode exists to catch."""
+        kernel = creator.generate(
+            multi_array_traversal(2, "movss", unroll=(1, 1))
+        )[0]
+        sim = as_sim_kernel(kernel)
+        size = 3 * nehalem.cache(MemLevel.L1).size_bytes // 4
+        bindings = {
+            "%rsi": ArrayBinding("%rsi", size),
+            "%rdx": ArrayBinding("%rdx", size),
+        }
+        assert nehalem.residence_for(size) is MemLevel.L1
+        resolved = derive_residences(sim, bindings, nehalem, mode="trace")
+        for binding in resolved.values():
+            assert binding.resolve_residence(nehalem) is MemLevel.L2
+
+    def test_two_small_arrays_stay_in_l1(self, nehalem, creator):
+        kernel = creator.generate(
+            multi_array_traversal(2, "movss", unroll=(1, 1))
+        )[0]
+        sim = as_sim_kernel(kernel)
+        bindings = {
+            "%rsi": ArrayBinding("%rsi", 8 * 1024),
+            "%rdx": ArrayBinding("%rdx", 8 * 1024),
+        }
+        resolved = derive_residences(sim, bindings, nehalem, mode="trace")
+        for binding in resolved.values():
+            assert binding.resolve_residence(nehalem) is MemLevel.L1
+
+
+class TestLauncherIntegration:
+    def test_trace_mode_option(self, launcher, nehalem, creator):
+        """Through the launcher: the joint-overflow case measures slower
+        under trace residence than under the footprint rule."""
+        kernel = creator.generate(
+            multi_array_traversal(2, "movss", unroll=(4, 4))
+        )[0]
+        size = 3 * nehalem.cache(MemLevel.L1).size_bytes // 4
+        base = LauncherOptions(
+            array_bytes=size, trip_count=4096, experiments=3, repetitions=4
+        )
+        footprint = launcher.run(kernel, base)
+        trace = launcher.run(kernel, base.with_(residence_mode="trace"))
+        assert trace.cycles_per_iteration > footprint.cycles_per_iteration
+
+    def test_modes_agree_for_simple_kernel(self, launcher, movaps_u8, nehalem):
+        options = LauncherOptions(
+            array_bytes=nehalem.footprint_for(MemLevel.L2),
+            trip_count=4096,
+            experiments=3,
+            repetitions=4,
+        )
+        a = launcher.run(movaps_u8, options)
+        b = launcher.run(movaps_u8, options.with_(residence_mode="trace"))
+        assert a.cycles_per_iteration == pytest.approx(
+            b.cycles_per_iteration, rel=0.01
+        )
+
+    def test_invalid_mode_rejected_by_options(self):
+        with pytest.raises(ValueError):
+            LauncherOptions(residence_mode="magic")

@@ -1,0 +1,84 @@
+"""Standalone-program mode tests (paper section 4.1)."""
+
+import pytest
+
+from repro.launcher import LauncherOptions
+
+
+@pytest.fixture()
+def options():
+    return LauncherOptions(experiments=4, repetitions=2)
+
+
+class TestSingleProcess:
+    def test_fixed_duration_times_out_as_expected(self, launcher, options):
+        result = launcher.run_standalone(1e6, options)  # 1 ms ideal
+        assert result.n_processes == 1
+        measured_ns = result.per_process[0].total_seconds * 1e9
+        ideal_total = options.experiments * options.repetitions * 1e6
+        assert measured_ns == pytest.approx(ideal_total, rel=0.05)
+
+    def test_name_recorded(self, launcher, options):
+        result = launcher.run_standalone(1e5, options, name="myapp")
+        assert result.per_process[0].kernel_name == "myapp"
+
+    def test_nonpositive_duration_rejected(self, launcher, options):
+        with pytest.raises(ValueError, match="positive"):
+            launcher.run_standalone(0, options)
+
+
+class TestMultiCore:
+    def test_processes_pinned_per_core(self, launcher, options):
+        result = launcher.run_standalone(1e5, options.with_(n_cores=4))
+        assert result.n_processes == 4
+        assert len(set(result.pinned_cores)) == 4
+        assert [m.core for m in result.per_process] == result.pinned_cores
+
+    def test_contention_aware_application(self, launcher, options):
+        """A callable application sees its socket peer count, so memory
+        contention slows the co-run — the multi-core use case the paper
+        names for standalone mode."""
+
+        def app(machine_config, peers):
+            # Bandwidth-bound phase: scales with contention beyond 3
+            # streams per socket (the machine's channel limit).
+            return 1e6 * max(1.0, peers / 3.0)
+
+        alone = launcher.run_standalone(app, options.with_(n_cores=1))
+        crowded = launcher.run_standalone(app, options.with_(n_cores=12))
+        assert crowded.max_seconds > 1.5 * alone.max_seconds
+
+    def test_slowdown_metric(self, launcher, options):
+        def app(machine_config, peers):
+            return 1e5 * peers
+
+        result = launcher.run_standalone(
+            app, options.with_(n_cores=3)
+        )  # scatter: 2 on socket 0, 1 on socket 1
+        assert result.slowdown > 1.5
+
+    def test_compact_pinning(self, launcher, options):
+        result = launcher.run_standalone(
+            1e5, options.with_(n_cores=4, pin_policy="compact")
+        )
+        sockets = {m.metadata["socket"] for m in result.per_process}
+        assert sockets == {0}
+
+    def test_csv_output(self, launcher, options, tmp_path):
+        path = tmp_path / "standalone.csv"
+        launcher.run_standalone(
+            1e5, options.with_(n_cores=2, csv_path=str(path))
+        )
+        from repro.launcher.csvout import read_csv
+
+        assert len(read_csv(path)) == 2
+
+
+class TestStability:
+    def test_noise_controls_apply_to_standalone_runs(self, launcher, options):
+        stable = launcher.run_standalone(1e6, options.with_(experiments=8))
+        noisy = launcher.run_standalone(
+            1e6,
+            options.with_(experiments=8, pin=False, warmup=False),
+        )
+        assert noisy.per_process[0].spread > 5 * stable.per_process[0].spread

@@ -1,0 +1,133 @@
+"""Trace-driven cache-simulator tests."""
+
+import pytest
+
+from repro.machine.cache import Cache, CacheHierarchy
+from repro.machine.config import CacheLevelConfig, MemLevel, nehalem_2s_x5650
+
+
+def tiny_cache(size=1024, assoc=2, line=64):
+    return Cache(CacheLevelConfig(MemLevel.L1, size, assoc, latency=4, bandwidth=16, line_bytes=line))
+
+
+class TestCache:
+    def test_first_access_misses(self):
+        c = tiny_cache()
+        assert not c.probe(0)
+        assert c.misses == 1
+
+    def test_second_access_hits(self):
+        c = tiny_cache()
+        c.probe(0)
+        assert c.probe(0)
+        assert c.hits == 1
+
+    def test_same_line_shares_entry(self):
+        c = tiny_cache()
+        c.probe(0)
+        assert c.probe(63)
+        assert not c.probe(64)
+
+    def test_lru_eviction(self):
+        # 2-way sets: fill one set with 3 distinct tags.
+        c = tiny_cache(size=1024, assoc=2)
+        n_sets = c.config.n_sets
+        stride = n_sets * 64  # same set, different tags
+        c.probe(0)
+        c.probe(stride)
+        c.probe(2 * stride)  # evicts tag 0 (LRU)
+        assert not c.probe(0)
+        assert c.probe(2 * stride)
+
+    def test_lru_updated_on_hit(self):
+        c = tiny_cache(size=1024, assoc=2)
+        stride = c.config.n_sets * 64
+        c.probe(0)
+        c.probe(stride)
+        c.probe(0)  # refresh tag 0
+        c.probe(2 * stride)  # should evict tag `stride`
+        assert c.contains(0)
+        assert not c.contains(stride)
+
+    def test_hit_rate(self):
+        c = tiny_cache()
+        c.probe(0)
+        c.probe(0)
+        c.probe(0)
+        assert c.hit_rate == pytest.approx(2 / 3)
+
+    def test_reset_counters(self):
+        c = tiny_cache()
+        c.probe(0)
+        c.reset_counters()
+        assert c.hits == 0 and c.misses == 0
+        assert c.contains(0)  # contents preserved
+
+
+class TestHierarchy:
+    def test_miss_walks_to_ram(self):
+        h = CacheHierarchy(nehalem_2s_x5650())
+        assert h.access(0).level is MemLevel.RAM
+
+    def test_refill_promotes_to_l1(self):
+        h = CacheHierarchy(nehalem_2s_x5650())
+        h.access(0)
+        assert h.access(0).level is MemLevel.L1
+
+    def test_line_split_access_probes_both_lines(self):
+        h = CacheHierarchy(nehalem_2s_x5650())
+        h.access(0, width=1)
+        # 16 bytes at offset 56 touch line 0 (cached) and line 1 (cold).
+        assert h.access(56, width=16).level is MemLevel.RAM
+
+    def test_working_set_larger_than_l1_lives_in_l2(self):
+        machine = nehalem_2s_x5650()
+        h = CacheHierarchy(machine)
+        footprint = machine.footprint_for(MemLevel.L2)
+        addresses = list(range(0, footprint, 64))
+        assert h.steady_state_level(addresses) is MemLevel.L2
+
+    def test_working_set_half_of_l1_stays_in_l1(self):
+        machine = nehalem_2s_x5650()
+        h = CacheHierarchy(machine)
+        addresses = list(range(0, machine.footprint_for(MemLevel.L1), 64))
+        assert h.steady_state_level(addresses) is MemLevel.L1
+
+    def test_l3_working_set(self):
+        machine = nehalem_2s_x5650()
+        h = CacheHierarchy(machine)
+        footprint = machine.footprint_for(MemLevel.L3)
+        addresses = list(range(0, footprint, 64))
+        assert h.steady_state_level(addresses) is MemLevel.L3
+
+    def test_replay_histogram_sums_to_trace_length(self):
+        h = CacheHierarchy(nehalem_2s_x5650())
+        addresses = list(range(0, 64 * 100, 64))
+        histogram = h.replay(addresses)
+        assert sum(histogram.values()) == 100
+
+
+class TestAnalyticAgreement:
+    """The footprint-based residence rule matches the trace simulator for
+    streaming working sets — the validation DESIGN.md promises."""
+
+    @pytest.mark.parametrize("level", [MemLevel.L1, MemLevel.L2, MemLevel.L3])
+    def test_streaming_residence_agrees(self, level):
+        machine = nehalem_2s_x5650()
+        footprint = machine.footprint_for(level)
+        assert machine.residence_for(footprint) is level
+        h = CacheHierarchy(machine)
+        addresses = list(range(0, footprint, 64))
+        assert h.steady_state_level(addresses) is level
+
+    def test_conflict_heavy_layout_degrades_vs_analytic(self):
+        """Pathological set-aliased layouts miss even when the footprint
+        fits — the effect the conflict penalty approximates."""
+        machine = nehalem_2s_x5650()
+        l1 = machine.cache(MemLevel.L1)
+        way_stride = l1.n_sets * l1.line_bytes
+        # 16 blocks aliasing one set: footprint 1 KiB but 16 > 8 ways.
+        addresses = [i * way_stride for i in range(16)]
+        assert machine.residence_for(16 * 64) is MemLevel.L1
+        h = CacheHierarchy(machine)
+        assert h.steady_state_level(addresses) is not MemLevel.L1

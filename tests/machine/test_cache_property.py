@@ -1,0 +1,99 @@
+"""Property-based tests on the cache simulator's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.cache import Cache, CacheHierarchy
+from repro.machine.config import CacheLevelConfig, MemLevel, nehalem_2s_x5650
+
+addresses = st.lists(
+    st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=200
+)
+
+
+def small_cache() -> Cache:
+    return Cache(
+        CacheLevelConfig(MemLevel.L1, 4096, 4, latency=4, bandwidth=16)
+    )
+
+
+@given(addresses)
+@settings(max_examples=100)
+def test_occupancy_never_exceeds_capacity(trace):
+    """No set ever holds more than `assoc` lines."""
+    cache = small_cache()
+    for a in trace:
+        cache.probe(a)
+    for ways in cache._sets:
+        assert len(ways) <= cache.config.assoc
+
+
+@given(addresses)
+@settings(max_examples=100)
+def test_hits_plus_misses_equals_accesses(trace):
+    cache = small_cache()
+    for a in trace:
+        cache.probe(a)
+    assert cache.hits + cache.misses == len(trace)
+
+
+@given(addresses)
+@settings(max_examples=100)
+def test_immediate_reaccess_always_hits(trace):
+    """Temporal locality invariant: probe(a) immediately after probe(a)
+    hits, regardless of history."""
+    cache = small_cache()
+    for a in trace:
+        cache.probe(a)
+        assert cache.probe(a)
+
+
+@given(addresses)
+@settings(max_examples=60)
+def test_second_replay_never_slower(trace):
+    """Replaying a trace can only improve (or keep) each level's hit
+    count: caches are warmed, never poisoned, by repetition of the same
+    trace."""
+    machine = nehalem_2s_x5650()
+    h = CacheHierarchy(machine)
+    first = [h.access(a).level for a in trace]
+    second = [h.access(a).level for a in trace]
+    # Per-access comparison can fluctuate with interleavings; the
+    # aggregate distance to memory must not grow.
+    assert sum(s.value for s in second) <= sum(f.value for f in first)
+
+
+@given(addresses, st.integers(min_value=1, max_value=16))
+@settings(max_examples=60)
+def test_wide_access_reports_slowest_constituent_line(trace, width):
+    """A wide access's level equals the slowest of the lines it covers,
+    as observed (non-destructively) just before the access."""
+    machine = nehalem_2s_x5650()
+    h = CacheHierarchy(machine)
+    line = machine.caches[0].line_bytes
+    for a in trace:
+        expected = MemLevel.L1
+        for line_idx in range(a // line, (a + width - 1) // line + 1):
+            addr = line_idx * line
+            level = MemLevel.RAM
+            for cache in h.levels:
+                if cache.contains(addr):
+                    level = cache.config.level
+                    break
+            if level > expected:
+                expected = level
+        assert h.access(a, width=width).level == expected
+
+
+@given(addresses)
+@settings(max_examples=60)
+def test_fully_associative_subset_property(trace):
+    """A cache with double the associativity (same size) never has more
+    misses on the same trace — the classic inclusion-style property for
+    LRU."""
+    small = Cache(CacheLevelConfig(MemLevel.L1, 4096, 4, latency=4, bandwidth=16))
+    big = Cache(CacheLevelConfig(MemLevel.L1, 8192, 8, latency=4, bandwidth=16))
+    for a in trace:
+        small.probe(a)
+        big.probe(a)
+    assert big.misses <= small.misses

@@ -1,0 +1,109 @@
+"""Machine-configuration tests."""
+
+import pytest
+
+from repro.machine.config import (
+    CacheLevelConfig,
+    MachineConfig,
+    MemLevel,
+    PRESETS,
+    nehalem_2s_x5650,
+    nehalem_4s_x7550,
+    preset,
+    sandy_bridge_e31240,
+)
+
+
+class TestPresets:
+    def test_three_presets_match_table1(self):
+        assert set(PRESETS) == {"nehalem-2s", "nehalem-4s", "sandy-bridge"}
+
+    def test_dual_nehalem_topology(self):
+        cfg = nehalem_2s_x5650()
+        assert cfg.n_sockets == 2 and cfg.cores_per_socket == 6
+        assert cfg.total_cores == 12
+        assert cfg.freq_ghz == pytest.approx(2.67)
+
+    def test_quad_nehalem_topology(self):
+        cfg = nehalem_4s_x7550()
+        assert cfg.total_cores == 32
+
+    def test_sandy_bridge_has_two_load_ports(self):
+        assert sandy_bridge_e31240().ports["load"] == 2.0
+        assert nehalem_2s_x5650().ports["load"] == 1.0
+
+    def test_preset_lookup(self):
+        assert preset("nehalem-2s").name == nehalem_2s_x5650().name
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError, match="unknown machine preset"):
+            preset("pentium")
+
+    def test_l3_is_uncore_and_shared(self):
+        for factory in PRESETS.values():
+            l3 = factory().cache(MemLevel.L3)
+            assert not l3.core_domain
+            assert l3.shared
+
+    def test_l1_l2_are_core_domain(self):
+        cfg = nehalem_2s_x5650()
+        assert cfg.cache(MemLevel.L1).core_domain
+        assert cfg.cache(MemLevel.L2).core_domain
+
+
+class TestCacheGeometry:
+    def test_n_sets(self):
+        l1 = nehalem_2s_x5650().cache(MemLevel.L1)
+        assert l1.n_sets == 32 * 1024 // (8 * 64)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            CacheLevelConfig(MemLevel.L1, 1000, 3, latency=4, bandwidth=16)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheLevelConfig(MemLevel.L1, 0, 8, latency=4, bandwidth=16)
+
+
+class TestResidence:
+    def test_residence_thresholds(self):
+        cfg = nehalem_2s_x5650()
+        assert cfg.residence_for(16 * 1024) is MemLevel.L1
+        assert cfg.residence_for(64 * 1024) is MemLevel.L2
+        assert cfg.residence_for(1 * 1024 * 1024) is MemLevel.L3
+        assert cfg.residence_for(64 * 1024 * 1024) is MemLevel.RAM
+
+    def test_footprint_for_roundtrips_residence(self):
+        cfg = nehalem_2s_x5650()
+        for level in (MemLevel.L1, MemLevel.L2, MemLevel.L3, MemLevel.RAM):
+            assert cfg.residence_for(cfg.footprint_for(level)) is level
+
+    def test_mem_levels_order(self):
+        assert nehalem_2s_x5650().mem_levels == (
+            MemLevel.L1,
+            MemLevel.L2,
+            MemLevel.L3,
+            MemLevel.RAM,
+        )
+
+
+class TestDerivedConfigs:
+    def test_with_frequency_changes_core_only(self):
+        cfg = nehalem_2s_x5650()
+        slowed = cfg.with_frequency(1.6)
+        assert slowed.freq_ghz == pytest.approx(1.6)
+        assert slowed.uncore_freq_ghz == cfg.uncore_freq_ghz
+        assert slowed.caches == cfg.caches
+
+    def test_scaled_overrides_fields(self):
+        cfg = nehalem_2s_x5650().scaled(conflict_penalty=9.0)
+        assert cfg.conflict_penalty == 9.0
+
+    def test_validation_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            nehalem_2s_x5650().with_frequency(0)
+
+    def test_frequency_steps_end_at_nominal(self):
+        for factory in PRESETS.values():
+            cfg = factory()
+            assert cfg.freq_steps[-1] == pytest.approx(cfg.freq_ghz)

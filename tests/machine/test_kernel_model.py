@@ -1,0 +1,179 @@
+"""Kernel static-analysis tests."""
+
+import pytest
+
+from repro.isa.parser import parse_asm
+from repro.machine.kernel_model import MemStream, analyze_kernel
+
+FIG2 = """
+.L3:
+movsd (%rdx,%rax,8), %xmm0
+addq $1, %rax
+mulsd (%r8), %xmm0
+addq %r11, %r8
+cmpl %eax, %edi
+addsd %xmm0, %xmm1
+movsd %xmm1, (%r10,%r9)
+jg .L3
+"""
+
+LOAD8 = """
+.L6:
+movaps (%rsi), %xmm0
+movaps 16(%rsi), %xmm1
+movaps 32(%rsi), %xmm2
+movaps 48(%rsi), %xmm3
+movaps 64(%rsi), %xmm4
+movaps 80(%rsi), %xmm5
+movaps 96(%rsi), %xmm6
+movaps 112(%rsi), %xmm7
+add $1, %eax
+add $128, %rsi
+sub $32, %rdi
+jge .L6
+"""
+
+
+def analyze(text):
+    _, body = parse_asm(text).kernel_loop()
+    return analyze_kernel(body)
+
+
+class TestPortDemand:
+    def test_load_kernel_demand(self):
+        a = analyze(LOAD8)
+        assert a.port_demand["load"] == 8
+        assert a.port_demand["branch"] == 1
+        assert a.port_demand["alu"] == 3
+
+    def test_matmul_demand(self):
+        a = analyze(FIG2)
+        assert a.port_demand["load"] == 2  # movsd + mulsd memory form
+        assert a.port_demand["store"] == 1
+        assert a.port_demand["fp_mul"] == 1
+        assert a.port_demand["fp_add"] == 1
+
+    def test_uop_count_skips_nops(self):
+        a = analyze(".L1:\nnop\nsub $1, %rdi\njge .L1\n")
+        assert a.n_uops == 2
+
+
+class TestStreams:
+    def test_one_stream_per_base(self):
+        a = analyze(LOAD8)
+        assert set(a.streams) == {"%rsi"}
+        assert len(a.streams["%rsi"].accesses) == 8
+
+    def test_step_from_induction(self):
+        a = analyze(LOAD8)
+        assert a.streams["%rsi"].step_bytes == 128
+
+    def test_matmul_streams(self):
+        a = analyze(FIG2)
+        assert set(a.streams) == {"%rdx", "%r8", "%r10"}
+        # %r8 advances by a register amount: not a constant immediate step.
+        assert a.streams["%r8"].step_bytes == 0
+
+    def test_stream_load_store_flags(self):
+        a = analyze(FIG2)
+        assert a.streams["%rdx"].has_loads and not a.streams["%rdx"].has_stores
+        assert a.streams["%r10"].has_stores and not a.streams["%r10"].has_loads
+
+    def test_counts(self):
+        a = analyze(LOAD8)
+        assert a.n_loads == 8 and a.n_stores == 0
+        b = analyze(FIG2)
+        assert b.n_loads == 2 and b.n_stores == 1
+
+
+class TestRecurrence:
+    def test_matmul_accumulator_chain(self):
+        """xmm1 is the only carried FP chain: addsd latency 3, not the
+        5-cycle mul chain (xmm0 is re-defined by the load each iteration)."""
+        assert analyze(FIG2).recurrence_cycles == 3
+
+    def test_load_kernel_has_pointer_chain_only(self):
+        assert analyze(LOAD8).recurrence_cycles == 1
+
+    def test_two_chained_adds(self):
+        text = """
+.L1:
+addsd %xmm0, %xmm1
+addsd %xmm2, %xmm1
+sub $1, %rdi
+jge .L1
+"""
+        assert analyze(text).recurrence_cycles == 6
+
+
+class TestCounters:
+    def test_counter_step(self):
+        assert analyze(LOAD8).counter_step == -32
+
+    def test_elements_per_iteration(self):
+        assert analyze(LOAD8).elements_per_iteration == 32
+
+    def test_iteration_counter_detected(self):
+        assert analyze(LOAD8).iteration_counter_step == 1
+
+    def test_kernel_without_counter_defaults_to_one_element(self):
+        a = analyze(".L1:\nmovaps (%rsi), %xmm0\njmp .L1\n")
+        assert a.elements_per_iteration == 1
+
+
+class TestMemStreamGeometry:
+    def _stream(self, offsets, width, step):
+        from repro.machine.kernel_model import MemAccess
+
+        s = MemStream(base="%rsi")
+        for o in offsets:
+            s.accesses.append(
+                MemAccess(offset=o, width=width, is_store=False,
+                          requires_alignment=False, opcode="movaps")
+            )
+        s.step_bytes = step
+        return s
+
+    def test_unit_stride_fractional_lines(self):
+        s = self._stream([0], 16, 16)
+        assert s.touched_lines(0) == pytest.approx(0.25)
+
+    def test_dense_unrolled_lines(self):
+        s = self._stream([0, 16, 32, 48], 16, 64)
+        assert s.touched_lines(0) == pytest.approx(1.0)
+
+    def test_wide_stride_full_line_per_access(self):
+        s = self._stream([0], 8, 1600)
+        assert s.touched_lines(0) == pytest.approx(1.0)
+
+    def test_no_splits_when_aligned(self):
+        s = self._stream([0, 16, 32, 48], 16, 64)
+        assert s.amortized_splits(0) == {}
+
+    def test_splits_amortized_over_window(self):
+        # 16-byte accesses at alignment 4 with a 16-byte step: one of
+        # every four accesses straddles a line.
+        s = self._stream([0], 16, 16)
+        splits = s.amortized_splits(4)
+        assert splits == {"movaps": pytest.approx(0.25)}
+
+    def test_stationary_stream_static_split(self):
+        s = self._stream([0], 16, 0)
+        assert s.amortized_splits(56) == {"movaps": pytest.approx(1.0)}
+
+    def test_unlowered_kernel_rejected(self):
+        from repro.isa.instructions import Instruction
+        from repro.isa.operands import MemoryOperand, RegisterOperand
+        from repro.isa.registers import LogicalReg, PhysReg
+
+        body = [
+            Instruction(
+                "movaps",
+                (
+                    MemoryOperand(base=LogicalReg("r1")),
+                    RegisterOperand(PhysReg("%xmm0")),
+                ),
+            )
+        ]
+        with pytest.raises(ValueError, match="unlowered"):
+            analyze_kernel(body)

@@ -1,0 +1,314 @@
+"""Cycle-model tests: rooflines, domains, penalties."""
+
+import pytest
+
+from repro.isa.parser import parse_asm
+from repro.machine.config import MemLevel, nehalem_2s_x5650, sandy_bridge_e31240
+from repro.machine.kernel_model import ArrayBinding, analyze_kernel
+from repro.machine.pipeline import estimate_iteration_time
+
+LOAD4 = """
+.L6:
+movaps (%rsi), %xmm0
+movaps 16(%rsi), %xmm1
+movaps 32(%rsi), %xmm2
+movaps 48(%rsi), %xmm3
+add $64, %rsi
+sub $16, %rdi
+jge .L6
+"""
+
+MATMUL = """
+.L3:
+movsd (%rsi), %xmm0
+mulsd (%rdx), %xmm0
+addsd %xmm0, %xmm8
+movsd %xmm8, (%rcx)
+add $8, %rsi
+add $1600, %rdx
+sub $1, %rdi
+jge .L3
+"""
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return nehalem_2s_x5650()
+
+
+def analysis_of(text):
+    _, body = parse_asm(text).kernel_loop()
+    return analyze_kernel(body)
+
+
+def binding(machine, level, register="%rsi", alignment=0):
+    return ArrayBinding(register, machine.footprint_for(level), alignment=alignment)
+
+
+class TestRooflines:
+    def test_l1_is_port_bound(self, machine):
+        a = analysis_of(LOAD4)
+        t = estimate_iteration_time(a, {"%rsi": binding(machine, MemLevel.L1)}, machine)
+        assert t.pipe_cycles == pytest.approx(4.0)  # 4 loads, 1 load port
+        assert t.bottleneck.startswith("port:load")
+
+    def test_hierarchy_strictly_ordered(self, machine):
+        a = analysis_of(LOAD4)
+        times = []
+        for level in (MemLevel.L1, MemLevel.L2, MemLevel.L3, MemLevel.RAM):
+            t = estimate_iteration_time(a, {"%rsi": binding(machine, level)}, machine)
+            times.append(t.time_ns(machine.freq_ghz))
+        assert times == sorted(times)
+        assert times[0] < times[-1]
+
+    def test_l2_cost_is_core_domain(self, machine):
+        a = analysis_of(LOAD4)
+        t = estimate_iteration_time(a, {"%rsi": binding(machine, MemLevel.L2)}, machine)
+        assert t.core_mem_cycles > 0
+        assert t.uncore_ns == 0
+
+    def test_ram_cost_is_uncore(self, machine):
+        a = analysis_of(LOAD4)
+        t = estimate_iteration_time(a, {"%rsi": binding(machine, MemLevel.RAM)}, machine)
+        assert t.uncore_ns > 0
+
+    def test_unbound_stream_defaults_to_l1(self, machine):
+        a = analysis_of(LOAD4)
+        t = estimate_iteration_time(a, {}, machine)
+        assert t.uncore_ns == 0
+
+    def test_matmul_is_recurrence_bound_in_cache(self, machine):
+        a = analysis_of(MATMUL)
+        bindings = {
+            "%rsi": ArrayBinding("%rsi", 1600),
+            "%rdx": ArrayBinding("%rdx", 12800),
+            "%rcx": ArrayBinding("%rcx", 64),
+        }
+        t = estimate_iteration_time(a, bindings, machine)
+        assert t.bounds["recurrence"] == 3
+        assert t.pipe_cycles == pytest.approx(3.0)
+
+
+class TestFrequencyDomains:
+    def test_core_bound_time_scales_with_frequency(self, machine):
+        a = analysis_of(LOAD4)
+        t = estimate_iteration_time(a, {"%rsi": binding(machine, MemLevel.L1)}, machine)
+        fast = t.tsc_cycles(machine.freq_ghz, machine.freq_ghz)
+        slow = t.tsc_cycles(machine.freq_ghz / 2, machine.freq_ghz)
+        assert slow == pytest.approx(2 * fast)
+
+    def test_uncore_bound_time_is_frequency_invariant(self, machine):
+        a = analysis_of(LOAD4)
+        t = estimate_iteration_time(a, {"%rsi": binding(machine, MemLevel.RAM)}, machine)
+        fast = t.tsc_cycles(machine.freq_ghz, machine.freq_ghz)
+        slow = t.tsc_cycles(machine.freq_ghz / 2, machine.freq_ghz)
+        # Only the penalty/branch residue moves; the transfer dominates.
+        assert slow / fast < 1.35
+
+    def test_tsc_conversion(self, machine):
+        a = analysis_of(LOAD4)
+        t = estimate_iteration_time(a, {"%rsi": binding(machine, MemLevel.L1)}, machine)
+        ns = t.time_ns(machine.freq_ghz)
+        assert t.tsc_cycles(machine.freq_ghz, machine.freq_ghz) == pytest.approx(
+            ns * machine.freq_ghz
+        )
+
+
+class TestBandwidthSharing:
+    def test_ram_time_grows_with_socket_peers(self, machine):
+        a = analysis_of(LOAD4)
+        b = {"%rsi": binding(machine, MemLevel.RAM)}
+        alone = estimate_iteration_time(a, b, machine, active_cores_on_socket=1)
+        crowded = estimate_iteration_time(a, b, machine, active_cores_on_socket=6)
+        assert crowded.uncore_ns > alone.uncore_ns
+
+    def test_saturation_threshold(self, machine):
+        """Per-core DRAM bandwidth only drops once socket demand exceeds
+        the channel limit: 30/10 = 3 streaming cores per socket."""
+        a = analysis_of(LOAD4)
+        b = {"%rsi": binding(machine, MemLevel.RAM)}
+        t3 = estimate_iteration_time(a, b, machine, active_cores_on_socket=3)
+        t4 = estimate_iteration_time(a, b, machine, active_cores_on_socket=4)
+        assert t3.uncore_ns == estimate_iteration_time(
+            a, b, machine, active_cores_on_socket=1
+        ).uncore_ns
+        assert t4.uncore_ns > t3.uncore_ns
+
+    def test_l1_unaffected_by_peers(self, machine):
+        a = analysis_of(LOAD4)
+        b = {"%rsi": binding(machine, MemLevel.L1)}
+        alone = estimate_iteration_time(a, b, machine, active_cores_on_socket=1)
+        crowded = estimate_iteration_time(a, b, machine, active_cores_on_socket=6)
+        assert alone.time_ns(machine.freq_ghz) == crowded.time_ns(machine.freq_ghz)
+
+
+class TestAlignmentPenalties:
+    def test_aligned_run_has_no_split_penalty(self, machine):
+        a = analysis_of(LOAD4)
+        t = estimate_iteration_time(a, {"%rsi": binding(machine, MemLevel.L1)}, machine)
+        assert "penalty:split" not in t.bounds
+
+    def test_misaligned_movaps_pays_heavily(self, machine):
+        a = analysis_of(LOAD4)
+        b = {"%rsi": binding(machine, MemLevel.L1, alignment=4)}
+        t = estimate_iteration_time(a, b, machine)
+        assert t.penalty_cycles > 0
+        assert t.bounds["penalty:split"] == pytest.approx(
+            machine.movaps_misaligned_penalty
+        )
+
+    def test_movups_split_is_cheaper(self, machine):
+        text = LOAD4.replace("movaps", "movups")
+        a = analysis_of(text)
+        b = {"%rsi": binding(machine, MemLevel.L1, alignment=56)}
+        t = estimate_iteration_time(a, b, machine)
+        assert 0 < t.bounds["penalty:split"] < machine.movaps_misaligned_penalty
+
+    def test_conflicts_require_beyond_l1_residence(self, machine):
+        """Two colliding streams in L1 are penalty-free (Fig. 4); the same
+        collision streaming from RAM costs conflict cycles (Figs. 15/16)."""
+        text = """
+.L6:
+movss (%rsi), %xmm0
+movss (%rdx), %xmm1
+add $4, %rsi
+add $4, %rdx
+sub $1, %rdi
+jge .L6
+"""
+        a = analysis_of(text)
+        l1 = {
+            "%rsi": ArrayBinding("%rsi", 4096, alignment=0),
+            "%rdx": ArrayBinding("%rdx", 4096, alignment=0),
+        }
+        ram_size = machine.footprint_for(MemLevel.RAM)
+        ram = {
+            "%rsi": ArrayBinding("%rsi", ram_size, alignment=0),
+            "%rdx": ArrayBinding("%rdx", ram_size, alignment=0),
+        }
+        t_l1 = estimate_iteration_time(a, l1, machine)
+        t_ram = estimate_iteration_time(a, ram, machine)
+        assert "penalty:conflict" not in t_l1.bounds
+        assert t_ram.bounds["penalty:conflict"] == machine.conflict_penalty
+
+    def test_conflict_requires_phase_collision(self, machine):
+        text = """
+.L6:
+movss (%rsi), %xmm0
+movss (%rdx), %xmm1
+add $4, %rsi
+add $4, %rdx
+sub $1, %rdi
+jge .L6
+"""
+        a = analysis_of(text)
+        ram_size = machine.footprint_for(MemLevel.RAM)
+        apart = {
+            "%rsi": ArrayBinding("%rsi", ram_size, alignment=0),
+            "%rdx": ArrayBinding("%rdx", ram_size, alignment=512),
+        }
+        t = estimate_iteration_time(a, apart, machine)
+        assert "penalty:conflict" not in t.bounds
+
+    def test_load_store_aliasing_extra(self, machine):
+        text = """
+.L6:
+movss (%rsi), %xmm0
+movss %xmm1, (%rdx)
+add $4, %rsi
+add $4, %rdx
+sub $1, %rdi
+jge .L6
+"""
+        a = analysis_of(text)
+        ram_size = machine.footprint_for(MemLevel.RAM)
+        b = {
+            "%rsi": ArrayBinding("%rsi", ram_size, alignment=0),
+            "%rdx": ArrayBinding("%rdx", ram_size, alignment=16),
+        }
+        t = estimate_iteration_time(a, b, machine)
+        assert t.bounds["penalty:aliasing"] == machine.aliasing_penalty
+
+    def test_conflict_inflates_traffic(self, machine):
+        text = """
+.L6:
+movss (%rsi), %xmm0
+movss (%rdx), %xmm1
+add $4, %rsi
+add $4, %rdx
+sub $1, %rdi
+jge .L6
+"""
+        a = analysis_of(text)
+        ram_size = machine.footprint_for(MemLevel.RAM)
+        collide = {
+            "%rsi": ArrayBinding("%rsi", ram_size, alignment=0),
+            "%rdx": ArrayBinding("%rdx", ram_size, alignment=0),
+        }
+        apart = {
+            "%rsi": ArrayBinding("%rsi", ram_size, alignment=0),
+            "%rdx": ArrayBinding("%rdx", ram_size, alignment=512),
+        }
+        t_collide = estimate_iteration_time(a, collide, machine)
+        t_apart = estimate_iteration_time(a, apart, machine)
+        assert t_collide.uncore_ns > t_apart.uncore_ns
+
+
+class TestPrefetcher:
+    def test_wide_stride_exposes_latency(self, machine):
+        dense = analysis_of(LOAD4)
+        sparse_text = LOAD4.replace("add $64, %rsi", "add $4096, %rsi")
+        sparse = analysis_of(sparse_text)
+        b = {"%rsi": binding(machine, MemLevel.RAM)}
+        t_dense = estimate_iteration_time(dense, b, machine)
+        t_sparse = estimate_iteration_time(sparse, b, machine)
+        # The sparse walk touches more lines *and* defeats the prefetcher.
+        assert t_sparse.uncore_ns > t_dense.uncore_ns
+
+    def test_mlp_limits_sparse_streams(self, machine):
+        """With fewer demand-miss slots, a non-prefetched stream's exposed
+        latency grows; a prefetched one is immune."""
+        sparse = analysis_of(
+            ".L6:\nmovsd (%rsi), %xmm0\nadd $4096, %rsi\nsub $1, %rdi\njge .L6\n"
+        )
+        dense = analysis_of(LOAD4)
+        b = {"%rsi": binding(machine, MemLevel.RAM)}
+        starved = machine.scaled(demand_mlp=1)
+        assert (
+            estimate_iteration_time(sparse, b, starved).uncore_ns
+            > estimate_iteration_time(sparse, b, machine).uncore_ns
+        )
+        assert estimate_iteration_time(dense, b, starved).uncore_ns == (
+            estimate_iteration_time(dense, b, machine).uncore_ns
+        )
+
+    def test_software_prefetch_restores_mlp(self, machine):
+        """A prefetcht0 on the wide-stride stream lifts the demand-MLP
+        latency floor back to the bandwidth floor."""
+        plain = analysis_of(
+            ".L6:\nmovsd (%rsi), %xmm0\nadd $4096, %rsi\nsub $1, %rdi\njge .L6\n"
+        )
+        hinted = analysis_of(
+            ".L6:\nmovsd (%rsi), %xmm0\nprefetcht0 32768(%rsi)\n"
+            "add $4096, %rsi\nsub $1, %rdi\njge .L6\n"
+        )
+        b = {"%rsi": binding(machine, MemLevel.RAM)}
+        t_plain = estimate_iteration_time(plain, b, machine)
+        t_hinted = estimate_iteration_time(hinted, b, machine)
+        assert t_hinted.uncore_ns < t_plain.uncore_ns
+        # The hint still occupies a load-port slot.
+        assert t_hinted.bounds["port:load"] > t_plain.bounds["port:load"]
+
+
+class TestSandyBridge:
+    def test_two_load_ports_halve_load_pressure(self):
+        snb = sandy_bridge_e31240()
+        nhm = nehalem_2s_x5650()
+        a = analysis_of(LOAD4)
+        b_snb = {"%rsi": ArrayBinding("%rsi", snb.footprint_for(MemLevel.L1))}
+        b_nhm = {"%rsi": ArrayBinding("%rsi", nhm.footprint_for(MemLevel.L1))}
+        t_snb = estimate_iteration_time(a, b_snb, snb)
+        t_nhm = estimate_iteration_time(a, b_nhm, nhm)
+        assert t_snb.bounds["port:load"] == pytest.approx(
+            t_nhm.bounds["port:load"] / 2
+        )

@@ -1,0 +1,120 @@
+"""Property-based tests on the cycle model's invariants.
+
+The model must be *sane under any kernel the creator can emit*: times
+positive and finite, monotone in residence distance, monotone in socket
+contention, frequency-consistent across domains.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.creator import MicroCreator
+from repro.machine import (
+    ArrayBinding,
+    MemLevel,
+    analyze_kernel,
+    estimate_iteration_time,
+    nehalem_2s_x5650,
+)
+from repro.spec.builders import KernelBuilder
+
+MACHINE = nehalem_2s_x5650()
+
+
+@st.composite
+def generated_kernels(draw):
+    """A random single-array kernel from the builder space."""
+    opcode = draw(st.sampled_from(["movss", "movsd", "movaps", "movups"]))
+    unroll = draw(st.integers(1, 8))
+    stride_mult = draw(st.sampled_from([1, 2, 4]))
+    from repro.isa.semantics import opcode_info
+
+    nbytes = opcode_info(opcode).bytes_moved
+    spec = (
+        KernelBuilder("prop")
+        .load(opcode, base="r1")
+        .unroll(unroll, unroll)
+        .pointer_induction("r1", step=nbytes * stride_mult)
+        .counter_induction("r0", linked_to="r1")
+        .iteration_counter("%eax")
+        .branch()
+        .build()
+    )
+    kernel = MicroCreator().generate(spec)[0]
+    _, body = kernel.program.kernel_loop()
+    return analyze_kernel(body)
+
+
+def binding(level: MemLevel, alignment: int = 0) -> dict[str, ArrayBinding]:
+    return {
+        "%rsi": ArrayBinding(
+            "%rsi", MACHINE.footprint_for(level), alignment=alignment
+        )
+    }
+
+
+@given(generated_kernels(), st.sampled_from(list(MemLevel)))
+@settings(max_examples=80, deadline=None)
+def test_times_positive_and_finite(analysis, level):
+    t = estimate_iteration_time(analysis, binding(level), MACHINE)
+    ns = t.time_ns(MACHINE.freq_ghz)
+    assert 0 < ns < 1e6
+    assert t.penalty_cycles >= 0
+    assert t.pipe_cycles > 0
+
+
+@given(generated_kernels())
+@settings(max_examples=60, deadline=None)
+def test_monotone_in_residence_level(analysis):
+    """Moving the array further away never makes the kernel faster."""
+    times = [
+        estimate_iteration_time(analysis, binding(level), MACHINE).time_ns(
+            MACHINE.freq_ghz
+        )
+        for level in (MemLevel.L1, MemLevel.L2, MemLevel.L3, MemLevel.RAM)
+    ]
+    assert all(b >= a - 1e-12 for a, b in zip(times, times[1:]))
+
+
+@given(generated_kernels(), st.integers(1, 6))
+@settings(max_examples=60, deadline=None)
+def test_monotone_in_socket_contention(analysis, active):
+    """Adding bandwidth-hungry peers never speeds a kernel up."""
+    b = binding(MemLevel.RAM)
+    alone = estimate_iteration_time(
+        analysis, b, MACHINE, active_cores_on_socket=1
+    ).time_ns(MACHINE.freq_ghz)
+    crowded = estimate_iteration_time(
+        analysis, b, MACHINE, active_cores_on_socket=active
+    ).time_ns(MACHINE.freq_ghz)
+    assert crowded >= alone - 1e-12
+
+
+@given(generated_kernels(), st.sampled_from(list(MemLevel)))
+@settings(max_examples=60, deadline=None)
+def test_slowing_the_core_never_reduces_tsc_time(analysis, level):
+    t = estimate_iteration_time(analysis, binding(level), MACHINE)
+    fast = t.tsc_cycles(MACHINE.freq_ghz, MACHINE.freq_ghz)
+    slow = t.tsc_cycles(MACHINE.freq_ghz * 0.6, MACHINE.freq_ghz)
+    assert slow >= fast - 1e-12
+
+
+@given(generated_kernels(), st.integers(0, 63))
+@settings(max_examples=60, deadline=None)
+def test_alignment_only_adds_penalties(analysis, alignment):
+    """Misalignment can only slow things down, and only via penalties."""
+    aligned = estimate_iteration_time(analysis, binding(MemLevel.L2, 0), MACHINE)
+    shifted = estimate_iteration_time(
+        analysis, binding(MemLevel.L2, alignment), MACHINE
+    )
+    assert shifted.penalty_cycles >= 0
+    assert shifted.time_ns(MACHINE.freq_ghz) >= aligned.time_ns(
+        MACHINE.freq_ghz
+    ) - 1e-9 or shifted.penalty_cycles == 0
+
+
+@given(generated_kernels())
+@settings(max_examples=40, deadline=None)
+def test_bottleneck_names_a_recorded_bound(analysis):
+    t = estimate_iteration_time(analysis, binding(MemLevel.L3), MACHINE)
+    assert t.bottleneck in t.bounds

@@ -1,0 +1,134 @@
+"""Energy/power model tests (extension)."""
+
+import pytest
+
+from repro.isa.parser import parse_asm
+from repro.machine import (
+    ArrayBinding,
+    MemLevel,
+    PowerModel,
+    analyze_kernel,
+    energy_frequency_sweep,
+    estimate_iteration_energy,
+    nehalem_2s_x5650,
+)
+
+LOAD8 = """
+.L6:
+movaps (%rsi), %xmm0
+movaps 16(%rsi), %xmm1
+movaps 32(%rsi), %xmm2
+movaps 48(%rsi), %xmm3
+movaps 64(%rsi), %xmm4
+movaps 80(%rsi), %xmm5
+movaps 96(%rsi), %xmm6
+movaps 112(%rsi), %xmm7
+add $128, %rsi
+sub $32, %rdi
+jge .L6
+"""
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return nehalem_2s_x5650()
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    _, body = parse_asm(LOAD8).kernel_loop()
+    return analyze_kernel(body)
+
+
+def binding(machine, level):
+    return {"%rsi": ArrayBinding("%rsi", machine.footprint_for(level))}
+
+
+class TestEnergyComposition:
+    def test_total_is_sum_of_parts(self, analysis, machine):
+        e = estimate_iteration_energy(analysis, binding(machine, MemLevel.L1), machine)
+        assert e.total_nj == pytest.approx(e.dynamic_nj + e.memory_nj + e.static_nj)
+
+    def test_l1_kernel_has_no_memory_energy(self, analysis, machine):
+        e = estimate_iteration_energy(analysis, binding(machine, MemLevel.L1), machine)
+        assert e.memory_nj == 0
+
+    def test_ram_kernel_pays_line_energy(self, analysis, machine):
+        e = estimate_iteration_energy(analysis, binding(machine, MemLevel.RAM), machine)
+        # 2 lines per iteration at 20 nJ each.
+        assert e.memory_nj == pytest.approx(2 * 20.0)
+
+    def test_memory_energy_grows_with_distance(self, analysis, machine):
+        energies = [
+            estimate_iteration_energy(analysis, binding(machine, lvl), machine).memory_nj
+            for lvl in (MemLevel.L2, MemLevel.L3, MemLevel.RAM)
+        ]
+        assert energies == sorted(energies)
+        assert energies[0] < energies[-1]
+
+    def test_average_power_is_nj_per_ns(self, analysis, machine):
+        e = estimate_iteration_energy(analysis, binding(machine, MemLevel.L1), machine)
+        assert e.average_power_w == pytest.approx(e.total_nj / e.time_ns)
+
+
+class TestDVFS:
+    def test_dynamic_energy_scales_quadratically(self, analysis, machine):
+        b = binding(machine, MemLevel.L1)
+        nominal = estimate_iteration_energy(analysis, b, machine)
+        half = estimate_iteration_energy(
+            analysis, b, machine, freq_ghz=machine.freq_ghz / 2
+        )
+        assert half.dynamic_nj == pytest.approx(nominal.dynamic_nj / 4)
+
+    def test_static_energy_grows_with_time(self, analysis, machine):
+        b = binding(machine, MemLevel.L1)
+        nominal = estimate_iteration_energy(analysis, b, machine)
+        half = estimate_iteration_energy(
+            analysis, b, machine, freq_ghz=machine.freq_ghz / 2
+        )
+        assert half.static_nj == pytest.approx(2 * nominal.static_nj)
+
+    def test_memory_bound_kernel_benefits_more_from_dvfs(self, analysis, machine):
+        """The headline trade-off: for a RAM-bound kernel the runtime is
+        frequency-invariant, so lowering f is an almost pure dynamic
+        saving; a core-bound kernel stretches its static time."""
+        slowest = machine.freq_steps[0]
+        ratios = {}
+        for level in (MemLevel.L1, MemLevel.RAM):
+            b = binding(machine, level)
+            nominal = estimate_iteration_energy(analysis, b, machine).total_nj
+            slow = estimate_iteration_energy(
+                analysis, b, machine, freq_ghz=slowest
+            ).total_nj
+            ratios[level] = nominal / slow
+        assert ratios[MemLevel.RAM] > ratios[MemLevel.L1]
+
+    def test_sweep_covers_all_steps(self, analysis, machine):
+        sweep = energy_frequency_sweep(analysis, binding(machine, MemLevel.L1), machine)
+        assert set(sweep) == set(machine.freq_steps)
+
+
+class TestCustomModel:
+    def test_zero_coefficients_zero_energy(self, analysis, machine):
+        model = PowerModel(
+            uop_energy_nj={},
+            line_energy_nj={},
+            core_static_w=0.0,
+            uncore_static_w=0.0,
+        )
+        e = estimate_iteration_energy(
+            analysis, binding(machine, MemLevel.RAM), machine, model=model
+        )
+        # Unknown port classes fall back to a small default, so dynamic
+        # is nonzero; static and memory are exactly zero.
+        assert e.static_nj == 0
+        assert e.memory_nj == 0
+
+    def test_timing_can_be_supplied(self, analysis, machine):
+        from repro.machine import estimate_iteration_time
+
+        b = binding(machine, MemLevel.L1)
+        timing = estimate_iteration_time(analysis, b, machine)
+        e1 = estimate_iteration_energy(analysis, b, machine, timing=timing)
+        e2 = estimate_iteration_energy(analysis, b, machine)
+        assert e1.total_nj == pytest.approx(e2.total_nj)

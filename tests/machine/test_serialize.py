@@ -1,0 +1,101 @@
+"""Machine-serialization tests."""
+
+import json
+
+import pytest
+
+from repro.machine import (
+    MachineFileError,
+    PRESETS,
+    load_machine,
+    machine_from_dict,
+    machine_to_dict,
+    save_machine,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_every_preset_roundtrips(self, name):
+        config = PRESETS[name]()
+        assert machine_from_dict(machine_to_dict(config)) == config
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_file_roundtrip(self, name, tmp_path):
+        config = PRESETS[name]()
+        path = save_machine(config, tmp_path / f"{name}.json")
+        assert load_machine(path) == config
+
+    def test_serialized_form_is_plain_json(self, tmp_path, nehalem):
+        path = save_machine(nehalem, tmp_path / "m.json")
+        data = json.loads(path.read_text())
+        assert data["name"] == nehalem.name
+        assert data["caches"][0]["level"] == "L1"
+        assert "RAM" in data["fill_cost"]
+
+
+class TestValidation:
+    def _minimal(self):
+        return machine_to_dict(PRESETS["sandy-bridge"]())
+
+    def test_missing_required_section(self):
+        data = self._minimal()
+        del data["caches"]
+        with pytest.raises(MachineFileError, match="missing 'caches'"):
+            machine_from_dict(data)
+
+    def test_unknown_field_rejected(self):
+        data = self._minimal()
+        data["turbo_boost"] = True
+        with pytest.raises(MachineFileError, match="unknown machine fields"):
+            machine_from_dict(data)
+
+    def test_bad_cache_level_name(self):
+        data = self._minimal()
+        data["caches"][0]["level"] = "L9"
+        with pytest.raises(MachineFileError, match="bad cache level"):
+            machine_from_dict(data)
+
+    def test_bad_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(MachineFileError, match="not valid JSON"):
+            load_machine(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(MachineFileError, match="no machine file"):
+            load_machine(tmp_path / "ghost.json")
+
+    def test_defaults_fill_in(self):
+        data = self._minimal()
+        del data["uncore_freq_ghz"]
+        del data["n_sockets"]
+        config = machine_from_dict(data)
+        assert config.uncore_freq_ghz == config.freq_ghz
+        assert config.n_sockets == 1
+
+    def test_invalid_geometry_surfaces(self):
+        data = self._minimal()
+        data["caches"][0]["size_bytes"] = 1000
+        with pytest.raises(MachineFileError):
+            machine_from_dict(data)
+
+
+class TestCliIntegration:
+    def test_machine_file_flag(self, tmp_path, nehalem, capsys):
+        from repro.cli.creator_cli import main as creator_main
+        from repro.cli.launcher_cli import main as launcher_main
+        from repro.kernels import spec_path
+
+        creator_main([str(spec_path("load_movaps")), "-o", str(tmp_path)])
+        kernel = str(sorted(tmp_path.glob("*.s"))[0])
+        machine_file = save_machine(nehalem, tmp_path / "box.json")
+        assert launcher_main([kernel, "--machine-file", str(machine_file)]) == 0
+        assert nehalem.name in capsys.readouterr().out
+
+    def test_bad_machine_file_reports(self, tmp_path, capsys):
+        from repro.cli.launcher_cli import main as launcher_main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert launcher_main(["kernel.s", "--machine-file", str(bad)]) == 2

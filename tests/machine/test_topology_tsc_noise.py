@@ -1,0 +1,139 @@
+"""Topology, TSC, and noise-model tests."""
+
+import pytest
+
+from repro.machine.config import nehalem_2s_x5650, nehalem_4s_x7550
+from repro.machine.noise import NoiseEnvironment, NoiseModel
+from repro.machine.topology import Machine
+from repro.machine.tsc import TimestampCounter
+
+
+class TestTopology:
+    def test_core_count(self):
+        m = Machine(nehalem_2s_x5650())
+        assert len(m.cores) == 12
+
+    def test_socket_assignment(self):
+        m = Machine(nehalem_2s_x5650())
+        assert m.socket_of(0) == 0
+        assert m.socket_of(5) == 0
+        assert m.socket_of(6) == 1
+        assert m.socket_of(11) == 1
+
+    def test_out_of_range_core(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Machine(nehalem_2s_x5650()).core(12)
+
+    def test_compact_pinning(self):
+        m = Machine(nehalem_2s_x5650())
+        assert m.pin_compact(4) == [0, 1, 2, 3]
+
+    def test_scatter_pinning_round_robins(self):
+        m = Machine(nehalem_2s_x5650())
+        pins = m.pin_scatter(4)
+        sockets = [m.socket_of(c) for c in pins]
+        assert sockets == [0, 1, 0, 1]
+
+    def test_scatter_on_quad_socket(self):
+        m = Machine(nehalem_4s_x7550())
+        pins = m.pin_scatter(8)
+        per_socket = m.active_per_socket(pins)
+        assert per_socket == {0: 2, 1: 2, 2: 2, 3: 2}
+
+    def test_peers_on_socket(self):
+        m = Machine(nehalem_2s_x5650())
+        pins = m.pin_scatter(8)  # 4 per socket
+        assert m.peers_on_socket(pins[0], pins) == 4
+
+    def test_pin_count_validation(self):
+        m = Machine(nehalem_2s_x5650())
+        with pytest.raises(ValueError):
+            m.pin_scatter(0)
+        with pytest.raises(ValueError):
+            m.pin_compact(13)
+
+
+class TestTSC:
+    def test_counts_at_nominal_rate(self):
+        tsc = TimestampCounter(2.0)
+        tsc.advance_ns(100.0)
+        assert tsc.read() == 200
+
+    def test_core_cycles_convert_via_current_frequency(self):
+        """The invariant-TSC property: the same core-cycle work takes more
+        TSC cycles at a lower core frequency."""
+        fast = TimestampCounter(2.0)
+        slow = TimestampCounter(2.0)
+        fast.advance_core_cycles(1000, core_freq_ghz=2.0)
+        slow.advance_core_cycles(1000, core_freq_ghz=1.0)
+        assert slow.read() == 2 * fast.read()
+
+    def test_monotonic(self):
+        tsc = TimestampCounter(2.0)
+        with pytest.raises(ValueError):
+            tsc.advance_ns(-1)
+
+    def test_cycles_between(self):
+        tsc = TimestampCounter(3.0)
+        t0 = tsc.read()
+        tsc.advance_ns(10)
+        assert tsc.cycles_between(t0, tsc.read()) == 30
+
+    def test_bad_frequency(self):
+        with pytest.raises(ValueError):
+            TimestampCounter(0)
+        with pytest.raises(ValueError):
+            TimestampCounter(2.0).advance_core_cycles(1, 0)
+
+
+class TestNoise:
+    def _spread(self, env: NoiseEnvironment, n: int = 40) -> float:
+        model = NoiseModel(seed=99)
+        values = [model.perturb(10000.0, env, experiment=i) for i in range(n)]
+        return (max(values) - min(values)) / min(values)
+
+    def test_deterministic_per_experiment(self):
+        model = NoiseModel(seed=1)
+        env = NoiseEnvironment()
+        a = model.perturb(1000.0, env, experiment=3)
+        b = model.perturb(1000.0, env, experiment=3)
+        assert a == b
+
+    def test_experiments_differ(self):
+        model = NoiseModel(seed=1)
+        env = NoiseEnvironment()
+        assert model.perturb(1000.0, env, 0) != model.perturb(1000.0, env, 1)
+
+    def test_stabilized_spread_is_small(self):
+        assert self._spread(NoiseEnvironment(inner_repetitions=64)) < 0.01
+
+    def test_unpinned_spread_is_large(self):
+        stabilized = self._spread(NoiseEnvironment())
+        unpinned = self._spread(NoiseEnvironment(pinned=False))
+        assert unpinned > 5 * stabilized
+
+    def test_interrupts_add_time(self):
+        model = NoiseModel(seed=5)
+        masked = NoiseEnvironment()
+        unmasked = NoiseEnvironment(interrupts_disabled=False)
+        # A long-duration measurement accumulates many ticks.
+        long_ns = 50e6
+        with_ticks = model.perturb(long_ns, unmasked, 0)
+        without = model.perturb(long_ns, masked, 0)
+        assert with_ticks > without
+
+    def test_cold_start_applies_to_first_run_only(self):
+        model = NoiseModel(seed=7)
+        env = NoiseEnvironment(warmed_up=False)
+        first = model.perturb(1000.0, env, 0, first_run=True)
+        later = model.perturb(1000.0, env, 1, first_run=False)
+        assert first > 1.3 * later
+
+    def test_inner_reps_shrink_jitter(self):
+        few = self._spread(NoiseEnvironment(inner_repetitions=1))
+        many = self._spread(NoiseEnvironment(inner_repetitions=256))
+        assert many < few
+
+    def test_negative_experiment_allowed(self):
+        model = NoiseModel(seed=3)
+        model.perturb(100.0, NoiseEnvironment(), experiment=-1)

@@ -1,0 +1,109 @@
+"""Builder API tests."""
+
+import pytest
+
+from repro.spec.builders import KernelBuilder, load_kernel, store_kernel
+from repro.spec.schema import (
+    MemoryRef,
+    MoveSemanticsSpec,
+    RegisterRange,
+    RegisterRef,
+    SpecValidationError,
+)
+
+
+class TestLoadKernel:
+    def test_default_shape(self):
+        spec = load_kernel("movaps")
+        assert spec.name == "movaps_load"
+        assert len(spec.instructions) == 1
+        assert spec.unrolling.max == 8
+        assert spec.branch is not None
+
+    def test_pointer_step_matches_payload(self):
+        spec = load_kernel("movsd")
+        pointer = spec.inductions[0]
+        assert pointer.increment == 8 and pointer.offset == 8
+
+    def test_iteration_counter_present(self):
+        spec = load_kernel("movaps")
+        counters = [i for i in spec.inductions if i.not_affected_unroll]
+        assert len(counters) == 1
+        assert counters[0].register == RegisterRef("%eax")
+
+    def test_swap_flag_propagates(self):
+        spec = load_kernel("movaps", swap_after_unroll=True)
+        assert spec.instructions[0].swap_after_unroll
+
+    def test_non_move_rejected(self):
+        with pytest.raises(SpecValidationError, match="not a move"):
+            load_kernel("addsd")
+
+
+class TestStoreKernel:
+    def test_operand_order_is_store(self):
+        spec = store_kernel("movaps")
+        src, dst = spec.instructions[0].operands
+        assert isinstance(src, RegisterRange)
+        assert isinstance(dst, MemoryRef)
+
+
+class TestKernelBuilder:
+    def test_move_bytes_builds_semantics(self):
+        spec = (
+            KernelBuilder("k")
+            .move_bytes(16, base="r1")
+            .unroll(1, 2)
+            .pointer_induction("r1", step=16)
+            .counter_induction("r0", linked_to="r1")
+            .branch()
+            .build()
+        )
+        assert isinstance(spec.instructions[0].move_semantics, MoveSemanticsSpec)
+
+    def test_arithmetic(self):
+        spec = (
+            KernelBuilder("k")
+            .arithmetic("addsd", src="%xmm0", dest="%xmm8")
+            .counter_induction("r0")
+            .branch()
+            .build()
+        )
+        assert spec.instructions[0].operations == ("addsd",)
+
+    def test_stride_choices_create_stride_spec(self):
+        spec = (
+            KernelBuilder("k")
+            .load("movaps", base="r1")
+            .pointer_induction("r1", step=16, stride_choices=(1, 2, 4))
+            .counter_induction("r0", linked_to="r1")
+            .branch()
+            .build()
+        )
+        assert spec.strides[0].values == (1, 2, 4)
+
+    def test_load_requires_destination(self):
+        with pytest.raises(SpecValidationError, match="dest or xmm_range"):
+            KernelBuilder("k").load("movaps", base="r1", xmm_range=None)
+
+    def test_limit(self):
+        spec = (
+            KernelBuilder("k")
+            .load("movaps", base="r1")
+            .pointer_induction("r1", step=16)
+            .counter_induction("r0", linked_to="r1")
+            .branch()
+            .limit(5)
+            .build()
+        )
+        assert spec.max_benchmarks == 5
+
+    def test_fixed_destination_register(self):
+        spec = (
+            KernelBuilder("k")
+            .load("movsd", base="r1", dest="%xmm9", xmm_range=None)
+            .counter_induction("r0")
+            .branch()
+            .build()
+        )
+        assert spec.instructions[0].operands[1] == RegisterRef("%xmm9")

@@ -1,0 +1,212 @@
+"""Kernel-description schema validation tests."""
+
+import pytest
+
+from repro.spec.schema import (
+    BranchInfoSpec,
+    ImmediateSpec,
+    InductionSpec,
+    InstructionSpec,
+    KernelSpec,
+    MemoryRef,
+    MoveSemanticsSpec,
+    RegisterRange,
+    RegisterRef,
+    SpecValidationError,
+    StrideSpec,
+    UnrollSpec,
+)
+
+
+def simple_load(**overrides) -> InstructionSpec:
+    defaults = dict(
+        operations=("movaps",),
+        operands=(MemoryRef(RegisterRef("r1")), RegisterRange("%xmm", 0, 8)),
+    )
+    defaults.update(overrides)
+    return InstructionSpec(**defaults)
+
+
+class TestRegisterNodes:
+    def test_logical_ref(self):
+        assert not RegisterRef("r1").is_physical
+
+    def test_physical_ref(self):
+        assert RegisterRef("%eax").is_physical
+
+    def test_range_rotation_wraps(self):
+        rng = RegisterRange("%xmm", 0, 8)
+        assert rng.name_for(0) == "%xmm0"
+        assert rng.name_for(7) == "%xmm7"
+        assert rng.name_for(8) == "%xmm0"
+
+    def test_range_respects_min(self):
+        rng = RegisterRange("%xmm", 4, 6)
+        assert rng.name_for(0) == "%xmm4"
+        assert rng.name_for(1) == "%xmm5"
+        assert rng.name_for(2) == "%xmm4"
+
+    def test_range_requires_physical_prefix(self):
+        with pytest.raises(SpecValidationError):
+            RegisterRange("xmm", 0, 8)
+
+    def test_range_requires_nonempty_span(self):
+        with pytest.raises(SpecValidationError):
+            RegisterRange("%xmm", 4, 4)
+
+
+class TestInstructionSpec:
+    def test_needs_operation_or_semantics(self):
+        with pytest.raises(SpecValidationError, match="exactly one"):
+            InstructionSpec(operands=())
+
+    def test_not_both(self):
+        with pytest.raises(SpecValidationError, match="exactly one"):
+            InstructionSpec(
+                operations=("movaps",),
+                move_semantics=MoveSemanticsSpec(16),
+            )
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(SpecValidationError, match="unmodelled"):
+            simple_load(operations=("movzzz",))
+
+    def test_zero_repeat_rejected(self):
+        with pytest.raises(SpecValidationError, match="repeat"):
+            simple_load(repeat=0)
+
+    def test_both_swap_phases_rejected(self):
+        with pytest.raises(SpecValidationError, match="one operand-swap"):
+            simple_load(swap_before_unroll=True, swap_after_unroll=True)
+
+    def test_move_semantics_payloads(self):
+        for nbytes in (4, 8, 16):
+            MoveSemanticsSpec(nbytes)
+        with pytest.raises(SpecValidationError):
+            MoveSemanticsSpec(32)
+
+
+class TestInductionSpec:
+    def test_zero_increment_rejected(self):
+        with pytest.raises(SpecValidationError, match="zero increment"):
+            InductionSpec(register=RegisterRef("r1"), increment=0)
+
+    def test_linked_with_not_affected_rejected(self):
+        with pytest.raises(SpecValidationError):
+            InductionSpec(
+                register=RegisterRef("r0"),
+                increment=1,
+                linked=RegisterRef("r1"),
+                not_affected_unroll=True,
+            )
+
+    def test_element_size_positive(self):
+        with pytest.raises(SpecValidationError):
+            InductionSpec(register=RegisterRef("r1"), increment=16, element_size=0)
+
+
+class TestUnrollSpec:
+    def test_factors_inclusive(self):
+        assert list(UnrollSpec(1, 8).factors()) == list(range(1, 9))
+
+    def test_default_is_no_unroll(self):
+        assert list(UnrollSpec().factors()) == [1]
+
+    @pytest.mark.parametrize("lo,hi", [(0, 4), (5, 4), (-1, 1)])
+    def test_bad_ranges(self, lo, hi):
+        with pytest.raises(SpecValidationError):
+            UnrollSpec(lo, hi)
+
+
+class TestBranchInfo:
+    def test_label_gets_local_prefix(self):
+        assert BranchInfoSpec("L6").asm_label == ".L6"
+
+    def test_existing_prefix_kept(self):
+        assert BranchInfoSpec(".L6").asm_label == ".L6"
+
+    def test_non_branch_test_rejected(self):
+        with pytest.raises(SpecValidationError):
+            BranchInfoSpec("L6", test="add")
+
+    def test_unknown_test_rejected(self):
+        with pytest.raises(SpecValidationError):
+            BranchInfoSpec("L6", test="jxx")
+
+
+class TestKernelSpec:
+    def _inductions(self):
+        return (
+            InductionSpec(register=RegisterRef("r1"), increment=16, offset=16),
+            InductionSpec(
+                register=RegisterRef("r0"),
+                increment=-1,
+                linked=RegisterRef("r1"),
+                last_induction=True,
+            ),
+        )
+
+    def test_valid_kernel(self):
+        spec = KernelSpec(
+            name="k",
+            instructions=(simple_load(),),
+            inductions=self._inductions(),
+            branch=BranchInfoSpec("L6"),
+        )
+        assert spec.last_induction() is not None
+
+    def test_empty_instructions_rejected(self):
+        with pytest.raises(SpecValidationError, match="no instructions"):
+            KernelSpec(name="k", instructions=())
+
+    def test_branch_requires_testable_induction(self):
+        with pytest.raises(SpecValidationError, match="last_induction"):
+            KernelSpec(
+                name="k",
+                instructions=(simple_load(),),
+                inductions=(
+                    InductionSpec(register=RegisterRef("r1"), increment=16, offset=16),
+                ),
+                branch=BranchInfoSpec("L6"),
+            )
+
+    def test_multiple_last_inductions_rejected(self):
+        bad = (
+            InductionSpec(register=RegisterRef("a"), increment=1, last_induction=True),
+            InductionSpec(register=RegisterRef("b"), increment=1, last_induction=True),
+        )
+        with pytest.raises(SpecValidationError, match="multiple"):
+            KernelSpec(name="k", instructions=(simple_load(),), inductions=bad)
+
+    def test_stride_must_target_induction(self):
+        with pytest.raises(SpecValidationError, match="unknown induction"):
+            KernelSpec(
+                name="k",
+                instructions=(simple_load(),),
+                inductions=self._inductions(),
+                branch=BranchInfoSpec("L6"),
+                strides=(StrideSpec(RegisterRef("r9"), (1, 2)),),
+            )
+
+    def test_linked_must_exist(self):
+        with pytest.raises(SpecValidationError, match="linked to unknown"):
+            KernelSpec(
+                name="k",
+                instructions=(simple_load(),),
+                inductions=(
+                    InductionSpec(
+                        register=RegisterRef("r0"),
+                        increment=-1,
+                        linked=RegisterRef("r9"),
+                        last_induction=True,
+                    ),
+                ),
+            )
+
+    def test_immediate_spec_needs_values(self):
+        with pytest.raises(SpecValidationError):
+            ImmediateSpec(())
+
+    def test_stride_zero_rejected(self):
+        with pytest.raises(SpecValidationError):
+            StrideSpec(RegisterRef("r1"), (0,))

@@ -1,0 +1,113 @@
+"""Property-based tests: spec <-> XML round-trips over generated specs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spec.schema import (
+    BranchInfoSpec,
+    ImmediateSpec,
+    InductionSpec,
+    InstructionSpec,
+    KernelSpec,
+    MemoryRef,
+    MoveSemanticsSpec,
+    RegisterRange,
+    RegisterRef,
+    StrideSpec,
+    UnrollSpec,
+)
+from repro.spec.xmlio import parse_kernel_spec, write_kernel_spec
+
+logical = st.sampled_from(["r1", "r2", "r3"]).map(RegisterRef)
+xmm_range = st.builds(
+    lambda lo, span: RegisterRange("%xmm", lo, lo + span),
+    lo=st.integers(0, 6),
+    span=st.integers(1, 8),
+)
+memref = st.builds(
+    MemoryRef,
+    base=logical,
+    offset=st.integers(-64, 256),
+)
+immediate = st.builds(
+    ImmediateSpec,
+    values=st.lists(st.integers(-1024, 1024), min_size=1, max_size=4).map(tuple),
+)
+
+mov_load = st.builds(
+    lambda op, mem, reg, swap_after: InstructionSpec(
+        operations=(op,), operands=(mem, reg), swap_after_unroll=swap_after
+    ),
+    op=st.sampled_from(["movss", "movsd", "movaps", "movapd"]),
+    mem=memref,
+    reg=xmm_range,
+    swap_after=st.booleans(),
+)
+semantic_move = st.builds(
+    lambda mem, reg, nbytes, unaligned, scalar: InstructionSpec(
+        operands=(mem, reg),
+        move_semantics=MoveSemanticsSpec(nbytes, unaligned, scalar),
+    ),
+    mem=memref,
+    reg=xmm_range,
+    nbytes=st.sampled_from([4, 8, 16]),
+    unaligned=st.booleans(),
+    scalar=st.booleans(),
+)
+alu = st.builds(
+    lambda imm, reg: InstructionSpec(operations=("add",), operands=(imm, reg)),
+    imm=immediate,
+    reg=logical,
+)
+instruction = st.one_of(mov_load, semantic_move, alu)
+
+
+@st.composite
+def kernel_specs(draw) -> KernelSpec:
+    instrs = draw(st.lists(instruction, min_size=1, max_size=4))
+    lo = draw(st.integers(1, 4))
+    hi = draw(st.integers(lo, 8))
+    pointer = InductionSpec(
+        register=RegisterRef("r1"),
+        increment=draw(st.sampled_from([4, 8, 16, 32])),
+        offset=draw(st.sampled_from([4, 8, 16, 32])),
+    )
+    counter = InductionSpec(
+        register=RegisterRef("r0"),
+        increment=-1,
+        linked=RegisterRef("r1"),
+        last_induction=True,
+    )
+    strides = ()
+    if draw(st.booleans()):
+        strides = (
+            StrideSpec(
+                RegisterRef("r1"),
+                tuple(draw(st.lists(st.integers(1, 8), min_size=1, max_size=3))),
+            ),
+        )
+    return KernelSpec(
+        name=draw(st.sampled_from(["k", "kernel_a", "x9"])),
+        instructions=tuple(instrs),
+        unrolling=UnrollSpec(lo, hi),
+        inductions=(pointer, counter),
+        branch=BranchInfoSpec("L6", draw(st.sampled_from(["jge", "jg", "jne"]))),
+        strides=strides,
+        max_benchmarks=draw(st.none() | st.integers(1, 100)),
+    )
+
+
+@given(kernel_specs())
+@settings(max_examples=100)
+def test_xml_roundtrip_is_identity(spec):
+    """parse(write(spec)) == spec for arbitrary valid kernel descriptions."""
+    assert parse_kernel_spec(write_kernel_spec(spec)) == spec
+
+
+@given(kernel_specs())
+@settings(max_examples=50)
+def test_written_xml_is_stable(spec):
+    """Writing twice produces byte-identical XML (deterministic output)."""
+    once = write_kernel_spec(spec)
+    twice = write_kernel_spec(parse_kernel_spec(once))
+    assert once == twice

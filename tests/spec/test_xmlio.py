@@ -1,0 +1,214 @@
+"""XML reader/writer tests, anchored on the paper's Fig. 6 format."""
+
+import pytest
+
+from repro.spec.schema import (
+    ImmediateSpec,
+    MemoryRef,
+    MoveSemanticsSpec,
+    RegisterRange,
+    RegisterRef,
+)
+from repro.spec.xmlio import SpecParseError, parse_kernel_spec, write_kernel_spec
+
+#: The paper's Fig. 6 kernel description, verbatim structure.
+FIG6 = """
+<kernel name="loadstore">
+  <instruction>
+    <operation>movaps</operation>
+    <memory>
+      <register><name>r1</name></register>
+      <offset>0</offset>
+    </memory>
+    <register>
+      <phyName>%xmm</phyName>
+      <min>0</min>
+      <max>8</max>
+    </register>
+    <swap_after_unroll/>
+  </instruction>
+  <unrolling><min>1</min><max>8</max></unrolling>
+  <induction>
+    <register><name>r1</name></register>
+    <increment>16</increment>
+    <offset>16</offset>
+  </induction>
+  <induction>
+    <register><name>r0</name></register>
+    <increment>-1</increment>
+    <linked><register><name>r1</name></register></linked>
+    <last_induction/>
+  </induction>
+  <branch_information>
+    <label>L6</label>
+    <test>jge</test>
+  </branch_information>
+</kernel>
+"""
+
+#: The paper's Fig. 9 iteration-counter node.
+FIG9 = """
+<kernel name="counted">
+  <instruction>
+    <operation>movaps</operation>
+    <memory><register><name>r1</name></register><offset>0</offset></memory>
+    <register><phyName>%xmm</phyName><min>0</min><max>8</max></register>
+  </instruction>
+  <induction>
+    <register><phyName>%eax</phyName></register>
+    <increment>1</increment>
+    <not_affected_unroll/>
+  </induction>
+  <induction>
+    <register><name>r1</name></register>
+    <increment>16</increment>
+    <offset>16</offset>
+  </induction>
+  <induction>
+    <register><name>r0</name></register>
+    <increment>-1</increment>
+    <linked><register><name>r1</name></register></linked>
+    <last_induction/>
+  </induction>
+  <branch_information><label>L6</label><test>jge</test></branch_information>
+</kernel>
+"""
+
+
+class TestFig6:
+    def test_parses(self):
+        spec = parse_kernel_spec(FIG6)
+        assert spec.name == "loadstore"
+        assert len(spec.instructions) == 1
+
+    def test_instruction_shape(self):
+        instr = parse_kernel_spec(FIG6).instructions[0]
+        assert instr.operations == ("movaps",)
+        assert instr.swap_after_unroll and not instr.swap_before_unroll
+        mem, reg = instr.operands
+        assert isinstance(mem, MemoryRef) and mem.base == RegisterRef("r1")
+        assert isinstance(reg, RegisterRange)
+        assert (reg.prefix, reg.min, reg.max) == ("%xmm", 0, 8)
+
+    def test_unrolling(self):
+        spec = parse_kernel_spec(FIG6)
+        assert (spec.unrolling.min, spec.unrolling.max) == (1, 8)
+
+    def test_inductions(self):
+        r1, r0 = parse_kernel_spec(FIG6).inductions
+        assert (r1.increment, r1.offset) == (16, 16)
+        assert r0.increment == -1
+        assert r0.linked == RegisterRef("r1")
+        assert r0.last_induction
+
+    def test_branch(self):
+        branch = parse_kernel_spec(FIG6).branch
+        assert branch.label == "L6" and branch.test == "jge"
+
+
+class TestFig9:
+    def test_iteration_counter(self):
+        spec = parse_kernel_spec(FIG9)
+        counter = spec.inductions[0]
+        assert counter.register == RegisterRef("%eax")
+        assert counter.not_affected_unroll
+        assert counter.increment == 1
+
+
+class TestErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(SpecParseError, match="malformed"):
+            parse_kernel_spec("<kernel><oops></kernel>")
+
+    def test_wrong_root(self):
+        with pytest.raises(SpecParseError, match="root element"):
+            parse_kernel_spec("<not_kernel/>")
+
+    def test_instruction_without_operation(self):
+        with pytest.raises(SpecParseError, match="invalid <instruction>"):
+            parse_kernel_spec(
+                "<kernel name='k'><instruction>"
+                "<register><name>r1</name></register>"
+                "</instruction></kernel>"
+            )
+
+    def test_register_without_name(self):
+        with pytest.raises(SpecParseError, match="<name> or <phyName>"):
+            parse_kernel_spec(
+                "<kernel name='k'><instruction><operation>nop</operation>"
+                "<register><bogus/></register></instruction></kernel>"
+            )
+
+    def test_induction_missing_increment(self):
+        with pytest.raises(SpecParseError, match="missing <increment>"):
+            parse_kernel_spec(
+                "<kernel name='k'>"
+                "<instruction><operation>nop</operation></instruction>"
+                "<induction><register><name>r1</name></register></induction>"
+                "</kernel>"
+            )
+
+    def test_non_integer_field(self):
+        with pytest.raises(SpecParseError, match="not an integer"):
+            parse_kernel_spec(
+                "<kernel name='k'>"
+                "<instruction><operation>nop</operation></instruction>"
+                "<induction><register><name>r1</name></register>"
+                "<increment>lots</increment></induction>"
+                "</kernel>"
+            )
+
+
+class TestExtensions:
+    def test_operation_choices(self):
+        spec = parse_kernel_spec(
+            "<kernel name='k'><instruction>"
+            "<operation>movss</operation><operation>movaps</operation>"
+            "<memory><register><name>r1</name></register></memory>"
+            "<register><phyName>%xmm</phyName><min>0</min><max>8</max></register>"
+            "</instruction></kernel>"
+        )
+        assert spec.instructions[0].operations == ("movss", "movaps")
+
+    def test_move_semantics(self):
+        spec = parse_kernel_spec(
+            "<kernel name='k'><instruction>"
+            "<move_semantics><bytes>16</bytes><allow_unaligned/><allow_scalar/>"
+            "</move_semantics>"
+            "<memory><register><name>r1</name></register></memory>"
+            "<register><phyName>%xmm</phyName><min>0</min><max>8</max></register>"
+            "</instruction></kernel>"
+        )
+        ms = spec.instructions[0].move_semantics
+        assert isinstance(ms, MoveSemanticsSpec)
+        assert ms.bytes_per_element == 16
+        assert ms.allow_unaligned and ms.allow_scalar
+
+    def test_immediate_values(self):
+        spec = parse_kernel_spec(
+            "<kernel name='k'><instruction>"
+            "<operation>add</operation>"
+            "<immediate><value>1</value><value>2</value></immediate>"
+            "<register><name>r1</name></register>"
+            "</instruction></kernel>"
+        )
+        imm = spec.instructions[0].operands[0]
+        assert isinstance(imm, ImmediateSpec)
+        assert imm.values == (1, 2)
+
+    def test_max_benchmarks(self):
+        spec = parse_kernel_spec(
+            "<kernel name='k'><max_benchmarks>10</max_benchmarks>"
+            "<instruction><operation>nop</operation></instruction></kernel>"
+        )
+        assert spec.max_benchmarks == 10
+
+
+class TestWriteRoundTrip:
+    def test_fig6_roundtrips(self):
+        spec = parse_kernel_spec(FIG6)
+        assert parse_kernel_spec(write_kernel_spec(spec)) == spec
+
+    def test_fig9_roundtrips(self):
+        spec = parse_kernel_spec(FIG9)
+        assert parse_kernel_spec(write_kernel_spec(spec)) == spec
