@@ -1,0 +1,43 @@
+"""Benchmark: warm-cache campaign re-run must execute zero jobs.
+
+Run with ``pytest benchmarks/test_engine_cache.py --benchmark-only -s``.
+The first (cold) run measures a 64-job grid and fills the cache; the
+timed re-run answers every job from disk.
+"""
+
+from repro.engine import Campaign, SweepSpec, run_campaign
+from repro.launcher import LauncherOptions
+
+
+def _campaign():
+    from repro.creator import MicroCreator
+    from repro.machine import nehalem_2s_x5650
+    from repro.spec import load_kernel
+
+    variants = MicroCreator().generate(load_kernel("movaps"))
+    sweep = SweepSpec(
+        kernels=tuple(variants),
+        base=LauncherOptions(array_bytes=16 * 1024, experiments=2, repetitions=2),
+        axes={"trip_count": (256, 512, 1024, 2048), "repetitions": (2, 4)},
+    )
+    return Campaign(name="engine_cache_bench", machine=nehalem_2s_x5650(), sweeps=(sweep,))
+
+
+def test_engine_cache_rerun_executes_nothing(benchmark, tmp_path):
+    campaign = _campaign()
+    cold = run_campaign(campaign, cache_dir=tmp_path)
+    assert cold.stats.total_jobs >= 64
+    assert cold.stats.executed == cold.stats.total_jobs
+
+    warm = benchmark.pedantic(
+        lambda: run_campaign(campaign, cache_dir=tmp_path), rounds=1, iterations=1
+    )
+    print()
+    print(
+        f"warm re-run: {warm.stats.total_jobs} jobs, "
+        f"{warm.stats.cache_hits} hits, {warm.stats.executed} executed"
+    )
+    assert warm.stats.executed == 0
+    assert warm.stats.cache_hits == warm.stats.total_jobs
+    assert warm.stats.cache_hit_rate == 1.0
+    assert warm.measurements() == cold.measurements()

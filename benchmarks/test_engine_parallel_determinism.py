@@ -1,0 +1,46 @@
+"""Benchmark: a 4-worker campaign run is byte-identical to an inline run.
+
+Run with ``pytest benchmarks/test_engine_parallel_determinism.py
+--benchmark-only -s``.  Noise seeds derive from each job's content hash,
+so worker count and completion order cannot change a single output byte.
+"""
+
+from repro.engine import Campaign, SweepSpec, run_campaign
+from repro.launcher import LauncherOptions
+
+
+def _campaign():
+    from repro.creator import MicroCreator
+    from repro.machine import nehalem_2s_x5650
+    from repro.spec import load_kernel
+
+    variants = MicroCreator().generate(load_kernel("movaps"))
+    sweep = SweepSpec(
+        kernels=tuple(variants),
+        base=LauncherOptions(array_bytes=16 * 1024, experiments=2, repetitions=2),
+        axes={"trip_count": (256, 512, 1024, 2048), "repetitions": (2, 4)},
+    )
+    return Campaign(
+        name="engine_determinism_bench", machine=nehalem_2s_x5650(), sweeps=(sweep,)
+    )
+
+
+def test_engine_parallel_matches_inline(benchmark, tmp_path):
+    campaign = _campaign()
+    serial = run_campaign(campaign, jobs=1)
+    assert serial.stats.total_jobs >= 64
+
+    parallel = benchmark.pedantic(
+        lambda: run_campaign(campaign, jobs=4), rounds=1, iterations=1
+    )
+    print()
+    print(
+        f"{parallel.stats.total_jobs} jobs on {parallel.stats.workers} workers "
+        f"(inline fallback: {parallel.stats.fell_back_inline})"
+    )
+    serial_csv = serial.write_csv(tmp_path / "serial.csv")
+    parallel_csv = parallel.write_csv(tmp_path / "parallel.csv")
+    assert serial_csv.read_bytes() == parallel_csv.read_bytes()
+    serial_jsonl = serial.write_jsonl(tmp_path / "serial.jsonl")
+    parallel_jsonl = parallel.write_jsonl(tmp_path / "parallel.jsonl")
+    assert serial_jsonl.read_bytes() == parallel_jsonl.read_bytes()

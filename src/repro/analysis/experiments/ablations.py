@@ -9,6 +9,7 @@ from __future__ import annotations
 from repro.analysis.experiments import ExperimentResult, register
 from repro.analysis.series import Table
 from repro.creator import MicroCreator
+from repro.engine import Campaign, SweepSpec, run_campaign
 from repro.kernels import loadstore_family, multi_array_traversal
 from repro.launcher import LauncherOptions, MicroLauncher
 from repro.machine import MemLevel, nehalem_2s_x5650, nehalem_4s_x7550
@@ -21,8 +22,25 @@ def _ram_load_kernel(creator: MicroCreator):
     )
 
 
+def _grid(name, kernel, base, axes, *, machine, jobs=1, cache_dir=None, resume=True):
+    """Run one single-kernel option grid through the campaign engine."""
+    campaign = Campaign(
+        name=name,
+        machine=machine,
+        sweeps=(SweepSpec(kernels=(kernel,), base=base, axes=axes),),
+    )
+    return run_campaign(campaign, jobs=jobs, cache_dir=cache_dir, resume=resume)
+
+
 @register("ablation_aggregator")
-def ablation_aggregator(*, quick: bool = False, **_: object) -> ExperimentResult:
+def ablation_aggregator(
+    *,
+    quick: bool = False,
+    jobs: int = 1,
+    cache_dir: object = None,
+    resume: bool = True,
+    **_: object,
+) -> ExperimentResult:
     """Min vs. mean vs. median aggregation under noise.
 
     The paper takes per-group minima.  Under one-sided noise (spikes only
@@ -30,9 +48,7 @@ def ablation_aggregator(*, quick: bool = False, **_: object) -> ExperimentResult
     noise-free time; the mean drifts upward with every spike.
     """
     machine = nehalem_2s_x5650()
-    launcher = MicroLauncher(machine)
-    creator = MicroCreator()
-    kernel = _ram_load_kernel(creator)
+    kernel = _ram_load_kernel(MicroCreator())
     base = LauncherOptions(
         array_bytes=machine.footprint_for(MemLevel.L2),
         trip_count=1 << 14,
@@ -40,11 +56,20 @@ def ablation_aggregator(*, quick: bool = False, **_: object) -> ExperimentResult
         repetitions=4,
         pin=False,  # leave migration spikes on: that is the point
     )
+    run = _grid(
+        "ablation_aggregator",
+        kernel,
+        base,
+        {"aggregator": ("min", "median", "mean")},
+        machine=machine,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        resume=resume,
+    )
     table = Table(header=("aggregator", "cycles/iter", "vs min"), title="aggregators")
-    results = {}
-    for agg in ("min", "median", "mean"):
-        m = launcher.run(kernel, base.with_(aggregator=agg))
-        results[agg] = m.cycles_per_iteration
+    results = {
+        job.tags["aggregator"]: m.cycles_per_iteration for job, m in run.rows()
+    }
     for agg, value in results.items():
         table.add(agg, value, value / results["min"])
     return ExperimentResult(
@@ -60,7 +85,13 @@ def ablation_aggregator(*, quick: bool = False, **_: object) -> ExperimentResult
 
 
 @register("ablation_warmup")
-def ablation_warmup(**_: object) -> ExperimentResult:
+def ablation_warmup(
+    *,
+    jobs: int = 1,
+    cache_dir: object = None,
+    resume: bool = True,
+    **_: object,
+) -> ExperimentResult:
     """Cache heating (Fig. 10's first untimed call).
 
     Without it, the first experiment pays the cold-start factor, widening
@@ -68,17 +99,25 @@ def ablation_warmup(**_: object) -> ExperimentResult:
     shows — which is exactly why the launcher reports stability bands.
     """
     machine = nehalem_2s_x5650()
-    launcher = MicroLauncher(machine)
-    creator = MicroCreator()
-    kernel = _ram_load_kernel(creator)
+    kernel = _ram_load_kernel(MicroCreator())
     base = LauncherOptions(
         array_bytes=machine.footprint_for(MemLevel.L2),
         trip_count=1 << 14,
         experiments=6,
         repetitions=16,
     )
-    warm = launcher.run(kernel, base)
-    cold = launcher.run(kernel, base.with_(warmup=False))
+    run = _grid(
+        "ablation_warmup",
+        kernel,
+        base,
+        {"warmup": (True, False)},
+        machine=machine,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        resume=resume,
+    )
+    by_warmup = {job.tags["warmup"]: m for job, m in run.rows()}
+    warm, cold = by_warmup[True], by_warmup[False]
     table = Table(header=("scenario", "spread", "max/min"), title="warm-up ablation")
     for label, m in (("warmed", warm), ("cold start", cold)):
         table.add(label, m.spread, m.max_cycles_per_iteration / m.min_cycles_per_iteration)
@@ -96,7 +135,13 @@ def ablation_warmup(**_: object) -> ExperimentResult:
 
 
 @register("ablation_overhead")
-def ablation_overhead(**_: object) -> ExperimentResult:
+def ablation_overhead(
+    *,
+    jobs: int = 1,
+    cache_dir: object = None,
+    resume: bool = True,
+    **_: object,
+) -> ExperimentResult:
     """Call-overhead subtraction vs. trip count.
 
     The subtraction's value shows at small trip counts, where the call
@@ -104,25 +149,36 @@ def ablation_overhead(**_: object) -> ExperimentResult:
     both agree — the classic bias-vs-measurement-length trade-off.
     """
     machine = nehalem_2s_x5650()
-    launcher = MicroLauncher(machine)
-    creator = MicroCreator()
-    kernel = _ram_load_kernel(creator)
+    kernel = _ram_load_kernel(MicroCreator())
+    trips = (64, 512, 4096, 1 << 15)
+    base = LauncherOptions(
+        array_bytes=machine.footprint_for(MemLevel.L1),
+        trip_count=trips[0],
+        experiments=4,
+        repetitions=16,
+    )
+    run = _grid(
+        "ablation_overhead",
+        kernel,
+        base,
+        {"trip_count": trips, "subtract_overhead": (True, False)},
+        machine=machine,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        resume=resume,
+    )
+    cycles = {
+        (job.tags["trip_count"], job.tags["subtract_overhead"]): m.cycles_per_iteration
+        for job, m in run.rows()
+    }
     table = Table(
         header=("trip_count", "with_subtraction", "without", "bias"),
         title="overhead subtraction",
     )
     biases = {}
-    for trip in (64, 512, 4096, 1 << 15):
-        base = LauncherOptions(
-            array_bytes=machine.footprint_for(MemLevel.L1),
-            trip_count=trip,
-            experiments=4,
-            repetitions=16,
-        )
-        with_sub = launcher.run(kernel, base).cycles_per_iteration
-        without = launcher.run(
-            kernel, base.with_(subtract_overhead=False)
-        ).cycles_per_iteration
+    for trip in trips:
+        with_sub = cycles[(trip, True)]
+        without = cycles[(trip, False)]
         bias = without / with_sub
         biases[trip] = bias
         table.add(trip, with_sub, without, bias)
@@ -140,7 +196,13 @@ def ablation_overhead(**_: object) -> ExperimentResult:
 
 
 @register("ablation_inner_reps")
-def ablation_inner_reps(**_: object) -> ExperimentResult:
+def ablation_inner_reps(
+    *,
+    jobs: int = 1,
+    cache_dir: object = None,
+    resume: bool = True,
+    **_: object,
+) -> ExperimentResult:
     """Inner-loop repetitions vs. result variance.
 
     The inner loop "augments the evaluation time of the kernel, further
@@ -148,21 +210,28 @@ def ablation_inner_reps(**_: object) -> ExperimentResult:
     roughly as 1/sqrt(repetitions).
     """
     machine = nehalem_2s_x5650()
-    launcher = MicroLauncher(machine)
-    creator = MicroCreator()
-    kernel = _ram_load_kernel(creator)
+    kernel = _ram_load_kernel(MicroCreator())
+    base = LauncherOptions(
+        array_bytes=machine.footprint_for(MemLevel.L2),
+        trip_count=1 << 14,
+        experiments=12,
+        repetitions=1,
+    )
+    run = _grid(
+        "ablation_inner_reps",
+        kernel,
+        base,
+        {"repetitions": (1, 4, 16, 64, 256)},
+        machine=machine,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        resume=resume,
+    )
     table = Table(header=("repetitions", "spread"), title="inner repetitions")
     spreads = {}
-    for reps in (1, 4, 16, 64, 256):
-        options = LauncherOptions(
-            array_bytes=machine.footprint_for(MemLevel.L2),
-            trip_count=1 << 14,
-            experiments=12,
-            repetitions=reps,
-        )
-        m = launcher.run(kernel, options)
-        spreads[reps] = m.spread
-        table.add(reps, m.spread)
+    for job, m in run.rows():
+        spreads[job.tags["repetitions"]] = m.spread
+        table.add(job.tags["repetitions"], m.spread)
     return ExperimentResult(
         exhibit="ablation_inner_reps",
         title="inner-repetition ablation",

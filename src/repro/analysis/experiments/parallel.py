@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import statistics
+
 from repro.analysis.experiments import ExperimentResult, register
 from repro.analysis.series import Series, Table
 from repro.analysis.stats import find_knee, relative_change, relative_spread
 from repro.creator import MicroCreator
+from repro.engine import Campaign, SweepSpec, run_campaign
 from repro.kernels import loadstore_family, multi_array_traversal
 from repro.launcher import LauncherOptions, MicroLauncher
 from repro.machine import MemLevel, nehalem_2s_x5650, nehalem_4s_x7550, sandy_bridge_e31240
@@ -19,7 +22,14 @@ def _eight_load_ram_kernel(creator: MicroCreator):
 
 
 @register("fig14")
-def fig14(*, quick: bool = False, **_: object) -> ExperimentResult:
+def fig14(
+    *,
+    quick: bool = False,
+    jobs: int = 1,
+    cache_dir: object = None,
+    resume: bool = True,
+    **_: object,
+) -> ExperimentResult:
     """Fig. 14: forked multi-core RAM kernel — bandwidth saturation.
 
     "The breaking point for the dual-socket Nehalem machine is six cores.
@@ -27,9 +37,7 @@ def fig14(*, quick: bool = False, **_: object) -> ExperimentResult:
     contention grows with every added process.
     """
     machine = nehalem_2s_x5650()
-    launcher = MicroLauncher(machine)
-    creator = MicroCreator()
-    kernel = _eight_load_ram_kernel(creator)
+    kernel = _eight_load_ram_kernel(MicroCreator())
     options = LauncherOptions(
         array_bytes=machine.footprint_for(MemLevel.RAM),
         trip_count=1 << 14,
@@ -37,10 +45,20 @@ def fig14(*, quick: bool = False, **_: object) -> ExperimentResult:
         repetitions=8,
     )
     counts = (1, 2, 4, 6, 8, 12) if quick else tuple(range(1, machine.total_cores + 1))
-    ys = []
-    for n in counts:
-        result = launcher.run_forked(kernel, options.with_(n_cores=n))
-        ys.append(result.mean_cycles_per_iteration)
+    sweep = SweepSpec(
+        kernels=(kernel,), base=options, axes={"n_cores": counts}, mode="forked"
+    )
+    run = run_campaign(
+        Campaign(name="fig14_forked", machine=machine, sweeps=(sweep,)),
+        jobs=jobs,
+        cache_dir=cache_dir,
+        resume=resume,
+    )
+    by_cores = {
+        job.tags["n_cores"]: statistics.fmean(m.cycles_per_iteration for m in ms)
+        for job, ms in run.per_job()
+    }
+    ys = [by_cores[n] for n in counts]
     series = Series("8-load movaps, RAM", tuple(float(c) for c in counts), tuple(ys))
     knee = find_knee(series.x, series.y, threshold=0.10)
     return ExperimentResult(
@@ -126,10 +144,49 @@ def fig16(*, quick: bool = False, **_: object) -> ExperimentResult:
     )
 
 
-def _openmp_vs_sequential(n_elements: int, *, quick: bool):
+def _seq_omp_rows(
+    name: str,
+    kernels,
+    options: LauncherOptions,
+    machine,
+    *,
+    jobs: int = 1,
+    cache_dir: object = None,
+    resume: bool = True,
+):
+    """Run the same kernels sequentially and under OpenMP as one campaign.
+
+    Returns (seq, omp) measurement lists in the kernels' order.
+    """
+    sweeps = (
+        SweepSpec(kernels=tuple(kernels), base=options, tags={"exec": "seq"}),
+        SweepSpec(
+            kernels=tuple(kernels), base=options, mode="openmp", tags={"exec": "omp"}
+        ),
+    )
+    run = run_campaign(
+        Campaign(name=name, machine=machine, sweeps=sweeps),
+        jobs=jobs,
+        cache_dir=cache_dir,
+        resume=resume,
+    )
+    grouped = run.grouped("exec")
+    return (
+        [m for _, m in grouped["seq"]],
+        [m for _, m in grouped["omp"]],
+    )
+
+
+def _openmp_vs_sequential(
+    n_elements: int,
+    *,
+    quick: bool,
+    jobs: int = 1,
+    cache_dir: object = None,
+    resume: bool = True,
+):
     """Shared Figs. 17/18 implementation: movss loads, unroll 1..8."""
     machine = sandy_bridge_e31240()
-    launcher = MicroLauncher(machine)
     creator = MicroCreator()
     kernels = sorted(
         (k for k in creator.generate(loadstore_family("movss")) if set(k.mix) == {"L"}),
@@ -144,16 +201,23 @@ def _openmp_vs_sequential(n_elements: int, *, quick: bool):
         experiments=10,  # the paper compares min/max across ten runs
         repetitions=4,
     )
+    seq_ms, omp_ms = _seq_omp_rows(
+        f"openmp_vs_sequential_{n_elements}",
+        kernels,
+        options,
+        machine,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        resume=resume,
+    )
     xs, seq_y, seq_lo, seq_hi, omp_y, omp_lo, omp_hi = [], [], [], [], [], [], []
-    for kernel in kernels:
-        seq = launcher.run(kernel, options)
-        omp = launcher.run_openmp(kernel, options)
+    for kernel, seq, omp in zip(kernels, seq_ms, omp_ms):
         xs.append(float(kernel.unroll))
         seq_y.append(seq.cycles_per_element)
         seq_lo.append(seq.min_cycles_per_iteration / seq.elements_per_iteration)
         seq_hi.append(seq.max_cycles_per_iteration / seq.elements_per_iteration)
-        scale = omp.measurement.elements_per_iteration
-        omp_y.append(omp.measurement.cycles_per_element)
+        scale = omp.elements_per_iteration
+        omp_y.append(omp.cycles_per_element)
         omp_lo.append(omp.min_cycles_per_iteration / scale)
         omp_hi.append(omp.max_cycles_per_iteration / scale)
     series = [
@@ -180,9 +244,18 @@ def _openmp_vs_sequential(n_elements: int, *, quick: bool):
 
 
 @register("fig17")
-def fig17(*, quick: bool = False, **_: object) -> ExperimentResult:
+def fig17(
+    *,
+    quick: bool = False,
+    jobs: int = 1,
+    cache_dir: object = None,
+    resume: bool = True,
+    **_: object,
+) -> ExperimentResult:
     """Fig. 17: OpenMP vs sequential movss loads, 128k-element array."""
-    series, notes = _openmp_vs_sequential(128 * 1024, quick=quick)
+    series, notes = _openmp_vs_sequential(
+        128 * 1024, quick=quick, jobs=jobs, cache_dir=cache_dir, resume=resume
+    )
     return ExperimentResult(
         exhibit="fig17",
         title="OpenMP vs sequential, 128k elements (log scale)",
@@ -197,13 +270,22 @@ def fig17(*, quick: bool = False, **_: object) -> ExperimentResult:
 
 
 @register("fig18")
-def fig18(*, quick: bool = False, **_: object) -> ExperimentResult:
+def fig18(
+    *,
+    quick: bool = False,
+    jobs: int = 1,
+    cache_dir: object = None,
+    resume: bool = True,
+    **_: object,
+) -> ExperimentResult:
     """Fig. 18: the same with six million elements (RAM resident).
 
     The 128k version must show a "significantly better performance gain"
     (speedup) than this one: RAM bandwidth, not cores, is the limit here.
     """
-    series, notes = _openmp_vs_sequential(6_000_000, quick=quick)
+    series, notes = _openmp_vs_sequential(
+        6_000_000, quick=quick, jobs=jobs, cache_dir=cache_dir, resume=resume
+    )
     return ExperimentResult(
         exhibit="fig18",
         title="OpenMP vs sequential, six million elements (log scale)",
@@ -218,7 +300,14 @@ def fig18(*, quick: bool = False, **_: object) -> ExperimentResult:
 
 
 @register("table2")
-def table2(*, quick: bool = False, **_: object) -> ExperimentResult:
+def table2(
+    *,
+    quick: bool = False,
+    jobs: int = 1,
+    cache_dir: object = None,
+    resume: bool = True,
+    **_: object,
+) -> ExperimentResult:
     """Table 2: execution seconds, OpenMP vs sequential, unroll 1..8.
 
     Shape targets: the sequential column decreases with unrolling then
@@ -227,7 +316,6 @@ def table2(*, quick: bool = False, **_: object) -> ExperimentResult:
     "the overhead of the parallel setup" hides the unrolling gain.
     """
     machine = sandy_bridge_e31240()
-    launcher = MicroLauncher(machine)
     creator = MicroCreator()
     n_elements = 6_000_000
     passes = 400  # repeated traversals making up the multi-second runtime
@@ -244,16 +332,20 @@ def table2(*, quick: bool = False, **_: object) -> ExperimentResult:
         experiments=4,
         repetitions=2,
     )
+    seq_ms, omp_ms = _seq_omp_rows(
+        "table2_seconds",
+        kernels,
+        options,
+        machine,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        resume=resume,
+    )
     table = Table(header=("unroll", "openmp_s", "sequential_s"), title="Table 2")
     omp_col, seq_col = [], []
-    for kernel in kernels:
-        seq = launcher.run(kernel, options)
-        omp = launcher.run_openmp(kernel, options)
+    for kernel, seq, omp in zip(kernels, seq_ms, omp_ms):
         seq_s = seq.cycles_per_element * n_elements * passes / (machine.freq_ghz * 1e9)
-        omp_s = (
-            omp.measurement.cycles_per_element * n_elements * passes
-            / (machine.freq_ghz * 1e9)
-        )
+        omp_s = omp.cycles_per_element * n_elements * passes / (machine.freq_ghz * 1e9)
         table.add(kernel.unroll, omp_s, seq_s)
         omp_col.append(omp_s)
         seq_col.append(seq_s)

@@ -7,6 +7,12 @@ per generated variant::
     microcreator kernel.xml --list
     microcreator kernel.xml --random 20 --seed 7 -o sample/
     microcreator kernel.xml --plugin my_passes.py -o out/
+    microcreator kernel.xml --measure --machine nehalem-2s --jobs 4
+
+Variants are written as they stream out of the pass pipeline, so the
+first files appear before the full expansion finishes.  ``--measure``
+runs every generated variant through the campaign engine and writes a
+results file instead of assembly.
 """
 
 from __future__ import annotations
@@ -69,6 +75,57 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="print one variant's code (by name or index) and exit",
     )
+    parser.add_argument(
+        "--measure",
+        action="store_true",
+        help="measure every generated variant through the campaign engine",
+    )
+    parser.add_argument(
+        "--machine",
+        default="nehalem-2s",
+        help="with --measure: machine preset (default: nehalem-2s)",
+    )
+    parser.add_argument(
+        "--array-bytes",
+        type=int,
+        default=16 * 1024,
+        help="with --measure: bytes per array",
+    )
+    parser.add_argument(
+        "--trip", type=int, default=4096, help="with --measure: trip count n"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --measure: worker processes (default: 1, inline)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="with --measure: cache measurements by content hash",
+    )
+    parser.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="with --measure: reuse cached results (--no-resume re-measures)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="result_format",
+        choices=("csv", "jsonl"),
+        default="csv",
+        help="with --measure: results file format (default: csv)",
+    )
+    parser.add_argument(
+        "--results",
+        metavar="PATH",
+        default=None,
+        help="with --measure: results file (default: results.csv / results.jsonl)",
+    )
     return parser
 
 
@@ -86,25 +143,27 @@ def main(argv: list[str] | None = None) -> int:
         schedule=args.schedule,
     )
     creator = MicroCreator(options, plugins=args.plugin)
-    kernels = creator.generate(spec)
-    print(f"generated {len(kernels)} variants from {args.input}")
 
-    if args.show is not None:
-        selected = None
-        if args.show.isdigit():
-            index = int(args.show)
-            if 0 <= index < len(kernels):
-                selected = kernels[index]
-        else:
-            selected = next((k for k in kernels if k.name == args.show), None)
-        if selected is None:
-            print(f"microcreator: no variant {args.show!r}", file=sys.stderr)
-            return 2
-        text = selected.asm_text(full_file=True) if args.language == "asm" else selected.c_text()
-        print(text)
-        return 0
+    if args.measure:
+        return _measure(args, creator, spec)
 
-    if args.list:
+    if args.show is not None or args.list:
+        kernels = creator.generate(spec)
+        print(f"generated {len(kernels)} variants from {args.input}")
+        if args.show is not None:
+            selected = None
+            if args.show.isdigit():
+                index = int(args.show)
+                if 0 <= index < len(kernels):
+                    selected = kernels[index]
+            else:
+                selected = next((k for k in kernels if k.name == args.show), None)
+            if selected is None:
+                print(f"microcreator: no variant {args.show!r}", file=sys.stderr)
+                return 2
+            text = selected.asm_text(full_file=True) if args.language == "asm" else selected.c_text()
+            print(text)
+            return 0
         for k in kernels:
             print(f"  {k.name}  unroll={k.unroll} mix={k.mix or '-'} "
                   f"loads={k.n_loads} stores={k.n_stores}")
@@ -114,8 +173,45 @@ def main(argv: list[str] | None = None) -> int:
         print("microcreator: use -o DIR to write variants, --list to inspect",
               file=sys.stderr)
         return 2
-    paths = creator.write_all(kernels, Path(args.output), language=args.language)
-    print(f"wrote {len(paths)} files to {args.output}")
+    # Stream: each variant hits the disk as soon as the pipeline emits it.
+    count = 0
+    for kernel in creator.stream(spec):
+        kernel.write(Path(args.output), language=args.language)
+        count += 1
+    print(f"generated {count} variants from {args.input}")
+    print(f"wrote {count} files to {args.output}")
+    return 0
+
+
+def _measure(args, creator: MicroCreator, spec) -> int:
+    """Generate the spec's variants and measure them as one campaign."""
+    from repro.engine import Campaign, SweepSpec, run_campaign
+    from repro.launcher import LauncherOptions
+    from repro.machine import PRESETS, preset
+
+    if args.machine not in PRESETS:
+        print(f"microcreator: unknown machine {args.machine!r}; "
+              f"have {sorted(PRESETS)}", file=sys.stderr)
+        return 2
+    base = LauncherOptions(array_bytes=args.array_bytes, trip_count=args.trip)
+    campaign = Campaign(
+        name=spec.name,
+        machine=preset(args.machine),
+        sweeps=(SweepSpec(kernels=tuple(creator.stream(spec)), base=base),),
+    )
+    run = run_campaign(
+        campaign,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+        progress=print,
+    )
+    results = args.results or f"results.{args.result_format}"
+    if args.result_format == "jsonl":
+        out = run.write_jsonl(results)
+    else:
+        out = run.write_csv(results)
+    print(f"wrote {len(run.measurements())} measurements to {out}")
     return 0
 
 

@@ -6,8 +6,13 @@ Measures a kernel on a simulated machine::
     microlauncher kernel.s --fork 8
     microlauncher kernel.s --openmp 4 --trip 6000000
     microlauncher kernel.s --alignment-sweep --csv sweep.csv
-    microlauncher --exhibit fig14            # regenerate a paper exhibit
+    microlauncher kernel.s --jobs 4 --cache-dir .cache --csv out.csv
+    microlauncher --exhibit fig14 --jobs 4   # regenerate a paper exhibit
     microlauncher --list-exhibits
+
+``--jobs``, ``--cache-dir`` and ``--output jsonl`` route the run through
+the campaign engine: results are bit-identical to an inline run, cached
+by content hash, and resumable (``--no-resume`` forces re-measurement).
 """
 
 from __future__ import annotations
@@ -82,6 +87,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv-full", action="store_true", help="one CSV row per experiment"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for campaign execution (default: 1, inline)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="cache measurements by content hash; re-runs skip finished jobs",
+    )
+    parser.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse cached results (--no-resume re-measures everything)",
+    )
+    parser.add_argument(
+        "--output",
+        choices=("csv", "jsonl"),
+        default="csv",
+        help="result file format for --csv when running through the engine",
+    )
+    parser.add_argument(
         "--exhibit",
         default=None,
         help="regenerate a paper exhibit (fig03..fig18, table1, table2, ...)",
@@ -107,6 +137,64 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_engine(args, machine, options, path: Path) -> int:
+    """Route a single-kernel run through the campaign engine."""
+    from repro.engine import Campaign, SweepSpec, run_campaign
+
+    if options.csv_path:
+        # The engine owns output; keep job IDs (cache keys) independent
+        # of where the results land.
+        options = options.with_(csv_path=None)
+    if args.alignment_sweep:
+        mode = "alignment_sweep"
+    elif args.fork:
+        mode = "forked"
+    elif args.openmp:
+        mode = "openmp"
+    else:
+        mode = "sequential"
+    campaign = Campaign(
+        name=path.stem,
+        machine=machine,
+        sweeps=(SweepSpec(kernels=(path,), base=options, mode=mode),),
+    )
+    run = run_campaign(
+        campaign,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+        progress=print,
+    )
+    ms = run.measurements()
+    if mode == "alignment_sweep":
+        best = min(ms, key=lambda m: m.cycles_per_iteration)
+        worst = max(ms, key=lambda m: m.cycles_per_iteration)
+        print(f"{len(ms)} alignment configurations")
+        print(f"best : {best.cycles_per_iteration:.3f} cycles/iter "
+              f"alignments={best.alignments}")
+        print(f"worst: {worst.cycles_per_iteration:.3f} cycles/iter "
+              f"alignments={worst.alignments}")
+    elif mode == "forked":
+        mean = sum(m.cycles_per_iteration for m in ms) / len(ms)
+        print(f"forked {len(ms)} processes on cores {[m.core for m in ms]}")
+        print(f"mean cycles/iteration: {mean:.3f}")
+        print(f"max  cycles/iteration: "
+              f"{max(m.cycles_per_iteration for m in ms):.3f}")
+    else:
+        m = ms[0]
+        print(f"kernel: {m.kernel_name} on {machine.name}")
+        print(f"cycles/iteration: {m.cycles_per_iteration:.3f} "
+              f"[{m.min_cycles_per_iteration:.3f}, {m.max_cycles_per_iteration:.3f}]")
+        print(f"bottleneck: {m.bottleneck}")
+    if args.csv:
+        if args.output == "jsonl":
+            out = run.write_jsonl(args.csv)
+        else:
+            out = run.write_csv(args.csv, full=args.csv_full)
+        print(f"wrote {out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -124,7 +212,13 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.exhibit is not None:
         try:
-            result = run_experiment(args.exhibit, quick=args.quick)
+            result = run_experiment(
+                args.exhibit,
+                quick=args.quick,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                resume=args.resume,
+            )
         except KeyError as exc:
             print(f"microlauncher: {exc}", file=sys.stderr)
             return 2
@@ -173,6 +267,9 @@ def main(argv: list[str] | None = None) -> int:
         csv_path=args.csv,
         csv_full=args.csv_full,
     )
+
+    if args.jobs > 1 or args.cache_dir is not None or args.output == "jsonl":
+        return _run_engine(args, machine, options, path)
 
     if args.alignment_sweep:
         series = launcher.run_alignment_sweep(path, options)

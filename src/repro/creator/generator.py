@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.creator.pass_manager import (
     CreatorContext,
@@ -56,10 +56,18 @@ class MicroCreator:
         ``options.function_name`` pins a single name (only sensible when
         the spec yields one variant).
         """
+        return list(self.stream(spec))
+
+    def stream(self, spec: KernelSpec) -> Iterator[GeneratedKernel]:
+        """Yield generated variants lazily, in :meth:`generate` order.
+
+        Backed by :meth:`PassManager.stream`: each variant is emitted as
+        soon as the pass pipeline finishes it, so a consumer (a
+        measurement campaign, an incremental file writer) can start on
+        the first variant while later passes are still expanding.
+        """
         ctx = CreatorContext(spec=spec, options=self.options)
-        variants = self.pass_manager.run(ctx)
-        kernels: list[GeneratedKernel] = []
-        for i, ir in enumerate(variants):
+        for i, ir in enumerate(self.pass_manager.stream(ctx)):
             program = ir.program
             if program is None:
                 raise RuntimeError(
@@ -71,15 +79,12 @@ class MicroCreator:
             public_metadata = {
                 k: v for k, v in ir.metadata.items() if not k.startswith("_")
             }
-            kernels.append(
-                GeneratedKernel(
-                    spec_name=spec.name,
-                    variant_id=i,
-                    program=program,
-                    metadata=public_metadata,
-                )
+            yield GeneratedKernel(
+                spec_name=spec.name,
+                variant_id=i,
+                program=program,
+                metadata=public_metadata,
             )
-        return kernels
 
     def generate_from_xml(self, xml_text: str) -> list[GeneratedKernel]:
         """Generate from kernel-description XML text."""

@@ -9,7 +9,7 @@ paper notes, and plugins may redefine any gate or replace any pass.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.creator.ir import KernelIR
 from repro.spec.schema import KernelSpec
@@ -71,6 +71,15 @@ class Pass:
     #: Unique pass name used for plugin addressing.
     name: str = "pass"
 
+    #: True when :meth:`run` distributes over concatenation —
+    #: ``run(a + b) == run(a) + run(b)`` — so the pass can process
+    #: variants one at a time inside :meth:`PassManager.stream`.  Every
+    #: default pass is a per-variant map/expansion and sets this, except
+    #: random selection (samples the whole list) and code generation
+    #: (dedups across it; it overrides :meth:`stream` instead).  Plugin
+    #: passes default to False: they are materialized, never reordered.
+    streamable: bool = False
+
     def gate(self, ctx: CreatorContext) -> bool:
         """Decide whether the pass executes for this generation run."""
         return True
@@ -78,6 +87,22 @@ class Pass:
     def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
         """Transform the variant list (pure: no mutation of inputs)."""
         raise NotImplementedError
+
+    def stream(
+        self, variants: Iterator[KernelIR], ctx: CreatorContext
+    ) -> Iterator[KernelIR]:
+        """Lazily transform a variant stream.
+
+        Streamable passes run once per incoming variant, yielding each
+        expansion as soon as its input arrives; everything else falls
+        back to materializing the upstream — identical results either
+        way, by the :attr:`streamable` contract.
+        """
+        if self.streamable:
+            for variant in variants:
+                yield from self.run([variant], ctx)
+        else:
+            yield from self.run(list(variants), ctx)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"
@@ -143,12 +168,19 @@ class PassManager:
         return removed
 
     def replace_pass(self, name: str, new: Pass) -> Pass:
-        """Swap the named pass for ``new`` (which may reuse the name)."""
+        """Swap the named pass for ``new`` (which may reuse the name).
+
+        Renaming frees the old name for reuse and drops any gate
+        override registered under it — a later pass adopting the old
+        name must not inherit a stale gate.  A same-name replacement
+        keeps its override: gates address names, not instances.
+        """
         idx = self._index(name)
         old = self._passes[idx]
         if new.name != name:
             self._seen_names.discard(name)
             self._check_unique(new)
+            self._gate_overrides.pop(name, None)
         self._passes[idx] = new
         return old
 
@@ -168,19 +200,44 @@ class PassManager:
 
         After every pass the variant count is clamped to the benchmark
         limit (deterministic even subsampling), so intermediate explosion
-        is bounded by the same knob the paper offers users.
+        is bounded by the same knob the paper offers users.  This is
+        simply ``list(self.stream(ctx))``: the streaming composition
+        preserves these semantics exactly.
         """
-        variants: list[KernelIR] = [KernelIR.from_spec(ctx.spec)]
+        return list(self.stream(ctx))
+
+    def stream(self, ctx: CreatorContext) -> Iterator[KernelIR]:
+        """Yield the pipeline's variants lazily (generator per pass).
+
+        Streamable passes compose as chained generators, so the first
+        fully generated variant is available while later expansions are
+        still pending — a campaign can start measuring immediately.
+        Whole-list passes (random selection, plugin passes) and any run
+        under a ``benchmark_limit`` materialize at that stage, keeping
+        :meth:`run` and :meth:`stream` bit-identical: the limit's even
+        subsampling must see each pass's complete output, exactly as the
+        eager pipeline applied it.
+        """
+        limit = ctx.benchmark_limit
+        stage: Iterator[KernelIR] = iter([KernelIR.from_spec(ctx.spec)])
         for p in self._passes:
             if not self.gate_for(p, ctx):
                 continue
-            variants = p.run(variants, ctx)
-            if not isinstance(variants, list):  # defensive: plugin passes
-                variants = list(variants)
-            limit = ctx.benchmark_limit
-            if limit is not None and len(variants) > limit:
-                variants = _evenly_subsample(variants, limit)
-        return variants
+            if limit is None:
+                stage = p.stream(stage, ctx)
+            else:
+                stage = self._clamped_stage(p, stage, ctx, limit)
+        return stage
+
+    def _clamped_stage(
+        self, p: Pass, upstream: Iterator[KernelIR], ctx: CreatorContext, limit: int
+    ) -> Iterator[KernelIR]:
+        variants = p.run(list(upstream), ctx)
+        if not isinstance(variants, list):  # defensive: plugin passes
+            variants = list(variants)
+        if len(variants) > limit:
+            variants = _evenly_subsample(variants, limit)
+        yield from variants
 
 
 def _evenly_subsample(variants: list[KernelIR], limit: int) -> list[KernelIR]:

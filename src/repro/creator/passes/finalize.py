@@ -3,7 +3,7 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.creator.ir import KernelIR
 from repro.creator.pass_manager import CreatorContext, Pass
@@ -28,6 +28,7 @@ class SchedulingPass(Pass):
     """
 
     name = "scheduling"
+    streamable = True
 
     def gate(self, ctx: CreatorContext) -> bool:
         return ctx.options.schedule
@@ -67,6 +68,7 @@ class PeepholePass(Pass):
     """Remove no-op instructions (stage 17): ``add $0, r`` and ``nop``."""
 
     name = "peephole"
+    streamable = True
 
     def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
         out: list[KernelIR] = []
@@ -94,6 +96,7 @@ class ValidationPass(Pass):
     """
 
     name = "validation"
+    streamable = True
 
     def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
         for ir in variants:
@@ -134,9 +137,16 @@ class CodeGenerationPass(Pass):
     """
 
     name = "code_generation"
+    # The dedup set spans the whole variant stream, so the default
+    # per-singleton streaming would be wrong; stream() below keeps the
+    # set alive across incoming variants instead.
+    streamable = False
 
     def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
-        out: list[KernelIR] = []
+        return list(self.stream(iter(variants), ctx))
+
+    def stream(self, variants: Iterator[KernelIR], ctx: CreatorContext) -> Iterator[KernelIR]:
+        """Emit each variant as it arrives, deduplicating incrementally."""
         seen: set[str] = set()
         for ir in variants:
             program = self._emit(ir, ctx)
@@ -149,10 +159,7 @@ class CodeGenerationPass(Pass):
             program.metadata.update(ir.metadata)
             program.metadata.update(n_loads=n_loads, n_stores=n_stores)
             program.metadata.pop("_induction_start", None)
-            out.append(
-                ir.evolve(program=program).noting(n_loads=n_loads, n_stores=n_stores)
-            )
-        return out
+            yield ir.evolve(program=program).noting(n_loads=n_loads, n_stores=n_stores)
 
     @staticmethod
     def _emit(ir: KernelIR, ctx: CreatorContext) -> AsmProgram:

@@ -49,6 +49,7 @@ class RegisterAllocationPass(Pass):
     """
 
     name = "register_allocation"
+    streamable = True
 
     def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
         return [self._allocate(ir) for ir in variants]
@@ -187,6 +188,7 @@ class IterationCounterPass(Pass):
     """
 
     name = "iteration_counter"
+    streamable = True
 
     def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
         out: list[KernelIR] = []
@@ -217,6 +219,7 @@ class InductionInsertionPass(Pass):
     """
 
     name = "induction_insertion"
+    streamable = True
 
     def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
         out: list[KernelIR] = []
@@ -264,6 +267,7 @@ class BranchInsertionPass(Pass):
     """Append the closing conditional jump (stage 15)."""
 
     name = "branch_insertion"
+    streamable = True
 
     def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
         out: list[KernelIR] = []

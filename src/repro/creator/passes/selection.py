@@ -24,6 +24,7 @@ class InstructionRepetitionPass(Pass):
     """
 
     name = "instruction_repetition"
+    streamable = True
 
     def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
         out: list[KernelIR] = []
@@ -46,6 +47,7 @@ class MoveSemanticsPass(Pass):
     """
 
     name = "move_semantics"
+    streamable = True
 
     def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
         out: list[KernelIR] = []
@@ -110,6 +112,7 @@ class InstructionSelectionPass(Pass):
     """
 
     name = "instruction_selection"
+    streamable = True
 
     def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
         out: list[KernelIR] = []
@@ -168,6 +171,7 @@ class StrideSelectionPass(Pass):
     """
 
     name = "stride_selection"
+    streamable = True
 
     def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
         strides = ctx.spec.strides
@@ -199,6 +203,7 @@ class ImmediateSelectionPass(Pass):
     """
 
     name = "immediate_selection"
+    streamable = True
 
     def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
         out: list[KernelIR] = []

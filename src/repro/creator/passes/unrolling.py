@@ -24,6 +24,7 @@ class UnrollFactorSelectionPass(Pass):
     """One variant per factor in the ``<unrolling>`` range (stage 7)."""
 
     name = "unroll_factor_selection"
+    streamable = True
 
     def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
         out: list[KernelIR] = []
@@ -43,6 +44,7 @@ class OperandSwapBeforeUnrollPass(Pass):
     """
 
     name = "operand_swap_before"
+    streamable = True
 
     def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
         out: list[KernelIR] = []
@@ -74,6 +76,7 @@ class UnrollingPass(Pass):
     """
 
     name = "unrolling"
+    streamable = True
 
     def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
         out: list[KernelIR] = []
@@ -116,6 +119,7 @@ class OperandSwapAfterUnrollPass(Pass):
     """
 
     name = "operand_swap_after"
+    streamable = True
 
     def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
         out: list[KernelIR] = []
@@ -146,6 +150,7 @@ class RegisterRotationPass(Pass):
     """
 
     name = "register_rotation"
+    streamable = True
 
     def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
         out: list[KernelIR] = []

@@ -1,0 +1,71 @@
+"""The campaign engine: declarative, parallel, cached experiment sweeps.
+
+The paper's workflow is inherently a *campaign*: one XML description
+expands into hundreds of kernel variants, each measured under a grid of
+launcher configurations (array sizes, alignments, cores, frequencies).
+This package turns that workflow into a first-class pipeline:
+
+- :mod:`repro.engine.campaign` -- :class:`SweepSpec` / :class:`Campaign`
+  describe a grid of kernels x launcher-option axes declaratively and
+  expand it into :class:`Job` records with stable content-hash IDs,
+- :mod:`repro.engine.cache` -- a disk-backed JSONL result cache keyed by
+  job ID, so re-running an exhibit or resuming an interrupted campaign
+  only executes the missing jobs,
+- :mod:`repro.engine.runner` -- a worker-pool scheduler
+  (``ProcessPoolExecutor``; ``jobs=1`` runs inline) whose per-job derived
+  noise seeds make results bit-identical regardless of worker count or
+  scheduling order,
+- :mod:`repro.engine.serialize` -- ``Measurement`` <-> dict round-trip
+  serialization behind both the cache and the JSONL output format.
+
+Quickstart::
+
+    from repro.engine import Campaign, SweepSpec, run_campaign
+    from repro.launcher import LauncherOptions
+    from repro.machine import nehalem_2s_x5650
+
+    campaign = Campaign(
+        name="unroll-sweep",
+        machine=nehalem_2s_x5650(),
+        sweeps=[SweepSpec(kernels=variants,
+                          base=LauncherOptions(trip_count=1 << 14),
+                          axes={"array_bytes": (32*1024, 8*1024*1024)})],
+    )
+    run = run_campaign(campaign, jobs=4, cache_dir="results/.cache")
+    run.write_csv("results/sweep.csv")
+"""
+
+from repro.engine.campaign import Campaign, Job, SweepSpec
+from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.hashing import (
+    job_id_for,
+    kernel_digest,
+    machine_digest,
+    options_digest,
+    spec_digest,
+)
+from repro.engine.runner import CampaignRun, RunStats, run_campaign
+from repro.engine.serialize import (
+    measurement_from_dict,
+    measurement_to_dict,
+    options_to_dict,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignRun",
+    "CacheStats",
+    "Job",
+    "ResultCache",
+    "RunStats",
+    "SweepSpec",
+    "job_id_for",
+    "kernel_digest",
+    "machine_digest",
+    "measurement_from_dict",
+    "measurement_to_dict",
+    "options_digest",
+    "options_to_dict",
+    "run_campaign",
+    "spec_digest",
+]

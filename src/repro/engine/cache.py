@@ -1,0 +1,108 @@
+"""The disk-backed result cache: one JSONL file keyed by job ID.
+
+Layout: ``<cache_dir>/results.jsonl``, one line per stored job::
+
+    {"job_id": "6fb0...", "kernel": "...", "mode": "sequential",
+     "measurements": [{...}, ...]}
+
+Append-only and crash-tolerant: every completed job is flushed
+immediately, so an interrupted campaign resumes from the last finished
+job; a malformed trailing line (torn write) is skipped on load.  When a
+job ID appears twice the later line wins, which is what re-measuring
+with ``resume=False`` produces.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Hit/miss/store accounting for one cache lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Measurement-dict cache over a directory; see the module docstring."""
+
+    FILENAME = "results.jsonl"
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / self.FILENAME
+        self.stats = CacheStats()
+        self._index: dict[str, list[dict]] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn trailing write from an interrupted run
+                job_id = record.get("job_id")
+                measurements = record.get("measurements")
+                if isinstance(job_id, str) and isinstance(measurements, list):
+                    self._index[job_id] = measurements
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._index
+
+    def get(self, job_id: str) -> list[dict] | None:
+        """Stored measurement dicts for ``job_id``, or ``None`` (counted)."""
+        found = self._index.get(job_id)
+        if found is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return found
+
+    def put(
+        self,
+        job_id: str,
+        measurements: list[dict],
+        *,
+        kernel: str = "",
+        mode: str = "",
+    ) -> None:
+        """Store and immediately flush one job's measurements."""
+        record = {
+            "job_id": job_id,
+            "kernel": kernel,
+            "mode": mode,
+            "measurements": measurements,
+        }
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(record) + "\n")
+        self._index[job_id] = measurements
+        self.stats.stores += 1
+
+    def clear(self) -> None:
+        """Drop every stored result (and the file)."""
+        self._index.clear()
+        if self.path.exists():
+            self.path.unlink()

@@ -1,0 +1,202 @@
+"""The campaign scheduler: cache partition -> worker pool -> ordered rows.
+
+``run_campaign`` expands a campaign, answers what it can from the result
+cache, executes the remaining jobs — inline for ``jobs=1``, on a
+``ProcessPoolExecutor`` otherwise — and assembles results in campaign
+order.  Determinism is structural, not scheduled: each job's noise seed
+derives from its content hash (see :meth:`Job.execution_options`), and
+rows are ordered by job index, so worker count and completion order
+cannot change a single output byte.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.engine.cache import ResultCache
+from repro.engine.campaign import Campaign, Job
+from repro.engine.serialize import measurement_from_dict, measurement_to_dict
+from repro.launcher.measurement import Measurement
+from repro.machine.config import MachineConfig
+
+
+def _execute_job(machine: MachineConfig, job: Job) -> tuple[str, list[dict]]:
+    """Run one job against a fresh launcher (worker-side entry point)."""
+    from repro.launcher.launcher import MicroLauncher
+
+    launcher = MicroLauncher(machine)
+    options = job.execution_options()
+    if options.csv_path:  # the engine owns output; workers never write CSVs
+        options = options.with_(csv_path=None)
+    if job.mode == "sequential":
+        measurements = [launcher.run(job.kernel, options)]
+    elif job.mode == "forked":
+        measurements = list(launcher.run_forked(job.kernel, options).per_core)
+    elif job.mode == "openmp":
+        measurements = [launcher.run_openmp(job.kernel, options).measurement]
+    elif job.mode == "alignment_sweep":
+        measurements = list(launcher.run_alignment_sweep(job.kernel, options))
+    else:  # pragma: no cover - SweepSpec validates modes at build time
+        raise ValueError(f"unknown job mode {job.mode!r}")
+    return job.job_id, [measurement_to_dict(m) for m in measurements]
+
+
+@dataclass(slots=True)
+class RunStats:
+    """What one campaign run did: totals, cache traffic, pool shape."""
+
+    total_jobs: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    workers: int = 1
+    fell_back_inline: bool = False
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.total_jobs if self.total_jobs else 0.0
+
+
+@dataclass(slots=True)
+class CampaignRun:
+    """Result of one campaign run: jobs plus their measurements."""
+
+    campaign: Campaign
+    jobs: list[Job]
+    results: dict[str, list[Measurement]]
+    stats: RunStats = field(default_factory=RunStats)
+
+    def per_job(self) -> Iterable[tuple[Job, list[Measurement]]]:
+        """(job, measurements) pairs in campaign (job-index) order."""
+        for job in self.jobs:
+            yield job, self.results[job.job_id]
+
+    def rows(self) -> list[tuple[Job, Measurement]]:
+        """Flat (job, measurement) rows in deterministic output order."""
+        return [(job, m) for job, ms in self.per_job() for m in ms]
+
+    def measurements(self) -> list[Measurement]:
+        return [m for _, m in self.rows()]
+
+    def grouped(self, tag: str) -> dict[object, list[tuple[Job, Measurement]]]:
+        """Rows bucketed by one tag's value (sweep label or axis value)."""
+        groups: dict[object, list[tuple[Job, Measurement]]] = {}
+        for job, m in self.rows():
+            groups.setdefault(job.tags.get(tag), []).append((job, m))
+        return groups
+
+    def write_csv(self, path: str | Path, *, full: bool = False) -> Path:
+        """Write every result row as a launcher CSV (full precision)."""
+        from repro.launcher.csvout import write_csv
+
+        return write_csv(path, self.measurements(), full=full)
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Write one JSON line per result row (job identity + measurement)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as fh:
+            for job, m in self.rows():
+                record = {
+                    "job_id": job.job_id,
+                    "kernel": job.kernel_name,
+                    "mode": job.mode,
+                    "tags": job.tags,
+                    "measurement": measurement_to_dict(m),
+                }
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        return path
+
+
+def run_campaign(
+    campaign: Campaign,
+    *,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    cache: ResultCache | None = None,
+    resume: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignRun:
+    """Execute a campaign and return its ordered results.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` runs every job inline in this process.
+        If the pool cannot start (restricted environments), the run
+        falls back inline — results are identical either way.
+    cache_dir / cache:
+        Reuse measurements across runs: jobs whose ID is already stored
+        are not executed.  ``cache`` takes precedence over ``cache_dir``.
+    resume:
+        When ``False``, stored results are ignored (every job executes)
+        but completions are still recorded — a forced re-measure.
+    progress:
+        Optional callback receiving one human-readable line per phase.
+    """
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(cache_dir)
+
+    job_list = campaign.job_list()
+    say = progress or (lambda message: None)
+    stats = RunStats(total_jobs=len(job_list), workers=max(1, jobs))
+
+    raw: dict[str, list[dict]] = {}
+    pending: list[Job] = []
+    seen: set[str] = set()
+    for job in job_list:
+        if job.job_id in seen:
+            continue  # duplicate grid point: measure once, share the rows
+        seen.add(job.job_id)
+        cached = cache.get(job.job_id) if (cache and resume) else None
+        if cached is not None:
+            raw[job.job_id] = cached
+            stats.cache_hits += 1
+        else:
+            pending.append(job)
+    say(
+        f"{campaign.name}: {len(job_list)} jobs, "
+        f"{stats.cache_hits} cached, {len(pending)} to run"
+    )
+
+    def record(job: Job, dicts: list[dict]) -> None:
+        raw[job.job_id] = dicts
+        stats.executed += 1
+        if cache is not None:
+            cache.put(job.job_id, dicts, kernel=job.kernel_name, mode=job.mode)
+
+    if pending and stats.workers > 1:
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=stats.workers
+            ) as pool:
+                by_id = {job.job_id: job for job in pending}
+                futures = [
+                    pool.submit(_execute_job, campaign.machine, job)
+                    for job in pending
+                ]
+                for future in concurrent.futures.as_completed(futures):
+                    job_id, dicts = future.result()
+                    record(by_id[job_id], dicts)
+            pending = []
+        except (OSError, PermissionError, concurrent.futures.process.BrokenProcessPool):
+            # Pool unavailable (sandboxed /dev/shm, fork limits): results
+            # are seed-derived per job, so inline execution is identical.
+            stats.fell_back_inline = True
+            say(f"{campaign.name}: worker pool unavailable, running inline")
+            pending = [job for job in pending if job.job_id not in raw]
+    for job in pending:
+        record(job, _execute_job(campaign.machine, job)[1])
+
+    results = {
+        job_id: [measurement_from_dict(d) for d in dicts]
+        for job_id, dicts in raw.items()
+    }
+    say(
+        f"{campaign.name}: done — {stats.executed} executed, "
+        f"{stats.cache_hits} cache hits"
+    )
+    return CampaignRun(campaign=campaign, jobs=job_list, results=results, stats=stats)

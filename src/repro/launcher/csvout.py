@@ -37,17 +37,21 @@ FULL_COLUMNS = SUMMARY_COLUMNS + ("experiment", "experiment_tsc")
 
 
 def _summary_row(m: Measurement) -> dict[str, object]:
+    # Values go in untouched: ``csv`` stringifies floats with repr, the
+    # shortest exact round-trip form, so read_csv() reconstructs the
+    # original numbers bit-for-bit (pre-rounding them here made every
+    # write -> read cycle lossy).
     return {
         "kernel": m.kernel_name,
         "label": m.label,
         "trip_count": m.trip_count,
         "repetitions": m.repetitions,
         "loop_iterations": m.loop_iterations,
-        "cycles_per_iteration": f"{m.cycles_per_iteration:.4f}",
-        "cycles_per_memory_instruction": f"{m.cycles_per_memory_instruction:.4f}",
-        "min_cycles_per_iteration": f"{m.min_cycles_per_iteration:.4f}",
-        "max_cycles_per_iteration": f"{m.max_cycles_per_iteration:.4f}",
-        "spread": f"{m.spread:.6f}",
+        "cycles_per_iteration": m.cycles_per_iteration,
+        "cycles_per_memory_instruction": m.cycles_per_memory_instruction,
+        "min_cycles_per_iteration": m.min_cycles_per_iteration,
+        "max_cycles_per_iteration": m.max_cycles_per_iteration,
+        "spread": m.spread,
         "core": "" if m.core is None else m.core,
         "n_cores": m.n_cores,
         "alignments": ":".join(str(a) for a in m.alignments),
@@ -82,14 +86,50 @@ def write_csv(
                 for i, tsc in enumerate(m.experiment_tsc):
                     row = dict(base)
                     row["experiment"] = i
-                    row["experiment_tsc"] = f"{tsc:.1f}"
+                    row["experiment_tsc"] = tsc
                     writer.writerow(row)
             else:
                 writer.writerow(base)
     return path
 
 
-def read_csv(path: str | Path) -> list[dict[str, str]]:
-    """Read a launcher CSV back into dict rows (tests, analysis)."""
+#: Column typing applied by :func:`read_csv`.
+_INT_COLUMNS = frozenset(
+    {"trip_count", "repetitions", "loop_iterations", "n_cores", "experiment"}
+)
+_FLOAT_COLUMNS = frozenset(
+    {
+        "cycles_per_iteration",
+        "cycles_per_memory_instruction",
+        "min_cycles_per_iteration",
+        "max_cycles_per_iteration",
+        "spread",
+        "experiment_tsc",
+    }
+)
+
+
+def _typed(column: str, value: str) -> object:
+    if column in _INT_COLUMNS:
+        return int(value)
+    if column in _FLOAT_COLUMNS:
+        return float(value)
+    if column == "core":
+        return int(value) if value else None
+    if column == "alignments":
+        return tuple(int(a) for a in value.split(":")) if value else ()
+    return value
+
+
+def read_csv(path: str | Path) -> list[dict[str, object]]:
+    """Read a launcher CSV back into typed rows.
+
+    Numeric columns come back as ``int``/``float`` (exact — the writer
+    emits full-precision values), ``core`` as ``int | None``, and
+    ``alignments`` as a tuple of offsets; unknown columns stay strings.
+    """
     with Path(path).open(newline="") as fh:
-        return list(csv.DictReader(fh))
+        return [
+            {column: _typed(column, value) for column, value in row.items()}
+            for row in csv.DictReader(fh)
+        ]

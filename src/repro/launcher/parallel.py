@@ -39,16 +39,23 @@ class ForkResult:
 
     @property
     def mean_cycles_per_iteration(self) -> float:
+        """NaN when no cores ran — an empty co-run has no timing at all."""
+        if not self.per_core:
+            return float("nan")
         return statistics.fmean(m.cycles_per_iteration for m in self.per_core)
 
     @property
     def max_cycles_per_iteration(self) -> float:
         """The slowest process — the completion time that matters for the
-        synchronized co-run."""
+        synchronized co-run.  NaN when no cores ran."""
+        if not self.per_core:
+            return float("nan")
         return max(m.cycles_per_iteration for m in self.per_core)
 
     @property
     def spread(self) -> float:
+        if not self.per_core:
+            return float("nan")
         values = [m.cycles_per_iteration for m in self.per_core]
         lo = min(values)
         return (max(values) - lo) / lo if lo else 0.0

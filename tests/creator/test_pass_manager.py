@@ -143,3 +143,49 @@ class TestLimits:
         variants = default_pass_pipeline().run(ctx)
         unrolls = {v.metadata["unroll"] for v in variants}
         assert len(unrolls) >= 4
+
+
+class TestPluginApiEdgeCases:
+    def test_replace_with_new_name_frees_old_name(self):
+        pm = PassManager([NoopPass()])
+        pm.replace_pass("noop", TaggingPass())
+        assert pm.pass_names == ["tagging"]
+        pm.append_pass(NoopPass())  # the old name is free again
+        assert pm.pass_names == ["tagging", "noop"]
+
+    def test_replace_rename_drops_stale_gate_override(self):
+        pm = PassManager([TaggingPass()])
+        pm.set_gate("tagging", lambda ctx: False)
+        pm.replace_pass("tagging", NoopPass())
+        # A later pass adopting the old name must not inherit the gate.
+        pm.append_pass(TaggingPass())
+        ctx = CreatorContext(spec=load_kernel("movaps", unroll=(1, 1)))
+        assert pm.run(ctx)[0].metadata.get("tagged") is True
+
+    def test_replace_same_name_keeps_gate_override(self):
+        pm = PassManager([TaggingPass()])
+        pm.set_gate("tagging", lambda ctx: False)
+
+        class Better(TaggingPass):
+            pass
+
+        pm.replace_pass("tagging", Better())
+        ctx = CreatorContext(spec=load_kernel("movaps", unroll=(1, 1)))
+        assert "tagged" not in pm.run(ctx)[0].metadata
+
+    def test_remove_pass_drops_gate_override(self):
+        pm = PassManager([TaggingPass()])
+        pm.set_gate("tagging", lambda ctx: False)
+        pm.remove_pass("tagging")
+        pm.append_pass(TaggingPass())  # a fresh same-name pass, ungated
+        ctx = CreatorContext(spec=load_kernel("movaps", unroll=(1, 1)))
+        assert pm.run(ctx)[0].metadata.get("tagged") is True
+
+    def test_gate_set_twice_uses_latest(self):
+        pm = PassManager([TaggingPass()])
+        pm.set_gate("tagging", lambda ctx: False)
+        pm.set_gate("tagging", lambda ctx: True)
+        ctx = CreatorContext(spec=load_kernel("movaps", unroll=(1, 1)))
+        assert pm.run(ctx)[0].metadata.get("tagged") is True
+        pm.set_gate("tagging", lambda ctx: False)
+        assert "tagged" not in pm.run(ctx)[0].metadata

@@ -1,0 +1,94 @@
+"""Streaming-pipeline tests: laziness and run()/stream() equivalence."""
+
+from repro.creator import CreatorOptions, MicroCreator
+from repro.creator.pass_manager import (
+    CreatorContext,
+    Pass,
+    default_pass_pipeline,
+)
+from repro.kernels import loadstore_family
+from repro.spec.builders import load_kernel
+
+
+class CountingPass(Pass):
+    """Streamable pass-through that counts how many variants reached it."""
+
+    name = "counting"
+    streamable = True
+
+    def __init__(self):
+        self.seen = 0
+
+    def run(self, variants, ctx):
+        self.seen += len(variants)
+        return list(variants)
+
+
+class TestLaziness:
+    def test_first_variant_before_full_expansion(self):
+        """stream() is incremental: consuming one variant must not force
+        the whole 510-variant family through the tail of the pipeline."""
+        counter = CountingPass()
+        pm = default_pass_pipeline()
+        pm.insert_pass_before("code_generation", counter)
+        ctx = CreatorContext(spec=loadstore_family("movaps"))
+        stream = pm.stream(ctx)
+        first = next(stream)
+        assert first.program is not None
+        total = 1 + sum(1 for _ in stream)
+        assert counter.seen == total  # sanity: every variant passed through
+        # Now re-run, consuming only the first variant.
+        counter2 = CountingPass()
+        pm2 = default_pass_pipeline()
+        pm2.insert_pass_before("code_generation", counter2)
+        next(pm2.stream(CreatorContext(spec=loadstore_family("movaps"))))
+        assert counter2.seen < total
+        assert counter2.seen <= 2  # the tail saw at most a couple of variants
+
+    def test_generator_stream_is_lazy_too(self):
+        creator = MicroCreator()
+        stream = creator.stream(loadstore_family("movaps"))
+        first = next(stream)
+        assert first.variant_id == 0
+        assert first.program is not None
+
+
+class TestEquivalence:
+    def test_run_equals_stream(self):
+        ctx = CreatorContext(spec=loadstore_family("movaps"))
+        eager = default_pass_pipeline().run(ctx)
+        lazy = list(default_pass_pipeline().stream(ctx))
+        assert len(eager) == len(lazy)
+        assert [v.metadata for v in eager] == [v.metadata for v in lazy]
+
+    def test_generate_equals_stream(self):
+        spec = loadstore_family("movaps")
+        eager = MicroCreator().generate(spec)
+        lazy = list(MicroCreator().stream(spec))
+        assert [k.name for k in eager] == [k.name for k in lazy]
+        assert [k.asm_text() for k in eager] == [k.asm_text() for k in lazy]
+
+    def test_equivalence_under_benchmark_limit(self):
+        """The limit forces per-stage materialization; results must still
+        match the eager pipeline exactly."""
+        spec = loadstore_family("movaps")
+        options = CreatorOptions(max_benchmarks=40)
+        eager = MicroCreator(options).generate(spec)
+        lazy = list(MicroCreator(options).stream(spec))
+        assert len(eager) == len(lazy) <= 40
+        assert [k.asm_text() for k in eager] == [k.asm_text() for k in lazy]
+
+    def test_equivalence_with_random_selection(self):
+        """random_selection is a whole-list pass: stream() must produce
+        the same sample as run() (same RNG, same input order)."""
+        spec = loadstore_family("movaps")
+        options = CreatorOptions(random_selection=5, seed=42)
+        eager = MicroCreator(options).generate(spec)
+        lazy = list(MicroCreator(options).stream(spec))
+        assert [k.asm_text() for k in eager] == [k.asm_text() for k in lazy]
+
+    def test_dedup_spans_stream(self):
+        """Code generation dedups across the whole stream, not per variant."""
+        creator = MicroCreator()
+        texts = [k.asm_text() for k in creator.stream(load_kernel("movaps"))]
+        assert len(texts) == len(set(texts))

@@ -1,0 +1,82 @@
+"""Result-cache tests: JSONL persistence, accounting, damage tolerance."""
+
+import json
+
+from repro.engine import ResultCache
+
+
+def rows(n=1):
+    return [{"cycles": float(i)} for i in range(n)]
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("abc123", rows(3), kernel="k", mode="sequential")
+        assert cache.get("abc123") == rows(3)
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("nope") is None
+
+    def test_persists_across_instances(self, tmp_path):
+        ResultCache(tmp_path).put("j1", rows(2))
+        reopened = ResultCache(tmp_path)
+        assert reopened.get("j1") == rows(2)
+        assert "j1" in reopened
+        assert len(reopened) == 1
+
+    def test_later_write_wins(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("j1", rows(1))
+        cache.put("j1", rows(4))
+        assert ResultCache(tmp_path).get("j1") == rows(4)
+
+
+class TestStats:
+    def test_hit_miss_accounting(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("j1", rows())
+        cache.get("j1")
+        cache.get("j2")
+        cache.get("j1")
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.lookups == 3
+        assert cache.stats.hit_rate == 2 / 3
+
+
+class TestDamageTolerance:
+    def test_torn_last_line_ignored(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("j1", rows())
+        path = tmp_path / "results.jsonl"
+        with path.open("a") as fh:
+            fh.write('{"job_id": "j2", "measurements": [{"trunc')  # torn write
+        reopened = ResultCache(tmp_path)
+        assert reopened.get("j1") == rows()
+        assert reopened.get("j2") is None
+
+    def test_blank_lines_skipped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("j1", rows())
+        path = tmp_path / "results.jsonl"
+        path.write_text("\n\n" + path.read_text() + "\n\n")
+        assert ResultCache(tmp_path).get("j1") == rows()
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("j1", rows())
+        cache.clear()
+        assert len(cache) == 0
+        assert ResultCache(tmp_path).get("j1") is None
+
+    def test_lines_are_valid_json_records(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("j1", rows(2), kernel="k", mode="forked")
+        record = json.loads((tmp_path / "results.jsonl").read_text())
+        assert record["job_id"] == "j1"
+        assert record["kernel"] == "k"
+        assert record["mode"] == "forked"
+        assert record["measurements"] == rows(2)

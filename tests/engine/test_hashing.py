@@ -1,0 +1,59 @@
+"""Content-hash tests: job IDs must track measured content, nothing else."""
+
+from repro.engine import (
+    job_id_for,
+    kernel_digest,
+    machine_digest,
+    options_digest,
+)
+from repro.launcher import LauncherOptions
+from repro.machine import nehalem_2s_x5650, sandy_bridge_e31240
+
+
+class TestKernelDigest:
+    def test_same_kernel_same_digest(self, movaps_u8):
+        assert kernel_digest(movaps_u8) == kernel_digest(movaps_u8)
+
+    def test_different_variants_differ(self, movaps_variants):
+        digests = {kernel_digest(k) for k in movaps_variants}
+        assert len(digests) == len(movaps_variants)
+
+    def test_path_digest_matches_text(self, movaps_u8, tmp_path):
+        """A kernel written to disk hashes the same as the in-memory one."""
+        path = movaps_u8.write(tmp_path)
+        assert kernel_digest(path) == kernel_digest(movaps_u8)
+
+
+class TestOptionsDigest:
+    def test_stable(self):
+        a = LauncherOptions(trip_count=1024)
+        b = LauncherOptions(trip_count=1024)
+        assert options_digest(a) == options_digest(b)
+
+    def test_any_field_changes_it(self):
+        base = LauncherOptions()
+        assert options_digest(base) != options_digest(base.with_(trip_count=7))
+        assert options_digest(base) != options_digest(base.with_(aggregator="mean"))
+
+
+class TestJobId:
+    def test_every_component_matters(self, movaps_u8):
+        k = kernel_digest(movaps_u8)
+        o = options_digest(LauncherOptions())
+        m1 = machine_digest(nehalem_2s_x5650())
+        m2 = machine_digest(sandy_bridge_e31240())
+        base = job_id_for(k, o, m1, "sequential")
+        assert base == job_id_for(k, o, m1, "sequential")
+        assert base != job_id_for(k, o, m2, "sequential")
+        assert base != job_id_for(k, o, m1, "forked")
+        assert base != job_id_for(o, k, m1, "sequential")
+
+    def test_id_is_short_hex(self, movaps_u8):
+        job_id = job_id_for(
+            kernel_digest(movaps_u8),
+            options_digest(LauncherOptions()),
+            machine_digest(nehalem_2s_x5650()),
+            "sequential",
+        )
+        assert len(job_id) == 16
+        int(job_id, 16)  # parses as hex

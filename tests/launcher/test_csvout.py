@@ -30,14 +30,44 @@ class TestSummary:
         assert len(rows) == 1
         assert set(rows[0]) == set(SUMMARY_COLUMNS)
         assert rows[0]["kernel"] == "k"
-        assert rows[0]["alignments"] == "0:64"
+        assert rows[0]["alignments"] == (0, 64)
         assert rows[0]["bottleneck"] == "port:load"
 
-    def test_numeric_fields_parse_back(self, tmp_path):
+    def test_numeric_fields_parse_back_exactly(self, tmp_path):
         m = sample_measurement()
         path = write_csv(tmp_path / "out.csv", [m])
         row = read_csv(path)[0]
-        assert float(row["cycles_per_iteration"]) == round(m.cycles_per_iteration, 4)
+        assert row["cycles_per_iteration"] == m.cycles_per_iteration
+        assert row["spread"] == m.spread
+
+    def test_write_read_round_trip(self, tmp_path):
+        """Every typed column survives a write -> read cycle bit-for-bit."""
+        m = sample_measurement()
+        path = write_csv(tmp_path / "out.csv", [m])
+        row = read_csv(path)[0]
+        assert row == {
+            "kernel": m.kernel_name,
+            "label": m.label,
+            "trip_count": m.trip_count,
+            "repetitions": m.repetitions,
+            "loop_iterations": m.loop_iterations,
+            "cycles_per_iteration": m.cycles_per_iteration,
+            "cycles_per_memory_instruction": m.cycles_per_memory_instruction,
+            "min_cycles_per_iteration": m.min_cycles_per_iteration,
+            "max_cycles_per_iteration": m.max_cycles_per_iteration,
+            "spread": m.spread,
+            "core": m.core,
+            "n_cores": m.n_cores,
+            "alignments": m.alignments,
+            "bottleneck": m.bottleneck,
+        }
+
+    def test_core_none_round_trips(self, tmp_path):
+        from dataclasses import replace
+
+        m = replace(sample_measurement(), core=None)
+        path = write_csv(tmp_path / "out.csv", [m])
+        assert read_csv(path)[0]["core"] is None
 
     def test_append_mode_keeps_single_header(self, tmp_path):
         path = tmp_path / "out.csv"
@@ -63,9 +93,9 @@ class TestFull:
         rows = read_csv(path)
         assert len(rows) == 3
         assert set(rows[0]) == set(FULL_COLUMNS)
-        assert [r["experiment"] for r in rows] == ["0", "1", "2"]
+        assert [r["experiment"] for r in rows] == [0, 1, 2]
 
     def test_experiment_tsc_recorded(self, tmp_path):
         path = write_csv(tmp_path / "full.csv", [sample_measurement()], full=True)
         rows = read_csv(path)
-        assert float(rows[0]["experiment_tsc"]) == 1000.0
+        assert [r["experiment_tsc"] for r in rows] == [1000.0, 1010.0, 990.0]

@@ -138,7 +138,7 @@ class TestCsvIntegration:
 
         rows = read_csv(path)
         assert len(rows) == fast_options.experiments
-        assert {r["experiment"] for r in rows} == {"0", "1", "2"}
+        assert {r["experiment"] for r in rows} == {0, 1, 2}
 
 
 class TestDefaultMachine:

@@ -156,3 +156,18 @@ class TestOpenMP:
             sb_launcher.run_openmp(
                 movaps_u8, LauncherOptions(trip_count=4096, omp_threads=64)
             )
+
+
+class TestEmptyForkResult:
+    """A ForkResult with no per-core measurements reports NaN, not a crash."""
+
+    def test_aggregates_are_nan(self):
+        import math
+
+        from repro.launcher.parallel import ForkResult
+
+        empty = ForkResult()
+        assert empty.n_cores == 0
+        assert math.isnan(empty.mean_cycles_per_iteration)
+        assert math.isnan(empty.max_cycles_per_iteration)
+        assert math.isnan(empty.spread)
