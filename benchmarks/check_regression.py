@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Gate CI on measurement-throughput regressions.
+
+Compares a fresh ``BENCH_measurement.json`` (written by
+``benchmarks/test_measurement_throughput.py``) against the committed
+baseline and fails when throughput dropped by more than the allowed
+factor.  Machine-to-machine variance is why the gate is 2x, not a few
+percent: the benchmark is single-threaded pure Python + numpy, so a
+genuine regression (losing the vectorized path, breaking the stream
+cache) shows up as 10x-50x, far outside the noise band.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --current BENCH_measurement.json \
+        --baseline benchmarks/BENCH_measurement_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+MAX_REGRESSION = 2.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", default="BENCH_measurement.json")
+    parser.add_argument(
+        "--baseline", default="benchmarks/BENCH_measurement_baseline.json"
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=MAX_REGRESSION,
+        help="fail when baseline/current throughput exceeds this (default: 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    current = json.loads(Path(args.current).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+
+    now = current["configs_per_second"]
+    then = baseline["configs_per_second"]
+    ratio = then / now if now else float("inf")
+    print(
+        f"throughput: {now:,.0f} configs/s (baseline {then:,.0f}); "
+        f"slowdown {ratio:.2f}x (limit {args.max_regression:.1f}x)"
+    )
+    if ratio > args.max_regression:
+        print(
+            f"FAIL: measurement throughput regressed {ratio:.2f}x "
+            f"vs the committed baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

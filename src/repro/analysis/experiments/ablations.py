@@ -22,14 +22,23 @@ def _ram_load_kernel(creator: MicroCreator):
     )
 
 
-def _grid(name, kernel, base, axes, *, machine, jobs=1, cache_dir=None, resume=True):
+def _grid(
+    name, kernel, base, axes, *, machine,
+    jobs=1, chunk_size=None, cache_dir=None, resume=True,
+):
     """Run one single-kernel option grid through the campaign engine."""
     campaign = Campaign(
         name=name,
         machine=machine,
         sweeps=(SweepSpec(kernels=(kernel,), base=base, axes=axes),),
     )
-    return run_campaign(campaign, jobs=jobs, cache_dir=cache_dir, resume=resume)
+    return run_campaign(
+        campaign,
+        jobs=jobs,
+        chunk_size=chunk_size,
+        cache_dir=cache_dir,
+        resume=resume,
+    )
 
 
 @register("ablation_aggregator")
@@ -37,6 +46,7 @@ def ablation_aggregator(
     *,
     quick: bool = False,
     jobs: int = 1,
+    chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
     **_: object,
@@ -63,6 +73,7 @@ def ablation_aggregator(
         {"aggregator": ("min", "median", "mean")},
         machine=machine,
         jobs=jobs,
+        chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
     )
@@ -88,6 +99,7 @@ def ablation_aggregator(
 def ablation_warmup(
     *,
     jobs: int = 1,
+    chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
     **_: object,
@@ -113,6 +125,7 @@ def ablation_warmup(
         {"warmup": (True, False)},
         machine=machine,
         jobs=jobs,
+        chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
     )
@@ -138,6 +151,7 @@ def ablation_warmup(
 def ablation_overhead(
     *,
     jobs: int = 1,
+    chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
     **_: object,
@@ -164,6 +178,7 @@ def ablation_overhead(
         {"trip_count": trips, "subtract_overhead": (True, False)},
         machine=machine,
         jobs=jobs,
+        chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
     )
@@ -199,6 +214,7 @@ def ablation_overhead(
 def ablation_inner_reps(
     *,
     jobs: int = 1,
+    chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
     **_: object,
@@ -224,6 +240,7 @@ def ablation_inner_reps(
         {"repetitions": (1, 4, 16, 64, 256)},
         machine=machine,
         jobs=jobs,
+        chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
     )

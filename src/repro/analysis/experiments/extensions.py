@@ -209,7 +209,8 @@ def ext_abstraction(**_: object) -> ExperimentResult:
     )
     original = launcher.run(hotspot, options).cycles_per_memory_instruction
     best = min(
-        launcher.run(k, options).cycles_per_memory_instruction for k in family
+        m.cycles_per_memory_instruction
+        for m in launcher.run_batch(family, options)
     )
     table = Table(header=("variant", "cycles/move"), title="around the hotspot")
     table.add("original (unroll 2)", original)

@@ -26,6 +26,7 @@ def fig14(
     *,
     quick: bool = False,
     jobs: int = 1,
+    chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
     **_: object,
@@ -51,6 +52,7 @@ def fig14(
     run = run_campaign(
         Campaign(name="fig14_forked", machine=machine, sweeps=(sweep,)),
         jobs=jobs,
+        chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
     )
@@ -151,6 +153,7 @@ def _seq_omp_rows(
     machine,
     *,
     jobs: int = 1,
+    chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
 ):
@@ -167,6 +170,7 @@ def _seq_omp_rows(
     run = run_campaign(
         Campaign(name=name, machine=machine, sweeps=sweeps),
         jobs=jobs,
+        chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
     )
@@ -182,6 +186,7 @@ def _openmp_vs_sequential(
     *,
     quick: bool,
     jobs: int = 1,
+    chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
 ):
@@ -207,6 +212,7 @@ def _openmp_vs_sequential(
         options,
         machine,
         jobs=jobs,
+        chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
     )
@@ -248,13 +254,18 @@ def fig17(
     *,
     quick: bool = False,
     jobs: int = 1,
+    chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
     **_: object,
 ) -> ExperimentResult:
     """Fig. 17: OpenMP vs sequential movss loads, 128k-element array."""
     series, notes = _openmp_vs_sequential(
-        128 * 1024, quick=quick, jobs=jobs, cache_dir=cache_dir, resume=resume
+        128 * 1024, quick=quick,
+        jobs=jobs,
+        chunk_size=chunk_size,
+        cache_dir=cache_dir,
+        resume=resume,
     )
     return ExperimentResult(
         exhibit="fig17",
@@ -274,6 +285,7 @@ def fig18(
     *,
     quick: bool = False,
     jobs: int = 1,
+    chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
     **_: object,
@@ -284,7 +296,11 @@ def fig18(
     (speedup) than this one: RAM bandwidth, not cores, is the limit here.
     """
     series, notes = _openmp_vs_sequential(
-        6_000_000, quick=quick, jobs=jobs, cache_dir=cache_dir, resume=resume
+        6_000_000, quick=quick,
+        jobs=jobs,
+        chunk_size=chunk_size,
+        cache_dir=cache_dir,
+        resume=resume,
     )
     return ExperimentResult(
         exhibit="fig18",
@@ -304,6 +320,7 @@ def table2(
     *,
     quick: bool = False,
     jobs: int = 1,
+    chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
     **_: object,
@@ -338,6 +355,7 @@ def table2(
         options,
         machine,
         jobs=jobs,
+        chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
     )

@@ -19,6 +19,7 @@ def _unroll_hierarchy(
     *,
     quick: bool,
     jobs: int = 1,
+    chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
 ) -> ExperimentResult:
@@ -54,6 +55,7 @@ def _unroll_hierarchy(
     run = run_campaign(
         Campaign(name=f"unroll_hierarchy_{opcode}", machine=machine, sweeps=sweeps),
         jobs=jobs,
+        chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
     )
@@ -103,13 +105,19 @@ def fig11(
     *,
     quick: bool = False,
     jobs: int = 1,
+    chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
     **_: object,
 ) -> ExperimentResult:
     """Fig. 11: ``movaps`` loads/stores over unroll x hierarchy."""
     result = _unroll_hierarchy(
-        "movaps", quick=quick, jobs=jobs, cache_dir=cache_dir, resume=resume
+        "movaps",
+        quick=quick,
+        jobs=jobs,
+        chunk_size=chunk_size,
+        cache_dir=cache_dir,
+        resume=resume,
     )
     result.exhibit = "fig11"
     return result
@@ -120,6 +128,7 @@ def fig12(
     *,
     quick: bool = False,
     jobs: int = 1,
+    chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
     **_: object,
@@ -132,7 +141,12 @@ def fig12(
     version wins per byte (the paper's closing observation in 5.1).
     """
     result = _unroll_hierarchy(
-        "movss", quick=quick, jobs=jobs, cache_dir=cache_dir, resume=resume
+        "movss",
+        quick=quick,
+        jobs=jobs,
+        chunk_size=chunk_size,
+        cache_dir=cache_dir,
+        resume=resume,
     )
     result.exhibit = "fig12"
     return result
@@ -143,6 +157,7 @@ def fig13(
     *,
     quick: bool = False,
     jobs: int = 1,
+    chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
     **_: object,
@@ -178,6 +193,7 @@ def fig13(
     run = run_campaign(
         Campaign(name="fig13_dvfs", machine=machine, sweeps=sweeps),
         jobs=jobs,
+        chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
     )

@@ -61,12 +61,10 @@ def arith_hiding(*, quick: bool = False, **_: object) -> ExperimentResult:
         experiments=3,
         repetitions=8,
     )
-    xs, ys = [], []
-    for k in counts:
-        kernel = creator.generate(_hiding_spec(k))[0]
-        m = launcher.run(kernel, options)
-        xs.append(float(k))
-        ys.append(m.cycles_per_iteration)
+    kernels = [creator.generate(_hiding_spec(k))[0] for k in counts]
+    measured = launcher.run_batch(kernels, options)
+    xs = [float(k) for k in counts]
+    ys = [m.cycles_per_iteration for m in measured]
     series = Series("2x movaps from RAM + k addps", tuple(xs), tuple(ys))
     knee = find_knee(xs, ys, threshold=0.05)
     flat_region = ys[0]
@@ -122,9 +120,8 @@ def stride_study(*, quick: bool = False, **_: object) -> ExperimentResult:
         repetitions=8,
     )
     by_stride: dict[int, float] = {}
-    for variant in variants:
+    for variant, m in zip(variants, launcher.run_batch(variants, options)):
         stride = int(variant.metadata["stride:r1"])  # type: ignore[arg-type]
-        m = launcher.run(variant, options)
         by_stride[stride] = m.cycles_per_memory_instruction
     xs = tuple(float(s) for s in sorted(by_stride))
     ys = tuple(by_stride[int(s)] for s in xs)
@@ -175,13 +172,11 @@ def reduction_study(*, quick: bool = False, **_: object) -> ExperimentResult:
         experiments=3,
         repetitions=8,
     )
-    xs, ys, bottlenecks = [], [], []
-    for k in ks:
-        kernel = creator.generate(dot_product_spec(k))[0]
-        m = launcher.run(kernel, options)
-        xs.append(float(k))
-        ys.append(m.cycles_per_element)
-        bottlenecks.append(m.bottleneck)
+    kernels = [creator.generate(dot_product_spec(k))[0] for k in ks]
+    measured = launcher.run_batch(kernels, options)
+    xs = [float(k) for k in ks]
+    ys = [m.cycles_per_element for m in measured]
+    bottlenecks = [m.bottleneck for m in measured]
     series = Series("dot product, unroll 8", tuple(xs), tuple(ys))
     table = Table(header=("accumulators", "cycles/element", "bottleneck"),
                   title="accumulator splitting")
@@ -230,13 +225,11 @@ def stencil_study(*, quick: bool = False, **_: object) -> ExperimentResult:
     spec_variants = {
         k.unroll: k for k in creator.generate(stencil_spec("movss"))
     }
-    xs, compiled_y, abstract_y = [], [], []
-    for u in factors:
-        compiled = launcher.run(stencil_kernel(n, u), options)
-        abstracted = launcher.run(spec_variants[u], options)
-        xs.append(float(u))
-        compiled_y.append(compiled.cycles_per_element)
-        abstract_y.append(abstracted.cycles_per_element)
+    xs = [float(u) for u in factors]
+    compiled_ms = launcher.run_batch([stencil_kernel(n, u) for u in factors], options)
+    abstract_ms = launcher.run_batch([spec_variants[u] for u in factors], options)
+    compiled_y = [m.cycles_per_element for m in compiled_ms]
+    abstract_y = [m.cycles_per_element for m in abstract_ms]
     series = [
         Series("compiled stencil", tuple(xs), tuple(compiled_y)),
         Series("microcreator stencil", tuple(xs), tuple(abstract_y)),

@@ -102,6 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --measure: worker processes (default: 1, inline)",
     )
     parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="K",
+        help="with --measure --jobs: jobs per worker batch (default: auto)",
+    )
+    parser.add_argument(
         "--cache-dir",
         metavar="DIR",
         default=None,
@@ -202,6 +209,7 @@ def _measure(args, creator: MicroCreator, spec) -> int:
     run = run_campaign(
         campaign,
         jobs=args.jobs,
+        chunk_size=args.chunk_size,
         cache_dir=args.cache_dir,
         resume=args.resume,
         progress=print,

@@ -94,6 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for campaign execution (default: 1, inline)",
     )
     parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="K",
+        help="jobs per worker batch with --jobs (default: auto-sized); "
+        "results are byte-identical for every chunking",
+    )
+    parser.add_argument(
         "--cache-dir",
         metavar="DIR",
         default=None,
@@ -161,6 +169,7 @@ def _run_engine(args, machine, options, path: Path) -> int:
     run = run_campaign(
         campaign,
         jobs=args.jobs,
+        chunk_size=args.chunk_size,
         cache_dir=args.cache_dir,
         resume=args.resume,
         progress=print,
@@ -216,6 +225,7 @@ def main(argv: list[str] | None = None) -> int:
                 args.exhibit,
                 quick=args.quick,
                 jobs=args.jobs,
+                chunk_size=args.chunk_size,
                 cache_dir=args.cache_dir,
                 resume=args.resume,
             )

@@ -243,7 +243,7 @@ class PassManager:
 def _evenly_subsample(variants: list[KernelIR], limit: int) -> list[KernelIR]:
     """Keep ``limit`` variants spread evenly across the list (deterministic)."""
     if limit >= len(variants):
-        return variants
+        return list(variants)  # always a fresh list: callers may mutate
     step = len(variants) / limit
     return [variants[int(i * step)] for i in range(limit)]
 

@@ -51,6 +51,10 @@ class Job:
     mode: str
     options: LauncherOptions
     tags: dict[str, object] = field(default_factory=dict)
+    #: Digest of the kernel's emitted text (one component of ``job_id``),
+    #: carried so workers can memoize kernel-model evaluation across jobs
+    #: that sweep options over the same kernel.
+    kernel_digest: str = ""
 
     def execution_options(self) -> LauncherOptions:
         """Options actually run: the per-job derived noise seed applied.
@@ -166,6 +170,7 @@ class Campaign:
                         mode=sweep.mode,
                         options=options,
                         tags=dict(sweep.tags, **overrides),
+                        kernel_digest=kernel_dig,
                     )
                     index += 1
 

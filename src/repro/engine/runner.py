@@ -7,6 +7,11 @@ order.  Determinism is structural, not scheduled: each job's noise seed
 derives from its content hash (see :meth:`Job.execution_options`), and
 rows are ordered by job index, so worker count and completion order
 cannot change a single output byte.
+
+Parallel jobs ship to workers in *chunks* (``chunk_size``, auto-sized by
+default): one pickle round-trip and one launcher per chunk instead of
+per job, with a per-worker memo so option sweeps over one kernel
+normalize and model it once.
 """
 
 from __future__ import annotations
@@ -23,26 +28,81 @@ from repro.engine.serialize import measurement_from_dict, measurement_to_dict
 from repro.launcher.measurement import Measurement
 from repro.machine.config import MachineConfig
 
+#: Per-process memo of normalized kernels keyed by ``(kernel digest,
+#: trip_count)``: parsing/analyzing a kernel (the kernel-model half of a
+#: measurement) is pure in its text and lowering size, so a chunk that
+#: sweeps options over one kernel evaluates the model once.
+_SIM_MEMO: dict[tuple[str, int], object] = {}
+_SIM_MEMO_MAX = 512
 
-def _execute_job(machine: MachineConfig, job: Job) -> tuple[str, list[dict]]:
-    """Run one job against a fresh launcher (worker-side entry point)."""
-    from repro.launcher.launcher import MicroLauncher
+#: Chunk-size ceiling: keeps result recording (and cache writes) granular
+#: enough to survive interruption without losing much work.
+_MAX_AUTO_CHUNK = 32
 
-    launcher = MicroLauncher(machine)
+
+def _sim_kernel_for(job: Job) -> object:
+    """Normalize the job's kernel, memoized per worker process."""
+    from repro.engine.hashing import kernel_digest
+    from repro.launcher.kernel_input import as_sim_kernel
+
+    digest = job.kernel_digest or kernel_digest(job.kernel)
+    key = (digest, job.options.trip_count)
+    sim = _SIM_MEMO.get(key)
+    if sim is None:
+        sim = as_sim_kernel(job.kernel, trip_count=job.options.trip_count)
+        if len(_SIM_MEMO) >= _SIM_MEMO_MAX:
+            _SIM_MEMO.clear()
+        _SIM_MEMO[key] = sim
+    return sim
+
+
+def _run_job(launcher, job: Job) -> list[dict]:
+    """Execute one job on an existing launcher."""
     options = job.execution_options()
     if options.csv_path:  # the engine owns output; workers never write CSVs
         options = options.with_(csv_path=None)
+    kernel = _sim_kernel_for(job)
     if job.mode == "sequential":
-        measurements = [launcher.run(job.kernel, options)]
+        measurements = [launcher.run(kernel, options)]
     elif job.mode == "forked":
-        measurements = list(launcher.run_forked(job.kernel, options).per_core)
+        measurements = list(launcher.run_forked(kernel, options).per_core)
     elif job.mode == "openmp":
-        measurements = [launcher.run_openmp(job.kernel, options).measurement]
+        measurements = [launcher.run_openmp(kernel, options).measurement]
     elif job.mode == "alignment_sweep":
-        measurements = list(launcher.run_alignment_sweep(job.kernel, options))
+        measurements = list(launcher.run_alignment_sweep(kernel, options))
     else:  # pragma: no cover - SweepSpec validates modes at build time
         raise ValueError(f"unknown job mode {job.mode!r}")
-    return job.job_id, [measurement_to_dict(m) for m in measurements]
+    return [measurement_to_dict(m) for m in measurements]
+
+
+def _execute_chunk(
+    machine: MachineConfig, jobs: list[Job]
+) -> list[tuple[str, list[dict]]]:
+    """Run a batch of jobs on one launcher (worker-side entry point)."""
+    from repro.launcher.launcher import MicroLauncher
+
+    launcher = MicroLauncher(machine)
+    return [(job.job_id, _run_job(launcher, job)) for job in jobs]
+
+
+def _execute_job(machine: MachineConfig, job: Job) -> tuple[str, list[dict]]:
+    """Run one job against a fresh launcher (a chunk of one)."""
+    return _execute_chunk(machine, [job])[0]
+
+
+def resolve_chunk_size(chunk_size: int | None, n_jobs: int, workers: int) -> int:
+    """Jobs per worker batch; ``None`` auto-sizes for load balance.
+
+    The auto rule targets a few chunks per worker (so a slow chunk does
+    not straggle the pool) while capping the batch so cache writes stay
+    granular.
+    """
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        return chunk_size
+    per_worker_share = -(-n_jobs // (max(1, workers) * 4))
+    return max(1, min(_MAX_AUTO_CHUNK, per_worker_share))
 
 
 @dataclass(slots=True)
@@ -53,6 +113,7 @@ class RunStats:
     executed: int = 0
     cache_hits: int = 0
     workers: int = 1
+    chunk_size: int = 1
     fell_back_inline: bool = False
 
     @property
@@ -115,6 +176,7 @@ def run_campaign(
     campaign: Campaign,
     *,
     jobs: int = 1,
+    chunk_size: int | None = None,
     cache_dir: str | Path | None = None,
     cache: ResultCache | None = None,
     resume: bool = True,
@@ -128,6 +190,11 @@ def run_campaign(
         Worker processes; ``1`` runs every job inline in this process.
         If the pool cannot start (restricted environments), the run
         falls back inline — results are identical either way.
+    chunk_size:
+        Jobs shipped to a worker per submission (amortizes pickling and
+        launcher setup); ``None`` auto-sizes from the pending-job count
+        and worker count.  Output rows are byte-identical for every
+        chunking.
     cache_dir / cache:
         Reuse measurements across runs: jobs whose ID is already stored
         are not executed.  ``cache`` takes precedence over ``cache_dir``.
@@ -169,18 +236,27 @@ def run_campaign(
             cache.put(job.job_id, dicts, kernel=job.kernel_name, mode=job.mode)
 
     if pending and stats.workers > 1:
+        stats.chunk_size = resolve_chunk_size(chunk_size, len(pending), stats.workers)
+        chunks = [
+            pending[i : i + stats.chunk_size]
+            for i in range(0, len(pending), stats.chunk_size)
+        ]
+        say(
+            f"{campaign.name}: dispatching {len(chunks)} chunks of "
+            f"<= {stats.chunk_size} jobs to {stats.workers} workers"
+        )
         try:
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=stats.workers
             ) as pool:
                 by_id = {job.job_id: job for job in pending}
                 futures = [
-                    pool.submit(_execute_job, campaign.machine, job)
-                    for job in pending
+                    pool.submit(_execute_chunk, campaign.machine, chunk)
+                    for chunk in chunks
                 ]
                 for future in concurrent.futures.as_completed(futures):
-                    job_id, dicts = future.result()
-                    record(by_id[job_id], dicts)
+                    for job_id, dicts in future.result():
+                        record(by_id[job_id], dicts)
             pending = []
         except (OSError, PermissionError, concurrent.futures.process.BrokenProcessPool):
             # Pool unavailable (sandboxed /dev/shm, fork limits): results
@@ -188,8 +264,15 @@ def run_campaign(
             stats.fell_back_inline = True
             say(f"{campaign.name}: worker pool unavailable, running inline")
             pending = [job for job in pending if job.job_id not in raw]
-    for job in pending:
-        record(job, _execute_job(campaign.machine, job)[1])
+    if pending:
+        # Inline path: one launcher (and the per-process kernel memo)
+        # shared across every job, recording as each job completes so an
+        # interrupted run resumes from the cache.
+        from repro.launcher.launcher import MicroLauncher
+
+        launcher = MicroLauncher(campaign.machine)
+        for job in pending:
+            record(job, _run_job(launcher, job))
 
     results = {
         job_id: [measurement_from_dict(d) for d in dicts]

@@ -25,7 +25,12 @@ Entry point::
 from repro.launcher.options import LauncherOptions
 from repro.launcher.arrays import AlignmentSweep, ArrayAllocator
 from repro.launcher.kernel_input import KernelInputError, SimKernel, as_sim_kernel
-from repro.launcher.measurement import Measurement, MeasurementSeries
+from repro.launcher.measurement import (
+    Measurement,
+    MeasurementRequest,
+    MeasurementSeries,
+    run_measurement_batch,
+)
 from repro.launcher.launcher import MicroLauncher
 from repro.launcher.parallel import ForkResult, OpenMPResult
 from repro.launcher.mpi import LinkModel, MPIResult, run_mpi
@@ -40,7 +45,9 @@ __all__ = [
     "SimKernel",
     "as_sim_kernel",
     "Measurement",
+    "MeasurementRequest",
     "MeasurementSeries",
+    "run_measurement_batch",
     "MicroLauncher",
     "ForkResult",
     "OpenMPResult",

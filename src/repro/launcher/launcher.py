@@ -7,7 +7,12 @@ from pathlib import Path
 from repro.launcher.arrays import AlignmentSweep, ArrayAllocator
 from repro.launcher.csvout import write_csv
 from repro.launcher.kernel_input import SimKernel, as_sim_kernel
-from repro.launcher.measurement import Measurement, MeasurementSeries, run_measurement
+from repro.launcher.measurement import (
+    Measurement,
+    MeasurementRequest,
+    MeasurementSeries,
+    run_measurement_batch,
+)
 from repro.launcher.options import LauncherOptions
 from repro.machine.config import MachineConfig, nehalem_2s_x5650
 from repro.machine.kernel_model import ArrayBinding
@@ -94,6 +99,48 @@ class MicroLauncher:
             noise_salt=noise_salt,
         )
 
+    def run_batch(
+        self,
+        kernels: object,
+        options: LauncherOptions | None = None,
+        *,
+        active_cores_on_socket: int = 1,
+        noise_salt: int = 0,
+    ) -> MeasurementSeries:
+        """Measure many kernel configurations in one vectorized sweep.
+
+        The batched equivalent of ``[self.run(k, options) for k in
+        kernels]`` — every kernel is normalized and modelled
+        individually, then the whole family replays the Fig.-10 loops in
+        a single :func:`~repro.launcher.measurement.run_measurement_batch`
+        call sharing one noise context.  Results are bit-identical to the
+        sequential loop; wall-clock is dominated by the model evaluation
+        instead of per-measurement noise-stream setup.
+        """
+        options = options or LauncherOptions()
+        requests = []
+        for kernel in kernels:
+            sim = as_sim_kernel(kernel, trip_count=options.trip_count)
+            bindings = ArrayAllocator(sim, options).bindings()
+            requests.append(
+                self._request(
+                    sim,
+                    options,
+                    bindings,
+                    active_cores_on_socket=active_cores_on_socket,
+                    core=options.core if options.pin else None,
+                )
+            )
+        measurements = run_measurement_batch(
+            requests,
+            options=options,
+            freq_ghz=options.frequency_ghz or self.config.freq_ghz,
+            tsc_ghz=self.config.freq_ghz,
+            noise=self._noise_for(options, noise_salt),
+        )
+        self._maybe_csv(options, measurements)
+        return MeasurementSeries(measurements)
+
     def run_alignment_sweep(
         self,
         kernel: object,
@@ -139,7 +186,7 @@ class MicroLauncher:
             return self._noise_override
         return NoiseModel(seed=options.noise_seed + salt)
 
-    def _measure(
+    def _request(
         self,
         sim: SimKernel,
         options: LauncherOptions,
@@ -149,9 +196,13 @@ class MicroLauncher:
         core: int | None,
         alignments: tuple[int, ...] = (),
         n_cores: int = 1,
-        noise_salt: int = 0,
         extra_metadata: dict[str, object] | None = None,
-    ) -> Measurement:
+    ) -> MeasurementRequest:
+        """Evaluate the machine model for one configuration.
+
+        Everything up to (but excluding) the noisy Fig.-10 replay: the
+        noise-free half of a measurement, batchable across a sweep.
+        """
         freq = options.frequency_ghz or self.config.freq_ghz
         if options.residence_mode != "footprint":
             from repro.launcher.residence import derive_residences
@@ -175,22 +226,49 @@ class MicroLauncher:
             metadata["counters"] = eval_library(options.eval_library).counters(
                 sim.analysis, bindings, self.config, loop_iters
             )
-        measurement = run_measurement(
+        return MeasurementRequest(
             ideal_call_ns=iter_ns * loop_iters,
             kernel_name=sim.name,
-            options=options,
             loop_iterations=loop_iters,
             elements_per_iteration=sim.elements_per_iteration,
             n_memory_instructions=sim.analysis.n_loads + sim.analysis.n_stores,
-            freq_ghz=freq,
-            tsc_ghz=self.config.freq_ghz,
-            noise=self._noise_for(options, noise_salt),
             alignments=alignments,
             core=core,
             n_cores=n_cores,
             bottleneck=timing.bottleneck,
             metadata=metadata,
         )
+
+    def _measure(
+        self,
+        sim: SimKernel,
+        options: LauncherOptions,
+        bindings: dict[str, ArrayBinding],
+        *,
+        active_cores_on_socket: int,
+        core: int | None,
+        alignments: tuple[int, ...] = (),
+        n_cores: int = 1,
+        noise_salt: int = 0,
+        extra_metadata: dict[str, object] | None = None,
+    ) -> Measurement:
+        request = self._request(
+            sim,
+            options,
+            bindings,
+            active_cores_on_socket=active_cores_on_socket,
+            core=core,
+            alignments=alignments,
+            n_cores=n_cores,
+            extra_metadata=extra_metadata,
+        )
+        measurement = run_measurement_batch(
+            [request],
+            options=options,
+            freq_ghz=options.frequency_ghz or self.config.freq_ghz,
+            tsc_ghz=self.config.freq_ghz,
+            noise=self._noise_for(options, noise_salt),
+        )[0]
         if n_cores == 1 and not alignments:
             self._maybe_csv(options, [measurement])
         return measurement

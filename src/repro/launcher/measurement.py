@@ -23,12 +23,19 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
+import numpy as np
+
 from repro.launcher.options import LauncherOptions
 from repro.machine.noise import NoiseEnvironment, NoiseModel
 
 #: Simulated cost of one kernel-function invocation (call, prologue,
 #: argument setup) — what the overhead-subtraction step removes.
 CALL_OVERHEAD_NS = 100.0
+
+#: Aggregators a measurement accepts (mirrors ``LauncherOptions``; the
+#: cache deserializes measurements without going through options, so the
+#: record validates its own copy).
+AGGREGATORS = ("min", "median", "mean")
 
 
 @dataclass(frozen=True, slots=True)
@@ -58,12 +65,20 @@ class Measurement:
     bottleneck: str = ""
     metadata: dict[str, object] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        if self.aggregator not in AGGREGATORS:
+            raise ValueError(
+                f"unknown aggregator {self.aggregator!r}; have {AGGREGATORS}"
+            )
+
     def _aggregate(self, values: Sequence[float]) -> float:
         if self.aggregator == "min":
             return min(values)
         if self.aggregator == "median":
             return statistics.median(values)
-        return statistics.fmean(values)
+        if self.aggregator == "mean":
+            return statistics.fmean(values)
+        raise ValueError(f"unknown aggregator {self.aggregator!r}")
 
     @property
     def tsc_per_call(self) -> float:
@@ -137,26 +152,165 @@ class MeasurementSeries:
     def __getitem__(self, index: int) -> Measurement:
         return self.measurements[index]
 
+    def cycles_per_iteration_array(self) -> np.ndarray:
+        """Every measurement's cycles-per-iteration, computed in one pass.
+
+        When the series is uniform (same experiment count and aggregator
+        throughout — the normal sweep shape) the aggregation runs as one
+        vectorized reduction over the experiment matrix instead of one
+        property chain per measurement; ragged or mean-aggregated series
+        fall back to the per-measurement properties.  Values are
+        identical either way.
+        """
+        ms = self.measurements
+        if not ms:
+            return np.empty(0)
+        n_exp = len(ms[0].experiment_tsc)
+        aggregator = ms[0].aggregator
+        uniform = all(
+            len(m.experiment_tsc) == n_exp and m.aggregator == aggregator
+            for m in ms
+        )
+        # fmean sums with compensated precision; numpy's pairwise mean can
+        # differ in the last ulp, so "mean" keeps the scalar path.
+        if not uniform or aggregator == "mean":
+            return np.array([m.cycles_per_iteration for m in ms])
+        tsc = np.array([m.experiment_tsc for m in ms])
+        aggregated = (
+            tsc.min(axis=1) if aggregator == "min" else np.median(tsc, axis=1)
+        )
+        repetitions = np.array([m.repetitions for m in ms], dtype=np.float64)
+        iterations = np.array([m.loop_iterations for m in ms], dtype=np.float64)
+        return aggregated / repetitions / iterations
+
     def best(self) -> Measurement:
         """The fastest configuration by cycles per iteration."""
         if not self.measurements:
             raise ValueError("empty series")
-        return min(self.measurements, key=lambda m: m.cycles_per_iteration)
+        return self.measurements[int(np.argmin(self.cycles_per_iteration_array()))]
 
     def worst(self) -> Measurement:
         if not self.measurements:
             raise ValueError("empty series")
-        return max(self.measurements, key=lambda m: m.cycles_per_iteration)
+        return self.measurements[int(np.argmax(self.cycles_per_iteration_array()))]
 
     def group_min(self, key: str) -> dict[object, Measurement]:
         """Per-group minima, the aggregation behind Figs. 11/12 ("For each
         unroll group, the minimum value was taken")."""
+        values = self.cycles_per_iteration_array()
         groups: dict[object, Measurement] = {}
-        for m in self.measurements:
+        group_values: dict[object, float] = {}
+        for m, value in zip(self.measurements, values):
             k = m.metadata.get(key)
-            if k not in groups or m.cycles_per_iteration < groups[k].cycles_per_iteration:
+            if k not in groups or value < group_values[k]:
                 groups[k] = m
+                group_values[k] = value
         return groups
+
+
+@dataclass(frozen=True, slots=True)
+class MeasurementRequest:
+    """One configuration of a batched measurement sweep.
+
+    Everything :func:`run_measurement` takes per configuration; the
+    shared knobs (options, frequencies, noise model) live on the batch
+    call so a whole kernel family can be timed in one vectorized pass.
+    """
+
+    ideal_call_ns: float
+    kernel_name: str
+    loop_iterations: int
+    elements_per_iteration: int
+    n_memory_instructions: int
+    alignments: tuple[int, ...] = ()
+    core: int | None = None
+    n_cores: int = 1
+    bottleneck: str = ""
+    metadata: dict[str, object] | None = None
+    per_experiment_ideal_ns: Sequence[float] | None = None
+
+
+def run_measurement_batch(
+    requests: Sequence[MeasurementRequest],
+    *,
+    options: LauncherOptions,
+    freq_ghz: float,
+    tsc_ghz: float,
+    noise: NoiseModel,
+) -> list[Measurement]:
+    """Replay the Fig.-10 algorithm for many configurations at once.
+
+    All configurations share one options/noise context — the shape of a
+    variant-family sweep, where only the kernel changes.  The whole
+    ``n_configs x n_experiments`` grid perturbs in a single
+    :meth:`~repro.machine.noise.NoiseModel.perturb_batch` call, and every
+    returned record is bit-identical to what the per-configuration
+    :func:`run_measurement` would produce.
+    """
+    requests = list(requests)
+    if not requests:
+        return []
+    env = NoiseEnvironment(
+        pinned=options.pin,
+        interrupts_disabled=options.disable_interrupts,
+        warmed_up=options.warmup,
+        inner_repetitions=options.repetitions,
+    )
+    n_experiments = options.experiments
+
+    # Step 1 - overhead measurement (an empty-call timing, itself noisy).
+    # The overhead stream (-1) and raw duration are configuration-
+    # independent, so one estimate serves the whole batch.
+    overhead_estimate_ns = 0.0
+    if options.subtract_overhead:
+        raw = options.repetitions * CALL_OVERHEAD_NS
+        overhead_estimate_ns = float(
+            noise.perturb_batch(np.array([raw]), env, (-1,))[0]
+        )
+
+    # Steps 2-3 - warm-up happens implicitly: when options.warmup is set
+    # the noise model never applies the cold-start factor; when it is not,
+    # each configuration's first experiment pays it.
+    ideals = np.empty((len(requests), n_experiments))
+    for k, request in enumerate(requests):
+        if request.per_experiment_ideal_ns is not None:
+            per_experiment = list(request.per_experiment_ideal_ns)
+            if len(per_experiment) < n_experiments:
+                raise ValueError(
+                    f"per_experiment_ideal_ns has {len(per_experiment)} "
+                    f"entries; need {n_experiments}"
+                )
+            ideals[k] = per_experiment[:n_experiments]
+        else:
+            ideals[k] = request.ideal_call_ns
+    durations = options.repetitions * (ideals + CALL_OVERHEAD_NS)
+    first_run_mask = np.arange(n_experiments) == 0
+    perturbed = noise.perturb_batch(
+        durations, env, range(n_experiments), first_run_mask=first_run_mask
+    )
+    tsc = np.maximum(perturbed - overhead_estimate_ns, 0.0) * tsc_ghz
+
+    return [
+        Measurement(
+            kernel_name=request.kernel_name,
+            label=options.label,
+            trip_count=options.trip_count,
+            repetitions=options.repetitions,
+            loop_iterations=request.loop_iterations,
+            elements_per_iteration=request.elements_per_iteration,
+            n_memory_instructions=request.n_memory_instructions,
+            experiment_tsc=tuple(float(t) for t in tsc[k]),
+            freq_ghz=freq_ghz,
+            tsc_ghz=tsc_ghz,
+            aggregator=options.aggregator,
+            alignments=request.alignments,
+            core=request.core,
+            n_cores=request.n_cores,
+            bottleneck=request.bottleneck,
+            metadata=dict(request.metadata or {}),
+        )
+        for k, request in enumerate(requests)
+    ]
 
 
 def run_measurement(
@@ -182,51 +336,27 @@ def run_measurement(
     ``ideal_call_ns`` is the machine model's duration for one kernel call
     (loop iterations x per-iteration time); ``per_experiment_ideal_ns``
     optionally varies it per outer-loop experiment (unsynchronized
-    parallel runs do).
+    parallel runs do).  A batch of one on the vectorized fast path — see
+    :func:`run_measurement_batch`.
     """
-    env = NoiseEnvironment(
-        pinned=options.pin,
-        interrupts_disabled=options.disable_interrupts,
-        warmed_up=options.warmup,
-        inner_repetitions=options.repetitions,
-    )
-
-    # Step 1 - overhead measurement (an empty-call timing, itself noisy).
-    overhead_estimate_ns = 0.0
-    if options.subtract_overhead:
-        raw = options.repetitions * CALL_OVERHEAD_NS
-        overhead_estimate_ns = noise.perturb(raw, env, experiment=-1)
-
-    # Steps 2-3 - warm-up happens implicitly: when options.warmup is set
-    # the noise model never applies the cold-start factor; when it is not,
-    # the first experiment pays it.
-    experiment_tsc: list[float] = []
-    for e in range(options.experiments):
-        ideal = (
-            per_experiment_ideal_ns[e]
-            if per_experiment_ideal_ns is not None
-            else ideal_call_ns
-        )
-        duration_ns = options.repetitions * (ideal + CALL_OVERHEAD_NS)
-        duration_ns = noise.perturb(duration_ns, env, experiment=e, first_run=(e == 0))
-        duration_ns -= overhead_estimate_ns
-        experiment_tsc.append(max(duration_ns, 0.0) * tsc_ghz)
-
-    return Measurement(
-        kernel_name=kernel_name,
-        label=options.label,
-        trip_count=options.trip_count,
-        repetitions=options.repetitions,
-        loop_iterations=loop_iterations,
-        elements_per_iteration=elements_per_iteration,
-        n_memory_instructions=n_memory_instructions,
-        experiment_tsc=tuple(experiment_tsc),
+    return run_measurement_batch(
+        [
+            MeasurementRequest(
+                ideal_call_ns=ideal_call_ns,
+                kernel_name=kernel_name,
+                loop_iterations=loop_iterations,
+                elements_per_iteration=elements_per_iteration,
+                n_memory_instructions=n_memory_instructions,
+                alignments=alignments,
+                core=core,
+                n_cores=n_cores,
+                bottleneck=bottleneck,
+                metadata=metadata,
+                per_experiment_ideal_ns=per_experiment_ideal_ns,
+            )
+        ],
+        options=options,
         freq_ghz=freq_ghz,
         tsc_ghz=tsc_ghz,
-        aggregator=options.aggregator,
-        alignments=alignments,
-        core=core,
-        n_cores=n_cores,
-        bottleneck=bottleneck,
-        metadata=dict(metadata or {}),
-    )
+        noise=noise,
+    )[0]

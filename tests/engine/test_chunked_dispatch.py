@@ -1,0 +1,126 @@
+"""Chunked dispatch: batching jobs per worker cannot change a byte.
+
+Determinism is structural (content-hash noise seeds, job-index row
+order), so any chunking — size 1, auto, or the whole campaign in one
+chunk — must write identical result files.  The per-worker kernel memo
+must likewise be invisible: an option sweep over one kernel normalizes
+it once but measures exactly the same values.
+"""
+
+import pytest
+
+from repro.engine import Campaign, SweepSpec, run_campaign
+from repro.engine.runner import (
+    _MAX_AUTO_CHUNK,
+    _execute_chunk,
+    _execute_job,
+    resolve_chunk_size,
+)
+from repro.launcher import LauncherOptions
+
+
+@pytest.fixture(scope="module")
+def sweep_campaign():
+    """8 kernels x 3 trip counts: enough jobs to span several chunks."""
+    from repro.creator import MicroCreator
+    from repro.machine import nehalem_2s_x5650
+    from repro.spec import load_kernel
+
+    variants = MicroCreator().generate(load_kernel("movaps"))
+    sweep = SweepSpec(
+        kernels=tuple(variants),
+        base=LauncherOptions(array_bytes=16 * 1024, experiments=2, repetitions=2),
+        axes={"trip_count": (256, 512, 1024)},
+    )
+    return Campaign(name="chunked", machine=nehalem_2s_x5650(), sweeps=(sweep,))
+
+
+class TestResolveChunkSize:
+    def test_explicit_size_wins(self):
+        assert resolve_chunk_size(5, n_jobs=1000, workers=4) == 5
+
+    def test_explicit_size_validated(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            resolve_chunk_size(0, n_jobs=10, workers=2)
+
+    def test_auto_targets_a_few_chunks_per_worker(self):
+        assert resolve_chunk_size(None, n_jobs=64, workers=4) == 4
+
+    def test_auto_never_below_one(self):
+        assert resolve_chunk_size(None, n_jobs=1, workers=8) == 1
+
+    def test_auto_capped(self):
+        assert resolve_chunk_size(None, n_jobs=100_000, workers=2) == _MAX_AUTO_CHUNK
+
+
+class TestChunkExecution:
+    def test_chunk_equals_per_job_execution(self, sweep_campaign):
+        jobs = sweep_campaign.job_list()[:6]
+        chunked = _execute_chunk(sweep_campaign.machine, jobs)
+        single = [_execute_job(sweep_campaign.machine, job) for job in jobs]
+        assert chunked == single
+
+    def test_chunk_preserves_job_order(self, sweep_campaign):
+        jobs = sweep_campaign.job_list()[:6]
+        result = _execute_chunk(sweep_campaign.machine, jobs)
+        assert [job_id for job_id, _ in result] == [j.job_id for j in jobs]
+
+
+class TestChunkedCampaignDeterminism:
+    @pytest.mark.parametrize("chunk_size", (1, 3, None, 10_000))
+    def test_every_chunking_byte_identical(
+        self, sweep_campaign, tmp_path, chunk_size
+    ):
+        serial = run_campaign(sweep_campaign, jobs=1)
+        chunked = run_campaign(sweep_campaign, jobs=4, chunk_size=chunk_size)
+        a = serial.write_csv(tmp_path / "serial.csv")
+        b = chunked.write_csv(tmp_path / f"chunk_{chunk_size}.csv")
+        assert a.read_bytes() == b.read_bytes()
+        aj = serial.write_jsonl(tmp_path / "serial.jsonl")
+        bj = chunked.write_jsonl(tmp_path / f"chunk_{chunk_size}.jsonl")
+        assert aj.read_bytes() == bj.read_bytes()
+
+    def test_stats_record_chunk_size(self, sweep_campaign):
+        run = run_campaign(sweep_campaign, jobs=2, chunk_size=3)
+        assert run.stats.chunk_size == 3
+        auto = run_campaign(sweep_campaign, jobs=2)
+        assert auto.stats.chunk_size >= 1
+
+    def test_invalid_chunk_size_rejected(self, sweep_campaign):
+        with pytest.raises(ValueError, match=">= 1"):
+            run_campaign(sweep_campaign, jobs=2, chunk_size=0)
+
+    def test_chunked_run_fills_cache_like_serial(self, sweep_campaign, tmp_path):
+        chunked = run_campaign(
+            sweep_campaign, jobs=4, chunk_size=2, cache_dir=tmp_path / "c"
+        )
+        warm = run_campaign(sweep_campaign, jobs=1, cache_dir=tmp_path / "c")
+        assert warm.stats.executed == 0
+        assert warm.measurements() == chunked.measurements()
+
+
+class TestKernelMemo:
+    def test_memo_shared_across_option_sweep(self, sweep_campaign):
+        """A chunk sweeping options over one kernel normalizes it once."""
+        from repro.engine import runner
+
+        all_jobs = sweep_campaign.job_list()
+        jobs = [j for j in all_jobs if j.kernel_name == all_jobs[0].kernel_name]
+        assert len(jobs) == 3  # one kernel, three trip counts
+        digests = {(j.kernel_digest, j.options.trip_count) for j in jobs}
+        runner._SIM_MEMO.clear()
+        _execute_chunk(sweep_campaign.machine, jobs)
+        assert set(runner._SIM_MEMO) == digests
+
+    def test_memo_bounded(self, sweep_campaign):
+        from repro.engine import runner
+
+        job = sweep_campaign.job_list()[0]
+        runner._SIM_MEMO.clear()
+        try:
+            for i in range(runner._SIM_MEMO_MAX):
+                runner._SIM_MEMO[(f"fake{i}", 0)] = object()
+            _execute_chunk(sweep_campaign.machine, [job])
+            assert len(runner._SIM_MEMO) <= runner._SIM_MEMO_MAX
+        finally:
+            runner._SIM_MEMO.clear()
