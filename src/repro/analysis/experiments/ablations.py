@@ -25,6 +25,7 @@ def _ram_load_kernel(creator: MicroCreator):
 def _grid(
     name, kernel, base, axes, *, machine,
     jobs=1, chunk_size=None, cache_dir=None, resume=True,
+    max_retries=2, job_timeout=None,
 ):
     """Run one single-kernel option grid through the campaign engine."""
     campaign = Campaign(
@@ -38,6 +39,8 @@ def _grid(
         chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
+        max_retries=max_retries,
+        job_timeout=job_timeout,
     )
 
 
@@ -49,6 +52,8 @@ def ablation_aggregator(
     chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
+    max_retries: int = 2,
+    job_timeout: float | None = None,
     **_: object,
 ) -> ExperimentResult:
     """Min vs. mean vs. median aggregation under noise.
@@ -76,6 +81,8 @@ def ablation_aggregator(
         chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
+        max_retries=max_retries,
+        job_timeout=job_timeout,
     )
     table = Table(header=("aggregator", "cycles/iter", "vs min"), title="aggregators")
     results = {
@@ -102,6 +109,8 @@ def ablation_warmup(
     chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
+    max_retries: int = 2,
+    job_timeout: float | None = None,
     **_: object,
 ) -> ExperimentResult:
     """Cache heating (Fig. 10's first untimed call).
@@ -128,6 +137,8 @@ def ablation_warmup(
         chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
+        max_retries=max_retries,
+        job_timeout=job_timeout,
     )
     by_warmup = {job.tags["warmup"]: m for job, m in run.rows()}
     warm, cold = by_warmup[True], by_warmup[False]
@@ -154,6 +165,8 @@ def ablation_overhead(
     chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
+    max_retries: int = 2,
+    job_timeout: float | None = None,
     **_: object,
 ) -> ExperimentResult:
     """Call-overhead subtraction vs. trip count.
@@ -181,6 +194,8 @@ def ablation_overhead(
         chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
+        max_retries=max_retries,
+        job_timeout=job_timeout,
     )
     cycles = {
         (job.tags["trip_count"], job.tags["subtract_overhead"]): m.cycles_per_iteration
@@ -217,6 +232,8 @@ def ablation_inner_reps(
     chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
+    max_retries: int = 2,
+    job_timeout: float | None = None,
     **_: object,
 ) -> ExperimentResult:
     """Inner-loop repetitions vs. result variance.
@@ -243,6 +260,8 @@ def ablation_inner_reps(
         chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
+        max_retries=max_retries,
+        job_timeout=job_timeout,
     )
     table = Table(header=("repetitions", "spread"), title="inner repetitions")
     spreads = {}

@@ -29,6 +29,8 @@ def fig14(
     chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
+    max_retries: int = 2,
+    job_timeout: float | None = None,
     **_: object,
 ) -> ExperimentResult:
     """Fig. 14: forked multi-core RAM kernel — bandwidth saturation.
@@ -55,6 +57,8 @@ def fig14(
         chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
+        max_retries=max_retries,
+        job_timeout=job_timeout,
     )
     by_cores = {
         job.tags["n_cores"]: statistics.fmean(m.cycles_per_iteration for m in ms)
@@ -156,6 +160,8 @@ def _seq_omp_rows(
     chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
+    max_retries: int = 2,
+    job_timeout: float | None = None,
 ):
     """Run the same kernels sequentially and under OpenMP as one campaign.
 
@@ -173,6 +179,8 @@ def _seq_omp_rows(
         chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
+        max_retries=max_retries,
+        job_timeout=job_timeout,
     )
     grouped = run.grouped("exec")
     return (
@@ -189,6 +197,8 @@ def _openmp_vs_sequential(
     chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
+    max_retries: int = 2,
+    job_timeout: float | None = None,
 ):
     """Shared Figs. 17/18 implementation: movss loads, unroll 1..8."""
     machine = sandy_bridge_e31240()
@@ -215,6 +225,8 @@ def _openmp_vs_sequential(
         chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
+        max_retries=max_retries,
+        job_timeout=job_timeout,
     )
     xs, seq_y, seq_lo, seq_hi, omp_y, omp_lo, omp_hi = [], [], [], [], [], [], []
     for kernel, seq, omp in zip(kernels, seq_ms, omp_ms):
@@ -257,6 +269,8 @@ def fig17(
     chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
+    max_retries: int = 2,
+    job_timeout: float | None = None,
     **_: object,
 ) -> ExperimentResult:
     """Fig. 17: OpenMP vs sequential movss loads, 128k-element array."""
@@ -266,6 +280,8 @@ def fig17(
         chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
+        max_retries=max_retries,
+        job_timeout=job_timeout,
     )
     return ExperimentResult(
         exhibit="fig17",
@@ -288,6 +304,8 @@ def fig18(
     chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
+    max_retries: int = 2,
+    job_timeout: float | None = None,
     **_: object,
 ) -> ExperimentResult:
     """Fig. 18: the same with six million elements (RAM resident).
@@ -301,6 +319,8 @@ def fig18(
         chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
+        max_retries=max_retries,
+        job_timeout=job_timeout,
     )
     return ExperimentResult(
         exhibit="fig18",
@@ -323,6 +343,8 @@ def table2(
     chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
+    max_retries: int = 2,
+    job_timeout: float | None = None,
     **_: object,
 ) -> ExperimentResult:
     """Table 2: execution seconds, OpenMP vs sequential, unroll 1..8.
@@ -358,6 +380,8 @@ def table2(
         chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
+        max_retries=max_retries,
+        job_timeout=job_timeout,
     )
     table = Table(header=("unroll", "openmp_s", "sequential_s"), title="Table 2")
     omp_col, seq_col = [], []

@@ -22,6 +22,8 @@ def _unroll_hierarchy(
     chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
+    max_retries: int = 2,
+    job_timeout: float | None = None,
 ) -> ExperimentResult:
     """Shared implementation of Figs. 11/12.
 
@@ -58,6 +60,8 @@ def _unroll_hierarchy(
         chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
+        max_retries=max_retries,
+        job_timeout=job_timeout,
     )
     series = []
     for level in _LEVELS:
@@ -108,6 +112,8 @@ def fig11(
     chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
+    max_retries: int = 2,
+    job_timeout: float | None = None,
     **_: object,
 ) -> ExperimentResult:
     """Fig. 11: ``movaps`` loads/stores over unroll x hierarchy."""
@@ -118,6 +124,8 @@ def fig11(
         chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
+        max_retries=max_retries,
+        job_timeout=job_timeout,
     )
     result.exhibit = "fig11"
     return result
@@ -131,6 +139,8 @@ def fig12(
     chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
+    max_retries: int = 2,
+    job_timeout: float | None = None,
     **_: object,
 ) -> ExperimentResult:
     """Fig. 12: ``movss`` loads/stores over unroll x hierarchy.
@@ -147,6 +157,8 @@ def fig12(
         chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
+        max_retries=max_retries,
+        job_timeout=job_timeout,
     )
     result.exhibit = "fig12"
     return result
@@ -160,6 +172,8 @@ def fig13(
     chunk_size: int | None = None,
     cache_dir: object = None,
     resume: bool = True,
+    max_retries: int = 2,
+    job_timeout: float | None = None,
     **_: object,
 ) -> ExperimentResult:
     """Fig. 13: DVFS sweep of an 8-load ``movaps`` kernel, TSC units.
@@ -196,6 +210,8 @@ def fig13(
         chunk_size=chunk_size,
         cache_dir=cache_dir,
         resume=resume,
+        max_retries=max_retries,
+        job_timeout=job_timeout,
     )
     series = []
     for level in _LEVELS:

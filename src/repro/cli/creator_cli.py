@@ -121,6 +121,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --measure: reuse cached results (--no-resume re-measures)",
     )
     parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="with --measure: failed attempts a job may retry before it "
+        "is quarantined (default: 2); a degraded run exits 3",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --measure: wall-clock budget per job "
+        "(default: no timeout)",
+    )
+    parser.add_argument(
         "--format",
         dest="result_format",
         choices=("csv", "jsonl"),
@@ -213,6 +229,8 @@ def _measure(args, creator: MicroCreator, spec) -> int:
         cache_dir=args.cache_dir,
         resume=args.resume,
         progress=print,
+        max_retries=args.max_retries,
+        job_timeout=args.job_timeout,
     )
     results = args.results or f"results.{args.result_format}"
     if args.result_format == "jsonl":
@@ -220,7 +238,9 @@ def _measure(args, creator: MicroCreator, spec) -> int:
     else:
         out = run.write_csv(results)
     print(f"wrote {len(run.measurements())} measurements to {out}")
-    return 0
+    from repro.cli.launcher_cli import _report_failures
+
+    return _report_failures("microcreator", run)
 
 
 if __name__ == "__main__":  # pragma: no cover

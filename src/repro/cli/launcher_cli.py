@@ -10,9 +10,12 @@ Measures a kernel on a simulated machine::
     microlauncher --exhibit fig14 --jobs 4   # regenerate a paper exhibit
     microlauncher --list-exhibits
 
-``--jobs``, ``--cache-dir`` and ``--output jsonl`` route the run through
-the campaign engine: results are bit-identical to an inline run, cached
-by content hash, and resumable (``--no-resume`` forces re-measurement).
+``--jobs``, ``--cache-dir``, ``--job-timeout`` and ``--output jsonl``
+route the run through the campaign engine: results are bit-identical to
+an inline run, cached by content hash, and resumable (``--no-resume``
+forces re-measurement).  Failing jobs retry up to ``--max-retries``
+times and hung jobs are bounded by ``--job-timeout``; a job that keeps
+failing is quarantined — the run completes degraded and exits 3.
 """
 
 from __future__ import annotations
@@ -114,6 +117,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="reuse cached results (--no-resume re-measures everything)",
     )
     parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="failed attempts a job may retry before it is quarantined "
+        "(default: 2); a quarantined job drops its rows and exits 3",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per job; a chunk past its budget is "
+        "killed and its jobs retried (default: no timeout)",
+    )
+    parser.add_argument(
         "--output",
         choices=("csv", "jsonl"),
         default="csv",
@@ -173,9 +192,13 @@ def _run_engine(args, machine, options, path: Path) -> int:
         cache_dir=args.cache_dir,
         resume=args.resume,
         progress=print,
+        max_retries=args.max_retries,
+        job_timeout=args.job_timeout,
     )
     ms = run.measurements()
-    if mode == "alignment_sweep":
+    if not ms:
+        pass  # every job quarantined: the failure report below says why
+    elif mode == "alignment_sweep":
         best = min(ms, key=lambda m: m.cycles_per_iteration)
         worst = max(ms, key=lambda m: m.cycles_per_iteration)
         print(f"{len(ms)} alignment configurations")
@@ -201,7 +224,25 @@ def _run_engine(args, machine, options, path: Path) -> int:
         else:
             out = run.write_csv(args.csv, full=args.csv_full)
         print(f"wrote {out}")
-    return 0
+    return _report_failures("microlauncher", run)
+
+
+def _report_failures(prog: str, run) -> int:
+    """Print quarantined jobs to stderr; exit 3 for a degraded run."""
+    if not run.failures:
+        return 0
+    for failure in run.failures:
+        print(
+            f"{prog}: job {failure.job_id} ({failure.kernel}, {failure.mode}) "
+            f"failed after {failure.attempts} attempts: {failure.reason}",
+            file=sys.stderr,
+        )
+    print(
+        f"{prog}: {len(run.failures)} of {run.stats.total_jobs} jobs "
+        "quarantined; results are degraded",
+        file=sys.stderr,
+    )
+    return 3
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -228,6 +269,8 @@ def main(argv: list[str] | None = None) -> int:
                 chunk_size=args.chunk_size,
                 cache_dir=args.cache_dir,
                 resume=args.resume,
+                max_retries=args.max_retries,
+                job_timeout=args.job_timeout,
             )
         except KeyError as exc:
             print(f"microlauncher: {exc}", file=sys.stderr)
@@ -278,7 +321,12 @@ def main(argv: list[str] | None = None) -> int:
         csv_full=args.csv_full,
     )
 
-    if args.jobs > 1 or args.cache_dir is not None or args.output == "jsonl":
+    if (
+        args.jobs > 1
+        or args.cache_dir is not None
+        or args.output == "jsonl"
+        or args.job_timeout is not None
+    ):
         return _run_engine(args, machine, options, path)
 
     if args.alignment_sweep:

@@ -11,10 +11,16 @@ This package turns that workflow into a first-class pipeline:
 - :mod:`repro.engine.cache` -- a disk-backed JSONL result cache keyed by
   job ID, so re-running an exhibit or resuming an interrupted campaign
   only executes the missing jobs,
-- :mod:`repro.engine.runner` -- a worker-pool scheduler
+- :mod:`repro.engine.runner` -- a fault-tolerant worker-pool scheduler
   (``ProcessPoolExecutor``; ``jobs=1`` runs inline) whose per-job derived
   noise seeds make results bit-identical regardless of worker count or
-  scheduling order,
+  scheduling order; failing jobs are retried with backoff, hung chunks
+  time out, crashed workers' jobs are re-dispatched, and a persistently
+  bad job is quarantined into :class:`JobFailure` entries instead of
+  killing the run,
+- :mod:`repro.engine.faults` -- deterministic fault injection
+  (:class:`FaultPlan`): make a chosen job raise, hang, return garbage,
+  or crash its worker at a chosen attempt, reproducibly,
 - :mod:`repro.engine.serialize` -- ``Measurement`` <-> dict round-trip
   serialization behind both the cache and the JSONL output format.
 
@@ -37,6 +43,7 @@ Quickstart::
 
 from repro.engine.campaign import Campaign, Job, SweepSpec
 from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.faults import Fault, FaultPlan, InjectedFault
 from repro.engine.hashing import (
     job_id_for,
     kernel_digest,
@@ -44,10 +51,17 @@ from repro.engine.hashing import (
     options_digest,
     spec_digest,
 )
-from repro.engine.runner import CampaignRun, RunStats, run_campaign
+from repro.engine.runner import (
+    CampaignRun,
+    JobFailure,
+    JobTimeout,
+    RunStats,
+    run_campaign,
+)
 from repro.engine.serialize import (
     measurement_from_dict,
     measurement_to_dict,
+    measurements_from_payload,
     options_to_dict,
 )
 
@@ -55,7 +69,12 @@ __all__ = [
     "Campaign",
     "CampaignRun",
     "CacheStats",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
     "Job",
+    "JobFailure",
+    "JobTimeout",
     "ResultCache",
     "RunStats",
     "SweepSpec",
@@ -64,6 +83,7 @@ __all__ = [
     "machine_digest",
     "measurement_from_dict",
     "measurement_to_dict",
+    "measurements_from_payload",
     "options_digest",
     "options_to_dict",
     "run_campaign",

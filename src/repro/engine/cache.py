@@ -3,20 +3,38 @@
 Layout: ``<cache_dir>/results.jsonl``, one line per stored job::
 
     {"job_id": "6fb0...", "kernel": "...", "mode": "sequential",
-     "measurements": [{...}, ...]}
+     "measurements": [{...}, ...], "check": "9c41..."}
 
 Append-only and crash-tolerant: every completed job is flushed
 immediately, so an interrupted campaign resumes from the last finished
-job; a malformed trailing line (torn write) is skipped on load.  When a
-job ID appears twice the later line wins, which is what re-measuring
-with ``resume=False`` produces.
+job.  Damage anywhere in the file — a torn trailing write, a truncated
+middle line, garbage bytes from a crashed writer — is detected on load
+and the damaged lines are skipped; ``check`` (a digest over the whole
+record's canonical JSON) catches lines whose bytes were altered but
+still parse.  The first ``put`` after loading a damaged
+file *repairs* it: the file is atomically rewritten to exactly the
+surviving valid records.  When a job ID appears twice the later line
+wins, which is what re-measuring with ``resume=False`` produces.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
+
+
+def _record_check(record: dict) -> str:
+    """Digest over the whole record (minus ``check`` itself).
+
+    Covering every key means any parse-surviving byte alteration — a
+    flipped value, a mangled field name, an injected extra key — breaks
+    the digest and the line is treated as corrupt.
+    """
+    body = {k: v for k, v in record.items() if k != "check"}
+    canonical = json.dumps(body, sort_keys=True)
+    return hashlib.sha256(canonical.encode(errors="replace")).hexdigest()[:16]
 
 
 @dataclass(slots=True)
@@ -46,13 +64,33 @@ class ResultCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.path = self.directory / self.FILENAME
         self.stats = CacheStats()
-        self._index: dict[str, list[dict]] = {}
+        self._records: dict[str, dict] = {}
+        self._corrupt_lines = 0
         self._load()
+
+    @staticmethod
+    def _valid_record(record: object) -> bool:
+        """Structural + integrity validation of one loaded record."""
+        if not isinstance(record, dict):
+            return False
+        job_id = record.get("job_id")
+        measurements = record.get("measurements")
+        if not isinstance(job_id, str) or not isinstance(measurements, list):
+            return False
+        if not all(isinstance(m, dict) for m in measurements):
+            return False
+        check = record.get("check")
+        if check is not None and check != _record_check(record):
+            return False  # line parsed but its bytes were altered
+        return True
 
     def _load(self) -> None:
         if not self.path.exists():
             return
-        with self.path.open() as fh:
+        # errors="replace": damage can leave bytes that are not UTF-8;
+        # the mangled line then fails JSON or checksum validation below
+        # instead of killing the load.
+        with self.path.open(encoding="utf-8", errors="replace") as fh:
             for line in fh:
                 line = line.strip()
                 if not line:
@@ -60,26 +98,32 @@ class ResultCache:
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
-                    continue  # torn trailing write from an interrupted run
-                job_id = record.get("job_id")
-                measurements = record.get("measurements")
-                if isinstance(job_id, str) and isinstance(measurements, list):
-                    self._index[job_id] = measurements
+                    self._corrupt_lines += 1
+                    continue
+                if self._valid_record(record):
+                    self._records[record["job_id"]] = record
+                else:
+                    self._corrupt_lines += 1
+
+    @property
+    def corrupt_lines(self) -> int:
+        """Damaged lines detected at load time (0 after a repair)."""
+        return self._corrupt_lines
 
     def __len__(self) -> int:
-        return len(self._index)
+        return len(self._records)
 
     def __contains__(self, job_id: str) -> bool:
-        return job_id in self._index
+        return job_id in self._records
 
     def get(self, job_id: str) -> list[dict] | None:
         """Stored measurement dicts for ``job_id``, or ``None`` (counted)."""
-        found = self._index.get(job_id)
-        if found is None:
+        record = self._records.get(job_id)
+        if record is None:
             self.stats.misses += 1
-        else:
-            self.stats.hits += 1
-        return found
+            return None
+        self.stats.hits += 1
+        return record["measurements"]
 
     def put(
         self,
@@ -89,20 +133,52 @@ class ResultCache:
         kernel: str = "",
         mode: str = "",
     ) -> None:
-        """Store and immediately flush one job's measurements."""
+        """Store and immediately flush one job's measurements.
+
+        If damaged lines were detected when the file was loaded, the
+        whole file is first rewritten to the surviving valid records —
+        the cache heals itself the next time it is written to.
+        """
         record = {
             "job_id": job_id,
             "kernel": kernel,
             "mode": mode,
             "measurements": measurements,
         }
-        with self.path.open("a") as fh:
-            fh.write(json.dumps(record) + "\n")
-        self._index[job_id] = measurements
+        record["check"] = _record_check(record)
+        self._records[job_id] = record
+        if self._corrupt_lines:
+            self._rewrite()
+        else:
+            # A torn write can leave a valid final line with no newline;
+            # appending straight onto it would weld two records
+            # together, so restore the separator first.
+            torn_tail = self.path.exists() and not self._ends_with_newline()
+            with self.path.open("ab") as fh:
+                if torn_tail:
+                    fh.write(b"\n")
+                fh.write(json.dumps(record).encode() + b"\n")
         self.stats.stores += 1
+
+    def _ends_with_newline(self) -> bool:
+        if self.path.stat().st_size == 0:
+            return True
+        with self.path.open("rb") as fh:
+            fh.seek(-1, 2)
+            return fh.read(1) == b"\n"
+
+    def _rewrite(self) -> None:
+        """Compact the file to exactly the valid records (atomic replace)."""
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with tmp.open("w") as fh:
+            for record in self._records.values():
+                fh.write(json.dumps(record) + "\n")
+        tmp.replace(self.path)
+        self._corrupt_lines = 0
 
     def clear(self) -> None:
         """Drop every stored result (and the file)."""
-        self._index.clear()
+        self._records.clear()
+        self._corrupt_lines = 0
         if self.path.exists():
             self.path.unlink()

@@ -1,0 +1,132 @@
+"""Deterministic fault injection for the campaign engine.
+
+Robustness code is only trustworthy if its failure modes are testable.
+This module provides a seedable, picklable :class:`FaultPlan` that the
+scheduler threads through to workers: a chosen job can be made to
+raise, hang, return garbage, or kill its worker process at a chosen
+attempt.  The plan is pure data — re-running the same plan reproduces
+the same failures in the same places, which is what makes the
+failure-mode test suite (``tests/engine/test_fault_injection.py``)
+deterministic and lets a flaky campaign be replayed exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+#: Fault kinds a worker knows how to perform.
+FAULT_KINDS = ("raise", "hang", "garbage", "crash")
+
+#: Payload a ``garbage`` fault returns in place of measurement dicts.
+GARBAGE_PAYLOAD = ({"injected": "garbage"},)
+
+
+class InjectedFault(RuntimeError):
+    """Raised in place of executing a job with an active ``raise`` fault."""
+
+
+@dataclass(frozen=True, slots=True)
+class Fault:
+    """One job's misbehaviour: what happens, and on which attempts.
+
+    kind:
+        ``raise``   -- the job raises :class:`InjectedFault`;
+        ``hang``    -- the job stalls ``hang_seconds`` before running
+        normally (a finite stand-in for an infinite hang, so workers
+        leaked by timeout tests still exit on their own);
+        ``garbage`` -- the job returns a payload that is not a list of
+        measurement dicts;
+        ``crash``   -- the executing process dies with ``os._exit``
+        (only meaningful under ``jobs>1``; inline it kills the caller,
+        which is exactly what a crash does).
+    until_attempt:
+        Fault on attempts ``0 .. until_attempt-1`` and behave from then
+        on; ``None`` faults on every attempt.
+    """
+
+    kind: str
+    until_attempt: int | None = None
+    hang_seconds: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; have {FAULT_KINDS}")
+
+    def active(self, attempt: int) -> bool:
+        return self.until_attempt is None or attempt < self.until_attempt
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """A deterministic ``job_id -> Fault`` mapping, safe to ship to workers."""
+
+    faults: Mapping[str, Fault] = field(default_factory=dict)
+
+    @classmethod
+    def for_job(
+        cls,
+        job_id: str,
+        kind: str,
+        *,
+        until_attempt: int | None = None,
+        hang_seconds: float = 2.0,
+    ) -> "FaultPlan":
+        """A plan faulting exactly one job."""
+        return cls({job_id: Fault(kind, until_attempt, hang_seconds)})
+
+    @classmethod
+    def random(
+        cls,
+        job_ids: Iterable[str],
+        *,
+        seed: int,
+        kind: str = "raise",
+        count: int = 1,
+        until_attempt: int | None = None,
+        hang_seconds: float = 2.0,
+    ) -> "FaultPlan":
+        """Pick ``count`` victims reproducibly from ``seed``.
+
+        The candidate set is sorted first, so the draw depends only on
+        the seed and the ids — never on iteration order.
+        """
+        pool = sorted(job_ids)
+        chosen = random.Random(seed).sample(pool, min(count, len(pool)))
+        return cls(
+            {job_id: Fault(kind, until_attempt, hang_seconds) for job_id in chosen}
+        )
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def fault_for(self, job_id: str, attempt: int) -> Fault | None:
+        """The fault to perform for this job at this attempt, if any."""
+        fault = self.faults.get(job_id)
+        if fault is not None and fault.active(attempt):
+            return fault
+        return None
+
+    def perform(self, job_id: str, attempt: int) -> list[dict] | None:
+        """Carry out the job's active fault; ``None`` means run normally.
+
+        A ``garbage`` fault returns its bogus payload, ``hang`` sleeps
+        and then lets the job proceed, ``raise`` raises, and ``crash``
+        never returns.
+        """
+        fault = self.fault_for(job_id, attempt)
+        if fault is None:
+            return None
+        if fault.kind == "raise":
+            raise InjectedFault(
+                f"injected failure for job {job_id} (attempt {attempt})"
+            )
+        if fault.kind == "crash":
+            os._exit(13)
+        if fault.kind == "hang":
+            time.sleep(fault.hang_seconds)
+            return None
+        return [dict(d) for d in GARBAGE_PAYLOAD]

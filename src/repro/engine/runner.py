@@ -12,19 +12,37 @@ Parallel jobs ship to workers in *chunks* (``chunk_size``, auto-sized by
 default): one pickle round-trip and one launcher per chunk instead of
 per job, with a per-worker memo so option sweeps over one kernel
 normalize and model it once.
+
+The scheduler is fault-tolerant: a raising job is retried with
+exponential backoff up to ``max_retries`` times, a chunk that exceeds
+its deadline (``job_timeout`` seconds per job) has its pool replaced, a
+crashed worker's chunks are re-dispatched — split in half to isolate
+the poisoned job — and a job that keeps failing is *quarantined*: the
+campaign completes with N-1 rows and an explicit
+:class:`JobFailure` entry in :attr:`CampaignRun.failures` instead of
+dying.  All of it is drivable deterministically through
+:class:`~repro.engine.faults.FaultPlan`.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import json
+import threading
+import time
+from collections import defaultdict, deque
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable
 
 from repro.engine.cache import ResultCache
 from repro.engine.campaign import Campaign, Job
-from repro.engine.serialize import measurement_from_dict, measurement_to_dict
+from repro.engine.faults import FaultPlan
+from repro.engine.serialize import (
+    measurement_to_dict,
+    measurements_from_payload,
+)
 from repro.launcher.measurement import Measurement
 from repro.machine.config import MachineConfig
 
@@ -39,6 +57,17 @@ _SIM_MEMO_MAX = 512
 #: enough to survive interruption without losing much work.
 _MAX_AUTO_CHUNK = 32
 
+#: How often the dispatcher wakes to check deadlines and refill workers.
+_POLL_SECONDS = 0.05
+
+#: Scheduling grace added on top of ``job_timeout * len(chunk)`` before a
+#: chunk is declared hung (pool spin-up, pickling, worker start).
+_CHUNK_TIMEOUT_SLACK = 0.25
+
+#: Consecutive pool breakages (with no chunk ever completing) after which
+#: the pool is declared unusable and the run falls back inline.
+_MAX_POOL_BREAKS_BEFORE_INLINE = 3
+
 
 def _sim_kernel_for(job: Job) -> object:
     """Normalize the job's kernel, memoized per worker process."""
@@ -51,13 +80,22 @@ def _sim_kernel_for(job: Job) -> object:
     if sim is None:
         sim = as_sim_kernel(job.kernel, trip_count=job.options.trip_count)
         if len(_SIM_MEMO) >= _SIM_MEMO_MAX:
-            _SIM_MEMO.clear()
+            # Evict the oldest entry (dict preserves insertion order): a
+            # full wipe mid-sweep would throw away every kernel the
+            # current chunk is still using.
+            del _SIM_MEMO[next(iter(_SIM_MEMO))]
         _SIM_MEMO[key] = sim
     return sim
 
 
-def _run_job(launcher, job: Job) -> list[dict]:
+def _run_job(
+    launcher, job: Job, faults: FaultPlan | None = None, attempt: int = 0
+) -> list[dict]:
     """Execute one job on an existing launcher."""
+    if faults is not None:
+        injected = faults.perform(job.job_id, attempt)
+        if injected is not None:
+            return injected
     options = job.execution_options()
     if options.csv_path:  # the engine owns output; workers never write CSVs
         options = options.with_(csv_path=None)
@@ -76,13 +114,20 @@ def _run_job(launcher, job: Job) -> list[dict]:
 
 
 def _execute_chunk(
-    machine: MachineConfig, jobs: list[Job]
+    machine: MachineConfig,
+    jobs: list[Job],
+    faults: FaultPlan | None = None,
+    attempts: dict[str, int] | None = None,
 ) -> list[tuple[str, list[dict]]]:
     """Run a batch of jobs on one launcher (worker-side entry point)."""
     from repro.launcher.launcher import MicroLauncher
 
     launcher = MicroLauncher(machine)
-    return [(job.job_id, _run_job(launcher, job)) for job in jobs]
+    attempts = attempts or {}
+    return [
+        (job.job_id, _run_job(launcher, job, faults, attempts.get(job.job_id, 0)))
+        for job in jobs
+    ]
 
 
 def _execute_job(machine: MachineConfig, job: Job) -> tuple[str, list[dict]]:
@@ -105,6 +150,38 @@ def resolve_chunk_size(chunk_size: int | None, n_jobs: int, workers: int) -> int
     return max(1, min(_MAX_AUTO_CHUNK, per_worker_share))
 
 
+class JobTimeout(RuntimeError):
+    """A job (or the chunk carrying it) exceeded its time budget."""
+
+
+@dataclass(frozen=True, slots=True)
+class JobFailure:
+    """One quarantined job: identity, attempts made, and the final reason."""
+
+    job_id: str
+    kernel: str
+    mode: str
+    attempts: int
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "kernel": self.kernel,
+            "mode": self.mode,
+            "attempts": self.attempts,
+            "reason": self.reason,
+        }
+
+
+def _failure_reason(exc: BaseException) -> str:
+    if isinstance(exc, JobTimeout):
+        return "timeout"
+    if isinstance(exc, BrokenProcessPool):
+        return "worker-crash"
+    return f"{type(exc).__name__}: {exc}"
+
+
 @dataclass(slots=True)
 class RunStats:
     """What one campaign run did: totals, cache traffic, pool shape."""
@@ -115,6 +192,10 @@ class RunStats:
     workers: int = 1
     chunk_size: int = 1
     fell_back_inline: bool = False
+    #: Re-dispatches of a single job after a failed attempt.
+    retries: int = 0
+    #: Jobs quarantined after exhausting their retry budget.
+    failed: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -123,17 +204,28 @@ class RunStats:
 
 @dataclass(slots=True)
 class CampaignRun:
-    """Result of one campaign run: jobs plus their measurements."""
+    """Result of one campaign run: jobs plus their measurements.
+
+    A quarantined job appears in :attr:`failures` (in campaign order)
+    and contributes no rows; everything else is exactly what a
+    fault-free run produces.
+    """
 
     campaign: Campaign
     jobs: list[Job]
     results: dict[str, list[Measurement]]
     stats: RunStats = field(default_factory=RunStats)
+    failures: list[JobFailure] = field(default_factory=list)
 
     def per_job(self) -> Iterable[tuple[Job, list[Measurement]]]:
-        """(job, measurements) pairs in campaign (job-index) order."""
+        """(job, measurements) pairs in campaign (job-index) order.
+
+        Quarantined jobs are skipped: the run degrades to N-1 rows.
+        """
         for job in self.jobs:
-            yield job, self.results[job.job_id]
+            measurements = self.results.get(job.job_id)
+            if measurements is not None:
+                yield job, measurements
 
     def rows(self) -> list[tuple[Job, Measurement]]:
         """Flat (job, measurement) rows in deterministic output order."""
@@ -156,7 +248,12 @@ class CampaignRun:
         return write_csv(path, self.measurements(), full=full)
 
     def write_jsonl(self, path: str | Path) -> Path:
-        """Write one JSON line per result row (job identity + measurement)."""
+        """Write one JSON line per result row (job identity + measurement).
+
+        Quarantined jobs are surfaced explicitly: after the result rows,
+        one ``{"failure": {...}}`` line per entry in :attr:`failures`,
+        so a consumer can tell a degraded run from a smaller campaign.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         with path.open("w") as fh:
@@ -169,7 +266,294 @@ class CampaignRun:
                     "measurement": measurement_to_dict(m),
                 }
                 fh.write(json.dumps(record, sort_keys=True) + "\n")
+            for failure in self.failures:
+                fh.write(
+                    json.dumps({"failure": failure.to_dict()}, sort_keys=True) + "\n"
+                )
         return path
+
+
+def _run_job_bounded(
+    launcher,
+    job: Job,
+    faults: FaultPlan | None,
+    attempt: int,
+    job_timeout: float | None,
+) -> list[dict]:
+    """Inline execution with an optional wall-clock bound.
+
+    With a timeout, the job runs on a daemon thread so a hung job cannot
+    wedge the campaign; the abandoned thread dies with the process.
+    """
+    if job_timeout is None:
+        return _run_job(launcher, job, faults, attempt)
+    box: list[list[dict]] = []
+    error: list[BaseException] = []
+
+    def target() -> None:
+        try:
+            box.append(_run_job(launcher, job, faults, attempt))
+        except BaseException as exc:  # noqa: BLE001 - relayed to the caller
+            error.append(exc)
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(job_timeout)
+    if thread.is_alive():
+        raise JobTimeout(f"job {job.job_id} exceeded {job_timeout:.3g}s")
+    if error:
+        raise error[0]
+    return box[0]
+
+
+@dataclass(slots=True)
+class _Unit:
+    """One dispatchable batch of jobs, possibly delayed by backoff."""
+
+    jobs: list[Job]
+    not_before: float = 0.0
+
+
+class _PoolUnusable(Exception):
+    """The process pool cannot be made to work; run inline instead."""
+
+
+def _shutdown_pool(pool, *, kill: bool = False) -> None:
+    """Tear down a pool, forcibly if its workers may be hung."""
+    if not kill:
+        pool.shutdown(wait=True, cancel_futures=True)
+        return
+    for process in list(getattr(pool, "_processes", {}).values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already-dead worker
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _parallel_execute(
+    campaign: Campaign,
+    pending: list[Job],
+    *,
+    stats: RunStats,
+    faults: FaultPlan | None,
+    attempts: dict[str, int],
+    max_retries: int,
+    job_timeout: float | None,
+    retry_backoff: float,
+    record: Callable[[Job, list[dict]], bool],
+    quarantine: Callable[[Job, str], None],
+    say: Callable[[str], None],
+) -> list[Job] | None:
+    """Dispatch pending jobs on a pool with full failure recovery.
+
+    Returns ``None`` when every pending job was recorded or quarantined,
+    or the unfinished jobs when no pool can be made to work (the caller
+    runs those inline).  Recovery rules:
+
+    - a chunk whose worker raised is *split in half* and re-dispatched,
+      isolating the poisoned job in O(log chunk) rounds without charging
+      an attempt to jobs that cannot be blamed individually;
+    - a single failing job is retried with exponential backoff, then
+      quarantined once it has failed ``max_retries + 1`` times;
+    - a crashed worker breaks the whole pool: every in-flight chunk is
+      re-dispatched on a fresh pool (only the chunk that caused the
+      break is treated as failed);
+    - with ``job_timeout``, a chunk gets ``job_timeout * len(chunk)``
+      seconds from dispatch; past that the pool (which still holds the
+      hung worker) is killed and replaced.
+    """
+    handled: set[str] = set()
+    work: deque[_Unit] = deque(
+        _Unit(pending[i : i + stats.chunk_size])
+        for i in range(0, len(pending), stats.chunk_size)
+    )
+    say(
+        f"{campaign.name}: dispatching {len(work)} chunks of "
+        f"<= {stats.chunk_size} jobs to {stats.workers} workers"
+    )
+
+    def fail_unit(unit: _Unit, reason: str) -> None:
+        if len(unit.jobs) > 1:
+            mid = len(unit.jobs) // 2
+            work.append(_Unit(unit.jobs[:mid]))
+            work.append(_Unit(unit.jobs[mid:]))
+            return
+        job = unit.jobs[0]
+        attempts[job.job_id] += 1
+        if attempts[job.job_id] > max_retries:
+            quarantine(job, reason)
+            handled.add(job.job_id)
+            return
+        stats.retries += 1
+        backoff = retry_backoff * (2 ** (attempts[job.job_id] - 1))
+        work.append(_Unit(unit.jobs, not_before=time.monotonic() + backoff))
+
+    pool = None
+    in_flight: dict[concurrent.futures.Future, tuple[_Unit, float | None]] = {}
+    ever_succeeded = False
+    consecutive_breaks = 0
+    try:
+        while work or in_flight:
+            if pool is None:
+                try:
+                    pool = concurrent.futures.ProcessPoolExecutor(
+                        max_workers=stats.workers
+                    )
+                except (OSError, PermissionError) as exc:
+                    raise _PoolUnusable from exc
+            # Submit ready units up to worker capacity.  Submission time
+            # ~= start time under this window, which is what makes the
+            # per-chunk deadline meaningful.
+            now = time.monotonic()
+            for _ in range(len(work)):
+                if len(in_flight) >= stats.workers or not work:
+                    break
+                if work[0].not_before > now:
+                    work.rotate(-1)
+                    continue
+                unit = work.popleft()
+                snapshot = {j.job_id: attempts[j.job_id] for j in unit.jobs}
+                try:
+                    future = pool.submit(
+                        _execute_chunk, campaign.machine, unit.jobs, faults, snapshot
+                    )
+                except (OSError, PermissionError) as exc:
+                    work.appendleft(unit)
+                    raise _PoolUnusable from exc
+                deadline = (
+                    None
+                    if job_timeout is None
+                    else time.monotonic()
+                    + job_timeout * len(unit.jobs)
+                    + _CHUNK_TIMEOUT_SLACK
+                )
+                in_flight[future] = (unit, deadline)
+            if not in_flight:
+                # Everything is backing off: sleep until the earliest
+                # unit becomes dispatchable.
+                delay = max(
+                    0.0, min(u.not_before for u in work) - time.monotonic()
+                )
+                time.sleep(min(delay, _POLL_SECONDS) or _POLL_SECONDS / 10)
+                continue
+            done, _ = concurrent.futures.wait(
+                list(in_flight),
+                timeout=_POLL_SECONDS,
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+            broken = False
+            for future in done:
+                unit, _deadline = in_flight.pop(future)
+                try:
+                    outputs = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    fail_unit(unit, "worker-crash")
+                except Exception as exc:
+                    fail_unit(unit, _failure_reason(exc))
+                else:
+                    ever_succeeded = True
+                    consecutive_breaks = 0
+                    by_id = {job.job_id: job for job in unit.jobs}
+                    for job_id, dicts in outputs:
+                        job = by_id[job_id]
+                        if record(job, dicts):
+                            handled.add(job_id)
+                        else:
+                            fail_unit(_Unit([job]), "invalid-result")
+            if broken:
+                consecutive_breaks += 1
+                if (
+                    consecutive_breaks >= _MAX_POOL_BREAKS_BEFORE_INLINE
+                    and not ever_succeeded
+                ):
+                    raise _PoolUnusable
+                # The other in-flight chunks died with the pool through
+                # no fault of their own: re-dispatch without charging an
+                # attempt.
+                for unit, _deadline in in_flight.values():
+                    work.append(_Unit(unit.jobs))
+                in_flight.clear()
+                _shutdown_pool(pool, kill=True)
+                pool = None
+                say(f"{campaign.name}: worker crashed; re-dispatching its jobs")
+                continue
+            if job_timeout is not None and in_flight:
+                now = time.monotonic()
+                expired = [
+                    future
+                    for future, (_unit, deadline) in in_flight.items()
+                    if deadline is not None and now > deadline
+                ]
+                if expired:
+                    for future in expired:
+                        unit, _deadline = in_flight.pop(future)
+                        future.cancel()
+                        fail_unit(unit, "timeout")
+                    # The hung worker still owns a pool slot; replace the
+                    # pool and re-dispatch the innocent in-flight chunks.
+                    for future, (unit, _deadline) in in_flight.items():
+                        future.cancel()
+                        work.append(_Unit(unit.jobs))
+                    in_flight.clear()
+                    _shutdown_pool(pool, kill=True)
+                    pool = None
+                    say(
+                        f"{campaign.name}: chunk exceeded its "
+                        f"{job_timeout:.3g}s/job budget; restarting the pool"
+                    )
+    except _PoolUnusable:
+        if pool is not None:
+            _shutdown_pool(pool, kill=True)
+            pool = None
+        return [job for job in pending if job.job_id not in handled]
+    finally:
+        if pool is not None:
+            _shutdown_pool(pool)
+    return None
+
+
+def _inline_execute(
+    campaign: Campaign,
+    pending: list[Job],
+    *,
+    stats: RunStats,
+    faults: FaultPlan | None,
+    attempts: dict[str, int],
+    max_retries: int,
+    job_timeout: float | None,
+    retry_backoff: float,
+    record: Callable[[Job, list[dict]], bool],
+    quarantine: Callable[[Job, str], None],
+) -> None:
+    """Run jobs in this process: one launcher, bounded retries per job.
+
+    Results are recorded as each job completes so an interrupted run
+    resumes from the cache.
+    """
+    from repro.launcher.launcher import MicroLauncher
+
+    launcher = MicroLauncher(campaign.machine)
+    for job in pending:
+        while True:
+            attempt = attempts[job.job_id]
+            try:
+                dicts = _run_job_bounded(launcher, job, faults, attempt, job_timeout)
+            except Exception as exc:
+                reason = _failure_reason(exc)
+            else:
+                if record(job, dicts):
+                    break
+                reason = "invalid-result"
+            attempts[job.job_id] += 1
+            if attempts[job.job_id] > max_retries:
+                quarantine(job, reason)
+                break
+            stats.retries += 1
+            backoff = retry_backoff * (2 ** (attempts[job.job_id] - 1))
+            if backoff > 0:
+                time.sleep(backoff)
 
 
 def run_campaign(
@@ -181,6 +565,10 @@ def run_campaign(
     cache: ResultCache | None = None,
     resume: bool = True,
     progress: Callable[[str], None] | None = None,
+    max_retries: int = 2,
+    job_timeout: float | None = None,
+    retry_backoff: float = 0.05,
+    faults: FaultPlan | None = None,
 ) -> CampaignRun:
     """Execute a campaign and return its ordered results.
 
@@ -198,12 +586,31 @@ def run_campaign(
     cache_dir / cache:
         Reuse measurements across runs: jobs whose ID is already stored
         are not executed.  ``cache`` takes precedence over ``cache_dir``.
+        A cached payload that fails validation is re-measured, never
+        returned.
     resume:
         When ``False``, stored results are ignored (every job executes)
         but completions are still recorded — a forced re-measure.
     progress:
         Optional callback receiving one human-readable line per phase.
+    max_retries:
+        Failed attempts a job may make beyond its first before it is
+        quarantined (so every job gets ``max_retries + 1`` tries).
+    job_timeout:
+        Wall-clock seconds one job may take.  Parallel chunks get
+        ``job_timeout * len(chunk)`` from dispatch; inline jobs run on a
+        bounded thread.  ``None`` disables the deadline.
+    retry_backoff:
+        Base delay before re-dispatching a failed job; doubles per
+        failed attempt.
+    faults:
+        Deterministic fault-injection plan (tests and chaos drills);
+        ``None`` injects nothing.
     """
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    if job_timeout is not None and job_timeout <= 0:
+        raise ValueError("job_timeout must be positive")
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
 
@@ -211,75 +618,110 @@ def run_campaign(
     say = progress or (lambda message: None)
     stats = RunStats(total_jobs=len(job_list), workers=max(1, jobs))
 
-    raw: dict[str, list[dict]] = {}
+    results: dict[str, list[Measurement]] = {}
     pending: list[Job] = []
     seen: set[str] = set()
     for job in job_list:
         if job.job_id in seen:
             continue  # duplicate grid point: measure once, share the rows
         seen.add(job.job_id)
-        cached = cache.get(job.job_id) if (cache and resume) else None
-        if cached is not None:
-            raw[job.job_id] = cached
-            stats.cache_hits += 1
-        else:
-            pending.append(job)
+        if cache and resume:
+            cached = cache.get(job.job_id)
+            if cached is not None:
+                try:
+                    results[job.job_id] = measurements_from_payload(cached)
+                except ValueError:
+                    pass  # damaged cache entry: fall through and re-measure
+                else:
+                    stats.cache_hits += 1
+                    continue
+        pending.append(job)
     say(
         f"{campaign.name}: {len(job_list)} jobs, "
         f"{stats.cache_hits} cached, {len(pending)} to run"
     )
 
-    def record(job: Job, dicts: list[dict]) -> None:
-        raw[job.job_id] = dicts
+    failures: dict[str, JobFailure] = {}
+    attempts: dict[str, int] = defaultdict(int)
+
+    def record(job: Job, dicts: list[dict]) -> bool:
+        """Validate and store one job's payload; ``False`` if corrupt."""
+        try:
+            measurements = measurements_from_payload(dicts)
+        except ValueError:
+            return False
+        results[job.job_id] = measurements
         stats.executed += 1
         if cache is not None:
             cache.put(job.job_id, dicts, kernel=job.kernel_name, mode=job.mode)
+        return True
+
+    def quarantine(job: Job, reason: str) -> None:
+        failures[job.job_id] = JobFailure(
+            job_id=job.job_id,
+            kernel=job.kernel_name,
+            mode=job.mode,
+            attempts=attempts[job.job_id],
+            reason=reason,
+        )
+        say(
+            f"{campaign.name}: quarantined job {job.job_id} "
+            f"({job.kernel_name}) after {attempts[job.job_id]} attempts: {reason}"
+        )
 
     if pending and stats.workers > 1:
         stats.chunk_size = resolve_chunk_size(chunk_size, len(pending), stats.workers)
-        chunks = [
-            pending[i : i + stats.chunk_size]
-            for i in range(0, len(pending), stats.chunk_size)
-        ]
-        say(
-            f"{campaign.name}: dispatching {len(chunks)} chunks of "
-            f"<= {stats.chunk_size} jobs to {stats.workers} workers"
+        leftover = _parallel_execute(
+            campaign,
+            pending,
+            stats=stats,
+            faults=faults,
+            attempts=attempts,
+            max_retries=max_retries,
+            job_timeout=job_timeout,
+            retry_backoff=retry_backoff,
+            record=record,
+            quarantine=quarantine,
+            say=say,
         )
-        try:
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=stats.workers
-            ) as pool:
-                by_id = {job.job_id: job for job in pending}
-                futures = [
-                    pool.submit(_execute_chunk, campaign.machine, chunk)
-                    for chunk in chunks
-                ]
-                for future in concurrent.futures.as_completed(futures):
-                    for job_id, dicts in future.result():
-                        record(by_id[job_id], dicts)
+        if leftover is None:
             pending = []
-        except (OSError, PermissionError, concurrent.futures.process.BrokenProcessPool):
+        else:
             # Pool unavailable (sandboxed /dev/shm, fork limits): results
             # are seed-derived per job, so inline execution is identical.
             stats.fell_back_inline = True
             say(f"{campaign.name}: worker pool unavailable, running inline")
-            pending = [job for job in pending if job.job_id not in raw]
+            pending = leftover
     if pending:
-        # Inline path: one launcher (and the per-process kernel memo)
-        # shared across every job, recording as each job completes so an
-        # interrupted run resumes from the cache.
-        from repro.launcher.launcher import MicroLauncher
+        _inline_execute(
+            campaign,
+            pending,
+            stats=stats,
+            faults=faults,
+            attempts=attempts,
+            max_retries=max_retries,
+            job_timeout=job_timeout,
+            retry_backoff=retry_backoff,
+            record=record,
+            quarantine=quarantine,
+        )
 
-        launcher = MicroLauncher(campaign.machine)
-        for job in pending:
-            record(job, _run_job(launcher, job))
-
-    results = {
-        job_id: [measurement_from_dict(d) for d in dicts]
-        for job_id, dicts in raw.items()
-    }
+    ordered_failures: list[JobFailure] = []
+    reported: set[str] = set()
+    for job in job_list:
+        if job.job_id in failures and job.job_id not in reported:
+            reported.add(job.job_id)
+            ordered_failures.append(failures[job.job_id])
+    stats.failed = len(ordered_failures)
     say(
         f"{campaign.name}: done — {stats.executed} executed, "
         f"{stats.cache_hits} cache hits"
+        + (f", {stats.failed} failed" if stats.failed else "")
     )
-    return CampaignRun(campaign=campaign, jobs=job_list, results=results, stats=stats)
+    return CampaignRun(
+        campaign=campaign,
+        jobs=job_list,
+        results=results,
+        stats=stats,
+        failures=ordered_failures,
+    )

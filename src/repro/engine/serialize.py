@@ -78,6 +78,24 @@ def measurement_from_dict(data: dict) -> Measurement:
     return Measurement(**data)
 
 
+def measurements_from_payload(payload: object) -> list[Measurement]:
+    """Strictly decode a worker or cache payload into measurements.
+
+    Workers and cache files are not trusted: a crashed process, an
+    injected fault, or a damaged JSONL line can hand the scheduler
+    anything.  Raises :class:`ValueError` for any payload that is not a
+    non-empty list of dicts each reconstructing a valid
+    :class:`Measurement` — the scheduler treats that as a failed
+    attempt, not a result.
+    """
+    if not isinstance(payload, list) or not payload:
+        raise ValueError("payload is not a non-empty measurement list")
+    try:
+        return [measurement_from_dict(d) for d in payload]
+    except (TypeError, ValueError, KeyError, AttributeError) as exc:
+        raise ValueError(f"corrupt measurement payload: {exc}") from None
+
+
 def options_to_dict(options: LauncherOptions) -> dict:
     """Serialize launcher options to a JSON-safe dict (digest input)."""
     return {

@@ -46,6 +46,9 @@ class TestStats:
         assert cache.stats.lookups == 3
         assert cache.stats.hit_rate == 2 / 3
 
+    def test_hit_rate_zero_lookups(self, tmp_path):
+        assert ResultCache(tmp_path).stats.hit_rate == 0.0
+
 
 class TestDamageTolerance:
     def test_torn_last_line_ignored(self, tmp_path):
@@ -71,6 +74,62 @@ class TestDamageTolerance:
         cache.clear()
         assert len(cache) == 0
         assert ResultCache(tmp_path).get("j1") is None
+
+    def test_corrupt_lines_counted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("j1", rows())
+        cache.put("j2", rows())
+        path = tmp_path / "results.jsonl"
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][: len(lines[0]) // 2]  # truncate mid-record
+        path.write_text("\n".join(lines) + "\n")
+        reopened = ResultCache(tmp_path)
+        assert reopened.corrupt_lines == 1
+        assert reopened.get("j1") is None
+        assert reopened.get("j2") == rows()
+
+    def test_put_repairs_damaged_file(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("j1", rows())
+        cache.put("j2", rows())
+        path = tmp_path / "results.jsonl"
+        path.write_text(path.read_text() + "not json at all\n")
+        damaged = ResultCache(tmp_path)
+        assert damaged.corrupt_lines == 1
+        damaged.put("j3", rows())
+        assert damaged.corrupt_lines == 0
+        healed = ResultCache(tmp_path)
+        assert healed.corrupt_lines == 0
+        assert sorted(json.loads(l)["job_id"]
+                      for l in path.read_text().splitlines()) == ["j1", "j2", "j3"]
+
+    def test_tampered_line_rejected_by_checksum(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("j1", [{"cycles": 4.0}])
+        path = tmp_path / "results.jsonl"
+        path.write_text(path.read_text().replace('"cycles": 4.0', '"cycles": 9.0'))
+        tampered = ResultCache(tmp_path)
+        assert tampered.get("j1") is None  # parses fine, but the digest broke
+        assert tampered.corrupt_lines == 1
+
+    def test_legacy_record_without_check_accepted(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        path.write_text(
+            json.dumps({"job_id": "old", "measurements": [{"cycles": 1.0}]}) + "\n"
+        )
+        assert ResultCache(tmp_path).get("old") == [{"cycles": 1.0}]
+
+    def test_append_after_torn_tail_keeps_both_records(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("j1", rows())
+        path = tmp_path / "results.jsonl"
+        path.write_bytes(path.read_bytes()[:-1])  # drop only the newline
+        reopened = ResultCache(tmp_path)
+        assert reopened.corrupt_lines == 0
+        reopened.put("j2", rows())
+        again = ResultCache(tmp_path)
+        assert again.get("j1") == rows()
+        assert again.get("j2") == rows()
 
     def test_lines_are_valid_json_records(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -52,6 +52,16 @@ class TestResolveChunkSize:
     def test_auto_capped(self):
         assert resolve_chunk_size(None, n_jobs=100_000, workers=2) == _MAX_AUTO_CHUNK
 
+    def test_empty_campaign_resolves_to_one(self):
+        assert resolve_chunk_size(None, n_jobs=0, workers=4) == 1
+
+    def test_more_workers_than_jobs(self):
+        assert resolve_chunk_size(None, n_jobs=3, workers=16) == 1
+
+    def test_explicit_size_may_exceed_job_count(self):
+        # One oversized chunk is legal: the dispatcher just sends one batch.
+        assert resolve_chunk_size(50, n_jobs=10, workers=2) == 50
+
 
 class TestChunkExecution:
     def test_chunk_equals_per_job_execution(self, sweep_campaign):
@@ -122,5 +132,27 @@ class TestKernelMemo:
                 runner._SIM_MEMO[(f"fake{i}", 0)] = object()
             _execute_chunk(sweep_campaign.machine, [job])
             assert len(runner._SIM_MEMO) <= runner._SIM_MEMO_MAX
+        finally:
+            runner._SIM_MEMO.clear()
+
+    def test_memo_evicts_oldest_not_everything(self, sweep_campaign):
+        """Regression: a full memo must shed one entry, not be wiped.
+
+        The old behaviour cleared the whole memo at capacity, throwing
+        away every warm entry right when a long sweep needed them most.
+        """
+        from repro.engine import runner
+
+        job = sweep_campaign.job_list()[0]
+        runner._SIM_MEMO.clear()
+        try:
+            fakes = [(f"fake{i}", 0) for i in range(runner._SIM_MEMO_MAX)]
+            for key in fakes:
+                runner._SIM_MEMO[key] = object()
+            _execute_chunk(sweep_campaign.machine, [job])
+            assert len(runner._SIM_MEMO) == runner._SIM_MEMO_MAX
+            assert fakes[0] not in runner._SIM_MEMO  # only the oldest went
+            assert all(key in runner._SIM_MEMO for key in fakes[1:])
+            assert (job.kernel_digest, job.options.trip_count) in runner._SIM_MEMO
         finally:
             runner._SIM_MEMO.clear()

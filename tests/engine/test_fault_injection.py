@@ -1,0 +1,346 @@
+"""Failure-mode suite: the campaign engine under injected faults.
+
+Every scenario asserts the tentpole guarantee: a fault degrades the
+campaign to N-1 rows with an explicit failure report, and the surviving
+rows are byte-identical to a fault-free run — at ``jobs=1`` and
+``jobs=4`` and across chunk sizes.  Faults come from the deterministic
+:class:`FaultPlan` facility, so every scenario here is reproducible.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import functools
+import json
+
+import pytest
+
+from repro.engine import Campaign, CampaignRun, Fault, FaultPlan, SweepSpec, run_campaign
+from repro.engine.faults import GARBAGE_PAYLOAD, InjectedFault
+from repro.launcher import LauncherOptions
+
+
+@functools.lru_cache(maxsize=1)
+def _pool_available() -> bool:
+    """Whether this environment can actually fork a worker pool."""
+    try:
+        with concurrent.futures.ProcessPoolExecutor(1) as pool:
+            pool.submit(int).result(timeout=60)
+        return True
+    except Exception:
+        return False
+
+
+def _require_pool() -> None:
+    if not _pool_available():
+        pytest.skip("process pool unavailable in this environment")
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    """8 kernels x 2 trip counts = 16 cheap jobs."""
+    from repro.creator import MicroCreator
+    from repro.machine import nehalem_2s_x5650
+    from repro.spec import load_kernel
+
+    variants = MicroCreator().generate(load_kernel("movaps"))
+    sweep = SweepSpec(
+        kernels=tuple(variants),
+        base=LauncherOptions(array_bytes=16 * 1024, experiments=2, repetitions=2),
+        axes={"trip_count": (256, 512)},
+    )
+    return Campaign(name="faulted", machine=nehalem_2s_x5650(), sweeps=(sweep,))
+
+
+@pytest.fixture(scope="module")
+def clean(campaign):
+    """The fault-free reference run."""
+    return run_campaign(campaign, jobs=1)
+
+
+@pytest.fixture(scope="module")
+def victim(campaign):
+    """A deterministic mid-grid job to poison."""
+    return campaign.job_list()[5]
+
+
+def _without(clean_run: CampaignRun, job_id: str) -> CampaignRun:
+    """The clean run with one job's rows dropped — the degraded expectation."""
+    return CampaignRun(
+        campaign=clean_run.campaign,
+        jobs=clean_run.jobs,
+        results={k: v for k, v in clean_run.results.items() if k != job_id},
+        stats=clean_run.stats,
+    )
+
+
+def _measurement_lines(path) -> list[str]:
+    return [
+        line
+        for line in path.read_text().splitlines()
+        if "failure" not in json.loads(line)
+    ]
+
+
+class TestQuarantine:
+    """Acceptance criterion: one always-failing job -> N-1 identical rows."""
+
+    @pytest.mark.parametrize(
+        "jobs,chunk_size", [(1, None), (4, None), (4, 1), (4, 3), (4, 10_000)]
+    )
+    def test_poisoned_job_degrades_to_n_minus_1(
+        self, campaign, clean, victim, tmp_path, jobs, chunk_size
+    ):
+        faults = FaultPlan.for_job(victim.job_id, "raise")
+        run = run_campaign(
+            campaign,
+            jobs=jobs,
+            chunk_size=chunk_size,
+            faults=faults,
+            max_retries=1,
+            retry_backoff=0.0,
+        )
+        assert [f.job_id for f in run.failures] == [victim.job_id]
+        assert run.stats.failed == 1
+        assert victim.job_id not in run.results
+        assert len(run.rows()) == len(clean.rows()) - 1
+
+        expected = _without(clean, victim.job_id)
+        tag = f"{jobs}_{chunk_size}"
+        a = expected.write_csv(tmp_path / f"expected_{tag}.csv")
+        b = run.write_csv(tmp_path / f"faulted_{tag}.csv")
+        assert a.read_bytes() == b.read_bytes()
+        aj = expected.write_jsonl(tmp_path / f"expected_{tag}.jsonl")
+        bj = run.write_jsonl(tmp_path / f"faulted_{tag}.jsonl")
+        assert _measurement_lines(aj) == _measurement_lines(bj)
+
+    def test_failure_surfaced_in_jsonl(self, campaign, victim, tmp_path):
+        faults = FaultPlan.for_job(victim.job_id, "raise")
+        run = run_campaign(
+            campaign, faults=faults, max_retries=0, retry_backoff=0.0
+        )
+        path = run.write_jsonl(tmp_path / "degraded.jsonl")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        failures = [r["failure"] for r in records if "failure" in r]
+        assert len(failures) == 1
+        assert failures[0]["job_id"] == victim.job_id
+        assert failures[0]["attempts"] == 1
+        assert failures[0]["reason"].startswith("InjectedFault")
+        assert failures[0]["kernel"] == victim.kernel_name
+
+    def test_quarantine_reported_via_progress(self, campaign, victim):
+        lines: list[str] = []
+        run_campaign(
+            campaign,
+            faults=FaultPlan.for_job(victim.job_id, "raise"),
+            max_retries=0,
+            retry_backoff=0.0,
+            progress=lines.append,
+        )
+        assert any("quarantined" in line for line in lines)
+        assert any("1 failed" in line for line in lines)
+
+
+class TestRetries:
+    def test_transient_fault_retries_to_full_output(
+        self, campaign, clean, victim, tmp_path
+    ):
+        faults = FaultPlan.for_job(victim.job_id, "raise", until_attempt=1)
+        run = run_campaign(campaign, faults=faults, retry_backoff=0.0)
+        assert not run.failures
+        assert run.stats.retries == 1
+        a = clean.write_jsonl(tmp_path / "clean.jsonl")
+        b = run.write_jsonl(tmp_path / "recovered.jsonl")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_retries_exhausted_counts_every_attempt(self, campaign, victim):
+        run = run_campaign(
+            campaign,
+            faults=FaultPlan.for_job(victim.job_id, "raise"),
+            max_retries=2,
+            retry_backoff=0.0,
+        )
+        assert run.failures[0].attempts == 3  # 1 try + 2 retries
+        assert run.stats.retries == 2
+
+    def test_negative_max_retries_rejected(self, campaign):
+        with pytest.raises(ValueError, match="max_retries"):
+            run_campaign(campaign, max_retries=-1)
+
+    def test_bad_job_timeout_rejected(self, campaign):
+        with pytest.raises(ValueError, match="job_timeout"):
+            run_campaign(campaign, job_timeout=0.0)
+
+
+class TestGarbage:
+    def test_garbage_payload_quarantined(self, campaign, clean, victim, tmp_path):
+        faults = FaultPlan.for_job(victim.job_id, "garbage")
+        run = run_campaign(
+            campaign, faults=faults, max_retries=1, retry_backoff=0.0
+        )
+        assert [f.job_id for f in run.failures] == [victim.job_id]
+        assert run.failures[0].reason == "invalid-result"
+        expected = _without(clean, victim.job_id)
+        a = expected.write_csv(tmp_path / "expected.csv")
+        b = run.write_csv(tmp_path / "garbage.csv")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_garbage_never_cached(self, campaign, victim, tmp_path):
+        faults = FaultPlan.for_job(victim.job_id, "garbage")
+        run_campaign(
+            campaign,
+            faults=faults,
+            max_retries=0,
+            retry_backoff=0.0,
+            cache_dir=tmp_path,
+        )
+        from repro.engine import ResultCache
+
+        assert ResultCache(tmp_path).get(victim.job_id) is None
+
+    def test_corrupt_cache_entry_remeasured(self, campaign, clean, victim, tmp_path):
+        from repro.engine import ResultCache
+
+        cache = ResultCache(tmp_path)
+        cache.put(victim.job_id, [dict(d) for d in GARBAGE_PAYLOAD])
+        run = run_campaign(campaign, cache=cache)
+        assert not run.failures
+        assert victim.job_id in run.results
+        assert run.measurements() == clean.measurements()
+
+
+class TestTimeouts:
+    def test_hung_job_times_out_inline(self, campaign, clean, victim, tmp_path):
+        faults = FaultPlan.for_job(victim.job_id, "hang", hang_seconds=5.0)
+        run = run_campaign(
+            campaign,
+            faults=faults,
+            job_timeout=0.2,
+            max_retries=0,
+            retry_backoff=0.0,
+        )
+        assert [f.job_id for f in run.failures] == [victim.job_id]
+        assert run.failures[0].reason == "timeout"
+        expected = _without(clean, victim.job_id)
+        a = expected.write_csv(tmp_path / "expected.csv")
+        b = run.write_csv(tmp_path / "hung.csv")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_slow_start_recovers_within_budget(self, campaign, victim):
+        # Hangs shorter than the budget are not failures at all.
+        faults = FaultPlan.for_job(victim.job_id, "hang", hang_seconds=0.05)
+        run = run_campaign(campaign, faults=faults, job_timeout=30.0)
+        assert not run.failures
+        assert len(run.results) == run.stats.total_jobs
+
+    def test_hung_chunk_times_out_on_pool(self, campaign, clean, victim, tmp_path):
+        _require_pool()
+        faults = FaultPlan.for_job(victim.job_id, "hang", hang_seconds=8.0)
+        run = run_campaign(
+            campaign,
+            jobs=2,
+            chunk_size=4,
+            faults=faults,
+            job_timeout=0.4,
+            max_retries=0,
+            retry_backoff=0.0,
+        )
+        assert [f.job_id for f in run.failures] == [victim.job_id]
+        assert run.failures[0].reason == "timeout"
+        expected = _without(clean, victim.job_id)
+        a = expected.write_jsonl(tmp_path / "expected.jsonl")
+        b = run.write_jsonl(tmp_path / "hung.jsonl")
+        assert _measurement_lines(a) == _measurement_lines(b)
+
+
+class TestWorkerCrash:
+    def test_crash_mid_chunk_quarantines_only_the_crasher(
+        self, campaign, clean, victim, tmp_path
+    ):
+        _require_pool()
+        faults = FaultPlan.for_job(victim.job_id, "crash")
+        run = run_campaign(
+            campaign,
+            jobs=2,
+            chunk_size=4,
+            faults=faults,
+            max_retries=1,
+            retry_backoff=0.0,
+        )
+        assert [f.job_id for f in run.failures] == [victim.job_id]
+        assert run.failures[0].reason == "worker-crash"
+        assert not run.stats.fell_back_inline
+        expected = _without(clean, victim.job_id)
+        a = expected.write_csv(tmp_path / "expected.csv")
+        b = run.write_csv(tmp_path / "crashed.csv")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_transient_crash_redispatches_to_full_output(
+        self, campaign, clean, victim, tmp_path
+    ):
+        _require_pool()
+        faults = FaultPlan.for_job(victim.job_id, "crash", until_attempt=1)
+        run = run_campaign(
+            campaign,
+            jobs=2,
+            chunk_size=4,
+            faults=faults,
+            max_retries=2,
+            retry_backoff=0.0,
+        )
+        assert not run.failures
+        a = clean.write_csv(tmp_path / "clean.csv")
+        b = run.write_csv(tmp_path / "recovered.csv")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_pool_that_never_works_falls_back_inline(
+        self, campaign, clean, monkeypatch, tmp_path
+    ):
+        class NoPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no forks here")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", NoPool)
+        run = run_campaign(campaign, jobs=4)
+        assert run.stats.fell_back_inline
+        assert not run.failures
+        a = clean.write_csv(tmp_path / "clean.csv")
+        b = run.write_csv(tmp_path / "inline.csv")
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestFaultPlan:
+    def test_random_is_seed_deterministic(self, campaign):
+        ids = [job.job_id for job in campaign.job_list()]
+        a = FaultPlan.random(ids, seed=7, count=3)
+        b = FaultPlan.random(reversed(ids), seed=7, count=3)
+        assert set(a.faults) == set(b.faults)
+        assert len(a) == 3
+        different = FaultPlan.random(ids, seed=8, count=3)
+        assert set(a.faults) != set(different.faults)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault("meltdown")
+
+    def test_until_attempt_windows(self):
+        fault = Fault("raise", until_attempt=2)
+        assert fault.active(0) and fault.active(1)
+        assert not fault.active(2)
+        assert Fault("raise").active(99)
+
+    def test_perform_raises_and_passes(self):
+        plan = FaultPlan.for_job("j1", "raise", until_attempt=1)
+        with pytest.raises(InjectedFault):
+            plan.perform("j1", 0)
+        assert plan.perform("j1", 1) is None
+        assert plan.perform("other", 0) is None
+
+    def test_seeded_random_fault_quarantines_that_job(self, campaign):
+        ids = sorted(job.job_id for job in campaign.job_list())
+        plan = FaultPlan.random(ids, seed=3, kind="raise")
+        (chosen,) = plan.faults
+        run = run_campaign(
+            campaign, faults=plan, max_retries=0, retry_backoff=0.0
+        )
+        assert [f.job_id for f in run.failures] == [chosen]

@@ -109,6 +109,11 @@ class TestRunResults:
         assert any("64 jobs" in line for line in lines)
         assert any("done" in line for line in lines)
 
+    def test_hit_rate_defined_before_any_jobs(self):
+        from repro.engine import RunStats
+
+        assert RunStats().cache_hit_rate == 0.0
+
 
 class TestModeExecution:
     def test_forked_and_openmp_jobs(self, nehalem, movaps_u8):
