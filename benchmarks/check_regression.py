@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Gate CI on measurement-throughput regressions.
+"""Gate CI on benchmark regressions.
 
 Compares a fresh ``BENCH_measurement.json`` (written by
 ``benchmarks/test_measurement_throughput.py``) against the committed
@@ -9,11 +9,17 @@ percent: the benchmark is single-threaded pure Python + numpy, so a
 genuine regression (losing the vectorized path, breaking the stream
 cache) shows up as 10x-50x, far outside the noise band.
 
+When ``BENCH_obs.json`` (written by ``benchmarks/test_obs_overhead.py``)
+is present it is gated too: the observability layer's *disabled* span
+must stay sub-microsecond per call — losing the no-op fast path would
+tax every instrumented hot loop even with tracing off.
+
 Usage::
 
     python benchmarks/check_regression.py \
         --current BENCH_measurement.json \
-        --baseline benchmarks/BENCH_measurement_baseline.json
+        --baseline benchmarks/BENCH_measurement_baseline.json \
+        --obs-current BENCH_obs.json
 """
 
 from __future__ import annotations
@@ -24,6 +30,32 @@ import sys
 from pathlib import Path
 
 MAX_REGRESSION = 2.0
+#: Absolute ceiling for the disabled observability path, ns per span.
+#: An absolute gate (not a ratio) because the quantity is already a
+#: delta over a bare loop and CI machines vary less in nanoseconds
+#: added than in raw throughput.
+MAX_OBS_DISABLED_NS = 2_000.0
+
+
+def _check_obs(current_path: str, max_ns: float) -> int:
+    path = Path(current_path)
+    if not path.exists():
+        print(f"obs overhead: {path} not present, skipping")
+        return 0
+    current = json.loads(path.read_text())
+    added = current["disabled_added_ns_per_span"]
+    print(
+        f"obs overhead: disabled span adds {added:,.0f}ns "
+        f"(limit {max_ns:,.0f}ns)"
+    )
+    if added > max_ns:
+        print(
+            f"FAIL: disabled observability span costs {added:,.0f}ns; "
+            "the no-op fast path regressed",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -38,6 +70,18 @@ def main(argv: list[str] | None = None) -> int:
         default=MAX_REGRESSION,
         help="fail when baseline/current throughput exceeds this (default: 2.0)",
     )
+    parser.add_argument(
+        "--obs-current",
+        default="BENCH_obs.json",
+        help="obs-overhead result to gate (skipped when absent)",
+    )
+    parser.add_argument(
+        "--obs-max-ns",
+        type=float,
+        default=MAX_OBS_DISABLED_NS,
+        help="fail when a disabled span adds more ns than this "
+        f"(default: {MAX_OBS_DISABLED_NS:.0f})",
+    )
     args = parser.parse_args(argv)
 
     current = json.loads(Path(args.current).read_text())
@@ -50,12 +94,16 @@ def main(argv: list[str] | None = None) -> int:
         f"throughput: {now:,.0f} configs/s (baseline {then:,.0f}); "
         f"slowdown {ratio:.2f}x (limit {args.max_regression:.1f}x)"
     )
+    failed = 0
     if ratio > args.max_regression:
         print(
             f"FAIL: measurement throughput regressed {ratio:.2f}x "
             f"vs the committed baseline",
             file=sys.stderr,
         )
+        failed = 1
+    failed |= _check_obs(args.obs_current, args.obs_max_ns)
+    if failed:
         return 1
     print("OK")
     return 0

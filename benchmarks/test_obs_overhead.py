@@ -1,0 +1,100 @@
+"""Overhead benchmark: the observability layer's disabled fast path.
+
+The instrumentation in the creator/engine/launcher hot loops is only
+acceptable because a *disabled* span costs roughly one module-global
+read: ``obs.span(...)`` returns the shared no-op singleton without
+building anything.  This benchmark times that path directly:
+
+- **bare**: an uninstrumented loop over a tiny workload;
+- **disabled**: the same loop wrapped in ``obs.span`` / ``obs.count``
+  with the session off — the state every production run is in unless
+  ``--trace`` / ``--metrics-out`` was passed;
+- **enabled**: the same loop with a live session, for scale.
+
+Asserts the disabled span adds sub-microsecond cost per iteration and
+stays well under the enabled path, then writes ``BENCH_obs.json`` (repo
+root) for the CI regression gate — see ``benchmarks/check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro import obs
+
+N_ITERS = 200_000
+#: Generous noise band: a disabled span must cost less than this per
+#: iteration on any machine CI runs on (measured ~0.1-0.3 us locally).
+MAX_DISABLED_NS = 2_000.0
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+
+def _work(x: int) -> int:
+    """A tiny stand-in for real per-span work (keeps loops comparable)."""
+    return x + 1
+
+
+def _time_bare(n: int) -> float:
+    start = time.perf_counter()
+    acc = 0
+    for _ in range(n):
+        acc = _work(acc)
+    return (time.perf_counter() - start) / n * 1e9
+
+
+def _time_instrumented(n: int) -> float:
+    start = time.perf_counter()
+    acc = 0
+    for i in range(n):
+        with obs.span("bench.iter", i=i):
+            acc = _work(acc)
+        obs.count("bench.iterations")
+    return (time.perf_counter() - start) / n * 1e9
+
+
+def test_disabled_path_is_noise():
+    obs.disable()  # make sure no earlier test left a session on
+    _time_instrumented(10_000)  # warm the bytecode before timing
+
+    bare_ns = _time_bare(N_ITERS)
+    disabled_ns = _time_instrumented(N_ITERS)
+
+    obs.enable()
+    try:
+        enabled_ns = _time_instrumented(N_ITERS // 10)
+    finally:
+        obs.disable()
+
+    added_ns = max(disabled_ns - bare_ns, 0.0)
+    record = {
+        "benchmark": "obs_overhead",
+        "iterations": N_ITERS,
+        "bare_ns_per_iter": round(bare_ns, 1),
+        "disabled_ns_per_iter": round(disabled_ns, 1),
+        "disabled_added_ns_per_span": round(added_ns, 1),
+        "enabled_ns_per_iter": round(enabled_ns, 1),
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nbare: {bare_ns:.0f}ns  disabled: {disabled_ns:.0f}ns  "
+          f"enabled: {enabled_ns:.0f}ns  -> {RESULT_PATH.name}")
+
+    assert added_ns < MAX_DISABLED_NS, (
+        f"disabled span adds {added_ns:.0f}ns/iter "
+        f"(limit {MAX_DISABLED_NS:.0f}ns); the no-op fast path regressed"
+    )
+    # The fast path must actually short-circuit: a disabled span has to
+    # be far cheaper than a recorded one.
+    assert disabled_ns < enabled_ns, (
+        f"disabled path ({disabled_ns:.0f}ns) is not cheaper than the "
+        f"enabled path ({enabled_ns:.0f}ns)"
+    )
+
+
+def test_disabled_span_is_the_shared_noop():
+    """The disabled helpers allocate nothing per call."""
+    obs.disable()
+    assert obs.span("a", x=1) is obs.span("b") is obs.NOOP_SPAN
+    assert obs.metrics_snapshot() == {}

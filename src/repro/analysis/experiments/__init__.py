@@ -74,6 +74,8 @@ def available_experiments() -> list[str]:
 
 def run_experiment(name: str, **kwargs) -> ExperimentResult:
     """Run a registered experiment by exhibit id (e.g. ``"fig11"``)."""
+    from repro import obs
+
     _load_all()
     try:
         fn = _REGISTRY[name]
@@ -81,7 +83,8 @@ def run_experiment(name: str, **kwargs) -> ExperimentResult:
         raise KeyError(
             f"unknown experiment {name!r}; available: {sorted(_REGISTRY)}"
         ) from None
-    return fn(**kwargs)
+    with obs.span(f"experiment:{name}", metric="analysis.experiment.duration_ms"):
+        return fn(**kwargs)
 
 
 def _load_all() -> None:

@@ -13,6 +13,11 @@ Variants are written as they stream out of the pass pipeline, so the
 first files appear before the full expansion finishes.  ``--measure``
 runs every generated variant through the campaign engine and writes a
 results file instead of assembly.
+
+``--trace FILE`` and ``--metrics-out FILE`` turn on the observability
+layer: one span per pass of the pipeline (plus engine/launcher spans
+under ``--measure``) and a metrics snapshot, both readable by
+``python -m repro.obs.report``.
 """
 
 from __future__ import annotations
@@ -149,6 +154,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="with --measure: results file (default: results.csv / results.jsonl)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL span trace of the run (pass pipeline, engine, "
+        "launcher); summarize with `python -m repro.obs.report`",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write a JSON metrics snapshot (counters/gauges/histograms)",
+    )
     return parser
 
 
@@ -159,6 +177,27 @@ def main(argv: list[str] | None = None) -> int:
     except (SpecParseError, OSError) as exc:
         print(f"microcreator: {exc}", file=sys.stderr)
         return 2
+    if args.trace or args.metrics_out:
+        from repro import obs
+
+        obs.enable()
+        try:
+            return _observed_main(args, spec)
+        finally:
+            session = obs.session()
+            if args.trace:
+                print(f"wrote trace to {session.tracer.write_jsonl(args.trace)}")
+            if args.metrics_out:
+                print(
+                    "wrote metrics to "
+                    f"{session.metrics.write_json(args.metrics_out)}"
+                )
+            obs.disable()
+    return _observed_main(args, spec)
+
+
+def _observed_main(args, spec) -> int:
+    """Everything after spec parsing (observability already decided)."""
     options = CreatorOptions(
         random_selection=args.random,
         seed=args.seed,

@@ -16,6 +16,11 @@ an inline run, cached by content hash, and resumable (``--no-resume``
 forces re-measurement).  Failing jobs retry up to ``--max-retries``
 times and hung jobs are bounded by ``--job-timeout``; a job that keeps
 failing is quarantined — the run completes degraded and exits 3.
+
+``--trace FILE`` and ``--metrics-out FILE`` turn on the observability
+layer for the run: a JSONL span trace of where the time went and a JSON
+metrics snapshot (cache traffic, retries, histograms), both readable by
+``python -m repro.obs.report``.
 """
 
 from __future__ import annotations
@@ -161,6 +166,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="regenerate every exhibit and write a markdown report",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL span trace of the run (engine scheduling, "
+        "launcher batches); summarize with `python -m repro.obs.report`",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write a JSON metrics snapshot (cache traffic, retries, "
+        "job-duration histograms)",
+    )
     return parser
 
 
@@ -247,7 +266,27 @@ def _report_failures(prog: str, run) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.trace or args.metrics_out:
+        from repro import obs
 
+        obs.enable()
+        try:
+            return _observed_main(args)
+        finally:
+            session = obs.session()
+            if args.trace:
+                print(f"wrote trace to {session.tracer.write_jsonl(args.trace)}")
+            if args.metrics_out:
+                print(
+                    "wrote metrics to "
+                    f"{session.metrics.write_json(args.metrics_out)}"
+                )
+            obs.disable()
+    return _observed_main(args)
+
+
+def _observed_main(args) -> int:
+    """The CLI's dispatch body (observability already decided)."""
     if args.list_exhibits:
         for name in available_experiments():
             print(name)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
+from repro import obs
 from repro.creator.pass_manager import (
     CreatorContext,
     CreatorOptions,
@@ -79,6 +80,7 @@ class MicroCreator:
             public_metadata = {
                 k: v for k, v in ir.metadata.items() if not k.startswith("_")
             }
+            obs.count("creator.variants.generated")
             yield GeneratedKernel(
                 spec_name=spec.name,
                 variant_id=i,

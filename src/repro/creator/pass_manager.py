@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Sequence
 
+from repro import obs
 from repro.creator.ir import KernelIR
 from repro.spec.schema import KernelSpec
 
@@ -217,7 +218,15 @@ class PassManager:
         :meth:`run` and :meth:`stream` bit-identical: the limit's even
         subsampling must see each pass's complete output, exactly as the
         eager pipeline applied it.
+
+        With observability enabled (:func:`repro.obs.enable`) the
+        pipeline runs pass-at-a-time instead — one ``pass:<name>`` span
+        per gated pass per variant batch, so per-pass wall time is
+        attributable — yielding exactly the same variants: each stage
+        sees its predecessor's complete output either way.
         """
+        if obs.is_enabled():
+            return self._traced_stream(ctx)
         limit = ctx.benchmark_limit
         stage: Iterator[KernelIR] = iter([KernelIR.from_spec(ctx.spec)])
         for p in self._passes:
@@ -228,6 +237,36 @@ class PassManager:
             else:
                 stage = self._clamped_stage(p, stage, ctx, limit)
         return stage
+
+    def _traced_stream(self, ctx: CreatorContext) -> Iterator[KernelIR]:
+        """The observed pipeline: materialized per pass, spanned per pass.
+
+        Lazy generator chaining interleaves every pass's work, which
+        makes per-pass attribution meaningless; tracing trades the
+        laziness (not the results — passes are pure and compose
+        identically) for spans that nest cleanly under
+        ``creator.pipeline``.
+        """
+        limit = ctx.benchmark_limit
+        with obs.span("creator.pipeline", spec=ctx.spec.name) as pipeline:
+            variants: list[KernelIR] = [KernelIR.from_spec(ctx.spec)]
+            for p in self._passes:
+                if not self.gate_for(p, ctx):
+                    continue
+                with obs.span(
+                    f"pass:{p.name}",
+                    metric="creator.pass.duration_ms",
+                    variants_in=len(variants),
+                ) as sp:
+                    out = p.run(variants, ctx)
+                    if not isinstance(out, list):  # defensive: plugin passes
+                        out = list(out)
+                    if limit is not None and len(out) > limit:
+                        out = _evenly_subsample(out, limit)
+                    sp.set(variants_out=len(out))
+                    variants = out
+            pipeline.set(variants=len(variants))
+        yield from variants
 
     def _clamped_stage(
         self, p: Pass, upstream: Iterator[KernelIR], ctx: CreatorContext, limit: int

@@ -22,6 +22,13 @@ campaign completes with N-1 rows and an explicit
 :class:`JobFailure` entry in :attr:`CampaignRun.failures` instead of
 dying.  All of it is drivable deterministically through
 :class:`~repro.engine.faults.FaultPlan`.
+
+When observability is on (:func:`repro.obs.enable`), the scheduler
+accounts for itself: spans for expansion, the cache scan, dispatch, and
+every chunk/job, plus counters and histograms under ``engine.*`` (cache
+hits/misses/puts, retries, timeouts, quarantines, job durations).  The
+final :attr:`RunStats.metrics` snapshot carries them back to the caller.
+Everything costs one global check when disabled.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable
 
+from repro import obs
 from repro.engine.cache import ResultCache
 from repro.engine.campaign import Campaign, Job
 from repro.engine.faults import FaultPlan
@@ -182,7 +190,14 @@ def _failure_reason(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
 
 
-@dataclass(slots=True)
+def _count_failed_attempt(reason: str) -> None:
+    """Metrics for one failed attempt of one job (not chunk splits)."""
+    obs.count("engine.job.attempts.failed")
+    if reason == "timeout":
+        obs.count("engine.job.timeouts")
+
+
+@dataclass(slots=True, repr=False)
 class RunStats:
     """What one campaign run did: totals, cache traffic, pool shape."""
 
@@ -196,10 +211,33 @@ class RunStats:
     retries: int = 0
     #: Jobs quarantined after exhausting their retry budget.
     failed: int = 0
+    #: Snapshot of the observability metrics registry at run end
+    #: (session-cumulative; ``{}`` when observability is disabled).
+    metrics: dict = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
         return self.cache_hits / self.total_jobs if self.total_jobs else 0.0
+
+    @property
+    def completed(self) -> int:
+        """Jobs that produced rows: executions plus cache hits."""
+        return self.executed + self.cache_hits
+
+    def __repr__(self) -> str:
+        # Hand-rolled so a degraded run — zero completed jobs included —
+        # always renders; every rate below is guarded against /0.
+        rate = f"{self.cache_hit_rate:.1%}" if self.total_jobs else "n/a"
+        extras = ""
+        if self.retries or self.failed:
+            extras = f", retries={self.retries}, failed={self.failed}"
+        if self.fell_back_inline:
+            extras += ", fell_back_inline=True"
+        return (
+            f"RunStats(total_jobs={self.total_jobs}, executed={self.executed}, "
+            f"cache_hits={self.cache_hits} ({rate}), workers={self.workers}, "
+            f"chunk_size={self.chunk_size}{extras})"
+        )
 
 
 @dataclass(slots=True)
@@ -380,17 +418,23 @@ def _parallel_execute(
             work.append(_Unit(unit.jobs[mid:]))
             return
         job = unit.jobs[0]
+        _count_failed_attempt(reason)
         attempts[job.job_id] += 1
         if attempts[job.job_id] > max_retries:
             quarantine(job, reason)
             handled.add(job.job_id)
             return
         stats.retries += 1
+        obs.count("engine.job.retries")
         backoff = retry_backoff * (2 ** (attempts[job.job_id] - 1))
         work.append(_Unit(unit.jobs, not_before=time.monotonic() + backoff))
 
     pool = None
-    in_flight: dict[concurrent.futures.Future, tuple[_Unit, float | None]] = {}
+    # future -> (unit, deadline, perf_counter submit time); submit time
+    # feeds the per-chunk trace spans and job-duration histogram.
+    in_flight: dict[
+        concurrent.futures.Future, tuple[_Unit, float | None, float]
+    ] = {}
     ever_succeeded = False
     consecutive_breaks = 0
     try:
@@ -428,7 +472,7 @@ def _parallel_execute(
                     + job_timeout * len(unit.jobs)
                     + _CHUNK_TIMEOUT_SLACK
                 )
-                in_flight[future] = (unit, deadline)
+                in_flight[future] = (unit, deadline, time.perf_counter())
             if not in_flight:
                 # Everything is backing off: sleep until the earliest
                 # unit becomes dispatchable.
@@ -444,17 +488,37 @@ def _parallel_execute(
             )
             broken = False
             for future in done:
-                unit, _deadline = in_flight.pop(future)
+                unit, _deadline, submitted = in_flight.pop(future)
+                chunk_s = time.perf_counter() - submitted
                 try:
                     outputs = future.result()
                 except BrokenProcessPool:
                     broken = True
+                    obs.add_span(
+                        "engine.chunk", submitted, chunk_s,
+                        jobs=len(unit.jobs), outcome="worker-crash",
+                    )
                     fail_unit(unit, "worker-crash")
                 except Exception as exc:
+                    obs.add_span(
+                        "engine.chunk", submitted, chunk_s,
+                        jobs=len(unit.jobs), outcome=_failure_reason(exc),
+                    )
                     fail_unit(unit, _failure_reason(exc))
                 else:
                     ever_succeeded = True
                     consecutive_breaks = 0
+                    obs.add_span(
+                        "engine.chunk", submitted, chunk_s,
+                        jobs=len(unit.jobs), outcome="ok",
+                    )
+                    if obs.is_enabled() and unit.jobs:
+                        # Per-job duration is not observable from the
+                        # scheduler side of the pool; attribute the
+                        # chunk's wall time evenly.
+                        per_job_ms = chunk_s * 1e3 / len(unit.jobs)
+                        for _ in unit.jobs:
+                            obs.observe("engine.job.duration_ms", per_job_ms)
                     by_id = {job.job_id: job for job in unit.jobs}
                     for job_id, dicts in outputs:
                         job = by_id[job_id]
@@ -472,7 +536,7 @@ def _parallel_execute(
                 # The other in-flight chunks died with the pool through
                 # no fault of their own: re-dispatch without charging an
                 # attempt.
-                for unit, _deadline in in_flight.values():
+                for unit, _deadline, _submitted in in_flight.values():
                     work.append(_Unit(unit.jobs))
                 in_flight.clear()
                 _shutdown_pool(pool, kill=True)
@@ -483,17 +547,24 @@ def _parallel_execute(
                 now = time.monotonic()
                 expired = [
                     future
-                    for future, (_unit, deadline) in in_flight.items()
+                    for future, (_unit, deadline, _submitted) in in_flight.items()
                     if deadline is not None and now > deadline
                 ]
                 if expired:
                     for future in expired:
-                        unit, _deadline = in_flight.pop(future)
+                        unit, _deadline, submitted = in_flight.pop(future)
                         future.cancel()
+                        obs.add_span(
+                            "engine.chunk",
+                            submitted,
+                            time.perf_counter() - submitted,
+                            jobs=len(unit.jobs),
+                            outcome="timeout",
+                        )
                         fail_unit(unit, "timeout")
                     # The hung worker still owns a pool slot; replace the
                     # pool and re-dispatch the innocent in-flight chunks.
-                    for future, (unit, _deadline) in in_flight.items():
+                    for future, (unit, _deadline, _submitted) in in_flight.items():
                         future.cancel()
                         work.append(_Unit(unit.jobs))
                     in_flight.clear()
@@ -539,18 +610,29 @@ def _inline_execute(
         while True:
             attempt = attempts[job.job_id]
             try:
-                dicts = _run_job_bounded(launcher, job, faults, attempt, job_timeout)
+                with obs.span(
+                    "engine.job",
+                    metric="engine.job.duration_ms",
+                    job=job.job_id,
+                    kernel=job.kernel_name,
+                    attempt=attempt,
+                ):
+                    dicts = _run_job_bounded(
+                        launcher, job, faults, attempt, job_timeout
+                    )
             except Exception as exc:
                 reason = _failure_reason(exc)
             else:
                 if record(job, dicts):
                     break
                 reason = "invalid-result"
+            _count_failed_attempt(reason)
             attempts[job.job_id] += 1
             if attempts[job.job_id] > max_retries:
                 quarantine(job, reason)
                 break
             stats.retries += 1
+            obs.count("engine.job.retries")
             backoff = retry_backoff * (2 ** (attempts[job.job_id] - 1))
             if backoff > 0:
                 time.sleep(backoff)
@@ -614,114 +696,155 @@ def run_campaign(
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
 
-    job_list = campaign.job_list()
-    say = progress or (lambda message: None)
-    stats = RunStats(total_jobs=len(job_list), workers=max(1, jobs))
+    with obs.span(
+        "engine.campaign", campaign=campaign.name, workers=max(1, jobs)
+    ) as campaign_span:
+        with obs.span("engine.expand"):
+            job_list = campaign.job_list()
+        campaign_span.set(jobs=len(job_list))
+        say = progress or (lambda message: None)
+        stats = RunStats(total_jobs=len(job_list), workers=max(1, jobs))
 
-    results: dict[str, list[Measurement]] = {}
-    pending: list[Job] = []
-    seen: set[str] = set()
-    for job in job_list:
-        if job.job_id in seen:
-            continue  # duplicate grid point: measure once, share the rows
-        seen.add(job.job_id)
-        if cache and resume:
-            cached = cache.get(job.job_id)
-            if cached is not None:
-                try:
-                    results[job.job_id] = measurements_from_payload(cached)
-                except ValueError:
-                    pass  # damaged cache entry: fall through and re-measure
-                else:
-                    stats.cache_hits += 1
+        results: dict[str, list[Measurement]] = {}
+        pending: list[Job] = []
+        seen: set[str] = set()
+        # Cache partition: every job in the campaign is answered by the
+        # cache (engine.cache.hits), scheduled for execution
+        # (engine.cache.misses), or a duplicate grid point sharing an
+        # already-partitioned job's rows (engine.jobs.deduped) — the
+        # three counters always sum to the campaign's job count.
+        with obs.span("engine.cache.scan", metric="engine.cache.scan_ms"):
+            # Register both sides of the partition up front so every
+            # export carries the invariant, an all-miss cold run included.
+            obs.count("engine.cache.hits", 0)
+            obs.count("engine.cache.misses", 0)
+            for job in job_list:
+                if job.job_id in seen:
+                    # duplicate grid point: measure once, share the rows
+                    obs.count("engine.jobs.deduped")
                     continue
-        pending.append(job)
-    say(
-        f"{campaign.name}: {len(job_list)} jobs, "
-        f"{stats.cache_hits} cached, {len(pending)} to run"
-    )
-
-    failures: dict[str, JobFailure] = {}
-    attempts: dict[str, int] = defaultdict(int)
-
-    def record(job: Job, dicts: list[dict]) -> bool:
-        """Validate and store one job's payload; ``False`` if corrupt."""
-        try:
-            measurements = measurements_from_payload(dicts)
-        except ValueError:
-            return False
-        results[job.job_id] = measurements
-        stats.executed += 1
-        if cache is not None:
-            cache.put(job.job_id, dicts, kernel=job.kernel_name, mode=job.mode)
-        return True
-
-    def quarantine(job: Job, reason: str) -> None:
-        failures[job.job_id] = JobFailure(
-            job_id=job.job_id,
-            kernel=job.kernel_name,
-            mode=job.mode,
-            attempts=attempts[job.job_id],
-            reason=reason,
-        )
+                seen.add(job.job_id)
+                if cache and resume:
+                    cached = cache.get(job.job_id)
+                    if cached is not None:
+                        try:
+                            results[job.job_id] = measurements_from_payload(cached)
+                        except ValueError:
+                            pass  # damaged cache entry: re-measure below
+                        else:
+                            stats.cache_hits += 1
+                            obs.count("engine.cache.hits")
+                            continue
+                obs.count("engine.cache.misses")
+                pending.append(job)
         say(
-            f"{campaign.name}: quarantined job {job.job_id} "
-            f"({job.kernel_name}) after {attempts[job.job_id]} attempts: {reason}"
+            f"{campaign.name}: {len(job_list)} jobs, "
+            f"{stats.cache_hits} cached, {len(pending)} to run"
         )
 
-    if pending and stats.workers > 1:
-        stats.chunk_size = resolve_chunk_size(chunk_size, len(pending), stats.workers)
-        leftover = _parallel_execute(
-            campaign,
-            pending,
-            stats=stats,
-            faults=faults,
-            attempts=attempts,
-            max_retries=max_retries,
-            job_timeout=job_timeout,
-            retry_backoff=retry_backoff,
-            record=record,
-            quarantine=quarantine,
-            say=say,
-        )
-        if leftover is None:
-            pending = []
-        else:
-            # Pool unavailable (sandboxed /dev/shm, fork limits): results
-            # are seed-derived per job, so inline execution is identical.
-            stats.fell_back_inline = True
-            say(f"{campaign.name}: worker pool unavailable, running inline")
-            pending = leftover
-    if pending:
-        _inline_execute(
-            campaign,
-            pending,
-            stats=stats,
-            faults=faults,
-            attempts=attempts,
-            max_retries=max_retries,
-            job_timeout=job_timeout,
-            retry_backoff=retry_backoff,
-            record=record,
-            quarantine=quarantine,
-        )
+        failures: dict[str, JobFailure] = {}
+        attempts: dict[str, int] = defaultdict(int)
 
-    ordered_failures: list[JobFailure] = []
-    reported: set[str] = set()
-    for job in job_list:
-        if job.job_id in failures and job.job_id not in reported:
-            reported.add(job.job_id)
-            ordered_failures.append(failures[job.job_id])
-    stats.failed = len(ordered_failures)
-    say(
-        f"{campaign.name}: done — {stats.executed} executed, "
-        f"{stats.cache_hits} cache hits"
-        + (f", {stats.failed} failed" if stats.failed else "")
-    )
-    return CampaignRun(
-        campaign=campaign,
-        jobs=job_list,
-        results=results,
-        stats=stats,
-        failures=ordered_failures,
-    )
+        def record(job: Job, dicts: list[dict]) -> bool:
+            """Validate and store one job's payload; ``False`` if corrupt."""
+            try:
+                measurements = measurements_from_payload(dicts)
+            except ValueError:
+                return False
+            results[job.job_id] = measurements
+            stats.executed += 1
+            if cache is not None:
+                with obs.span(
+                    "engine.cache.put",
+                    metric="engine.cache.put_ms",
+                    job=job.job_id,
+                ):
+                    cache.put(
+                        job.job_id, dicts, kernel=job.kernel_name, mode=job.mode
+                    )
+                obs.count("engine.cache.puts")
+            return True
+
+        def quarantine(job: Job, reason: str) -> None:
+            failures[job.job_id] = JobFailure(
+                job_id=job.job_id,
+                kernel=job.kernel_name,
+                mode=job.mode,
+                attempts=attempts[job.job_id],
+                reason=reason,
+            )
+            obs.count("engine.job.quarantined")
+            say(
+                f"{campaign.name}: quarantined job {job.job_id} "
+                f"({job.kernel_name}) after {attempts[job.job_id]} attempts: "
+                f"{reason}"
+            )
+
+        if pending and stats.workers > 1:
+            stats.chunk_size = resolve_chunk_size(
+                chunk_size, len(pending), stats.workers
+            )
+            with obs.span(
+                "engine.dispatch",
+                mode="pool",
+                jobs=len(pending),
+                workers=stats.workers,
+                chunk_size=stats.chunk_size,
+            ):
+                leftover = _parallel_execute(
+                    campaign,
+                    pending,
+                    stats=stats,
+                    faults=faults,
+                    attempts=attempts,
+                    max_retries=max_retries,
+                    job_timeout=job_timeout,
+                    retry_backoff=retry_backoff,
+                    record=record,
+                    quarantine=quarantine,
+                    say=say,
+                )
+            if leftover is None:
+                pending = []
+            else:
+                # Pool unavailable (sandboxed /dev/shm, fork limits):
+                # results are seed-derived per job, so inline execution
+                # is identical.
+                stats.fell_back_inline = True
+                say(f"{campaign.name}: worker pool unavailable, running inline")
+                pending = leftover
+        if pending:
+            with obs.span("engine.dispatch", mode="inline", jobs=len(pending)):
+                _inline_execute(
+                    campaign,
+                    pending,
+                    stats=stats,
+                    faults=faults,
+                    attempts=attempts,
+                    max_retries=max_retries,
+                    job_timeout=job_timeout,
+                    retry_backoff=retry_backoff,
+                    record=record,
+                    quarantine=quarantine,
+                )
+
+        ordered_failures: list[JobFailure] = []
+        reported: set[str] = set()
+        for job in job_list:
+            if job.job_id in failures and job.job_id not in reported:
+                reported.add(job.job_id)
+                ordered_failures.append(failures[job.job_id])
+        stats.failed = len(ordered_failures)
+        stats.metrics = obs.metrics_snapshot()
+        say(
+            f"{campaign.name}: done — {stats.executed} executed, "
+            f"{stats.cache_hits} cache hits"
+            + (f", {stats.failed} failed" if stats.failed else "")
+        )
+        return CampaignRun(
+            campaign=campaign,
+            jobs=job_list,
+            results=results,
+            stats=stats,
+            failures=ordered_failures,
+        )

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro import obs
 from repro.launcher.arrays import AlignmentSweep, ArrayAllocator
 from repro.launcher.csvout import write_csv
 from repro.launcher.kernel_input import SimKernel, as_sim_kernel
@@ -118,26 +119,31 @@ class MicroLauncher:
         instead of per-measurement noise-stream setup.
         """
         options = options or LauncherOptions()
-        requests = []
-        for kernel in kernels:
-            sim = as_sim_kernel(kernel, trip_count=options.trip_count)
-            bindings = ArrayAllocator(sim, options).bindings()
-            requests.append(
-                self._request(
-                    sim,
-                    options,
-                    bindings,
-                    active_cores_on_socket=active_cores_on_socket,
-                    core=options.core if options.pin else None,
+        with obs.span("launcher.run_batch") as batch_span:
+            requests = []
+            with obs.span("launcher.normalize", metric="launcher.model.duration_ms"):
+                for kernel in kernels:
+                    sim = as_sim_kernel(kernel, trip_count=options.trip_count)
+                    bindings = ArrayAllocator(sim, options).bindings()
+                    requests.append(
+                        self._request(
+                            sim,
+                            options,
+                            bindings,
+                            active_cores_on_socket=active_cores_on_socket,
+                            core=options.core if options.pin else None,
+                        )
+                    )
+            batch_span.set(batch=len(requests))
+            obs.observe("launcher.batch.size", len(requests), bounds=obs.SIZE_BUCKETS)
+            with obs.span("launcher.measure", metric="launcher.sim.duration_ms"):
+                measurements = run_measurement_batch(
+                    requests,
+                    options=options,
+                    freq_ghz=options.frequency_ghz or self.config.freq_ghz,
+                    tsc_ghz=self.config.freq_ghz,
+                    noise=self._noise_for(options, noise_salt),
                 )
-            )
-        measurements = run_measurement_batch(
-            requests,
-            options=options,
-            freq_ghz=options.frequency_ghz or self.config.freq_ghz,
-            tsc_ghz=self.config.freq_ghz,
-            noise=self._noise_for(options, noise_salt),
-        )
         self._maybe_csv(options, measurements)
         return MeasurementSeries(measurements)
 
@@ -252,23 +258,33 @@ class MicroLauncher:
         noise_salt: int = 0,
         extra_metadata: dict[str, object] | None = None,
     ) -> Measurement:
-        request = self._request(
-            sim,
-            options,
-            bindings,
-            active_cores_on_socket=active_cores_on_socket,
-            core=core,
-            alignments=alignments,
-            n_cores=n_cores,
-            extra_metadata=extra_metadata,
-        )
-        measurement = run_measurement_batch(
-            [request],
-            options=options,
-            freq_ghz=options.frequency_ghz or self.config.freq_ghz,
-            tsc_ghz=self.config.freq_ghz,
-            noise=self._noise_for(options, noise_salt),
-        )[0]
+        # A batch of one: same span vocabulary as run_batch so traces
+        # aggregate by name no matter which entry point ran the kernel.
+        with obs.span("launcher.run_batch", batch=1):
+            with obs.span(
+                "launcher.normalize", metric="launcher.model.duration_ms"
+            ):
+                request = self._request(
+                    sim,
+                    options,
+                    bindings,
+                    active_cores_on_socket=active_cores_on_socket,
+                    core=core,
+                    alignments=alignments,
+                    n_cores=n_cores,
+                    extra_metadata=extra_metadata,
+                )
+            obs.observe("launcher.batch.size", 1, bounds=obs.SIZE_BUCKETS)
+            with obs.span(
+                "launcher.measure", metric="launcher.sim.duration_ms"
+            ):
+                measurement = run_measurement_batch(
+                    [request],
+                    options=options,
+                    freq_ghz=options.frequency_ghz or self.config.freq_ghz,
+                    tsc_ghz=self.config.freq_ghz,
+                    noise=self._noise_for(options, noise_salt),
+                )[0]
         if n_cores == 1 and not alignments:
             self._maybe_csv(options, [measurement])
         return measurement

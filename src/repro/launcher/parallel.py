@@ -26,12 +26,25 @@ from repro.machine.noise import NoiseModel
 from repro.machine.pipeline import estimate_iteration_time
 
 
-@dataclass(slots=True)
+@dataclass(slots=True, repr=False)
 class ForkResult:
     """Outcome of a forked multi-core run."""
 
     per_core: list[Measurement] = field(default_factory=list)
     pinned_cores: list[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        # Summarized rather than the dataclass default (which would dump
+        # every per-core Measurement), and total for the degraded case:
+        # an all-quarantined campaign yields an empty co-run, where the
+        # aggregate properties are NaN by contract — never an exception.
+        return (
+            f"ForkResult(n_cores={self.n_cores}, "
+            f"cores={self.pinned_cores!r}, "
+            f"mean_cpi={self.mean_cycles_per_iteration:.4g}, "
+            f"max_cpi={self.max_cycles_per_iteration:.4g}, "
+            f"spread={self.spread:.4g})"
+        )
 
     @property
     def n_cores(self) -> int:

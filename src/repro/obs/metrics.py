@@ -1,0 +1,193 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms.
+
+Names are dotted paths owned by the layer that emits them
+(``engine.cache.hits``, ``creator.variants.generated``,
+``launcher.batch.size``; see ``docs/OBSERVABILITY.md`` for the full
+catalogue).  Histograms use fixed bucket boundaries chosen at
+registration, Prometheus-style: ``counts[i]`` holds observations with
+``value <= bounds[i]``, plus one overflow bucket — cheap to merge and
+stable to serialize.
+
+Everything snapshots to plain JSON-safe dicts (:meth:`MetricsRegistry.
+snapshot` / :meth:`write_json`), which is also what
+:class:`~repro.engine.runner.RunStats` carries back from a campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from pathlib import Path
+
+#: Default boundaries for duration-style histograms, in milliseconds.
+DURATION_MS_BUCKETS: tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0,
+)
+
+#: Default boundaries for size/count-style histograms (powers of two).
+SIZE_BUCKETS: tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Observation counts over fixed bucket boundaries.
+
+    ``bounds`` are inclusive upper edges in ascending order; an
+    observation lands in the first bucket whose edge is >= the value,
+    or the overflow bucket past the last edge.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: tuple[float, ...]) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be ascending, got {bounds!r}")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """NaN for an empty histogram — there is no average of nothing."""
+        return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-th percentile (0..100) from the bucket edges.
+
+        Returns the upper edge of the bucket containing the q-th
+        observation (``max`` for the overflow bucket), or NaN when the
+        histogram is empty — never a division by zero.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.count:
+            return float("nan")
+        rank = max(1, round(q / 100.0 * self.count))
+        seen = 0
+        for i, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max  # pragma: no cover - rank <= count by construction
+
+    def to_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry; all mutation under one lock.
+
+    The instrument objects themselves are lock-free (single attribute
+    bumps); the lock only guards the name -> instrument maps, so the
+    enabled hot path is a dict ``get`` plus an integer add.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instruments ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            with self._lock:
+                c = self._counters.setdefault(name, Counter(name))
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            with self._lock:
+                g = self._gauges.setdefault(name, Gauge(name))
+        return g
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DURATION_MS_BUCKETS
+    ) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            with self._lock:
+                h = self._histograms.setdefault(name, Histogram(name, bounds))
+        return h
+
+    # -- snapshot ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe view of every instrument (counters sorted by name)."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value for name, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: g.value for name, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: h.to_dict()
+                    for name, h in sorted(self._histograms.items())
+                },
+            }
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n")
+        return path
+
+
+def load_metrics(path: str | Path) -> dict:
+    """Read a :meth:`MetricsRegistry.write_json` file back as a snapshot."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,173 @@
+"""Human-readable summary of a trace and/or metrics export.
+
+Turns the raw JSONL/JSON files written by ``--trace`` and
+``--metrics-out`` into the questions an operator actually asks: where
+did the time go (slowest spans, per-name totals), did the cache work
+(hit rate), and how rough was the ride (retry/timeout/quarantine
+counts, job-duration percentiles).  Every formatter is total-safe: an
+empty trace, a metrics file with zero lookups, or a run where every job
+was quarantined renders as an honest report, never a division by zero.
+
+Shell usage::
+
+    python -m repro.obs.report --trace trace.jsonl --metrics metrics.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from collections import defaultdict
+
+from repro.obs.metrics import load_metrics
+from repro.obs.trace import load_trace
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:,.2f} ms"
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    """A rate that is NaN — not a crash — when nothing was counted."""
+    return numerator / denominator if denominator else float("nan")
+
+
+def _fmt_rate(value: float) -> str:
+    return "n/a" if math.isnan(value) else f"{value:.1%}"
+
+
+def summarize_spans(records: list[dict], *, top: int = 10) -> list[str]:
+    """Top-N slowest spans plus per-name aggregates."""
+    lines = [f"spans: {len(records)}"]
+    if not records:
+        return lines + ["  (no spans recorded)"]
+    slowest = sorted(records, key=lambda r: r.get("duration_s", 0.0), reverse=True)
+    lines.append(f"top {min(top, len(slowest))} slowest:")
+    for record in slowest[:top]:
+        attrs = record.get("attrs") or {}
+        detail = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        lines.append(
+            f"  {_fmt_ms(record.get('duration_s', 0.0)):>14}  "
+            f"{record.get('name', '?')}" + (f"  [{detail}]" if detail else "")
+        )
+    totals: dict[str, list[float]] = defaultdict(list)
+    for record in records:
+        totals[record.get("name", "?")].append(record.get("duration_s", 0.0))
+    lines.append("by span name (count, total, mean):")
+    ranked = sorted(totals.items(), key=lambda kv: sum(kv[1]), reverse=True)
+    for name, durations in ranked:
+        total = sum(durations)
+        lines.append(
+            f"  {name:<28} x{len(durations):<5} {_fmt_ms(total):>14}  "
+            f"mean {_fmt_ms(total / len(durations))}"
+        )
+    return lines
+
+
+def summarize_metrics(snapshot: dict) -> list[str]:
+    """Cache hit rate, failure-path counters, and histogram summaries."""
+    counters: dict = snapshot.get("counters") or {}
+    histograms: dict = snapshot.get("histograms") or {}
+    gauges: dict = snapshot.get("gauges") or {}
+    lines: list[str] = []
+
+    hits = counters.get("engine.cache.hits", 0)
+    misses = counters.get("engine.cache.misses", 0)
+    lines.append(
+        f"cache: {hits} hits / {misses} misses "
+        f"(hit rate {_fmt_rate(_ratio(hits, hits + misses))})"
+    )
+    retries = counters.get("engine.job.retries", 0)
+    timeouts = counters.get("engine.job.timeouts", 0)
+    quarantined = counters.get("engine.job.quarantined", 0)
+    if retries or timeouts or quarantined:
+        lines.append(
+            f"failures: {retries} retries, {timeouts} timeouts, "
+            f"{quarantined} quarantined"
+        )
+    shown = {
+        "engine.cache.hits",
+        "engine.cache.misses",
+        "engine.job.retries",
+        "engine.job.timeouts",
+        "engine.job.quarantined",
+    }
+    other = {k: v for k, v in counters.items() if k not in shown}
+    if other:
+        lines.append("counters:")
+        lines.extend(f"  {name:<32} {value}" for name, value in sorted(other.items()))
+    if gauges:
+        lines.append("gauges:")
+        lines.extend(f"  {name:<32} {value:g}" for name, value in sorted(gauges.items()))
+    for name, data in sorted(histograms.items()):
+        lines.extend(_histogram_lines(name, data))
+    return lines
+
+
+def _histogram_lines(name: str, data: dict) -> list[str]:
+    count = data.get("count", 0)
+    if not count:
+        return [f"{name}: no observations"]
+    total = data.get("total", 0.0)
+    mean = _ratio(total, count)
+    head = (
+        f"{name}: n={count} mean={mean:.3g} "
+        f"min={data.get('min'):.3g} max={data.get('max'):.3g}"
+    )
+    bounds = data.get("bounds") or []
+    bucket_counts = data.get("counts") or []
+    bars = []
+    peak = max(bucket_counts) if bucket_counts else 0
+    for i, n in enumerate(bucket_counts):
+        if not n:
+            continue
+        edge = f"<= {bounds[i]:g}" if i < len(bounds) else f"> {bounds[-1]:g}"
+        bar = "#" * max(1, round(n / peak * 20)) if peak else ""
+        bars.append(f"  {edge:>12}  {n:>6}  {bar}")
+    return [head, *bars]
+
+
+def render(
+    trace_records: list[dict] | None = None,
+    metrics_snapshot: dict | None = None,
+    *,
+    top: int = 10,
+) -> str:
+    """The full text report for whichever inputs are present."""
+    sections: list[str] = ["== observability report =="]
+    if trace_records is not None:
+        sections.extend(summarize_spans(trace_records, top=top))
+    if metrics_snapshot is not None:
+        sections.extend(summarize_metrics(metrics_snapshot))
+    if trace_records is None and metrics_snapshot is None:
+        sections.append("(nothing to report: pass --trace and/or --metrics)")
+    return "\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarize a --trace JSONL and/or --metrics-out JSON export.",
+    )
+    parser.add_argument("--trace", metavar="FILE", default=None)
+    parser.add_argument("--metrics", metavar="FILE", default=None)
+    parser.add_argument("--top", type=int, default=10, help="slowest spans to list")
+    args = parser.parse_args(argv)
+    try:
+        records = load_trace(args.trace) if args.trace else None
+        snapshot = load_metrics(args.metrics) if args.metrics else None
+    except (OSError, ValueError) as exc:
+        print(f"repro.obs.report: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(render(records, snapshot, top=args.top))
+    except BrokenPipeError:
+        # Downstream closed early (`report ... | head`); not an error.
+        sys.stderr.close()
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -10,6 +10,21 @@ from repro.machine import nehalem_2s_x5650, nehalem_4s_x7550, sandy_bridge_e3124
 from repro.spec import load_kernel
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the tests/golden/ snapshot files instead of comparing",
+    )
+
+
+@pytest.fixture()
+def update_golden(request):
+    """True when the run should regenerate golden files, not assert them."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture(scope="session")
 def nehalem():
     return nehalem_2s_x5650()

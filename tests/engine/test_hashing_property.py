@@ -1,0 +1,114 @@
+"""Property tests: content digests are stable and order-independent.
+
+The result cache and the resume path key everything on content hashes,
+so two jobs with the same content must produce the same ID regardless
+of dict insertion order, construction order, or process history — and
+any content difference must change the ID.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.hashing import (
+    canonical_json,
+    job_id_for,
+    kernel_digest,
+    options_digest,
+    spec_digest,
+)
+from repro.kernels.reduction import dot_product_spec
+from repro.launcher import LauncherOptions
+
+_scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**31), max_value=2**31)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=12)
+)
+json_objects = st.recursive(
+    _scalars,
+    lambda children: (
+        st.lists(children, max_size=4)
+        | st.dictionaries(st.text(max_size=8), children, max_size=4)
+    ),
+    max_leaves=12,
+)
+
+
+def _reordered(obj):
+    """Same value, reversed dict insertion order at every level."""
+    if isinstance(obj, dict):
+        return {k: _reordered(obj[k]) for k in reversed(list(obj))}
+    if isinstance(obj, list):
+        return [_reordered(v) for v in obj]
+    return obj
+
+
+@settings(max_examples=120, deadline=None)
+@given(obj=json_objects)
+def test_canonical_json_ignores_key_order(obj):
+    assert canonical_json(obj) == canonical_json(_reordered(obj))
+
+
+@st.composite
+def option_fields(draw):
+    return dict(
+        array_bytes=draw(st.integers(min_value=64, max_value=1 << 22)),
+        trip_count=draw(st.integers(min_value=1, max_value=1 << 16)),
+        experiments=draw(st.integers(min_value=1, max_value=32)),
+        repetitions=draw(st.integers(min_value=1, max_value=64)),
+        alignment=draw(st.integers(min_value=0, max_value=256)),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(fields=option_fields())
+def test_equal_options_hash_equal(fields):
+    """Two independently built equal options digest identically."""
+    assert options_digest(LauncherOptions(**fields)) == options_digest(
+        LauncherOptions(**fields)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(fields=option_fields(), bump=st.integers(min_value=1, max_value=1000))
+def test_option_content_changes_the_digest(fields, bump):
+    base = options_digest(LauncherOptions(**fields))
+    changed = dict(fields, trip_count=fields["trip_count"] + bump)
+    assert options_digest(LauncherOptions(**changed)) != base
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_acc=st.integers(min_value=1, max_value=4),
+    lo=st.integers(min_value=1, max_value=4),
+    span=st.integers(min_value=0, max_value=4),
+)
+def test_equal_specs_hash_equal(n_acc, lo, span):
+    """Construction history does not leak into a spec's digest."""
+    a = dot_product_spec(n_acc, unroll=(lo, lo + span))
+    b = dot_product_spec(n_acc, unroll=(lo, lo + span))
+    assert spec_digest(a) == spec_digest(b)
+    assert spec_digest(a) != spec_digest(dot_product_spec(n_acc + 1, unroll=(lo, lo + span)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(text=st.text(min_size=1, max_size=200).filter(lambda s: "\n" in s or not s.endswith((".s", ".c", ".f", ".f90"))))
+def test_kernel_digest_depends_only_on_text(text):
+    assert kernel_digest(text) == kernel_digest(str(text))
+    assert kernel_digest(text) != kernel_digest(text + "#")
+
+
+@settings(max_examples=60, deadline=None)
+@given(parts=st.lists(st.text(alphabet="0123456789abcdef", min_size=4, max_size=16), min_size=3, max_size=3), mode=st.sampled_from(["native", "sim"]))
+def test_job_id_is_deterministic(parts, mode):
+    k, o, m = parts
+    job_id = job_id_for(k, o, m, mode)
+    assert job_id == job_id_for(k, o, m, mode)
+    assert len(job_id) == 16
+    assert set(job_id) <= set("0123456789abcdef")
+    other = "sim" if mode == "native" else "native"
+    assert job_id != job_id_for(k, o, m, other)

@@ -1,0 +1,112 @@
+"""Property tests: measurement serialization round-trips exactly.
+
+The cache, the worker transport, and the JSONL results format all rely
+on ``measurement_to_dict`` / ``measurement_from_dict`` being a lossless
+pair: whatever measurement the launcher produces must survive
+encode -> JSON text -> decode byte-identically (floats included — JSON
+carries the shortest round-trip repr).  Hypothesis generates arbitrary
+measurements, including deeply nested metadata, to pin that contract.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.hashing import canonical_json
+from repro.engine.serialize import (
+    measurement_from_dict,
+    measurement_to_dict,
+    measurements_from_payload,
+)
+from repro.launcher.measurement import Measurement
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+names = st.text(min_size=1, max_size=16)
+
+#: JSON-safe metadata values as the launcher records them: scalars and
+#: *tuples* (JSON lists come back as tuples by convention).
+_scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**31), max_value=2**31)
+    | finite
+    | st.text(max_size=16)
+)
+_metadata_values = st.recursive(
+    _scalars,
+    lambda children: (
+        st.lists(children, max_size=3).map(tuple)
+        | st.dictionaries(st.text(max_size=8), children, max_size=3)
+    ),
+    max_leaves=8,
+)
+metadata = st.dictionaries(st.text(max_size=10), _metadata_values, max_size=4)
+
+
+@st.composite
+def measurements(draw):
+    return Measurement(
+        kernel_name=draw(names),
+        label=draw(st.text(max_size=24)),
+        trip_count=draw(st.integers(min_value=1, max_value=1 << 20)),
+        repetitions=draw(st.integers(min_value=1, max_value=1 << 12)),
+        loop_iterations=draw(st.integers(min_value=1, max_value=1 << 20)),
+        elements_per_iteration=draw(st.integers(min_value=1, max_value=64)),
+        n_memory_instructions=draw(st.integers(min_value=0, max_value=64)),
+        experiment_tsc=tuple(
+            draw(st.lists(finite.filter(lambda x: x >= 0), min_size=1, max_size=8))
+        ),
+        freq_ghz=draw(finite.filter(lambda x: x > 0)),
+        tsc_ghz=draw(finite.filter(lambda x: x > 0)),
+        aggregator=draw(st.sampled_from(["min", "median", "mean"])),
+        alignments=tuple(draw(st.lists(st.integers(0, 4096), max_size=4))),
+        core=draw(st.none() | st.integers(0, 127)),
+        n_cores=draw(st.integers(min_value=1, max_value=128)),
+        bottleneck=draw(st.text(max_size=12)),
+        metadata=draw(metadata),
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(m=measurements())
+def test_roundtrip_is_byte_identical(m):
+    """encode -> JSON text -> decode -> encode reproduces the exact bytes."""
+    encoded = measurement_to_dict(m)
+    wire = json.dumps(encoded)  # the actual transport: JSON text
+    decoded = measurement_from_dict(json.loads(wire))
+    assert decoded == m
+    assert canonical_json(measurement_to_dict(decoded)) == canonical_json(encoded)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ms=st.lists(measurements(), min_size=1, max_size=4))
+def test_payload_roundtrip(ms):
+    """A whole worker payload survives the strict decoder unchanged."""
+    payload = json.loads(json.dumps([measurement_to_dict(m) for m in ms]))
+    assert measurements_from_payload(payload) == ms
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=measurements(), junk=names)
+def test_unknown_fields_are_rejected(m, junk):
+    """Decoding is strict: any field not in Measurement raises."""
+    data = measurement_to_dict(m)
+    data[f"x_{junk}"] = 1  # prefix: never collides with a real field
+    try:
+        measurement_from_dict(data)
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("unknown field silently accepted")
+
+
+def test_payload_rejects_non_lists():
+    for bad in (None, {}, [], "[]", 42, [{"kernel_name": "k"}]):
+        try:
+            measurements_from_payload(bad)
+        except ValueError:
+            continue
+        raise AssertionError(f"payload {bad!r} accepted")

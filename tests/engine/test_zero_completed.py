@@ -1,0 +1,89 @@
+"""Regression: everything still renders when *zero* jobs completed.
+
+A fully quarantined campaign (every job faulted past its retry budget)
+used to be able to divide by zero in summary paths — ``RunStats`` rates,
+``ForkResult`` aggregates over an empty co-run, and the observability
+report's cache-hit ratio.  These tests pin the contract: degraded runs
+render as ``n/a`` / ``nan``, never raise.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.engine import Campaign, FaultPlan, SweepSpec, run_campaign
+from repro.engine.runner import RunStats
+from repro.launcher import LauncherOptions
+from repro.launcher.parallel import ForkResult
+from repro.machine import nehalem_2s_x5650
+from repro.obs.report import render, summarize_metrics
+
+
+def test_empty_run_stats_repr():
+    text = repr(RunStats())
+    assert "total_jobs=0" in text
+    assert "n/a" in text  # cache hit rate over zero jobs
+
+
+def test_all_failed_run_stats_repr():
+    text = repr(RunStats(total_jobs=4, executed=0, retries=8, failed=4))
+    assert "failed=4" in text
+    assert "0.0%" in text
+
+
+def test_empty_fork_result_repr():
+    text = repr(ForkResult())
+    assert "n_cores=0" in text
+    assert "nan" in text  # aggregate CPI over zero cores
+
+
+def _tiny_campaign():
+    from repro.creator import MicroCreator
+    from repro.spec import load_kernel
+
+    variants = MicroCreator().generate(load_kernel("movaps"))[:2]
+    sweep = SweepSpec(
+        kernels=tuple(variants),
+        base=LauncherOptions(array_bytes=16 * 1024, experiments=2, repetitions=2),
+    )
+    return Campaign(name="doomed", machine=nehalem_2s_x5650(), sweeps=(sweep,))
+
+
+def test_all_quarantined_campaign_renders_everywhere():
+    """Every job faulted: stats repr, metrics report, trace report all fine."""
+    campaign = _tiny_campaign()
+    faults = FaultPlan(
+        {
+            job.job_id: FaultPlan.for_job(job.job_id, "raise").faults[job.job_id]
+            for job in campaign.job_list()
+        }
+    )
+    obs.enable()
+    try:
+        run = run_campaign(
+            campaign, faults=faults, max_retries=0, retry_backoff=0.0
+        )
+        records = obs.session().tracer.records
+        snapshot = obs.metrics_snapshot()
+    finally:
+        obs.disable()
+
+    assert run.stats.completed == 0
+    assert len(run.failures) == run.stats.total_jobs
+    assert not run.measurements()
+
+    # None of the summary surfaces may raise on the all-failed run.
+    assert "failed=2" in repr(run.stats)
+    report = render(records, snapshot)
+    assert "quarantined" in report
+    assert "ZeroDivision" not in report
+
+
+def test_metrics_report_with_no_cache_traffic():
+    """Zero hits + zero misses renders the hit rate as n/a, not a crash."""
+    snapshot = {
+        "counters": {"engine.cache.hits": 0, "engine.cache.misses": 0},
+        "gauges": {},
+        "histograms": {},
+    }
+    text = "\n".join(summarize_metrics(snapshot))
+    assert "n/a" in text

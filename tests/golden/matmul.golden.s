@@ -1,0 +1,264 @@
+### matmul_micro_n200_v0000 unroll=1 mix=LS
+	.text
+	.globl matmul_micro_n200_v0000
+	.type matmul_micro_n200_v0000, @function
+matmul_micro_n200_v0000:
+.L3:
+#Unrolling iterations
+movsd (%rsi), %xmm0
+mulsd (%rdx), %xmm0
+addsd %xmm0, %xmm8
+movsd %xmm8, (%rcx)
+#Induction variables
+add $8, %rsi
+add $1600, %rdx
+sub $1, %rdi
+jge .L3
+ret
+	.size matmul_micro_n200_v0000, .-matmul_micro_n200_v0000
+
+### matmul_micro_n200_v0001 unroll=2 mix=LSLS
+	.text
+	.globl matmul_micro_n200_v0001
+	.type matmul_micro_n200_v0001, @function
+matmul_micro_n200_v0001:
+.L3:
+#Unrolling iterations
+movsd (%rsi), %xmm0
+mulsd (%rdx), %xmm0
+addsd %xmm0, %xmm8
+movsd %xmm8, (%rcx)
+movsd 8(%rsi), %xmm1
+mulsd 1600(%rdx), %xmm1
+addsd %xmm1, %xmm8
+movsd %xmm8, (%rcx)
+#Induction variables
+add $16, %rsi
+add $3200, %rdx
+sub $2, %rdi
+jge .L3
+ret
+	.size matmul_micro_n200_v0001, .-matmul_micro_n200_v0001
+
+### matmul_micro_n200_v0002 unroll=3 mix=LSLSLS
+	.text
+	.globl matmul_micro_n200_v0002
+	.type matmul_micro_n200_v0002, @function
+matmul_micro_n200_v0002:
+.L3:
+#Unrolling iterations
+movsd (%rsi), %xmm0
+mulsd (%rdx), %xmm0
+addsd %xmm0, %xmm8
+movsd %xmm8, (%rcx)
+movsd 8(%rsi), %xmm1
+mulsd 1600(%rdx), %xmm1
+addsd %xmm1, %xmm8
+movsd %xmm8, (%rcx)
+movsd 16(%rsi), %xmm2
+mulsd 3200(%rdx), %xmm2
+addsd %xmm2, %xmm8
+movsd %xmm8, (%rcx)
+#Induction variables
+add $24, %rsi
+add $4800, %rdx
+sub $3, %rdi
+jge .L3
+ret
+	.size matmul_micro_n200_v0002, .-matmul_micro_n200_v0002
+
+### matmul_micro_n200_v0003 unroll=4 mix=LSLSLSLS
+	.text
+	.globl matmul_micro_n200_v0003
+	.type matmul_micro_n200_v0003, @function
+matmul_micro_n200_v0003:
+.L3:
+#Unrolling iterations
+movsd (%rsi), %xmm0
+mulsd (%rdx), %xmm0
+addsd %xmm0, %xmm8
+movsd %xmm8, (%rcx)
+movsd 8(%rsi), %xmm1
+mulsd 1600(%rdx), %xmm1
+addsd %xmm1, %xmm8
+movsd %xmm8, (%rcx)
+movsd 16(%rsi), %xmm2
+mulsd 3200(%rdx), %xmm2
+addsd %xmm2, %xmm8
+movsd %xmm8, (%rcx)
+movsd 24(%rsi), %xmm3
+mulsd 4800(%rdx), %xmm3
+addsd %xmm3, %xmm8
+movsd %xmm8, (%rcx)
+#Induction variables
+add $32, %rsi
+add $6400, %rdx
+sub $4, %rdi
+jge .L3
+ret
+	.size matmul_micro_n200_v0003, .-matmul_micro_n200_v0003
+
+### matmul_micro_n200_v0004 unroll=5 mix=LSLSLSLSLS
+	.text
+	.globl matmul_micro_n200_v0004
+	.type matmul_micro_n200_v0004, @function
+matmul_micro_n200_v0004:
+.L3:
+#Unrolling iterations
+movsd (%rsi), %xmm0
+mulsd (%rdx), %xmm0
+addsd %xmm0, %xmm8
+movsd %xmm8, (%rcx)
+movsd 8(%rsi), %xmm1
+mulsd 1600(%rdx), %xmm1
+addsd %xmm1, %xmm8
+movsd %xmm8, (%rcx)
+movsd 16(%rsi), %xmm2
+mulsd 3200(%rdx), %xmm2
+addsd %xmm2, %xmm8
+movsd %xmm8, (%rcx)
+movsd 24(%rsi), %xmm3
+mulsd 4800(%rdx), %xmm3
+addsd %xmm3, %xmm8
+movsd %xmm8, (%rcx)
+movsd 32(%rsi), %xmm4
+mulsd 6400(%rdx), %xmm4
+addsd %xmm4, %xmm8
+movsd %xmm8, (%rcx)
+#Induction variables
+add $40, %rsi
+add $8000, %rdx
+sub $5, %rdi
+jge .L3
+ret
+	.size matmul_micro_n200_v0004, .-matmul_micro_n200_v0004
+
+### matmul_micro_n200_v0005 unroll=6 mix=LSLSLSLSLSLS
+	.text
+	.globl matmul_micro_n200_v0005
+	.type matmul_micro_n200_v0005, @function
+matmul_micro_n200_v0005:
+.L3:
+#Unrolling iterations
+movsd (%rsi), %xmm0
+mulsd (%rdx), %xmm0
+addsd %xmm0, %xmm8
+movsd %xmm8, (%rcx)
+movsd 8(%rsi), %xmm1
+mulsd 1600(%rdx), %xmm1
+addsd %xmm1, %xmm8
+movsd %xmm8, (%rcx)
+movsd 16(%rsi), %xmm2
+mulsd 3200(%rdx), %xmm2
+addsd %xmm2, %xmm8
+movsd %xmm8, (%rcx)
+movsd 24(%rsi), %xmm3
+mulsd 4800(%rdx), %xmm3
+addsd %xmm3, %xmm8
+movsd %xmm8, (%rcx)
+movsd 32(%rsi), %xmm4
+mulsd 6400(%rdx), %xmm4
+addsd %xmm4, %xmm8
+movsd %xmm8, (%rcx)
+movsd 40(%rsi), %xmm5
+mulsd 8000(%rdx), %xmm5
+addsd %xmm5, %xmm8
+movsd %xmm8, (%rcx)
+#Induction variables
+add $48, %rsi
+add $9600, %rdx
+sub $6, %rdi
+jge .L3
+ret
+	.size matmul_micro_n200_v0005, .-matmul_micro_n200_v0005
+
+### matmul_micro_n200_v0006 unroll=7 mix=LSLSLSLSLSLSLS
+	.text
+	.globl matmul_micro_n200_v0006
+	.type matmul_micro_n200_v0006, @function
+matmul_micro_n200_v0006:
+.L3:
+#Unrolling iterations
+movsd (%rsi), %xmm0
+mulsd (%rdx), %xmm0
+addsd %xmm0, %xmm8
+movsd %xmm8, (%rcx)
+movsd 8(%rsi), %xmm1
+mulsd 1600(%rdx), %xmm1
+addsd %xmm1, %xmm8
+movsd %xmm8, (%rcx)
+movsd 16(%rsi), %xmm2
+mulsd 3200(%rdx), %xmm2
+addsd %xmm2, %xmm8
+movsd %xmm8, (%rcx)
+movsd 24(%rsi), %xmm3
+mulsd 4800(%rdx), %xmm3
+addsd %xmm3, %xmm8
+movsd %xmm8, (%rcx)
+movsd 32(%rsi), %xmm4
+mulsd 6400(%rdx), %xmm4
+addsd %xmm4, %xmm8
+movsd %xmm8, (%rcx)
+movsd 40(%rsi), %xmm5
+mulsd 8000(%rdx), %xmm5
+addsd %xmm5, %xmm8
+movsd %xmm8, (%rcx)
+movsd 48(%rsi), %xmm6
+mulsd 9600(%rdx), %xmm6
+addsd %xmm6, %xmm8
+movsd %xmm8, (%rcx)
+#Induction variables
+add $56, %rsi
+add $11200, %rdx
+sub $7, %rdi
+jge .L3
+ret
+	.size matmul_micro_n200_v0006, .-matmul_micro_n200_v0006
+
+### matmul_micro_n200_v0007 unroll=8 mix=LSLSLSLSLSLSLSLS
+	.text
+	.globl matmul_micro_n200_v0007
+	.type matmul_micro_n200_v0007, @function
+matmul_micro_n200_v0007:
+.L3:
+#Unrolling iterations
+movsd (%rsi), %xmm0
+mulsd (%rdx), %xmm0
+addsd %xmm0, %xmm8
+movsd %xmm8, (%rcx)
+movsd 8(%rsi), %xmm1
+mulsd 1600(%rdx), %xmm1
+addsd %xmm1, %xmm8
+movsd %xmm8, (%rcx)
+movsd 16(%rsi), %xmm2
+mulsd 3200(%rdx), %xmm2
+addsd %xmm2, %xmm8
+movsd %xmm8, (%rcx)
+movsd 24(%rsi), %xmm3
+mulsd 4800(%rdx), %xmm3
+addsd %xmm3, %xmm8
+movsd %xmm8, (%rcx)
+movsd 32(%rsi), %xmm4
+mulsd 6400(%rdx), %xmm4
+addsd %xmm4, %xmm8
+movsd %xmm8, (%rcx)
+movsd 40(%rsi), %xmm5
+mulsd 8000(%rdx), %xmm5
+addsd %xmm5, %xmm8
+movsd %xmm8, (%rcx)
+movsd 48(%rsi), %xmm6
+mulsd 9600(%rdx), %xmm6
+addsd %xmm6, %xmm8
+movsd %xmm8, (%rcx)
+movsd 56(%rsi), %xmm7
+mulsd 11200(%rdx), %xmm7
+addsd %xmm7, %xmm8
+movsd %xmm8, (%rcx)
+#Induction variables
+add $64, %rsi
+add $12800, %rdx
+sub $8, %rdi
+jge .L3
+ret
+	.size matmul_micro_n200_v0007, .-matmul_micro_n200_v0007
+

@@ -1,0 +1,144 @@
+### movaps_loadstore_v0000 unroll=3 mix=LLL
+	.text
+	.globl movaps_loadstore_v0000
+	.type movaps_loadstore_v0000, @function
+movaps_loadstore_v0000:
+.L6:
+#Unrolling iterations
+movaps (%rsi), %xmm0
+movaps 16(%rsi), %xmm1
+movaps 32(%rsi), %xmm2
+#Induction variables
+add $1, %eax
+add $48, %rsi
+sub $12, %rdi
+jge .L6
+ret
+	.size movaps_loadstore_v0000, .-movaps_loadstore_v0000
+
+### movaps_loadstore_v0001 unroll=3 mix=LLS
+	.text
+	.globl movaps_loadstore_v0001
+	.type movaps_loadstore_v0001, @function
+movaps_loadstore_v0001:
+.L6:
+#Unrolling iterations
+movaps (%rsi), %xmm0
+movaps 16(%rsi), %xmm1
+movaps %xmm2, 32(%rsi)
+#Induction variables
+add $1, %eax
+add $48, %rsi
+sub $12, %rdi
+jge .L6
+ret
+	.size movaps_loadstore_v0001, .-movaps_loadstore_v0001
+
+### movaps_loadstore_v0002 unroll=3 mix=LSL
+	.text
+	.globl movaps_loadstore_v0002
+	.type movaps_loadstore_v0002, @function
+movaps_loadstore_v0002:
+.L6:
+#Unrolling iterations
+movaps (%rsi), %xmm0
+movaps %xmm1, 16(%rsi)
+movaps 32(%rsi), %xmm2
+#Induction variables
+add $1, %eax
+add $48, %rsi
+sub $12, %rdi
+jge .L6
+ret
+	.size movaps_loadstore_v0002, .-movaps_loadstore_v0002
+
+### movaps_loadstore_v0003 unroll=3 mix=LSS
+	.text
+	.globl movaps_loadstore_v0003
+	.type movaps_loadstore_v0003, @function
+movaps_loadstore_v0003:
+.L6:
+#Unrolling iterations
+movaps (%rsi), %xmm0
+movaps %xmm1, 16(%rsi)
+movaps %xmm2, 32(%rsi)
+#Induction variables
+add $1, %eax
+add $48, %rsi
+sub $12, %rdi
+jge .L6
+ret
+	.size movaps_loadstore_v0003, .-movaps_loadstore_v0003
+
+### movaps_loadstore_v0004 unroll=3 mix=SLL
+	.text
+	.globl movaps_loadstore_v0004
+	.type movaps_loadstore_v0004, @function
+movaps_loadstore_v0004:
+.L6:
+#Unrolling iterations
+movaps %xmm0, (%rsi)
+movaps 16(%rsi), %xmm1
+movaps 32(%rsi), %xmm2
+#Induction variables
+add $1, %eax
+add $48, %rsi
+sub $12, %rdi
+jge .L6
+ret
+	.size movaps_loadstore_v0004, .-movaps_loadstore_v0004
+
+### movaps_loadstore_v0005 unroll=3 mix=SLS
+	.text
+	.globl movaps_loadstore_v0005
+	.type movaps_loadstore_v0005, @function
+movaps_loadstore_v0005:
+.L6:
+#Unrolling iterations
+movaps %xmm0, (%rsi)
+movaps 16(%rsi), %xmm1
+movaps %xmm2, 32(%rsi)
+#Induction variables
+add $1, %eax
+add $48, %rsi
+sub $12, %rdi
+jge .L6
+ret
+	.size movaps_loadstore_v0005, .-movaps_loadstore_v0005
+
+### movaps_loadstore_v0006 unroll=3 mix=SSL
+	.text
+	.globl movaps_loadstore_v0006
+	.type movaps_loadstore_v0006, @function
+movaps_loadstore_v0006:
+.L6:
+#Unrolling iterations
+movaps %xmm0, (%rsi)
+movaps %xmm1, 16(%rsi)
+movaps 32(%rsi), %xmm2
+#Induction variables
+add $1, %eax
+add $48, %rsi
+sub $12, %rdi
+jge .L6
+ret
+	.size movaps_loadstore_v0006, .-movaps_loadstore_v0006
+
+### movaps_loadstore_v0007 unroll=3 mix=SSS
+	.text
+	.globl movaps_loadstore_v0007
+	.type movaps_loadstore_v0007, @function
+movaps_loadstore_v0007:
+.L6:
+#Unrolling iterations
+movaps %xmm0, (%rsi)
+movaps %xmm1, 16(%rsi)
+movaps %xmm2, 32(%rsi)
+#Induction variables
+add $1, %eax
+add $48, %rsi
+sub $12, %rdi
+jge .L6
+ret
+	.size movaps_loadstore_v0007, .-movaps_loadstore_v0007
+

@@ -1,0 +1,28 @@
+### dot_movss_k2_v0000 unroll=4 mix=LLLL
+	.text
+	.globl dot_movss_k2_v0000
+	.type dot_movss_k2_v0000, @function
+dot_movss_k2_v0000:
+.L7:
+#Unrolling iterations
+movss (%rsi), %xmm0
+mulss (%rdx), %xmm0
+addss %xmm0, %xmm8
+movss 4(%rsi), %xmm1
+mulss 4(%rdx), %xmm1
+addss %xmm1, %xmm9
+movss 8(%rsi), %xmm2
+mulss 8(%rdx), %xmm2
+addss %xmm2, %xmm8
+movss 12(%rsi), %xmm3
+mulss 12(%rdx), %xmm3
+addss %xmm3, %xmm9
+#Induction variables
+add $1, %eax
+add $16, %rsi
+add $16, %rdx
+sub $4, %rdi
+jge .L7
+ret
+	.size dot_movss_k2_v0000, .-dot_movss_k2_v0000
+

@@ -1,0 +1,44 @@
+### stencil3_movss_v0000 unroll=1 mix=LLLS
+	.text
+	.globl stencil3_movss_v0000
+	.type stencil3_movss_v0000, @function
+stencil3_movss_v0000:
+.L6:
+#Unrolling iterations
+movss (%rsi), %xmm0
+movss 4(%rsi), %xmm2
+movss 8(%rsi), %xmm4
+movss %xmm6, (%rdx)
+#Induction variables
+add $1, %eax
+add $4, %rsi
+add $4, %rdx
+sub $1, %rdi
+jge .L6
+ret
+	.size stencil3_movss_v0000, .-stencil3_movss_v0000
+
+### stencil3_movss_v0001 unroll=2 mix=LLLSLLLS
+	.text
+	.globl stencil3_movss_v0001
+	.type stencil3_movss_v0001, @function
+stencil3_movss_v0001:
+.L6:
+#Unrolling iterations
+movss (%rsi), %xmm0
+movss 4(%rsi), %xmm2
+movss 8(%rsi), %xmm4
+movss %xmm6, (%rdx)
+movss 4(%rsi), %xmm1
+movss 8(%rsi), %xmm3
+movss 12(%rsi), %xmm5
+movss %xmm7, 4(%rdx)
+#Induction variables
+add $1, %eax
+add $8, %rsi
+add $8, %rdx
+sub $2, %rdi
+jge .L6
+ret
+	.size stencil3_movss_v0001, .-stencil3_movss_v0001
+

@@ -1,0 +1,71 @@
+"""Golden-file snapshots: one description per kernel family.
+
+Code-generation output is the contract every downstream layer (the
+launcher's parser, the hashing that keys the result cache, the paper's
+Fig. 8 comparison) builds on, so a codegen pass must not be able to
+drift silently.  For each kernel family this test generates every
+variant of a small, fixed description and compares the concatenated
+emitted assembly byte-for-byte against a committed snapshot under
+``tests/golden/``.
+
+When a change is *intentional*, regenerate the snapshots and review the
+diff like any other code change::
+
+    PYTHONPATH=src python -m pytest tests/golden -q --update-golden
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.creator import MicroCreator
+from repro.kernels.matmul import matmul_microbench_spec
+from repro.kernels.memkernels import loadstore_family
+from repro.kernels.reduction import dot_product_spec
+from repro.kernels.stencil import stencil_spec
+
+GOLDEN_DIR = Path(__file__).parent
+
+#: family name -> a small, deterministic description of that family.
+FAMILIES = {
+    "matmul": lambda: matmul_microbench_spec(200),
+    "reduction": lambda: dot_product_spec(2, unroll=(4, 4)),
+    "stencil": lambda: stencil_spec("movss", unroll=(1, 2)),
+    "memkernels": lambda: loadstore_family("movaps", unroll=(3, 3)),
+}
+
+
+def render_family(family: str) -> str:
+    """Every generated variant of the family, concatenated with headers."""
+    spec = FAMILIES[family]()
+    parts = []
+    for kernel in MicroCreator().generate(spec):
+        parts.append(f"### {kernel.name} unroll={kernel.unroll} "
+                     f"mix={kernel.mix or '-'}\n")
+        parts.append(kernel.asm_text(full_file=True))
+        parts.append("\n")
+    return "".join(parts)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_family_matches_golden(family, update_golden):
+    golden_path = GOLDEN_DIR / f"{family}.golden.s"
+    rendered = render_family(family)
+    if update_golden:
+        golden_path.write_text(rendered)
+        pytest.skip(f"updated {golden_path.name}")
+    assert golden_path.exists(), (
+        f"missing golden file {golden_path}; regenerate with "
+        "`pytest tests/golden --update-golden`"
+    )
+    assert rendered == golden_path.read_text(), (
+        f"{family} codegen output drifted from {golden_path.name}; if the "
+        "change is intentional, rerun with --update-golden and review the diff"
+    )
+
+
+def test_render_is_deterministic():
+    """Two generations of the same family are byte-identical."""
+    assert render_family("reduction") == render_family("reduction")

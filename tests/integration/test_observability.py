@@ -1,0 +1,126 @@
+"""End-to-end observability: CLI flags -> trace + metrics invariants.
+
+Runs ``microcreator --measure`` with ``--trace`` / ``--metrics-out``
+and asserts the two contracts the subsystem is built around:
+
+1. **Span nesting**: every child interval lies inside its parent's
+   interval — the trace is a tree of time, not a flat log.
+2. **Cache accounting**: ``engine.cache.hits + engine.cache.misses``
+   equals the campaign's total job count, on a cold run (all misses)
+   and a warm rerun (all hits) alike.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli.creator_cli import main as creator_main
+from repro.cli.launcher_cli import main as launcher_main
+from repro.kernels import spec_path
+from repro.obs.metrics import load_metrics
+from repro.obs.trace import load_trace
+
+N_JOBS = 8  # the movaps spec expands to 8 unroll variants -> 8 jobs
+
+
+@pytest.fixture()
+def spec_file():
+    return str(spec_path("load_movaps"))
+
+
+def _measure(spec_file, tmp_path, tag, extra=()):
+    trace = tmp_path / f"{tag}.trace.jsonl"
+    metrics = tmp_path / f"{tag}.metrics.json"
+    code = creator_main(
+        [
+            spec_file,
+            "--measure",
+            "--array-bytes", "16384",
+            "--trip", "256",
+            "--results", str(tmp_path / f"{tag}.csv"),
+            "--trace", str(trace),
+            "--metrics-out", str(metrics),
+            *extra,
+        ]
+    )
+    assert code == 0
+    return load_trace(trace), load_metrics(metrics)
+
+
+def _assert_nesting(records):
+    """Every child span's interval lies inside its parent's."""
+    by_id = {r["span_id"]: r for r in records}
+    children = 0
+    for record in records:
+        parent_id = record["parent_id"]
+        if parent_id is None:
+            continue
+        parent = by_id[parent_id]
+        children += 1
+        assert record["start_s"] >= parent["start_s"], (record, parent)
+        assert (
+            record["start_s"] + record["duration_s"]
+            <= parent["start_s"] + parent["duration_s"] + 1e-9
+        ), (record, parent)
+    assert children, "trace has no nested spans at all"
+
+
+def test_trace_spans_nest_and_cover_every_layer(spec_file, tmp_path):
+    records, _metrics = _measure(spec_file, tmp_path, "cold")
+    _assert_nesting(records)
+    names = {r["name"] for r in records}
+    # One span per layer the tentpole instruments.
+    assert "creator.pipeline" in names
+    assert any(name.startswith("pass:") for name in names)
+    assert {"engine.campaign", "engine.expand", "engine.dispatch"} <= names
+    assert {"launcher.run_batch", "launcher.normalize", "launcher.measure"} <= names
+    # The engine ran every job inline, under the campaign span.
+    job_spans = [r for r in records if r["name"] == "engine.job"]
+    assert len(job_spans) == N_JOBS
+    campaign = next(r for r in records if r["name"] == "engine.campaign")
+    dispatch = next(r for r in records if r["name"] == "engine.dispatch")
+    assert dispatch["parent_id"] == campaign["span_id"]
+
+
+def test_cache_counters_account_for_every_job(spec_file, tmp_path):
+    cache = ("--cache-dir", str(tmp_path / "cache"))
+
+    _records, cold = _measure(spec_file, tmp_path, "cold", cache)
+    counters = cold["counters"]
+    assert counters["engine.cache.hits"] + counters["engine.cache.misses"] == N_JOBS
+    assert counters["engine.cache.misses"] == N_JOBS  # cold: nothing cached
+
+    _records, warm = _measure(spec_file, tmp_path, "warm", cache)
+    counters = warm["counters"]
+    assert counters["engine.cache.hits"] + counters["engine.cache.misses"] == N_JOBS
+    assert counters["engine.cache.hits"] == N_JOBS  # warm rerun: pure hits
+
+    # The warm run answered everything from the cache: no jobs executed,
+    # so no launcher measurement spans were recorded.
+    warm_trace, _ = load_trace(tmp_path / "warm.trace.jsonl"), None
+    assert not [r for r in warm_trace if r["name"] == "engine.job"]
+
+
+def test_launcher_cli_exports_too(spec_file, tmp_path):
+    out = tmp_path / "variants"
+    assert creator_main([spec_file, "-o", str(out)]) == 0
+    kernel = sorted(out.glob("*.s"))[0]
+    trace = tmp_path / "launcher.trace.jsonl"
+    metrics = tmp_path / "launcher.metrics.json"
+    code = launcher_main(
+        [
+            str(kernel),
+            "--machine", "nehalem-2s",
+            "--csv", str(tmp_path / "out.csv"),
+            "--trace", str(trace),
+            "--metrics-out", str(metrics),
+        ]
+    )
+    assert code == 0
+    records = load_trace(trace)
+    _assert_nesting(records)
+    assert {r["name"] for r in records} >= {"launcher.run_batch", "launcher.measure"}
+    snapshot = json.loads(metrics.read_text())
+    assert snapshot["histograms"]["launcher.batch.size"]["count"] >= 1

@@ -1,0 +1,14 @@
+"""Every obs test leaves the global session off (other suites rely on it)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_off_afterwards():
+    obs.disable()
+    yield
+    obs.disable()

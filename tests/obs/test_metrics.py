@@ -1,0 +1,92 @@
+"""Metrics unit tests: instruments, bucket placement, snapshots."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DURATION_MS_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    load_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(4)
+        assert reg.snapshot()["counters"] == {"c": 5}
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.0)
+        reg.gauge("g").set(7.5)
+        assert reg.snapshot()["gauges"] == {"g": 7.5}
+
+    def test_instruments_are_create_on_first_use(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("h") is reg.histogram("h")
+
+
+class TestHistogram:
+    def test_bucket_placement_inclusive_upper_edges(self):
+        h = Histogram("h", (1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 11.0):
+            h.observe(value)
+        # <=1: {0.5, 1.0}; <=10: {5.0, 10.0}; overflow: {11.0}
+        assert h.counts == [2, 2, 1]
+        assert h.count == 5
+        assert h.min == 0.5 and h.max == 11.0
+
+    def test_mean_and_percentiles(self):
+        h = Histogram("h", (1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 5.0, 50.0):
+            h.observe(value)
+        assert h.mean == pytest.approx(15.125)
+        assert h.percentile(50) == 10.0  # upper edge of the median's bucket
+        assert h.percentile(100) == 100.0
+
+    def test_overflow_percentile_reports_the_observed_max(self):
+        h = Histogram("h", (1.0,))
+        h.observe(42.0)
+        assert h.percentile(99) == 42.0
+
+    def test_empty_histogram_is_nan_not_a_crash(self):
+        h = Histogram("h", (1.0,))
+        assert math.isnan(h.mean)
+        assert math.isnan(h.percentile(50))
+        assert h.to_dict()["min"] is None
+
+    def test_bounds_must_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", ())
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (1.0,)).percentile(101)
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        reg.histogram("h", DURATION_MS_BUCKETS).observe(3.0)
+        snap = reg.snapshot()
+        assert list(snap) == ["counters", "gauges", "histograms"]
+        assert list(snap["counters"]) == ["a", "b"]  # sorted by name
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_write_json_roundtrip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc(3)
+        reg.histogram("ms", (1.0, 2.0)).observe(1.5)
+        path = reg.write_json(tmp_path / "metrics.json")
+        assert load_metrics(path) == reg.snapshot()

@@ -1,0 +1,75 @@
+"""Report unit tests: rendering, totals-safety, the CLI entry point."""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import main, render, summarize_metrics, summarize_spans
+from repro.obs.trace import Tracer
+
+
+def _sample_trace() -> list[dict]:
+    tracer = Tracer()
+    with tracer.span("engine.campaign", campaign="demo"):
+        with tracer.span("pass:unroll", variants_in=1):
+            pass
+        with tracer.span("pass:unroll", variants_in=8):
+            pass
+    return tracer.records
+
+
+def _sample_metrics() -> dict:
+    reg = MetricsRegistry()
+    reg.counter("engine.cache.hits").inc(3)
+    reg.counter("engine.cache.misses").inc(1)
+    reg.counter("engine.job.retries").inc(2)
+    reg.counter("creator.variants.generated").inc(8)
+    reg.gauge("engine.pool.workers").set(4)
+    for ms in (0.2, 3.0, 40.0):
+        reg.histogram("engine.job.duration_ms").observe(ms)
+    return reg.snapshot()
+
+
+def test_span_summary_lists_slowest_and_aggregates():
+    lines = summarize_spans(_sample_trace(), top=2)
+    text = "\n".join(lines)
+    assert "spans: 3" in text
+    assert "top 2 slowest:" in text
+    assert "pass:unroll" in text and "x2" in text
+    assert "variants_in=" in text  # attrs rendered on the slowest-span lines
+
+
+def test_metrics_summary_sections():
+    text = "\n".join(summarize_metrics(_sample_metrics()))
+    assert "cache: 3 hits / 1 misses (hit rate 75.0%)" in text
+    assert "failures: 2 retries, 0 timeouts, 0 quarantined" in text
+    assert "creator.variants.generated" in text
+    assert "engine.pool.workers" in text
+    assert "engine.job.duration_ms: n=3" in text
+    assert "#" in text  # the ASCII histogram bars
+
+
+def test_empty_inputs_render_honestly():
+    assert "(no spans recorded)" in "\n".join(summarize_spans([]))
+    assert "n/a" in "\n".join(summarize_metrics({}))
+    assert "nothing to report" in render()
+
+
+def test_cli_roundtrip(tmp_path, capsys):
+    tracer = Tracer()
+    with tracer.span("a"):
+        pass
+    trace = tracer.write_jsonl(tmp_path / "trace.jsonl")
+    reg = MetricsRegistry()
+    reg.counter("engine.cache.hits").inc()
+    metrics = reg.write_json(tmp_path / "metrics.json")
+
+    assert main(["--trace", str(trace), "--metrics", str(metrics)]) == 0
+    out = capsys.readouterr().out
+    assert "== observability report ==" in out
+    assert "spans: 1" in out
+    assert "1 hits" in out
+
+
+def test_cli_missing_file_is_exit_2(tmp_path, capsys):
+    assert main(["--trace", str(tmp_path / "absent.jsonl")]) == 2
+    assert "repro.obs.report" in capsys.readouterr().err

@@ -1,0 +1,134 @@
+"""Tracer unit tests: nesting, attributes, JSONL export, the no-op path."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import NOOP_SPAN, Tracer, load_trace
+
+
+class TestNesting:
+    def test_children_parent_under_the_open_span(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild") as grand:
+                    pass
+            with tracer.span("sibling") as sibling:
+                pass
+        assert child.parent_id == root.span_id
+        assert grand.parent_id == child.span_id
+        assert sibling.parent_id == root.span_id
+        assert root.parent_id is None
+
+    def test_children_lie_inside_the_parent_interval(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        by_id = {r["span_id"]: r for r in tracer.records}
+        for record in tracer.records:
+            if record["parent_id"] is None:
+                continue
+            parent = by_id[record["parent_id"]]
+            assert record["start_s"] >= parent["start_s"]
+            assert (record["start_s"] + record["duration_s"]
+                    <= parent["start_s"] + parent["duration_s"])
+
+    def test_records_in_completion_order(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [r["name"] for r in tracer.records] == ["inner", "outer"]
+
+    def test_threads_get_their_own_roots(self):
+        tracer = Tracer()
+
+        def worker():
+            with tracer.span("thread-root"):
+                pass
+
+        with tracer.span("main-root"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        roots = [r for r in tracer.records if r["parent_id"] is None]
+        assert {r["name"] for r in roots} == {"thread-root", "main-root"}
+
+
+class TestAttributes:
+    def test_set_merges_attrs(self):
+        tracer = Tracer()
+        with tracer.span("s", a=1) as sp:
+            sp.set(b=2)
+        (record,) = tracer.records
+        assert record["attrs"] == {"a": 1, "b": 2}
+
+    def test_exception_stamps_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(KeyError):
+            with tracer.span("boom"):
+                raise KeyError("x")
+        (record,) = tracer.records
+        assert record["attrs"]["error"] == "KeyError"
+
+    def test_add_records_pretimed_interval(self):
+        import time
+
+        tracer = Tracer()
+        start = time.perf_counter()
+        tracer.add("chunk", start, 0.5, jobs=3)
+        (record,) = tracer.records
+        assert record["name"] == "chunk"
+        assert record["duration_s"] == 0.5
+        assert record["attrs"] == {"jobs": 3}
+        assert record["start_s"] >= 0.0  # rebased onto the tracer epoch
+
+
+class TestExport:
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a", n=1):
+            with tracer.span("b"):
+                pass
+        path = tracer.write_jsonl(tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["meta"]["format"] == "repro-trace-v1"
+        assert header["meta"]["spans"] == 2
+        assert load_trace(path) == tracer.records
+
+
+class TestDisabledPath:
+    def test_disabled_helpers_are_noops(self):
+        assert not obs.is_enabled()
+        assert obs.span("x", a=1) is NOOP_SPAN
+        obs.count("c")
+        obs.gauge("g", 1.0)
+        obs.observe("h", 2.0)
+        obs.add_span("s", 0.0, 1.0)
+        assert obs.metrics_snapshot() == {}
+        assert obs.session() is None
+
+    def test_noop_span_contextmanager(self):
+        with obs.span("x") as sp:
+            assert sp.set(a=1) is sp
+
+    def test_enable_is_idempotent(self):
+        first = obs.enable()
+        assert obs.enable() is first
+        assert obs.is_enabled()
+        obs.disable()
+        assert obs.session() is None
+
+    def test_span_metric_feeds_histogram(self):
+        obs.enable()
+        with obs.span("timed", metric="test.duration_ms"):
+            pass
+        snapshot = obs.metrics_snapshot()
+        assert snapshot["histograms"]["test.duration_ms"]["count"] == 1
