@@ -14,12 +14,21 @@ is present it is gated too: the observability layer's *disabled* span
 must stay sub-microsecond per call — losing the no-op fast path would
 tax every instrumented hot loop even with tracing off.
 
+``BENCH_generation.json`` (written by
+``benchmarks/test_generation_throughput.py``) is likewise gated when
+present: warm-cache deferred campaign dispatch must not lose its
+throughput edge over parent-side expansion — a regression here means the
+generation cache or the KernelRef path stopped short-circuiting the pass
+pipeline.
+
 Usage::
 
     python benchmarks/check_regression.py \
         --current BENCH_measurement.json \
         --baseline benchmarks/BENCH_measurement_baseline.json \
-        --obs-current BENCH_obs.json
+        --obs-current BENCH_obs.json \
+        --gen-current BENCH_generation.json \
+        --gen-baseline benchmarks/BENCH_generation_baseline.json
 """
 
 from __future__ import annotations
@@ -58,6 +67,32 @@ def _check_obs(current_path: str, max_ns: float) -> int:
     return 0
 
 
+def _check_generation(
+    current_path: str, baseline_path: str, max_regression: float
+) -> int:
+    path = Path(current_path)
+    if not path.exists():
+        print(f"generation throughput: {path} not present, skipping")
+        return 0
+    current = json.loads(path.read_text())
+    baseline = json.loads(Path(baseline_path).read_text())
+    now = current["variants_per_second"]
+    then = baseline["variants_per_second"]
+    ratio = then / now if now else float("inf")
+    print(
+        f"generation: {now:,.0f} variants/s (baseline {then:,.0f}); "
+        f"slowdown {ratio:.2f}x (limit {max_regression:.1f}x)"
+    )
+    if ratio > max_regression:
+        print(
+            f"FAIL: generation dispatch throughput regressed {ratio:.2f}x "
+            "vs the committed baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--current", default="BENCH_measurement.json")
@@ -82,6 +117,16 @@ def main(argv: list[str] | None = None) -> int:
         help="fail when a disabled span adds more ns than this "
         f"(default: {MAX_OBS_DISABLED_NS:.0f})",
     )
+    parser.add_argument(
+        "--gen-current",
+        default="BENCH_generation.json",
+        help="generation-throughput result to gate (skipped when absent)",
+    )
+    parser.add_argument(
+        "--gen-baseline",
+        default="benchmarks/BENCH_generation_baseline.json",
+        help="committed generation-throughput baseline",
+    )
     args = parser.parse_args(argv)
 
     current = json.loads(Path(args.current).read_text())
@@ -103,6 +148,9 @@ def main(argv: list[str] | None = None) -> int:
         )
         failed = 1
     failed |= _check_obs(args.obs_current, args.obs_max_ns)
+    failed |= _check_generation(
+        args.gen_current, args.gen_baseline, args.max_regression
+    )
     if failed:
         return 1
     print("OK")

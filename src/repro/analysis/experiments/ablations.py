@@ -25,7 +25,7 @@ def _ram_load_kernel(creator: MicroCreator):
 def _grid(
     name, kernel, base, axes, *, machine,
     jobs=1, chunk_size=None, cache_dir=None, resume=True,
-    max_retries=2, job_timeout=None,
+    max_retries=2, job_timeout=None, gen_cache_dir=None,
 ):
     """Run one single-kernel option grid through the campaign engine."""
     campaign = Campaign(
@@ -41,6 +41,7 @@ def _grid(
         resume=resume,
         max_retries=max_retries,
         job_timeout=job_timeout,
+        gen_cache_dir=gen_cache_dir,
     )
 
 
@@ -54,6 +55,7 @@ def ablation_aggregator(
     resume: bool = True,
     max_retries: int = 2,
     job_timeout: float | None = None,
+    gen_cache_dir: object = None,
     **_: object,
 ) -> ExperimentResult:
     """Min vs. mean vs. median aggregation under noise.
@@ -83,6 +85,7 @@ def ablation_aggregator(
         resume=resume,
         max_retries=max_retries,
         job_timeout=job_timeout,
+        gen_cache_dir=gen_cache_dir,
     )
     table = Table(header=("aggregator", "cycles/iter", "vs min"), title="aggregators")
     results = {
@@ -111,6 +114,7 @@ def ablation_warmup(
     resume: bool = True,
     max_retries: int = 2,
     job_timeout: float | None = None,
+    gen_cache_dir: object = None,
     **_: object,
 ) -> ExperimentResult:
     """Cache heating (Fig. 10's first untimed call).
@@ -139,6 +143,7 @@ def ablation_warmup(
         resume=resume,
         max_retries=max_retries,
         job_timeout=job_timeout,
+        gen_cache_dir=gen_cache_dir,
     )
     by_warmup = {job.tags["warmup"]: m for job, m in run.rows()}
     warm, cold = by_warmup[True], by_warmup[False]
@@ -167,6 +172,7 @@ def ablation_overhead(
     resume: bool = True,
     max_retries: int = 2,
     job_timeout: float | None = None,
+    gen_cache_dir: object = None,
     **_: object,
 ) -> ExperimentResult:
     """Call-overhead subtraction vs. trip count.
@@ -196,6 +202,7 @@ def ablation_overhead(
         resume=resume,
         max_retries=max_retries,
         job_timeout=job_timeout,
+        gen_cache_dir=gen_cache_dir,
     )
     cycles = {
         (job.tags["trip_count"], job.tags["subtract_overhead"]): m.cycles_per_iteration
@@ -234,6 +241,7 @@ def ablation_inner_reps(
     resume: bool = True,
     max_retries: int = 2,
     job_timeout: float | None = None,
+    gen_cache_dir: object = None,
     **_: object,
 ) -> ExperimentResult:
     """Inner-loop repetitions vs. result variance.
@@ -262,6 +270,7 @@ def ablation_inner_reps(
         resume=resume,
         max_retries=max_retries,
         job_timeout=job_timeout,
+        gen_cache_dir=gen_cache_dir,
     )
     table = Table(header=("repetitions", "spread"), title="inner repetitions")
     spreads = {}

@@ -31,6 +31,7 @@ def fig14(
     resume: bool = True,
     max_retries: int = 2,
     job_timeout: float | None = None,
+    gen_cache_dir: object = None,
     **_: object,
 ) -> ExperimentResult:
     """Fig. 14: forked multi-core RAM kernel — bandwidth saturation.
@@ -59,6 +60,7 @@ def fig14(
         resume=resume,
         max_retries=max_retries,
         job_timeout=job_timeout,
+        gen_cache_dir=gen_cache_dir,
     )
     by_cores = {
         job.tags["n_cores"]: statistics.fmean(m.cycles_per_iteration for m in ms)
@@ -162,6 +164,7 @@ def _seq_omp_rows(
     resume: bool = True,
     max_retries: int = 2,
     job_timeout: float | None = None,
+    gen_cache_dir: object = None,
 ):
     """Run the same kernels sequentially and under OpenMP as one campaign.
 
@@ -181,6 +184,7 @@ def _seq_omp_rows(
         resume=resume,
         max_retries=max_retries,
         job_timeout=job_timeout,
+        gen_cache_dir=gen_cache_dir,
     )
     grouped = run.grouped("exec")
     return (
@@ -199,6 +203,7 @@ def _openmp_vs_sequential(
     resume: bool = True,
     max_retries: int = 2,
     job_timeout: float | None = None,
+    gen_cache_dir: object = None,
 ):
     """Shared Figs. 17/18 implementation: movss loads, unroll 1..8."""
     machine = sandy_bridge_e31240()
@@ -227,6 +232,7 @@ def _openmp_vs_sequential(
         resume=resume,
         max_retries=max_retries,
         job_timeout=job_timeout,
+        gen_cache_dir=gen_cache_dir,
     )
     xs, seq_y, seq_lo, seq_hi, omp_y, omp_lo, omp_hi = [], [], [], [], [], [], []
     for kernel, seq, omp in zip(kernels, seq_ms, omp_ms):
@@ -271,6 +277,7 @@ def fig17(
     resume: bool = True,
     max_retries: int = 2,
     job_timeout: float | None = None,
+    gen_cache_dir: object = None,
     **_: object,
 ) -> ExperimentResult:
     """Fig. 17: OpenMP vs sequential movss loads, 128k-element array."""
@@ -282,6 +289,7 @@ def fig17(
         resume=resume,
         max_retries=max_retries,
         job_timeout=job_timeout,
+        gen_cache_dir=gen_cache_dir,
     )
     return ExperimentResult(
         exhibit="fig17",
@@ -306,6 +314,7 @@ def fig18(
     resume: bool = True,
     max_retries: int = 2,
     job_timeout: float | None = None,
+    gen_cache_dir: object = None,
     **_: object,
 ) -> ExperimentResult:
     """Fig. 18: the same with six million elements (RAM resident).
@@ -321,6 +330,7 @@ def fig18(
         resume=resume,
         max_retries=max_retries,
         job_timeout=job_timeout,
+        gen_cache_dir=gen_cache_dir,
     )
     return ExperimentResult(
         exhibit="fig18",
@@ -345,6 +355,7 @@ def table2(
     resume: bool = True,
     max_retries: int = 2,
     job_timeout: float | None = None,
+    gen_cache_dir: object = None,
     **_: object,
 ) -> ExperimentResult:
     """Table 2: execution seconds, OpenMP vs sequential, unroll 1..8.
@@ -382,6 +393,7 @@ def table2(
         resume=resume,
         max_retries=max_retries,
         job_timeout=job_timeout,
+        gen_cache_dir=gen_cache_dir,
     )
     table = Table(header=("unroll", "openmp_s", "sequential_s"), title="Table 2")
     omp_col, seq_col = [], []

@@ -24,6 +24,7 @@ def _unroll_hierarchy(
     resume: bool = True,
     max_retries: int = 2,
     job_timeout: float | None = None,
+    gen_cache_dir: object = None,
 ) -> ExperimentResult:
     """Shared implementation of Figs. 11/12.
 
@@ -62,6 +63,7 @@ def _unroll_hierarchy(
         resume=resume,
         max_retries=max_retries,
         job_timeout=job_timeout,
+        gen_cache_dir=gen_cache_dir,
     )
     series = []
     for level in _LEVELS:
@@ -114,6 +116,7 @@ def fig11(
     resume: bool = True,
     max_retries: int = 2,
     job_timeout: float | None = None,
+    gen_cache_dir: object = None,
     **_: object,
 ) -> ExperimentResult:
     """Fig. 11: ``movaps`` loads/stores over unroll x hierarchy."""
@@ -126,6 +129,7 @@ def fig11(
         resume=resume,
         max_retries=max_retries,
         job_timeout=job_timeout,
+        gen_cache_dir=gen_cache_dir,
     )
     result.exhibit = "fig11"
     return result
@@ -141,6 +145,7 @@ def fig12(
     resume: bool = True,
     max_retries: int = 2,
     job_timeout: float | None = None,
+    gen_cache_dir: object = None,
     **_: object,
 ) -> ExperimentResult:
     """Fig. 12: ``movss`` loads/stores over unroll x hierarchy.
@@ -159,6 +164,7 @@ def fig12(
         resume=resume,
         max_retries=max_retries,
         job_timeout=job_timeout,
+        gen_cache_dir=gen_cache_dir,
     )
     result.exhibit = "fig12"
     return result
@@ -174,6 +180,7 @@ def fig13(
     resume: bool = True,
     max_retries: int = 2,
     job_timeout: float | None = None,
+    gen_cache_dir: object = None,
     **_: object,
 ) -> ExperimentResult:
     """Fig. 13: DVFS sweep of an 8-load ``movaps`` kernel, TSC units.
@@ -212,6 +219,7 @@ def fig13(
         resume=resume,
         max_retries=max_retries,
         job_timeout=job_timeout,
+        gen_cache_dir=gen_cache_dir,
     )
     series = []
     for level in _LEVELS:

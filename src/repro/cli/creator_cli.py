@@ -120,6 +120,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --measure: cache measurements by content hash",
     )
     parser.add_argument(
+        "--gen-cache",
+        metavar="DIR",
+        default=None,
+        help="with --measure: persist generated variants keyed by "
+        "(spec, options); a warm cache skips the generation pipeline",
+    )
+    parser.add_argument(
         "--resume",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -256,10 +263,18 @@ def _measure(args, creator: MicroCreator, spec) -> int:
               f"have {sorted(PRESETS)}", file=sys.stderr)
         return 2
     base = LauncherOptions(array_bytes=args.array_bytes, trip_count=args.trip)
+    if args.plugin:
+        # Plugin passes rewrite the pipeline in this process only; worker
+        # processes could not reconstruct them, so ship rendered kernels.
+        sweep = SweepSpec(kernels=tuple(creator.stream(spec)), base=base)
+    else:
+        # Spec-backed sweep: workers regenerate variants locally from the
+        # (spec, options) pair instead of receiving pickled programs.
+        sweep = SweepSpec(spec=spec, base=base, creator_options=creator.options)
     campaign = Campaign(
         name=spec.name,
         machine=preset(args.machine),
-        sweeps=(SweepSpec(kernels=tuple(creator.stream(spec)), base=base),),
+        sweeps=(sweep,),
     )
     run = run_campaign(
         campaign,
@@ -270,6 +285,7 @@ def _measure(args, creator: MicroCreator, spec) -> int:
         progress=print,
         max_retries=args.max_retries,
         job_timeout=args.job_timeout,
+        gen_cache_dir=args.gen_cache,
     )
     results = args.results or f"results.{args.result_format}"
     if args.result_format == "jsonl":

@@ -116,6 +116,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache measurements by content hash; re-runs skip finished jobs",
     )
     parser.add_argument(
+        "--gen-cache",
+        metavar="DIR",
+        default=None,
+        help="persist generated variants for spec-backed sweeps "
+        "(e.g. --exhibit runs): repeated campaigns skip the generation "
+        "pipeline entirely",
+    )
+    parser.add_argument(
         "--resume",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -213,6 +221,7 @@ def _run_engine(args, machine, options, path: Path) -> int:
         progress=print,
         max_retries=args.max_retries,
         job_timeout=args.job_timeout,
+        gen_cache_dir=args.gen_cache,
     )
     ms = run.measurements()
     if not ms:
@@ -310,6 +319,7 @@ def _observed_main(args) -> int:
                 resume=args.resume,
                 max_retries=args.max_retries,
                 job_timeout=args.job_timeout,
+                gen_cache_dir=args.gen_cache,
             )
         except KeyError as exc:
             print(f"microlauncher: {exc}", file=sys.stderr)

@@ -11,6 +11,7 @@ a list of IRs flowing through the pipeline.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field, replace
 from typing import Union
 
@@ -78,6 +79,9 @@ class TemplateInstr:
         return replace(self, operands=(self.operands[1], self.operands[0]))
 
     def with_opcode(self, opcode: str) -> "TemplateInstr":
+        # Interned: the same few opcode strings recur across every
+        # expanded copy of every variant in a sweep.
+        opcode = sys.intern(opcode)
         return replace(self, opcode=opcode, choices=(opcode,), move_semantics=None)
 
     def with_operands(self, operands: tuple[TemplateOperand, ...]) -> "TemplateInstr":

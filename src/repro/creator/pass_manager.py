@@ -89,24 +89,72 @@ class Pass:
         """Transform the variant list (pure: no mutation of inputs)."""
         raise NotImplementedError
 
+    def expand(self, variant: KernelIR, ctx: CreatorContext) -> Iterable[KernelIR]:
+        """Transform one variant (the streamable unit of work).
+
+        The default wraps :meth:`run` so a streamable plugin pass that
+        only implements ``run`` keeps working; passes on the hot path
+        override this with a generator instead, avoiding a throwaway
+        single-element list per incoming variant.
+        """
+        return self.run([variant], ctx)
+
+    def _expands_per_variant(self) -> bool:
+        """Whether :meth:`expand` is this pass's real implementation.
+
+        Walks the MRO for the most-derived class defining ``expand`` or
+        ``run``: a subclass that overrides ``run`` below the class
+        providing ``expand`` (a plugin wrapping a default pass) must
+        still have its ``run`` drive execution.
+        """
+        for cls in type(self).__mro__:
+            if "expand" in cls.__dict__:
+                return True
+            if "run" in cls.__dict__:
+                return False
+        return False
+
     def stream(
         self, variants: Iterator[KernelIR], ctx: CreatorContext
     ) -> Iterator[KernelIR]:
         """Lazily transform a variant stream.
 
-        Streamable passes run once per incoming variant, yielding each
-        expansion as soon as its input arrives; everything else falls
-        back to materializing the upstream — identical results either
-        way, by the :attr:`streamable` contract.
+        Streamable passes run once per incoming variant (via
+        :meth:`expand`), yielding each expansion as soon as its input
+        arrives; everything else falls back to materializing the
+        upstream — identical results either way, by the
+        :attr:`streamable` contract.
         """
         if self.streamable:
-            for variant in variants:
-                yield from self.run([variant], ctx)
+            if self._expands_per_variant():
+                for variant in variants:
+                    yield from self.expand(variant, ctx)
+            else:
+                for variant in variants:
+                    yield from self.run([variant], ctx)
         else:
             yield from self.run(list(variants), ctx)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"
+
+
+class PerVariantPass(Pass):
+    """A pass defined by its per-variant expansion.
+
+    Subclasses implement :meth:`expand` only; :meth:`run` is derived by
+    concatenation, which is exactly the :attr:`Pass.streamable` contract.
+    All default per-variant passes use this base, so the streaming
+    pipeline never allocates per-variant wrapper lists.
+    """
+
+    streamable = True
+
+    def expand(self, variant: KernelIR, ctx: CreatorContext) -> Iterable[KernelIR]:
+        raise NotImplementedError
+
+    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
+        return [out for variant in variants for out in self.expand(variant, ctx)]
 
 
 GateFn = Callable[[CreatorContext], bool]

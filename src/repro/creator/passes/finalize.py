@@ -6,7 +6,7 @@ from __future__ import annotations
 from typing import Iterator, Sequence
 
 from repro.creator.ir import KernelIR
-from repro.creator.pass_manager import CreatorContext, Pass
+from repro.creator.pass_manager import CreatorContext, Pass, PerVariantPass
 from repro.creator.passes.errors import CreatorError
 from repro.isa.instructions import AsmProgram, Comment, Instruction, LabelDef
 from repro.isa.operands import ImmediateOperand
@@ -14,7 +14,7 @@ from repro.isa.registers import LogicalReg
 from repro.isa.writer import write_program
 
 
-class SchedulingPass(Pass):
+class SchedulingPass(PerVariantPass):
     """Interleave induction updates into the unrolled body (stage 16).
 
     Gated off by default (``options.schedule``): the paper keeps its
@@ -28,54 +28,46 @@ class SchedulingPass(Pass):
     """
 
     name = "scheduling"
-    streamable = True
 
     def gate(self, ctx: CreatorContext) -> bool:
         return ctx.options.schedule
 
-    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
-        out: list[KernelIR] = []
-        for ir in variants:
-            start = ir.metadata.get("_induction_start")
-            if not isinstance(start, int) or len(ir.body) - start < 3:
-                out.append(ir)  # nothing movable: need update(s) + last + branch
-                continue
-            body = list(ir.body[:start])
-            tail = list(ir.body[start:])
-            branch = tail.pop() if tail and tail[-1].is_branch else None
-            last_update = tail.pop() if tail else None
-            movable = tail  # everything else may move
-            merged: list[Instruction] = []
-            gap = max(1, len(body) // (len(movable) + 1)) if movable else len(body)
-            queue = list(movable)
-            for i, instr in enumerate(body, start=1):
-                merged.append(instr)
-                if queue and i % gap == 0:
-                    merged.append(queue.pop(0))
-            merged.extend(queue)
-            if last_update is not None:
-                merged.append(last_update)
-            if branch is not None:
-                merged.append(branch)
-            out.append(
-                ir.evolve(body=tuple(merged))
-                .noting(scheduled=True, _induction_start=None)
-            )
-        return out
+    def expand(self, ir: KernelIR, ctx: CreatorContext) -> Iterator[KernelIR]:
+        start = ir.metadata.get("_induction_start")
+        if not isinstance(start, int) or len(ir.body) - start < 3:
+            yield ir  # nothing movable: need update(s) + last + branch
+            return
+        body = list(ir.body[:start])
+        tail = list(ir.body[start:])
+        branch = tail.pop() if tail and tail[-1].is_branch else None
+        last_update = tail.pop() if tail else None
+        movable = tail  # everything else may move
+        merged: list[Instruction] = []
+        gap = max(1, len(body) // (len(movable) + 1)) if movable else len(body)
+        queue = list(movable)
+        for i, instr in enumerate(body, start=1):
+            merged.append(instr)
+            if queue and i % gap == 0:
+                merged.append(queue.pop(0))
+        merged.extend(queue)
+        if last_update is not None:
+            merged.append(last_update)
+        if branch is not None:
+            merged.append(branch)
+        yield (
+            ir.evolve(body=tuple(merged))
+            .noting(scheduled=True, _induction_start=None)
+        )
 
 
-class PeepholePass(Pass):
+class PeepholePass(PerVariantPass):
     """Remove no-op instructions (stage 17): ``add $0, r`` and ``nop``."""
 
     name = "peephole"
-    streamable = True
 
-    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
-        out: list[KernelIR] = []
-        for ir in variants:
-            body = tuple(i for i in ir.body if not self._is_noop(i))
-            out.append(ir if len(body) == len(ir.body) else ir.evolve(body=body))
-        return out
+    def expand(self, ir: KernelIR, ctx: CreatorContext) -> Iterator[KernelIR]:
+        body = tuple(i for i in ir.body if not self._is_noop(i))
+        yield ir if len(body) == len(ir.body) else ir.evolve(body=body)
 
     @staticmethod
     def _is_noop(instr: Instruction) -> bool:
@@ -87,7 +79,7 @@ class PeepholePass(Pass):
         return False
 
 
-class ValidationPass(Pass):
+class ValidationPass(PerVariantPass):
     """Structural checks before emission (stage 18).
 
     Verifies that every variant is fully concrete: a non-empty body, no
@@ -96,12 +88,10 @@ class ValidationPass(Pass):
     """
 
     name = "validation"
-    streamable = True
 
-    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
-        for ir in variants:
-            self._check(ir)
-        return list(variants)
+    def expand(self, ir: KernelIR, ctx: CreatorContext) -> Iterator[KernelIR]:
+        self._check(ir)
+        yield ir
 
     def _check(self, ir: KernelIR) -> None:
         if ir.instrs:

@@ -15,10 +15,10 @@ machinery that turns the body into the Fig. 8 shape::
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterator
 
 from repro.creator.ir import KernelIR, TemplateInstr
-from repro.creator.pass_manager import CreatorContext, Pass
+from repro.creator.pass_manager import CreatorContext, PerVariantPass
 from repro.creator.passes.errors import CreatorError
 from repro.isa.instructions import Instruction
 from repro.isa.operands import (
@@ -39,7 +39,7 @@ _POINTER_ARG_REGS = ("%rsi", "%rdx", "%rcx", "%r8", "%r9")
 _COUNTER_REG = "%rdi"
 
 
-class RegisterAllocationPass(Pass):
+class RegisterAllocationPass(PerVariantPass):
     """Bind logical registers to physical ones and lower the body (stage 12).
 
     Allocation policy (deliberately ABI-shaped, see module constants): the
@@ -49,10 +49,9 @@ class RegisterAllocationPass(Pass):
     """
 
     name = "register_allocation"
-    streamable = True
 
-    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
-        return [self._allocate(ir) for ir in variants]
+    def expand(self, ir: KernelIR, ctx: CreatorContext) -> Iterator[KernelIR]:
+        yield self._allocate(ir)
 
     def _allocate(self, ir: KernelIR) -> KernelIR:
         regmap: dict[str, str] = {}
@@ -176,7 +175,7 @@ def _update_instruction(reg_name: str, step: int, comment: str | None = None) ->
     )
 
 
-class IterationCounterPass(Pass):
+class IterationCounterPass(PerVariantPass):
     """Materialize ``<not_affected_unroll/>`` counters (stage 13, Fig. 9).
 
     These step by their raw increment regardless of unrolling, so at loop
@@ -188,25 +187,21 @@ class IterationCounterPass(Pass):
     """
 
     name = "iteration_counter"
-    streamable = True
 
-    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
-        out: list[KernelIR] = []
-        for ir in variants:
-            updates = tuple(
-                _update_instruction(_resolved_name(ind, ir.regmap), ind.increment)
-                for ind in ir.inductions
-                if ind.not_affected_unroll
+    def expand(self, ir: KernelIR, ctx: CreatorContext) -> Iterator[KernelIR]:
+        updates = tuple(
+            _update_instruction(_resolved_name(ind, ir.regmap), ind.increment)
+            for ind in ir.inductions
+            if ind.not_affected_unroll
+        )
+        if updates:
+            ir = ir.evolve(body=ir.body + updates).noting(
+                iteration_counter=True, _induction_start=len(ir.body)
             )
-            if updates:
-                ir = ir.evolve(body=ir.body + updates).noting(
-                    iteration_counter=True, _induction_start=len(ir.body)
-                )
-            out.append(ir)
-        return out
+        yield ir
 
 
-class InductionInsertionPass(Pass):
+class InductionInsertionPass(PerVariantPass):
     """Append the unroll-scaled induction updates (stage 14).
 
     - A pointer induction steps ``increment * unroll`` bytes.
@@ -219,27 +214,23 @@ class InductionInsertionPass(Pass):
     """
 
     name = "induction_insertion"
-    streamable = True
 
-    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
-        out: list[KernelIR] = []
-        for ir in variants:
-            if ir.unroll is None:
-                raise CreatorError(self.name, "unroll factor not selected", ir.metadata)
-            regular: list[Instruction] = []
-            last: list[Instruction] = []
-            for ind in ir.inductions:
-                if ind.not_affected_unroll:
-                    continue  # handled by iteration_counter
-                step = self._scaled_step(ind, ir)
-                update = _update_instruction(_resolved_name(ind, ir.regmap), step)
-                (last if ind.last_induction else regular).append(update)
-            updates = tuple(regular + last)
-            md: dict[str, object] = {}
-            if "_induction_start" not in ir.metadata and updates:
-                md["_induction_start"] = len(ir.body)
-            out.append(ir.evolve(body=ir.body + updates).noting(**md))
-        return out
+    def expand(self, ir: KernelIR, ctx: CreatorContext) -> Iterator[KernelIR]:
+        if ir.unroll is None:
+            raise CreatorError(self.name, "unroll factor not selected", ir.metadata)
+        regular: list[Instruction] = []
+        last: list[Instruction] = []
+        for ind in ir.inductions:
+            if ind.not_affected_unroll:
+                continue  # handled by iteration_counter
+            step = self._scaled_step(ind, ir)
+            update = _update_instruction(_resolved_name(ind, ir.regmap), step)
+            (last if ind.last_induction else regular).append(update)
+        updates = tuple(regular + last)
+        md: dict[str, object] = {}
+        if "_induction_start" not in ir.metadata and updates:
+            md["_induction_start"] = len(ir.body)
+        yield ir.evolve(body=ir.body + updates).noting(**md)
 
     def _scaled_step(self, ind: InductionSpec, ir: KernelIR) -> int:
         assert ir.unroll is not None
@@ -263,18 +254,14 @@ class InductionInsertionPass(Pass):
         return ind.increment * ir.unroll * elements_per_copy
 
 
-class BranchInsertionPass(Pass):
+class BranchInsertionPass(PerVariantPass):
     """Append the closing conditional jump (stage 15)."""
 
     name = "branch_insertion"
-    streamable = True
 
-    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
-        out: list[KernelIR] = []
-        for ir in variants:
-            if ir.branch is None:
-                out.append(ir)
-                continue
-            jump = Instruction(ir.branch.test, (LabelOperand(ir.branch.asm_label),))
-            out.append(ir.evolve(body=ir.body + (jump,)))
-        return out
+    def expand(self, ir: KernelIR, ctx: CreatorContext) -> Iterator[KernelIR]:
+        if ir.branch is None:
+            yield ir
+            return
+        jump = Instruction(ir.branch.test, (LabelOperand(ir.branch.asm_label),))
+        yield ir.evolve(body=ir.body + (jump,))

@@ -4,18 +4,19 @@ stride / immediate selection (pipeline stages 1-6)."""
 from __future__ import annotations
 
 import itertools
+import sys
 from dataclasses import replace
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.creator.ir import KernelIR, TemplateInstr
-from repro.creator.pass_manager import CreatorContext, Pass
+from repro.creator.pass_manager import CreatorContext, Pass, PerVariantPass
 from repro.creator.passes.errors import CreatorError
 from repro.spec.schema import ImmediateSpec, MemoryRef
 
 
-class InstructionRepetitionPass(Pass):
+class InstructionRepetitionPass(PerVariantPass):
     """Expand ``<repeat>`` counts into that many template copies (stage 1).
 
     Copies are stamped with distinct lanes so register-range rotation gives
@@ -24,20 +25,22 @@ class InstructionRepetitionPass(Pass):
     """
 
     name = "instruction_repetition"
-    streamable = True
 
-    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
-        out: list[KernelIR] = []
-        for ir in variants:
-            instrs: list[TemplateInstr] = []
-            for t in ir.instrs:
-                for lane in range(t.repeat):
-                    instrs.append(replace(t, repeat=1, lane=t.lane + lane))
-            out.append(ir.evolve(instrs=tuple(instrs)))
-        return out
+    def expand(self, ir: KernelIR, ctx: CreatorContext) -> Iterator[KernelIR]:
+        if all(t.repeat == 1 for t in ir.instrs):
+            yield ir
+            return
+        instrs: list[TemplateInstr] = []
+        for t in ir.instrs:
+            if t.repeat == 1:
+                instrs.append(t)
+                continue
+            for lane in range(t.repeat):
+                instrs.append(replace(t, repeat=1, lane=t.lane + lane))
+        yield ir.evolve(instrs=tuple(instrs))
 
 
-class MoveSemanticsPass(Pass):
+class MoveSemanticsPass(PerVariantPass):
     """Expand move *semantics* into concrete encodings (stage 2).
 
     A 16-byte move becomes up to three variants: the aligned vector
@@ -47,22 +50,15 @@ class MoveSemanticsPass(Pass):
     """
 
     name = "move_semantics"
-    streamable = True
 
-    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
-        out: list[KernelIR] = []
-        for ir in variants:
-            out.extend(self._expand(ir))
-        return out
-
-    def _expand(self, ir: KernelIR) -> list[KernelIR]:
+    def expand(self, ir: KernelIR, ctx: CreatorContext) -> Iterator[KernelIR]:
         slots = [i for i, t in enumerate(ir.instrs) if t.move_semantics is not None]
         if not slots:
-            return [ir]
+            yield ir
+            return
         per_slot: list[list[tuple[str, list[TemplateInstr]]]] = []
         for i in slots:
             per_slot.append(self._encodings(ir.instrs[i], i))
-        results: list[KernelIR] = []
         for combo in itertools.product(*per_slot):
             instrs: list[TemplateInstr] = []
             notes: dict[str, object] = {}
@@ -74,8 +70,7 @@ class MoveSemanticsPass(Pass):
                     instrs.extend(expansion)
                 else:
                     instrs.append(t)
-            results.append(ir.evolve(instrs=tuple(instrs)).noting(**notes))
-        return results
+            yield ir.evolve(instrs=tuple(instrs)).noting(**notes)
 
     @staticmethod
     def _encodings(t: TemplateInstr, slot: int) -> list[tuple[str, list[TemplateInstr]]]:
@@ -104,7 +99,7 @@ class MoveSemanticsPass(Pass):
         return encodings
 
 
-class InstructionSelectionPass(Pass):
+class InstructionSelectionPass(PerVariantPass):
     """Cartesian expansion over per-instruction opcode choices (stage 3).
 
     "Instruction selection is a generic instruction scheduling pass which
@@ -112,30 +107,30 @@ class InstructionSelectionPass(Pass):
     """
 
     name = "instruction_selection"
-    streamable = True
 
-    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
-        out: list[KernelIR] = []
-        for ir in variants:
-            pending = [i for i, t in enumerate(ir.instrs) if t.opcode is None]
-            for i in pending:
-                if not ir.instrs[i].choices:
-                    raise CreatorError(
-                        self.name, f"instruction {i} has no opcode and no choices", ir.metadata
-                    )
-            if not pending:
-                out.append(self._note_opcodes(ir))
-                continue
-            for combo in itertools.product(*(ir.instrs[i].choices for i in pending)):
-                instrs = list(ir.instrs)
-                for i, opcode in zip(pending, combo):
-                    instrs[i] = instrs[i].with_opcode(opcode)
-                out.append(self._note_opcodes(ir.evolve(instrs=tuple(instrs))))
-        return out
+    def expand(self, ir: KernelIR, ctx: CreatorContext) -> Iterator[KernelIR]:
+        pending = [i for i, t in enumerate(ir.instrs) if t.opcode is None]
+        for i in pending:
+            if not ir.instrs[i].choices:
+                raise CreatorError(
+                    self.name, f"instruction {i} has no opcode and no choices", ir.metadata
+                )
+        if not pending:
+            yield self._note_opcodes(ir)
+            return
+        for combo in itertools.product(*(ir.instrs[i].choices for i in pending)):
+            instrs = list(ir.instrs)
+            for i, opcode in zip(pending, combo):
+                instrs[i] = instrs[i].with_opcode(opcode)
+            yield self._note_opcodes(ir.evolve(instrs=tuple(instrs)))
 
     @staticmethod
     def _note_opcodes(ir: KernelIR) -> KernelIR:
-        return ir.noting(opcodes=tuple(t.opcode for t in ir.instrs))
+        # sys.intern: opcode strings recur across thousands of variants
+        # (metadata keys, dedup sets, digests) — one shared object each.
+        return ir.noting(
+            opcodes=tuple(sys.intern(t.opcode) for t in ir.instrs if t.opcode)
+        )
 
 
 class RandomSelectionPass(Pass):
@@ -162,7 +157,7 @@ class RandomSelectionPass(Pass):
         return [variants[i].noting(random_pick=True) for i in keep]
 
 
-class StrideSelectionPass(Pass):
+class StrideSelectionPass(PerVariantPass):
     """Cartesian expansion over induction stride choices (stage 5).
 
     Each chosen multiplier scales the target induction's per-iteration
@@ -171,31 +166,28 @@ class StrideSelectionPass(Pass):
     """
 
     name = "stride_selection"
-    streamable = True
 
-    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
+    def expand(self, ir: KernelIR, ctx: CreatorContext) -> Iterator[KernelIR]:
         strides = ctx.spec.strides
         if not strides:
-            return list(variants)
-        out: list[KernelIR] = []
-        for ir in variants:
-            for combo in itertools.product(*(s.values for s in strides)):
-                inductions = list(ir.inductions)
-                notes: dict[str, object] = {}
-                for s, mult in zip(strides, combo):
-                    notes[f"stride:{s.register.name}"] = mult
-                    for j, ind in enumerate(inductions):
-                        if ind.register.name == s.register.name:
-                            inductions[j] = replace(
-                                ind,
-                                increment=ind.increment * mult,
-                                offset=ind.offset * mult if ind.offset is not None else None,
-                            )
-                out.append(ir.evolve(inductions=tuple(inductions)).noting(**notes))
-        return out
+            yield ir
+            return
+        for combo in itertools.product(*(s.values for s in strides)):
+            inductions = list(ir.inductions)
+            notes: dict[str, object] = {}
+            for s, mult in zip(strides, combo):
+                notes[f"stride:{s.register.name}"] = mult
+                for j, ind in enumerate(inductions):
+                    if ind.register.name == s.register.name:
+                        inductions[j] = replace(
+                            ind,
+                            increment=ind.increment * mult,
+                            offset=ind.offset * mult if ind.offset is not None else None,
+                        )
+            yield ir.evolve(inductions=tuple(inductions)).noting(**notes)
 
 
-class ImmediateSelectionPass(Pass):
+class ImmediateSelectionPass(PerVariantPass):
     """Choose values for immediate operands (stage 6).
 
     Multi-valued immediates expand cartesianly; single-valued ones are
@@ -203,24 +195,17 @@ class ImmediateSelectionPass(Pass):
     """
 
     name = "immediate_selection"
-    streamable = True
 
-    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
-        out: list[KernelIR] = []
-        for ir in variants:
-            out.extend(self._expand(ir))
-        return out
-
-    def _expand(self, ir: KernelIR) -> list[KernelIR]:
+    def expand(self, ir: KernelIR, ctx: CreatorContext) -> Iterator[KernelIR]:
         pending: list[tuple[int, int]] = []  # (instr index, operand index)
         for i, t in enumerate(ir.instrs):
             for j, op in enumerate(t.operands):
                 if isinstance(op, ImmediateSpec):
                     pending.append((i, j))
         if not pending:
-            return [ir]
+            yield ir
+            return
         choice_sets = [ir.instrs[i].operands[j].values for i, j in pending]  # type: ignore[union-attr]
-        results: list[KernelIR] = []
         for combo in itertools.product(*choice_sets):
             instrs = list(ir.instrs)
             notes: dict[str, object] = {}
@@ -229,5 +214,4 @@ class ImmediateSelectionPass(Pass):
                 operands[j] = value
                 instrs[i] = instrs[i].with_operands(tuple(operands))
                 notes[f"imm:{i}.{j}"] = value
-            results.append(ir.evolve(instrs=tuple(instrs)).noting(**notes))
-        return results
+            yield ir.evolve(instrs=tuple(instrs)).noting(**notes)

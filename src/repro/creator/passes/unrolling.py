@@ -12,29 +12,25 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import replace
-from typing import Sequence
+from typing import Iterator
 
 from repro.creator.ir import KernelIR, TemplateInstr
-from repro.creator.pass_manager import CreatorContext, Pass
+from repro.creator.pass_manager import CreatorContext, PerVariantPass
 from repro.creator.passes.errors import CreatorError
 from repro.spec.schema import MemoryRef, RegisterRange, RegisterRef
 
 
-class UnrollFactorSelectionPass(Pass):
+class UnrollFactorSelectionPass(PerVariantPass):
     """One variant per factor in the ``<unrolling>`` range (stage 7)."""
 
     name = "unroll_factor_selection"
-    streamable = True
 
-    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
-        out: list[KernelIR] = []
-        for ir in variants:
-            for u in ir.unroll_range.factors():
-                out.append(ir.evolve(unroll=u).noting(unroll=u))
-        return out
+    def expand(self, ir: KernelIR, ctx: CreatorContext) -> Iterator[KernelIR]:
+        for u in ir.unroll_range.factors():
+            yield ir.evolve(unroll=u).noting(unroll=u)
 
 
-class OperandSwapBeforeUnrollPass(Pass):
+class OperandSwapBeforeUnrollPass(PerVariantPass):
     """Swap variants for ``<swap_before_unroll/>`` instructions (stage 8).
 
     Each flagged instruction doubles the variant count: original operand
@@ -44,30 +40,24 @@ class OperandSwapBeforeUnrollPass(Pass):
     """
 
     name = "operand_swap_before"
-    streamable = True
 
-    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
-        out: list[KernelIR] = []
-        for ir in variants:
-            slots = [i for i, t in enumerate(ir.instrs) if t.swap_before_unroll]
-            if not slots:
-                out.append(ir)
-                continue
-            for combo in itertools.product((False, True), repeat=len(slots)):
-                instrs = list(ir.instrs)
-                for i, do_swap in zip(slots, combo):
-                    if do_swap:
-                        instrs[i] = instrs[i].swapped()
-                pattern = "".join(
-                    "S" if instrs[i].describes_store() else "L" for i in slots
-                )
-                out.append(
-                    ir.evolve(instrs=tuple(instrs)).noting(swap_before=pattern)
-                )
-        return out
+    def expand(self, ir: KernelIR, ctx: CreatorContext) -> Iterator[KernelIR]:
+        slots = [i for i, t in enumerate(ir.instrs) if t.swap_before_unroll]
+        if not slots:
+            yield ir
+            return
+        for combo in itertools.product((False, True), repeat=len(slots)):
+            instrs = list(ir.instrs)
+            for i, do_swap in zip(slots, combo):
+                if do_swap:
+                    instrs[i] = instrs[i].swapped()
+            pattern = "".join(
+                "S" if instrs[i].describes_store() else "L" for i in slots
+            )
+            yield ir.evolve(instrs=tuple(instrs)).noting(swap_before=pattern)
 
 
-class UnrollingPass(Pass):
+class UnrollingPass(PerVariantPass):
     """Replicate the body ``unroll`` times, bumping memory offsets (stage 9).
 
     Copy *k* of an instruction whose memory operand is based on a pointer
@@ -76,39 +66,49 @@ class UnrollingPass(Pass):
     """
 
     name = "unrolling"
-    streamable = True
 
-    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
-        out: list[KernelIR] = []
-        for ir in variants:
-            if ir.unroll is None:
-                raise CreatorError(self.name, "unroll factor not selected", ir.metadata)
-            offsets = {
-                ind.register.name: ind.offset
-                for ind in ir.pointer_inductions()
-                if ind.offset is not None
-            }
-            body: list[TemplateInstr] = []
-            for k in range(ir.unroll):
-                for t in ir.instrs:
-                    body.append(self._copy_for_iteration(t, k, offsets))
-            out.append(ir.evolve(instrs=tuple(body)))
-        return out
+    def expand(self, ir: KernelIR, ctx: CreatorContext) -> Iterator[KernelIR]:
+        if ir.unroll is None:
+            raise CreatorError(self.name, "unroll factor not selected", ir.metadata)
+        offsets = {
+            ind.register.name: ind.offset
+            for ind in ir.pointer_inductions()
+            if ind.offset is not None
+        }
+        body: list[TemplateInstr] = []
+        for k in range(ir.unroll):
+            for t in ir.instrs:
+                body.append(self._copy_for_iteration(t, k, offsets))
+        yield ir.evolve(instrs=tuple(body))
 
     @staticmethod
     def _copy_for_iteration(
         t: TemplateInstr, k: int, offsets: dict[str, int]
     ) -> TemplateInstr:
-        operands = []
-        for op in t.operands:
-            if isinstance(op, MemoryRef) and op.base.name in offsets:
-                operands.append(replace(op, offset=op.offset + k * offsets[op.base.name]))
-            else:
-                operands.append(op)
-        return replace(t, operands=tuple(operands), unroll_index=k)
+        # Copy 0 with no offset bump is the template itself, and most
+        # copies shift only one memory operand: reuse the original
+        # operand tuple (and its operand objects) whenever nothing in it
+        # changed, instead of rebuilding per copy.
+        changed = False
+        operands = t.operands
+        if k:
+            rebuilt = []
+            for op in t.operands:
+                if isinstance(op, MemoryRef) and op.base.name in offsets:
+                    rebuilt.append(
+                        replace(op, offset=op.offset + k * offsets[op.base.name])
+                    )
+                    changed = True
+                else:
+                    rebuilt.append(op)
+            if changed:
+                operands = tuple(rebuilt)
+        if not changed and t.unroll_index == k:
+            return t
+        return replace(t, operands=operands, unroll_index=k)
 
 
-class OperandSwapAfterUnrollPass(Pass):
+class OperandSwapAfterUnrollPass(PerVariantPass):
     """Per-unrolled-copy swap variants (stage 10).
 
     Every ``<swap_after_unroll/>`` copy independently keeps or swaps its
@@ -119,28 +119,24 @@ class OperandSwapAfterUnrollPass(Pass):
     """
 
     name = "operand_swap_after"
-    streamable = True
 
-    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
-        out: list[KernelIR] = []
-        for ir in variants:
-            slots = [i for i, t in enumerate(ir.instrs) if t.swap_after_unroll]
-            if not slots:
-                out.append(ir)
-                continue
-            for combo in itertools.product((False, True), repeat=len(slots)):
-                instrs = list(ir.instrs)
-                for i, do_swap in zip(slots, combo):
-                    if do_swap:
-                        instrs[i] = instrs[i].swapped()
-                mix = "".join(
-                    "S" if instrs[i].describes_store() else "L" for i in slots
-                )
-                out.append(ir.evolve(instrs=tuple(instrs)).noting(mix=mix))
-        return out
+    def expand(self, ir: KernelIR, ctx: CreatorContext) -> Iterator[KernelIR]:
+        slots = [i for i, t in enumerate(ir.instrs) if t.swap_after_unroll]
+        if not slots:
+            yield ir
+            return
+        for combo in itertools.product((False, True), repeat=len(slots)):
+            instrs = list(ir.instrs)
+            for i, do_swap in zip(slots, combo):
+                if do_swap:
+                    instrs[i] = instrs[i].swapped()
+            mix = "".join(
+                "S" if instrs[i].describes_store() else "L" for i in slots
+            )
+            yield ir.evolve(instrs=tuple(instrs)).noting(mix=mix)
 
 
-class RegisterRotationPass(Pass):
+class RegisterRotationPass(PerVariantPass):
     """Resolve register ranges to concrete registers (stage 11).
 
     Copy *k* (offset by its lane) takes ``{prefix}{min + (k mod span)}``,
@@ -150,18 +146,19 @@ class RegisterRotationPass(Pass):
     """
 
     name = "register_rotation"
-    streamable = True
 
-    def run(self, variants: Sequence[KernelIR], ctx: CreatorContext) -> list[KernelIR]:
-        out: list[KernelIR] = []
-        for ir in variants:
-            instrs = []
-            for t in ir.instrs:
-                k = t.unroll_index + t.lane
-                operands = tuple(
-                    RegisterRef(op.name_for(k)) if isinstance(op, RegisterRange) else op
-                    for op in t.operands
-                )
-                instrs.append(t.with_operands(operands))
-            out.append(ir.evolve(instrs=tuple(instrs)))
-        return out
+    def expand(self, ir: KernelIR, ctx: CreatorContext) -> Iterator[KernelIR]:
+        instrs = []
+        for t in ir.instrs:
+            # Instructions without a register range rotate to themselves;
+            # keep the original template (and operand tuple) in that case.
+            if not any(isinstance(op, RegisterRange) for op in t.operands):
+                instrs.append(t)
+                continue
+            k = t.unroll_index + t.lane
+            operands = tuple(
+                RegisterRef(op.name_for(k)) if isinstance(op, RegisterRange) else op
+                for op in t.operands
+            )
+            instrs.append(t.with_operands(operands))
+        yield ir.evolve(instrs=tuple(instrs))

@@ -23,6 +23,9 @@ class GeneratedKernel:
     variant_id: int
     program: AsmProgram
     metadata: dict[str, object] = field(default_factory=dict)
+    #: Memo slot for :func:`repro.engine.hashing.kernel_digest` — lets
+    #: job-ID hashing reuse one digest across a whole option sweep.
+    _digest_memo: str | None = field(default=None, repr=False, compare=False)
 
     @property
     def name(self) -> str:

@@ -11,6 +11,12 @@ This package turns that workflow into a first-class pipeline:
 - :mod:`repro.engine.cache` -- a disk-backed JSONL result cache keyed by
   job ID, so re-running an exhibit or resuming an interrupted campaign
   only executes the missing jobs,
+- :mod:`repro.engine.gencache` -- the same storage discipline for
+  *rendered variants*: a warm generation cache expands a spec sweep
+  without running the pass pipeline,
+- :mod:`repro.engine.generation` -- deferred generation
+  (:class:`KernelRef`): spec-backed jobs ship a reference and workers
+  regenerate their slice locally, memoized per process,
 - :mod:`repro.engine.runner` -- a fault-tolerant worker-pool scheduler
   (``ProcessPoolExecutor``; ``jobs=1`` runs inline) whose per-job derived
   noise seeds make results bit-identical regardless of worker count or
@@ -44,7 +50,10 @@ Quickstart::
 from repro.engine.campaign import Campaign, Job, SweepSpec
 from repro.engine.cache import CacheStats, ResultCache
 from repro.engine.faults import Fault, FaultPlan, InjectedFault
+from repro.engine.gencache import CachedVariant, GenerationCache
+from repro.engine.generation import KernelRef, expand_spec_variants
 from repro.engine.hashing import (
+    creator_options_digest,
     job_id_for,
     kernel_digest,
     machine_digest,
@@ -66,18 +75,23 @@ from repro.engine.serialize import (
 )
 
 __all__ = [
+    "CachedVariant",
     "Campaign",
     "CampaignRun",
     "CacheStats",
     "Fault",
     "FaultPlan",
+    "GenerationCache",
     "InjectedFault",
     "Job",
     "JobFailure",
     "JobTimeout",
+    "KernelRef",
     "ResultCache",
     "RunStats",
     "SweepSpec",
+    "creator_options_digest",
+    "expand_spec_variants",
     "job_id_for",
     "kernel_digest",
     "machine_digest",

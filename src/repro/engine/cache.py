@@ -15,6 +15,10 @@ still parse.  The first ``put`` after loading a damaged
 file *repairs* it: the file is atomically rewritten to exactly the
 surviving valid records.  When a job ID appears twice the later line
 wins, which is what re-measuring with ``resume=False`` produces.
+
+The same storage discipline backs the generation cache
+(:mod:`repro.engine.gencache`); the shared machinery lives in
+:class:`JsonlCache`.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 
-def _record_check(record: dict) -> str:
+def record_check(record: dict) -> str:
     """Digest over the whole record (minus ``check`` itself).
 
     Covering every key means any parse-surviving byte alteration — a
@@ -35,6 +39,10 @@ def _record_check(record: dict) -> str:
     body = {k: v for k, v in record.items() if k != "check"}
     canonical = json.dumps(body, sort_keys=True)
     return hashlib.sha256(canonical.encode(errors="replace")).hexdigest()[:16]
+
+
+# Backwards-compatible alias (pre-gencache name).
+_record_check = record_check
 
 
 @dataclass(slots=True)
@@ -54,10 +62,25 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
 
-class ResultCache:
-    """Measurement-dict cache over a directory; see the module docstring."""
+class JsonlCache:
+    """Append-only JSONL store with checksums and self-repair.
 
-    FILENAME = "results.jsonl"
+    Subclasses set :attr:`FILENAME` and :attr:`KEY` (the record field
+    holding the primary key) and implement :meth:`_valid_record` for
+    their payload shape.  The base class owns loading (damaged lines
+    skipped and counted), checksumming, atomic repair on the next write,
+    and torn-tail handling.
+
+    The trailing-newline state of the file is tracked *in memory*: it is
+    probed once when the file is loaded (a torn write can leave a valid
+    final line with no newline) and maintained across appends, so a
+    store costs one append — not a stat+open+seek probe per call.  The
+    cache assumes it is the file's only writer for its lifetime, which
+    the engine guarantees (workers never write caches).
+    """
+
+    FILENAME = "cache.jsonl"
+    KEY = "key"
 
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
@@ -66,23 +89,19 @@ class ResultCache:
         self.stats = CacheStats()
         self._records: dict[str, dict] = {}
         self._corrupt_lines = 0
+        # True when the next append must first restore a missing trailing
+        # newline (one probe per lifetime, at load).
+        self._torn_tail = False
         self._load()
 
-    @staticmethod
-    def _valid_record(record: object) -> bool:
+    def _valid_record(self, record: object) -> bool:
         """Structural + integrity validation of one loaded record."""
-        if not isinstance(record, dict):
-            return False
-        job_id = record.get("job_id")
-        measurements = record.get("measurements")
-        if not isinstance(job_id, str) or not isinstance(measurements, list):
-            return False
-        if not all(isinstance(m, dict) for m in measurements):
-            return False
+        raise NotImplementedError
+
+    def _check_passes(self, record: dict) -> bool:
+        """Checksum validation shared by every record shape."""
         check = record.get("check")
-        if check is not None and check != _record_check(record):
-            return False  # line parsed but its bytes were altered
-        return True
+        return check is None or check == record_check(record)
 
     def _load(self) -> None:
         if not self.path.exists():
@@ -101,9 +120,10 @@ class ResultCache:
                     self._corrupt_lines += 1
                     continue
                 if self._valid_record(record):
-                    self._records[record["job_id"]] = record
+                    self._records[record[self.KEY]] = record
                 else:
                     self._corrupt_lines += 1
+        self._torn_tail = not self._ends_with_newline()
 
     @property
     def corrupt_lines(self) -> int:
@@ -113,8 +133,73 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._records)
 
-    def __contains__(self, job_id: str) -> bool:
-        return job_id in self._records
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def _store(self, record: dict) -> None:
+        """Checksum, remember, and flush one record.
+
+        If damaged lines were detected when the file was loaded, the
+        whole file is first rewritten to the surviving valid records —
+        the cache heals itself the next time it is written to.
+        """
+        record["check"] = record_check(record)
+        self._records[record[self.KEY]] = record
+        if self._corrupt_lines:
+            self._rewrite()
+        else:
+            # A torn write can leave a valid final line with no newline;
+            # appending straight onto it would weld two records
+            # together, so restore the separator first.
+            with self.path.open("ab") as fh:
+                if self._torn_tail:
+                    fh.write(b"\n")
+                fh.write(json.dumps(record).encode() + b"\n")
+            self._torn_tail = False
+        self.stats.stores += 1
+
+    def _ends_with_newline(self) -> bool:
+        if self.path.stat().st_size == 0:
+            return True
+        with self.path.open("rb") as fh:
+            fh.seek(-1, 2)
+            return fh.read(1) == b"\n"
+
+    def _rewrite(self) -> None:
+        """Compact the file to exactly the valid records (atomic replace)."""
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with tmp.open("w") as fh:
+            for record in self._records.values():
+                fh.write(json.dumps(record) + "\n")
+        tmp.replace(self.path)
+        self._corrupt_lines = 0
+        self._torn_tail = False
+
+    def clear(self) -> None:
+        """Drop every stored record (and the file)."""
+        self._records.clear()
+        self._corrupt_lines = 0
+        self._torn_tail = False
+        if self.path.exists():
+            self.path.unlink()
+
+
+class ResultCache(JsonlCache):
+    """Measurement-dict cache over a directory; see the module docstring."""
+
+    FILENAME = "results.jsonl"
+    KEY = "job_id"
+
+    def _valid_record(self, record: object) -> bool:
+        if not isinstance(record, dict):
+            return False
+        job_id = record.get("job_id")
+        measurements = record.get("measurements")
+        if not isinstance(job_id, str) or not isinstance(measurements, list):
+            return False
+        if not all(isinstance(m, dict) for m in measurements):
+            return False
+        return self._check_passes(record)
 
     def get(self, job_id: str) -> list[dict] | None:
         """Stored measurement dicts for ``job_id``, or ``None`` (counted)."""
@@ -133,52 +218,12 @@ class ResultCache:
         kernel: str = "",
         mode: str = "",
     ) -> None:
-        """Store and immediately flush one job's measurements.
-
-        If damaged lines were detected when the file was loaded, the
-        whole file is first rewritten to the surviving valid records —
-        the cache heals itself the next time it is written to.
-        """
-        record = {
-            "job_id": job_id,
-            "kernel": kernel,
-            "mode": mode,
-            "measurements": measurements,
-        }
-        record["check"] = _record_check(record)
-        self._records[job_id] = record
-        if self._corrupt_lines:
-            self._rewrite()
-        else:
-            # A torn write can leave a valid final line with no newline;
-            # appending straight onto it would weld two records
-            # together, so restore the separator first.
-            torn_tail = self.path.exists() and not self._ends_with_newline()
-            with self.path.open("ab") as fh:
-                if torn_tail:
-                    fh.write(b"\n")
-                fh.write(json.dumps(record).encode() + b"\n")
-        self.stats.stores += 1
-
-    def _ends_with_newline(self) -> bool:
-        if self.path.stat().st_size == 0:
-            return True
-        with self.path.open("rb") as fh:
-            fh.seek(-1, 2)
-            return fh.read(1) == b"\n"
-
-    def _rewrite(self) -> None:
-        """Compact the file to exactly the valid records (atomic replace)."""
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        with tmp.open("w") as fh:
-            for record in self._records.values():
-                fh.write(json.dumps(record) + "\n")
-        tmp.replace(self.path)
-        self._corrupt_lines = 0
-
-    def clear(self) -> None:
-        """Drop every stored result (and the file)."""
-        self._records.clear()
-        self._corrupt_lines = 0
-        if self.path.exists():
-            self.path.unlink()
+        """Store and immediately flush one job's measurements."""
+        self._store(
+            {
+                "job_id": job_id,
+                "kernel": kernel,
+                "mode": mode,
+                "measurements": measurements,
+            }
+        )

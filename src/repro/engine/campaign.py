@@ -104,6 +104,9 @@ class SweepSpec:
     axes: Mapping[str, Sequence] = field(default_factory=dict)
     mode: str = "sequential"
     tags: Mapping[str, object] = field(default_factory=dict)
+    #: Creator knobs for spec expansion (``None`` = defaults).  Part of
+    #: the generation-cache key: different knobs, different variants.
+    creator_options: object = None
 
     def __post_init__(self) -> None:
         if self.mode not in JOB_MODES:
@@ -115,15 +118,30 @@ class SweepSpec:
         if unknown:
             raise ValueError(f"unknown option axes: {sorted(unknown)}")
 
-    def iter_kernels(self) -> Iterator[object]:
-        """The sweep's kernels, generating lazily when given a spec."""
+    def iter_kernels(self, gen_cache=None) -> Iterator[object]:
+        """The sweep's kernels, generating lazily when given a spec.
+
+        With a :class:`~repro.engine.gencache.GenerationCache`, spec
+        expansion goes through it: a warm cache skips the pass pipeline,
+        a cold one populates it.  The variant filter applies after either
+        path — cache entries always hold the complete expansion.
+        """
         yield from self.kernels
-        if self.spec is not None:
+        if self.spec is None:
+            return
+        if gen_cache is not None:
+            from repro.engine.generation import expand_spec_variants
+
+            variants: Iterator[object] = iter(
+                expand_spec_variants(self.spec, self.creator_options, gen_cache)
+            )
+        else:
             from repro.creator import MicroCreator
 
-            for variant in MicroCreator().stream(self.spec):
-                if self.variant_filter is None or self.variant_filter(variant):
-                    yield variant
+            variants = MicroCreator(self.creator_options).stream(self.spec)
+        for variant in variants:
+            if self.variant_filter is None or self.variant_filter(variant):
+                yield variant
 
     def option_points(self) -> Iterator[dict[str, object]]:
         """Every axis combination as a field-override dict."""
@@ -144,19 +162,49 @@ class Campaign:
     sweeps: Sequence[SweepSpec]
     description: str = ""
 
-    def jobs(self) -> Iterator[Job]:
+    def jobs(self, *, gen_cache=None, defer: bool = False) -> Iterator[Job]:
         """Expand every sweep into jobs, streaming, in deterministic order.
 
         Kernels generated from a spec flow straight from the streaming
-        pass pipeline: the first jobs are ready to measure while later
-        variants are still being expanded.
+        pass pipeline (or from ``gen_cache`` when one is given and warm):
+        the first jobs are ready to measure while later variants are
+        still being expanded.
+
+        With ``defer=True``, spec-derived jobs carry a
+        :class:`~repro.engine.generation.KernelRef` instead of the
+        rendered kernel — workers regenerate their slice locally.  Job
+        IDs are content hashes either way, so deferral never changes a
+        job's identity or its results.  Explicit kernels are always
+        shipped as-is: there is nothing to regenerate them from.
         """
         machine_dig = machine_digest(self.machine)
         index = 0
         for sweep in self.sweeps:
-            for kernel in sweep.iter_kernels():
+            n_explicit = len(sweep.kernels)
+            spec_dig = opts_dig = ""
+            if defer and sweep.spec is not None:
+                from repro.engine.generation import KernelRef
+                from repro.engine.hashing import (
+                    creator_options_digest,
+                    spec_digest,
+                )
+
+                spec_dig = spec_digest(sweep.spec)
+                opts_dig = creator_options_digest(sweep.creator_options)
+            for ki, kernel in enumerate(sweep.iter_kernels(gen_cache)):
                 kernel_dig = kernel_digest(kernel)
                 kernel_name = getattr(kernel, "name", None) or str(kernel)
+                payload: object = kernel
+                if defer and ki >= n_explicit:
+                    payload = KernelRef(
+                        spec=sweep.spec,
+                        options=sweep.creator_options,
+                        spec_dig=spec_dig,
+                        opts_dig=opts_dig,
+                        variant_id=kernel.variant_id,  # type: ignore[attr-defined]
+                        digest=kernel_dig,
+                        name=kernel_name,
+                    )
                 for overrides in sweep.option_points():
                     options = sweep.base.with_(**overrides)
                     job_id = job_id_for(
@@ -165,7 +213,7 @@ class Campaign:
                     yield Job(
                         job_id=job_id,
                         index=index,
-                        kernel=kernel,
+                        kernel=payload,
                         kernel_name=kernel_name,
                         mode=sweep.mode,
                         options=options,
@@ -174,6 +222,6 @@ class Campaign:
                     )
                     index += 1
 
-    def job_list(self) -> list[Job]:
+    def job_list(self, *, gen_cache=None, defer: bool = False) -> list[Job]:
         """The fully expanded job list (materializes the stream)."""
-        return list(self.jobs())
+        return list(self.jobs(gen_cache=gen_cache, defer=defer))

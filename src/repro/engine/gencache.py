@@ -1,0 +1,228 @@
+"""The persistent generation cache: rendered variants keyed by spec.
+
+Running the 19-pass pipeline over a big sweep costs far more than
+reading its output back, and generation is deterministic — the same
+``(spec, creator options)`` pair always renders the same variants.  So
+campaigns may persist each expansion here (``<dir>/gencache.jsonl``) and
+skip the pipeline entirely on the next run, which is what makes
+``--resume`` and repeated sweeps start measuring immediately::
+
+    {"key": "<spec digest>:<creator-options digest>", "spec": "matmul",
+     "variants": [{"variant_id": 0, "name": "matmul_v0000",
+                   "digest": "ab12...", "text": ".text\\n...",
+                   "metadata": {...}}, ...], "check": "9c41..."}
+
+Storage discipline is inherited from :class:`~repro.engine.cache.JsonlCache`
+— whole-record checksums, damaged lines skipped on load, atomic
+self-repair on the next store, torn-tail handling — so a crashed or
+corrupted cache degrades to regeneration, never to wrong kernels.
+
+Cache hits return :class:`CachedVariant` handles: they carry the variant
+name, metadata, and content digest up front and parse the stored
+assembly back into a program only if something actually measures the
+kernel, so job-ID expansion over a warm cache never touches the parser.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro import obs
+from repro.engine.cache import JsonlCache
+from repro.engine.hashing import kernel_digest
+from repro.isa.instructions import AsmProgram, Instruction
+
+
+def _tupled(value: object) -> object:
+    """Restore the tuple convention JSON storage flattens to lists."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_tupled(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _tupled(v) for k, v in value.items()}
+    return value
+
+
+class CachedVariant:
+    """A generated variant restored from the cache.
+
+    Quacks like :class:`~repro.creator.GeneratedKernel` everywhere the
+    engine and variant filters look — ``name``, ``metadata``, the
+    familiar metadata properties, ``asm_text`` — but holds the rendered
+    text instead of a program.  ``program`` parses lazily on first
+    access, and the stored content digest pre-populates the
+    ``kernel_digest`` memo, so expanding jobs from a warm cache does no
+    parsing and no hashing.
+    """
+
+    __slots__ = (
+        "spec_name",
+        "variant_id",
+        "metadata",
+        "_name",
+        "_text",
+        "_program",
+        "_digest_memo",
+    )
+
+    def __init__(
+        self,
+        spec_name: str,
+        variant_id: int,
+        name: str,
+        text: str,
+        metadata: dict[str, object],
+        digest: str,
+    ) -> None:
+        self.spec_name = spec_name
+        self.variant_id = variant_id
+        self.metadata = metadata
+        self._name = name
+        self._text = text
+        self._program: AsmProgram | None = None
+        self._digest_memo = digest
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def program(self) -> AsmProgram:
+        """The parsed program (parsed once, on first use)."""
+        if self._program is None:
+            from repro.isa.parser import parse_asm
+
+            program = parse_asm(self._text, name=self._name)
+            program.name = self._name
+            self._program = program
+        return self._program
+
+    @property
+    def unroll(self) -> int:
+        return int(self.metadata.get("unroll", 1))  # type: ignore[arg-type]
+
+    @property
+    def mix(self) -> str:
+        explicit = self.metadata.get("mix")
+        if isinstance(explicit, str):
+            return explicit
+        letters = []
+        for instr in self.instructions():
+            if instr.bytes_moved:
+                letters.append("S" if instr.is_store else "L")
+        return "".join(letters)
+
+    @property
+    def n_loads(self) -> int:
+        return int(self.metadata.get("n_loads", 0))  # type: ignore[arg-type]
+
+    @property
+    def n_stores(self) -> int:
+        return int(self.metadata.get("n_stores", 0))  # type: ignore[arg-type]
+
+    @property
+    def opcodes(self) -> tuple[str, ...]:
+        ops = self.metadata.get("opcodes")
+        if isinstance(ops, tuple):
+            return ops
+        return tuple(
+            sorted({i.opcode for i in self.instructions() if i.bytes_moved})
+        )
+
+    def instructions(self) -> list[Instruction]:
+        return list(self.program.instructions())
+
+    def asm_text(self, *, full_file: bool = False) -> str:
+        if full_file:
+            return self._text
+        from repro.isa.writer import write_program
+
+        return write_program(self.program)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CachedVariant {self._name!r} digest={self._digest_memo[:8]}>"
+
+
+class GenerationCache(JsonlCache):
+    """Rendered-variant cache over a directory; see the module docstring."""
+
+    FILENAME = "gencache.jsonl"
+    KEY = "key"
+
+    @staticmethod
+    def key_for(spec_dig: str, opts_dig: str) -> str:
+        return f"{spec_dig}:{opts_dig}"
+
+    def _valid_record(self, record: object) -> bool:
+        if not isinstance(record, dict):
+            return False
+        if not isinstance(record.get("key"), str):
+            return False
+        if not isinstance(record.get("spec"), str):
+            return False
+        variants = record.get("variants")
+        if not isinstance(variants, list):
+            return False
+        for v in variants:
+            if not isinstance(v, dict):
+                return False
+            if not isinstance(v.get("variant_id"), int):
+                return False
+            if not all(
+                isinstance(v.get(k), str) for k in ("name", "digest", "text")
+            ):
+                return False
+            if not isinstance(v.get("metadata"), dict):
+                return False
+        return self._check_passes(record)
+
+    def get(self, spec_dig: str, opts_dig: str) -> list[CachedVariant] | None:
+        """The stored expansion for this spec + options, or ``None``."""
+        record = self._records.get(self.key_for(spec_dig, opts_dig))
+        if record is None:
+            self.stats.misses += 1
+            obs.count("gencache.miss")
+            return None
+        self.stats.hits += 1
+        obs.count("gencache.hit")
+        spec_name = record["spec"]
+        return [
+            CachedVariant(
+                spec_name=spec_name,
+                variant_id=v["variant_id"],
+                name=v["name"],
+                text=v["text"],
+                metadata=_tupled(v["metadata"]),  # type: ignore[arg-type]
+                digest=v["digest"],
+            )
+            for v in record["variants"]
+        ]
+
+    def put(
+        self,
+        spec_dig: str,
+        opts_dig: str,
+        spec_name: str,
+        variants: Sequence[object],
+    ) -> None:
+        """Store one complete expansion (every variant, pre-filter).
+
+        ``variants`` are generated-kernel-like objects (``name``,
+        ``variant_id``, ``metadata``, ``asm_text``); the rendered
+        full-file text and its digest are what later runs reuse.
+        """
+        self._store(
+            {
+                "key": self.key_for(spec_dig, opts_dig),
+                "spec": spec_name,
+                "variants": [
+                    {
+                        "variant_id": v.variant_id,  # type: ignore[attr-defined]
+                        "name": v.name,  # type: ignore[attr-defined]
+                        "digest": kernel_digest(v),
+                        "text": v.asm_text(full_file=True),  # type: ignore[attr-defined]
+                        "metadata": v.metadata,  # type: ignore[attr-defined]
+                    }
+                    for v in variants
+                ],
+            }
+        )

@@ -1,0 +1,124 @@
+"""Deferred variant generation: ship spec references, not programs.
+
+A spec-backed sweep can expand to thousands of variants; pickling every
+rendered program into every worker chunk makes the parent's serialization
+cost scale with kernel text size.  Generation is deterministic, so a job
+only needs to carry *which* variant it measures — a :class:`KernelRef`
+naming ``(spec, creator options, variant index)`` plus the expected
+content digest — and the worker regenerates its slice locally.
+
+Workers memoize the expansion per ``(spec digest, options digest)`` (the
+same pattern as the simulation-kernel memo), and the scheduler groups
+chunks by spec, so each worker runs the pass pipeline at most once per
+spec it touches regardless of chunk size.  The digest check on every
+resolution guarantees a worker regenerated exactly the kernel the parent
+hashed into the job ID — any drift fails the job instead of silently
+measuring the wrong program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro import obs
+from repro.engine.hashing import (
+    creator_options_digest,
+    kernel_digest,
+    spec_digest,
+)
+from repro.spec.schema import KernelSpec
+
+if TYPE_CHECKING:
+    from repro.creator.pass_manager import CreatorOptions
+    from repro.engine.gencache import GenerationCache
+
+#: Expansions kept per worker process.  A chunk references one spec and
+#: campaigns interleave few specs per worker, so a handful suffices;
+#: oldest-inserted is evicted first, like the simulation-kernel memo.
+_GEN_MEMO_MAX = 4
+
+_GEN_MEMO: dict[tuple[str, str], dict[int, object]] = {}
+
+
+@dataclass(frozen=True, slots=True)
+class KernelRef:
+    """A variant by reference: regenerate me where you measure me.
+
+    Digests are computed once at expansion time and carried along, so
+    neither the parent (building job IDs) nor the worker (keying its
+    memo) re-derives them per job.
+    """
+
+    spec: KernelSpec
+    options: "CreatorOptions | None"
+    spec_dig: str
+    opts_dig: str
+    variant_id: int
+    digest: str
+    name: str
+
+    def memo_key(self) -> tuple[str, str]:
+        """The expansion this ref resolves from (one pipeline run each)."""
+        return (self.spec_dig, self.opts_dig)
+
+
+def expand_spec_variants(
+    spec: KernelSpec,
+    options: "CreatorOptions | None",
+    gen_cache: "GenerationCache | None",
+) -> list[object]:
+    """Every variant of ``spec`` under ``options``, cached when possible.
+
+    A warm :class:`~repro.engine.gencache.GenerationCache` returns
+    :class:`~repro.engine.gencache.CachedVariant` handles without running
+    the pass pipeline; a miss generates, stores the full expansion
+    (pre-filter — the cache key knows nothing about sweep filters), and
+    returns the fresh kernels.
+    """
+    spec_dig = spec_digest(spec)
+    opts_dig = creator_options_digest(options)
+    if gen_cache is not None:
+        cached = gen_cache.get(spec_dig, opts_dig)
+        if cached is not None:
+            return cached
+    from repro.creator import MicroCreator
+
+    variants: list[object] = list(MicroCreator(options).stream(spec))
+    if gen_cache is not None:
+        gen_cache.put(spec_dig, opts_dig, spec.name, variants)
+    return variants
+
+
+def resolve_kernel_ref(ref: KernelRef) -> object:
+    """Regenerate the referenced variant (memoized per process).
+
+    Raises ``RuntimeError`` when the regenerated slice has no such
+    variant or its digest disagrees with the ref — the scheduler treats
+    that as a failed attempt, never as a result.
+    """
+    key = ref.memo_key()
+    expansion = _GEN_MEMO.get(key)
+    if expansion is None:
+        with obs.span("gen.worker", spec=ref.spec.name) as sp:
+            from repro.creator import MicroCreator
+
+            variants = list(MicroCreator(ref.options).stream(ref.spec))
+            sp.set(variants=len(variants))
+        expansion = {v.variant_id: v for v in variants}  # type: ignore[attr-defined]
+        if len(_GEN_MEMO) >= _GEN_MEMO_MAX:
+            _GEN_MEMO.pop(next(iter(_GEN_MEMO)))
+        _GEN_MEMO[key] = expansion
+    kernel = expansion.get(ref.variant_id)
+    if kernel is None:
+        raise RuntimeError(
+            f"spec {ref.spec.name!r} regenerated {len(expansion)} variants; "
+            f"no variant {ref.variant_id} (stale reference?)"
+        )
+    if kernel_digest(kernel) != ref.digest:
+        raise RuntimeError(
+            f"variant {ref.name!r} regenerated with digest "
+            f"{kernel_digest(kernel)[:12]}..., expected {ref.digest[:12]}...; "
+            "generation is not deterministic across processes"
+        )
+    return kernel

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import weakref
 from pathlib import Path
 
 from repro.isa.instructions import AsmProgram
@@ -37,6 +38,11 @@ def spec_digest(spec: KernelSpec) -> str:
     return _sha(write_kernel_spec(spec))
 
 
+#: Fallback digest memo for kernel objects that are weak-referenceable
+#: but cannot grow attributes (no ``_digest_memo`` slot, no ``__dict__``).
+_DIGEST_MEMO: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
+
+
 def kernel_digest(kernel: object) -> str:
     """Digest of a measurable kernel (its emitted program text).
 
@@ -45,8 +51,34 @@ def kernel_digest(kernel: object) -> str:
     ``SimKernel``, source text, or a path to a source file.  Two kernels
     with identical emitted text hash identically — exactly the dedup rule
     the code-generation pass already applies.
+
+    The digest is memoized on the kernel *object* (a ``_digest_memo``
+    attribute when the object allows it, a weak-keyed side table
+    otherwise), so a sweep hashing the same kernel once per option point
+    emits and hashes its text only once.  Text and path inputs are never
+    memoized: a path's content can change, and hashing a string is the
+    memo lookup.
     """
-    return _sha(_kernel_text(kernel))
+    if isinstance(kernel, (str, Path)):
+        return _sha(_kernel_text(kernel))
+    memo = getattr(kernel, "_digest_memo", None)
+    if isinstance(memo, str):
+        return memo
+    try:
+        memo = _DIGEST_MEMO.get(kernel)
+    except TypeError:  # not weak-referenceable
+        memo = None
+    if memo is not None:
+        return memo
+    digest = _sha(_kernel_text(kernel))
+    try:
+        kernel._digest_memo = digest  # type: ignore[attr-defined]
+    except (AttributeError, TypeError):
+        try:
+            _DIGEST_MEMO[kernel] = digest
+        except TypeError:
+            pass  # frozen slots, no weakref: recompute next time
+    return digest
 
 
 def _kernel_text(kernel: object) -> str:
@@ -68,6 +100,23 @@ def _kernel_text(kernel: object) -> str:
         f"cannot digest {type(kernel).__name__}; pass a GeneratedKernel, "
         "AsmProgram, SimKernel, source text, or a source-file path"
     )
+
+
+def creator_options_digest(options: object) -> str:
+    """Digest of a :class:`~repro.creator.CreatorOptions` value (or ``None``).
+
+    One half of the generation-cache key: the same spec expanded under
+    different creator knobs (random selection, seed, limits) yields a
+    different variant set and must not share cache entries.  ``None``
+    digests like the default options, which is what ``MicroCreator()``
+    runs with.
+    """
+    import dataclasses
+
+    from repro.creator.pass_manager import CreatorOptions
+
+    payload = dataclasses.asdict(options if options is not None else CreatorOptions())
+    return _sha(canonical_json(payload))
 
 
 def options_digest(options: object) -> str:

@@ -34,6 +34,7 @@ Everything costs one global check when disabled.
 from __future__ import annotations
 
 import concurrent.futures
+import itertools
 import json
 import threading
 import time
@@ -47,6 +48,8 @@ from repro import obs
 from repro.engine.cache import ResultCache
 from repro.engine.campaign import Campaign, Job
 from repro.engine.faults import FaultPlan
+from repro.engine.gencache import GenerationCache
+from repro.engine.generation import KernelRef, resolve_kernel_ref
 from repro.engine.serialize import (
     measurement_to_dict,
     measurements_from_payload,
@@ -78,15 +81,27 @@ _MAX_POOL_BREAKS_BEFORE_INLINE = 3
 
 
 def _sim_kernel_for(job: Job) -> object:
-    """Normalize the job's kernel, memoized per worker process."""
+    """Normalize the job's kernel, memoized per worker process.
+
+    Deferred jobs carry a :class:`KernelRef` instead of a kernel; the ref
+    is resolved (regenerating its spec's expansion, memoized per process)
+    only on a memo miss — a job whose normalized kernel is already cached
+    never touches the generator at all.
+    """
     from repro.engine.hashing import kernel_digest
     from repro.launcher.kernel_input import as_sim_kernel
 
-    digest = job.kernel_digest or kernel_digest(job.kernel)
+    kernel = job.kernel
+    if isinstance(kernel, KernelRef):
+        digest = job.kernel_digest or kernel.digest
+    else:
+        digest = job.kernel_digest or kernel_digest(kernel)
     key = (digest, job.options.trip_count)
     sim = _SIM_MEMO.get(key)
     if sim is None:
-        sim = as_sim_kernel(job.kernel, trip_count=job.options.trip_count)
+        if isinstance(kernel, KernelRef):
+            kernel = resolve_kernel_ref(kernel)
+        sim = as_sim_kernel(kernel, trip_count=job.options.trip_count)
         if len(_SIM_MEMO) >= _SIM_MEMO_MAX:
             # Evict the oldest entry (dict preserves insertion order): a
             # full wipe mid-sweep would throw away every kernel the
@@ -352,6 +367,30 @@ class _Unit:
     not_before: float = 0.0
 
 
+def _gen_group(job: Job) -> tuple[str, str] | None:
+    """The spec expansion a deferred job regenerates from (else ``None``)."""
+    kernel = job.kernel
+    return kernel.memo_key() if isinstance(kernel, KernelRef) else None
+
+
+def _chunked_units(pending: list[Job], chunk_size: int) -> list[_Unit]:
+    """Slice pending jobs into dispatch units, never spanning two specs.
+
+    Deferred jobs regenerate their spec's expansion worker-side, so a
+    chunk mixing two specs would force one worker to run two pipelines.
+    Grouping consecutive jobs by expansion key before slicing keeps each
+    chunk inside one spec; campaign expansion order already keeps a
+    sweep's jobs contiguous.  Results are unaffected — chunk boundaries
+    never change a job's identity or seed.
+    """
+    return [
+        _Unit(batch[i : i + chunk_size])
+        for _key, group in itertools.groupby(pending, key=_gen_group)
+        for batch in (list(group),)
+        for i in range(0, len(batch), chunk_size)
+    ]
+
+
 class _PoolUnusable(Exception):
     """The process pool cannot be made to work; run inline instead."""
 
@@ -402,10 +441,7 @@ def _parallel_execute(
       hung worker) is killed and replaced.
     """
     handled: set[str] = set()
-    work: deque[_Unit] = deque(
-        _Unit(pending[i : i + stats.chunk_size])
-        for i in range(0, len(pending), stats.chunk_size)
-    )
+    work: deque[_Unit] = deque(_chunked_units(pending, stats.chunk_size))
     say(
         f"{campaign.name}: dispatching {len(work)} chunks of "
         f"<= {stats.chunk_size} jobs to {stats.workers} workers"
@@ -651,6 +687,9 @@ def run_campaign(
     job_timeout: float | None = None,
     retry_backoff: float = 0.05,
     faults: FaultPlan | None = None,
+    gen_cache_dir: str | Path | None = None,
+    gen_cache: GenerationCache | None = None,
+    generation: str = "auto",
 ) -> CampaignRun:
     """Execute a campaign and return its ordered results.
 
@@ -688,19 +727,38 @@ def run_campaign(
     faults:
         Deterministic fault-injection plan (tests and chaos drills);
         ``None`` injects nothing.
+    gen_cache_dir / gen_cache:
+        Persist spec expansions across runs (see
+        :mod:`repro.engine.gencache`): a warm cache expands the campaign
+        without running the pass pipeline.  ``gen_cache`` takes
+        precedence over ``gen_cache_dir``.
+    generation:
+        Where spec-derived kernels are rendered.  ``"worker"`` ships
+        :class:`KernelRef` descriptions and regenerates in the measuring
+        process; ``"parent"`` ships rendered kernels (the pre-deferral
+        behavior); ``"auto"`` defers exactly when a pool is in play
+        (``jobs > 1``).  Job IDs, seeds, and output bytes are identical
+        in every mode.
     """
     if max_retries < 0:
         raise ValueError("max_retries must be >= 0")
     if job_timeout is not None and job_timeout <= 0:
         raise ValueError("job_timeout must be positive")
+    if generation not in ("auto", "parent", "worker"):
+        raise ValueError(
+            f"generation must be 'auto', 'parent' or 'worker', got {generation!r}"
+        )
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
+    if gen_cache is None and gen_cache_dir is not None:
+        gen_cache = GenerationCache(gen_cache_dir)
+    defer = generation == "worker" or (generation == "auto" and jobs > 1)
 
     with obs.span(
         "engine.campaign", campaign=campaign.name, workers=max(1, jobs)
     ) as campaign_span:
         with obs.span("engine.expand"):
-            job_list = campaign.job_list()
+            job_list = campaign.job_list(gen_cache=gen_cache, defer=defer)
         campaign_span.set(jobs=len(job_list))
         say = progress or (lambda message: None)
         stats = RunStats(total_jobs=len(job_list), workers=max(1, jobs))

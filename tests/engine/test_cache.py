@@ -131,6 +131,30 @@ class TestDamageTolerance:
         assert again.get("j1") == rows()
         assert again.get("j2") == rows()
 
+    def test_tail_probed_once_per_lifetime(self, tmp_path, monkeypatch):
+        """The newline probe is one stat at load, not one per put.
+
+        ``put`` runs once per completed job, so a per-put probe would put
+        a redundant filesystem read on the campaign hot path; the tail
+        state is tracked in memory instead and only ever measured while
+        loading.
+        """
+        ResultCache(tmp_path).put("seed", rows())
+        probes = 0
+        real = ResultCache._ends_with_newline
+
+        def counting(self):
+            nonlocal probes
+            probes += 1
+            return real(self)
+
+        monkeypatch.setattr(ResultCache, "_ends_with_newline", counting)
+        cache = ResultCache(tmp_path)
+        assert probes == 1  # the load-time probe
+        for i in range(20):
+            cache.put(f"j{i}", rows())
+        assert probes == 1
+
     def test_lines_are_valid_json_records(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put("j1", rows(2), kernel="k", mode="forked")

@@ -1,0 +1,123 @@
+"""Equivalence of generation modes: parent-side vs in-worker, cold vs warm.
+
+The deferral machinery (KernelRef jobs, worker-side regeneration, the
+persistent generation cache) is a pure transport optimization — every
+combination of {parent, worker} x {no cache, cold cache, warm cache} x
+chunk size must produce byte-identical result files.  These tests pin
+that contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Campaign, GenerationCache, KernelRef, SweepSpec, run_campaign
+from repro.kernels import loadstore_family
+from repro.kernels.reduction import dot_product_spec
+from repro.launcher import LauncherOptions
+from repro.machine import nehalem_2s_x5650
+
+
+def _campaign() -> Campaign:
+    base = LauncherOptions(array_bytes=8 * 1024, trip_count=512, experiments=2)
+    return Campaign(
+        name="genmodes",
+        machine=nehalem_2s_x5650(),
+        sweeps=(
+            SweepSpec(spec=dot_product_spec(2, unroll=(1, 2)), base=base),
+            SweepSpec(spec=loadstore_family("movss", unroll=(1, 2)), base=base),
+        ),
+    )
+
+
+def _result_bytes(tmp_path, tag, **kwargs):
+    run = run_campaign(_campaign(), **kwargs)
+    csv = run.write_csv(tmp_path / f"{tag}.csv")
+    jsonl = run.write_jsonl(tmp_path / f"{tag}.jsonl")
+    return csv.read_bytes(), jsonl.read_bytes()
+
+
+class TestByteIdentical:
+    def test_all_modes_agree(self, tmp_path):
+        reference = _result_bytes(tmp_path, "ref", jobs=1, generation="parent")
+        gen_dir = tmp_path / "gencache"
+        combos = [
+            ("worker-j1", dict(jobs=1, generation="worker")),
+            ("worker-cold", dict(jobs=1, generation="worker",
+                                 gen_cache_dir=gen_dir)),
+            ("worker-warm", dict(jobs=1, generation="worker",
+                                 gen_cache_dir=gen_dir)),
+            ("parent-warm", dict(jobs=1, generation="parent",
+                                 gen_cache_dir=gen_dir)),
+            ("auto-c1", dict(jobs=2, chunk_size=1)),
+            ("auto-c3", dict(jobs=2, chunk_size=3,
+                             gen_cache_dir=gen_dir)),
+        ]
+        for tag, kwargs in combos:
+            assert _result_bytes(tmp_path, tag, **kwargs) == reference, tag
+
+    def test_warm_cache_round_trips_results(self, tmp_path):
+        gen_dir = tmp_path / "gencache"
+        cold = _result_bytes(tmp_path, "cold", jobs=1, gen_cache_dir=gen_dir)
+        cache = GenerationCache(gen_dir)
+        assert len(cache) == 2  # one expansion per spec
+        warm = _result_bytes(
+            tmp_path, "warm", jobs=1, gen_cache=cache, generation="worker"
+        )
+        assert warm == cold
+        assert cache.stats.hits == 2
+
+
+class TestDeferredJobs:
+    def test_worker_mode_ships_refs(self):
+        campaign = _campaign()
+        plain = campaign.job_list()
+        deferred = campaign.job_list(defer=True)
+        assert [j.job_id for j in deferred] == [j.job_id for j in plain]
+        assert all(isinstance(j.kernel, KernelRef) for j in deferred)
+        assert not any(isinstance(j.kernel, KernelRef) for j in plain)
+
+    def test_explicit_kernels_never_deferred(self):
+        base = LauncherOptions(array_bytes=8 * 1024, trip_count=512)
+        from repro.creator import MicroCreator
+
+        kernels = tuple(MicroCreator().stream(dot_product_spec(2, unroll=(1, 1))))
+        campaign = Campaign(
+            name="explicit",
+            machine=nehalem_2s_x5650(),
+            sweeps=(SweepSpec(kernels=kernels, base=base),),
+        )
+        deferred = campaign.job_list(defer=True)
+        assert not any(isinstance(j.kernel, KernelRef) for j in deferred)
+
+    def test_variant_filter_respected_in_both_modes(self, tmp_path):
+        base = LauncherOptions(array_bytes=8 * 1024, trip_count=512, experiments=2)
+
+        def only_unroll_2(v) -> bool:
+            return v.unroll == 2
+
+        def build():
+            return Campaign(
+                name="filtered",
+                machine=nehalem_2s_x5650(),
+                sweeps=(
+                    SweepSpec(
+                        spec=loadstore_family("movss", unroll=(1, 2)),
+                        base=base,
+                        variant_filter=only_unroll_2,
+                    ),
+                ),
+            )
+
+        plain = build().job_list()
+        deferred = build().job_list(defer=True)
+        assert plain, "filter must keep some variants"
+        assert [j.job_id for j in deferred] == [j.job_id for j in plain]
+        run = run_campaign(build(), jobs=1, generation="worker")
+        assert {m.kernel_name for m in run.measurements()} == {
+            j.kernel.name for j in deferred
+        }
+
+    def test_generation_mode_validated(self):
+        with pytest.raises(ValueError):
+            run_campaign(_campaign(), generation="telepathy")

@@ -24,6 +24,53 @@ class TestKernelDigest:
         assert kernel_digest(path) == kernel_digest(movaps_u8)
 
 
+class TestKernelDigestMemo:
+    def test_memoized_matches_unmemoized(self, movaps_variants):
+        """The memo is a cache, not a different hash.
+
+        Each variant is hashed twice — the first call computes and
+        memoizes, the second returns the memo — and both must equal a
+        from-scratch digest of the rendered text, which is what the
+        unmemoized path hashes.
+        """
+        from repro.engine.hashing import _sha
+
+        for kernel in movaps_variants:
+            first = kernel_digest(kernel)
+            assert kernel_digest(kernel) == first  # memo path
+            assert first == _sha(kernel.asm_text(full_file=True))
+
+    def test_memo_lands_on_the_kernel(self, movaps_u8):
+        digest = kernel_digest(movaps_u8)
+        assert getattr(movaps_u8, "_digest_memo", None) == digest
+
+    def test_preset_memo_is_trusted(self, movaps_u8):
+        """CachedVariant-style objects carry their digest up front."""
+
+        class Carrier:
+            _digest_memo = "feedc0de" * 8
+
+        assert kernel_digest(Carrier()) == Carrier._digest_memo
+
+
+class TestCreatorOptionsDigest:
+    def test_none_digests_like_defaults(self):
+        from repro.creator import CreatorOptions
+        from repro.engine import creator_options_digest
+
+        assert creator_options_digest(None) == creator_options_digest(
+            CreatorOptions()
+        )
+
+    def test_any_field_changes_it(self):
+        from repro.creator import CreatorOptions
+        from repro.engine import creator_options_digest
+
+        base = creator_options_digest(CreatorOptions())
+        assert base != creator_options_digest(CreatorOptions(seed=7))
+        assert base != creator_options_digest(CreatorOptions(max_benchmarks=3))
+
+
 class TestOptionsDigest:
     def test_stable(self):
         a = LauncherOptions(trip_count=1024)

@@ -49,10 +49,19 @@ def render_family(family: str) -> str:
     return "".join(parts)
 
 
-@pytest.mark.parametrize("family", sorted(FAMILIES))
-def test_family_matches_golden(family, update_golden):
-    golden_path = GOLDEN_DIR / f"{family}.golden.s"
-    rendered = render_family(family)
+def render_family_c(family: str) -> str:
+    """Every variant's C rendering (the ``--language c`` backend)."""
+    spec = FAMILIES[family]()
+    parts = []
+    for kernel in MicroCreator().generate(spec):
+        parts.append(f"/* ### {kernel.name} unroll={kernel.unroll} "
+                     f"mix={kernel.mix or '-'} */\n")
+        parts.append(kernel.c_text())
+        parts.append("\n")
+    return "".join(parts)
+
+
+def _check_golden(golden_path: Path, rendered: str, update_golden: bool, family: str):
     if update_golden:
         golden_path.write_text(rendered)
         pytest.skip(f"updated {golden_path.name}")
@@ -66,6 +75,25 @@ def test_family_matches_golden(family, update_golden):
     )
 
 
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_family_matches_golden(family, update_golden):
+    _check_golden(
+        GOLDEN_DIR / f"{family}.golden.s", render_family(family),
+        update_golden, family,
+    )
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_family_matches_golden_c(family, update_golden):
+    """The C backend is snapshotted too: both output languages are
+    contracts, and the C path has no other byte-level coverage."""
+    _check_golden(
+        GOLDEN_DIR / f"{family}.golden.c", render_family_c(family),
+        update_golden, family,
+    )
+
+
 def test_render_is_deterministic():
     """Two generations of the same family are byte-identical."""
     assert render_family("reduction") == render_family("reduction")
+    assert render_family_c("reduction") == render_family_c("reduction")
