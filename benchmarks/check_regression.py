@@ -21,6 +21,15 @@ throughput edge over parent-side expansion — a regression here means the
 generation cache or the KernelRef path stopped short-circuiting the pass
 pipeline.
 
+``BENCH_store.json`` (written by ``benchmarks/test_store_scale.py``)
+gates the sharded result store when present.  Both gates are
+machine-relative ratios measured within one run, so no cross-machine
+baseline arithmetic is involved: cold-loading a 10^5-row cache must stay
+>= 10x faster than the JSONL backend (losing this means the index is no
+longer trusted and loads re-parse payloads), and membership-probe cost
+must stay sublinear as the store grows 100x (losing this means lookups
+degraded from binary search to scanning).
+
 Usage::
 
     python benchmarks/check_regression.py \
@@ -28,7 +37,8 @@ Usage::
         --baseline benchmarks/BENCH_measurement_baseline.json \
         --obs-current BENCH_obs.json \
         --gen-current BENCH_generation.json \
-        --gen-baseline benchmarks/BENCH_generation_baseline.json
+        --gen-baseline benchmarks/BENCH_generation_baseline.json \
+        --store-current BENCH_store.json
 """
 
 from __future__ import annotations
@@ -44,6 +54,11 @@ MAX_REGRESSION = 2.0
 #: delta over a bare loop and CI machines vary less in nanoseconds
 #: added than in raw throughput.
 MAX_OBS_DISABLED_NS = 2_000.0
+#: Sharded cold-load must beat JSONL by at least this at 10^5 rows.
+MIN_STORE_COLD_SPEEDUP = 10.0
+#: Sharded membership cost over a 100x row increase; linear would be
+#: ~100x, binary search is flat.
+MAX_STORE_MEMBERSHIP_GROWTH = 10.0
 
 
 def _check_obs(current_path: str, max_ns: float) -> int:
@@ -93,6 +108,40 @@ def _check_generation(
     return 0
 
 
+def _check_store(
+    current_path: str, min_speedup: float, max_growth: float
+) -> int:
+    path = Path(current_path)
+    if not path.exists():
+        print(f"store scale: {path} not present, skipping")
+        return 0
+    current = json.loads(path.read_text())
+    speedup = current["cold_load_speedup_1e5"]
+    growth = current["membership_growth"]
+    linear = current["membership_growth_linear"]
+    print(
+        f"store: cold-load {speedup:.1f}x faster than JSONL at 1e5 rows "
+        f"(floor {min_speedup:.0f}x); membership grew {growth:.1f}x over "
+        f"{linear:.0f}x more rows (limit {max_growth:.0f}x)"
+    )
+    failed = 0
+    if speedup < min_speedup:
+        print(
+            f"FAIL: sharded cold-load only {speedup:.1f}x faster than "
+            "JSONL; the index read path regressed",
+            file=sys.stderr,
+        )
+        failed = 1
+    if growth > max_growth:
+        print(
+            f"FAIL: sharded membership cost grew {growth:.1f}x over a "
+            f"{linear:.0f}x row increase; lookups are no longer sublinear",
+            file=sys.stderr,
+        )
+        failed = 1
+    return failed
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--current", default="BENCH_measurement.json")
@@ -127,6 +176,25 @@ def main(argv: list[str] | None = None) -> int:
         default="benchmarks/BENCH_generation_baseline.json",
         help="committed generation-throughput baseline",
     )
+    parser.add_argument(
+        "--store-current",
+        default="BENCH_store.json",
+        help="store-scale result to gate (skipped when absent)",
+    )
+    parser.add_argument(
+        "--store-min-speedup",
+        type=float,
+        default=MIN_STORE_COLD_SPEEDUP,
+        help="fail when sharded cold-load beats JSONL by less than this "
+        f"at 1e5 rows (default: {MIN_STORE_COLD_SPEEDUP:.0f})",
+    )
+    parser.add_argument(
+        "--store-max-growth",
+        type=float,
+        default=MAX_STORE_MEMBERSHIP_GROWTH,
+        help="fail when sharded membership cost grows more than this over "
+        f"a 100x row increase (default: {MAX_STORE_MEMBERSHIP_GROWTH:.0f})",
+    )
     args = parser.parse_args(argv)
 
     current = json.loads(Path(args.current).read_text())
@@ -150,6 +218,9 @@ def main(argv: list[str] | None = None) -> int:
     failed |= _check_obs(args.obs_current, args.obs_max_ns)
     failed |= _check_generation(
         args.gen_current, args.gen_baseline, args.max_regression
+    )
+    failed |= _check_store(
+        args.store_current, args.store_min_speedup, args.store_max_growth
     )
     if failed:
         return 1

@@ -26,6 +26,7 @@ def _grid(
     name, kernel, base, axes, *, machine,
     jobs=1, chunk_size=None, cache_dir=None, resume=True,
     max_retries=2, job_timeout=None, gen_cache_dir=None,
+    store_format="sharded",
 ):
     """Run one single-kernel option grid through the campaign engine."""
     campaign = Campaign(
@@ -42,6 +43,7 @@ def _grid(
         max_retries=max_retries,
         job_timeout=job_timeout,
         gen_cache_dir=gen_cache_dir,
+        store_format=store_format,
     )
 
 
@@ -56,6 +58,7 @@ def ablation_aggregator(
     max_retries: int = 2,
     job_timeout: float | None = None,
     gen_cache_dir: object = None,
+    store_format: str = "sharded",
     **_: object,
 ) -> ExperimentResult:
     """Min vs. mean vs. median aggregation under noise.
@@ -86,6 +89,7 @@ def ablation_aggregator(
         max_retries=max_retries,
         job_timeout=job_timeout,
         gen_cache_dir=gen_cache_dir,
+        store_format=store_format,
     )
     table = Table(header=("aggregator", "cycles/iter", "vs min"), title="aggregators")
     results = {
@@ -115,6 +119,7 @@ def ablation_warmup(
     max_retries: int = 2,
     job_timeout: float | None = None,
     gen_cache_dir: object = None,
+    store_format: str = "sharded",
     **_: object,
 ) -> ExperimentResult:
     """Cache heating (Fig. 10's first untimed call).
@@ -144,6 +149,7 @@ def ablation_warmup(
         max_retries=max_retries,
         job_timeout=job_timeout,
         gen_cache_dir=gen_cache_dir,
+        store_format=store_format,
     )
     by_warmup = {job.tags["warmup"]: m for job, m in run.rows()}
     warm, cold = by_warmup[True], by_warmup[False]
@@ -173,6 +179,7 @@ def ablation_overhead(
     max_retries: int = 2,
     job_timeout: float | None = None,
     gen_cache_dir: object = None,
+    store_format: str = "sharded",
     **_: object,
 ) -> ExperimentResult:
     """Call-overhead subtraction vs. trip count.
@@ -203,6 +210,7 @@ def ablation_overhead(
         max_retries=max_retries,
         job_timeout=job_timeout,
         gen_cache_dir=gen_cache_dir,
+        store_format=store_format,
     )
     cycles = {
         (job.tags["trip_count"], job.tags["subtract_overhead"]): m.cycles_per_iteration
@@ -242,6 +250,7 @@ def ablation_inner_reps(
     max_retries: int = 2,
     job_timeout: float | None = None,
     gen_cache_dir: object = None,
+    store_format: str = "sharded",
     **_: object,
 ) -> ExperimentResult:
     """Inner-loop repetitions vs. result variance.
@@ -271,6 +280,7 @@ def ablation_inner_reps(
         max_retries=max_retries,
         job_timeout=job_timeout,
         gen_cache_dir=gen_cache_dir,
+        store_format=store_format,
     )
     table = Table(header=("repetitions", "spread"), title="inner repetitions")
     spreads = {}

@@ -25,6 +25,7 @@ def _unroll_hierarchy(
     max_retries: int = 2,
     job_timeout: float | None = None,
     gen_cache_dir: object = None,
+    store_format: str = "sharded",
 ) -> ExperimentResult:
     """Shared implementation of Figs. 11/12.
 
@@ -64,6 +65,7 @@ def _unroll_hierarchy(
         max_retries=max_retries,
         job_timeout=job_timeout,
         gen_cache_dir=gen_cache_dir,
+        store_format=store_format,
     )
     series = []
     for level in _LEVELS:
@@ -117,6 +119,7 @@ def fig11(
     max_retries: int = 2,
     job_timeout: float | None = None,
     gen_cache_dir: object = None,
+    store_format: str = "sharded",
     **_: object,
 ) -> ExperimentResult:
     """Fig. 11: ``movaps`` loads/stores over unroll x hierarchy."""
@@ -130,6 +133,7 @@ def fig11(
         max_retries=max_retries,
         job_timeout=job_timeout,
         gen_cache_dir=gen_cache_dir,
+        store_format=store_format,
     )
     result.exhibit = "fig11"
     return result
@@ -146,6 +150,7 @@ def fig12(
     max_retries: int = 2,
     job_timeout: float | None = None,
     gen_cache_dir: object = None,
+    store_format: str = "sharded",
     **_: object,
 ) -> ExperimentResult:
     """Fig. 12: ``movss`` loads/stores over unroll x hierarchy.
@@ -165,6 +170,7 @@ def fig12(
         max_retries=max_retries,
         job_timeout=job_timeout,
         gen_cache_dir=gen_cache_dir,
+        store_format=store_format,
     )
     result.exhibit = "fig12"
     return result
@@ -181,6 +187,7 @@ def fig13(
     max_retries: int = 2,
     job_timeout: float | None = None,
     gen_cache_dir: object = None,
+    store_format: str = "sharded",
     **_: object,
 ) -> ExperimentResult:
     """Fig. 13: DVFS sweep of an 8-load ``movaps`` kernel, TSC units.
@@ -220,6 +227,7 @@ def fig13(
         max_retries=max_retries,
         job_timeout=job_timeout,
         gen_cache_dir=gen_cache_dir,
+        store_format=store_format,
     )
     series = []
     for level in _LEVELS:

@@ -130,6 +130,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="reuse cached results (--no-resume re-measures everything)",
     )
     parser.add_argument(
+        "--store-format",
+        choices=("jsonl", "sharded"),
+        default="sharded",
+        help="on-disk layout for --cache-dir/--gen-cache: 'sharded' "
+        "(default) uses indexed fixed-size segments with columnar "
+        "sidecars and migrates a legacy JSONL cache on first open; "
+        "'jsonl' keeps the single-file layout",
+    )
+    parser.add_argument(
         "--max-retries",
         type=int,
         default=2,
@@ -222,6 +231,7 @@ def _run_engine(args, machine, options, path: Path) -> int:
         max_retries=args.max_retries,
         job_timeout=args.job_timeout,
         gen_cache_dir=args.gen_cache,
+        store_format=args.store_format,
     )
     ms = run.measurements()
     if not ms:
@@ -320,6 +330,7 @@ def _observed_main(args) -> int:
                 max_retries=args.max_retries,
                 job_timeout=args.job_timeout,
                 gen_cache_dir=args.gen_cache,
+                store_format=args.store_format,
             )
         except KeyError as exc:
             print(f"microlauncher: {exc}", file=sys.stderr)

@@ -73,6 +73,14 @@ from repro.engine.serialize import (
     measurements_from_payload,
     options_to_dict,
 )
+from repro.engine.store import (
+    ShardedGenerationCache,
+    ShardedResultCache,
+    ShardedStore,
+    StoreColumns,
+    open_generation_cache,
+    open_result_cache,
+)
 
 __all__ = [
     "CachedVariant",
@@ -89,6 +97,10 @@ __all__ = [
     "KernelRef",
     "ResultCache",
     "RunStats",
+    "ShardedGenerationCache",
+    "ShardedResultCache",
+    "ShardedStore",
+    "StoreColumns",
     "SweepSpec",
     "creator_options_digest",
     "expand_spec_variants",
@@ -98,6 +110,8 @@ __all__ = [
     "measurement_from_dict",
     "measurement_to_dict",
     "measurements_from_payload",
+    "open_generation_cache",
+    "open_result_cache",
     "options_digest",
     "options_to_dict",
     "run_campaign",

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -43,6 +44,34 @@ def record_check(record: dict) -> str:
 
 # Backwards-compatible alias (pre-gencache name).
 _record_check = record_check
+
+
+def check_passes(record: dict) -> bool:
+    """Checksum validation shared by every record shape.
+
+    Records written before checksums existed carry no ``check`` field and
+    are accepted as-is; anything else must digest to its stored value.
+    """
+    check = record.get("check")
+    return check is None or check == record_check(record)
+
+
+def valid_result_record(record: object) -> bool:
+    """Structural + integrity validation of one result-cache record.
+
+    Shared by every result-store backend (:class:`ResultCache` and the
+    sharded store in :mod:`repro.engine.store`): the record shape is the
+    storage contract, not a property of any one file layout.
+    """
+    if not isinstance(record, dict):
+        return False
+    job_id = record.get("job_id")
+    measurements = record.get("measurements")
+    if not isinstance(job_id, str) or not isinstance(measurements, list):
+        return False
+    if not all(isinstance(m, dict) for m in measurements):
+        return False
+    return check_passes(record)
 
 
 @dataclass(slots=True)
@@ -100,8 +129,7 @@ class JsonlCache:
 
     def _check_passes(self, record: dict) -> bool:
         """Checksum validation shared by every record shape."""
-        check = record.get("check")
-        return check is None or check == record_check(record)
+        return check_passes(record)
 
     def _load(self) -> None:
         if not self.path.exists():
@@ -166,18 +194,31 @@ class JsonlCache:
             return fh.read(1) == b"\n"
 
     def _rewrite(self) -> None:
-        """Compact the file to exactly the valid records (atomic replace)."""
+        """Compact the file to exactly the valid records (atomic replace).
+
+        The replacement is made durable *before* it replaces the damaged
+        file: the tmp file is flushed and fsynced so a crash mid-repair
+        can never swap in a half-written file that the next load would
+        count as fresh corruption.
+        """
         tmp = self.path.with_name(self.path.name + ".tmp")
-        with tmp.open("w") as fh:
+        with tmp.open("w", encoding="utf-8") as fh:
             for record in self._records.values():
                 fh.write(json.dumps(record) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
         tmp.replace(self.path)
         self._corrupt_lines = 0
         self._torn_tail = False
 
     def clear(self) -> None:
-        """Drop every stored record (and the file)."""
+        """Drop every stored record (and the file).
+
+        Accounting resets with the contents: hit/miss/store counts from
+        before the clear would otherwise leak into post-clear rates.
+        """
         self._records.clear()
+        self.stats = CacheStats()
         self._corrupt_lines = 0
         self._torn_tail = False
         if self.path.exists():
@@ -191,24 +232,22 @@ class ResultCache(JsonlCache):
     KEY = "job_id"
 
     def _valid_record(self, record: object) -> bool:
-        if not isinstance(record, dict):
-            return False
-        job_id = record.get("job_id")
-        measurements = record.get("measurements")
-        if not isinstance(job_id, str) or not isinstance(measurements, list):
-            return False
-        if not all(isinstance(m, dict) for m in measurements):
-            return False
-        return self._check_passes(record)
+        return valid_result_record(record)
 
     def get(self, job_id: str) -> list[dict] | None:
-        """Stored measurement dicts for ``job_id``, or ``None`` (counted)."""
+        """Stored measurement dicts for ``job_id``, or ``None`` (counted).
+
+        Returns a fresh list of fresh dicts: the in-memory record is what
+        a later self-repair rewrites to disk (under a freshly computed
+        checksum), so handing callers the live internals would let an
+        innocent mutation persist as silently corrupted measurements.
+        """
         record = self._records.get(job_id)
         if record is None:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        return record["measurements"]
+        return [dict(m) for m in record["measurements"]]
 
     def put(
         self,

@@ -28,9 +28,77 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro import obs
-from repro.engine.cache import JsonlCache
+from repro.engine.cache import JsonlCache, check_passes
 from repro.engine.hashing import kernel_digest
 from repro.isa.instructions import AsmProgram, Instruction
+
+
+def valid_generation_record(record: object) -> bool:
+    """Structural + integrity validation of one generation-cache record.
+
+    Shared by every generation-store backend (:class:`GenerationCache`
+    and the sharded store in :mod:`repro.engine.store`).
+    """
+    if not isinstance(record, dict):
+        return False
+    if not isinstance(record.get("key"), str):
+        return False
+    if not isinstance(record.get("spec"), str):
+        return False
+    variants = record.get("variants")
+    if not isinstance(variants, list):
+        return False
+    for v in variants:
+        if not isinstance(v, dict):
+            return False
+        if not isinstance(v.get("variant_id"), int):
+            return False
+        if not all(
+            isinstance(v.get(k), str) for k in ("name", "digest", "text")
+        ):
+            return False
+        if not isinstance(v.get("metadata"), dict):
+            return False
+    return check_passes(record)
+
+
+def variants_from_record(record: dict) -> list["CachedVariant"]:
+    """Decode one stored expansion into :class:`CachedVariant` handles."""
+    spec_name = record["spec"]
+    return [
+        CachedVariant(
+            spec_name=spec_name,
+            variant_id=v["variant_id"],
+            name=v["name"],
+            text=v["text"],
+            metadata=_tupled(v["metadata"]),  # type: ignore[arg-type]
+            digest=v["digest"],
+        )
+        for v in record["variants"]
+    ]
+
+
+def generation_record(
+    spec_dig: str,
+    opts_dig: str,
+    spec_name: str,
+    variants: Sequence[object],
+) -> dict:
+    """Build the storable record for one complete expansion."""
+    return {
+        "key": GenerationCache.key_for(spec_dig, opts_dig),
+        "spec": spec_name,
+        "variants": [
+            {
+                "variant_id": v.variant_id,  # type: ignore[attr-defined]
+                "name": v.name,  # type: ignore[attr-defined]
+                "digest": kernel_digest(v),
+                "text": v.asm_text(full_file=True),  # type: ignore[attr-defined]
+                "metadata": v.metadata,  # type: ignore[attr-defined]
+            }
+            for v in variants
+        ],
+    }
 
 
 def _tupled(value: object) -> object:
@@ -153,27 +221,7 @@ class GenerationCache(JsonlCache):
         return f"{spec_dig}:{opts_dig}"
 
     def _valid_record(self, record: object) -> bool:
-        if not isinstance(record, dict):
-            return False
-        if not isinstance(record.get("key"), str):
-            return False
-        if not isinstance(record.get("spec"), str):
-            return False
-        variants = record.get("variants")
-        if not isinstance(variants, list):
-            return False
-        for v in variants:
-            if not isinstance(v, dict):
-                return False
-            if not isinstance(v.get("variant_id"), int):
-                return False
-            if not all(
-                isinstance(v.get(k), str) for k in ("name", "digest", "text")
-            ):
-                return False
-            if not isinstance(v.get("metadata"), dict):
-                return False
-        return self._check_passes(record)
+        return valid_generation_record(record)
 
     def get(self, spec_dig: str, opts_dig: str) -> list[CachedVariant] | None:
         """The stored expansion for this spec + options, or ``None``."""
@@ -184,18 +232,7 @@ class GenerationCache(JsonlCache):
             return None
         self.stats.hits += 1
         obs.count("gencache.hit")
-        spec_name = record["spec"]
-        return [
-            CachedVariant(
-                spec_name=spec_name,
-                variant_id=v["variant_id"],
-                name=v["name"],
-                text=v["text"],
-                metadata=_tupled(v["metadata"]),  # type: ignore[arg-type]
-                digest=v["digest"],
-            )
-            for v in record["variants"]
-        ]
+        return variants_from_record(record)
 
     def put(
         self,
@@ -210,19 +247,4 @@ class GenerationCache(JsonlCache):
         ``variant_id``, ``metadata``, ``asm_text``); the rendered
         full-file text and its digest are what later runs reuse.
         """
-        self._store(
-            {
-                "key": self.key_for(spec_dig, opts_dig),
-                "spec": spec_name,
-                "variants": [
-                    {
-                        "variant_id": v.variant_id,  # type: ignore[attr-defined]
-                        "name": v.name,  # type: ignore[attr-defined]
-                        "digest": kernel_digest(v),
-                        "text": v.asm_text(full_file=True),  # type: ignore[attr-defined]
-                        "metadata": v.metadata,  # type: ignore[attr-defined]
-                    }
-                    for v in variants
-                ],
-            }
-        )
+        self._store(generation_record(spec_dig, opts_dig, spec_name, variants))

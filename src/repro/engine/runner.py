@@ -54,6 +54,12 @@ from repro.engine.serialize import (
     measurement_to_dict,
     measurements_from_payload,
 )
+from repro.engine.store import (
+    ShardedGenerationCache,
+    ShardedResultCache,
+    open_generation_cache,
+    open_result_cache,
+)
 from repro.launcher.measurement import Measurement
 from repro.machine.config import MachineConfig
 
@@ -680,7 +686,7 @@ def run_campaign(
     jobs: int = 1,
     chunk_size: int | None = None,
     cache_dir: str | Path | None = None,
-    cache: ResultCache | None = None,
+    cache: "ResultCache | ShardedResultCache | None" = None,
     resume: bool = True,
     progress: Callable[[str], None] | None = None,
     max_retries: int = 2,
@@ -688,8 +694,9 @@ def run_campaign(
     retry_backoff: float = 0.05,
     faults: FaultPlan | None = None,
     gen_cache_dir: str | Path | None = None,
-    gen_cache: GenerationCache | None = None,
+    gen_cache: "GenerationCache | ShardedGenerationCache | None" = None,
     generation: str = "auto",
+    store_format: str = "sharded",
 ) -> CampaignRun:
     """Execute a campaign and return its ordered results.
 
@@ -739,6 +746,13 @@ def run_campaign(
         behavior); ``"auto"`` defers exactly when a pool is in play
         (``jobs > 1``).  Job IDs, seeds, and output bytes are identical
         in every mode.
+    store_format:
+        On-disk layout for ``cache_dir`` / ``gen_cache_dir``:
+        ``"sharded"`` (the default) opens the indexed segment store of
+        :mod:`repro.engine.store`, transparently migrating a legacy
+        JSONL cache the first time; ``"jsonl"`` keeps the single-file
+        layout.  Output bytes are identical either way; explicitly
+        passed ``cache`` / ``gen_cache`` objects are used as-is.
     """
     if max_retries < 0:
         raise ValueError("max_retries must be >= 0")
@@ -749,9 +763,9 @@ def run_campaign(
             f"generation must be 'auto', 'parent' or 'worker', got {generation!r}"
         )
     if cache is None and cache_dir is not None:
-        cache = ResultCache(cache_dir)
+        cache = open_result_cache(cache_dir, store_format)
     if gen_cache is None and gen_cache_dir is not None:
-        gen_cache = GenerationCache(gen_cache_dir)
+        gen_cache = open_generation_cache(gen_cache_dir, store_format)
     defer = generation == "worker" or (generation == "auto" and jobs > 1)
 
     with obs.span(

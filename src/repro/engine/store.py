@@ -1,0 +1,1193 @@
+"""The sharded segment store: indexed resume and a columnar read path.
+
+The single-file JSONL caches (:mod:`repro.engine.cache`,
+:mod:`repro.engine.gencache`) re-parse every line on every load, so
+resume cost grows linearly with campaign size — a wall the 10^6–10^7-job
+characterization sweeps on the roadmap hit immediately.  This module
+keeps the *storage discipline* of :class:`~repro.engine.cache.JsonlCache`
+(whole-record checksums, damaged lines skipped, atomic self-repair,
+torn-tail handling) but changes the layout so membership tests, resume
+scans, and aggregation never parse payloads they do not need:
+
+``<cache_dir>/results.shards/`` (resp. ``gencache.shards/``)::
+
+    store.json                  {"format": 1, "shards": 8,
+                                 "segment_records": 4096}
+    index.bin                   header + packed (key64, shard, segment,
+                                offset, length, crc) entries
+    seg-SS-NNNNNN.jsonl         fixed-size JSONL segments, shard SS
+    seg-SS-NNNNNN.col.npz       columnar sidecar of a *sealed* segment
+
+Records are appended to the active segment of shard
+``key64(key) % shards``; after every data append one index entry is
+appended, so an intact index answers "is this job cached?" with one
+``searchsorted`` over a memory-mapped-sized array — no JSON touched.
+When a segment reaches ``segment_records`` records it is *sealed*: the
+results store writes a numpy sidecar holding the cycle/experiment
+columns of every record, which is what the zero-copy aggregation read
+path (:meth:`ShardedResultCache.columns`) loads instead of
+re-materializing measurement dicts.
+
+Damage anywhere degrades exactly like the JSONL backend: a torn data
+tail is re-scanned from the index's coverage point; a torn index tail is
+truncated to whole entries; a flipped byte in a record fails its
+checksum at read time and the key's shard is re-scanned; a flipped byte
+in the index fails the per-entry CRC and the index is rebuilt from the
+segments; a deleted ``index.bin`` is likewise rebuilt.  The first write
+after damage was observed repairs the store atomically, exactly like
+``JsonlCache._rewrite``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import statistics
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.engine.cache import (
+    CacheStats,
+    ResultCache,
+    record_check,
+    valid_result_record,
+)
+from repro.engine.gencache import (
+    CachedVariant,
+    GenerationCache,
+    generation_record,
+    valid_generation_record,
+    variants_from_record,
+)
+
+INDEX_MAGIC = b"RPROIDX1"
+INDEX_VERSION = 1
+#: Index file header: magic, version, shards, segment_records.
+INDEX_HEADER = struct.Struct("<8sHHI")
+
+#: One index entry.  ``key`` is the first 8 bytes of sha256(record key);
+#: ``length`` excludes the trailing newline; ``crc`` covers the other
+#: fields so a flipped byte anywhere in the index is detected at load.
+ENTRY_DTYPE = np.dtype(
+    [
+        ("key", "<u8"),
+        ("shard", "<u2"),
+        ("segment", "<u4"),
+        ("offset", "<u8"),
+        ("length", "<u4"),
+        ("crc", "<u4"),
+    ]
+)
+
+_SEGMENT_RE = re.compile(r"^seg-(\d{2})-(\d{6})\.jsonl$")
+
+_MIX1 = np.uint64(0x9E3779B97F4A7C15)
+_MIX2 = np.uint64(0xC2B2AE3D27D4EB4F)
+_MIX3 = np.uint64(0x165667B19E3779F9)
+
+
+def key64(key: str) -> int:
+    """The 64-bit index key for a record key (sha256 prefix)."""
+    return int.from_bytes(
+        hashlib.sha256(key.encode(errors="replace")).digest()[:8], "little"
+    )
+
+
+def _entry_crc(entries: np.ndarray) -> np.ndarray:
+    """Vectorized per-entry CRC over every field except ``crc`` itself."""
+    x = entries["key"] * _MIX1
+    x = x ^ (entries["shard"].astype(np.uint64) + np.uint64(1)) * _MIX2
+    x = x ^ (entries["segment"].astype(np.uint64) + np.uint64(3)) * _MIX3
+    x = x ^ entries["offset"].astype(np.uint64) * _MIX2
+    x = x ^ entries["length"].astype(np.uint64) * _MIX3
+    x = x ^ (x >> np.uint64(29))
+    return (x & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+
+
+@dataclass(slots=True)
+class _Shard:
+    """Mutable per-shard write state (active segment only)."""
+
+    segment: int = 0
+    size: int = 0
+    records: int = 0
+    torn: bool = False
+
+
+@dataclass(slots=True)
+class _SegmentScan:
+    """One segment's scan result: valid locations, damage accounting."""
+
+    valids: list = field(default_factory=list)  # (key, offset, length)
+    records: list | None = None  # parsed records when keep=True
+    raws: list | None = None  # raw valid lines when keep=True
+    corrupt: int = 0
+    torn: bool = False
+    size: int = 0
+
+
+class ShardedStore:
+    """Generic sharded segment store; see the module docstring.
+
+    The record shape is supplied by the caller: ``key_field`` names the
+    primary-key field and ``valid_record`` is the structural+integrity
+    predicate (the same ones the JSONL backends use, so both layouts
+    accept exactly the same records).  ``columnar`` optionally maps a
+    sealed segment's records to a dict of numpy arrays for the sidecar.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        key_field: str,
+        valid_record: Callable[[object], bool],
+        shards: int = 8,
+        segment_records: int = 4096,
+        columnar: Callable[[list[dict]], dict | None] | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.key_field = key_field
+        self._valid = valid_record
+        self._columnar = columnar
+        self.shards = shards
+        self.segment_records = segment_records
+        self._keys = np.empty(0, dtype="<u8")
+        self._locs = np.empty(0, dtype=ENTRY_DTYPE)
+        self._overlay: dict[str, tuple[int, int, int, int]] = {}
+        self._shard_state: dict[int, _Shard] = {}
+        self._n = 0
+        self._corrupt = 0
+        self._dirty = False
+        self._readers: dict[tuple[int, int], object] = {}
+        self._appenders: dict[int, tuple[int, object]] = {}
+        self._index_fh = None
+        self._load()
+
+    # -- paths ---------------------------------------------------------
+
+    @property
+    def meta_path(self) -> Path:
+        return self.directory / "store.json"
+
+    @property
+    def index_path(self) -> Path:
+        return self.directory / "index.bin"
+
+    def _segment_path(self, shard: int, segment: int) -> Path:
+        return self.directory / f"seg-{shard:02d}-{segment:06d}.jsonl"
+
+    def _sidecar_path(self, shard: int, segment: int) -> Path:
+        return self.directory / f"seg-{shard:02d}-{segment:06d}.col.npz"
+
+    def _segment_files(self) -> list[tuple[int, int, Path]]:
+        found = []
+        for path in self.directory.iterdir():
+            m = _SEGMENT_RE.match(path.name)
+            if m:
+                found.append((int(m.group(1)), int(m.group(2)), path))
+        return sorted(found)
+
+    # -- basic protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._overlay:
+            return True
+        k = key64(key)
+        # np.uint64 keeps searchsorted on the u8 fast path: probing with a
+        # Python int below 2**63 would promote the whole array per call.
+        i = int(np.searchsorted(self._keys, np.uint64(k)))
+        return i < len(self._keys) and int(self._keys[i]) == k
+
+    @property
+    def corrupt_lines(self) -> int:
+        """Damaged lines detected at load time (0 after a repair)."""
+        return self._corrupt
+
+    # -- load ----------------------------------------------------------
+
+    def _load(self) -> None:
+        meta_ok = self._read_meta()
+        segments = self._segment_files()
+        if not segments:
+            # Fresh (or fully cleared) store: establish the layout files.
+            # Any leftover index entries point at segments that no longer
+            # exist, so reset the index to empty as well.
+            self._write_meta()
+            stale = self._read_index()
+            if stale is None or len(stale):
+                self._write_index(np.empty(0, dtype=ENTRY_DTYPE))
+            return
+        entries = self._read_index() if meta_ok else None
+        if entries is None or not self._adopt_index(entries, segments):
+            self._full_scan(heal=False)
+            if not meta_ok:
+                self._write_meta()
+
+    def _read_meta(self) -> bool:
+        try:
+            meta = json.loads(self.meta_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return False
+        if not isinstance(meta, dict) or meta.get("format") != 1:
+            return False
+        shards = meta.get("shards")
+        segment_records = meta.get("segment_records")
+        if not isinstance(shards, int) or not isinstance(segment_records, int):
+            return False
+        if shards < 1 or segment_records < 1:
+            return False
+        # An existing store's geometry wins over constructor defaults:
+        # the key->shard mapping is baked into the files on disk.
+        self.shards = shards
+        self.segment_records = segment_records
+        return True
+
+    def _write_meta(self) -> None:
+        self.meta_path.write_text(
+            json.dumps(
+                {
+                    "format": 1,
+                    "shards": self.shards,
+                    "segment_records": self.segment_records,
+                }
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+
+    def _read_index(self) -> np.ndarray | None:
+        try:
+            data = self.index_path.read_bytes()
+        except OSError:
+            return None
+        if len(data) < INDEX_HEADER.size:
+            return None
+        magic, version, shards, segment_records = INDEX_HEADER.unpack_from(data)
+        if (
+            magic != INDEX_MAGIC
+            or version != INDEX_VERSION
+            or shards != self.shards
+            or segment_records != self.segment_records
+        ):
+            return None
+        body = data[INDEX_HEADER.size :]
+        # A torn index append leaves a partial trailing entry; whole
+        # entries before it are still good.
+        n = len(body) // ENTRY_DTYPE.itemsize
+        entries = np.frombuffer(
+            body[: n * ENTRY_DTYPE.itemsize], dtype=ENTRY_DTYPE
+        )
+        if len(entries) and not bool(
+            np.all(_entry_crc(entries) == entries["crc"])
+        ):
+            return None
+        return entries
+
+    def _adopt_index(
+        self, entries: np.ndarray, segments: list[tuple[int, int, Path]]
+    ) -> bool:
+        """Accept the on-disk index if it exactly covers the segments.
+
+        Sealed segments must be covered byte-for-byte; the active segment
+        of each shard may extend past the index (a crash between a data
+        append and its index append), in which case the uncovered tail is
+        re-scanned.  Any other mismatch means the index can no longer be
+        trusted and the caller rebuilds it from the segments.
+        """
+        sizes = {(sh, seg): path.stat().st_size for sh, seg, path in segments}
+        active = {}
+        for sh, seg, _path in segments:
+            active[sh] = max(active.get(sh, seg), seg)
+        if len(entries) and int(entries["shard"].max()) >= self.shards:
+            return False
+        ends = entries["offset"] + entries["length"] + 1
+        code = entries["shard"].astype(np.int64) * 10**7 + entries[
+            "segment"
+        ].astype(np.int64)
+        uniq, inverse = np.unique(code, return_inverse=True)
+        max_end = np.zeros(len(uniq), dtype=np.int64)
+        np.maximum.at(max_end, inverse, ends.astype(np.int64))
+        counts = np.bincount(inverse, minlength=len(uniq))
+        coverage: dict[tuple[int, int], tuple[int, int]] = {}
+        for i, c in enumerate(uniq):
+            pair = (int(c) // 10**7, int(c) % 10**7)
+            if pair not in sizes:
+                return False  # index points at a segment that is gone
+            coverage[pair] = (int(max_end[i]), int(counts[i]))
+        tails = []
+        for (sh, seg), size in sizes.items():
+            covered, n_records = coverage.get((sh, seg), (0, 0))
+            sealed = seg < active[sh]
+            if covered > size:
+                return False  # index ahead of data: not ours
+            if sealed and covered != size:
+                return False  # sealed segments must match exactly
+            if not sealed:
+                state = self._shard_state.setdefault(sh, _Shard())
+                state.segment = seg
+                state.size = size
+                state.records = n_records
+                state.torn = not self._ends_with_newline(
+                    self._segment_path(sh, seg), size
+                )
+                if covered < size:
+                    tails.append((sh, seg, covered))
+        self._build_lookup(entries)
+        for sh, seg, covered in tails:
+            self._rescan_tail(sh, seg, covered)
+        return True
+
+    def _ends_with_newline(self, path: Path, size: int) -> bool:
+        if size == 0:
+            return True
+        with path.open("rb") as fh:
+            fh.seek(-1, 2)
+            return fh.read(1) == b"\n"
+
+    def _rescan_tail(self, shard: int, segment: int, start: int) -> None:
+        """Recover records appended after the index's last entry.
+
+        Valid tail records go into the overlay *and* straight back into
+        the index file, restoring the covered-exactly invariant before
+        the segment can seal.  Damaged tail bytes count as corruption and
+        schedule a repair, exactly like a damaged JSONL line.
+        """
+        path = self._segment_path(shard, segment)
+        with path.open("rb") as fh:
+            fh.seek(start)
+            data = fh.read()
+        scan = self._scan_bytes(data, base=start)
+        state = self._shard_state.setdefault(shard, _Shard())
+        for key, offset, length in scan.valids:
+            if key not in self:
+                self._n += 1
+            self._overlay[key] = (shard, segment, offset, length)
+            self._append_index_entry(key, shard, segment, offset, length)
+        state.records += len(scan.valids)
+        if scan.corrupt:
+            self._corrupt += scan.corrupt
+            self._dirty = True
+
+    def _build_lookup(self, entries: np.ndarray) -> None:
+        """Sorted-key lookup arrays, later entries winning duplicate keys."""
+        if not len(entries):
+            self._keys = np.empty(0, dtype="<u8")
+            self._locs = np.empty(0, dtype=ENTRY_DTYPE)
+            self._n = 0
+            return
+        order = np.argsort(entries["key"], kind="stable")
+        ranked = entries[order]
+        keys = ranked["key"]
+        last_of_run = np.append(keys[1:] != keys[:-1], True)
+        self._locs = ranked[last_of_run].copy()
+        self._keys = self._locs["key"].copy()
+        self._n = len(self._keys)
+
+    # -- scanning / rebuild --------------------------------------------
+
+    def _scan_bytes(
+        self, data: bytes, *, base: int = 0, keep: bool = False
+    ) -> _SegmentScan:
+        scan = _SegmentScan(size=base + len(data))
+        scan.torn = bool(data) and not data.endswith(b"\n")
+        if keep:
+            scan.records = []
+            scan.raws = []
+        pos = base
+        for raw in data.split(b"\n"):
+            offset = pos
+            pos += len(raw) + 1
+            if not raw.strip():
+                continue  # blank separators are noise, not damage
+            try:
+                record = json.loads(raw)
+            except ValueError:  # JSONDecodeError and UnicodeDecodeError
+                record = None
+            if (
+                record is None
+                or not self._valid(record)
+                or not isinstance(record.get(self.key_field), str)
+            ):
+                scan.corrupt += 1
+                continue
+            scan.valids.append((record[self.key_field], offset, len(raw)))
+            if keep:
+                scan.records.append(record)
+                scan.raws.append(raw)
+        return scan
+
+    def _scan_segment(self, path: Path, *, keep: bool = False) -> _SegmentScan:
+        return self._scan_bytes(path.read_bytes(), keep=keep)
+
+    def _full_scan(self, *, heal: bool) -> None:
+        """Rebuild all state from the segment bytes alone.
+
+        ``heal=False`` (the load path) only observes: damaged lines are
+        counted and the store marked dirty, just like a JSONL load.
+        ``heal=True`` (the repair path) rewrites every damaged or torn
+        segment to exactly its valid lines — durably, via a fsynced tmp
+        file — rebuilds sealed sidecars, and writes a fresh index.
+        """
+        self._close_handles()
+        self._overlay = {}
+        self._shard_state = {}
+        segments = self._segment_files()
+        active: dict[int, int] = {}
+        for sh, seg, _path in segments:
+            active[sh] = max(active.get(sh, seg), seg)
+        entry_rows: list[tuple[str, int, int, int, int]] = []
+        total_corrupt = 0
+        for sh, seg, path in segments:
+            scan = self._scan_segment(path, keep=heal)
+            sealed = seg < active[sh]
+            if heal and (scan.corrupt or scan.torn):
+                scan = self._rewrite_segment(path, scan, sh, seg, sealed)
+            total_corrupt += scan.corrupt
+            entry_rows.extend(
+                (key, sh, seg, off, length)
+                for key, off, length in scan.valids
+            )
+            if not sealed:
+                self._shard_state[sh] = _Shard(
+                    segment=seg,
+                    size=scan.size,
+                    records=len(scan.valids),
+                    torn=scan.torn,
+                )
+        entries = self._entries_array(entry_rows)
+        self._build_lookup(entries)
+        self._corrupt = total_corrupt
+        self._dirty = total_corrupt > 0
+        if not self._dirty:
+            self._write_index(entries)
+
+    def _rewrite_segment(
+        self,
+        path: Path,
+        scan: _SegmentScan,
+        shard: int,
+        segment: int,
+        sealed: bool,
+    ) -> _SegmentScan:
+        """Atomically compact one segment to its valid lines (durable)."""
+        tmp = path.with_name(path.name + ".tmp")
+        with tmp.open("wb") as fh:
+            for raw in scan.raws or []:
+                fh.write(raw + b"\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        tmp.replace(path)
+        if sealed and self._columnar is not None:
+            self._write_sidecar(shard, segment, scan.records or [])
+        healed = _SegmentScan()
+        offset = 0
+        for (key, _off, length), record, raw in zip(
+            scan.valids, scan.records or [], scan.raws or []
+        ):
+            healed.valids.append((key, offset, length))
+            offset += length + 1
+        healed.size = offset
+        return healed
+
+    def _entries_array(
+        self, rows: Sequence[tuple[str, int, int, int, int]]
+    ) -> np.ndarray:
+        entries = np.zeros(len(rows), dtype=ENTRY_DTYPE)
+        for i, (key, sh, seg, off, length) in enumerate(rows):
+            entries[i] = (key64(key), sh, seg, off, length, 0)
+        if len(entries):
+            entries["crc"] = _entry_crc(entries)
+        return entries
+
+    # -- index file ----------------------------------------------------
+
+    def _write_index(self, entries: np.ndarray) -> None:
+        if self._index_fh is not None:
+            self._index_fh.close()
+            self._index_fh = None
+        tmp = self.index_path.with_name(self.index_path.name + ".tmp")
+        with tmp.open("wb") as fh:
+            fh.write(
+                INDEX_HEADER.pack(
+                    INDEX_MAGIC,
+                    INDEX_VERSION,
+                    self.shards,
+                    self.segment_records,
+                )
+            )
+            fh.write(entries.tobytes())
+            fh.flush()
+            os.fsync(fh.fileno())
+        tmp.replace(self.index_path)
+
+    def _append_index_entry(
+        self, key: str, shard: int, segment: int, offset: int, length: int
+    ) -> None:
+        entry = np.zeros(1, dtype=ENTRY_DTYPE)
+        entry[0] = (key64(key), shard, segment, offset, length, 0)
+        entry["crc"] = _entry_crc(entry)
+        if self._index_fh is None:
+            if not self.index_path.exists():
+                self._write_index(np.empty(0, dtype=ENTRY_DTYPE))
+            self._index_fh = self.index_path.open("ab")
+        self._index_fh.write(entry.tobytes())
+        self._index_fh.flush()
+
+    # -- read path -----------------------------------------------------
+
+    def get_record(self, key: str) -> dict | None:
+        """The stored record for ``key``, or ``None``.
+
+        The index resolves the record's exact byte range, so a lookup
+        parses one line (``store.index_hit``); only a record whose bytes
+        fail validation falls back to scanning the key's own shard
+        (``store.index_miss``), which is the JSONL-equivalent recovery
+        path.  A key absent from both overlay and index is simply absent
+        — membership stays O(log n).
+        """
+        loc = self._overlay.get(key)
+        if loc is None:
+            k = key64(key)
+            i = int(np.searchsorted(self._keys, np.uint64(k)))
+            if not (i < len(self._keys) and int(self._keys[i]) == k):
+                return None
+            row = self._locs[i]
+            loc = (
+                int(row["shard"]),
+                int(row["segment"]),
+                int(row["offset"]),
+                int(row["length"]),
+            )
+        record = self._read_at(loc, key)
+        if record is not None:
+            obs.count("store.index_hit")
+            return record
+        obs.count("store.index_miss")
+        self._dirty = True
+        return self._scan_for(key)
+
+    def _reader(self, shard: int, segment: int):
+        handle = self._readers.get((shard, segment))
+        if handle is None:
+            if len(self._readers) >= 32:
+                _, old = self._readers.popitem()
+                old.close()
+            handle = self._segment_path(shard, segment).open("rb")
+            self._readers[(shard, segment)] = handle
+        return handle
+
+    def _read_at(
+        self, loc: tuple[int, int, int, int], key: str
+    ) -> dict | None:
+        shard, segment, offset, length = loc
+        try:
+            fh = self._reader(shard, segment)
+            fh.seek(offset)
+            raw = fh.read(length)
+        except OSError:
+            return None
+        try:
+            record = json.loads(raw)
+        except ValueError:
+            return None
+        if not self._valid(record) or record.get(self.key_field) != key:
+            return None
+        return record
+
+    def _scan_for(self, key: str) -> dict | None:
+        """Last valid occurrence of ``key`` in its shard's segments."""
+        shard = key64(key) % self.shards
+        best: dict | None = None
+        for sh, seg, path in self._segment_files():
+            if sh != shard:
+                continue
+            scan = self._scan_segment(path, keep=True)
+            for (k, _off, _len), record in zip(
+                scan.valids, scan.records or []
+            ):
+                if k == key:
+                    best = record
+        return best
+
+    def iter_records(self) -> Iterator[dict]:
+        """Every recoverable record, later duplicates winning."""
+        latest: dict[str, dict] = {}
+        for _sh, _seg, path in self._segment_files():
+            scan = self._scan_segment(path, keep=True)
+            for (key, _off, _len), record in zip(
+                scan.valids, scan.records or []
+            ):
+                latest[key] = record
+        return iter(latest.values())
+
+    def segments(self) -> list[tuple[int, int, Path, bool]]:
+        """Every segment on disk as ``(shard, segment, path, sealed)``."""
+        found = self._segment_files()
+        active: dict[int, int] = {}
+        for sh, seg, _path in found:
+            active[sh] = max(active.get(sh, seg), seg)
+        return [
+            (sh, seg, path, seg < active[sh]) for sh, seg, path in found
+        ]
+
+    # -- write path ----------------------------------------------------
+
+    def put_record(self, key: str, record: dict) -> None:
+        """Checksum, append, and index one record (repairing first if
+        damage was observed, exactly like ``JsonlCache._store``)."""
+        record = dict(record)
+        record.pop("check", None)
+        record["check"] = record_check(record)
+        if self._dirty:
+            self._repair()
+        new_key = key not in self
+        shard = key64(key) % self.shards
+        state = self._shard_state.setdefault(shard, _Shard())
+        if state.records >= self.segment_records:
+            self._seal(shard)
+        line = json.dumps(record).encode() + b"\n"
+        offset = state.size
+        fh = self._appender(shard, state.segment)
+        if state.torn:
+            # A torn write left a valid final line with no newline;
+            # appending straight onto it would weld two records.
+            fh.write(b"\n")
+            offset += 1
+            state.torn = False
+        fh.write(line)
+        fh.flush()
+        state.size = offset + len(line)
+        state.records += 1
+        self._overlay[key] = (shard, state.segment, offset, len(line) - 1)
+        self._append_index_entry(
+            key, shard, state.segment, offset, len(line) - 1
+        )
+        if new_key:
+            self._n += 1
+
+    def _appender(self, shard: int, segment: int):
+        cached = self._appenders.get(shard)
+        if cached is not None and cached[0] == segment:
+            return cached[1]
+        if cached is not None:
+            cached[1].close()
+        fh = self._segment_path(shard, segment).open("ab")
+        self._appenders[shard] = (segment, fh)
+        return fh
+
+    def _seal(self, shard: int) -> None:
+        """Close the active segment and write its columnar sidecar."""
+        state = self._shard_state[shard]
+        with obs.span(
+            "store.seal", metric="store.seal_ms", shard=shard,
+            segment=state.segment,
+        ):
+            if self._columnar is not None:
+                path = self._segment_path(shard, state.segment)
+                if path.exists():
+                    scan = self._scan_segment(path, keep=True)
+                    self._write_sidecar(
+                        shard, state.segment, scan.records or []
+                    )
+            cached = self._appenders.pop(shard, None)
+            if cached is not None:
+                cached[1].close()
+            state.segment += 1
+            state.size = 0
+            state.records = 0
+            state.torn = False
+        obs.count("store.seal")
+
+    def _write_sidecar(
+        self, shard: int, segment: int, records: list[dict]
+    ) -> None:
+        sidecar = self._sidecar_path(shard, segment)
+        columns = self._columnar(records) if self._columnar else None
+        if columns is None:
+            sidecar.unlink(missing_ok=True)
+            return
+        tmp = sidecar.with_name(sidecar.name + ".tmp")
+        with tmp.open("wb") as fh:
+            np.savez(fh, **columns)
+            fh.flush()
+            os.fsync(fh.fileno())
+        tmp.replace(sidecar)
+
+    def _repair(self) -> None:
+        with obs.span("store.repair"):
+            self._full_scan(heal=True)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _close_handles(self) -> None:
+        for handle in self._readers.values():
+            handle.close()
+        self._readers = {}
+        for _seg, handle in self._appenders.values():
+            handle.close()
+        self._appenders = {}
+        if self._index_fh is not None:
+            self._index_fh.close()
+            self._index_fh = None
+
+    def clear(self) -> None:
+        """Drop every record, segment, sidecar, and the index."""
+        self._close_handles()
+        for path in self.directory.iterdir():
+            if path.name.startswith("seg-") or path.name == "index.bin":
+                path.unlink()
+        self._keys = np.empty(0, dtype="<u8")
+        self._locs = np.empty(0, dtype=ENTRY_DTYPE)
+        self._overlay = {}
+        self._shard_state = {}
+        self._n = 0
+        self._corrupt = 0
+        self._dirty = False
+        self._write_meta()
+        self._write_index(np.empty(0, dtype=ENTRY_DTYPE))
+
+    def close(self) -> None:
+        self._close_handles()
+
+
+# -- columnar read path (results) --------------------------------------
+
+#: Aggregator codes stored in sidecars.
+AGGREGATOR_CODES = {"min": 0, "median": 1, "mean": 2}
+
+
+def _result_columnar(records: list[dict]) -> dict | None:
+    """Column arrays for one segment's result records, or ``None``.
+
+    One row per *measurement* (a job's record may hold several); ``rec``
+    is the record's ordinal within the segment so the reader can keep
+    only the latest record per job.  Returns ``None`` when any record is
+    not representable (hand-written or foreign data) — the segment then
+    simply has no sidecar and reads fall back to parsing.
+    """
+    jobs: list[str] = []
+    counts: list[int] = []
+    reps: list[float] = []
+    loops: list[float] = []
+    aggs: list[int] = []
+    recs: list[int] = []
+    tsc_parts: list[list[float]] = []
+    for ordinal, record in enumerate(records):
+        job_id = record.get("job_id")
+        measurements = record.get("measurements")
+        if not isinstance(job_id, str) or not isinstance(measurements, list):
+            return None
+        for m in measurements:
+            if not isinstance(m, dict):
+                return None
+            tsc = m.get("experiment_tsc")
+            repetitions = m.get("repetitions")
+            loop_iterations = m.get("loop_iterations")
+            code = AGGREGATOR_CODES.get(m.get("aggregator"))
+            if (
+                not isinstance(tsc, list)
+                or not tsc
+                or not all(
+                    isinstance(t, (int, float)) and not isinstance(t, bool)
+                    for t in tsc
+                )
+                or not isinstance(repetitions, (int, float))
+                or not isinstance(loop_iterations, (int, float))
+                or isinstance(repetitions, bool)
+                or isinstance(loop_iterations, bool)
+                or code is None
+            ):
+                return None
+            jobs.append(job_id)
+            counts.append(len(tsc))
+            reps.append(float(repetitions))
+            loops.append(float(loop_iterations))
+            aggs.append(code)
+            recs.append(ordinal)
+            tsc_parts.append(tsc)
+    flat = (
+        np.concatenate([np.asarray(t, dtype=np.float64) for t in tsc_parts])
+        if tsc_parts
+        else np.empty(0, dtype=np.float64)
+    )
+    return {
+        "jobs": np.array(jobs, dtype=str),
+        "tsc": flat,
+        "counts": np.asarray(counts, dtype=np.int64),
+        "reps": np.asarray(reps, dtype=np.float64),
+        "loops": np.asarray(loops, dtype=np.float64),
+        "aggs": np.asarray(aggs, dtype=np.uint8),
+        "rec": np.asarray(recs, dtype=np.int64),
+    }
+
+
+@dataclass(slots=True)
+class StoreColumns:
+    """One row per stored measurement, as flat numpy columns.
+
+    ``experiment_tsc`` is the concatenation of every row's experiment
+    samples; ``counts[i]`` says how many belong to row ``i``.  This is
+    the zero-copy aggregation shape: reductions run over the arrays as
+    loaded from the sidecars, without re-materializing measurement
+    dicts.
+    """
+
+    job_ids: np.ndarray
+    experiment_tsc: np.ndarray
+    counts: np.ndarray
+    repetitions: np.ndarray
+    loop_iterations: np.ndarray
+    aggregators: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.job_ids)
+
+    def cycles_per_iteration(self) -> np.ndarray:
+        """Every row's aggregated cycles-per-iteration, vectorized.
+
+        Mirrors ``MeasurementSeries.cycles_per_iteration_array``: a
+        uniform min/median series reduces over the reshaped experiment
+        matrix in one pass; ragged or mean-aggregated rows fall back to
+        the scalar path (``fmean`` for mean, for bit-identity with the
+        measurement property).
+        """
+        n = len(self.job_ids)
+        if n == 0:
+            return np.empty(0)
+        counts = self.counts
+        uniform = bool(np.all(counts == counts[0])) and bool(
+            np.all(self.aggregators == self.aggregators[0])
+        )
+        code = int(self.aggregators[0]) if uniform else -1
+        if uniform and code != AGGREGATOR_CODES["mean"]:
+            matrix = self.experiment_tsc.reshape(n, int(counts[0]))
+            aggregated = (
+                matrix.min(axis=1)
+                if code == AGGREGATOR_CODES["min"]
+                else np.median(matrix, axis=1)
+            )
+            return aggregated / self.repetitions / self.loop_iterations
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        out = np.empty(n)
+        for i in range(n):
+            window = self.experiment_tsc[offsets[i] : offsets[i + 1]]
+            code = int(self.aggregators[i])
+            if code == AGGREGATOR_CODES["min"]:
+                value = float(window.min())
+            elif code == AGGREGATOR_CODES["median"]:
+                value = float(np.median(window))
+            else:
+                value = statistics.fmean(window.tolist())
+            out[i] = value / self.repetitions[i] / self.loop_iterations[i]
+        return out
+
+
+# -- cache-compatible wrappers -----------------------------------------
+
+
+class ShardedResultCache:
+    """Drop-in :class:`~repro.engine.cache.ResultCache` on sharded storage.
+
+    Same directory convention (the store lives in
+    ``<dir>/results.shards/``), same record shape, same accounting; plus
+    :meth:`columns`, the columnar aggregation read path.
+    """
+
+    DIRNAME = "results.shards"
+    SEGMENT_RECORDS = 4096
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        shards: int = 8,
+        segment_records: int | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.stats = CacheStats()
+        self._store = ShardedStore(
+            self.directory / self.DIRNAME,
+            key_field="job_id",
+            valid_record=valid_result_record,
+            shards=shards,
+            segment_records=segment_records or self.SEGMENT_RECORDS,
+            columnar=_result_columnar,
+        )
+
+    @property
+    def store(self) -> ShardedStore:
+        return self._store
+
+    @property
+    def corrupt_lines(self) -> int:
+        return self._store.corrupt_lines
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._store
+
+    def get(self, job_id: str) -> list[dict] | None:
+        """Stored measurement dicts for ``job_id``, or ``None`` (counted).
+
+        Records parse fresh from the segment bytes, so the returned
+        dicts are the caller's to mutate.
+        """
+        record = self._store.get_record(job_id)
+        if record is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record["measurements"]
+
+    def put(
+        self,
+        job_id: str,
+        measurements: list[dict],
+        *,
+        kernel: str = "",
+        mode: str = "",
+    ) -> None:
+        """Store and immediately flush one job's measurements."""
+        self._store.put_record(
+            job_id,
+            {
+                "job_id": job_id,
+                "kernel": kernel,
+                "mode": mode,
+                "measurements": measurements,
+            },
+        )
+        self.stats.stores += 1
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.stats = CacheStats()
+
+    def columns(self) -> StoreColumns:
+        """Every stored measurement as flat columns (later records win).
+
+        Sealed segments load straight from their numpy sidecars; the
+        active segment (and any segment whose sidecar is missing or
+        unreadable) parses on the fly.
+        """
+        parts: list[tuple[dict, np.ndarray]] = []
+        store = self._store
+        for shard, segment, path, sealed in store.segments():
+            columns = None
+            if sealed:
+                sidecar = store._sidecar_path(shard, segment)
+                if sidecar.exists():
+                    try:
+                        with np.load(sidecar) as loaded:
+                            columns = {k: loaded[k] for k in loaded.files}
+                    except (OSError, ValueError, KeyError):
+                        columns = None
+            if columns is None:
+                scan = store._scan_segment(path, keep=True)
+                columns = _result_columnar(scan.records or [])
+                if columns is None:
+                    raise ValueError(
+                        f"segment {path.name} holds records the columnar "
+                        "reader cannot represent"
+                    )
+            # Global record ordinal: duplicates of a job always land in
+            # the same shard, so (segment, in-segment ordinal) orders
+            # them; segments never exceed segment_records records.
+            rec_global = (
+                columns["rec"] + segment * (store.segment_records + 1)
+            )
+            parts.append((columns, rec_global))
+        if not parts:
+            empty = np.empty(0)
+            return StoreColumns(
+                np.empty(0, dtype=str), empty, np.empty(0, np.int64),
+                empty, empty, np.empty(0, np.uint8),
+            )
+        jobs = np.concatenate([c["jobs"] for c, _r in parts])
+        counts = np.concatenate([c["counts"] for c, _r in parts])
+        reps = np.concatenate([c["reps"] for c, _r in parts])
+        loops = np.concatenate([c["loops"] for c, _r in parts])
+        aggs = np.concatenate([c["aggs"] for c, _r in parts])
+        tsc = np.concatenate([c["tsc"] for c, _r in parts])
+        recs = np.concatenate([r for _c, r in parts])
+        keep = _latest_record_mask(jobs, recs)
+        if not bool(np.all(keep)):
+            offsets = np.concatenate(([0], np.cumsum(counts)))
+            starts = offsets[:-1][keep]
+            lengths = counts[keep]
+            total = int(lengths.sum())
+            row = np.repeat(np.arange(len(lengths)), lengths)
+            out_offsets = np.concatenate(([0], np.cumsum(lengths)))
+            index = starts[row] + (np.arange(total) - out_offsets[row])
+            tsc = tsc[index]
+            jobs, counts = jobs[keep], counts[keep]
+            reps, loops, aggs = reps[keep], loops[keep], aggs[keep]
+        return StoreColumns(jobs, tsc, counts, reps, loops, aggs)
+
+
+def _latest_record_mask(jobs: np.ndarray, recs: np.ndarray) -> np.ndarray:
+    """Rows belonging to each job's latest record (re-measures win)."""
+    if not len(jobs):
+        return np.ones(0, dtype=bool)
+    uniq, inverse = np.unique(jobs, return_inverse=True)
+    best = np.full(len(uniq), -1, dtype=np.int64)
+    np.maximum.at(best, inverse, recs)
+    return recs == best[inverse]
+
+
+class ShardedGenerationCache:
+    """Drop-in :class:`~repro.engine.gencache.GenerationCache` on sharded
+    storage (``<dir>/gencache.shards/``).
+
+    Generation records are few but large (every rendered variant of an
+    expansion), so segments are small and there is no columnar sidecar —
+    the win here is indexed membership and torn-tail isolation per
+    segment.
+    """
+
+    DIRNAME = "gencache.shards"
+    SEGMENT_RECORDS = 32
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        shards: int = 4,
+        segment_records: int | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.stats = CacheStats()
+        self._store = ShardedStore(
+            self.directory / self.DIRNAME,
+            key_field="key",
+            valid_record=valid_generation_record,
+            shards=shards,
+            segment_records=segment_records or self.SEGMENT_RECORDS,
+        )
+
+    @property
+    def store(self) -> ShardedStore:
+        return self._store
+
+    @property
+    def corrupt_lines(self) -> int:
+        return self._store.corrupt_lines
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    @staticmethod
+    def key_for(spec_dig: str, opts_dig: str) -> str:
+        return GenerationCache.key_for(spec_dig, opts_dig)
+
+    def get(self, spec_dig: str, opts_dig: str) -> list[CachedVariant] | None:
+        """The stored expansion for this spec + options, or ``None``."""
+        record = self._store.get_record(self.key_for(spec_dig, opts_dig))
+        if record is None:
+            self.stats.misses += 1
+            obs.count("gencache.miss")
+            return None
+        self.stats.hits += 1
+        obs.count("gencache.hit")
+        return variants_from_record(record)
+
+    def put(
+        self,
+        spec_dig: str,
+        opts_dig: str,
+        spec_name: str,
+        variants: Sequence[object],
+    ) -> None:
+        """Store one complete expansion (every variant, pre-filter)."""
+        record = generation_record(spec_dig, opts_dig, spec_name, variants)
+        self._store.put_record(record["key"], record)
+        self.stats.stores += 1
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.stats = CacheStats()
+
+
+# -- factories + migration ---------------------------------------------
+
+STORE_FORMATS = ("jsonl", "sharded")
+
+
+def _migrate(legacy_cache, target_store: ShardedStore, what: str) -> None:
+    """One-time move of a legacy JSONL cache into a sharded store.
+
+    The legacy loader already validated every surviving record, so
+    migration is a straight re-append; the old file is renamed (not
+    deleted) so nothing is lost if the migration itself is interrupted —
+    a partial sharded store plus the ``.migrated`` file can always be
+    reconciled by hand, and re-running after a crash mid-way re-appends
+    (later duplicates win, harmlessly).
+    """
+    with obs.span("store.migrate", what=what, records=len(legacy_cache)):
+        for record in legacy_cache._records.values():
+            target_store.put_record(record[legacy_cache.KEY], record)
+        legacy_cache.path.rename(
+            legacy_cache.path.with_name(legacy_cache.path.name + ".migrated")
+        )
+    obs.count("store.migrate")
+
+
+def open_result_cache(
+    directory: str | Path, store_format: str = "sharded"
+) -> ResultCache | ShardedResultCache:
+    """A result cache over ``directory`` in the requested format.
+
+    ``"sharded"`` (the default) transparently migrates a pre-existing
+    ``results.jsonl`` the first time the directory is opened sharded.
+    """
+    if store_format == "jsonl":
+        return ResultCache(directory)
+    if store_format != "sharded":
+        raise ValueError(
+            f"unknown store format {store_format!r}; "
+            f"expected one of {STORE_FORMATS}"
+        )
+    directory = Path(directory)
+    legacy_path = directory / ResultCache.FILENAME
+    fresh = not (directory / ShardedResultCache.DIRNAME).exists()
+    cache = ShardedResultCache(directory)
+    if fresh and legacy_path.exists():
+        _migrate(ResultCache(directory), cache.store, "results")
+    return cache
+
+
+def open_generation_cache(
+    directory: str | Path, store_format: str = "sharded"
+) -> GenerationCache | ShardedGenerationCache:
+    """A generation cache over ``directory`` in the requested format."""
+    if store_format == "jsonl":
+        return GenerationCache(directory)
+    if store_format != "sharded":
+        raise ValueError(
+            f"unknown store format {store_format!r}; "
+            f"expected one of {STORE_FORMATS}"
+        )
+    directory = Path(directory)
+    legacy_path = directory / GenerationCache.FILENAME
+    fresh = not (directory / ShardedGenerationCache.DIRNAME).exists()
+    cache = ShardedGenerationCache(directory)
+    if fresh and legacy_path.exists():
+        _migrate(GenerationCache(directory), cache.store, "generation")
+    return cache

@@ -2,6 +2,7 @@
 
 import json
 
+import repro.engine.cache as cache_module
 from repro.engine import ResultCache
 
 
@@ -154,6 +155,59 @@ class TestDamageTolerance:
         for i in range(20):
             cache.put(f"j{i}", rows())
         assert probes == 1
+
+    def test_get_returns_a_copy(self, tmp_path):
+        """Mutating a returned payload must never touch the stored record.
+
+        The in-memory record is what a later self-repair rewrites to
+        disk under a fresh checksum, so handing out the live internals
+        would let an innocent mutation persist as corrupted data.
+        """
+        cache = ResultCache(tmp_path)
+        cache.put("j1", [{"cycles": 4.0}])
+        got = cache.get("j1")
+        got[0]["cycles"] = -1.0
+        got.append({"injected": True})
+        assert cache.get("j1") == [{"cycles": 4.0}]
+
+    def test_mutated_payload_never_persists_through_repair(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("j1", [{"cycles": 4.0}])
+        path = tmp_path / "results.jsonl"
+        path.write_text(path.read_text() + "garbage\n")
+        damaged = ResultCache(tmp_path)
+        damaged.get("j1")[0]["cycles"] = -1.0  # caller misbehaves
+        damaged.put("j2", rows())  # triggers the repair rewrite
+        assert ResultCache(tmp_path).get("j1") == [{"cycles": 4.0}]
+
+    def test_clear_resets_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("j1", rows())
+        cache.get("j1")
+        cache.get("missing")
+        cache.clear()
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+        assert cache.stats.stores == 0
+        assert cache.stats.hit_rate == 0.0
+
+    def test_repair_rewrite_is_fsynced(self, tmp_path, monkeypatch):
+        """The replacement file is durable before it replaces the
+        damaged one — a crash mid-repair must not be able to swap in a
+        half-written file."""
+        cache = ResultCache(tmp_path)
+        cache.put("j1", rows())
+        path = tmp_path / "results.jsonl"
+        path.write_text(path.read_text() + "not json\n")
+        synced = []
+        real_fsync = cache_module.os.fsync
+        monkeypatch.setattr(
+            cache_module.os, "fsync", lambda fd: synced.append(fd) or real_fsync(fd)
+        )
+        damaged = ResultCache(tmp_path)
+        damaged.put("j2", rows())
+        assert synced, "repair rewrote the file without fsync"
+        assert ResultCache(tmp_path).corrupt_lines == 0
 
     def test_lines_are_valid_json_records(self, tmp_path):
         cache = ResultCache(tmp_path)

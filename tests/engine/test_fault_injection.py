@@ -194,9 +194,9 @@ class TestGarbage:
             retry_backoff=0.0,
             cache_dir=tmp_path,
         )
-        from repro.engine import ResultCache
+        from repro.engine import open_result_cache
 
-        assert ResultCache(tmp_path).get(victim.job_id) is None
+        assert open_result_cache(tmp_path).get(victim.job_id) is None
 
     def test_corrupt_cache_entry_remeasured(self, campaign, clean, victim, tmp_path):
         from repro.engine import ResultCache

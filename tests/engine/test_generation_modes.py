@@ -11,7 +11,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.engine import Campaign, GenerationCache, KernelRef, SweepSpec, run_campaign
+from repro.engine import (
+    Campaign,
+    KernelRef,
+    SweepSpec,
+    open_generation_cache,
+    run_campaign,
+)
 from repro.kernels import loadstore_family
 from repro.kernels.reduction import dot_product_spec
 from repro.launcher import LauncherOptions
@@ -59,7 +65,7 @@ class TestByteIdentical:
     def test_warm_cache_round_trips_results(self, tmp_path):
         gen_dir = tmp_path / "gencache"
         cold = _result_bytes(tmp_path, "cold", jobs=1, gen_cache_dir=gen_dir)
-        cache = GenerationCache(gen_dir)
+        cache = open_generation_cache(gen_dir)
         assert len(cache) == 2  # one expansion per spec
         warm = _result_bytes(
             tmp_path, "warm", jobs=1, gen_cache=cache, generation="worker"

@@ -1,0 +1,346 @@
+"""Sharded store tests: layout, index, sealing, columns, migration."""
+
+from __future__ import annotations
+
+import json
+import statistics
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    GenerationCache,
+    ResultCache,
+    ShardedGenerationCache,
+    ShardedResultCache,
+    open_generation_cache,
+    open_result_cache,
+)
+
+
+def meas(i, n=3, aggregator="min"):
+    return {
+        "experiment_tsc": [float(100 + i + j) for j in range(n)],
+        "repetitions": 4.0,
+        "loop_iterations": 8.0,
+        "aggregator": aggregator,
+    }
+
+
+@pytest.fixture()
+def small(tmp_path):
+    """One shard, tiny segments: every put path and sealing exercised."""
+    return ShardedResultCache(tmp_path, shards=1, segment_records=5)
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, small):
+        small.put("abc", [meas(1)], kernel="k", mode="sequential")
+        assert small.get("abc") == [meas(1)]
+        assert "abc" in small and "nope" not in small
+        assert len(small) == 1
+
+    def test_miss_returns_none(self, small):
+        assert small.get("nope") is None
+
+    def test_persists_across_instances(self, tmp_path, small):
+        small.put("j1", [meas(2)])
+        reopened = ShardedResultCache(tmp_path)
+        assert reopened.get("j1") == [meas(2)]
+        assert "j1" in reopened
+        assert len(reopened) == 1
+
+    def test_later_write_wins(self, tmp_path, small):
+        for i in range(12):  # spill across segments
+            small.put(f"j{i}", [meas(i)])
+        small.put("j3", [meas(77)])
+        assert small.get("j3") == [meas(77)]
+        assert ShardedResultCache(tmp_path).get("j3") == [meas(77)]
+        assert len(ShardedResultCache(tmp_path)) == 12
+
+    def test_geometry_comes_from_store_json(self, tmp_path, small):
+        small.put("j1", [meas(1)])
+        # Different constructor defaults must not re-shard existing data.
+        reopened = ShardedResultCache(tmp_path, shards=16, segment_records=9)
+        assert reopened.store.shards == 1
+        assert reopened.store.segment_records == 5
+        assert reopened.get("j1") == [meas(1)]
+
+    def test_stats_accounting(self, small):
+        small.put("j1", [meas(1)])
+        small.get("j1")
+        small.get("j2")
+        small.get("j1")
+        assert small.stats.hits == 2
+        assert small.stats.misses == 1
+        assert small.stats.stores == 1
+
+    def test_clear_removes_everything_and_resets_stats(self, tmp_path, small):
+        for i in range(8):
+            small.put(f"j{i}", [meas(i)])
+        small.get("j1")
+        small.clear()
+        assert len(small) == 0
+        assert small.stats.hits == 0 and small.stats.stores == 0
+        assert len(ShardedResultCache(tmp_path)) == 0
+        assert not list(tmp_path.glob("results.shards/seg-*"))
+
+
+class TestSegments:
+    def test_records_spread_across_shards(self, tmp_path):
+        cache = ShardedResultCache(tmp_path, shards=4, segment_records=1000)
+        for i in range(64):
+            cache.put(f"j{i:03d}", [meas(i)])
+        used = {p.name[4:6] for p in tmp_path.glob("results.shards/seg-*.jsonl")}
+        assert len(used) > 1, "all keys hashed into one shard"
+        for i in range(64):
+            assert cache.get(f"j{i:03d}") == [meas(i)]
+
+    def test_segment_rolls_over_at_capacity(self, tmp_path, small):
+        for i in range(12):
+            small.put(f"j{i}", [meas(i)])
+        segments = sorted(tmp_path.glob("results.shards/seg-*.jsonl"))
+        assert len(segments) == 3  # 5 + 5 + 2
+        for seg in segments[:-1]:
+            lines = [l for l in seg.read_bytes().split(b"\n") if l]
+            assert len(lines) == 5
+
+    def test_sealed_segments_have_sidecars(self, tmp_path, small):
+        for i in range(12):
+            small.put(f"j{i}", [meas(i)])
+        sidecars = sorted(tmp_path.glob("results.shards/seg-*.col.npz"))
+        segments = sorted(tmp_path.glob("results.shards/seg-*.jsonl"))
+        assert len(sidecars) == len(segments) - 1  # active segment has none
+
+    def test_membership_does_not_parse_payloads(self, tmp_path, small):
+        for i in range(12):
+            small.put(f"j{i}", [meas(i)])
+        reopened = ShardedResultCache(tmp_path)
+        original = json.loads
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("membership test parsed JSON")
+
+        try:
+            json.loads = forbidden
+            assert "j3" in reopened
+            assert "absent" not in reopened
+            assert len(reopened) == 12
+        finally:
+            json.loads = original
+
+
+class TestIndexRecovery:
+    def fill(self, tmp_path):
+        cache = ShardedResultCache(tmp_path, shards=2, segment_records=4)
+        for i in range(11):
+            cache.put(f"j{i}", [meas(i)])
+        return cache
+
+    def test_deleted_index_rebuilt(self, tmp_path):
+        self.fill(tmp_path)
+        (tmp_path / "results.shards" / "index.bin").unlink()
+        reopened = ShardedResultCache(tmp_path)
+        assert len(reopened) == 11
+        assert reopened.get("j7") == [meas(7)]
+        assert (tmp_path / "results.shards" / "index.bin").exists()
+
+    def test_torn_index_tail_truncated(self, tmp_path):
+        self.fill(tmp_path)
+        index = tmp_path / "results.shards" / "index.bin"
+        index.write_bytes(index.read_bytes() + b"\x07\x07\x07")
+        reopened = ShardedResultCache(tmp_path)
+        assert len(reopened) == 11
+        assert reopened.get("j10") == [meas(10)]
+
+    def test_flipped_index_byte_detected_by_crc(self, tmp_path):
+        self.fill(tmp_path)
+        index = tmp_path / "results.shards" / "index.bin"
+        blob = bytearray(index.read_bytes())
+        blob[40] ^= 0xFF  # inside the first entry
+        index.write_bytes(bytes(blob))
+        reopened = ShardedResultCache(tmp_path)
+        assert len(reopened) == 11
+        for i in range(11):
+            assert reopened.get(f"j{i}") == [meas(i)]
+
+    def test_torn_data_tail_recovered_on_next_open(self, tmp_path):
+        self.fill(tmp_path)
+        segments = sorted(tmp_path.glob("results.shards/seg-*.jsonl"))
+        target = segments[-1]
+        target.write_bytes(target.read_bytes()[:-1])  # drop the newline
+        reopened = ShardedResultCache(tmp_path)
+        assert len(reopened) == 11
+        reopened.put("fresh", [meas(50)])
+        again = ShardedResultCache(tmp_path)
+        assert again.get("fresh") == [meas(50)]
+        assert len(again) == 12
+
+    def test_tampered_record_rejected_and_repaired(self, tmp_path):
+        self.fill(tmp_path)
+        segments = sorted(tmp_path.glob("results.shards/seg-*.jsonl"))
+        blob = segments[0].read_bytes()
+        pos = blob.index(b'"experiment_tsc"') + len(b'"experiment_tsc": [1')
+        segments[0].write_bytes(blob[:pos] + b"9" + blob[pos + 1 :])
+        reopened = ShardedResultCache(tmp_path)
+        damaged = [i for i in range(11) if reopened.get(f"j{i}") is None]
+        assert len(damaged) == 1  # exactly the tampered line dropped
+        reopened.put("fresh", [meas(50)])
+        healed = ShardedResultCache(tmp_path)
+        assert healed.corrupt_lines == 0
+        assert healed.get("fresh") == [meas(50)]
+        for i in range(11):
+            if i not in damaged:
+                assert healed.get(f"j{i}") == [meas(i)]
+
+
+class TestColumns:
+    def test_columns_match_scalar_aggregation(self, tmp_path):
+        cache = ShardedResultCache(tmp_path, shards=1, segment_records=4)
+        for i in range(10):
+            cache.put(f"j{i}", [meas(i)])
+        cols = cache.columns()
+        assert len(cols) == 10
+        values = cols.cycles_per_iteration()
+        by_id = dict(zip(cols.job_ids, values))
+        for i in range(10):
+            expected = min(meas(i)["experiment_tsc"]) / 4.0 / 8.0
+            assert by_id[f"j{i}"] == pytest.approx(expected, abs=0, rel=0)
+
+    @pytest.mark.parametrize("aggregator", ("min", "median", "mean"))
+    def test_every_aggregator_supported(self, tmp_path, aggregator):
+        cache = ShardedResultCache(tmp_path, shards=1, segment_records=3)
+        for i in range(7):
+            cache.put(f"j{i}", [meas(i, n=4, aggregator=aggregator)])
+        cols = cache.columns()
+        by_id = dict(zip(cols.job_ids, cols.cycles_per_iteration()))
+        reduce = {
+            "min": min,
+            "median": lambda t: float(np.median(t)),
+            "mean": statistics.fmean,
+        }[aggregator]
+        for i in range(7):
+            tsc = meas(i, n=4)["experiment_tsc"]
+            assert by_id[f"j{i}"] == reduce(tsc) / 4.0 / 8.0
+
+    def test_ragged_series_fall_back_per_row(self, tmp_path):
+        cache = ShardedResultCache(tmp_path, shards=1, segment_records=10)
+        cache.put("a", [meas(1, n=2)])
+        cache.put("b", [meas(2, n=5)])
+        cols = cache.columns()
+        by_id = dict(zip(cols.job_ids, cols.cycles_per_iteration()))
+        assert by_id["a"] == min(meas(1, n=2)["experiment_tsc"]) / 32.0
+        assert by_id["b"] == min(meas(2, n=5)["experiment_tsc"]) / 32.0
+
+    def test_columns_identical_with_and_without_sidecars(self, tmp_path):
+        cache = ShardedResultCache(tmp_path, shards=1, segment_records=4)
+        for i in range(13):
+            cache.put(f"j{i}", [meas(i)])
+        with_sidecars = cache.columns()
+        for sidecar in tmp_path.glob("results.shards/*.col.npz"):
+            sidecar.unlink()
+        parsed = ShardedResultCache(tmp_path).columns()
+        order_a = np.argsort(with_sidecars.job_ids)
+        order_b = np.argsort(parsed.job_ids)
+        assert list(with_sidecars.job_ids[order_a]) == list(
+            parsed.job_ids[order_b]
+        )
+        np.testing.assert_array_equal(
+            with_sidecars.cycles_per_iteration()[order_a],
+            parsed.cycles_per_iteration()[order_b],
+        )
+
+    def test_remeasured_job_uses_latest_record(self, tmp_path):
+        cache = ShardedResultCache(tmp_path, shards=1, segment_records=3)
+        for i in range(7):
+            cache.put(f"j{i}", [meas(i)])
+        cache.put("j1", [meas(91)])  # re-measure, lands segments later
+        cols = ShardedResultCache(tmp_path).columns()
+        assert len(cols) == 7  # one row per job, not per write
+        by_id = dict(zip(cols.job_ids, cols.cycles_per_iteration()))
+        assert by_id["j1"] == min(meas(91)["experiment_tsc"]) / 32.0
+
+    def test_multi_measurement_records_keep_all_rows(self, tmp_path):
+        cache = ShardedResultCache(tmp_path, shards=1, segment_records=10)
+        cache.put("multi", [meas(1), meas(2), meas(3)])
+        cols = cache.columns()
+        assert len(cols) == 3
+        assert set(cols.job_ids) == {"multi"}
+
+    def test_empty_store_gives_empty_columns(self, small):
+        cols = small.columns()
+        assert len(cols) == 0
+        assert cols.cycles_per_iteration().shape == (0,)
+
+
+class TestMigration:
+    def test_legacy_results_migrated_once(self, tmp_path):
+        legacy = ResultCache(tmp_path)
+        for i in range(9):
+            legacy.put(f"m{i}", [meas(i)], kernel=f"k{i}", mode="sequential")
+        cache = open_result_cache(tmp_path)
+        assert isinstance(cache, ShardedResultCache)
+        assert len(cache) == 9
+        assert cache.get("m4") == [meas(4)]
+        assert not (tmp_path / "results.jsonl").exists()
+        assert (tmp_path / "results.jsonl.migrated").exists()
+        # Second open: already sharded, the .migrated file is left alone.
+        again = open_result_cache(tmp_path)
+        assert len(again) == 9
+
+    def test_legacy_gencache_migrated(self, tmp_path):
+        legacy = GenerationCache(tmp_path)
+        legacy.put("sd", "od", "spec", [_FakeKernel(0), _FakeKernel(1)])
+        cache = open_generation_cache(tmp_path)
+        assert isinstance(cache, ShardedGenerationCache)
+        variants = cache.get("sd", "od")
+        assert [v.name for v in variants] == ["v0000", "v0001"]
+        assert (tmp_path / "gencache.jsonl.migrated").exists()
+
+    def test_jsonl_format_untouched(self, tmp_path):
+        legacy = ResultCache(tmp_path)
+        legacy.put("m1", [meas(1)])
+        cache = open_result_cache(tmp_path, "jsonl")
+        assert isinstance(cache, ResultCache)
+        assert (tmp_path / "results.jsonl").exists()
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown store format"):
+            open_result_cache(tmp_path, "parquet")
+        with pytest.raises(ValueError, match="unknown store format"):
+            open_generation_cache(tmp_path, "parquet")
+
+
+class _FakeKernel:
+    def __init__(self, i):
+        self.variant_id = i
+        self.name = f"v{i:04d}"
+        self.metadata = {"unroll": i + 1, "opcodes": ("movaps",)}
+        self._text = f".text\nv{i}\n"
+
+    def asm_text(self, *, full_file=False):
+        return self._text
+
+    def instructions(self):
+        return []
+
+
+class TestGenerationStore:
+    def test_round_trip_and_persistence(self, tmp_path):
+        cache = ShardedGenerationCache(tmp_path, shards=1, segment_records=2)
+        for s in range(5):
+            cache.put(f"spec{s}", "opts", f"name{s}", [_FakeKernel(i) for i in range(3)])
+        assert len(cache) == 5
+        got = cache.get("spec2", "opts")
+        assert [v.variant_id for v in got] == [0, 1, 2]
+        assert cache.get("specX", "opts") is None
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        reopened = ShardedGenerationCache(tmp_path)
+        assert len(reopened) == 5
+        assert reopened.get("spec4", "opts")[0].metadata["opcodes"] == ("movaps",)
+
+    def test_variants_parse_lazily_from_text(self, tmp_path):
+        cache = ShardedGenerationCache(tmp_path)
+        cache.put("sd", "od", "spec", [_FakeKernel(7)])
+        variant = ShardedGenerationCache(tmp_path).get("sd", "od")[0]
+        assert variant.asm_text(full_file=True) == ".text\nv7\n"
