@@ -21,6 +21,14 @@ throughput edge over parent-side expansion — a regression here means the
 generation cache or the KernelRef path stopped short-circuiting the pass
 pipeline.
 
+``BENCH_stopping.json`` (written by
+``benchmarks/test_stopping_savings.py``) gates adaptive RCIW stopping
+when present: the stable half of a stable/noisy mix must keep saving at
+least 2x of the fixed experiment budget, and the noisy half must keep
+receiving more experiments than the stable half.  Both quantities are
+deterministic (seeded noise streams), so losing either means the
+stopping rule itself changed — not the machine.
+
 ``BENCH_store.json`` (written by ``benchmarks/test_store_scale.py``)
 gates the sharded result store when present.  Both gates are
 machine-relative ratios measured within one run, so no cross-machine
@@ -38,6 +46,7 @@ Usage::
         --obs-current BENCH_obs.json \
         --gen-current BENCH_generation.json \
         --gen-baseline benchmarks/BENCH_generation_baseline.json \
+        --stopping-current BENCH_stopping.json \
         --store-current BENCH_store.json
 """
 
@@ -54,6 +63,10 @@ MAX_REGRESSION = 2.0
 #: delta over a bare loop and CI machines vary less in nanoseconds
 #: added than in raw throughput.
 MAX_OBS_DISABLED_NS = 2_000.0
+#: Adaptive stopping must save at least this on the stable half of the
+#: stable/noisy benchmark mix.  Deterministic (seeded noise), so the
+#: floor is tight relative to the ~10x the current rule achieves.
+MIN_STOPPING_SAVINGS = 2.0
 #: Sharded cold-load must beat JSONL by at least this at 10^5 rows.
 MIN_STORE_COLD_SPEEDUP = 10.0
 #: Sharded membership cost over a 100x row increase; linear would be
@@ -106,6 +119,38 @@ def _check_generation(
         )
         return 1
     return 0
+
+
+def _check_stopping(current_path: str, min_savings: float) -> int:
+    path = Path(current_path)
+    if not path.exists():
+        print(f"stopping savings: {path} not present, skipping")
+        return 0
+    current = json.loads(path.read_text())
+    stable = current["stable_savings"]
+    noisy_spent = current["noisy_mean_spent"]
+    stable_spent = current["stable_mean_spent"]
+    print(
+        f"stopping: stable half saves {stable:.1f}x "
+        f"(floor {min_savings:.1f}x); spent {stable_spent:.1f} stable vs "
+        f"{noisy_spent:.1f} noisy"
+    )
+    failed = 0
+    if stable < min_savings:
+        print(
+            f"FAIL: adaptive stopping saves only {stable:.1f}x on the "
+            "stable half; the stopping rule regressed",
+            file=sys.stderr,
+        )
+        failed = 1
+    if noisy_spent <= stable_spent:
+        print(
+            "FAIL: noisy configurations no longer receive more "
+            "experiments than stable ones",
+            file=sys.stderr,
+        )
+        failed = 1
+    return failed
 
 
 def _check_store(
@@ -177,6 +222,18 @@ def main(argv: list[str] | None = None) -> int:
         help="committed generation-throughput baseline",
     )
     parser.add_argument(
+        "--stopping-current",
+        default="BENCH_stopping.json",
+        help="stopping-savings result to gate (skipped when absent)",
+    )
+    parser.add_argument(
+        "--stopping-min-savings",
+        type=float,
+        default=MIN_STOPPING_SAVINGS,
+        help="fail when the stable half saves less than this "
+        f"(default: {MIN_STOPPING_SAVINGS:.1f})",
+    )
+    parser.add_argument(
         "--store-current",
         default="BENCH_store.json",
         help="store-scale result to gate (skipped when absent)",
@@ -218,6 +275,9 @@ def main(argv: list[str] | None = None) -> int:
     failed |= _check_obs(args.obs_current, args.obs_max_ns)
     failed |= _check_generation(
         args.gen_current, args.gen_baseline, args.max_regression
+    )
+    failed |= _check_stopping(
+        args.stopping_current, args.stopping_min_savings
     )
     failed |= _check_store(
         args.store_current, args.store_min_speedup, args.store_max_growth

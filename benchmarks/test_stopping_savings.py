@@ -1,0 +1,106 @@
+"""Benchmark: adaptive RCIW stopping spends experiments where the noise is.
+
+Measures a mixed population — a *stable* half (long inner repetition
+loops, so baseline jitter is tiny) and a *noisy* half (short loops,
+jitter scales as ``1/sqrt(repetitions)``) — under adaptive stopping, and
+compares the experiments actually spent against the fixed-count budget a
+non-adaptive run would burn on every configuration.
+
+The headline number is ``stable_savings``: how many times fewer
+experiments the stable half needed.  Aggregated over several noise seeds
+so one unusually tight stream cannot flatter the result.  Writes
+``BENCH_stopping.json`` (repo root) for the CI regression gate — see
+``benchmarks/check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from pathlib import Path
+
+from repro.launcher import LauncherOptions, MeasurementRequest
+from repro.launcher.measurement import run_measurement_batch
+from repro.machine.noise import NoiseModel
+
+N_CONFIGS = 32
+FIXED_EXPERIMENTS = 32
+RCIW_TARGET = 0.004
+SEEDS = (7, 99, 123, 2024, 31337)
+MIN_STABLE_SAVINGS = 2.0
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_stopping.json"
+
+
+def _requests():
+    return [
+        MeasurementRequest(
+            ideal_call_ns=120.0 + 3.0 * k,
+            kernel_name=f"config{k:03d}",
+            loop_iterations=32,
+            elements_per_iteration=4,
+            n_memory_instructions=2,
+        )
+        for k in range(N_CONFIGS)
+    ]
+
+
+def _spent(options: LauncherOptions) -> list[int]:
+    out: list[int] = []
+    for seed in SEEDS:
+        out += [
+            m.experiments_spent
+            for m in run_measurement_batch(
+                _requests(),
+                options=options,
+                freq_ghz=2.67,
+                tsc_ghz=2.67,
+                noise=NoiseModel(seed=seed),
+            )
+        ]
+    return out
+
+
+def test_stable_half_saves_experiments():
+    adaptive = LauncherOptions(
+        rciw_target=RCIW_TARGET,
+        min_experiments=3,
+        max_experiments=FIXED_EXPERIMENTS,
+        batch_size=4,
+    )
+    spent_stable = _spent(adaptive.with_(repetitions=64))
+    spent_noisy = _spent(adaptive.with_(repetitions=2))
+
+    mean_stable = statistics.fmean(spent_stable)
+    mean_noisy = statistics.fmean(spent_noisy)
+    stable_savings = FIXED_EXPERIMENTS / mean_stable
+    noisy_savings = FIXED_EXPERIMENTS / mean_noisy
+    total = len(spent_stable) + len(spent_noisy)
+    overall_savings = (total * FIXED_EXPERIMENTS) / (
+        sum(spent_stable) + sum(spent_noisy)
+    )
+    record = {
+        "benchmark": "stopping_savings",
+        "configs": N_CONFIGS,
+        "seeds": len(SEEDS),
+        "rciw_target": RCIW_TARGET,
+        "fixed_experiments": FIXED_EXPERIMENTS,
+        "stable_mean_spent": round(mean_stable, 2),
+        "noisy_mean_spent": round(mean_noisy, 2),
+        "stable_savings": round(stable_savings, 2),
+        "noisy_savings": round(noisy_savings, 2),
+        "overall_savings": round(overall_savings, 2),
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(
+        f"\nstable: {mean_stable:.1f} spent ({stable_savings:.1f}x saved)  "
+        f"noisy: {mean_noisy:.1f} spent ({noisy_savings:.1f}x saved)  "
+        f"overall: {overall_savings:.1f}x  -> {RESULT_PATH.name}"
+    )
+    # The budget concentrates on the noisy half...
+    assert mean_noisy > mean_stable
+    # ...and the stable half costs a fraction of the fixed budget.
+    assert stable_savings >= MIN_STABLE_SAVINGS, (
+        f"stable half saved only {stable_savings:.1f}x "
+        f"(need >= {MIN_STABLE_SAVINGS}x); see {RESULT_PATH}"
+    )

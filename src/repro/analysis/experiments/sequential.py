@@ -9,6 +9,7 @@ from repro.creator import MicroCreator
 from repro.engine import Campaign, SweepSpec, run_campaign
 from repro.kernels import loadstore_family
 from repro.launcher import LauncherOptions
+from repro.launcher.stopping import adaptive_overrides
 from repro.machine import MemLevel, nehalem_2s_x5650
 
 _LEVELS = (MemLevel.L1, MemLevel.L2, MemLevel.L3, MemLevel.RAM)
@@ -26,6 +27,8 @@ def _unroll_hierarchy(
     job_timeout: float | None = None,
     gen_cache_dir: object = None,
     store_format: str = "sharded",
+    rciw_target: float | None = None,
+    max_experiments: int | None = None,
 ) -> ExperimentResult:
     """Shared implementation of Figs. 11/12.
 
@@ -51,6 +54,9 @@ def _unroll_hierarchy(
                 trip_count=1 << 14,
                 experiments=4,
                 repetitions=8,
+                **adaptive_overrides(
+                    rciw_target=rciw_target, max_experiments=max_experiments
+                ),
             ),
             tags={"level": level.label},
         )
@@ -120,6 +126,8 @@ def fig11(
     job_timeout: float | None = None,
     gen_cache_dir: object = None,
     store_format: str = "sharded",
+    rciw_target: float | None = None,
+    max_experiments: int | None = None,
     **_: object,
 ) -> ExperimentResult:
     """Fig. 11: ``movaps`` loads/stores over unroll x hierarchy."""
@@ -134,6 +142,8 @@ def fig11(
         job_timeout=job_timeout,
         gen_cache_dir=gen_cache_dir,
         store_format=store_format,
+        rciw_target=rciw_target,
+        max_experiments=max_experiments,
     )
     result.exhibit = "fig11"
     return result
@@ -151,6 +161,8 @@ def fig12(
     job_timeout: float | None = None,
     gen_cache_dir: object = None,
     store_format: str = "sharded",
+    rciw_target: float | None = None,
+    max_experiments: int | None = None,
     **_: object,
 ) -> ExperimentResult:
     """Fig. 12: ``movss`` loads/stores over unroll x hierarchy.
@@ -171,6 +183,8 @@ def fig12(
         job_timeout=job_timeout,
         gen_cache_dir=gen_cache_dir,
         store_format=store_format,
+        rciw_target=rciw_target,
+        max_experiments=max_experiments,
     )
     result.exhibit = "fig12"
     return result
@@ -188,6 +202,8 @@ def fig13(
     job_timeout: float | None = None,
     gen_cache_dir: object = None,
     store_format: str = "sharded",
+    rciw_target: float | None = None,
+    max_experiments: int | None = None,
     **_: object,
 ) -> ExperimentResult:
     """Fig. 13: DVFS sweep of an 8-load ``movaps`` kernel, TSC units.
@@ -212,6 +228,9 @@ def fig13(
                 trip_count=1 << 14,
                 experiments=4,
                 repetitions=8,
+                **adaptive_overrides(
+                    rciw_target=rciw_target, max_experiments=max_experiments
+                ),
             ),
             axes={"frequency_ghz": freqs},
             tags={"level": level.label},

@@ -100,6 +100,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--trip", type=int, default=4096, help="with --measure: trip count n"
     )
     parser.add_argument(
+        "--rciw-target",
+        type=float,
+        default=None,
+        metavar="W",
+        help="with --measure: adaptive stopping — batch experiments until "
+        "the bootstrapped relative CI width of cycles/iteration is <= W, "
+        "or --max-experiments is reached (unset/0 = fixed count)",
+    )
+    parser.add_argument(
+        "--max-experiments",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --measure --rciw-target: cap on experiments per "
+        "configuration (default: 64)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -269,7 +286,16 @@ def _measure(args, creator: MicroCreator, spec) -> int:
         print(f"microcreator: unknown machine {args.machine!r}; "
               f"have {sorted(PRESETS)}", file=sys.stderr)
         return 2
-    base = LauncherOptions(array_bytes=args.array_bytes, trip_count=args.trip)
+    from repro.launcher.stopping import adaptive_overrides
+
+    base = LauncherOptions(
+        array_bytes=args.array_bytes,
+        trip_count=args.trip,
+        **adaptive_overrides(
+            rciw_target=args.rciw_target,
+            max_experiments=args.max_experiments,
+        ),
+    )
     if args.plugin:
         # Plugin passes rewrite the pipeline in this process only; worker
         # processes could not reconstruct them, so ship rendered kernels.

@@ -63,6 +63,40 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trip", type=int, default=4096, help="trip count n")
     parser.add_argument("--repetitions", type=int, default=32, help="inner-loop calls")
     parser.add_argument("--experiments", type=int, default=8, help="outer-loop runs")
+    parser.add_argument(
+        "--rciw-target",
+        type=float,
+        default=None,
+        metavar="W",
+        help="adaptive stopping: batch experiments until the bootstrapped "
+        "relative CI width of cycles/iteration is <= W (e.g. 0.02) or "
+        "--max-experiments is reached; unset/0 keeps the fixed "
+        "--experiments count",
+    )
+    parser.add_argument(
+        "--min-experiments",
+        type=int,
+        default=None,
+        metavar="N",
+        help="adaptive floor: experiments run before the first "
+        "convergence check (default: 3)",
+    )
+    parser.add_argument(
+        "--max-experiments",
+        type=int,
+        default=None,
+        metavar="N",
+        help="adaptive cap: a configuration that never converges stops "
+        "here with converged=False (default: 64)",
+    )
+    parser.add_argument(
+        "--stopping-batch",
+        type=int,
+        default=None,
+        metavar="K",
+        help="experiments added per adaptive round after the floor "
+        "(default: 8)",
+    )
     parser.add_argument("--core", type=int, default=0, help="core to pin to")
     parser.add_argument("--no-pin", action="store_true", help="disable core pinning")
     parser.add_argument(
@@ -331,6 +365,8 @@ def _observed_main(args) -> int:
                 job_timeout=args.job_timeout,
                 gen_cache_dir=args.gen_cache,
                 store_format=args.store_format,
+                rciw_target=args.rciw_target,
+                max_experiments=args.max_experiments,
             )
         except KeyError as exc:
             print(f"microlauncher: {exc}", file=sys.stderr)
@@ -363,6 +399,8 @@ def _observed_main(args) -> int:
     else:
         machine = preset(args.machine)
     launcher = MicroLauncher(machine)
+    from repro.launcher.stopping import adaptive_overrides
+
     options = LauncherOptions(
         function_name=args.function,
         nbvectors=args.nbvectors,
@@ -379,6 +417,12 @@ def _observed_main(args) -> int:
         omp_threads=args.openmp or 1,
         csv_path=args.csv,
         csv_full=args.csv_full,
+        **adaptive_overrides(
+            rciw_target=args.rciw_target,
+            min_experiments=args.min_experiments,
+            max_experiments=args.max_experiments,
+            batch_size=args.stopping_batch,
+        ),
     )
 
     if (
@@ -420,6 +464,10 @@ def _observed_main(args) -> int:
           f"[{m.min_cycles_per_iteration:.3f}, {m.max_cycles_per_iteration:.3f}]")
     print(f"cycles/memory-instruction: {m.cycles_per_memory_instruction:.3f}")
     print(f"bottleneck: {m.bottleneck}")
+    if m.rciw is not None:
+        status = "converged" if m.converged else "hit max_experiments"
+        print(f"rciw: {m.rciw:.4f} after {m.experiments_spent} "
+              f"experiments ({status})")
     if args.energy:
         from repro.launcher.arrays import ArrayAllocator
         from repro.launcher.kernel_input import as_sim_kernel

@@ -56,6 +56,15 @@ def check_passes(record: dict) -> bool:
     return check is None or check == record_check(record)
 
 
+#: Exactly the keys :meth:`ResultCache.put` (and the sharded backend)
+#: writes.  Closed-world: damage that mangles the ``check`` key itself
+#: yields a parseable record with an unknown key and *no* checksum —
+#: indistinguishable from a legacy record by ``check_passes`` alone.
+_RESULT_RECORD_KEYS = frozenset(
+    {"job_id", "kernel", "mode", "measurements", "check"}
+)
+
+
 def valid_result_record(record: object) -> bool:
     """Structural + integrity validation of one result-cache record.
 
@@ -64,6 +73,8 @@ def valid_result_record(record: object) -> bool:
     storage contract, not a property of any one file layout.
     """
     if not isinstance(record, dict):
+        return False
+    if not set(record) <= _RESULT_RECORD_KEYS:
         return False
     job_id = record.get("job_id")
     measurements = record.get("measurements")

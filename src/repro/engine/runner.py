@@ -61,6 +61,7 @@ from repro.engine.store import (
     open_result_cache,
 )
 from repro.launcher.measurement import Measurement
+from repro.launcher.stopping import EXPERIMENT_BUCKETS
 from repro.machine.config import MachineConfig
 
 #: Per-process memo of normalized kernels keyed by ``(kernel digest,
@@ -216,6 +217,28 @@ def _count_failed_attempt(reason: str) -> None:
     obs.count("engine.job.attempts.failed")
     if reason == "timeout":
         obs.count("engine.job.timeouts")
+
+
+def _count_stopping(dicts: list[dict]) -> None:
+    """Scheduler-side stopping metrics for pool-executed adaptive jobs.
+
+    The measurement core emits ``stopping.*`` in its own process; a pool
+    worker's registry dies with the pool (the same reason per-job
+    durations are attributed scheduler-side), so re-derive the counters
+    from the returned payload.  Inline runs never pass through here and
+    keep the in-process emission — totals match either way.
+    """
+    for d in dicts:
+        if d.get("rciw") is None:
+            continue
+        obs.count(
+            "stopping.converged" if d.get("converged") else "stopping.capped"
+        )
+        obs.observe(
+            "stopping.experiments",
+            float(len(d.get("experiment_tsc", ()))),
+            bounds=EXPERIMENT_BUCKETS,
+        )
 
 
 @dataclass(slots=True, repr=False)
@@ -566,6 +589,8 @@ def _parallel_execute(
                         job = by_id[job_id]
                         if record(job, dicts):
                             handled.add(job_id)
+                            if obs.is_enabled():
+                                _count_stopping(dicts)
                         else:
                             fail_unit(_Unit([job]), "invalid-result")
             if broken:

@@ -47,7 +47,18 @@ def measurement_to_dict(m: Measurement) -> dict:
         "n_cores": m.n_cores,
         "bottleneck": m.bottleneck,
         "metadata": _json_safe(m.metadata),
-    }
+    } | (
+        # Quality fields exist only on adaptive records; fixed-count
+        # serialization stays byte-identical to the pre-adaptive format.
+        {
+            "ci_low": m.ci_low,
+            "ci_high": m.ci_high,
+            "rciw": m.rciw,
+            "converged": m.converged,
+        }
+        if m.rciw is not None
+        else {}
+    )
 
 
 def _tupled(value: object) -> object:
@@ -96,9 +107,30 @@ def measurements_from_payload(payload: object) -> list[Measurement]:
         raise ValueError(f"corrupt measurement payload: {exc}") from None
 
 
+#: Fields omitted from the options dict while at their defaults.  This
+#: dict feeds ``options_digest`` and therefore every job id and derived
+#: noise seed — unconditionally serializing fields added after the format
+#: froze would re-key every existing cache and change fixed-count output
+#: bytes.  Adaptive knobs appear in the digest only when they matter
+#: (i.e. when any of them is changed from its default).
+_DIGEST_DEFAULT_FIELDS = (
+    "rciw_target",
+    "min_experiments",
+    "max_experiments",
+    "batch_size",
+)
+
+
 def options_to_dict(options: LauncherOptions) -> dict:
     """Serialize launcher options to a JSON-safe dict (digest input)."""
+    defaults = {
+        f.name: f.default
+        for f in dataclasses.fields(LauncherOptions)
+        if f.name in _DIGEST_DEFAULT_FIELDS
+    }
     return {
         f.name: _json_safe(getattr(options, f.name))
         for f in dataclasses.fields(LauncherOptions)
+        if f.name not in defaults
+        or getattr(options, f.name) != defaults[f.name]
     }

@@ -33,6 +33,10 @@ from repro.launcher.measurement import (
 )
 from repro.launcher.launcher import MicroLauncher
 from repro.launcher.parallel import ForkResult, OpenMPResult
+from repro.launcher.stopping import (
+    bootstrap_ci,
+    run_adaptive_measurement_batch,
+)
 from repro.launcher.mpi import LinkModel, MPIResult, run_mpi
 from repro.launcher.standalone import StandaloneResult, run_standalone
 from repro.launcher.csvout import write_csv
@@ -48,6 +52,8 @@ __all__ = [
     "MeasurementRequest",
     "MeasurementSeries",
     "run_measurement_batch",
+    "bootstrap_ci",
+    "run_adaptive_measurement_batch",
     "MicroLauncher",
     "ForkResult",
     "OpenMPResult",

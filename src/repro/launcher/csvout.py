@@ -35,6 +35,17 @@ SUMMARY_COLUMNS = (
 #: Full columns add one row per outer-loop experiment.
 FULL_COLUMNS = SUMMARY_COLUMNS + ("experiment", "experiment_tsc")
 
+#: Measurement-quality columns, appended to either layout whenever the
+#: rows come from an adaptive (RCIW-stopped) run.  Fixed-count output
+#: omits them entirely so the default CSV format is unchanged.
+QUALITY_COLUMNS = (
+    "experiments_spent",
+    "ci_low",
+    "ci_high",
+    "rciw",
+    "converged",
+)
+
 
 def _summary_row(m: Measurement) -> dict[str, object]:
     # Values go in untouched: ``csv`` stringifies floats with repr, the
@@ -59,6 +70,16 @@ def _summary_row(m: Measurement) -> dict[str, object]:
     }
 
 
+def _quality_row(m: Measurement) -> dict[str, object]:
+    return {
+        "experiments_spent": m.experiments_spent,
+        "ci_low": "" if m.ci_low is None else m.ci_low,
+        "ci_high": "" if m.ci_high is None else m.ci_high,
+        "rciw": "" if m.rciw is None else m.rciw,
+        "converged": "" if m.converged is None else m.converged,
+    }
+
+
 def write_csv(
     path: str | Path,
     measurements: Iterable[Measurement],
@@ -70,18 +91,28 @@ def write_csv(
 
     ``full`` emits one row per outer-loop experiment (the optional
     full-execution output); otherwise one summary row per measurement.
+
+    When any measurement carries adaptive-stopping quality fields the
+    :data:`QUALITY_COLUMNS` are appended to every row; fixed-count
+    batches keep the historical layout byte-for-byte.
     """
+    measurements = list(measurements)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     exists = path.exists() and path.stat().st_size > 0
     mode = "a" if append else "w"
     columns = FULL_COLUMNS if full else SUMMARY_COLUMNS
+    quality = any(m.rciw is not None for m in measurements)
+    if quality:
+        columns = columns + QUALITY_COLUMNS
     with path.open(mode, newline="") as fh:
         writer = csv.DictWriter(fh, fieldnames=columns)
         if not (append and exists):
             writer.writeheader()
         for m in measurements:
             base = _summary_row(m)
+            if quality:
+                base.update(_quality_row(m))
             if full:
                 for i, tsc in enumerate(m.experiment_tsc):
                     row = dict(base)
@@ -95,7 +126,14 @@ def write_csv(
 
 #: Column typing applied by :func:`read_csv`.
 _INT_COLUMNS = frozenset(
-    {"trip_count", "repetitions", "loop_iterations", "n_cores", "experiment"}
+    {
+        "trip_count",
+        "repetitions",
+        "loop_iterations",
+        "n_cores",
+        "experiment",
+        "experiments_spent",
+    }
 )
 _FLOAT_COLUMNS = frozenset(
     {
@@ -107,6 +145,8 @@ _FLOAT_COLUMNS = frozenset(
         "experiment_tsc",
     }
 )
+#: Quality floats may be empty on mixed fixed/adaptive appends.
+_OPTIONAL_FLOAT_COLUMNS = frozenset({"ci_low", "ci_high", "rciw"})
 
 
 def _typed(column: str, value: str) -> object:
@@ -114,6 +154,10 @@ def _typed(column: str, value: str) -> object:
         return int(value)
     if column in _FLOAT_COLUMNS:
         return float(value)
+    if column in _OPTIONAL_FLOAT_COLUMNS:
+        return float(value) if value else None
+    if column == "converged":
+        return value == "True" if value else None
     if column == "core":
         return int(value) if value else None
     if column == "alignments":

@@ -64,6 +64,12 @@ class Measurement:
     n_cores: int = 1
     bottleneck: str = ""
     metadata: dict[str, object] = field(default_factory=dict)
+    #: Adaptive-stopping quality fields — ``None`` on fixed-count runs so
+    #: existing records (and their serialized form) are unchanged.
+    ci_low: float | None = None
+    ci_high: float | None = None
+    rciw: float | None = None
+    converged: bool | None = None
 
     def __post_init__(self) -> None:
         if self.aggregator not in AGGREGATORS:
@@ -104,6 +110,12 @@ class Measurement:
         if self.n_memory_instructions == 0:
             return self.cycles_per_iteration
         return self.cycles_per_iteration / self.n_memory_instructions
+
+    @property
+    def experiments_spent(self) -> int:
+        """Outer-loop experiments actually run (= requested count in
+        fixed mode; under adaptive stopping, where sampling stopped)."""
+        return len(self.experiment_tsc)
 
     @property
     def min_cycles_per_iteration(self) -> float:
@@ -250,6 +262,17 @@ def run_measurement_batch(
     requests = list(requests)
     if not requests:
         return []
+    if options.adaptive:
+        # Lazy import: stopping.py builds on this module's batch grid.
+        from repro.launcher.stopping import run_adaptive_measurement_batch
+
+        return run_adaptive_measurement_batch(
+            requests,
+            options=options,
+            freq_ghz=freq_ghz,
+            tsc_ghz=tsc_ghz,
+            noise=noise,
+        )
     env = NoiseEnvironment(
         pinned=options.pin,
         interrupts_disabled=options.disable_interrupts,

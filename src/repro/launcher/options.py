@@ -10,6 +10,7 @@ repetitions, CPU pinning, or number of cores on which to run the program"
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 
 from repro.machine.config import MemLevel
@@ -57,7 +58,20 @@ class LauncherOptions:
     repetitions:
         Inner-loop kernel calls per timed experiment.
     experiments:
-        Outer-loop timed experiments.
+        Outer-loop timed experiments (fixed-count mode).
+    rciw_target:
+        Adaptive stopping: when positive, experiments run in batches and
+        a configuration stops as soon as the bootstrapped relative
+        confidence-interval width of its cycles-per-iteration falls to
+        or under this target (see :mod:`repro.launcher.stopping`).
+        ``0.0`` (the default) keeps the fixed-count path.
+    min_experiments / max_experiments:
+        Adaptive mode's floor and cap on outer-loop experiments; the
+        convergence test never fires before ``min_experiments`` and a
+        configuration that never converges stops at ``max_experiments``.
+    batch_size:
+        Experiments added per adaptive sampling round after the initial
+        ``min_experiments`` batch.
     warmup:
         Run the kernel once untimed first, heating I+D caches.
     subtract_overhead:
@@ -137,6 +151,10 @@ class LauncherOptions:
     # -- measurement -----------------------------------------------------------
     repetitions: int = 32
     experiments: int = 8
+    rciw_target: float = 0.0
+    min_experiments: int = 3
+    max_experiments: int = 64
+    batch_size: int = 8
     warmup: bool = True
     subtract_overhead: bool = True
     aggregator: str = "min"
@@ -165,6 +183,19 @@ class LauncherOptions:
             raise ValueError("trip_count must be >= 1")
         if self.repetitions < 1 or self.experiments < 1:
             raise ValueError("repetitions and experiments must be >= 1")
+        if not math.isfinite(self.rciw_target) or self.rciw_target < 0:
+            raise ValueError(
+                f"rciw_target must be finite and >= 0, got {self.rciw_target!r}"
+            )
+        if self.min_experiments < 1 or self.max_experiments < 1:
+            raise ValueError("min_experiments and max_experiments must be >= 1")
+        if self.min_experiments > self.max_experiments:
+            raise ValueError(
+                f"min_experiments ({self.min_experiments}) must not exceed "
+                f"max_experiments ({self.max_experiments})"
+            )
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         if self.aggregator not in ("min", "median", "mean"):
             raise ValueError(f"unknown aggregator {self.aggregator!r}")
         if self.pin_policy not in ("scatter", "compact"):
@@ -183,6 +214,21 @@ class LauncherOptions:
     def with_(self, **changes: object) -> "LauncherOptions":
         """Copy with field overrides (sweep helper)."""
         return replace(self, **changes)  # type: ignore[arg-type]
+
+    @property
+    def adaptive(self) -> bool:
+        """Whether the adaptive RCIW stopping rule is in effect."""
+        return self.rciw_target > 0.0
+
+    @property
+    def experiment_budget(self) -> int:
+        """Most outer-loop experiments this run may take.
+
+        ``experiments`` in fixed-count mode, ``max_experiments`` under
+        adaptive stopping — the length any per-experiment input (e.g.
+        unsynchronized parallel ideals) must cover.
+        """
+        return self.max_experiments if self.adaptive else self.experiments
 
     def array_size(self, index: int) -> int:
         """Allocation size for array ``index``."""

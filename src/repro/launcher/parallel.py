@@ -128,7 +128,9 @@ def run_forked(launcher, kernel: object, options: LauncherOptions) -> ForkResult
             # the launcher synchronizes before timing.
             rng = NoiseModel(seed=options.noise_seed + core_id).rng_for(0)
             per_experiment = []
-            for _ in range(options.experiments):
+            # Budget, not count: adaptive stopping may consume up to
+            # max_experiments, and the ideals must cover the whole grid.
+            for _ in range(options.experiment_budget):
                 active = int(rng.integers(1, peers + 1))
                 t = estimate_iteration_time(
                     sim.analysis,

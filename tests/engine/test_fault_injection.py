@@ -309,6 +309,137 @@ class TestWorkerCrash:
         assert a.read_bytes() == b.read_bytes()
 
 
+class TestAdaptiveFaults:
+    """Faults under adaptive stopping behave exactly like fixed-count:
+    the failing job quarantines or retries whole, and a job that died
+    mid-batch never persists a partial sample set."""
+
+    @pytest.fixture(scope="class")
+    def adaptive_campaign(self, campaign):
+        sweep = campaign.sweeps[0]
+        base = sweep.base.with_(
+            rciw_target=0.01,
+            min_experiments=3,
+            max_experiments=8,
+            batch_size=3,
+        )
+        return Campaign(
+            name="faulted_adaptive",
+            machine=campaign.machine,
+            sweeps=(
+                SweepSpec(kernels=sweep.kernels, base=base, axes=sweep.axes),
+            ),
+        )
+
+    @pytest.fixture(scope="class")
+    def adaptive_clean(self, adaptive_campaign):
+        return run_campaign(adaptive_campaign, jobs=1)
+
+    @pytest.fixture(scope="class")
+    def adaptive_victim(self, adaptive_campaign):
+        return adaptive_campaign.job_list()[5]
+
+    def test_raise_quarantines_to_n_minus_1(
+        self, adaptive_campaign, adaptive_clean, adaptive_victim, tmp_path
+    ):
+        run = run_campaign(
+            adaptive_campaign,
+            faults=FaultPlan.for_job(adaptive_victim.job_id, "raise"),
+            max_retries=1,
+            retry_backoff=0.0,
+        )
+        assert [f.job_id for f in run.failures] == [adaptive_victim.job_id]
+        expected = _without(adaptive_clean, adaptive_victim.job_id)
+        a = expected.write_csv(tmp_path / "expected.csv")
+        b = run.write_csv(tmp_path / "faulted.csv")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_transient_fault_retries_to_full_output(
+        self, adaptive_campaign, adaptive_clean, adaptive_victim, tmp_path
+    ):
+        faults = FaultPlan.for_job(
+            adaptive_victim.job_id, "raise", until_attempt=1
+        )
+        run = run_campaign(
+            adaptive_campaign, faults=faults, retry_backoff=0.0
+        )
+        assert not run.failures
+        assert run.stats.retries == 1
+        a = adaptive_clean.write_jsonl(tmp_path / "clean.jsonl")
+        b = run.write_jsonl(tmp_path / "recovered.jsonl")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_hung_adaptive_job_times_out(
+        self, adaptive_campaign, adaptive_clean, adaptive_victim, tmp_path
+    ):
+        faults = FaultPlan.for_job(
+            adaptive_victim.job_id, "hang", hang_seconds=5.0
+        )
+        run = run_campaign(
+            adaptive_campaign,
+            faults=faults,
+            job_timeout=0.2,
+            max_retries=0,
+            retry_backoff=0.0,
+        )
+        assert [f.job_id for f in run.failures] == [adaptive_victim.job_id]
+        assert run.failures[0].reason == "timeout"
+        expected = _without(adaptive_clean, adaptive_victim.job_id)
+        a = expected.write_csv(tmp_path / "expected.csv")
+        b = run.write_csv(tmp_path / "hung.csv")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_crash_mid_chunk_quarantines_only_the_crasher(
+        self, adaptive_campaign, adaptive_clean, adaptive_victim, tmp_path
+    ):
+        _require_pool()
+        run = run_campaign(
+            adaptive_campaign,
+            jobs=2,
+            chunk_size=4,
+            faults=FaultPlan.for_job(adaptive_victim.job_id, "crash"),
+            max_retries=1,
+            retry_backoff=0.0,
+        )
+        assert [f.job_id for f in run.failures] == [adaptive_victim.job_id]
+        assert run.failures[0].reason == "worker-crash"
+        expected = _without(adaptive_clean, adaptive_victim.job_id)
+        a = expected.write_csv(tmp_path / "expected.csv")
+        b = run.write_csv(tmp_path / "crashed.csv")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_partial_batches_never_persisted(
+        self, adaptive_campaign, adaptive_victim, tmp_path
+    ):
+        """A job that dies mid-sampling leaves no cache entry at all —
+        resuming re-measures it from scratch, never from a partial batch."""
+        from repro.engine import open_result_cache
+
+        run_campaign(
+            adaptive_campaign,
+            faults=FaultPlan.for_job(adaptive_victim.job_id, "raise"),
+            max_retries=0,
+            retry_backoff=0.0,
+            cache_dir=tmp_path,
+        )
+        assert open_result_cache(tmp_path).get(adaptive_victim.job_id) is None
+
+    def test_garbage_adaptive_payload_quarantined(
+        self, adaptive_campaign, adaptive_victim, tmp_path
+    ):
+        run = run_campaign(
+            adaptive_campaign,
+            faults=FaultPlan.for_job(adaptive_victim.job_id, "garbage"),
+            max_retries=0,
+            retry_backoff=0.0,
+            cache_dir=tmp_path,
+        )
+        assert run.failures[0].reason == "invalid-result"
+        from repro.engine import open_result_cache
+
+        assert open_result_cache(tmp_path).get(adaptive_victim.job_id) is None
+
+
 class TestFaultPlan:
     def test_random_is_seed_deterministic(self, campaign):
         ids = [job.job_id for job in campaign.job_list()]

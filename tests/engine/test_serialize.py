@@ -44,9 +44,23 @@ class TestOptionsToDict:
         assert data["frequency_ghz"] == 2.67
 
     def test_covers_every_field(self):
+        """Every field serializes — except adaptive knobs at defaults.
+
+        The dict feeds ``options_digest`` (job ids, derived noise
+        seeds); knobs added after the format froze stay out of it until
+        changed, so pre-existing caches and fixed-count output bytes
+        survive the feature's introduction.
+        """
         import dataclasses
 
+        adaptive = {"rciw_target", "min_experiments", "max_experiments", "batch_size"}
         data = options_to_dict(LauncherOptions())
         assert set(data) == {
             f.name for f in dataclasses.fields(LauncherOptions)
-        }
+        } - adaptive
+
+    def test_adaptive_fields_serialize_when_changed(self):
+        data = options_to_dict(LauncherOptions(rciw_target=0.02, max_experiments=128))
+        assert data["rciw_target"] == 0.02
+        assert data["max_experiments"] == 128
+        assert "min_experiments" not in data  # still at its default

@@ -22,11 +22,29 @@ class TestValidation:
             ("pin_policy", "random"),
             ("alignment_step", 0),
             ("element_size", 0),
+            ("rciw_target", float("nan")),
+            ("rciw_target", float("inf")),
+            ("rciw_target", -0.01),
+            ("min_experiments", 0),
+            ("max_experiments", 0),
+            ("batch_size", 0),
         ],
     )
     def test_bad_values_rejected(self, field, value):
         with pytest.raises(ValueError):
             LauncherOptions(**{field: value})
+
+    def test_min_above_max_experiments_rejected(self):
+        with pytest.raises(ValueError, match="must not exceed"):
+            LauncherOptions(min_experiments=10, max_experiments=4)
+
+    def test_adaptive_flag_and_budget(self):
+        fixed = LauncherOptions(experiments=8)
+        assert not fixed.adaptive
+        assert fixed.experiment_budget == 8
+        adaptive = LauncherOptions(rciw_target=0.02, max_experiments=40)
+        assert adaptive.adaptive
+        assert adaptive.experiment_budget == 40
 
     def test_more_than_thirty_options(self):
         """Section 4.2: 'more than thirty options in the MicroLauncher
