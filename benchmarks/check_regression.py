@@ -29,6 +29,15 @@ receiving more experiments than the stable half.  Both quantities are
 deterministic (seeded noise streams), so losing either means the
 stopping rule itself changed — not the machine.
 
+``BENCH_characterize.json`` (written by
+``benchmarks/test_characterize.py``) gates the instruction-
+characterization pipeline when present: the full-ISA probe campaign
+must keep its jobs/s within the usual 2x band of the committed
+baseline, and the table solve must stay a small fraction of the
+campaign's wall time — the solve is closed-form arithmetic over a few
+hundred readings, so a solve that rivals the campaign in cost means it
+stopped being the cheap pass it is.
+
 ``BENCH_store.json`` (written by ``benchmarks/test_store_scale.py``)
 gates the sharded result store when present.  Both gates are
 machine-relative ratios measured within one run, so no cross-machine
@@ -47,7 +56,9 @@ Usage::
         --gen-current BENCH_generation.json \
         --gen-baseline benchmarks/BENCH_generation_baseline.json \
         --stopping-current BENCH_stopping.json \
-        --store-current BENCH_store.json
+        --store-current BENCH_store.json \
+        --charact-current BENCH_characterize.json \
+        --charact-baseline benchmarks/BENCH_characterize_baseline.json
 """
 
 from __future__ import annotations
@@ -67,6 +78,9 @@ MAX_OBS_DISABLED_NS = 2_000.0
 #: stable/noisy benchmark mix.  Deterministic (seeded noise), so the
 #: floor is tight relative to the ~10x the current rule achieves.
 MIN_STOPPING_SAVINGS = 2.0
+#: Table solving must stay this fraction (or less) of probe-campaign
+#: wall time — machine-relative, so no cross-machine arithmetic.
+MAX_CHARACT_SOLVE_FRACTION = 0.25
 #: Sharded cold-load must beat JSONL by at least this at 10^5 rows.
 MIN_STORE_COLD_SPEEDUP = 10.0
 #: Sharded membership cost over a 100x row increase; linear would be
@@ -147,6 +161,46 @@ def _check_stopping(current_path: str, min_savings: float) -> int:
         print(
             "FAIL: noisy configurations no longer receive more "
             "experiments than stable ones",
+            file=sys.stderr,
+        )
+        failed = 1
+    return failed
+
+
+def _check_characterize(
+    current_path: str,
+    baseline_path: str,
+    max_regression: float,
+    max_solve_fraction: float,
+) -> int:
+    path = Path(current_path)
+    if not path.exists():
+        print(f"characterize: {path} not present, skipping")
+        return 0
+    current = json.loads(path.read_text())
+    baseline = json.loads(Path(baseline_path).read_text())
+    now = current["probe_jobs_per_second"]
+    then = baseline["probe_jobs_per_second"]
+    ratio = then / now if now else float("inf")
+    solve_fraction = current["solve_fraction"]
+    print(
+        f"characterize: {now:,.0f} probe jobs/s (baseline {then:,.0f}); "
+        f"slowdown {ratio:.2f}x (limit {max_regression:.1f}x); solve is "
+        f"{solve_fraction:.3f} of campaign time "
+        f"(limit {max_solve_fraction:.2f})"
+    )
+    failed = 0
+    if ratio > max_regression:
+        print(
+            f"FAIL: probe-campaign throughput regressed {ratio:.2f}x "
+            "vs the committed baseline",
+            file=sys.stderr,
+        )
+        failed = 1
+    if solve_fraction > max_solve_fraction:
+        print(
+            f"FAIL: table solve takes {solve_fraction:.2f} of the probe "
+            "campaign's wall time; the solver stopped being cheap",
             file=sys.stderr,
         )
         failed = 1
@@ -234,6 +288,23 @@ def main(argv: list[str] | None = None) -> int:
         f"(default: {MIN_STOPPING_SAVINGS:.1f})",
     )
     parser.add_argument(
+        "--charact-current",
+        default="BENCH_characterize.json",
+        help="characterization result to gate (skipped when absent)",
+    )
+    parser.add_argument(
+        "--charact-baseline",
+        default="benchmarks/BENCH_characterize_baseline.json",
+        help="committed characterization baseline",
+    )
+    parser.add_argument(
+        "--charact-max-solve-fraction",
+        type=float,
+        default=MAX_CHARACT_SOLVE_FRACTION,
+        help="fail when table solving exceeds this fraction of probe-"
+        f"campaign wall time (default: {MAX_CHARACT_SOLVE_FRACTION:.2f})",
+    )
+    parser.add_argument(
         "--store-current",
         default="BENCH_store.json",
         help="store-scale result to gate (skipped when absent)",
@@ -278,6 +349,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     failed |= _check_stopping(
         args.stopping_current, args.stopping_min_savings
+    )
+    failed |= _check_characterize(
+        args.charact_current,
+        args.charact_baseline,
+        args.max_regression,
+        args.charact_max_solve_fraction,
     )
     failed |= _check_store(
         args.store_current, args.store_min_speedup, args.store_max_growth

@@ -1,0 +1,78 @@
+"""Characterization cost benchmark: probe campaign + table solve.
+
+Times the two halves of ``python -m repro.characterize run`` on the
+default machine — the full-ISA probe campaign through the engine, and
+the pure-Python solve that turns measurements into an instruction
+table — and writes both to ``BENCH_characterize.json`` (repo root) for
+the CI regression gate (``benchmarks/check_regression.py``).
+
+The campaign half is gated against a committed baseline as a
+throughput ratio (probe jobs/s, 2x band, like the generation gate).
+The solve half is gated machine-relatively: solving must stay a small
+fraction of measuring, because a solver that rivals the campaign in
+cost means it stopped being the cheap closed-form pass it is.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.characterize.driver import (
+    characterization_campaign,
+    characterization_options,
+)
+from repro.characterize.solve import solve_table
+from repro.engine import machine_digest, run_campaign
+from repro.machine import nehalem_2s_x5650
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_characterize.json"
+
+#: Solving is closed-form arithmetic over a few hundred readings; it must
+#: never approach the cost of actually running the probes.
+MAX_SOLVE_FRACTION = 0.25
+
+
+def test_characterization_cost():
+    machine = nehalem_2s_x5650()
+    options = characterization_options()
+    campaign = characterization_campaign(machine, options=options)
+    n_jobs = len(campaign.job_list())
+
+    start = time.perf_counter()
+    run = run_campaign(campaign)
+    campaign_seconds = time.perf_counter() - start
+    assert not run.failures
+
+    start = time.perf_counter()
+    table = solve_table(
+        run.measurements(),
+        machine=machine,
+        machine_digest=machine_digest(machine),
+        rciw_target=options.rciw_target,
+        noise_seed=options.noise_seed,
+        trip_count=options.trip_count,
+    )
+    solve_seconds = time.perf_counter() - start
+
+    probed = len(table.probed_entries())
+    result = {
+        "probe_jobs": n_jobs,
+        "opcodes_probed": probed,
+        "campaign_seconds": campaign_seconds,
+        "probe_jobs_per_second": n_jobs / campaign_seconds,
+        "solve_seconds": solve_seconds,
+        "solve_fraction": solve_seconds / campaign_seconds,
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print()
+    print(
+        f"characterize: {n_jobs} probe jobs in {campaign_seconds:.2f}s "
+        f"({result['probe_jobs_per_second']:,.0f} jobs/s), solved "
+        f"{probed} opcodes in {solve_seconds * 1e3:.1f}ms "
+        f"({result['solve_fraction']:.3f} of campaign time)"
+    )
+
+    assert probed > 0
+    assert result["solve_fraction"] < MAX_SOLVE_FRACTION

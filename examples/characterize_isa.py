@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Characterize the simulated ISA and close the round-trip loop.
+
+The uops.info workflow, against the analytic machine model:
+
+1. auto-generate probe kernels for every opcode the ISA models —
+   serial chains for latency, independent streams for throughput,
+   blocking mixes for port attribution,
+2. sweep them through the campaign engine (parallel, cached,
+   adaptive-stopping) and solve the measurements into an instruction
+   table,
+3. derive a machine-config overlay from the table and verify that the
+   derived config re-predicts every probe within the RCIW target,
+4. diff the table against the modelled semantics — empty here, because
+   the machine under test *is* the model.
+
+Run:  python examples/characterize_isa.py
+"""
+
+from repro.characterize import (
+    derive_machine_config,
+    run_characterization,
+    table_drift,
+    verify_table,
+)
+from repro.machine import nehalem_2s_x5650
+
+machine = nehalem_2s_x5650()
+
+print(f"== probing {machine.name}")
+result = run_characterization(machine)
+table = result.table
+probed = table.probed_entries()
+print(
+    f"   {result.run.stats.total_jobs} probe jobs -> "
+    f"{len(probed)} of {len(table.entries)} opcodes characterized"
+)
+
+print("\n== a few solved entries")
+for opcode in ("add", "imul", "addps", "mulps", "mov"):
+    e = table.entries[opcode]
+    lat = e.latency_cycles if e.latency_cycles is not None else "-"
+    print(
+        f"   {opcode:8s} latency={lat:>2}  slots={e.slots}  "
+        f"rtp={e.reciprocal_throughput:.3f}  port={e.port_class}"
+    )
+print(f"   branch_cost (measured intercept) = {table.branch_cost:.3f}")
+
+print("\n== deriving a machine-config overlay")
+derived, overlay = derive_machine_config(table, machine)
+print(f"   {machine.name} -> {derived.name}")
+print(f"   overlay fields: {sorted(overlay)}")
+
+print("\n== round-trip verification")
+report = verify_table(table, machine)
+print(
+    f"   {report.n_checked} probes re-predicted, "
+    f"max relative error {report.max_rel_err:.4f} "
+    f"(tolerance {report.tolerance})"
+)
+assert report.ok, report.render()
+
+drift = table_drift(table, machine)
+assert not drift, drift
+print("   no drift: the table matches the modelled semantics")

@@ -1,0 +1,108 @@
+"""Instruction characterization: uops.info-mode probing of the modelled ISA.
+
+The subsystem closes a loop the figure-reproduction tests cannot: it
+*generates* probe kernels for every opcode (serial chains for latency,
+independent streams for throughput, blocking mixes for port contention),
+*measures* them through the campaign engine, *solves* the measurements
+into a machine-readable :class:`InstructionTable`
+(schema ``repro-itable-v1``), *derives* a machine-config overlay from
+the table, and *verifies* that re-predicting every probe analytically on
+the derived config lands within the measurement's RCIW target.
+
+Use it as a library::
+
+    from repro.characterize import run_characterization, verify_table
+    from repro.machine import preset
+
+    machine = preset("nehalem-2s")
+    result = run_characterization(machine, jobs=4)
+    report = verify_table(result.table, machine)
+    assert report.ok
+
+or from the command line::
+
+    python -m repro.characterize run --table itable.json --overlay ports.json
+    python -m repro.characterize verify
+    python -m repro.characterize diff --table itable.json
+"""
+
+from repro.characterize.derive import derive_machine_config, derive_ports
+from repro.characterize.driver import (
+    PROBE_TRIP_COUNT,
+    CharacterizationResult,
+    characterization_campaign,
+    characterization_options,
+    run_characterization,
+)
+from repro.characterize.probes import (
+    BLOCKERS,
+    CONTENTION_KS,
+    LATENCY_KS,
+    N_STREAM_DESTS,
+    THROUGHPUT_KS,
+    ProbeSpec,
+    all_probe_specs,
+    build_probe,
+    is_chainable,
+    parse_probe_name,
+    probe_exclusion,
+    probe_specs_for,
+    probeable_opcodes,
+)
+from repro.characterize.solve import (
+    SolveError,
+    readings_from_measurements,
+    solve_table,
+)
+from repro.characterize.table import (
+    SCHEMA,
+    InstructionTable,
+    OpcodeEntry,
+    ProbeReading,
+    TableFormatError,
+)
+from repro.characterize.verify import (
+    ProbeCheck,
+    VerifyReport,
+    expected_port_class,
+    predicted_probe_cpi,
+    table_drift,
+    verify_table,
+)
+
+__all__ = [
+    "BLOCKERS",
+    "CONTENTION_KS",
+    "CharacterizationResult",
+    "InstructionTable",
+    "LATENCY_KS",
+    "N_STREAM_DESTS",
+    "OpcodeEntry",
+    "PROBE_TRIP_COUNT",
+    "ProbeCheck",
+    "ProbeReading",
+    "ProbeSpec",
+    "SCHEMA",
+    "SolveError",
+    "THROUGHPUT_KS",
+    "TableFormatError",
+    "VerifyReport",
+    "all_probe_specs",
+    "build_probe",
+    "characterization_campaign",
+    "characterization_options",
+    "derive_machine_config",
+    "derive_ports",
+    "expected_port_class",
+    "is_chainable",
+    "parse_probe_name",
+    "predicted_probe_cpi",
+    "probe_exclusion",
+    "probe_specs_for",
+    "probeable_opcodes",
+    "readings_from_measurements",
+    "run_characterization",
+    "solve_table",
+    "table_drift",
+    "verify_table",
+]

@@ -1,0 +1,57 @@
+"""Deriving a machine-config overlay from a solved instruction table.
+
+The round-trip's feedback edge: the table's per-opcode slots votes
+elect the port widths, the latency-probe intercepts elected the branch
+cost, and both land in a :class:`MachineConfig` overlay that
+:func:`repro.machine.serialize.apply_machine_overlay` can stack on any
+base config (and ``microlauncher --machine-overlay`` can apply from the
+command line).
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import defaultdict
+
+from repro.machine.config import MachineConfig
+from repro.machine.serialize import apply_machine_overlay, machine_overlay
+
+from repro.characterize.table import InstructionTable
+
+
+def derive_ports(table: InstructionTable, base: MachineConfig) -> dict[str, float]:
+    """Port widths implied by the table, on top of the base config.
+
+    Each probed opcode votes its ``slots`` for its classified port
+    class; the median wins.  Classes the probes cannot reach (``load``,
+    ``store``, ``branch`` — they need memory or control flow) keep the
+    base width.
+    """
+    ports = dict(base.ports)
+    votes: dict[str, list[int]] = defaultdict(list)
+    for entry in table.probed_entries():
+        if entry.port_class is not None and entry.slots is not None:
+            votes[entry.port_class].append(entry.slots)
+    for port_class, slot_votes in votes.items():
+        ports[port_class] = float(statistics.median(slot_votes))
+    return ports
+
+
+def derive_machine_config(
+    table: InstructionTable, base: MachineConfig
+) -> tuple[MachineConfig, dict]:
+    """(derived config, minimal overlay) from a table and its base.
+
+    The overlay holds exactly the fields on which the derived config
+    differs from ``base`` (via :func:`machine_overlay`), so applying it
+    back to ``base`` reproduces the derived config field-for-field.
+    """
+    derived = apply_machine_overlay(
+        base,
+        {
+            "name": f"{base.name}+itable",
+            "ports": derive_ports(table, base),
+            "branch_cost": table.branch_cost,
+        },
+    )
+    return derived, machine_overlay(base, derived)

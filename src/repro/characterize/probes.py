@@ -1,0 +1,288 @@
+"""Probe-kernel generation for instruction characterization.
+
+uops.info-style probing (PAPERS.md) over the modelled ISA: for every
+opcode with a register form we synthesize three kinds of loop kernels —
+
+- **latency** probes: ``K`` copies of the opcode chained through one
+  accumulator register, so the loop-carried recurrence is ``K x latency``
+  and dominates every other bound.  Sweeping ``K`` and taking the slope
+  of cycles-per-iteration cancels the loop overhead exactly.
+- **throughput** probes: ``K`` copies cycling through ``N_STREAM_DESTS``
+  destination registers, each *written first* by an in-loop move so no
+  dependence is carried across iterations; cycles-per-iteration grows
+  with slope ``1 / port slots``.
+- **contention** probes: ``K`` (opcode, blocker) pairs against one
+  blocking opcode per port class.  If the two compete for the same port
+  class the slope is the *sum* of their reciprocal throughputs; if not,
+  it is the *max* — a separating hypothesis test the solver uses to
+  recover the port class.
+
+All probes use register operands only, so the single immediate-form ALU
+instruction in the loop (``sub $1, %rdi``) stays the loop counter the
+kernel model detects, and no memory streams exist to drag cache effects
+into the measurement.
+
+Probe identity is encoded in the *kernel name* (``charact__add__lat__k8``):
+the launcher's input normalization drops ``AsmProgram.metadata``, but
+names travel through the campaign engine into every ``Measurement``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.isa.instructions import AsmProgram, Instruction, LabelDef
+from repro.isa.operands import (
+    ImmediateOperand,
+    LabelOperand,
+    Operand,
+    RegisterOperand,
+)
+from repro.isa.registers import GPR32_NAMES, GPR64_NAMES, GPR64_POOL, XMM_NAMES, PhysReg
+from repro.isa.semantics import (
+    MEMORY_ONLY_OPCODES,
+    OpcodeKind,
+    iter_opcodes,
+    opcode_info,
+    operand_regclass,
+    register_operand_count,
+)
+
+#: Chain lengths swept per probe kind.  Two points per probe: the solved
+#: quantity is always a slope, so the pair (and the exact intercept it
+#: yields) is all the solver needs.
+LATENCY_KS = (8, 16)
+THROUGHPUT_KS = (8, 16)
+CONTENTION_KS = (8, 16)
+
+#: Destination registers a throughput/contention stream cycles through.
+#: Four is deep enough that no modelled latency (max 5) can make the
+#: within-iteration chain through one destination bind the loop.
+N_STREAM_DESTS = 4
+
+#: One blocking opcode per probed port class.  Contention against each
+#: blocker classifies an opcode's port usage.
+BLOCKERS: dict[str, str] = {
+    "alu": "add",
+    "fp_add": "addps",
+    "fp_mul": "mulps",
+}
+
+#: The loop counter register (``sub $1, %rdi`` / ``jge``): excluded from
+#: every probe register pool.
+COUNTER_REG = "%rdi"
+LOOP_LABEL = ".L0"
+
+#: Register-to-register initialization move per register class.
+_INIT_MOVE = {"gpr64": "mov", "gpr32": "movl", "xmm": "movaps"}
+
+_GPR64_TO_32 = dict(zip(GPR64_NAMES, GPR32_NAMES))
+
+#: Probe register pools per class.  The GPR pool is the allocator's
+#: (no %rsp/%rbp frame registers, no %rax iteration counter) minus the
+#: loop counter; the 32-bit pool aliases it name-for-name so canonical
+#: dataflow is identical for ``l``-suffixed opcodes.
+_G64 = tuple(r for r in GPR64_POOL if r != COUNTER_REG)
+_POOLS: dict[str, tuple[str, ...]] = {
+    "gpr64": _G64,
+    "gpr32": tuple(_GPR64_TO_32[r] for r in _G64),
+    "xmm": XMM_NAMES,
+}
+
+_NAME_RE = re.compile(
+    r"^charact__(?P<opcode>[a-z0-9]+)__"
+    r"(?P<kind>lat|tp|ct)(?:_(?P<blocker>[a-z0-9]+))?__k(?P<k>\d+)$"
+)
+
+_KIND_TOKEN = {"latency": "lat", "throughput": "tp", "contention": "ct"}
+_TOKEN_KIND = {v: k for k, v in _KIND_TOKEN.items()}
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeSpec:
+    """One probe kernel: an opcode, a probe kind, and a chain length."""
+
+    opcode: str
+    kind: str  # "latency" | "throughput" | "contention"
+    k: int
+    blocker: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KIND_TOKEN:
+            raise ValueError(f"unknown probe kind {self.kind!r}")
+        if (self.kind == "contention") != (self.blocker is not None):
+            raise ValueError("contention probes (exactly) take a blocker")
+
+    @property
+    def name(self) -> str:
+        token = _KIND_TOKEN[self.kind]
+        if self.blocker is not None:
+            token = f"{token}_{self.blocker}"
+        return f"charact__{self.opcode}__{token}__k{self.k}"
+
+
+def parse_probe_name(name: str) -> ProbeSpec | None:
+    """Recover the :class:`ProbeSpec` encoded in a probe kernel name.
+
+    Returns ``None`` for kernel names that are not characterization
+    probes, so solvers can filter mixed campaigns.
+    """
+    match = _NAME_RE.match(name)
+    if match is None:
+        return None
+    return ProbeSpec(
+        opcode=match.group("opcode"),
+        kind=_TOKEN_KIND[match.group("kind")],
+        k=int(match.group("k")),
+        blocker=match.group("blocker"),
+    )
+
+
+def probe_exclusion(opcode: str) -> str | None:
+    """Why ``opcode`` cannot be probed, or ``None`` if it can.
+
+    The reasons land verbatim in the instruction table so a reader can
+    tell "unmeasurable" from "not yet measured".
+    """
+    info = opcode_info(opcode)
+    if info.kind is OpcodeKind.BRANCH:
+        return "control flow: would redirect the probe loop"
+    if info.kind is OpcodeKind.PREFETCH:
+        return "prefetch hint: memory operand only, no result to time"
+    if info.kind is OpcodeKind.NOP:
+        return "eliminated in the front end: no execution resources"
+    if opcode in MEMORY_ONLY_OPCODES:
+        return "no register-to-register form in the modelled ISA"
+    if operand_regclass(opcode) is None:
+        return "no register form to probe"
+    return None
+
+
+def _reg(name: str) -> RegisterOperand:
+    return RegisterOperand(PhysReg(name))
+
+
+def _op_instr(opcode: str, src: str, dst: str) -> Instruction:
+    """The register form of ``opcode`` writing (or flag-testing) ``dst``."""
+    operands: tuple[Operand, ...]
+    if register_operand_count(opcode) == 1:
+        operands = (_reg(dst),)
+    else:
+        operands = (_reg(src), _reg(dst))
+    return Instruction(opcode, operands)
+
+
+def _pool_half(opcode: str, *, blocker: bool) -> tuple[str, ...]:
+    """Half of ``opcode``'s register pool: primary or blocker side.
+
+    Contention probes draw the opcode under test from the primary half
+    and the blocking opcode from the other, so their dataflow never
+    overlaps even when both use the same register class.
+    """
+    pool = _POOLS[operand_regclass(opcode)]
+    mid = len(pool) // 2
+    return pool[mid:] if blocker else pool[:mid]
+
+
+def is_chainable(opcode: str) -> bool:
+    """True when a serial chain through one register is constructible.
+
+    Decided from the instruction's own dataflow: the accumulator must be
+    both read and written by ``op src, acc``.  Moves overwrite without
+    reading and the ``cmp``/``test`` family reads without writing, so
+    neither can carry a chain — their latency is unobservable here.
+    """
+    if probe_exclusion(opcode) is not None:
+        return False
+    half = _pool_half(opcode, blocker=False)
+    instr = _op_instr(opcode, half[0], half[1])
+    acc = PhysReg(half[1]).canonical64
+    written = {r.canonical64 for r in instr.registers_written()}
+    read = {r.canonical64 for r in instr.registers_read()}
+    return acc in written and acc in read
+
+
+def _loop(name: str, body: list[Instruction]) -> AsmProgram:
+    items = [
+        LabelDef(LOOP_LABEL),
+        *body,
+        Instruction("sub", (ImmediateOperand(1), _reg(COUNTER_REG))),
+        Instruction("jge", (LabelOperand(LOOP_LABEL),)),
+    ]
+    return AsmProgram(name, items)
+
+
+def _latency_body(opcode: str, k: int) -> list[Instruction]:
+    half = _pool_half(opcode, blocker=False)
+    src, acc = half[0], half[1]
+    return [_op_instr(opcode, src, acc) for _ in range(k)]
+
+
+def _stream_body(opcode: str, k: int, *, blocker: bool) -> list[Instruction]:
+    """Inits + ``k`` independent copies cycling the destination registers."""
+    half = _pool_half(opcode, blocker=blocker)
+    src = half[0]
+    dests = half[1 : 1 + N_STREAM_DESTS]
+    init = _INIT_MOVE[operand_regclass(opcode)]
+    body = [Instruction(init, (_reg(src), _reg(d))) for d in dests]
+    body += [_op_instr(opcode, src, dests[i % len(dests)]) for i in range(k)]
+    return body
+
+
+def build_probe(spec: ProbeSpec) -> AsmProgram:
+    """Materialize a probe kernel.  Deterministic: spec in, program out."""
+    reason = probe_exclusion(spec.opcode)
+    if reason is not None:
+        raise ValueError(f"cannot probe {spec.opcode!r}: {reason}")
+    if spec.kind == "latency":
+        if not is_chainable(spec.opcode):
+            raise ValueError(f"{spec.opcode!r} cannot carry a latency chain")
+        return _loop(spec.name, _latency_body(spec.opcode, spec.k))
+    if spec.kind == "throughput":
+        return _loop(spec.name, _stream_body(spec.opcode, spec.k, blocker=False))
+    # Contention: interleave the opcode's stream with the blocker's, one
+    # pair per k, after both init groups.
+    op_stream = _stream_body(spec.opcode, spec.k, blocker=False)
+    blk_stream = _stream_body(spec.blocker, spec.k, blocker=True)
+    inits = op_stream[:N_STREAM_DESTS] + blk_stream[:N_STREAM_DESTS]
+    pairs: list[Instruction] = []
+    for a, b in zip(op_stream[N_STREAM_DESTS:], blk_stream[N_STREAM_DESTS:]):
+        pairs += [a, b]
+    return _loop(spec.name, inits + pairs)
+
+
+def probe_specs_for(opcode: str) -> tuple[ProbeSpec, ...]:
+    """Every probe spec the driver runs for one opcode (possibly none)."""
+    if probe_exclusion(opcode) is not None:
+        return ()
+    specs: list[ProbeSpec] = []
+    if is_chainable(opcode):
+        specs += [ProbeSpec(opcode, "latency", k) for k in LATENCY_KS]
+    specs += [ProbeSpec(opcode, "throughput", k) for k in THROUGHPUT_KS]
+    for port_class in sorted(BLOCKERS):
+        blocker = BLOCKERS[port_class]
+        specs += [
+            ProbeSpec(opcode, "contention", k, blocker=blocker)
+            for k in CONTENTION_KS
+        ]
+    return tuple(specs)
+
+
+def all_probe_specs(opcodes: tuple[str, ...] | None = None) -> tuple[ProbeSpec, ...]:
+    """The full probe plan, in deterministic (sorted-opcode) order."""
+    if opcodes is None:
+        names = tuple(info.name for info in iter_opcodes())
+    else:
+        names = tuple(opcodes)
+    specs: list[ProbeSpec] = []
+    for name in names:
+        specs += probe_specs_for(name)
+    return tuple(specs)
+
+
+def probeable_opcodes() -> tuple[str, ...]:
+    """Opcodes the characterization driver can probe, sorted."""
+    return tuple(
+        info.name for info in iter_opcodes() if probe_exclusion(info.name) is None
+    )

@@ -1,0 +1,202 @@
+"""Solving probe measurements into an instruction table.
+
+Every solved quantity is a *slope* across the probe's two chain lengths,
+so the loop overhead (counter update, taken branch) cancels exactly:
+
+- latency probe: ``cpi(K) = K * L + overhead`` -> ``L`` is the slope,
+  and the intercept at the rounded ``L`` recovers the branch cost;
+- throughput probe: ``cpi(K) = (K + c) / slots + overhead`` -> the
+  slope is the reciprocal throughput ``1 / slots``;
+- contention probe against blocker ``b``: the slope is
+  ``rtp_op + rtp_b`` when both compete for the same port class but only
+  ``max(rtp_op, rtp_b, 2 / issue_width)`` when they do not — the solver
+  classifies each opcode's port by which hypothesis sits closer to the
+  measured slope.
+
+The classification needs ``issue_width`` as an input (when ports never
+bind, the front end does — its width is not identifiable from these
+probes), which is why the table records the width it was solved under.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import defaultdict
+
+from repro.machine.config import MachineConfig
+
+from repro.characterize.probes import (
+    BLOCKERS,
+    is_chainable,
+    parse_probe_name,
+    probe_exclusion,
+    probeable_opcodes,
+)
+from repro.characterize.table import InstructionTable, OpcodeEntry, ProbeReading
+from repro.isa.semantics import iter_opcodes, operand_regclass
+
+
+class SolveError(ValueError):
+    """The measurement set cannot be solved into a table."""
+
+
+def readings_from_measurements(measurements) -> dict[str, list[ProbeReading]]:
+    """Group probe measurements by opcode, ignoring non-probe kernels.
+
+    Probe identity travels in the kernel name (``charact__add__lat__k8``)
+    because the launcher drops program metadata during normalization.
+    """
+    readings: dict[str, list[ProbeReading]] = defaultdict(list)
+    for m in measurements:
+        spec = parse_probe_name(m.kernel_name)
+        if spec is None:
+            continue
+        readings[spec.opcode].append(
+            ProbeReading(
+                kind=spec.kind,
+                k=spec.k,
+                cpi=m.cycles_per_iteration,
+                blocker=spec.blocker,
+                rciw=m.rciw,
+                converged=m.converged,
+                experiments=m.experiments_spent,
+            )
+        )
+    return dict(readings)
+
+
+def _slope(points: list[ProbeReading], what: str, opcode: str) -> tuple[float, ProbeReading]:
+    """Slope of cpi over k, plus the first point (for intercepts)."""
+    if len(points) < 2:
+        raise SolveError(
+            f"{opcode}: need at least two {what} probe points, got {len(points)}"
+        )
+    points = sorted(points, key=lambda r: r.k)
+    first, last = points[0], points[-1]
+    if first.k == last.k:
+        raise SolveError(f"{opcode}: duplicate {what} probe k={first.k}")
+    return (last.cpi - first.cpi) / (last.k - first.k), first
+
+
+def solve_table(
+    measurements,
+    *,
+    machine: MachineConfig,
+    machine_digest: str,
+    rciw_target: float,
+    noise_seed: int,
+    trip_count: int,
+) -> InstructionTable:
+    """Solve a probe campaign's measurements into an instruction table.
+
+    Opcodes without any readings appear as unprobed entries carrying
+    their exclusion reason (or ``"not measured"`` for probe-able opcodes
+    the caller chose to skip), so a table always covers the full ISA.
+    """
+    readings = readings_from_measurements(measurements)
+    blocker_class = {opcode: port for port, opcode in BLOCKERS.items()}
+
+    # Pass 1: slopes per opcode.
+    latency_est: dict[str, float] = {}
+    latency_int: dict[str, int] = {}
+    rtp: dict[str, float] = {}
+    slots: dict[str, int] = {}
+    contention: dict[str, dict[str, float]] = {}
+    intercepts: list[float] = []
+    for opcode, points in readings.items():
+        tp_points = [r for r in points if r.kind == "throughput"]
+        slope, _ = _slope(tp_points, "throughput", opcode)
+        if slope <= 0:
+            raise SolveError(f"{opcode}: non-positive throughput slope {slope}")
+        rtp[opcode] = slope
+        slots[opcode] = max(1, round(1.0 / slope))
+
+        lat_points = [r for r in points if r.kind == "latency"]
+        if lat_points:
+            est, first = _slope(lat_points, "latency", opcode)
+            latency_est[opcode] = est
+            latency_int[opcode] = max(0, round(est))
+            intercepts.append(first.cpi - first.k * latency_int[opcode])
+
+        ct: dict[str, float] = {}
+        by_blocker: dict[str, list[ProbeReading]] = defaultdict(list)
+        for r in points:
+            if r.kind == "contention":
+                by_blocker[r.blocker].append(r)
+        for blocker, pts in by_blocker.items():
+            ct[blocker], _ = _slope(pts, f"contention-vs-{blocker}", opcode)
+        contention[opcode] = ct
+
+    # Pass 2: port classification (needs every blocker's own throughput).
+    port_class: dict[str, str | None] = {}
+    frontend_slope = 2.0 / machine.issue_width
+    for opcode, ct in contention.items():
+        best: tuple[float, str] | None = None
+        for blocker, measured in ct.items():
+            if blocker not in slots:
+                raise SolveError(
+                    f"{opcode}: blocker {blocker!r} has no throughput probe "
+                    "in this measurement set"
+                )
+            rtp_op = 1.0 / slots[opcode]
+            rtp_blk = 1.0 / slots[blocker]
+            same = rtp_op + rtp_blk
+            diff = max(rtp_op, rtp_blk, frontend_slope)
+            if abs(measured - same) < abs(measured - diff):
+                residual = abs(measured - same)
+                if best is None or residual < best[0]:
+                    best = (residual, blocker_class[blocker])
+        port_class[opcode] = best[1] if best is not None else None
+
+    branch_cost = statistics.median(intercepts) if intercepts else machine.branch_cost
+
+    probeable = set(probeable_opcodes())
+    entries: dict[str, OpcodeEntry] = {}
+    for info in iter_opcodes():
+        name = info.name
+        if name in readings:
+            entries[name] = OpcodeEntry(
+                opcode=name,
+                kind=info.kind.value,
+                probed=True,
+                regclass=operand_regclass(name),
+                latency_cycles=latency_int.get(name),
+                latency_estimate=latency_est.get(name),
+                reciprocal_throughput=rtp[name],
+                slots=slots[name],
+                port_class=port_class[name],
+                contention=contention[name],
+                readings=tuple(
+                    sorted(
+                        readings[name],
+                        key=lambda r: (r.kind, r.blocker or "", r.k),
+                    )
+                ),
+            )
+        else:
+            reason = probe_exclusion(name)
+            if reason is None:
+                reason = "not measured" if name in probeable else None
+            entries[name] = OpcodeEntry(
+                opcode=name,
+                kind=info.kind.value,
+                probed=False,
+                reason=reason,
+                regclass=operand_regclass(name),
+            )
+    # Consistency: chainable opcodes that were measured must have produced
+    # latency readings (the driver always pairs them).
+    for name, entry in entries.items():
+        if entry.probed and is_chainable(name) and entry.latency_cycles is None:
+            raise SolveError(f"{name}: chainable opcode has no latency probes")
+
+    return InstructionTable(
+        machine=machine.name,
+        machine_digest=machine_digest,
+        issue_width=machine.issue_width,
+        branch_cost=branch_cost,
+        rciw_target=rciw_target,
+        noise_seed=noise_seed,
+        trip_count=trip_count,
+        entries=entries,
+    )

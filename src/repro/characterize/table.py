@@ -1,0 +1,204 @@
+"""The machine-readable instruction table (`repro-itable-v1`).
+
+One :class:`InstructionTable` is the output of a characterization
+campaign: per opcode, the solved latency, reciprocal throughput, port
+class and the raw probe readings the numbers came from.  Tables are
+JSON with sorted keys and no timestamps, so the same campaign always
+produces byte-identical bytes — the determinism contract the engine
+gives measurements extends to the table itself.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+SCHEMA = "repro-itable-v1"
+
+
+class TableFormatError(ValueError):
+    """An instruction-table file is malformed."""
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeReading:
+    """One solved probe measurement: the (k, cycles/iteration) point."""
+
+    kind: str
+    k: int
+    cpi: float
+    blocker: str | None = None
+    rciw: float | None = None
+    converged: bool | None = None
+    experiments: int | None = None
+
+    def to_dict(self) -> dict:
+        data: dict[str, object] = {"kind": self.kind, "k": self.k, "cpi": self.cpi}
+        if self.blocker is not None:
+            data["blocker"] = self.blocker
+        if self.rciw is not None:
+            data["rciw"] = self.rciw
+        if self.converged is not None:
+            data["converged"] = self.converged
+        if self.experiments is not None:
+            data["experiments"] = self.experiments
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProbeReading":
+        return cls(
+            kind=data["kind"],
+            k=data["k"],
+            cpi=data["cpi"],
+            blocker=data.get("blocker"),
+            rciw=data.get("rciw"),
+            converged=data.get("converged"),
+            experiments=data.get("experiments"),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class OpcodeEntry:
+    """Everything the characterization learned about one opcode."""
+
+    opcode: str
+    kind: str
+    probed: bool
+    reason: str | None = None
+    regclass: str | None = None
+    #: Integer latency from the chain-slope; None when no chain exists
+    #: (moves, flag-setters) or the opcode was not probed.
+    latency_cycles: int | None = None
+    latency_estimate: float | None = None
+    #: Cycles per instruction at full overlap (slope of the stream probe).
+    reciprocal_throughput: float | None = None
+    #: Port slots implied by the throughput (``round(1/rtp)``).
+    slots: int | None = None
+    #: Port class recovered from the contention hypothesis test; None
+    #: when no blocker produced a same-port verdict.
+    port_class: str | None = None
+    #: Measured contention slope per blocking opcode.
+    contention: dict[str, float] = field(default_factory=dict)
+    readings: tuple[ProbeReading, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "opcode": self.opcode,
+            "kind": self.kind,
+            "probed": self.probed,
+            "reason": self.reason,
+            "regclass": self.regclass,
+            "latency_cycles": self.latency_cycles,
+            "latency_estimate": self.latency_estimate,
+            "reciprocal_throughput": self.reciprocal_throughput,
+            "slots": self.slots,
+            "port_class": self.port_class,
+            "contention": dict(sorted(self.contention.items())),
+            "readings": [r.to_dict() for r in self.readings],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OpcodeEntry":
+        return cls(
+            opcode=data["opcode"],
+            kind=data["kind"],
+            probed=data["probed"],
+            reason=data.get("reason"),
+            regclass=data.get("regclass"),
+            latency_cycles=data.get("latency_cycles"),
+            latency_estimate=data.get("latency_estimate"),
+            reciprocal_throughput=data.get("reciprocal_throughput"),
+            slots=data.get("slots"),
+            port_class=data.get("port_class"),
+            contention=dict(data.get("contention", {})),
+            readings=tuple(
+                ProbeReading.from_dict(r) for r in data.get("readings", ())
+            ),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class InstructionTable:
+    """A solved characterization run over one machine."""
+
+    machine: str
+    machine_digest: str
+    issue_width: int
+    branch_cost: float
+    rciw_target: float
+    noise_seed: int
+    trip_count: int
+    entries: dict[str, OpcodeEntry]
+    schema: str = SCHEMA
+
+    def probed_entries(self) -> tuple[OpcodeEntry, ...]:
+        return tuple(
+            self.entries[name] for name in sorted(self.entries)
+            if self.entries[name].probed
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "machine": self.machine,
+            "machine_digest": self.machine_digest,
+            "issue_width": self.issue_width,
+            "branch_cost": self.branch_cost,
+            "rciw_target": self.rciw_target,
+            "noise_seed": self.noise_seed,
+            "trip_count": self.trip_count,
+            "entries": {
+                name: entry.to_dict() for name, entry in sorted(self.entries.items())
+            },
+        }
+
+    def to_json(self) -> str:
+        """Canonical bytes: sorted keys, two-space indent, no timestamps."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InstructionTable":
+        if not isinstance(data, dict):
+            raise TableFormatError(
+                f"instruction table must be a JSON object, got {type(data).__name__}"
+            )
+        schema = data.get("schema")
+        if schema != SCHEMA:
+            raise TableFormatError(
+                f"unsupported instruction-table schema {schema!r} "
+                f"(expected {SCHEMA!r})"
+            )
+        try:
+            return cls(
+                machine=data["machine"],
+                machine_digest=data["machine_digest"],
+                issue_width=data["issue_width"],
+                branch_cost=data["branch_cost"],
+                rciw_target=data["rciw_target"],
+                noise_seed=data["noise_seed"],
+                trip_count=data["trip_count"],
+                entries={
+                    name: OpcodeEntry.from_dict(entry)
+                    for name, entry in data["entries"].items()
+                },
+            )
+        except KeyError as exc:
+            raise TableFormatError(f"instruction table is missing {exc}") from exc
+
+    @classmethod
+    def load(cls, path: str | Path) -> "InstructionTable":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise TableFormatError(f"no instruction table at {path}") from None
+        except json.JSONDecodeError as exc:
+            raise TableFormatError(f"{path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)

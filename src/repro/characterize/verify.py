@@ -1,0 +1,203 @@
+"""Round-trip verification of a solved instruction table.
+
+The self-consistency loop the ROADMAP asks for: rebuild every probe
+kernel deterministically from its table reading, re-predict its
+cycles-per-iteration *analytically* through
+:func:`repro.machine.pipeline.estimate_iteration_time` on the config
+derived from the table, and assert the prediction agrees with the
+measurement within the campaign's RCIW target.  A solver bug, a probe
+whose dependence structure is not what the generator claims, or a
+derivation that loses information all break the agreement — which is
+exactly what makes this a standing correctness harness for
+``repro.machine``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.config import MachineConfig
+from repro.machine.kernel_model import analyze_kernel
+from repro.machine.pipeline import estimate_iteration_time
+
+from repro.characterize.derive import derive_machine_config
+from repro.characterize.probes import ProbeSpec, build_probe
+from repro.characterize.table import InstructionTable
+from repro.isa.semantics import OpcodeKind, opcode_info
+
+#: Port classes the probes can elect (see ``derive_ports``).
+PROBED_PORT_CLASSES = frozenset({"alu", "fp_add", "fp_mul"})
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeCheck:
+    """One probe's measured-vs-repredicted comparison."""
+
+    name: str
+    opcode: str
+    kind: str
+    k: int
+    blocker: str | None
+    measured: float
+    predicted: float
+    rel_err: float
+    ok: bool
+
+
+@dataclass(frozen=True, slots=True)
+class VerifyReport:
+    """The round-trip verdict for one table."""
+
+    machine: str
+    tolerance: float
+    checks: tuple[ProbeCheck, ...]
+    overlay: dict
+
+    @property
+    def n_checked(self) -> int:
+        return len(self.checks)
+
+    @property
+    def failed(self) -> tuple[ProbeCheck, ...]:
+        return tuple(c for c in self.checks if not c.ok)
+
+    @property
+    def max_rel_err(self) -> float:
+        return max((c.rel_err for c in self.checks), default=0.0)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.checks) and not self.failed
+
+    def render(self) -> str:
+        lines = [
+            f"round-trip: {self.n_checked} probes on {self.machine}, "
+            f"tolerance {self.tolerance:.4f}, "
+            f"max relative error {self.max_rel_err:.5f}",
+        ]
+        for check in self.failed:
+            lines.append(
+                f"  FAIL {check.name}: measured {check.measured:.4f} vs "
+                f"predicted {check.predicted:.4f} "
+                f"(rel err {check.rel_err:.5f})"
+            )
+        lines.append("round-trip: " + ("OK" if self.ok else "FAILED"))
+        return "\n".join(lines)
+
+
+def predicted_probe_cpi(spec: ProbeSpec, machine: MachineConfig) -> float:
+    """Analytic cycles-per-iteration for one probe on ``machine``.
+
+    Probes have no memory streams, so the core-domain cycles *are* the
+    measured tsc-cycles metric (core and tsc clocks coincide at the
+    preset's nominal frequency).
+    """
+    program = build_probe(spec)
+    _, body = program.kernel_loop()
+    analysis = analyze_kernel(body)
+    if analysis.streams:
+        raise ValueError(f"probe {spec.name} unexpectedly touches memory")
+    breakdown = estimate_iteration_time(analysis, {}, machine)
+    return breakdown.core_cycles
+
+
+def verify_table(
+    table: InstructionTable,
+    base: MachineConfig,
+    *,
+    tolerance: float | None = None,
+) -> VerifyReport:
+    """Re-predict every probe reading on the table-derived config.
+
+    ``tolerance`` defaults to the table's RCIW target: the measurement
+    is only trusted to that relative width, so that is what the model
+    must hit.
+    """
+    derived, overlay = derive_machine_config(table, base)
+    if tolerance is None:
+        tolerance = table.rciw_target
+    checks: list[ProbeCheck] = []
+    for entry in table.probed_entries():
+        for reading in entry.readings:
+            spec = ProbeSpec(
+                opcode=entry.opcode,
+                kind=reading.kind,
+                k=reading.k,
+                blocker=reading.blocker,
+            )
+            predicted = predicted_probe_cpi(spec, derived)
+            rel_err = abs(reading.cpi - predicted) / predicted
+            checks.append(
+                ProbeCheck(
+                    name=spec.name,
+                    opcode=entry.opcode,
+                    kind=reading.kind,
+                    k=reading.k,
+                    blocker=reading.blocker,
+                    measured=reading.cpi,
+                    predicted=predicted,
+                    rel_err=rel_err,
+                    ok=rel_err <= tolerance,
+                )
+            )
+    return VerifyReport(
+        machine=derived.name,
+        tolerance=tolerance,
+        checks=tuple(checks),
+        overlay=overlay,
+    )
+
+
+def expected_port_class(opcode: str) -> str | None:
+    """The port class the semantics table says ``opcode`` should elect.
+
+    Register-to-register moves execute on the ALU ports in the machine
+    model; other opcodes use their declared port when it is one the
+    probes can reach.
+    """
+    info = opcode_info(opcode)
+    if info.kind is OpcodeKind.MOVE:
+        return "alu"
+    if info.ports and info.ports[0] in PROBED_PORT_CLASSES:
+        return info.ports[0]
+    return None
+
+
+def table_drift(table: InstructionTable, base: MachineConfig) -> list[str]:
+    """Human-readable differences between the table and the modelled ISA.
+
+    Empty when characterization recovered exactly what the semantics
+    table and the base config encode — the expected outcome on a
+    simulated machine.  On a real target this is the interesting output:
+    where the hardware disagrees with the model.
+    """
+    drift: list[str] = []
+    for entry in table.probed_entries():
+        info = opcode_info(entry.opcode)
+        if entry.latency_cycles is not None and entry.latency_cycles != info.latency:
+            drift.append(
+                f"{entry.opcode}: latency {entry.latency_cycles} "
+                f"(model says {info.latency})"
+            )
+        expected = expected_port_class(entry.opcode)
+        if entry.port_class != expected:
+            drift.append(
+                f"{entry.opcode}: port class {entry.port_class} "
+                f"(model says {expected})"
+            )
+        elif expected is not None:
+            base_slots = round(base.ports.get(expected, 1.0))
+            if entry.slots != base_slots:
+                drift.append(
+                    f"{entry.opcode}: {entry.slots} slots on {expected} "
+                    f"(base config has {base_slots})"
+                )
+    # The branch cost is an intercept, not a slope: the measurement's
+    # small systematic bias lands on it scaled by the probe's total
+    # cycles, so drift means more than a few percent.
+    if abs(table.branch_cost - base.branch_cost) > 0.05 * base.branch_cost:
+        drift.append(
+            f"branch_cost {table.branch_cost:.4f} "
+            f"(base config has {base.branch_cost})"
+        )
+    return drift

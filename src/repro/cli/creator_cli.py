@@ -91,6 +91,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --measure: machine preset (default: nehalem-2s)",
     )
     parser.add_argument(
+        "--machine-overlay",
+        metavar="JSON",
+        default=None,
+        help="with --measure: apply a machine-config overlay (e.g. one "
+        "derived by `python -m repro.characterize run`) on top of the "
+        "preset",
+    )
+    parser.add_argument(
         "--array-bytes",
         type=int,
         default=16 * 1024,
@@ -286,6 +294,21 @@ def _measure(args, creator: MicroCreator, spec) -> int:
         print(f"microcreator: unknown machine {args.machine!r}; "
               f"have {sorted(PRESETS)}", file=sys.stderr)
         return 2
+    machine = preset(args.machine)
+    if args.machine_overlay is not None:
+        from repro.machine.serialize import (
+            MachineFileError,
+            apply_machine_overlay,
+            load_overlay,
+        )
+
+        try:
+            machine = apply_machine_overlay(
+                machine, load_overlay(args.machine_overlay)
+            )
+        except MachineFileError as exc:
+            print(f"microcreator: {exc}", file=sys.stderr)
+            return 2
     from repro.launcher.stopping import adaptive_overrides
 
     base = LauncherOptions(
@@ -306,7 +329,7 @@ def _measure(args, creator: MicroCreator, spec) -> int:
         sweep = SweepSpec(spec=spec, base=base, creator_options=creator.options)
     campaign = Campaign(
         name=spec.name,
-        machine=preset(args.machine),
+        machine=machine,
         sweeps=(sweep,),
     )
     run = run_campaign(

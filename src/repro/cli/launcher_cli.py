@@ -53,6 +53,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="custom machine description (overrides --machine)",
     )
+    parser.add_argument(
+        "--machine-overlay",
+        metavar="JSON",
+        default=None,
+        help="apply a machine-config overlay (e.g. one derived by "
+        "`python -m repro.characterize run`) on top of the selected "
+        "machine",
+    )
     parser.add_argument("--function", default=None, help="kernel function name")
     parser.add_argument(
         "--nbvectors", type=int, default=None, help="number of arrays the kernel needs"
@@ -398,6 +406,20 @@ def _observed_main(args) -> int:
             return 2
     else:
         machine = preset(args.machine)
+    if args.machine_overlay is not None:
+        from repro.machine.serialize import (
+            MachineFileError,
+            apply_machine_overlay,
+            load_overlay,
+        )
+
+        try:
+            machine = apply_machine_overlay(
+                machine, load_overlay(args.machine_overlay)
+            )
+        except MachineFileError as exc:
+            print(f"microlauncher: {exc}", file=sys.stderr)
+            return 2
     launcher = MicroLauncher(machine)
     from repro.launcher.stopping import adaptive_overrides
 

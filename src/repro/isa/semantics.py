@@ -203,3 +203,70 @@ def opcode_info(name: str) -> OpcodeInfo:
 def known_opcodes() -> frozenset[str]:
     """All modelled mnemonics."""
     return frozenset(_TABLE)
+
+
+def iter_opcodes() -> tuple[OpcodeInfo, ...]:
+    """Every modelled opcode, sorted by mnemonic.
+
+    The characterization driver enumerates the ISA through this — a
+    stable order is what makes probe campaigns (and the instruction
+    tables solved from them) deterministic.
+    """
+    return tuple(_TABLE[name] for name in sorted(_TABLE))
+
+
+#: Opcodes whose register form takes exactly one register operand.
+UNARY_OPCODES = frozenset(
+    {"inc", "incq", "incl", "dec", "decq", "decl", "neg"}
+)
+
+#: Register-form operands live in 32-bit GPRs for these mnemonics (the
+#: ``l``-suffixed ALU forms plus the 4-byte scalar moves).
+_GPR32_OPCODES = frozenset(
+    {"addl", "subl", "incl", "decl", "cmpl", "testl", "movl", "movd"}
+)
+
+#: MOVE-family mnemonics whose operands are XMM registers.
+_XMM_MOVES = frozenset(
+    {"movss", "movsd", "movaps", "movapd", "movups", "movupd", "movdqa", "movdqu"}
+)
+
+#: Opcodes that only make sense with a memory operand in the modelled
+#: ISA — no register-to-register form exists to probe.
+MEMORY_ONLY_OPCODES = frozenset({"lea", "leaq"})
+
+
+def operand_regclass(name: str) -> str | None:
+    """Register class of ``name``'s register-form operands.
+
+    Returns ``"xmm"``, ``"gpr64"``, ``"gpr32"``, or ``None`` when the
+    opcode has no register form to speak of (branches, prefetch hints,
+    ``nop``, and the memory-only address-generation opcodes).  The
+    classes reflect the *modelled* semantics table: the characterization
+    driver uses them to pick probe registers, and the parser/writer
+    round-trip tests enumerate exactly these combinations.
+    """
+    info = opcode_info(name)
+    if name in MEMORY_ONLY_OPCODES:
+        return None
+    if info.kind in (OpcodeKind.FP_ADD, OpcodeKind.FP_MUL, OpcodeKind.FP_MISC):
+        return "xmm"
+    if info.kind is OpcodeKind.MOVE:
+        if name in _XMM_MOVES:
+            return "xmm"
+        return "gpr32" if name in _GPR32_OPCODES else "gpr64"
+    if info.kind is OpcodeKind.INT_ALU:
+        return "gpr32" if name in _GPR32_OPCODES else "gpr64"
+    return None
+
+
+def register_operand_count(name: str) -> int:
+    """How many register operands ``name``'s register form takes.
+
+    2 for the binary ALU/SSE/move forms, 1 for the unary ALU forms,
+    0 for opcodes without a register form (``operand_regclass`` is
+    ``None`` exactly when this is 0).
+    """
+    if operand_regclass(name) is None:
+        return 0
+    return 1 if name in UNARY_OPCODES else 2

@@ -91,6 +91,44 @@ def adaptive_overrides(
     return {k: v for k, v in overrides.items() if v is not None}
 
 
+#: Default stopping parameters for instruction-characterization probes
+#: (``repro.characterize``).  Probe kernels are register-only — no memory
+#: streams, so the noise floor is the baseline jitter alone — and the
+#: solver differences pairs of probe readings, doubling their error.
+#: A 1 % RCIW target converges in the minimum batch on a quiet machine
+#: while still bounding the table's solve error well under one cycle.
+PROBE_RCIW_TARGET = 0.01
+PROBE_MIN_EXPERIMENTS = 3
+PROBE_MAX_EXPERIMENTS = 32
+PROBE_BATCH_SIZE = 4
+
+
+def probe_stopping_defaults(
+    rciw_target: float | None = None,
+    min_experiments: int | None = None,
+    max_experiments: int | None = None,
+    batch_size: int | None = None,
+) -> dict[str, object]:
+    """Adaptive-stopping option overrides for characterization probes.
+
+    Like :func:`adaptive_overrides`, but every unset knob falls back to
+    the probe defaults above instead of staying untouched: a
+    characterization campaign is always adaptive — fixed-count probes
+    would spend the whole budget on configurations that converge in the
+    first batch.
+    """
+    return {
+        "rciw_target": PROBE_RCIW_TARGET if rciw_target is None else rciw_target,
+        "min_experiments": (
+            PROBE_MIN_EXPERIMENTS if min_experiments is None else min_experiments
+        ),
+        "max_experiments": (
+            PROBE_MAX_EXPERIMENTS if max_experiments is None else max_experiments
+        ),
+        "batch_size": PROBE_BATCH_SIZE if batch_size is None else batch_size,
+    }
+
+
 def resample_indices(seed: int, n_samples: int) -> np.ndarray:
     """The shared bootstrap index matrix for ``n_samples`` observations.
 

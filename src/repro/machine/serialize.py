@@ -97,6 +97,68 @@ def machine_from_dict(data: dict) -> MachineConfig:
         raise MachineFileError(str(exc)) from exc
 
 
+def machine_overlay(base: MachineConfig, derived: MachineConfig) -> dict:
+    """The JSON-safe fields on which ``derived`` differs from ``base``.
+
+    The inverse of :func:`apply_machine_overlay`:
+    ``apply_machine_overlay(base, machine_overlay(base, derived)) ==
+    derived`` for any two valid configs.  Compound fields (``ports``,
+    ``caches``, ``fill_cost``) appear whole when any part differs — an
+    overlay is a patch file, not a structural diff.
+    """
+    base_data = machine_to_dict(base)
+    derived_data = machine_to_dict(derived)
+    return {
+        key: value
+        for key, value in derived_data.items()
+        if base_data.get(key) != value
+    }
+
+
+def apply_machine_overlay(base: MachineConfig, overlay: dict) -> MachineConfig:
+    """Apply an overlay (as produced by :func:`machine_overlay`) to ``base``.
+
+    Overlay values replace the corresponding base fields whole; every
+    field of :class:`MachineConfig` may appear.  This is how a derived
+    instruction table feeds back into the analytic model: the
+    characterization round-trip re-predicts its probes on
+    ``apply_machine_overlay(base, table_overlay)``.
+
+    Raises
+    ------
+    MachineFileError
+        On unknown fields or values the config rejects, exactly like a
+        malformed machine file.
+    """
+    if not isinstance(overlay, dict):
+        raise MachineFileError(
+            f"machine overlay must be a dict, got {type(overlay).__name__}"
+        )
+    return machine_from_dict({**machine_to_dict(base), **overlay})
+
+
+def save_overlay(overlay: dict, path: str | Path) -> Path:
+    """Write a machine-config overlay as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(overlay, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_overlay(path: str | Path) -> dict:
+    """Read a machine-config overlay from a JSON file."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise MachineFileError(f"no overlay file at {path}") from None
+    except json.JSONDecodeError as exc:
+        raise MachineFileError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise MachineFileError(f"{path} does not hold a JSON object")
+    return data
+
+
 def save_machine(config: MachineConfig, path: str | Path) -> Path:
     """Write a machine description as JSON."""
     path = Path(path)

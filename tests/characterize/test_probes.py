@@ -1,0 +1,189 @@
+"""Probe-generator unit suite: the dependence structure is the probe.
+
+A latency probe only measures latency if its chain is the *single*
+serial recurrence in the loop, and a throughput probe only measures
+throughput if *nothing* is carried across iterations except the loop
+counter.  Both properties are asserted here structurally, through
+``analyze_kernel`` — the same analysis the cycle model uses — for every
+probe the driver can generate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.characterize import (
+    BLOCKERS,
+    LATENCY_KS,
+    ProbeSpec,
+    all_probe_specs,
+    build_probe,
+    is_chainable,
+    parse_probe_name,
+    probe_exclusion,
+    probe_specs_for,
+    probeable_opcodes,
+)
+from repro.characterize.probes import COUNTER_REG
+from repro.isa.operands import ImmediateOperand, MemoryOperand
+from repro.isa.registers import PhysReg
+from repro.isa.semantics import iter_opcodes, opcode_info
+from repro.machine.kernel_model import analyze_kernel
+
+CHAINABLE = tuple(op for op in probeable_opcodes() if is_chainable(op))
+UNCHAINABLE = tuple(op for op in probeable_opcodes() if not is_chainable(op))
+
+
+def _body(spec: ProbeSpec):
+    _, body = build_probe(spec).kernel_loop()
+    return body
+
+
+def _body_without_counter(spec: ProbeSpec):
+    """The probe's payload: loop body minus the counter update + branch."""
+    body = _body(spec)
+    assert body[-1].is_branch
+    assert isinstance(body[-2].operands[0], ImmediateOperand)
+    return body[:-2]
+
+
+class TestProbePlan:
+    def test_covers_the_probeable_isa(self):
+        opcodes = {spec.opcode for spec in all_probe_specs()}
+        assert opcodes == set(probeable_opcodes())
+
+    def test_moves_and_flag_setters_are_not_chainable(self):
+        assert "mov" in UNCHAINABLE
+        assert "movaps" in UNCHAINABLE
+        assert "cmp" in UNCHAINABLE
+        assert "test" in UNCHAINABLE
+
+    def test_rmw_alu_and_fp_are_chainable(self):
+        for op in ("add", "imul", "inc", "neg", "addps", "mulsd", "xorps"):
+            assert is_chainable(op), op
+
+    def test_unprobeable_opcodes_have_reasons(self):
+        for info in iter_opcodes():
+            if info.name not in set(probeable_opcodes()):
+                assert probe_exclusion(info.name), info.name
+
+    def test_plan_order_is_deterministic(self):
+        assert all_probe_specs() == all_probe_specs()
+        names = [s.opcode for s in all_probe_specs()]
+        assert names == sorted(names)
+
+    @pytest.mark.parametrize("opcode", ("jge", "ret", "nop", "prefetcht0", "lea"))
+    def test_excluded_opcodes_refuse_to_build(self, opcode):
+        assert probe_specs_for(opcode) == ()
+        with pytest.raises(ValueError, match="cannot probe"):
+            build_probe(ProbeSpec(opcode, "throughput", 8))
+
+    def test_latency_probe_refused_for_unchainable(self):
+        with pytest.raises(ValueError, match="latency chain"):
+            build_probe(ProbeSpec("mov", "latency", 8))
+
+
+class TestNames:
+    def test_every_spec_roundtrips_through_its_name(self):
+        for spec in all_probe_specs():
+            assert parse_probe_name(spec.name) == spec
+
+    def test_non_probe_names_are_ignored(self):
+        assert parse_probe_name("movaps_u4") is None
+        assert parse_probe_name("charact__add__lat") is None
+
+    def test_program_name_is_the_spec_name(self):
+        spec = ProbeSpec("addps", "contention", 8, blocker="mulps")
+        assert build_probe(spec).name == spec.name == "charact__addps__ct_mulps__k8"
+
+
+class TestLatencyProbes:
+    @pytest.mark.parametrize("opcode", CHAINABLE)
+    @pytest.mark.parametrize("k", LATENCY_KS)
+    def test_recurrence_is_k_times_latency(self, opcode, k):
+        analysis = analyze_kernel(_body(ProbeSpec(opcode, "latency", k)))
+        assert analysis.recurrence_cycles == k * opcode_info(opcode).latency
+
+    @pytest.mark.parametrize("opcode", CHAINABLE)
+    def test_chain_dominates_every_other_bound(self, opcode):
+        """The recurrence must be the binding constraint at both k values,
+        otherwise the slope would not be the latency."""
+        from repro.machine import nehalem_2s_x5650
+        from repro.machine.pipeline import estimate_iteration_time
+
+        machine = nehalem_2s_x5650()
+        for k in LATENCY_KS:
+            analysis = analyze_kernel(_body(ProbeSpec(opcode, "latency", k)))
+            breakdown = estimate_iteration_time(analysis, {}, machine)
+            assert breakdown.pipe_cycles == analysis.recurrence_cycles, (opcode, k)
+
+
+class TestStreamProbes:
+    @pytest.mark.parametrize("kind", ("throughput", "contention"))
+    @pytest.mark.parametrize("opcode", probeable_opcodes())
+    def test_zero_loop_carried_dependences(self, opcode, kind):
+        """Only the loop counter's own chain (1 cycle) is carried; the
+        payload alone carries nothing at all."""
+        blocker = BLOCKERS["alu"] if kind == "contention" else None
+        spec = ProbeSpec(opcode, kind, 8, blocker=blocker)
+        assert analyze_kernel(_body(spec)).recurrence_cycles == 1.0
+        assert analyze_kernel(_body_without_counter(spec)).recurrence_cycles == 0.0
+
+
+class TestProbeHygiene:
+    @pytest.mark.parametrize("spec", all_probe_specs(), ids=lambda s: s.name)
+    def test_no_memory_and_one_induction(self, spec):
+        """Register operands only, and ``sub $1, %rdi`` stays the single
+        immediate-ALU instruction the counter detection keys on."""
+        body = _body(spec)
+        assert not any(
+            isinstance(op, MemoryOperand) for instr in body for op in instr.operands
+        )
+        imm_alu = [
+            i for i in body
+            if i.operands and isinstance(i.operands[0], ImmediateOperand)
+        ]
+        assert len(imm_alu) == 1
+        analysis = analyze_kernel(body)
+        assert analysis.counter_step == -1
+        assert analysis.elements_per_iteration == 1
+        assert not analysis.streams
+
+    @pytest.mark.parametrize("spec", all_probe_specs(), ids=lambda s: s.name)
+    def test_counter_register_untouched_by_payload(self, spec):
+        counter = PhysReg(COUNTER_REG)
+        for instr in _body_without_counter(spec):
+            touched = set(instr.registers_read()) | set(instr.registers_written())
+            assert counter not in {r.canonical64 for r in touched}
+
+    @pytest.mark.parametrize("opcode", ("add", "inc", "addps", "movl"))
+    @pytest.mark.parametrize("blocker", sorted(BLOCKERS.values()))
+    def test_contention_streams_share_no_registers(self, opcode, blocker):
+        """Op and blocker streams must not share registers, even when both
+        live in the same class — otherwise contention would also carry a
+        dependence.  Stream membership follows from construction: after
+        the two init groups the payload alternates (op, blocker)."""
+        from repro.characterize import N_STREAM_DESTS
+
+        spec = ProbeSpec(opcode, "contention", 8, blocker=blocker)
+        body = _body_without_counter(spec)
+        inits, pairs = body[: 2 * N_STREAM_DESTS], body[2 * N_STREAM_DESTS :]
+        op_stream = inits[:N_STREAM_DESTS] + pairs[0::2]
+        blk_stream = inits[N_STREAM_DESTS:] + pairs[1::2]
+        assert all(i.opcode == opcode for i in pairs[0::2])
+        assert all(i.opcode == blocker for i in pairs[1::2])
+
+        def regs(stream):
+            return {
+                r.canonical64
+                for instr in stream
+                for r in (*instr.registers_read(), *instr.registers_written())
+            }
+
+        assert regs(op_stream).isdisjoint(regs(blk_stream))
+
+    def test_build_is_deterministic(self):
+        from repro.isa.writer import write_program
+
+        for spec in all_probe_specs()[:20]:
+            assert write_program(build_probe(spec)) == write_program(build_probe(spec))

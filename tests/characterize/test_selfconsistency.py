@@ -1,0 +1,151 @@
+"""The round-trip self-consistency suite (the ISSUE's standing harness).
+
+Characterize the full simulated ISA, then close the loop: the solved
+table must re-predict every probe analytically within the RCIW target,
+and — because the machine under test *is* the model — the recovered
+latencies, port classes and port widths must match the semantics table
+and the base config exactly.  Any divergence means a probe, the solver,
+the derivation or the cycle model itself changed meaning.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.characterize import (
+    InstructionTable,
+    TableFormatError,
+    derive_machine_config,
+    expected_port_class,
+    is_chainable,
+    probeable_opcodes,
+    run_characterization,
+    table_drift,
+    verify_table,
+)
+from repro.isa.semantics import opcode_info
+from repro.machine import nehalem_2s_x5650, sandy_bridge_e31240
+
+
+@pytest.fixture(scope="module")
+def nehalem_result():
+    """One full-ISA characterization of the default machine."""
+    return run_characterization(nehalem_2s_x5650())
+
+
+@pytest.fixture(scope="module")
+def table(nehalem_result):
+    return nehalem_result.table
+
+
+class TestRoundTrip:
+    def test_every_probe_repredicts_within_rciw_target(self, table):
+        report = verify_table(table, nehalem_2s_x5650())
+        assert report.ok, report.render()
+        assert report.n_checked == sum(
+            len(e.readings) for e in table.probed_entries()
+        )
+
+    def test_report_renders_failures(self, table):
+        """An impossible tolerance fails every check, visibly."""
+        report = verify_table(table, nehalem_2s_x5650(), tolerance=1e-9)
+        assert not report.ok
+        assert report.failed
+        assert "FAIL" in report.render()
+
+    def test_derived_config_matches_base_ports(self, table):
+        base = nehalem_2s_x5650()
+        derived, overlay = derive_machine_config(table, base)
+        assert derived.ports == base.ports
+        assert derived.name == f"{base.name}+itable"
+        assert abs(derived.branch_cost - base.branch_cost) < 0.05
+        # The overlay is minimal: ports dropped out because they matched.
+        assert "ports" not in overlay
+        assert set(overlay) == {"name", "branch_cost"}
+
+    def test_no_drift_from_the_modelled_semantics(self, table):
+        assert table_drift(table, nehalem_2s_x5650()) == []
+
+
+class TestSolvedQuantities:
+    def test_full_isa_is_covered(self, table):
+        from repro.isa.semantics import known_opcodes
+
+        assert set(table.entries) == known_opcodes()
+        probed = {e.opcode for e in table.probed_entries()}
+        assert probed == set(probeable_opcodes())
+
+    def test_latencies_match_semantics(self, table):
+        for entry in table.probed_entries():
+            if is_chainable(entry.opcode):
+                assert entry.latency_cycles == opcode_info(entry.opcode).latency, (
+                    entry.opcode
+                )
+            else:
+                assert entry.latency_cycles is None, entry.opcode
+
+    def test_port_classes_match_semantics(self, table):
+        for entry in table.probed_entries():
+            assert entry.port_class == expected_port_class(entry.opcode), entry.opcode
+
+    def test_slots_match_base_config(self, table):
+        base = nehalem_2s_x5650()
+        for entry in table.probed_entries():
+            assert entry.slots == round(base.ports[entry.port_class]), entry.opcode
+
+    def test_every_probe_converged_within_target(self, table):
+        for entry in table.probed_entries():
+            for reading in entry.readings:
+                assert reading.converged, (entry.opcode, reading)
+                assert reading.rciw is not None
+                assert reading.rciw <= table.rciw_target
+
+    def test_unprobed_entries_carry_reasons(self, table):
+        for entry in table.entries.values():
+            if not entry.probed:
+                assert entry.reason, entry.opcode
+                assert entry.latency_cycles is None
+                assert entry.readings == ()
+
+
+class TestOtherMachines:
+    def test_sandy_bridge_subset_roundtrips(self):
+        """The harness is machine-independent: a different preset (two
+        load ports, different frequency) verifies just the same."""
+        machine = sandy_bridge_e31240()
+        result = run_characterization(
+            machine, opcodes=("add", "addps", "mulps", "mov", "imul")
+        )
+        report = verify_table(result.table, machine)
+        assert report.ok, report.render()
+        assert table_drift(result.table, machine) == []
+
+
+class TestTableSerialization:
+    def test_json_roundtrip_is_byte_identical(self, table, tmp_path):
+        path = table.save(tmp_path / "itable.json")
+        reloaded = InstructionTable.load(path)
+        assert reloaded.to_json() == table.to_json()
+        assert reloaded == table
+
+    def test_schema_is_validated(self, table, tmp_path):
+        data = table.to_dict()
+        data["schema"] = "repro-itable-v0"
+        with pytest.raises(TableFormatError, match="unsupported"):
+            InstructionTable.from_dict(data)
+        with pytest.raises(TableFormatError, match="JSON object"):
+            InstructionTable.from_dict([])
+
+    def test_missing_file_and_bad_json(self, tmp_path):
+        with pytest.raises(TableFormatError, match="no instruction table"):
+            InstructionTable.load(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(TableFormatError, match="not valid JSON"):
+            InstructionTable.load(bad)
+
+    def test_missing_field_is_reported(self, table):
+        data = table.to_dict()
+        del data["machine_digest"]
+        with pytest.raises(TableFormatError, match="missing"):
+            InstructionTable.from_dict(data)

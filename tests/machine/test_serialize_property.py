@@ -1,0 +1,168 @@
+"""Property tests: machine descriptions round-trip exactly.
+
+``--machine-file`` and the characterization overlay path both rest on
+``machine_to_dict`` / ``machine_from_dict`` being a lossless pair, and
+on ``machine_overlay`` / ``apply_machine_overlay`` being exact inverses.
+Hypothesis generates arbitrary *valid* machine configs (cache geometry
+constraints and all) and pins those contracts, JSON text included.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.config import (
+    CacheLevelConfig,
+    DramConfig,
+    MachineConfig,
+    MemLevel,
+)
+from repro.machine.serialize import (
+    MachineFileError,
+    apply_machine_overlay,
+    load_overlay,
+    machine_from_dict,
+    machine_overlay,
+    machine_to_dict,
+    save_overlay,
+)
+
+positive = st.floats(min_value=0.001, max_value=1000.0, allow_nan=False)
+small_count = st.integers(min_value=1, max_value=8)
+
+
+@st.composite
+def cache_levels(draw, level: MemLevel):
+    """A valid cache level: size is always sets * assoc * line."""
+    line = draw(st.sampled_from((32, 64, 128)))
+    assoc = draw(st.sampled_from((1, 2, 4, 8, 16)))
+    n_sets = draw(st.integers(min_value=1, max_value=1 << 12))
+    uncore = draw(st.booleans()) if level is MemLevel.L3 else False
+    return CacheLevelConfig(
+        level=level,
+        size_bytes=n_sets * assoc * line,
+        assoc=assoc,
+        latency=draw(positive),
+        bandwidth=draw(positive),
+        line_bytes=line,
+        core_domain=not uncore,
+        shared=uncore,
+    )
+
+
+@st.composite
+def machines(draw):
+    levels = (MemLevel.L1, MemLevel.L2, MemLevel.L3)[: draw(st.integers(1, 3))]
+    caches = tuple(draw(cache_levels(level)) for level in levels)
+    port_names = draw(
+        st.lists(
+            st.sampled_from(("load", "store", "alu", "fp_add", "fp_mul", "branch")),
+            min_size=1, max_size=6, unique=True,
+        )
+    )
+    fill_levels = draw(
+        st.lists(st.sampled_from(tuple(MemLevel)), max_size=4, unique=True)
+    )
+    return MachineConfig(
+        name=draw(st.text(min_size=1, max_size=24)),
+        freq_ghz=draw(positive),
+        uncore_freq_ghz=draw(positive),
+        n_sockets=draw(small_count),
+        cores_per_socket=draw(small_count),
+        caches=caches,
+        dram=DramConfig(
+            latency_ns=draw(positive),
+            core_bandwidth=draw(positive),
+            socket_bandwidth=draw(positive),
+            channels=draw(small_count),
+        ),
+        ports={name: draw(positive) for name in port_names},
+        issue_width=draw(small_count),
+        branch_cost=draw(positive),
+        split_penalty=draw(positive),
+        movaps_misaligned_penalty=draw(positive),
+        conflict_penalty=draw(positive),
+        conflict_window=draw(st.sampled_from((1024, 4096, 8192))),
+        conflict_traffic_factor=draw(positive),
+        aliasing_penalty=draw(positive),
+        mlp=draw(small_count),
+        demand_mlp=draw(small_count),
+        prefetch_max_stride=draw(st.integers(min_value=0, max_value=4096)),
+        fill_cost={level: draw(positive) for level in fill_levels},
+        freq_steps=tuple(draw(st.lists(positive, max_size=5))),
+    )
+
+
+class TestDictRoundTrip:
+    @settings(max_examples=120, deadline=None)
+    @given(machines())
+    def test_machine_survives_dict_roundtrip(self, config):
+        assert machine_from_dict(machine_to_dict(config)) == config
+
+    @settings(max_examples=120, deadline=None)
+    @given(machines())
+    def test_machine_survives_json_text(self, config):
+        """The file format is the dict format run through ``json`` —
+        floats included (shortest round-trip repr)."""
+        data = json.loads(json.dumps(machine_to_dict(config)))
+        assert machine_from_dict(data) == config
+
+
+class TestOverlayProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(machines(), machines())
+    def test_overlay_is_the_exact_inverse_of_apply(self, base, derived):
+        assert apply_machine_overlay(base, machine_overlay(base, derived)) == derived
+
+    @settings(max_examples=80, deadline=None)
+    @given(machines())
+    def test_self_overlay_is_empty(self, config):
+        assert machine_overlay(config, config) == {}
+        assert apply_machine_overlay(config, {}) == config
+
+    @settings(max_examples=80, deadline=None)
+    @given(machines(), machines())
+    def test_overlay_survives_json_text(self, base, derived):
+        overlay = json.loads(json.dumps(machine_overlay(base, derived)))
+        assert apply_machine_overlay(base, overlay) == derived
+
+
+class TestOverlayFiles:
+    def test_save_load_roundtrip(self, tmp_path):
+        from repro.machine import nehalem_2s_x5650, sandy_bridge_e31240
+
+        overlay = machine_overlay(nehalem_2s_x5650(), sandy_bridge_e31240())
+        path = save_overlay(overlay, tmp_path / "overlay.json")
+        assert load_overlay(path) == overlay
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(MachineFileError, match="no overlay file"):
+            load_overlay(tmp_path / "absent.json")
+
+    def test_bad_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{oops")
+        with pytest.raises(MachineFileError, match="not valid JSON"):
+            load_overlay(bad)
+
+    def test_non_object(self, tmp_path):
+        arr = tmp_path / "arr.json"
+        arr.write_text("[1, 2]")
+        with pytest.raises(MachineFileError, match="JSON object"):
+            load_overlay(arr)
+
+    def test_apply_rejects_non_dict(self):
+        from repro.machine import nehalem_2s_x5650
+
+        with pytest.raises(MachineFileError, match="must be a dict"):
+            apply_machine_overlay(nehalem_2s_x5650(), [1, 2])
+
+    def test_apply_rejects_unknown_fields(self):
+        from repro.machine import nehalem_2s_x5650
+
+        with pytest.raises(MachineFileError, match="unknown machine fields"):
+            apply_machine_overlay(nehalem_2s_x5650(), {"warp_drive": 9})
