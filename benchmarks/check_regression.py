@@ -47,6 +47,16 @@ longer trusted and loads re-parse payloads), and membership-probe cost
 must stay sublinear as the store grows 100x (losing this means lookups
 degraded from binary search to scanning).
 
+``BENCH_dispatch.json`` (written by
+``benchmarks/test_dispatch_throughput.py``) gates the persistent worker
+runtime when present.  Two gates are machine-relative ratios from one
+run: warm dispatch must keep its >= 3x edge over the replicated pre-pool
+executor path (losing this means the pool, packed transport, or memo
+persistence stopped paying), and a warm back-to-back campaign must beat
+the fresh one (losing this means pool reuse itself broke).  The third
+gate compares warm jobs/s against the committed baseline within the
+usual 2x cross-machine band.
+
 Usage::
 
     python benchmarks/check_regression.py \
@@ -58,7 +68,9 @@ Usage::
         --stopping-current BENCH_stopping.json \
         --store-current BENCH_store.json \
         --charact-current BENCH_characterize.json \
-        --charact-baseline benchmarks/BENCH_characterize_baseline.json
+        --charact-baseline benchmarks/BENCH_characterize_baseline.json \
+        --dispatch-current BENCH_dispatch.json \
+        --dispatch-baseline benchmarks/BENCH_dispatch_baseline.json
 """
 
 from __future__ import annotations
@@ -86,6 +98,10 @@ MIN_STORE_COLD_SPEEDUP = 10.0
 #: Sharded membership cost over a 100x row increase; linear would be
 #: ~100x, binary search is flat.
 MAX_STORE_MEMBERSHIP_GROWTH = 10.0
+#: Warm persistent-pool dispatch vs the replicated pre-pool executor
+#: path, measured within one run — machine-relative, so the floor holds
+#: on any host.  Mirrors MIN_SPEEDUP in the benchmark itself.
+MIN_DISPATCH_SPEEDUP = 3.0
 
 
 def _check_obs(current_path: str, max_ns: float) -> int:
@@ -241,6 +257,55 @@ def _check_store(
     return failed
 
 
+def _check_dispatch(
+    current_path: str,
+    baseline_path: str,
+    min_speedup: float,
+    max_regression: float,
+) -> int:
+    path = Path(current_path)
+    if not path.exists():
+        print(f"dispatch: {path} not present, skipping")
+        return 0
+    current = json.loads(path.read_text())
+    baseline = json.loads(Path(baseline_path).read_text())
+    speedup = current["speedup_vs_prepr"]
+    warm_s = current["spawn"]["warm_best_s"]
+    fresh_s = current["spawn"]["fresh_s"]
+    now = current["warm"]["jobs_per_s"]
+    then = baseline["warm"]["jobs_per_s"]
+    ratio = then / now if now else float("inf")
+    print(
+        f"dispatch: warm pool {speedup:.1f}x the pre-pool executor path "
+        f"(floor {min_speedup:.0f}x); warm {warm_s:.3f}s vs fresh "
+        f"{fresh_s:.3f}s; {now:,.0f} jobs/s (baseline {then:,.0f}); "
+        f"slowdown {ratio:.2f}x (limit {max_regression:.1f}x)"
+    )
+    failed = 0
+    if speedup < min_speedup:
+        print(
+            f"FAIL: warm dispatch only {speedup:.1f}x the pre-pool "
+            "executor path; the persistent worker runtime stopped paying",
+            file=sys.stderr,
+        )
+        failed = 1
+    if warm_s >= fresh_s:
+        print(
+            f"FAIL: warm campaign ({warm_s:.3f}s) no faster than the "
+            f"fresh one ({fresh_s:.3f}s); pool reuse broke",
+            file=sys.stderr,
+        )
+        failed = 1
+    if ratio > max_regression:
+        print(
+            f"FAIL: warm dispatch throughput regressed {ratio:.2f}x "
+            "vs the committed baseline",
+            file=sys.stderr,
+        )
+        failed = 1
+    return failed
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--current", default="BENCH_measurement.json")
@@ -323,6 +388,23 @@ def main(argv: list[str] | None = None) -> int:
         help="fail when sharded membership cost grows more than this over "
         f"a 100x row increase (default: {MAX_STORE_MEMBERSHIP_GROWTH:.0f})",
     )
+    parser.add_argument(
+        "--dispatch-current",
+        default="BENCH_dispatch.json",
+        help="dispatch-throughput result to gate (skipped when absent)",
+    )
+    parser.add_argument(
+        "--dispatch-baseline",
+        default="benchmarks/BENCH_dispatch_baseline.json",
+        help="committed dispatch-throughput baseline",
+    )
+    parser.add_argument(
+        "--dispatch-min-speedup",
+        type=float,
+        default=MIN_DISPATCH_SPEEDUP,
+        help="fail when warm dispatch beats the pre-pool executor path "
+        f"by less than this (default: {MIN_DISPATCH_SPEEDUP:.0f})",
+    )
     args = parser.parse_args(argv)
 
     current = json.loads(Path(args.current).read_text())
@@ -358,6 +440,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     failed |= _check_store(
         args.store_current, args.store_min_speedup, args.store_max_growth
+    )
+    failed |= _check_dispatch(
+        args.dispatch_current,
+        args.dispatch_baseline,
+        args.dispatch_min_speedup,
+        args.max_regression,
     )
     if failed:
         return 1

@@ -24,7 +24,8 @@ def _ram_load_kernel(creator: MicroCreator):
 
 def _grid(
     name, kernel, base, axes, *, machine,
-    jobs=1, chunk_size=None, cache_dir=None, resume=True,
+    jobs=1, chunk_size=None, chunk_policy="auto", chunk_target_ms=None,
+    cache_dir=None, resume=True,
     max_retries=2, job_timeout=None, gen_cache_dir=None,
     store_format="sharded",
 ):
@@ -38,6 +39,8 @@ def _grid(
         campaign,
         jobs=jobs,
         chunk_size=chunk_size,
+        chunk_policy=chunk_policy,
+        chunk_target_ms=chunk_target_ms,
         cache_dir=cache_dir,
         resume=resume,
         max_retries=max_retries,
@@ -53,6 +56,8 @@ def ablation_aggregator(
     quick: bool = False,
     jobs: int = 1,
     chunk_size: int | None = None,
+    chunk_policy: str = "auto",
+    chunk_target_ms: float | None = None,
     cache_dir: object = None,
     resume: bool = True,
     max_retries: int = 2,
@@ -84,6 +89,8 @@ def ablation_aggregator(
         machine=machine,
         jobs=jobs,
         chunk_size=chunk_size,
+        chunk_policy=chunk_policy,
+        chunk_target_ms=chunk_target_ms,
         cache_dir=cache_dir,
         resume=resume,
         max_retries=max_retries,
@@ -114,6 +121,8 @@ def ablation_warmup(
     *,
     jobs: int = 1,
     chunk_size: int | None = None,
+    chunk_policy: str = "auto",
+    chunk_target_ms: float | None = None,
     cache_dir: object = None,
     resume: bool = True,
     max_retries: int = 2,
@@ -144,6 +153,8 @@ def ablation_warmup(
         machine=machine,
         jobs=jobs,
         chunk_size=chunk_size,
+        chunk_policy=chunk_policy,
+        chunk_target_ms=chunk_target_ms,
         cache_dir=cache_dir,
         resume=resume,
         max_retries=max_retries,
@@ -174,6 +185,8 @@ def ablation_overhead(
     *,
     jobs: int = 1,
     chunk_size: int | None = None,
+    chunk_policy: str = "auto",
+    chunk_target_ms: float | None = None,
     cache_dir: object = None,
     resume: bool = True,
     max_retries: int = 2,
@@ -205,6 +218,8 @@ def ablation_overhead(
         machine=machine,
         jobs=jobs,
         chunk_size=chunk_size,
+        chunk_policy=chunk_policy,
+        chunk_target_ms=chunk_target_ms,
         cache_dir=cache_dir,
         resume=resume,
         max_retries=max_retries,
@@ -245,6 +260,8 @@ def ablation_inner_reps(
     *,
     jobs: int = 1,
     chunk_size: int | None = None,
+    chunk_policy: str = "auto",
+    chunk_target_ms: float | None = None,
     cache_dir: object = None,
     resume: bool = True,
     max_retries: int = 2,
@@ -275,6 +292,8 @@ def ablation_inner_reps(
         machine=machine,
         jobs=jobs,
         chunk_size=chunk_size,
+        chunk_policy=chunk_policy,
+        chunk_target_ms=chunk_target_ms,
         cache_dir=cache_dir,
         resume=resume,
         max_retries=max_retries,

@@ -27,6 +27,8 @@ def fig14(
     quick: bool = False,
     jobs: int = 1,
     chunk_size: int | None = None,
+    chunk_policy: str = "auto",
+    chunk_target_ms: float | None = None,
     cache_dir: object = None,
     resume: bool = True,
     max_retries: int = 2,
@@ -57,6 +59,8 @@ def fig14(
         Campaign(name="fig14_forked", machine=machine, sweeps=(sweep,)),
         jobs=jobs,
         chunk_size=chunk_size,
+        chunk_policy=chunk_policy,
+        chunk_target_ms=chunk_target_ms,
         cache_dir=cache_dir,
         resume=resume,
         max_retries=max_retries,
@@ -162,6 +166,8 @@ def _seq_omp_rows(
     *,
     jobs: int = 1,
     chunk_size: int | None = None,
+    chunk_policy: str = "auto",
+    chunk_target_ms: float | None = None,
     cache_dir: object = None,
     resume: bool = True,
     max_retries: int = 2,
@@ -183,6 +189,8 @@ def _seq_omp_rows(
         Campaign(name=name, machine=machine, sweeps=sweeps),
         jobs=jobs,
         chunk_size=chunk_size,
+        chunk_policy=chunk_policy,
+        chunk_target_ms=chunk_target_ms,
         cache_dir=cache_dir,
         resume=resume,
         max_retries=max_retries,
@@ -203,6 +211,8 @@ def _openmp_vs_sequential(
     quick: bool,
     jobs: int = 1,
     chunk_size: int | None = None,
+    chunk_policy: str = "auto",
+    chunk_target_ms: float | None = None,
     cache_dir: object = None,
     resume: bool = True,
     max_retries: int = 2,
@@ -233,6 +243,8 @@ def _openmp_vs_sequential(
         machine,
         jobs=jobs,
         chunk_size=chunk_size,
+        chunk_policy=chunk_policy,
+        chunk_target_ms=chunk_target_ms,
         cache_dir=cache_dir,
         resume=resume,
         max_retries=max_retries,
@@ -279,6 +291,8 @@ def fig17(
     quick: bool = False,
     jobs: int = 1,
     chunk_size: int | None = None,
+    chunk_policy: str = "auto",
+    chunk_target_ms: float | None = None,
     cache_dir: object = None,
     resume: bool = True,
     max_retries: int = 2,
@@ -292,6 +306,8 @@ def fig17(
         128 * 1024, quick=quick,
         jobs=jobs,
         chunk_size=chunk_size,
+        chunk_policy=chunk_policy,
+        chunk_target_ms=chunk_target_ms,
         cache_dir=cache_dir,
         resume=resume,
         max_retries=max_retries,
@@ -318,6 +334,8 @@ def fig18(
     quick: bool = False,
     jobs: int = 1,
     chunk_size: int | None = None,
+    chunk_policy: str = "auto",
+    chunk_target_ms: float | None = None,
     cache_dir: object = None,
     resume: bool = True,
     max_retries: int = 2,
@@ -335,6 +353,8 @@ def fig18(
         6_000_000, quick=quick,
         jobs=jobs,
         chunk_size=chunk_size,
+        chunk_policy=chunk_policy,
+        chunk_target_ms=chunk_target_ms,
         cache_dir=cache_dir,
         resume=resume,
         max_retries=max_retries,
@@ -361,6 +381,8 @@ def table2(
     quick: bool = False,
     jobs: int = 1,
     chunk_size: int | None = None,
+    chunk_policy: str = "auto",
+    chunk_target_ms: float | None = None,
     cache_dir: object = None,
     resume: bool = True,
     max_retries: int = 2,
@@ -400,6 +422,8 @@ def table2(
         machine,
         jobs=jobs,
         chunk_size=chunk_size,
+        chunk_policy=chunk_policy,
+        chunk_target_ms=chunk_target_ms,
         cache_dir=cache_dir,
         resume=resume,
         max_retries=max_retries,

@@ -21,6 +21,8 @@ def _unroll_hierarchy(
     quick: bool,
     jobs: int = 1,
     chunk_size: int | None = None,
+    chunk_policy: str = "auto",
+    chunk_target_ms: float | None = None,
     cache_dir: object = None,
     resume: bool = True,
     max_retries: int = 2,
@@ -66,6 +68,8 @@ def _unroll_hierarchy(
         Campaign(name=f"unroll_hierarchy_{opcode}", machine=machine, sweeps=sweeps),
         jobs=jobs,
         chunk_size=chunk_size,
+        chunk_policy=chunk_policy,
+        chunk_target_ms=chunk_target_ms,
         cache_dir=cache_dir,
         resume=resume,
         max_retries=max_retries,
@@ -120,6 +124,8 @@ def fig11(
     quick: bool = False,
     jobs: int = 1,
     chunk_size: int | None = None,
+    chunk_policy: str = "auto",
+    chunk_target_ms: float | None = None,
     cache_dir: object = None,
     resume: bool = True,
     max_retries: int = 2,
@@ -136,6 +142,8 @@ def fig11(
         quick=quick,
         jobs=jobs,
         chunk_size=chunk_size,
+        chunk_policy=chunk_policy,
+        chunk_target_ms=chunk_target_ms,
         cache_dir=cache_dir,
         resume=resume,
         max_retries=max_retries,
@@ -155,6 +163,8 @@ def fig12(
     quick: bool = False,
     jobs: int = 1,
     chunk_size: int | None = None,
+    chunk_policy: str = "auto",
+    chunk_target_ms: float | None = None,
     cache_dir: object = None,
     resume: bool = True,
     max_retries: int = 2,
@@ -177,6 +187,8 @@ def fig12(
         quick=quick,
         jobs=jobs,
         chunk_size=chunk_size,
+        chunk_policy=chunk_policy,
+        chunk_target_ms=chunk_target_ms,
         cache_dir=cache_dir,
         resume=resume,
         max_retries=max_retries,
@@ -196,6 +208,8 @@ def fig13(
     quick: bool = False,
     jobs: int = 1,
     chunk_size: int | None = None,
+    chunk_policy: str = "auto",
+    chunk_target_ms: float | None = None,
     cache_dir: object = None,
     resume: bool = True,
     max_retries: int = 2,
@@ -241,6 +255,8 @@ def fig13(
         Campaign(name="fig13_dvfs", machine=machine, sweeps=sweeps),
         jobs=jobs,
         chunk_size=chunk_size,
+        chunk_policy=chunk_policy,
+        chunk_target_ms=chunk_target_ms,
         cache_dir=cache_dir,
         resume=resume,
         max_retries=max_retries,

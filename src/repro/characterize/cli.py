@@ -87,6 +87,17 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
         help="jobs per worker batch (default: auto)",
     )
     parser.add_argument(
+        "--chunk-policy",
+        choices=("auto", "static", "dynamic"),
+        default="auto",
+        help="chunk sizing: 'dynamic' re-sizes from measured per-job "
+        "durations; 'static' uses fixed --chunk-size batches",
+    )
+    parser.add_argument(
+        "--chunk-target-ms", type=float, default=None, metavar="MS",
+        help="wall-time each dynamic chunk aims for (default: 250)",
+    )
+    parser.add_argument(
         "--cache-dir", metavar="DIR", default=None,
         help="cache probe measurements by content hash (resumable)",
     )
@@ -192,6 +203,8 @@ def _characterize(args, machine):
         options=options,
         jobs=args.jobs,
         chunk_size=args.chunk_size,
+        chunk_policy=args.chunk_policy,
+        chunk_target_ms=args.chunk_target_ms,
         cache_dir=args.cache_dir,
         resume=args.resume,
         store_format=args.store_format,

@@ -85,6 +85,8 @@ def run_characterization(
     options: LauncherOptions | None = None,
     jobs: int = 1,
     chunk_size: int | None = None,
+    chunk_policy: str = "auto",
+    chunk_target_ms: float | None = None,
     cache_dir: str | None = None,
     resume: bool = True,
     store_format: str = "sharded",
@@ -108,6 +110,8 @@ def run_characterization(
         campaign,
         jobs=jobs,
         chunk_size=chunk_size,
+        chunk_policy=chunk_policy,
+        chunk_target_ms=chunk_target_ms,
         cache_dir=cache_dir,
         resume=resume,
         store_format=store_format,

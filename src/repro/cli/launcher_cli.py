@@ -152,6 +152,23 @@ def build_parser() -> argparse.ArgumentParser:
         "results are byte-identical for every chunking",
     )
     parser.add_argument(
+        "--chunk-policy",
+        choices=("auto", "static", "dynamic"),
+        default="auto",
+        help="how worker chunks are sized with --jobs: 'dynamic' "
+        "(the 'auto' default) seeds small and re-sizes from measured "
+        "per-job durations to hit --chunk-target-ms per chunk; "
+        "'static' uses fixed --chunk-size batches; results are "
+        "byte-identical for every policy",
+    )
+    parser.add_argument(
+        "--chunk-target-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="wall-time each dynamic chunk aims for (default: 250)",
+    )
+    parser.add_argument(
         "--cache-dir",
         metavar="DIR",
         default=None,
@@ -267,6 +284,8 @@ def _run_engine(args, machine, options, path: Path) -> int:
         campaign,
         jobs=args.jobs,
         chunk_size=args.chunk_size,
+        chunk_policy=args.chunk_policy,
+        chunk_target_ms=args.chunk_target_ms,
         cache_dir=args.cache_dir,
         resume=args.resume,
         progress=print,
@@ -367,6 +386,8 @@ def _observed_main(args) -> int:
                 quick=args.quick,
                 jobs=args.jobs,
                 chunk_size=args.chunk_size,
+                chunk_policy=args.chunk_policy,
+                chunk_target_ms=args.chunk_target_ms,
                 cache_dir=args.cache_dir,
                 resume=args.resume,
                 max_retries=args.max_retries,

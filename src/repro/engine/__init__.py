@@ -17,13 +17,19 @@ This package turns that workflow into a first-class pipeline:
 - :mod:`repro.engine.generation` -- deferred generation
   (:class:`KernelRef`): spec-backed jobs ship a reference and workers
   regenerate their slice locally, memoized per process,
-- :mod:`repro.engine.runner` -- a fault-tolerant worker-pool scheduler
-  (``ProcessPoolExecutor``; ``jobs=1`` runs inline) whose per-job derived
-  noise seeds make results bit-identical regardless of worker count or
-  scheduling order; failing jobs are retried with backoff, hung chunks
-  time out, crashed workers' jobs are re-dispatched, and a persistently
-  bad job is quarantined into :class:`JobFailure` entries instead of
-  killing the run,
+- :mod:`repro.engine.runner` -- a fault-tolerant scheduler over the
+  persistent worker pool (``jobs=1`` runs inline) whose per-job derived
+  noise seeds make results bit-identical regardless of worker count,
+  chunk policy, or scheduling order; failing jobs are retried with
+  backoff, hung chunks time out, crashed workers' jobs are
+  re-dispatched, and a persistently bad job is quarantined into
+  :class:`JobFailure` entries instead of killing the run,
+- :mod:`repro.engine.pool` -- the persistent worker runtime itself:
+  long-lived worker processes reused across ``run_campaign`` calls,
+  epoch-tokened kill+rebuild, per-worker pipes,
+- :mod:`repro.engine.transport` -- the packed binary result frames the
+  workers answer with (schema-versioned; cycles arrays travel as one
+  contiguous float64 buffer),
 - :mod:`repro.engine.faults` -- deterministic fault injection
   (:class:`FaultPlan`): make a chosen job raise, hang, return garbage,
   or crash its worker at a chosen attempt, reproducibly,
@@ -60,13 +66,21 @@ from repro.engine.hashing import (
     options_digest,
     spec_digest,
 )
+from repro.engine.pool import (
+    WorkerPool,
+    get_worker_pool,
+    shutdown_worker_pool,
+)
 from repro.engine.runner import (
+    CHUNK_POLICIES,
     CampaignRun,
     JobFailure,
     JobTimeout,
     RunStats,
+    resolve_chunk_policy,
     run_campaign,
 )
+from repro.engine.transport import pack_chunk, unpack_chunk
 from repro.engine.serialize import (
     measurement_from_dict,
     measurement_to_dict,
@@ -83,6 +97,7 @@ from repro.engine.store import (
 )
 
 __all__ = [
+    "CHUNK_POLICIES",
     "CachedVariant",
     "Campaign",
     "CampaignRun",
@@ -102,8 +117,10 @@ __all__ = [
     "ShardedStore",
     "StoreColumns",
     "SweepSpec",
+    "WorkerPool",
     "creator_options_digest",
     "expand_spec_variants",
+    "get_worker_pool",
     "job_id_for",
     "kernel_digest",
     "machine_digest",
@@ -114,6 +131,10 @@ __all__ = [
     "open_result_cache",
     "options_digest",
     "options_to_dict",
+    "pack_chunk",
+    "resolve_chunk_policy",
     "run_campaign",
+    "shutdown_worker_pool",
     "spec_digest",
+    "unpack_chunk",
 ]

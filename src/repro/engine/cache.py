@@ -197,6 +197,31 @@ class JsonlCache:
             self._torn_tail = False
         self.stats.stores += 1
 
+    def _store_many(self, records: list[dict]) -> None:
+        """Checksum and append a batch of records under one open+flush.
+
+        Same durability point as ``_store`` called in a loop — the batch
+        is on disk when this returns — but one file open and one flush
+        for the whole batch instead of per record, which is what lets
+        the scheduler persist a chunk's rows at its boundary without
+        paying per-job I/O.
+        """
+        if not records:
+            return
+        for record in records:
+            record["check"] = record_check(record)
+            self._records[record[self.KEY]] = record
+        if self._corrupt_lines:
+            self._rewrite()
+        else:
+            with self.path.open("ab") as fh:
+                if self._torn_tail:
+                    fh.write(b"\n")
+                for record in records:
+                    fh.write(json.dumps(record).encode() + b"\n")
+            self._torn_tail = False
+        self.stats.stores += len(records)
+
     def _ends_with_newline(self) -> bool:
         if self.path.stat().st_size == 0:
             return True
@@ -276,4 +301,21 @@ class ResultCache(JsonlCache):
                 "mode": mode,
                 "measurements": measurements,
             }
+        )
+
+    def put_many(
+        self, entries: list[tuple[str, list[dict], str, str]]
+    ) -> None:
+        """Store a chunk's results — ``(job_id, measurements, kernel,
+        mode)`` tuples — in one batched append (see ``_store_many``)."""
+        self._store_many(
+            [
+                {
+                    "job_id": job_id,
+                    "kernel": kernel,
+                    "mode": mode,
+                    "measurements": measurements,
+                }
+                for job_id, measurements, kernel, mode in entries
+            ]
         )

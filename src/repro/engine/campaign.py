@@ -21,6 +21,7 @@ from repro.engine.hashing import (
     machine_digest,
     options_digest,
 )
+from repro.fastpickle import fast_slots_pickling
 from repro.launcher.options import LauncherOptions
 from repro.machine.config import MachineConfig
 from repro.spec.schema import KernelSpec
@@ -32,6 +33,7 @@ JOB_MODES = ("sequential", "forked", "openmp", "alignment_sweep")
 _SEED_SPACE = 2**31 - 1
 
 
+@fast_slots_pickling
 @dataclass(frozen=True, slots=True)
 class Job:
     """One schedulable measurement: a kernel, options, and a mode.

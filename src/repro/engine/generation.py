@@ -27,6 +27,7 @@ from repro.engine.hashing import (
     kernel_digest,
     spec_digest,
 )
+from repro.fastpickle import fast_slots_pickling
 from repro.spec.schema import KernelSpec
 
 if TYPE_CHECKING:
@@ -36,11 +37,15 @@ if TYPE_CHECKING:
 #: Expansions kept per worker process.  A chunk references one spec and
 #: campaigns interleave few specs per worker, so a handful suffices;
 #: oldest-inserted is evicted first, like the simulation-kernel memo.
+#: Expansions kept per process; overridable via ``REPRO_GEN_MEMO_MAX``
+#: (read per insertion).  The memo is LRU — long-lived pool workers hold
+#: it across campaigns, so hits keep an expansion alive.
 _GEN_MEMO_MAX = 4
 
 _GEN_MEMO: dict[tuple[str, str], dict[int, object]] = {}
 
 
+@fast_slots_pickling
 @dataclass(frozen=True, slots=True)
 class KernelRef:
     """A variant by reference: regenerate me where you measure me.
@@ -98,7 +103,7 @@ def resolve_kernel_ref(ref: KernelRef) -> object:
     that as a failed attempt, never as a result.
     """
     key = ref.memo_key()
-    expansion = _GEN_MEMO.get(key)
+    expansion = _GEN_MEMO.pop(key, None)
     if expansion is None:
         with obs.span("gen.worker", spec=ref.spec.name) as sp:
             from repro.creator import MicroCreator
@@ -106,9 +111,16 @@ def resolve_kernel_ref(ref: KernelRef) -> object:
             variants = list(MicroCreator(ref.options).stream(ref.spec))
             sp.set(variants=len(variants))
         expansion = {v.variant_id: v for v in variants}  # type: ignore[attr-defined]
-        if len(_GEN_MEMO) >= _GEN_MEMO_MAX:
+        from repro.engine.runner import _memo_capacity
+
+        while len(_GEN_MEMO) >= _memo_capacity(
+            "REPRO_GEN_MEMO_MAX", _GEN_MEMO_MAX
+        ):
             _GEN_MEMO.pop(next(iter(_GEN_MEMO)))
-        _GEN_MEMO[key] = expansion
+    # LRU: re-insert at the tail on hit and miss alike — workers persist
+    # across campaigns now, so the expansions still in use must outlive
+    # colder ones.
+    _GEN_MEMO[key] = expansion
     kernel = expansion.get(ref.variant_id)
     if kernel is None:
         raise RuntimeError(

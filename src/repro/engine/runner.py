@@ -1,17 +1,26 @@
 """The campaign scheduler: cache partition -> worker pool -> ordered rows.
 
 ``run_campaign`` expands a campaign, answers what it can from the result
-cache, executes the remaining jobs — inline for ``jobs=1``, on a
-``ProcessPoolExecutor`` otherwise — and assembles results in campaign
-order.  Determinism is structural, not scheduled: each job's noise seed
-derives from its content hash (see :meth:`Job.execution_options`), and
-rows are ordered by job index, so worker count and completion order
-cannot change a single output byte.
+cache, executes the remaining jobs — inline for ``jobs=1``, on the
+persistent worker runtime of :mod:`repro.engine.pool` otherwise — and
+assembles results in campaign order.  Determinism is structural, not
+scheduled: each job's noise seed derives from its content hash (see
+:meth:`Job.execution_options`), and rows are ordered by job index, so
+worker count, chunking policy, and completion order cannot change a
+single output byte.
 
-Parallel jobs ship to workers in *chunks* (``chunk_size``, auto-sized by
-default): one pickle round-trip and one launcher per chunk instead of
-per job, with a per-worker memo so option sweeps over one kernel
-normalize and model it once.
+Parallel jobs ship to workers in *chunks*: one launcher and one packed
+result frame (:mod:`repro.engine.transport`) per chunk instead of per
+job, with a per-worker memo so option sweeps over one kernel normalize
+and model it once.  Workers outlive the campaign — consecutive
+``run_campaign`` calls reuse the same pool, so those memos stay warm
+across campaigns.  Chunk sizing is policy-driven (``chunk_policy``):
+``"static"`` slices fixed batches as before, while ``"dynamic"`` (the
+default when no explicit ``chunk_size`` is given) seeds small chunks
+and then sizes each next chunk from an EWMA of observed per-job
+durations per spec family, targeting ``chunk_target_ms`` of wall time —
+adaptive-stopping campaigns whose per-job cost varies >10x keep every
+worker busy to the tail instead of straggling on static batches.
 
 The scheduler is fault-tolerant: a raising job is retried with
 exponential backoff up to ``max_retries`` times, a chunk that exceeds
@@ -33,9 +42,9 @@ Everything costs one global check when disabled.
 
 from __future__ import annotations
 
-import concurrent.futures
 import itertools
 import json
+import os
 import threading
 import time
 from collections import defaultdict, deque
@@ -50,6 +59,8 @@ from repro.engine.campaign import Campaign, Job
 from repro.engine.faults import FaultPlan
 from repro.engine.gencache import GenerationCache
 from repro.engine.generation import KernelRef, resolve_kernel_ref
+from repro.engine.pool import PoolUnusable, get_worker_pool, shutdown_worker_pool
+from repro.engine.transport import TransportError, unpack_chunk
 from repro.engine.serialize import (
     measurement_to_dict,
     measurements_from_payload,
@@ -67,9 +78,27 @@ from repro.machine.config import MachineConfig
 #: Per-process memo of normalized kernels keyed by ``(kernel digest,
 #: trip_count)``: parsing/analyzing a kernel (the kernel-model half of a
 #: measurement) is pure in its text and lowering size, so a chunk that
-#: sweeps options over one kernel evaluates the model once.
+#: sweeps options over one kernel evaluates the model once.  Workers now
+#: outlive a single campaign, so the memo is LRU (a hit re-inserts at
+#: the tail) and its capacity is tunable via ``REPRO_SIM_MEMO_MAX``.
 _SIM_MEMO: dict[tuple[str, int], object] = {}
 _SIM_MEMO_MAX = 512
+
+
+def _memo_capacity(env_var: str, default: int) -> int:
+    """An eviction capacity, overridable by environment (min 1).
+
+    Read per insertion rather than at import so long-lived worker
+    processes (and tests) see changes without a re-exec; insertions only
+    happen on memo misses, so the lookup never shows up in a profile.
+    """
+    raw = os.environ.get(env_var)
+    if not raw:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return default
 
 #: Chunk-size ceiling: keeps result recording (and cache writes) granular
 #: enough to survive interruption without losing much work.
@@ -85,6 +114,27 @@ _CHUNK_TIMEOUT_SLACK = 0.25
 #: Consecutive pool breakages (with no chunk ever completing) after which
 #: the pool is declared unusable and the run falls back inline.
 _MAX_POOL_BREAKS_BEFORE_INLINE = 3
+
+#: Recognized ``chunk_policy`` values: ``auto`` resolves to ``static``
+#: when an explicit ``chunk_size`` is given, else ``dynamic``.
+CHUNK_POLICIES = ("auto", "static", "dynamic")
+
+#: Dynamic chunking: wall-clock a chunk should occupy a worker for.
+#: Large enough to amortize the queue round-trip, small enough that the
+#: tail of a campaign rebalances across workers.
+DEFAULT_CHUNK_TARGET_MS = 250.0
+
+#: Dynamic chunking: jobs per chunk before any duration has been
+#: observed for a spec family.  Deliberately small — the first chunks
+#: exist to calibrate the EWMA, not to saturate.
+_SEED_CHUNK_SIZE = 4
+
+#: Dynamic chunking: EWMA weight of the newest chunk's mean duration.
+_EWMA_ALPHA = 0.4
+
+#: Dynamic chunking: hard ceiling on jobs per chunk, so result recording
+#: (and crash-consistent cache flushes) stay granular.
+_DYNAMIC_MAX_CHUNK = 256
 
 
 def _sim_kernel_for(job: Job) -> object:
@@ -104,17 +154,21 @@ def _sim_kernel_for(job: Job) -> object:
     else:
         digest = job.kernel_digest or kernel_digest(kernel)
     key = (digest, job.options.trip_count)
-    sim = _SIM_MEMO.get(key)
+    sim = _SIM_MEMO.pop(key, None)
     if sim is None:
         if isinstance(kernel, KernelRef):
             kernel = resolve_kernel_ref(kernel)
         sim = as_sim_kernel(kernel, trip_count=job.options.trip_count)
-        if len(_SIM_MEMO) >= _SIM_MEMO_MAX:
-            # Evict the oldest entry (dict preserves insertion order): a
-            # full wipe mid-sweep would throw away every kernel the
-            # current chunk is still using.
+        capacity = _memo_capacity("REPRO_SIM_MEMO_MAX", _SIM_MEMO_MAX)
+        while len(_SIM_MEMO) >= capacity:
+            # Evict the least-recently-used entry (hits re-insert at the
+            # tail): a full wipe mid-sweep would throw away every kernel
+            # the current chunk is still using.
             del _SIM_MEMO[next(iter(_SIM_MEMO))]
-        _SIM_MEMO[key] = sim
+    # Re-insert on hit and miss alike so the hottest kernels sit at the
+    # tail, furthest from eviction — workers persist across campaigns,
+    # so recency now matters.
+    _SIM_MEMO[key] = sim
     return sim
 
 
@@ -250,6 +304,8 @@ class RunStats:
     cache_hits: int = 0
     workers: int = 1
     chunk_size: int = 1
+    #: Resolved chunk-sizing policy: ``static`` or ``dynamic``.
+    chunk_policy: str = "static"
     fell_back_inline: bool = False
     #: Re-dispatches of a single job after a failed attempt.
     retries: int = 0
@@ -420,6 +476,93 @@ def _chunked_units(pending: list[Job], chunk_size: int) -> list[_Unit]:
     ]
 
 
+def resolve_chunk_policy(chunk_policy: str, chunk_size: int | None) -> str:
+    """Resolve ``auto`` to a concrete policy and validate the rest."""
+    if chunk_policy not in CHUNK_POLICIES:
+        raise ValueError(
+            f"chunk_policy must be one of {CHUNK_POLICIES}, got {chunk_policy!r}"
+        )
+    if chunk_policy == "auto":
+        return "static" if chunk_size is not None else "dynamic"
+    return chunk_policy
+
+
+class _ChunkPlanner:
+    """Carves pending jobs into dispatch units, sized by observed cost.
+
+    Chunks never span two spec families (same rule as
+    :func:`_chunked_units` — a deferred chunk regenerates its spec
+    worker-side, and mixing two specs would run two pipelines in one
+    worker).  Under the ``static`` policy every chunk is
+    ``chunk_size`` jobs, reproducing the pre-planner slicing exactly.
+    Under ``dynamic``, the first chunks of each family are
+    ``_SEED_CHUNK_SIZE`` jobs; once per-job durations flow back from the
+    workers, each next chunk is sized so it should occupy a worker for
+    ``target_ms`` — an EWMA per family, falling back to a campaign-wide
+    EWMA for families not yet seen.  Sizing only changes how many jobs
+    share a launcher; job identity, seeds, and output bytes are
+    untouched.
+    """
+
+    def __init__(
+        self,
+        pending: list[Job],
+        *,
+        policy: str,
+        chunk_size: int,
+        target_ms: float,
+    ) -> None:
+        self.policy = policy
+        self.chunk_size = chunk_size
+        self.target_ms = target_ms
+        self._ewma: dict[object, float] = {}
+        self._overall: float | None = None
+        self._groups: deque[tuple[object, deque[Job]]] = deque(
+            (key, deque(group))
+            for key, group in itertools.groupby(pending, key=_gen_group)
+        )
+
+    def exhausted(self) -> bool:
+        return not self._groups
+
+    def carve(self) -> _Unit | None:
+        """The next fresh dispatch unit, or ``None`` when drained."""
+        if not self._groups:
+            return None
+        key, batch = self._groups[0]
+        size = min(self._size_for(key), len(batch))
+        jobs = [batch.popleft() for _ in range(size)]
+        if not batch:
+            self._groups.popleft()
+        return _Unit(jobs)
+
+    def _size_for(self, key: object) -> int:
+        if self.policy == "static":
+            return self.chunk_size
+        per_job_ms = self._ewma.get(key, self._overall)
+        if per_job_ms is None:
+            return _SEED_CHUNK_SIZE
+        per_job_ms = max(per_job_ms, 1e-3)
+        return max(1, min(_DYNAMIC_MAX_CHUNK, int(self.target_ms / per_job_ms)))
+
+    def observe(self, key: object, durations_ms: list[float]) -> None:
+        """Fold one completed chunk's per-job durations into the EWMA."""
+        if self.policy != "dynamic" or not durations_ms:
+            return
+        mean = sum(durations_ms) / len(durations_ms)
+        previous = self._ewma.get(key)
+        self._ewma[key] = (
+            mean
+            if previous is None
+            else _EWMA_ALPHA * mean + (1.0 - _EWMA_ALPHA) * previous
+        )
+        self._overall = (
+            mean
+            if self._overall is None
+            else _EWMA_ALPHA * mean + (1.0 - _EWMA_ALPHA) * self._overall
+        )
+
+
 class _PoolUnusable(Exception):
     """The process pool cannot be made to work; run inline instead."""
 
@@ -447,11 +590,12 @@ def _parallel_execute(
     max_retries: int,
     job_timeout: float | None,
     retry_backoff: float,
-    record: Callable[[Job, list[dict]], bool],
+    chunk_target_ms: float,
+    record_batch: Callable[[list[tuple[Job, list[dict]]]], list[bool]],
     quarantine: Callable[[Job, str], None],
     say: Callable[[str], None],
 ) -> list[Job] | None:
-    """Dispatch pending jobs on a pool with full failure recovery.
+    """Dispatch pending jobs on the persistent pool with full recovery.
 
     Returns ``None`` when every pending job was recorded or quarantined,
     or the unfinished jobs when no pool can be made to work (the caller
@@ -462,18 +606,27 @@ def _parallel_execute(
       an attempt to jobs that cannot be blamed individually;
     - a single failing job is retried with exponential backoff, then
       quarantined once it has failed ``max_retries + 1`` times;
-    - a crashed worker breaks the whole pool: every in-flight chunk is
-      re-dispatched on a fresh pool (only the chunk that caused the
-      break is treated as failed);
+    - a dead worker rebuilds the pool under a new epoch: the chunk it
+      had claimed is treated as failed, every other in-flight chunk is
+      re-dispatched without being charged an attempt, and any straggler
+      message from the old generation is dropped by its stale epoch;
     - with ``job_timeout``, a chunk gets ``job_timeout * len(chunk)``
       seconds from dispatch; past that the pool (which still holds the
-      hung worker) is killed and replaced.
+      hung worker) is killed and rebuilt the same way.
     """
     handled: set[str] = set()
-    work: deque[_Unit] = deque(_chunked_units(pending, stats.chunk_size))
+    #: Retry/split re-dispatches; fresh chunks are carved on demand so
+    #: dynamic sizing uses the newest duration estimates.
+    work: deque[_Unit] = deque()
+    planner = _ChunkPlanner(
+        pending,
+        policy=stats.chunk_policy,
+        chunk_size=stats.chunk_size,
+        target_ms=chunk_target_ms,
+    )
     say(
-        f"{campaign.name}: dispatching {len(work)} chunks of "
-        f"<= {stats.chunk_size} jobs to {stats.workers} workers"
+        f"{campaign.name}: dispatching {len(pending)} jobs to "
+        f"{stats.workers} persistent workers ({stats.chunk_policy} chunks)"
     )
 
     def fail_unit(unit: _Unit, reason: str) -> None:
@@ -494,42 +647,65 @@ def _parallel_execute(
         backoff = retry_backoff * (2 ** (attempts[job.job_id] - 1))
         work.append(_Unit(unit.jobs, not_before=time.monotonic() + backoff))
 
-    pool = None
-    # future -> (unit, deadline, perf_counter submit time); submit time
-    # feeds the per-chunk trace spans and job-duration histogram.
-    in_flight: dict[
-        concurrent.futures.Future, tuple[_Unit, float | None, float]
-    ] = {}
+    # task_id -> (unit, deadline, perf_counter submit time); submit time
+    # feeds the per-chunk trace spans.  Submission is windowed to the
+    # worker count, so submission time ~= start time, which is what
+    # makes the per-chunk deadline meaningful.
+    in_flight: dict[int, tuple[_Unit, float | None, float]] = {}
     ever_succeeded = False
     consecutive_breaks = 0
+
+    def requeue_innocents() -> None:
+        """Re-dispatch in-flight chunks that cannot be blamed, free."""
+        for unit, _deadline, _submitted in in_flight.values():
+            work.append(_Unit(unit.jobs))
+        in_flight.clear()
+
+    def rebuild(reason: str) -> None:
+        try:
+            pool.rebuild()
+        except PoolUnusable as exc:
+            raise _PoolUnusable from exc
+        say(f"{campaign.name}: {reason}")
+
     try:
-        while work or in_flight:
-            if pool is None:
-                try:
-                    pool = concurrent.futures.ProcessPoolExecutor(
-                        max_workers=stats.workers
-                    )
-                except (OSError, PermissionError) as exc:
-                    raise _PoolUnusable from exc
-            # Submit ready units up to worker capacity.  Submission time
-            # ~= start time under this window, which is what makes the
-            # per-chunk deadline meaningful.
+        try:
+            pool = get_worker_pool(stats.workers)
+        except PoolUnusable as exc:
+            raise _PoolUnusable from exc
+        while work or in_flight or not planner.exhausted():
+            # Submit ready units up to worker capacity.  Backed-off
+            # units are set aside in one pass (no per-unit rotation);
+            # fresh chunks are carved only when a slot is actually free.
             now = time.monotonic()
-            for _ in range(len(work)):
-                if len(in_flight) >= stats.workers or not work:
+            waiting: list[_Unit] = []
+            while len(in_flight) < stats.workers:
+                unit = None
+                while work:
+                    candidate = work.popleft()
+                    if candidate.not_before > now:
+                        waiting.append(candidate)
+                    else:
+                        unit = candidate
+                        break
+                if unit is None:
+                    unit = planner.carve()
+                if unit is None:
                     break
-                if work[0].not_before > now:
-                    work.rotate(-1)
-                    continue
-                unit = work.popleft()
                 snapshot = {j.job_id: attempts[j.job_id] for j in unit.jobs}
                 try:
-                    future = pool.submit(
-                        _execute_chunk, campaign.machine, unit.jobs, faults, snapshot
+                    task_id = pool.submit(
+                        campaign.machine, unit.jobs, faults, snapshot
                     )
                 except (OSError, PermissionError) as exc:
                     work.appendleft(unit)
                     raise _PoolUnusable from exc
+                except Exception as exc:  # unpicklable chunk: charge it
+                    fail_unit(unit, _failure_reason(exc))
+                    continue
+                if task_id is None:  # no idle worker (one may be dead)
+                    work.appendleft(unit)
+                    break
                 deadline = (
                     None
                     if job_timeout is None
@@ -537,7 +713,9 @@ def _parallel_execute(
                     + job_timeout * len(unit.jobs)
                     + _CHUNK_TIMEOUT_SLACK
                 )
-                in_flight[future] = (unit, deadline, time.perf_counter())
+                in_flight[task_id] = (unit, deadline, time.perf_counter())
+            if waiting:
+                work.extendleft(reversed(waiting))
             if not in_flight:
                 # Everything is backing off: sleep until the earliest
                 # unit becomes dispatchable.
@@ -546,81 +724,98 @@ def _parallel_execute(
                 )
                 time.sleep(min(delay, _POLL_SECONDS) or _POLL_SECONDS / 10)
                 continue
-            done, _ = concurrent.futures.wait(
-                list(in_flight),
-                timeout=_POLL_SECONDS,
-                return_when=concurrent.futures.FIRST_COMPLETED,
-            )
-            broken = False
-            for future in done:
-                unit, _deadline, submitted = in_flight.pop(future)
+            for kind, _worker_id, task_id, body in pool.poll(_POLL_SECONDS):
+                entry = in_flight.pop(task_id, None)
+                if entry is None:  # pragma: no cover - defensive
+                    continue
+                unit, _deadline, submitted = entry
                 chunk_s = time.perf_counter() - submitted
-                try:
-                    outputs = future.result()
-                except BrokenProcessPool:
-                    broken = True
+                if kind == "error":
                     obs.add_span(
                         "engine.chunk", submitted, chunk_s,
-                        jobs=len(unit.jobs), outcome="worker-crash",
+                        jobs=len(unit.jobs), outcome=body,
                     )
-                    fail_unit(unit, "worker-crash")
-                except Exception as exc:
+                    fail_unit(unit, body)
+                    continue
+                try:
+                    outputs = unpack_chunk(body)
+                except TransportError as exc:
                     obs.add_span(
                         "engine.chunk", submitted, chunk_s,
                         jobs=len(unit.jobs), outcome=_failure_reason(exc),
                     )
                     fail_unit(unit, _failure_reason(exc))
-                else:
-                    ever_succeeded = True
-                    consecutive_breaks = 0
-                    obs.add_span(
-                        "engine.chunk", submitted, chunk_s,
-                        jobs=len(unit.jobs), outcome="ok",
-                    )
-                    if obs.is_enabled() and unit.jobs:
-                        # Per-job duration is not observable from the
-                        # scheduler side of the pool; attribute the
-                        # chunk's wall time evenly.
-                        per_job_ms = chunk_s * 1e3 / len(unit.jobs)
-                        for _ in unit.jobs:
-                            obs.observe("engine.job.duration_ms", per_job_ms)
-                    by_id = {job.job_id: job for job in unit.jobs}
-                    for job_id, dicts in outputs:
-                        job = by_id[job_id]
-                        if record(job, dicts):
-                            handled.add(job_id)
-                            if obs.is_enabled():
-                                _count_stopping(dicts)
-                        else:
-                            fail_unit(_Unit([job]), "invalid-result")
-            if broken:
+                    continue
+                ever_succeeded = True
+                consecutive_breaks = 0
+                obs.add_span(
+                    "engine.chunk", submitted, chunk_s,
+                    jobs=len(unit.jobs), outcome="ok",
+                )
+                # Real per-job wall clock, measured worker-side and
+                # carried in the packed frame — both the duration
+                # histogram and the chunk planner's EWMA see actual
+                # job cost, not an even split of chunk time.
+                planner.observe(
+                    _gen_group(unit.jobs[0]),
+                    [duration_ms for _, _, duration_ms in outputs],
+                )
+                if obs.is_enabled():
+                    for _job_id, _dicts, duration_ms in outputs:
+                        obs.observe("engine.job.duration_ms", duration_ms)
+                by_id = {job.job_id: job for job in unit.jobs}
+                pairs = [
+                    (by_id[job_id], dicts) for job_id, dicts, _ in outputs
+                ]
+                for (job, dicts), ok in zip(pairs, record_batch(pairs)):
+                    if ok:
+                        handled.add(job.job_id)
+                        if obs.is_enabled():
+                            _count_stopping(dicts)
+                    else:
+                        fail_unit(_Unit([job]), "invalid-result")
+            dead = pool.dead_worker_ids()
+            if dead:
                 consecutive_breaks += 1
                 if (
                     consecutive_breaks >= _MAX_POOL_BREAKS_BEFORE_INLINE
                     and not ever_succeeded
                 ):
                     raise _PoolUnusable
-                # The other in-flight chunks died with the pool through
-                # no fault of their own: re-dispatch without charging an
-                # attempt.
-                for unit, _deadline, _submitted in in_flight.values():
-                    work.append(_Unit(unit.jobs))
-                in_flight.clear()
-                _shutdown_pool(pool, kill=True)
-                pool = None
-                say(f"{campaign.name}: worker crashed; re-dispatching its jobs")
+                for worker_id in dead:
+                    # The parent assigned the task, so blame needs no
+                    # worker cooperation: a dead worker's task is
+                    # whatever the pool still shows assigned to it.
+                    task_id = pool.task_of(worker_id)
+                    entry = (
+                        in_flight.pop(task_id, None)
+                        if task_id is not None
+                        else None
+                    )
+                    if entry is None:
+                        continue
+                    unit, _deadline, submitted = entry
+                    obs.add_span(
+                        "engine.chunk",
+                        submitted,
+                        time.perf_counter() - submitted,
+                        jobs=len(unit.jobs),
+                        outcome="worker-crash",
+                    )
+                    fail_unit(unit, "worker-crash")
+                requeue_innocents()
+                rebuild("worker crashed; re-dispatching its jobs")
                 continue
             if job_timeout is not None and in_flight:
                 now = time.monotonic()
                 expired = [
-                    future
-                    for future, (_unit, deadline, _submitted) in in_flight.items()
+                    task_id
+                    for task_id, (_unit, deadline, _submitted) in in_flight.items()
                     if deadline is not None and now > deadline
                 ]
                 if expired:
-                    for future in expired:
-                        unit, _deadline, submitted = in_flight.pop(future)
-                        future.cancel()
+                    for task_id in expired:
+                        unit, _deadline, submitted = in_flight.pop(task_id)
                         obs.add_span(
                             "engine.chunk",
                             submitted,
@@ -629,26 +824,16 @@ def _parallel_execute(
                             outcome="timeout",
                         )
                         fail_unit(unit, "timeout")
-                    # The hung worker still owns a pool slot; replace the
-                    # pool and re-dispatch the innocent in-flight chunks.
-                    for future, (unit, _deadline, _submitted) in in_flight.items():
-                        future.cancel()
-                        work.append(_Unit(unit.jobs))
-                    in_flight.clear()
-                    _shutdown_pool(pool, kill=True)
-                    pool = None
-                    say(
-                        f"{campaign.name}: chunk exceeded its "
-                        f"{job_timeout:.3g}s/job budget; restarting the pool"
+                    # The hung worker still owns a pool slot; rebuild
+                    # and re-dispatch the innocent in-flight chunks.
+                    requeue_innocents()
+                    rebuild(
+                        f"chunk exceeded its {job_timeout:.3g}s/job "
+                        "budget; rebuilding the pool"
                     )
     except _PoolUnusable:
-        if pool is not None:
-            _shutdown_pool(pool, kill=True)
-            pool = None
+        shutdown_worker_pool()
         return [job for job in pending if job.job_id not in handled]
-    finally:
-        if pool is not None:
-            _shutdown_pool(pool)
     return None
 
 
@@ -710,6 +895,8 @@ def run_campaign(
     *,
     jobs: int = 1,
     chunk_size: int | None = None,
+    chunk_policy: str = "auto",
+    chunk_target_ms: float | None = None,
     cache_dir: str | Path | None = None,
     cache: "ResultCache | ShardedResultCache | None" = None,
     resume: bool = True,
@@ -733,9 +920,21 @@ def run_campaign(
         falls back inline — results are identical either way.
     chunk_size:
         Jobs shipped to a worker per submission (amortizes pickling and
-        launcher setup); ``None`` auto-sizes from the pending-job count
-        and worker count.  Output rows are byte-identical for every
-        chunking.
+        launcher setup); ``None`` auto-sizes.  Output rows are
+        byte-identical for every chunking.
+    chunk_policy:
+        How chunks are sized: ``"static"`` slices fixed batches of
+        ``chunk_size`` jobs (auto-sized when ``chunk_size`` is
+        ``None``); ``"dynamic"`` seeds small chunks and then targets
+        ``chunk_target_ms`` of wall time per chunk from an EWMA of
+        observed per-job durations per spec family — straggler-resistant
+        when per-job cost varies (adaptive stopping).  ``"auto"`` (the
+        default) picks ``static`` when an explicit ``chunk_size`` is
+        given, else ``dynamic``.  Output bytes are identical under
+        every policy.
+    chunk_target_ms:
+        Dynamic chunking's wall-time target per chunk (default
+        ``DEFAULT_CHUNK_TARGET_MS``); ignored under ``static``.
     cache_dir / cache:
         Reuse measurements across runs: jobs whose ID is already stored
         are not executed.  ``cache`` takes precedence over ``cache_dir``.
@@ -783,6 +982,11 @@ def run_campaign(
         raise ValueError("max_retries must be >= 0")
     if job_timeout is not None and job_timeout <= 0:
         raise ValueError("job_timeout must be positive")
+    resolved_policy = resolve_chunk_policy(chunk_policy, chunk_size)
+    if chunk_target_ms is None:
+        chunk_target_ms = DEFAULT_CHUNK_TARGET_MS
+    elif chunk_target_ms <= 0:
+        raise ValueError("chunk_target_ms must be positive")
     if generation not in ("auto", "parent", "worker"):
         raise ValueError(
             f"generation must be 'auto', 'parent' or 'worker', got {generation!r}"
@@ -862,6 +1066,41 @@ def run_campaign(
                 obs.count("engine.cache.puts")
             return True
 
+        def record_batch(pairs: list[tuple[Job, list[dict]]]) -> list[bool]:
+            """Validate a chunk's payloads, then persist them in one batch.
+
+            The batched put amortizes the per-record open/flush across
+            the chunk while keeping crash consistency: every valid row
+            of the chunk is durable before the scheduler marks any of
+            its jobs handled (the caller marks only after this
+            returns).
+            """
+            oks: list[bool] = []
+            puts: list[tuple[str, list[dict], str, str]] = []
+            for job, dicts in pairs:
+                try:
+                    measurements = measurements_from_payload(dicts)
+                except ValueError:
+                    oks.append(False)
+                    continue
+                results[job.job_id] = measurements
+                stats.executed += 1
+                puts.append((job.job_id, dicts, job.kernel_name, job.mode))
+                oks.append(True)
+            if cache is not None and puts:
+                with obs.span(
+                    "engine.cache.put",
+                    metric="engine.cache.put_ms",
+                    jobs=len(puts),
+                ):
+                    if hasattr(cache, "put_many"):
+                        cache.put_many(puts)
+                    else:  # user-supplied cache without batch support
+                        for job_id, dicts, kernel, mode in puts:
+                            cache.put(job_id, dicts, kernel=kernel, mode=mode)
+                obs.count("engine.cache.puts", len(puts))
+            return oks
+
         def quarantine(job: Job, reason: str) -> None:
             failures[job.job_id] = JobFailure(
                 job_id=job.job_id,
@@ -877,9 +1116,12 @@ def run_campaign(
                 f"{reason}"
             )
 
+        stats.chunk_policy = resolved_policy
         if pending and stats.workers > 1:
-            stats.chunk_size = resolve_chunk_size(
-                chunk_size, len(pending), stats.workers
+            stats.chunk_size = (
+                resolve_chunk_size(chunk_size, len(pending), stats.workers)
+                if resolved_policy == "static"
+                else _SEED_CHUNK_SIZE
             )
             with obs.span(
                 "engine.dispatch",
@@ -887,6 +1129,7 @@ def run_campaign(
                 jobs=len(pending),
                 workers=stats.workers,
                 chunk_size=stats.chunk_size,
+                chunk_policy=stats.chunk_policy,
             ):
                 leftover = _parallel_execute(
                     campaign,
@@ -897,7 +1140,8 @@ def run_campaign(
                     max_retries=max_retries,
                     job_timeout=job_timeout,
                     retry_backoff=retry_backoff,
-                    record=record,
+                    chunk_target_ms=chunk_target_ms,
+                    record_batch=record_batch,
                     quarantine=quarantine,
                     say=say,
                 )

@@ -533,7 +533,14 @@ class ShardedStore:
         tmp.replace(self.index_path)
 
     def _append_index_entry(
-        self, key: str, shard: int, segment: int, offset: int, length: int
+        self,
+        key: str,
+        shard: int,
+        segment: int,
+        offset: int,
+        length: int,
+        *,
+        flush: bool = True,
     ) -> None:
         entry = np.zeros(1, dtype=ENTRY_DTYPE)
         entry[0] = (key64(key), shard, segment, offset, length, 0)
@@ -543,7 +550,8 @@ class ShardedStore:
                 self._write_index(np.empty(0, dtype=ENTRY_DTYPE))
             self._index_fh = self.index_path.open("ab")
         self._index_fh.write(entry.tobytes())
-        self._index_fh.flush()
+        if flush:
+            self._index_fh.flush()
 
     # -- read path -----------------------------------------------------
 
@@ -644,9 +652,16 @@ class ShardedStore:
 
     # -- write path ----------------------------------------------------
 
-    def put_record(self, key: str, record: dict) -> None:
+    def put_record(self, key: str, record: dict, *, flush: bool = True) -> None:
         """Checksum, append, and index one record (repairing first if
-        damage was observed, exactly like ``JsonlCache._store``)."""
+        damage was observed, exactly like ``JsonlCache._store``).
+
+        ``flush=False`` defers the durability point: the segment and
+        index bytes are written but not flushed, letting a caller batch
+        a chunk of records and make them durable with one
+        :meth:`flush` — same bytes on disk, one syscall round instead
+        of two per record.
+        """
         record = dict(record)
         record.pop("check", None)
         record["check"] = record_check(record)
@@ -667,15 +682,33 @@ class ShardedStore:
             offset += 1
             state.torn = False
         fh.write(line)
-        fh.flush()
+        if flush:
+            fh.flush()
         state.size = offset + len(line)
         state.records += 1
         self._overlay[key] = (shard, state.segment, offset, len(line) - 1)
         self._append_index_entry(
-            key, shard, state.segment, offset, len(line) - 1
+            key, shard, state.segment, offset, len(line) - 1, flush=flush
         )
         if new_key:
             self._n += 1
+
+    def flush(self) -> None:
+        """Flush every open appender, then the index.
+
+        The ordering matters for a deferred batch: segment bytes reach
+        the disk before the index entries that point into them, so a
+        crash between the two leaves dangling index entries (which
+        lookup validation already survives) rather than indexed keys
+        with missing bytes.
+        """
+        for _segment, fh in self._appenders.values():
+            try:
+                fh.flush()
+            except ValueError:  # pragma: no cover - appender closed
+                pass
+        if self._index_fh is not None:
+            self._index_fh.flush()
 
     def _appender(self, shard: int, segment: int):
         cached = self._appenders.get(shard)
@@ -972,6 +1005,26 @@ class ShardedResultCache:
             },
         )
         self.stats.stores += 1
+
+    def put_many(
+        self, entries: list[tuple[str, list[dict], str, str]]
+    ) -> None:
+        """Store a chunk's results — ``(job_id, measurements, kernel,
+        mode)`` tuples — deferring the flush to one batch-end
+        :meth:`ShardedStore.flush` (segments before index)."""
+        for job_id, measurements, kernel, mode in entries:
+            self._store.put_record(
+                job_id,
+                {
+                    "job_id": job_id,
+                    "kernel": kernel,
+                    "mode": mode,
+                    "measurements": measurements,
+                },
+                flush=False,
+            )
+        self._store.flush()
+        self.stats.stores += len(entries)
 
     def clear(self) -> None:
         self._store.clear()

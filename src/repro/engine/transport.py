@@ -1,0 +1,154 @@
+"""Packed chunk-result transport between workers and the scheduler.
+
+Workers used to answer each chunk with one pickled
+``list[(job_id, list[dict])]`` — every ``experiment_tsc`` float crossed
+the pipe as an individual pickled object.  This module packs a chunk's
+results into one schema-versioned binary frame instead: the float bulk
+(every measurement's ``experiment_tsc`` samples) is carried as a single
+contiguous little-endian ``float64`` section, and the remaining
+measurement fields plus per-job wall-clock durations travel in a compact
+pickle header.  ``float64`` round-trips Python floats exactly, so the
+parent-side unpack reproduces the worker's dicts bit for bit and the
+JSONL/CSV output stays byte-identical to the per-dict path.
+
+The format is self-describing and versioned so a parent never trusts a
+frame blindly: :func:`unpack_chunk` raises :class:`TransportError` on a
+bad magic, an unknown version, or a truncated float section, which the
+scheduler treats exactly like any other failed chunk.
+
+Payloads that are not well-formed measurement lists (fault-injected
+garbage, crash debris) are carried verbatim in the header — transport
+never sanitizes; validation stays where it always was, in
+:func:`repro.engine.serialize.measurements_from_payload`.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+
+#: Frame magic + format version.  Bump the digit when the layout changes;
+#: parents reject frames they cannot interpret instead of guessing.
+MAGIC = b"RPK1"
+
+#: Bytes of the frame occupied by the fixed prefix: magic plus the
+#: big-endian uint32 header length.
+_PREFIX = len(MAGIC) + 4
+
+
+class TransportError(ValueError):
+    """A packed chunk frame is malformed (magic/version/truncation)."""
+
+
+def _strippable(payload: object) -> bool:
+    """Whether every ``experiment_tsc`` can move to the float section.
+
+    Only payloads shaped like real measurement lists — dicts whose
+    ``experiment_tsc`` is a list of genuine Python floats — are packed.
+    Anything else (injected garbage, ints smuggled into the samples)
+    rides in the header unchanged so unpacking is exact by construction.
+    """
+    if not isinstance(payload, list) or not payload:
+        return False
+    for entry in payload:
+        if not isinstance(entry, dict):
+            return False
+        tsc = entry.get("experiment_tsc")
+        if not isinstance(tsc, list):
+            return False
+        if any(type(v) is not float for v in tsc):
+            return False
+    return True
+
+
+def pack_chunk(records: list[tuple[str, object, float]]) -> bytes:
+    """Pack ``(job_id, payload, duration_s)`` results into one frame.
+
+    ``payload`` is whatever the job produced — normally the
+    ``list[dict]`` from ``_run_job``, but fault injection can hand back
+    arbitrary debris, which is preserved verbatim.
+    """
+    floats: list[float] = []
+    header_records: list[dict] = []
+    for job_id, payload, duration_s in records:
+        entry: dict = {"job_id": job_id, "duration_ms": duration_s * 1e3}
+        if _strippable(payload):
+            stripped = []
+            counts = []
+            positions = []
+            for d in payload:  # type: ignore[union-attr]
+                # Key order reaches the JSONL store verbatim
+                # (``json.dumps`` without ``sort_keys``), so remember
+                # where ``experiment_tsc`` sat and restore it in place.
+                positions.append(list(d).index("experiment_tsc"))
+                rest = dict(d)
+                tsc = rest.pop("experiment_tsc")
+                counts.append(len(tsc))
+                floats.extend(tsc)
+                stripped.append(rest)
+            entry["dicts"] = stripped
+            entry["tsc_counts"] = counts
+            entry["tsc_index"] = positions
+        else:
+            entry["raw"] = payload
+        header_records.append(entry)
+    section = np.asarray(floats, dtype="<f8").tobytes()
+    header = pickle.dumps(
+        {"records": header_records, "n_floats": len(floats)},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    return b"".join(
+        (MAGIC, len(header).to_bytes(4, "big"), header, section)
+    )
+
+
+def unpack_chunk(frame: bytes) -> list[tuple[str, object, float]]:
+    """Decode :func:`pack_chunk` output back to ``(job_id, payload, ms)``.
+
+    Returns durations in **milliseconds** (ready for the
+    ``engine.job.duration_ms`` histogram).  Raises
+    :class:`TransportError` if the frame cannot be interpreted.
+    """
+    if len(frame) < _PREFIX or frame[: len(MAGIC)] != MAGIC:
+        raise TransportError("bad chunk frame magic")
+    header_len = int.from_bytes(frame[len(MAGIC) : _PREFIX], "big")
+    if len(frame) < _PREFIX + header_len:
+        raise TransportError("truncated chunk frame header")
+    try:
+        header = pickle.loads(frame[_PREFIX : _PREFIX + header_len])
+    except Exception as exc:
+        raise TransportError(f"undecodable chunk frame header: {exc}") from None
+    if not isinstance(header, dict) or "records" not in header:
+        raise TransportError("chunk frame header is not a record map")
+    n_floats = int(header.get("n_floats", 0))
+    section = frame[_PREFIX + header_len :]
+    if len(section) != 8 * n_floats:
+        raise TransportError(
+            f"float section holds {len(section)} bytes, expected {8 * n_floats}"
+        )
+    # One C-level conversion for the whole frame: slicing the Python
+    # list per measurement is far cheaper than a numpy round-trip per
+    # tiny tsc array.
+    samples = np.frombuffer(section, dtype="<f8").tolist()
+    results: list[tuple[str, object, float]] = []
+    cursor = 0
+    for entry in header["records"]:
+        job_id = entry["job_id"]
+        duration_ms = entry["duration_ms"]
+        if "raw" in entry:
+            results.append((job_id, entry["raw"], duration_ms))
+            continue
+        payload = []
+        for rest, count, index in zip(
+            entry["dicts"], entry["tsc_counts"], entry["tsc_index"]
+        ):
+            tsc = samples[cursor : cursor + count]
+            if len(tsc) != count:
+                raise TransportError("float section shorter than tsc counts")
+            cursor += count
+            items = list(rest.items())
+            items.insert(index, ("experiment_tsc", tsc))
+            payload.append(dict(items))
+        results.append((job_id, payload, duration_ms))
+    return results

@@ -13,9 +13,11 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field, replace
 
+from repro.fastpickle import fast_slots_pickling
 from repro.machine.config import MemLevel
 
 
+@fast_slots_pickling
 @dataclass(frozen=True, slots=True)
 class LauncherOptions:
     """All MicroLauncher behaviour knobs (defaults suit new users).

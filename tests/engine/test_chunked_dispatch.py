@@ -156,3 +156,104 @@ class TestKernelMemo:
             assert (job.kernel_digest, job.options.trip_count) in runner._SIM_MEMO
         finally:
             runner._SIM_MEMO.clear()
+
+    def test_memo_hit_keeps_entry_hot(self, sweep_campaign):
+        """LRU regression: hits must protect an entry from eviction.
+
+        Workers persist across campaigns now, so the memo's eviction
+        order matters — an entry the current campaign keeps touching
+        must outlive fakes that were merely inserted after it.
+        """
+        from repro.engine import runner
+
+        all_jobs = sweep_campaign.job_list()
+        job_a = all_jobs[0]
+        job_b = next(
+            j for j in all_jobs if j.kernel_digest != job_a.kernel_digest
+        )
+        key_a = (job_a.kernel_digest, job_a.options.trip_count)
+        runner._SIM_MEMO.clear()
+        try:
+            _execute_chunk(sweep_campaign.machine, [job_a])  # A inserted
+            fakes = [(f"fake{i}", 0) for i in range(runner._SIM_MEMO_MAX - 1)]
+            for key in fakes:
+                runner._SIM_MEMO[key] = object()  # memo now full
+            _execute_chunk(sweep_campaign.machine, [job_a])  # hit: A -> tail
+            _execute_chunk(sweep_campaign.machine, [job_b])  # miss: evict one
+            assert key_a in runner._SIM_MEMO  # the hit kept A alive
+            assert fakes[0] not in runner._SIM_MEMO  # the LRU fake went
+        finally:
+            runner._SIM_MEMO.clear()
+
+    def test_memo_capacity_env_override(self, sweep_campaign, monkeypatch):
+        """``REPRO_SIM_MEMO_MAX`` bounds the memo, re-read per insert."""
+        from repro.engine import runner
+
+        monkeypatch.setenv("REPRO_SIM_MEMO_MAX", "2")
+        jobs = sweep_campaign.job_list()[:6]
+        runner._SIM_MEMO.clear()
+        try:
+            _execute_chunk(sweep_campaign.machine, jobs)
+            assert len(runner._SIM_MEMO) <= 2
+        finally:
+            runner._SIM_MEMO.clear()
+
+
+class TestMemoCapacityKnobs:
+    def test_default_when_unset(self, monkeypatch):
+        from repro.engine.runner import _memo_capacity
+
+        monkeypatch.delenv("REPRO_SIM_MEMO_MAX", raising=False)
+        assert _memo_capacity("REPRO_SIM_MEMO_MAX", 7) == 7
+
+    def test_env_value_wins(self, monkeypatch):
+        from repro.engine.runner import _memo_capacity
+
+        monkeypatch.setenv("REPRO_SIM_MEMO_MAX", "31")
+        assert _memo_capacity("REPRO_SIM_MEMO_MAX", 7) == 31
+
+    def test_invalid_value_falls_back(self, monkeypatch):
+        from repro.engine.runner import _memo_capacity
+
+        monkeypatch.setenv("REPRO_SIM_MEMO_MAX", "many")
+        assert _memo_capacity("REPRO_SIM_MEMO_MAX", 7) == 7
+
+    def test_floor_of_one(self, monkeypatch):
+        from repro.engine.runner import _memo_capacity
+
+        monkeypatch.setenv("REPRO_SIM_MEMO_MAX", "0")
+        assert _memo_capacity("REPRO_SIM_MEMO_MAX", 7) == 1
+
+    def test_gen_memo_env_override_and_lru(self, monkeypatch):
+        """The generation memo honors ``REPRO_GEN_MEMO_MAX`` and keeps
+        recently hit expansions when it evicts."""
+        from repro.engine import generation
+        from repro.kernels import loadstore_family
+        from repro.kernels.reduction import dot_product_spec
+        from repro.launcher import LauncherOptions
+        from repro.machine import nehalem_2s_x5650
+        from repro.engine import Campaign, SweepSpec
+
+        base = LauncherOptions(array_bytes=8 * 1024, trip_count=512)
+        campaign = Campaign(
+            name="genmemo",
+            machine=nehalem_2s_x5650(),
+            sweeps=(
+                SweepSpec(spec=dot_product_spec(2, unroll=(1, 2)), base=base),
+                SweepSpec(spec=loadstore_family("movss", unroll=(1,)), base=base),
+            ),
+        )
+        refs = [j.kernel for j in campaign.job_list(defer=True)]
+        ref_a = refs[0]
+        ref_b = next(r for r in refs if r.memo_key() != ref_a.memo_key())
+        monkeypatch.setenv("REPRO_GEN_MEMO_MAX", "1")
+        generation._GEN_MEMO.clear()
+        try:
+            generation.resolve_kernel_ref(ref_a)
+            assert list(generation._GEN_MEMO) == [ref_a.memo_key()]
+            generation.resolve_kernel_ref(ref_b)  # capacity 1: evicts A
+            assert list(generation._GEN_MEMO) == [ref_b.memo_key()]
+            generation.resolve_kernel_ref(ref_b)  # hit: stays resident
+            assert list(generation._GEN_MEMO) == [ref_b.memo_key()]
+        finally:
+            generation._GEN_MEMO.clear()

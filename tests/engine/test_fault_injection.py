@@ -17,6 +17,7 @@ import pytest
 
 from repro.engine import Campaign, CampaignRun, Fault, FaultPlan, SweepSpec, run_campaign
 from repro.engine.faults import GARBAGE_PAYLOAD, InjectedFault
+from repro.engine.pool import WorkerPool, shutdown_worker_pool
 from repro.launcher import LauncherOptions
 
 
@@ -296,11 +297,13 @@ class TestWorkerCrash:
     def test_pool_that_never_works_falls_back_inline(
         self, campaign, clean, monkeypatch, tmp_path
     ):
-        class NoPool:
-            def __init__(self, *args, **kwargs):
-                raise OSError("no forks here")
+        def no_forks(self, worker_id):
+            raise OSError("no forks here")
 
-        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", NoPool)
+        # A healthy persistent pool from an earlier test would be reused
+        # without spawning; drop it so the campaign must fork (and fail).
+        shutdown_worker_pool()
+        monkeypatch.setattr(WorkerPool, "_spawn_member", no_forks)
         run = run_campaign(campaign, jobs=4)
         assert run.stats.fell_back_inline
         assert not run.failures

@@ -1,0 +1,352 @@
+"""The persistent worker pool cannot change a byte or lose a fault.
+
+Workers now outlive ``run_campaign``: the second campaign in a process
+reuses the first one's pool.  These tests pin the three contracts that
+makes safe: (1) a reused pool produces byte-identical output to a fresh
+one, for every chunk policy and store backend; (2) every fault-injection
+behaviour (crash, hang, garbage, kill/resume) holds when the workers
+are warm; (3) the epoch token keeps messages from a killed generation
+out of the current one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro import obs
+from repro.engine import Campaign, FaultPlan, SweepSpec, run_campaign
+from repro.engine.pool import WorkerPool, _Worker, get_worker_pool, shutdown_worker_pool
+from repro.engine.runner import (
+    _DYNAMIC_MAX_CHUNK,
+    _SEED_CHUNK_SIZE,
+    _ChunkPlanner,
+    _gen_group,
+    resolve_chunk_policy,
+)
+from repro.launcher import LauncherOptions
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    """8 kernels x 2 trip counts = 16 cheap jobs."""
+    from repro.creator import MicroCreator
+    from repro.machine import nehalem_2s_x5650
+    from repro.spec import load_kernel
+
+    variants = MicroCreator().generate(load_kernel("movaps"))
+    sweep = SweepSpec(
+        kernels=tuple(variants),
+        base=LauncherOptions(array_bytes=16 * 1024, experiments=2, repetitions=2),
+        axes={"trip_count": (256, 512)},
+    )
+    return Campaign(name="pooled", machine=nehalem_2s_x5650(), sweeps=(sweep,))
+
+
+@pytest.fixture(scope="module")
+def serial_bytes(campaign, tmp_path_factory):
+    """CSV+JSONL reference bytes from an inline (jobs=1) run."""
+    tmp = tmp_path_factory.mktemp("serial")
+    run = run_campaign(campaign, jobs=1)
+    return (
+        run.write_csv(tmp / "ref.csv").read_bytes(),
+        run.write_jsonl(tmp / "ref.jsonl").read_bytes(),
+    )
+
+
+def _bytes(run, tmp_path, tag):
+    return (
+        run.write_csv(tmp_path / f"{tag}.csv").read_bytes(),
+        run.write_jsonl(tmp_path / f"{tag}.jsonl").read_bytes(),
+    )
+
+
+class TestChunkPolicyResolution:
+    def test_auto_is_dynamic_without_explicit_size(self):
+        assert resolve_chunk_policy("auto", None) == "dynamic"
+
+    def test_auto_is_static_with_explicit_size(self):
+        assert resolve_chunk_policy("auto", 8) == "static"
+
+    def test_explicit_policies_pass_through(self):
+        assert resolve_chunk_policy("static", None) == "static"
+        assert resolve_chunk_policy("dynamic", 8) == "dynamic"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="chunk_policy"):
+            resolve_chunk_policy("adaptive", None)
+
+    def test_run_records_policy(self, campaign):
+        assert run_campaign(campaign, jobs=1).stats.chunk_policy == "dynamic"
+        assert (
+            run_campaign(campaign, jobs=1, chunk_size=4).stats.chunk_policy
+            == "static"
+        )
+        assert (
+            run_campaign(
+                campaign, jobs=1, chunk_policy="dynamic", chunk_size=4
+            ).stats.chunk_policy
+            == "dynamic"
+        )
+
+    def test_invalid_target_rejected(self, campaign):
+        with pytest.raises(ValueError, match="chunk_target_ms"):
+            run_campaign(campaign, jobs=1, chunk_target_ms=0.0)
+
+
+class TestDynamicPlanner:
+    def test_seeds_small_then_tracks_target(self, campaign):
+        jobs = campaign.job_list()
+        planner = _ChunkPlanner(
+            jobs, policy="dynamic", chunk_size=None, target_ms=100.0
+        )
+        first = planner.carve()
+        assert len(first.jobs) == _SEED_CHUNK_SIZE
+        # Fast jobs (2ms each): chunks should grow toward 100ms/2ms = 50.
+        planner.observe(_gen_group(jobs[0]), [2.0] * len(first.jobs))
+        grown = planner.carve()
+        assert len(grown.jobs) == min(50, len(jobs) - _SEED_CHUNK_SIZE)
+
+    def test_slow_jobs_shrink_chunks_to_one(self, campaign):
+        jobs = campaign.job_list()
+        planner = _ChunkPlanner(
+            jobs, policy="dynamic", chunk_size=None, target_ms=100.0
+        )
+        planner.observe(_gen_group(jobs[0]), [10_000.0])
+        assert len(planner.carve().jobs) == 1
+
+    def test_chunk_size_is_capped(self, campaign):
+        jobs = campaign.job_list()
+        planner = _ChunkPlanner(
+            jobs, policy="dynamic", chunk_size=None, target_ms=1e9
+        )
+        planner.observe(_gen_group(jobs[0]), [0.001])
+        assert len(planner.carve().jobs) <= _DYNAMIC_MAX_CHUNK
+
+    def test_static_policy_carves_fixed_chunks(self, campaign):
+        jobs = campaign.job_list()
+        planner = _ChunkPlanner(jobs, policy="static", chunk_size=5, target_ms=250.0)
+        sizes = []
+        while not planner.exhausted():
+            sizes.append(len(planner.carve().jobs))
+        assert sizes == [5, 5, 5, 1]
+        assert planner.carve() is None
+
+    def test_chunks_never_span_spec_families(self):
+        from repro.kernels import loadstore_family
+        from repro.kernels.reduction import dot_product_spec
+        from repro.machine import nehalem_2s_x5650
+
+        base = LauncherOptions(array_bytes=8 * 1024, trip_count=512, experiments=2)
+        two_specs = Campaign(
+            name="two-families",
+            machine=nehalem_2s_x5650(),
+            sweeps=(
+                SweepSpec(spec=dot_product_spec(2, unroll=(1, 2)), base=base),
+                SweepSpec(spec=loadstore_family("movss", unroll=(1, 2)), base=base),
+            ),
+        )
+        jobs = two_specs.job_list(defer=True)
+        assert len({_gen_group(j) for j in jobs}) == 2
+        planner = _ChunkPlanner(
+            jobs, policy="dynamic", chunk_size=None, target_ms=1e9
+        )
+        planner.observe(_gen_group(jobs[0]), [0.001])  # huge chunks allowed
+        while not planner.exhausted():
+            unit = planner.carve()
+            assert len({_gen_group(j) for j in unit.jobs}) == 1
+
+
+class TestPoolReuse:
+    @pytest.mark.parametrize("chunk_policy", ("static", "dynamic"))
+    @pytest.mark.parametrize("store_format", ("jsonl", "sharded"))
+    def test_fresh_and_reused_pools_byte_identical(
+        self, campaign, serial_bytes, tmp_path, chunk_policy, store_format
+    ):
+        kwargs = dict(
+            jobs=2,
+            chunk_policy=chunk_policy,
+            chunk_size=3 if chunk_policy == "static" else None,
+            store_format=store_format,
+        )
+        shutdown_worker_pool()
+        fresh = run_campaign(
+            campaign, cache_dir=tmp_path / "fresh", **kwargs
+        )
+        # No shutdown in between: this run must reuse the live pool.
+        reused = run_campaign(
+            campaign, cache_dir=tmp_path / "reused", **kwargs
+        )
+        tag = f"{chunk_policy}-{store_format}"
+        assert _bytes(fresh, tmp_path, f"fresh-{tag}") == serial_bytes
+        assert _bytes(reused, tmp_path, f"reused-{tag}") == serial_bytes
+        # Both runs filled their caches completely: a warm rerun from
+        # either store executes nothing and still matches.
+        warm = run_campaign(
+            campaign, cache_dir=tmp_path / "reused", **kwargs
+        )
+        assert warm.stats.executed == 0
+        assert _bytes(warm, tmp_path, f"warm-{tag}") == serial_bytes
+
+    def test_second_campaign_reuses_workers(self, campaign):
+        shutdown_worker_pool()
+        obs.enable()
+        try:
+            run_campaign(campaign, jobs=2)
+            first = get_worker_pool(2)
+            run_campaign(campaign, jobs=2)
+            assert get_worker_pool(2) is first
+            counters = obs.metrics_snapshot()["counters"]
+            assert counters["engine.pool.spawn"] == 1
+            assert counters["engine.pool.reuse"] >= 2
+            assert obs.metrics_snapshot()["histograms"][
+                "engine.job.duration_ms"
+            ]["count"] >= 2 * len(campaign.job_list())
+        finally:
+            obs.disable()
+
+    def test_different_worker_count_respawns(self, campaign):
+        shutdown_worker_pool()
+        run_campaign(campaign, jobs=2)
+        first = get_worker_pool(2)
+        run_campaign(campaign, jobs=3)
+        replacement = get_worker_pool(3)
+        assert replacement is not first
+        assert replacement.workers == 3
+
+
+class TestFaultsUnderWarmPool:
+    """The fault matrix holds when the pool predates the campaign."""
+
+    @pytest.fixture(autouse=True)
+    def warm_pool(self, campaign):
+        """Every test here starts with a healthy, already-used pool."""
+        run_campaign(campaign, jobs=2)
+        yield
+
+    @pytest.fixture()
+    def victim(self, campaign):
+        return campaign.job_list()[5]
+
+    def test_crash_quarantines_only_the_crasher(
+        self, campaign, serial_bytes, victim, tmp_path
+    ):
+        run = run_campaign(
+            campaign,
+            jobs=2,
+            chunk_size=4,
+            faults=FaultPlan.for_job(victim.job_id, "crash"),
+            max_retries=1,
+            retry_backoff=0.0,
+        )
+        assert [f.job_id for f in run.failures] == [victim.job_id]
+        assert run.failures[0].reason == "worker-crash"
+        assert not run.stats.fell_back_inline
+
+    def test_transient_crash_recovers_to_identical_bytes(
+        self, campaign, serial_bytes, victim, tmp_path
+    ):
+        run = run_campaign(
+            campaign,
+            jobs=2,
+            chunk_size=4,
+            faults=FaultPlan.for_job(victim.job_id, "crash", until_attempt=1),
+            max_retries=2,
+            retry_backoff=0.0,
+        )
+        assert not run.failures
+        assert _bytes(run, tmp_path, "recovered") == serial_bytes
+        # The rebuild advanced the shared pool's epoch; the pool is
+        # healthy again and the *next* campaign still reuses it.
+        pool = get_worker_pool(2)
+        assert pool.epoch >= 1
+        assert pool.alive
+
+    def test_garbage_is_quarantined_not_stored(
+        self, campaign, victim, tmp_path
+    ):
+        run = run_campaign(
+            campaign,
+            jobs=2,
+            faults=FaultPlan.for_job(victim.job_id, "garbage"),
+            max_retries=0,
+            retry_backoff=0.0,
+        )
+        assert [f.job_id for f in run.failures] == [victim.job_id]
+        assert run.failures[0].reason == "invalid-result"
+
+    def test_hang_times_out_and_pool_recovers(
+        self, campaign, serial_bytes, victim, tmp_path
+    ):
+        run = run_campaign(
+            campaign,
+            jobs=2,
+            chunk_size=4,
+            faults=FaultPlan.for_job(victim.job_id, "hang", hang_seconds=8.0),
+            max_retries=0,
+            retry_backoff=0.0,
+            job_timeout=0.4,
+        )
+        assert [f.job_id for f in run.failures] == [victim.job_id]
+        assert run.failures[0].reason == "timeout"
+        clean = run_campaign(campaign, jobs=2)
+        assert not clean.failures
+
+    def test_kill_and_resume_completes_the_campaign(
+        self, campaign, serial_bytes, victim, tmp_path
+    ):
+        """A campaign cut short resumes from its cache on a warm pool."""
+        interrupted = run_campaign(
+            campaign,
+            jobs=2,
+            cache_dir=tmp_path / "cache",
+            faults=FaultPlan.for_job(victim.job_id, "crash"),
+            max_retries=0,
+            retry_backoff=0.0,
+        )
+        assert [f.job_id for f in interrupted.failures] == [victim.job_id]
+        resumed = run_campaign(
+            campaign, jobs=2, cache_dir=tmp_path / "cache", resume=True
+        )
+        assert not resumed.failures
+        assert resumed.stats.executed == 1  # only the missing job reran
+        assert _bytes(resumed, tmp_path, "resumed") == serial_bytes
+
+
+class _FakeProcess:
+    def is_alive(self):
+        return True
+
+
+class TestEpochStaleness:
+    def test_stale_epoch_reply_is_dropped(self):
+        pool = WorkerPool(1)  # never started: members injected by hand
+        parent_conn, child_conn = multiprocessing.Pipe()
+        member = _Worker(_FakeProcess(), parent_conn)
+        member.task_id = 7
+        pool._members = [member]
+        pool.epoch = 3
+        obs.enable()
+        try:
+            child_conn.send(("ok", 2, 7, b"stale-frame"))
+            assert pool.poll(1.0) == []
+            # The stale reply must not retire the in-flight task.
+            assert pool.task_of(0) == 7
+            counters = obs.metrics_snapshot()["counters"]
+            assert counters["engine.pool.stale_dropped"] == 1
+            child_conn.send(("ok", 3, 7, b"current-frame"))
+            assert pool.poll(1.0) == [("ok", 0, 7, b"current-frame")]
+            assert pool.task_of(0) is None
+        finally:
+            obs.disable()
+
+    def test_malformed_reply_is_ignored(self):
+        pool = WorkerPool(1)
+        parent_conn, child_conn = multiprocessing.Pipe()
+        member = _Worker(_FakeProcess(), parent_conn)
+        member.task_id = 1
+        pool._members = [member]
+        child_conn.send("not-a-tuple")
+        assert pool.poll(1.0) == []
+        assert pool.task_of(0) == 1

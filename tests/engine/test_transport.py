@@ -1,0 +1,105 @@
+"""Packed chunk-frame transport: exact round-trips or loud failure.
+
+The scheduler's byte-identity guarantee rides on this layer: a frame
+must reproduce the worker's measurement dicts *exactly* — values, key
+order, float identity — or refuse to decode at all.
+"""
+
+import json
+
+import pytest
+
+from repro.engine.transport import (
+    MAGIC,
+    TransportError,
+    pack_chunk,
+    unpack_chunk,
+)
+
+
+def _measurementish(tsc, *, tail_key=False):
+    """A dict shaped like a serialized measurement (tsc mid-dict)."""
+    d = {
+        "kernel_name": "k",
+        "cycles_per_iteration": 4.25,
+        "experiment_tsc": tsc,
+        "trip_count": 256,
+        "metadata": {"mode": "sequential"},
+    }
+    if tail_key:
+        d.pop("experiment_tsc")
+        d["experiment_tsc"] = tsc  # re-insert at the dict tail
+    return d
+
+
+class TestRoundTrip:
+    def test_dicts_round_trip_byte_exact(self):
+        payload = [
+            _measurementish([1.5, 2.25, 1e-9]),
+            _measurementish([0.0, -3.5], tail_key=True),
+        ]
+        frame = pack_chunk([("job-a", payload, 0.25)])
+        [(job_id, out, duration_ms)] = unpack_chunk(frame)
+        assert job_id == "job-a"
+        assert duration_ms == pytest.approx(250.0)
+        assert out == payload
+        # Key order reaches the JSONL store verbatim, so equality is
+        # not enough: the serialized bytes must match too.
+        assert json.dumps(out) == json.dumps(payload)
+        assert all(type(v) is float for d in out for v in d["experiment_tsc"])
+
+    def test_multi_job_chunk_keeps_order_and_durations(self):
+        records = [
+            (f"job-{i}", [_measurementish([float(i), float(i) + 0.5])], i / 1000)
+            for i in range(5)
+        ]
+        out = unpack_chunk(pack_chunk(records))
+        assert [job_id for job_id, _, _ in out] == [r[0] for r in records]
+        assert [d for _, _, d in out] == pytest.approx(
+            [i / 1000 * 1e3 for i in range(5)]
+        )
+        assert [p for _, p, _ in out] == [r[1] for r in records]
+
+    def test_garbage_payload_travels_verbatim(self):
+        """Fault-injected debris is not a measurement list; it must
+        survive transport unchanged for quarantine to see what the
+        scheduler would have seen inline."""
+        from repro.engine.faults import GARBAGE_PAYLOAD
+
+        for payload in (
+            GARBAGE_PAYLOAD,
+            None,
+            [{"no_tsc_here": 1}],
+            [{"experiment_tsc": [1.5, 2]}],  # int smuggled into samples
+            "a string",
+        ):
+            [(job_id, out, _)] = unpack_chunk(
+                pack_chunk([("job-g", payload, 0.0)])
+            )
+            assert out == payload
+            assert type(out) is type(payload)
+
+    def test_empty_chunk(self):
+        assert unpack_chunk(pack_chunk([])) == []
+
+
+class TestMalformedFrames:
+    def test_bad_magic_rejected(self):
+        frame = pack_chunk([("j", [_measurementish([1.0])], 0.0)])
+        with pytest.raises(TransportError, match="magic"):
+            unpack_chunk(b"XXXX" + frame[4:])
+
+    def test_truncated_header_rejected(self):
+        frame = pack_chunk([("j", [_measurementish([1.0])], 0.0)])
+        with pytest.raises(TransportError):
+            unpack_chunk(frame[: len(MAGIC) + 6])
+
+    def test_truncated_float_section_rejected(self):
+        frame = pack_chunk([("j", [_measurementish([1.0, 2.0, 3.0])], 0.0)])
+        with pytest.raises(TransportError, match="float section"):
+            unpack_chunk(frame[:-8])
+
+    def test_undecodable_header_rejected(self):
+        mangled = MAGIC + (12).to_bytes(4, "big") + b"\x00" * 12
+        with pytest.raises(TransportError):
+            unpack_chunk(mangled)
